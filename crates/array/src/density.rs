@@ -1,0 +1,494 @@
+//! Density-matrix simulation with noise channels.
+//!
+//! Extends the array-based representation of Section II from pure states
+//! to mixed states, enabling the noise-aware simulation the paper cites as
+//! reference \[13\] (Grurl/Fuß/Wille). States are `2^n × 2^n` density
+//! matrices ρ; gates act as `ρ → UρU†` and noise as Kraus channels
+//! `ρ → Σ_i K_i ρ K_i†`.
+
+use qdt_circuit::{Circuit, Gate, OpKind};
+use qdt_complex::{Complex, Matrix};
+
+use crate::{ArrayError, StateVector};
+
+/// A single-qubit noise channel, described by its Kraus operators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseChannel {
+    /// Depolarizing channel: with probability `p` replace the qubit state
+    /// by the maximally mixed state.
+    Depolarizing(f64),
+    /// Amplitude damping (T1 decay) with damping probability `gamma`.
+    AmplitudeDamping(f64),
+    /// Phase damping (pure T2 dephasing) with parameter `lambda`.
+    PhaseDamping(f64),
+    /// Bit flip (X error) with probability `p`.
+    BitFlip(f64),
+    /// Phase flip (Z error) with probability `p`.
+    PhaseFlip(f64),
+}
+
+impl NoiseChannel {
+    /// The Kraus operators of the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameter lies outside `[0, 1]`.
+    pub fn kraus_operators(&self) -> Vec<Matrix> {
+        let check = |p: f64| {
+            assert!((0.0..=1.0).contains(&p), "channel parameter {p} outside [0,1]");
+            p
+        };
+        let z = Complex::ZERO;
+        match *self {
+            NoiseChannel::Depolarizing(p) => {
+                let p = check(p);
+                let k0 = Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt()));
+                let s = Complex::real((p / 3.0).sqrt());
+                vec![
+                    k0,
+                    Gate::X.matrix().scale(s),
+                    Gate::Y.matrix().scale(s),
+                    Gate::Z.matrix().scale(s),
+                ]
+            }
+            NoiseChannel::AmplitudeDamping(gamma) => {
+                let gamma = check(gamma);
+                let k0 = Matrix::from_rows(
+                    2,
+                    2,
+                    &[Complex::ONE, z, z, Complex::real((1.0 - gamma).sqrt())],
+                );
+                let k1 = Matrix::from_rows(2, 2, &[z, Complex::real(gamma.sqrt()), z, z]);
+                vec![k0, k1]
+            }
+            NoiseChannel::PhaseDamping(lambda) => {
+                let lambda = check(lambda);
+                let k0 = Matrix::from_rows(
+                    2,
+                    2,
+                    &[Complex::ONE, z, z, Complex::real((1.0 - lambda).sqrt())],
+                );
+                let k1 = Matrix::from_rows(2, 2, &[z, z, z, Complex::real(lambda.sqrt())]);
+                vec![k0, k1]
+            }
+            NoiseChannel::BitFlip(p) => {
+                let p = check(p);
+                vec![
+                    Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+                    Gate::X.matrix().scale(Complex::real(p.sqrt())),
+                ]
+            }
+            NoiseChannel::PhaseFlip(p) => {
+                let p = check(p);
+                vec![
+                    Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+                    Gate::Z.matrix().scale(Complex::real(p.sqrt())),
+                ]
+            }
+        }
+    }
+}
+
+/// A noise model: the channels applied to every qubit an instruction
+/// touches, after the instruction executes.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseModel {
+    /// Channels applied in order after each gate.
+    pub channels: Vec<NoiseChannel>,
+}
+
+impl NoiseModel {
+    /// An empty (noiseless) model.
+    pub fn new() -> Self {
+        NoiseModel::default()
+    }
+
+    /// Adds a channel to the model (builder style).
+    pub fn with_channel(mut self, channel: NoiseChannel) -> Self {
+        self.channels.push(channel);
+        self
+    }
+}
+
+/// A mixed quantum state as a dense density matrix.
+///
+/// # Example
+///
+/// ```
+/// use qdt_array::{DensityMatrix, NoiseChannel, NoiseModel};
+/// use qdt_circuit::generators;
+///
+/// let noise = NoiseModel::new().with_channel(NoiseChannel::Depolarizing(0.05));
+/// let rho = DensityMatrix::from_circuit(&generators::bell(), &noise)?;
+/// assert!(rho.purity() < 1.0); // noise mixes the state
+/// assert!((rho.trace() - 1.0).abs() < 1e-10); // but channels preserve trace
+/// # Ok::<(), qdt_array::ArrayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    rho: Matrix,
+}
+
+/// Density matrices square the memory cost, so the cap is half the
+/// state-vector exponent.
+const MAX_DM_QUBITS: usize = 12;
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 12` (density matrices square the memory
+    /// footprint).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= MAX_DM_QUBITS,
+            "{num_qubits} qubits exceed the density-matrix limit of {MAX_DM_QUBITS}"
+        );
+        let dim = 1usize << num_qubits;
+        let mut rho = Matrix::zeros(dim, dim);
+        rho.set(0, 0, Complex::ONE);
+        DensityMatrix { num_qubits, rho }
+    }
+
+    /// The pure density matrix `|ψ⟩⟨ψ|` of a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state exceeds 12 qubits.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        assert!(psi.num_qubits() <= MAX_DM_QUBITS, "state too large");
+        let dim = psi.amplitudes().len();
+        let mut rho = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                rho.set(i, j, psi.amplitude(i) * psi.amplitude(j).conj());
+            }
+        }
+        DensityMatrix {
+            num_qubits: psi.num_qubits(),
+            rho,
+        }
+    }
+
+    /// Runs a unitary circuit from `|0…0⟩⟨0…0|`, applying `noise` after
+    /// every gate (to each qubit the gate touches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NonUnitary`] on measurement/reset and
+    /// [`ArrayError::TooManyQubits`] beyond the 12-qubit density limit.
+    pub fn from_circuit(circuit: &Circuit, noise: &NoiseModel) -> Result<Self, ArrayError> {
+        if circuit.num_qubits() > MAX_DM_QUBITS {
+            return Err(ArrayError::TooManyQubits {
+                num_qubits: circuit.num_qubits(),
+            });
+        }
+        let mut dm = DensityMatrix::zero_state(circuit.num_qubits().max(1));
+        for inst in circuit {
+            match &inst.kind {
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => {
+                    dm.apply_controlled_gate(&gate.matrix(), *target, controls);
+                }
+                OpKind::Swap { a, b, controls } => {
+                    // Decompose SWAP into three CNOTs for the kernel path.
+                    let x = Gate::X.matrix();
+                    let mut ctl = controls.clone();
+                    ctl.push(*a);
+                    dm.apply_controlled_gate(&x, *b, &ctl);
+                    ctl.pop();
+                    ctl.push(*b);
+                    dm.apply_controlled_gate(&x, *a, &ctl);
+                    ctl.pop();
+                    ctl.push(*a);
+                    dm.apply_controlled_gate(&x, *b, &ctl);
+                }
+                OpKind::Barrier(_) => continue,
+                other => {
+                    return Err(ArrayError::NonUnitary {
+                        op: format!("{other:?}"),
+                    })
+                }
+            }
+            for &q in &inst.qubits() {
+                for ch in &noise.channels {
+                    dm.apply_channel(*ch, q);
+                }
+            }
+        }
+        Ok(dm)
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw density matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.rho
+    }
+
+    /// `Tr(ρ)` — 1 for any valid state.
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// `Tr(ρ²)` — 1 for pure states, `1/2^n` for the maximally mixed state.
+    pub fn purity(&self) -> f64 {
+        self.rho.mul(&self.rho).trace().re
+    }
+
+    /// Measurement probability of basis state `index` (the diagonal).
+    pub fn probability(&self, index: usize) -> f64 {
+        self.rho.get(index, index).re
+    }
+
+    /// All `2^n` measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.rho.rows()).map(|i| self.probability(i)).collect()
+    }
+
+    /// The fidelity `⟨ψ|ρ|ψ⟩` against a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, psi.num_qubits(), "qubit count mismatch");
+        let dim = self.rho.rows();
+        let mut acc = Complex::ZERO;
+        for i in 0..dim {
+            for j in 0..dim {
+                acc += psi.amplitude(i).conj() * self.rho.get(i, j) * psi.amplitude(j);
+            }
+        }
+        acc.re
+    }
+
+    /// Applies a (controlled) 2×2 unitary: `ρ → UρU†`, implemented as a
+    /// row kernel followed by a conjugated column kernel so the cost stays
+    /// `O(4^n)` per gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid indices (as for
+    /// [`StateVector::apply_controlled_gate`]).
+    pub fn apply_controlled_gate(&mut self, gate: &Matrix, target: usize, controls: &[usize]) {
+        assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
+        assert!(target < self.num_qubits, "target out of range");
+        let mut cmask = 0usize;
+        for &c in controls {
+            assert!(c < self.num_qubits, "control out of range");
+            assert_ne!(c, target, "control equals target");
+            cmask |= 1 << c;
+        }
+        let tbit = 1usize << target;
+        let dim = self.rho.rows();
+        let m = [
+            [gate.get(0, 0), gate.get(0, 1)],
+            [gate.get(1, 0), gate.get(1, 1)],
+        ];
+        // Left multiplication: rows transform.
+        for col in 0..dim {
+            for r0 in 0..dim {
+                if r0 & tbit != 0 || r0 & cmask != cmask {
+                    continue;
+                }
+                let r1 = r0 | tbit;
+                let a0 = self.rho.get(r0, col);
+                let a1 = self.rho.get(r1, col);
+                self.rho.set(r0, col, m[0][0] * a0 + m[0][1] * a1);
+                self.rho.set(r1, col, m[1][0] * a0 + m[1][1] * a1);
+            }
+        }
+        // Right multiplication by U†: columns transform with conjugates.
+        for row in 0..dim {
+            for c0 in 0..dim {
+                if c0 & tbit != 0 || c0 & cmask != cmask {
+                    continue;
+                }
+                let c1 = c0 | tbit;
+                let a0 = self.rho.get(row, c0);
+                let a1 = self.rho.get(row, c1);
+                self.rho
+                    .set(row, c0, a0 * m[0][0].conj() + a1 * m[0][1].conj());
+                self.rho
+                    .set(row, c1, a0 * m[1][0].conj() + a1 * m[1][1].conj());
+            }
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel to `qubit`:
+    /// `ρ → Σ_i K_i ρ K_i†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or a channel parameter is invalid.
+    pub fn apply_channel(&mut self, channel: NoiseChannel, qubit: usize) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let kraus = channel.kraus_operators();
+        let dim = self.rho.rows();
+        let mut acc = Matrix::zeros(dim, dim);
+        for k in &kraus {
+            let mut term = self.clone();
+            term.apply_kraus_one_sided(k, qubit);
+            acc = acc.add(&term.rho);
+        }
+        self.rho = acc;
+    }
+
+    /// `ρ → K ρ K†` for one (not necessarily unitary) 2×2 operator.
+    fn apply_kraus_one_sided(&mut self, k: &Matrix, target: usize) {
+        let tbit = 1usize << target;
+        let dim = self.rho.rows();
+        let m = [[k.get(0, 0), k.get(0, 1)], [k.get(1, 0), k.get(1, 1)]];
+        for col in 0..dim {
+            for r0 in 0..dim {
+                if r0 & tbit != 0 {
+                    continue;
+                }
+                let r1 = r0 | tbit;
+                let a0 = self.rho.get(r0, col);
+                let a1 = self.rho.get(r1, col);
+                self.rho.set(r0, col, m[0][0] * a0 + m[0][1] * a1);
+                self.rho.set(r1, col, m[1][0] * a0 + m[1][1] * a1);
+            }
+        }
+        for row in 0..dim {
+            for c0 in 0..dim {
+                if c0 & tbit != 0 {
+                    continue;
+                }
+                let c1 = c0 | tbit;
+                let a0 = self.rho.get(row, c0);
+                let a1 = self.rho.get(row, c1);
+                self.rho
+                    .set(row, c0, a0 * m[0][0].conj() + a1 * m[0][1].conj());
+                self.rho
+                    .set(row, c1, a0 * m[1][0].conj() + a1 * m[1][1].conj());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    fn noiseless() -> NoiseModel {
+        NoiseModel::new()
+    }
+
+    #[test]
+    fn kraus_operators_are_trace_preserving() {
+        for ch in [
+            NoiseChannel::Depolarizing(0.3),
+            NoiseChannel::AmplitudeDamping(0.4),
+            NoiseChannel::PhaseDamping(0.2),
+            NoiseChannel::BitFlip(0.1),
+            NoiseChannel::PhaseFlip(0.25),
+        ] {
+            let ks = ch.kraus_operators();
+            let mut sum = Matrix::zeros(2, 2);
+            for k in &ks {
+                sum = sum.add(&k.dagger().mul(k));
+            }
+            assert!(
+                sum.approx_eq(&Matrix::identity(2), 1e-12),
+                "{ch:?} violates Σ K†K = I"
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_matches_state_vector() {
+        for qc in [generators::bell(), generators::ghz(3), generators::qft(3, true)] {
+            let dm = DensityMatrix::from_circuit(&qc, &noiseless()).unwrap();
+            let psi = StateVector::from_circuit(&qc).unwrap();
+            assert!((dm.purity() - 1.0).abs() < 1e-10, "pure run lost purity");
+            assert!((dm.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+            for (i, p) in psi.probabilities().iter().enumerate() {
+                assert!((dm.probability(i) - p).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn from_pure_round_trips() {
+        let psi = StateVector::from_circuit(&generators::w_state(3)).unwrap();
+        let dm = DensityMatrix::from_pure(&psi);
+        assert!((dm.purity() - 1.0).abs() < 1e-12);
+        assert!((dm.fidelity_with_pure(&psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_and_preserves_trace() {
+        let noise = NoiseModel::new().with_channel(NoiseChannel::Depolarizing(0.1));
+        let dm = DensityMatrix::from_circuit(&generators::ghz(3), &noise).unwrap();
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
+        assert!(dm.purity() < 0.95, "purity {} should drop", dm.purity());
+    }
+
+    #[test]
+    fn stronger_noise_means_lower_fidelity() {
+        let qc = generators::ghz(4);
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        let mut last = 1.0;
+        for p in [0.01, 0.05, 0.1, 0.2] {
+            let noise = NoiseModel::new().with_channel(NoiseChannel::Depolarizing(p));
+            let dm = DensityMatrix::from_circuit(&qc, &noise).unwrap();
+            let f = dm.fidelity_with_pure(&psi);
+            assert!(f < last, "fidelity must fall monotonically with noise");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_fixes_ground_state() {
+        // Full damping sends everything to |0⟩⟨0|.
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_controlled_gate(&Gate::X.matrix(), 0, &[]);
+        dm.apply_channel(NoiseChannel::AmplitudeDamping(1.0), 0);
+        assert!((dm.probability(0) - 1.0).abs() < 1e-12);
+        assert!(dm.probability(1) < 1e-12);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherences_not_populations() {
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_controlled_gate(&Gate::H.matrix(), 0, &[]);
+        let p_before = dm.probability(0);
+        dm.apply_channel(NoiseChannel::PhaseDamping(1.0), 0);
+        assert!((dm.probability(0) - p_before).abs() < 1e-12);
+        assert!(dm.as_matrix().get(0, 1).abs() < 1e-12, "coherence must vanish");
+    }
+
+    #[test]
+    fn bit_flip_half_probability_maximally_mixes() {
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_channel(NoiseChannel::BitFlip(0.5), 0);
+        assert!((dm.probability(0) - 0.5).abs() < 1e-12);
+        assert!((dm.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_decomposition_correct() {
+        let mut qc = qdt_circuit::Circuit::new(2);
+        qc.x(0).swap(0, 1);
+        let dm = DensityMatrix::from_circuit(&qc, &noiseless()).unwrap();
+        assert!((dm.probability(0b10) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn invalid_channel_parameter_panics() {
+        NoiseChannel::Depolarizing(1.5).kraus_operators();
+    }
+}

@@ -1,0 +1,82 @@
+//! Array-based quantum circuit simulation — Section II of the reproduced
+//! paper.
+//!
+//! Quantum states are stored as one-dimensional arrays of `2^n` complex
+//! amplitudes and operations as (implicit or explicit) `2^n × 2^n`
+//! matrices. This is the most intuitive representation and the ground
+//! truth for every other data structure in the suite, but its memory
+//! footprint grows exponentially with the qubit count — the paper puts the
+//! practical limit below 50 qubits; on a laptop it is nearer 26–30.
+//!
+//! Two execution paths are provided, mirroring the paper's description:
+//!
+//! * [`StateVector`] applies 2×2 gate kernels directly to the amplitude
+//!   array (the efficient way actual array-based simulators work), and
+//! * [`circuit_unitary`] builds the full `2^n × 2^n` operator by Kronecker
+//!   products and matrix multiplication (the naive textbook path of the
+//!   paper's Example 1) — exponentially expensive, but exact and useful
+//!   for cross-validation.
+//!
+//! The [`DensityMatrix`] simulator extends the representation to mixed
+//! states and noise channels (the paper's reference \[13\]).
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_circuit::generators;
+//! use qdt_array::StateVector;
+//!
+//! // The Bell state of the paper's Fig. 1a.
+//! let state = StateVector::from_circuit(&generators::bell())?;
+//! let probs = state.probabilities();
+//! assert!((probs[0b00] - 0.5).abs() < 1e-12);
+//! assert!((probs[0b11] - 0.5).abs() < 1e-12);
+//! # Ok::<(), qdt_array::ArrayError>(())
+//! ```
+
+mod density;
+mod simulator;
+mod state;
+mod unitary;
+
+pub use density::{DensityMatrix, NoiseChannel, NoiseModel};
+pub use simulator::{ArraySimulator, RunResult};
+pub use state::StateVector;
+pub use unitary::{circuit_unitary, instruction_unitary};
+
+use std::fmt;
+
+/// Error type for array-based simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayError {
+    /// The amplitude vector length was not a power of two.
+    NotPowerOfTwo { len: usize },
+    /// The state norm deviated from 1 beyond tolerance.
+    NotNormalized { norm: f64 },
+    /// The circuit contains an instruction the deterministic paths cannot
+    /// execute (measurement/reset need an RNG — use [`ArraySimulator`]).
+    NonUnitary { op: String },
+    /// The qubit count exceeds what fits in memory / a `usize` index.
+    TooManyQubits { num_qubits: usize },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::NotPowerOfTwo { len } => {
+                write!(f, "amplitude vector length {len} is not a power of two")
+            }
+            ArrayError::NotNormalized { norm } => {
+                write!(f, "state has norm {norm}, expected 1")
+            }
+            ArrayError::NonUnitary { op } => {
+                write!(f, "instruction {op} is not unitary; use ArraySimulator::run")
+            }
+            ArrayError::TooManyQubits { num_qubits } => {
+                write!(f, "{num_qubits} qubits exceed the array-based limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}

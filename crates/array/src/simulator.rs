@@ -1,0 +1,208 @@
+//! A circuit runner that handles the non-unitary instructions
+//! (measurement, reset) the pure state-vector path rejects.
+
+use std::collections::BTreeMap;
+
+use qdt_circuit::{Circuit, OpKind};
+use rand::Rng;
+
+use crate::{ArrayError, StateVector};
+
+/// The result of one end-to-end circuit execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The final (collapsed) quantum state.
+    pub state: StateVector,
+    /// Classical register contents, bit `i` = clbit `i`.
+    pub classical_bits: Vec<bool>,
+}
+
+impl RunResult {
+    /// The classical register as an integer (clbit 0 = LSB).
+    pub fn classical_value(&self) -> u64 {
+        self.classical_bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+}
+
+/// Array-based circuit simulator: runs circuits including measurement and
+/// reset, tracking classical bits.
+///
+/// # Example
+///
+/// ```
+/// use qdt_array::ArraySimulator;
+/// use qdt_circuit::generators;
+/// use rand::SeedableRng;
+///
+/// // Bernstein-Vazirani recovers the secret in one shot.
+/// let qc = generators::bernstein_vazirani(6, 0b101101);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let result = ArraySimulator::new().run(&qc, &mut rng)?;
+/// assert_eq!(result.classical_value(), 0b101101);
+/// # Ok::<(), qdt_array::ArrayError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArraySimulator {
+    _private: (),
+}
+
+impl ArraySimulator {
+    /// Creates a simulator.
+    pub fn new() -> Self {
+        ArraySimulator { _private: () }
+    }
+
+    /// Runs `circuit` once from `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::TooManyQubits`] if the circuit exceeds the
+    /// dense-representation limit.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<RunResult, ArrayError> {
+        if circuit.num_qubits() > 30 {
+            return Err(ArrayError::TooManyQubits {
+                num_qubits: circuit.num_qubits(),
+            });
+        }
+        let mut state = StateVector::zero_state(circuit.num_qubits().max(1));
+        let mut classical_bits = vec![false; circuit.num_clbits()];
+        for inst in circuit {
+            match &inst.kind {
+                OpKind::Measure { qubit, clbit } => {
+                    classical_bits[*clbit] = state.measure_qubit(*qubit, rng);
+                }
+                OpKind::Reset { qubit } => state.reset_qubit(*qubit, rng),
+                _ => state.apply_instruction(inst)?,
+            }
+        }
+        Ok(RunResult {
+            state,
+            classical_bits,
+        })
+    }
+
+    /// Runs `circuit` `shots` times and histograms the classical register
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ArraySimulator::run`].
+    pub fn run_shots<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<BTreeMap<u64, usize>, ArrayError> {
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let result = self.run(circuit, rng)?;
+            *counts.entry(result.classical_value()).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for secret in [0b0u64, 0b1, 0b1010, 0b1111] {
+            let qc = generators::bernstein_vazirani(4, secret);
+            let result = ArraySimulator::new().run(&qc, &mut rng).unwrap();
+            assert_eq!(result.classical_value(), secret, "secret {secret:b}");
+        }
+    }
+
+    #[test]
+    fn deutsch_jozsa_distinguishes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let constant = generators::deutsch_jozsa(3, false);
+        let r = ArraySimulator::new().run(&constant, &mut rng).unwrap();
+        assert_eq!(r.classical_value(), 0, "constant oracle must yield 0…0");
+        let balanced = generators::deutsch_jozsa(3, true);
+        let r = ArraySimulator::new().run(&balanced, &mut rng).unwrap();
+        assert_ne!(r.classical_value(), 0, "balanced oracle must not yield 0…0");
+    }
+
+    #[test]
+    fn bell_measurements_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut qc = qdt_circuit::Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let counts = ArraySimulator::new().run_shots(&qc, 500, &mut rng).unwrap();
+        assert!(counts.keys().all(|&k| k == 0b00 || k == 0b11));
+        let zeros = counts.get(&0).copied().unwrap_or(0);
+        assert!(zeros > 150 && zeros < 350, "00 count {zeros} out of range");
+    }
+
+    #[test]
+    fn grover_finds_marked_item() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 4;
+        let marked = 0b1011u64;
+        let iters = generators::grover_optimal_iterations(n);
+        let mut qc = generators::grover(n, marked, iters);
+        let base = qc.num_clbits();
+        let mut with_meas = qdt_circuit::Circuit::with_clbits(n, n);
+        with_meas.append(&qc);
+        for q in 0..n {
+            with_meas.measure(q, q);
+        }
+        let _ = base;
+        qc = with_meas;
+        let counts = ArraySimulator::new().run_shots(&qc, 200, &mut rng).unwrap();
+        let hits = counts.get(&marked).copied().unwrap_or(0);
+        assert!(
+            hits > 150,
+            "Grover success rate too low: {hits}/200 for marked {marked:b}"
+        );
+    }
+
+    #[test]
+    fn qpe_estimates_phase() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // θ = 5/8 is exactly representable with 3 counting bits.
+        let theta = 5.0 / 8.0;
+        let qc = generators::phase_estimation(3, theta);
+        let mut with_meas = qdt_circuit::Circuit::with_clbits(4, 3);
+        with_meas.append(&qc);
+        for q in 0..3 {
+            with_meas.measure(q, q);
+        }
+        let counts = ArraySimulator::new()
+            .run_shots(&with_meas, 100, &mut rng)
+            .unwrap();
+        let (&best, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_eq!(best, 5, "QPE should read out 5/8 exactly");
+    }
+
+    #[test]
+    fn reset_mid_circuit() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut qc = qdt_circuit::Circuit::with_clbits(1, 1);
+        qc.h(0).reset(0).measure(0, 0);
+        let counts = ArraySimulator::new().run_shots(&qc, 100, &mut rng).unwrap();
+        assert_eq!(counts.get(&0).copied().unwrap_or(0), 100);
+    }
+
+    #[test]
+    fn empty_circuit_runs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let qc = qdt_circuit::Circuit::new(0);
+        let result = ArraySimulator::new().run(&qc, &mut rng).unwrap();
+        assert_eq!(result.classical_bits.len(), 0);
+    }
+}

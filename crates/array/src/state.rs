@@ -1,0 +1,801 @@
+//! Dense state vectors with in-place gate kernels.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qdt_circuit::{Circuit, Instruction, OpKind};
+use qdt_complex::{Complex, Matrix};
+use rand::Rng;
+
+use crate::ArrayError;
+
+/// Maximum qubit count the dense representation will attempt
+/// (2^30 amplitudes ≈ 16 GiB); chosen so that accidental huge allocations
+/// fail fast with a useful error instead of an abort.
+const MAX_QUBITS: usize = 30;
+
+/// A pure quantum state stored as a dense array of `2^n` amplitudes.
+///
+/// Qubit 0 is the least significant bit of a basis-state index, so the
+/// amplitude of `|q_{n-1} … q_1 q_0⟩` lives at index
+/// `q_0 + 2·q_1 + … + 2^{n-1}·q_{n-1}`.
+///
+/// # Example
+///
+/// ```
+/// use qdt_array::StateVector;
+/// use qdt_circuit::Gate;
+///
+/// let mut psi = StateVector::zero_state(1);
+/// psi.apply_gate(&Gate::H.matrix(), 0);
+/// assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros basis state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds the dense-representation limit
+    /// (30 qubits / 16 GiB) — the paper's Section II point, enforced.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Self::basis_state(num_qubits, 0)
+    }
+
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 30` or `index >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        assert!(
+            num_qubits <= MAX_QUBITS,
+            "{num_qubits} qubits exceed the dense-array limit of {MAX_QUBITS}"
+        );
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index {index} out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[index] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from an explicit amplitude vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NotPowerOfTwo`] if the length is not `2^n`,
+    /// and [`ArrayError::NotNormalized`] if the 2-norm deviates from 1 by
+    /// more than `1e-9`.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Result<Self, ArrayError> {
+        let len = amps.len();
+        if len == 0 || len & (len - 1) != 0 {
+            return Err(ArrayError::NotPowerOfTwo { len });
+        }
+        let num_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if (norm - 1.0).abs() > 1e-9 {
+            return Err(ArrayError::NotNormalized { norm });
+        }
+        Ok(StateVector { num_qubits, amps })
+    }
+
+    /// Runs a unitary circuit on `|0…0⟩` and returns the final state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NonUnitary`] if the circuit contains
+    /// measurement or reset (use [`ArraySimulator`](crate::ArraySimulator)
+    /// for those) and [`ArrayError::TooManyQubits`] above the dense limit.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, ArrayError> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(ArrayError::TooManyQubits {
+                num_qubits: circuit.num_qubits(),
+            });
+        }
+        let mut psi = StateVector::zero_state(circuit.num_qubits().max(1));
+        for inst in circuit {
+            psi.apply_instruction(inst)?;
+        }
+        Ok(psi)
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude array (length `2^n`).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amps[index]
+    }
+
+    /// Measurement probability of basis state `index`: `|α_index|²`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// All `2^n` measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The 2-norm of the state (1 for a valid pure state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales the state to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 1e-300, "cannot normalize the zero vector");
+        for a in &mut self.amps {
+            *a = *a / n;
+        }
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// The fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Returns `true` if the states agree up to a global phase within
+    /// `tol` per amplitude.
+    pub fn approx_eq_up_to_global_phase(&self, other: &StateVector, tol: f64) -> bool {
+        Matrix::column(&self.amps).approx_eq_up_to_global_phase(&Matrix::column(&other.amps), tol)
+    }
+
+    /// Heap memory consumed by the amplitude array, in bytes — the
+    /// quantity whose exponential growth Section II of the paper warns
+    /// about.
+    pub fn memory_bytes(&self) -> usize {
+        self.amps.len() * std::mem::size_of::<Complex>()
+    }
+
+    // --- gate kernels ------------------------------------------------------
+
+    /// Applies a 2×2 unitary to `target` (no controls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not 2×2 or `target` is out of range.
+    pub fn apply_gate(&mut self, gate: &Matrix, target: usize) {
+        self.apply_controlled_gate(gate, target, &[]);
+    }
+
+    /// Applies a 2×2 unitary to `target`, controlled on every qubit in
+    /// `controls` being |1⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not 2×2, any index is out of range, or
+    /// `controls` contains `target`.
+    pub fn apply_controlled_gate(&mut self, gate: &Matrix, target: usize, controls: &[usize]) {
+        assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
+        assert!(target < self.num_qubits, "target out of range");
+        let mut cmask = 0usize;
+        for &c in controls {
+            assert!(c < self.num_qubits, "control out of range");
+            assert_ne!(c, target, "control equals target");
+            cmask |= 1 << c;
+        }
+        let tbit = 1usize << target;
+        let m00 = gate.get(0, 0);
+        let m01 = gate.get(0, 1);
+        let m10 = gate.get(1, 0);
+        let m11 = gate.get(1, 1);
+        let dim = self.amps.len();
+        let mut i0 = 0usize;
+        while i0 < dim {
+            if i0 & tbit != 0 {
+                // Skip the half of the iteration space where the target
+                // bit is already set; pairs are visited from their 0 side.
+                i0 += tbit;
+                continue;
+            }
+            if i0 & cmask == cmask {
+                let i1 = i0 | tbit;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m00 * a0 + m01 * a1;
+                self.amps[i1] = m10 * a0 + m11 * a1;
+            }
+            i0 += 1;
+        }
+    }
+
+    /// Swaps qubits `a` and `b`, optionally controlled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate indices.
+    pub fn apply_swap(&mut self, a: usize, b: usize, controls: &[usize]) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert_ne!(a, b, "swap qubits must differ");
+        let mut cmask = 0usize;
+        for &c in controls {
+            assert!(c < self.num_qubits, "control out of range");
+            assert!(c != a && c != b, "control overlaps swap target");
+            cmask |= 1 << c;
+        }
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Visit each swapped pair once: a-bit set, b-bit clear.
+            if i & abit != 0 && i & bbit == 0 && i & cmask == cmask {
+                let j = (i & !abit) | bbit;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Applies one IR instruction (unitary gates and swaps only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NonUnitary`] for measurement and reset.
+    /// Barriers are no-ops.
+    pub fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), ArrayError> {
+        match &inst.kind {
+            OpKind::Unitary {
+                gate,
+                target,
+                controls,
+            } => {
+                self.apply_controlled_gate(&gate.matrix(), *target, controls);
+                Ok(())
+            }
+            OpKind::Swap { a, b, controls } => {
+                self.apply_swap(*a, *b, controls);
+                Ok(())
+            }
+            OpKind::Barrier(_) => Ok(()),
+            other => Err(ArrayError::NonUnitary {
+                op: format!("{other:?}"),
+            }),
+        }
+    }
+
+    // --- measurement ---------------------------------------------------------
+
+    /// Probability of measuring `qubit` as |1⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn probability_of_one(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let bit = 1usize << qubit;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures `qubit`, collapsing the state, and returns
+    /// the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_of_one(qubit);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project_qubit(qubit, outcome);
+        outcome
+    }
+
+    /// Projects `qubit` onto the given `outcome` and renormalises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection has zero probability.
+    pub fn project_qubit(&mut self, qubit: usize, outcome: bool) {
+        let bit = 1usize << qubit;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & bit) != 0) != outcome {
+                *a = Complex::ZERO;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Resets `qubit` to |0⟩: measures it and flips if the outcome was 1.
+    pub fn reset_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) {
+        if self.measure_qubit(qubit, rng) {
+            self.apply_gate(&qdt_circuit::Gate::X.matrix(), qubit);
+        }
+    }
+
+    /// Samples `shots` full-register measurements *without* collapsing the
+    /// state, returning a map from basis index to count.
+    pub fn sample<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> BTreeMap<usize, usize> {
+        let probs = self.probabilities();
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let mut r: f64 = rng.gen();
+            let mut chosen = probs.len() - 1;
+            for (i, &p) in probs.iter().enumerate() {
+                if r < p {
+                    chosen = i;
+                    break;
+                }
+                r -= p;
+            }
+            *counts.entry(chosen).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The expectation value `⟨ψ|Z_qubit|ψ⟩`.
+    pub fn expectation_z(&self, qubit: usize) -> f64 {
+        1.0 - 2.0 * self.probability_of_one(qubit)
+    }
+}
+
+impl fmt::Debug for StateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateVector({} qubits) [", self.num_qubits)?;
+        for (i, a) in self.amps.iter().enumerate().take(8) {
+            write!(f, "{}|{:0w$b}⟩: {a}", if i > 0 { ", " } else { "" }, i, w = self.num_qubits)?;
+        }
+        if self.amps.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::{generators, Gate};
+    use qdt_complex::FRAC_1_SQRT_2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_has_unit_amp_at_zero() {
+        let psi = StateVector::zero_state(3);
+        assert_eq!(psi.amplitude(0), Complex::ONE);
+        assert_eq!(psi.probability(5), 0.0);
+        assert!((psi.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_example_1_cnot_application() {
+        // Example 1 of the paper: |ψ⟩ = 1/√2 [1 0 1 0]^T, CNOT with control
+        // on the first (most significant) qubit, target on the second.
+        let s = FRAC_1_SQRT_2;
+        let mut psi = StateVector::from_amplitudes(vec![
+            Complex::real(s),
+            Complex::ZERO,
+            Complex::real(s),
+            Complex::ZERO,
+        ])
+        .unwrap();
+        // Paper convention: first qubit = q1 (MSB), second = q0.
+        psi.apply_controlled_gate(&Gate::X.matrix(), 0, &[1]);
+        // Expected: 1/√2 [1 0 0 1]^T — the Bell state.
+        assert!(psi.amplitude(0).approx_eq(Complex::real(s), 1e-12));
+        assert!(psi.amplitude(1).approx_eq(Complex::ZERO, 1e-12));
+        assert!(psi.amplitude(2).approx_eq(Complex::ZERO, 1e-12));
+        assert!(psi.amplitude(3).approx_eq(Complex::real(s), 1e-12));
+    }
+
+    #[test]
+    fn bell_circuit_gives_bell_state() {
+        let psi = StateVector::from_circuit(&generators::bell()).unwrap();
+        assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(psi.probability(0b01) < 1e-12);
+        assert!(psi.probability(0b10) < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_structure() {
+        let psi = StateVector::from_circuit(&generators::ghz(5)).unwrap();
+        assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+        assert!((psi.probability(31) - 0.5).abs() < 1e-12);
+        let middle: f64 = (1..31).map(|i| psi.probability(i)).sum();
+        assert!(middle < 1e-12);
+    }
+
+    #[test]
+    fn w_state_amplitudes() {
+        for n in 2..7 {
+            let psi = StateVector::from_circuit(&generators::w_state(n)).unwrap();
+            let expect = 1.0 / (n as f64);
+            for q in 0..n {
+                let idx = 1usize << q;
+                assert!(
+                    (psi.probability(idx) - expect).abs() < 1e-10,
+                    "W_{n} weight-1 state {idx} has p={}",
+                    psi.probability(idx)
+                );
+            }
+            // Everything else zero.
+            let rest: f64 = (0..1 << n)
+                .filter(|&i: &usize| !i.is_power_of_two())
+                .map(|i| psi.probability(i))
+                .sum();
+            assert!(rest < 1e-10, "W_{n} rest={rest}");
+        }
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![Complex::ONE; 3]),
+            Err(ArrayError::NotPowerOfTwo { len: 3 })
+        ));
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![Complex::ONE, Complex::ONE]),
+            Err(ArrayError::NotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn controlled_gate_ignores_unset_controls() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_controlled_gate(&Gate::X.matrix(), 1, &[0]); // control is |0⟩
+        assert_eq!(psi.amplitude(0), Complex::ONE);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for c0 in [false, true] {
+            for c1 in [false, true] {
+                let idx = (c0 as usize) | ((c1 as usize) << 1);
+                let mut psi = StateVector::basis_state(3, idx);
+                psi.apply_controlled_gate(&Gate::X.matrix(), 2, &[0, 1]);
+                let expect = if c0 && c1 { idx | 4 } else { idx };
+                assert!((psi.probability(expect) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut psi = StateVector::basis_state(3, 0b001);
+        psi.apply_swap(0, 2, &[]);
+        assert!((psi.probability(0b100) - 1.0).abs() < 1e-12);
+        // Swap is involutive.
+        psi.apply_swap(0, 2, &[]);
+        assert!((psi.probability(0b001) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cswap_respects_control() {
+        let mut psi = StateVector::basis_state(3, 0b010);
+        psi.apply_swap(1, 2, &[0]); // control qubit 0 is |0⟩
+        assert!((psi.probability(0b010) - 1.0).abs() < 1e-12);
+        let mut psi = StateVector::basis_state(3, 0b011);
+        psi.apply_swap(1, 2, &[0]); // control set
+        assert!((psi.probability(0b101) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let bell = StateVector::from_circuit(&generators::bell()).unwrap();
+        assert!((bell.fidelity(&bell) - 1.0).abs() < 1e-12);
+        let zero = StateVector::zero_state(2);
+        assert!((bell.fidelity(&zero) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let bell = StateVector::from_circuit(&generators::bell()).unwrap();
+        let mut phased = bell.clone();
+        for a in &mut phased.amps {
+            *a = *a * Complex::cis(1.234);
+        }
+        assert!(bell.approx_eq_up_to_global_phase(&phased, 1e-12));
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut psi = StateVector::from_circuit(&generators::bell()).unwrap();
+        let outcome = psi.measure_qubit(0, &mut rng);
+        // After measuring one half of a Bell pair the other is determined.
+        let expect = if outcome { 0b11 } else { 0b00 };
+        assert!((psi.probability(expect) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_statistics_match_probabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let psi = StateVector::from_circuit(&generators::bell()).unwrap();
+        let counts = psi.sample(20_000, &mut rng);
+        let c00 = *counts.get(&0).unwrap_or(&0) as f64;
+        let c11 = *counts.get(&3).unwrap_or(&0) as f64;
+        assert_eq!(c00 + c11, 20_000.0);
+        assert!((c00 / 20_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn expectation_z_values() {
+        let psi = StateVector::zero_state(1);
+        assert!((psi.expectation_z(0) - 1.0).abs() < 1e-12);
+        let one = StateVector::basis_state(1, 1);
+        assert!((one.expectation_z(0) + 1.0).abs() < 1e-12);
+        let plus = StateVector::from_circuit(&generators::bell()).unwrap();
+        assert!(plus.expectation_z(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let mut psi = StateVector::from_circuit(&generators::bell()).unwrap();
+            psi.reset_qubit(1, &mut rng);
+            assert!(psi.probability_of_one(1) < 1e-12);
+            assert!((psi.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_grows_exponentially() {
+        let m4 = StateVector::zero_state(4).memory_bytes();
+        let m8 = StateVector::zero_state(8).memory_bytes();
+        assert_eq!(m8, m4 << 4);
+    }
+
+    #[test]
+    fn kernel_matches_full_matrix_path() {
+        use crate::circuit_unitary;
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let qc = generators::random_circuit(4, 4, &mut rng);
+            let fast = StateVector::from_circuit(&qc).unwrap();
+            let u = circuit_unitary(&qc).unwrap();
+            let slow = u.mul(&Matrix::column(StateVector::zero_state(4).amplitudes()));
+            for i in 0..16 {
+                assert!(
+                    fast.amplitude(i).approx_eq(slow.get(i, 0), 1e-10),
+                    "amplitude {i} mismatch"
+                );
+            }
+        }
+    }
+}
+
+impl StateVector {
+    /// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's width differs from the state's.
+    pub fn expectation_pauli(&self, pauli: &qdt_circuit::PauliString) -> f64 {
+        assert_eq!(
+            pauli.num_qubits(),
+            self.num_qubits,
+            "Pauli width mismatch"
+        );
+        let mut transformed = self.clone();
+        for (q, p) in pauli.support() {
+            transformed.apply_gate(&p.matrix(), q);
+        }
+        self.inner_product(&transformed).re
+    }
+}
+
+#[cfg(test)]
+mod pauli_tests {
+    use super::*;
+    use qdt_circuit::{generators, PauliString};
+
+    #[test]
+    fn z_expectations_match_dedicated_method() {
+        let psi = StateVector::from_circuit(&generators::w_state(4)).unwrap();
+        for q in 0..4 {
+            let mut s = vec!['I'; 4];
+            s[3 - q] = 'Z';
+            let p: PauliString = s.iter().collect::<String>().parse().unwrap();
+            assert!(
+                (psi.expectation_pauli(&p) - psi.expectation_z(q)).abs() < 1e-12,
+                "qubit {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn ghz_stabilizers_have_expectation_one() {
+        // GHZ is stabilised by X⊗X⊗X and Z⊗Z⊗I etc.
+        let psi = StateVector::from_circuit(&generators::ghz(3)).unwrap();
+        for s in ["XXX", "ZZI", "IZZ"] {
+            let p: PauliString = s.parse().unwrap();
+            assert!(
+                (psi.expectation_pauli(&p) - 1.0).abs() < 1e-10,
+                "{s} should stabilise GHZ"
+            );
+        }
+        let anti: PauliString = "ZII".parse().unwrap();
+        assert!(psi.expectation_pauli(&anti).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_matches_dense_matrix() {
+        use qdt_circuit::Circuit;
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).t(1).ry(0.4, 2).cz(1, 2);
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        for s in ["XYZ", "ZZZ", "IXI", "YYI"] {
+            let p: PauliString = s.parse().unwrap();
+            let dense = p.matrix();
+            let col = qdt_complex::Matrix::column(psi.amplitudes());
+            let expect = col.dagger().mul(&dense.mul(&col)).get(0, 0).re;
+            assert!(
+                (psi.expectation_pauli(&p) - expect).abs() < 1e-10,
+                "{s}: {} vs {expect}",
+                psi.expectation_pauli(&p)
+            );
+        }
+    }
+}
+
+impl StateVector {
+    /// The reduced density matrix of the qubits in `keep` (all others
+    /// traced out).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range/duplicate indices or when `keep` exceeds
+    /// 12 qubits (the dense reduced matrix would not fit).
+    pub fn reduced_density_matrix(&self, keep: &[usize]) -> Matrix {
+        assert!(keep.len() <= 12, "reduced matrix limited to 12 qubits");
+        let mut sorted = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keep.len(), "duplicate qubit in keep set");
+        for &q in keep {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        let k = keep.len();
+        let dim = 1usize << k;
+        let extract = |full: usize| -> usize {
+            keep.iter()
+                .enumerate()
+                .fold(0, |acc, (pos, &q)| acc | (((full >> q) & 1) << pos))
+        };
+        let env_qubits: Vec<usize> = (0..self.num_qubits)
+            .filter(|q| !keep.contains(q))
+            .collect();
+        let mut rho = Matrix::zeros(dim, dim);
+        // Iterate over environment configurations, accumulating
+        // |ψ_e⟩⟨ψ_e| on the kept subsystem.
+        for env in 0..1usize << env_qubits.len() {
+            let mut env_mask = 0usize;
+            for (pos, &q) in env_qubits.iter().enumerate() {
+                if env & (1 << pos) != 0 {
+                    env_mask |= 1 << q;
+                }
+            }
+            // Collect the amplitudes with this environment setting.
+            let mut sub = vec![Complex::ZERO; dim];
+            for (i, &amp) in self.amps.iter().enumerate() {
+                let mut env_bits = 0usize;
+                for (pos, &q) in env_qubits.iter().enumerate() {
+                    env_bits |= ((i >> q) & 1) << pos;
+                }
+                if env_bits == env {
+                    sub[extract(i)] = amp;
+                }
+            }
+            let _ = env_mask;
+            for r in 0..dim {
+                for c in 0..dim {
+                    let v = rho.get(r, c) + sub[r] * sub[c].conj();
+                    rho.set(r, c, v);
+                }
+            }
+        }
+        rho
+    }
+
+    /// The entanglement (von Neumann) entropy of the bipartition
+    /// `keep | rest`, in bits.
+    ///
+    /// # Panics
+    ///
+    /// See [`StateVector::reduced_density_matrix`].
+    pub fn entanglement_entropy(&self, keep: &[usize]) -> f64 {
+        let rho = self.reduced_density_matrix(keep);
+        // ρ is Hermitian PSD: its eigenvalues are the squared singular
+        // values' square roots — use the SVD (σ_i = λ_i for PSD ρ).
+        let f = qdt_complex::svd(&rho);
+        let mut s = 0.0;
+        for &lambda in &f.s {
+            if lambda > 1e-14 {
+                s -= lambda * lambda.log2();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod entropy_tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn product_state_has_zero_entropy() {
+        let mut qc = qdt_circuit::Circuit::new(3);
+        qc.h(0).x(1).ry(0.7, 2);
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        for q in 0..3 {
+            assert!(psi.entanglement_entropy(&[q]).abs() < 1e-9, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn bell_pair_has_one_ebit() {
+        let psi = StateVector::from_circuit(&generators::bell()).unwrap();
+        assert!((psi.entanglement_entropy(&[0]) - 1.0).abs() < 1e-9);
+        assert!((psi.entanglement_entropy(&[1]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghz_cut_entropy_is_one_bit() {
+        let psi = StateVector::from_circuit(&generators::ghz(6)).unwrap();
+        // Any bipartition of GHZ carries exactly 1 ebit.
+        assert!((psi.entanglement_entropy(&[0, 1, 2]) - 1.0).abs() < 1e-9);
+        assert!((psi.entanglement_entropy(&[5]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_density_is_valid_state() {
+        let psi = StateVector::from_circuit(&generators::w_state(4)).unwrap();
+        let rho = psi.reduced_density_matrix(&[1, 2]);
+        assert!((rho.trace().re - 1.0).abs() < 1e-10);
+        // Hermitian.
+        assert!(rho.dagger().approx_eq(&rho, 1e-12));
+    }
+
+    #[test]
+    fn entropy_matches_mps_bond_requirement() {
+        use qdt_tensor::mps::Mps;
+        // GHZ: 1 ebit across the middle cut → χ = 2 suffices (exact).
+        let qc = generators::ghz(6);
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        let s = psi.entanglement_entropy(&[0, 1, 2]);
+        let chi_needed = (2f64.powf(s)).ceil() as usize;
+        let mps = Mps::from_circuit(&qc, chi_needed).unwrap();
+        assert!(mps.truncation_error() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Construction of full `2^n × 2^n` circuit unitaries — the naive
+//! array path of the paper's Section II (Example 1).
+//!
+//! This path is exponentially expensive in both time and memory and exists
+//! for ground-truth validation and for the scaling experiments (claim C1
+//! in DESIGN.md); real simulation should use
+//! [`StateVector`](crate::StateVector) kernels.
+
+use qdt_circuit::{Circuit, Instruction, OpKind};
+use qdt_complex::{Complex, Matrix};
+
+use crate::ArrayError;
+
+/// Hard cap for explicit unitary construction: 2^13 × 2^13 complex entries
+/// (≈ 1 GiB) is the most this path will attempt.
+const MAX_UNITARY_QUBITS: usize = 13;
+
+/// Builds the full `2^n × 2^n` matrix of a single instruction.
+///
+/// # Errors
+///
+/// Returns [`ArrayError::NonUnitary`] for measurement/reset and
+/// [`ArrayError::TooManyQubits`] beyond 13 qubits.
+pub fn instruction_unitary(inst: &Instruction, num_qubits: usize) -> Result<Matrix, ArrayError> {
+    if num_qubits > MAX_UNITARY_QUBITS {
+        return Err(ArrayError::TooManyQubits { num_qubits });
+    }
+    let dim = 1usize << num_qubits;
+    match &inst.kind {
+        OpKind::Unitary {
+            gate,
+            target,
+            controls,
+        } => {
+            let g = gate.matrix();
+            let mut cmask = 0usize;
+            for &c in controls {
+                cmask |= 1 << c;
+            }
+            let tbit = 1usize << *target;
+            let mut u = Matrix::zeros(dim, dim);
+            for col in 0..dim {
+                if col & cmask == cmask {
+                    // Gate acts on the target bit of this column.
+                    let b = usize::from(col & tbit != 0);
+                    for (a, row) in [(0, col & !tbit), (1, col | tbit)] {
+                        let v = g.get(a, b);
+                        if v != Complex::ZERO {
+                            u.set(row, col, v);
+                        }
+                    }
+                } else {
+                    u.set(col, col, Complex::ONE);
+                }
+            }
+            Ok(u)
+        }
+        OpKind::Swap { a, b, controls } => {
+            let mut cmask = 0usize;
+            for &c in controls {
+                cmask |= 1 << c;
+            }
+            let abit = 1usize << *a;
+            let bbit = 1usize << *b;
+            let mut u = Matrix::zeros(dim, dim);
+            for col in 0..dim {
+                let row = if col & cmask == cmask {
+                    let ba = col & abit != 0;
+                    let bb = col & bbit != 0;
+                    if ba != bb {
+                        (col ^ abit) ^ bbit
+                    } else {
+                        col
+                    }
+                } else {
+                    col
+                };
+                u.set(row, col, Complex::ONE);
+            }
+            Ok(u)
+        }
+        OpKind::Barrier(_) => Ok(Matrix::identity(dim)),
+        other => Err(ArrayError::NonUnitary {
+            op: format!("{other:?}"),
+        }),
+    }
+}
+
+/// Builds the full unitary of a circuit by multiplying instruction
+/// matrices (later gates on the left).
+///
+/// # Errors
+///
+/// Returns [`ArrayError::NonUnitary`] if the circuit contains measurement
+/// or reset, and [`ArrayError::TooManyQubits`] beyond 13 qubits.
+pub fn circuit_unitary(circuit: &Circuit) -> Result<Matrix, ArrayError> {
+    let n = circuit.num_qubits().max(1);
+    if n > MAX_UNITARY_QUBITS {
+        return Err(ArrayError::TooManyQubits { num_qubits: n });
+    }
+    let mut u = Matrix::identity(1 << n);
+    for inst in circuit {
+        if matches!(inst.kind, OpKind::Barrier(_)) {
+            continue;
+        }
+        let g = instruction_unitary(inst, n)?;
+        u = g.mul(&u);
+    }
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::{generators, Circuit, Gate};
+    use qdt_complex::FRAC_1_SQRT_2;
+
+    #[test]
+    fn cnot_matrix_matches_paper_example_1() {
+        // Control on the most significant qubit (q1), target q0: the paper's
+        // CNOT block matrix [[I, 0], [0, X]].
+        let mut qc = Circuit::new(2);
+        qc.cx(1, 0);
+        let u = circuit_unitary(&qc).unwrap();
+        let o = Complex::ONE;
+        let z = Complex::ZERO;
+        let expect = Matrix::from_rows(
+            4,
+            4,
+            &[
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, z, o, //
+                z, z, o, z,
+            ],
+        );
+        assert!(u.approx_eq(&expect, 1e-15));
+    }
+
+    #[test]
+    fn bell_unitary_times_zero_state() {
+        let u = circuit_unitary(&generators::bell()).unwrap();
+        let s = FRAC_1_SQRT_2;
+        assert!(u.get(0, 0).approx_eq(Complex::real(s), 1e-12));
+        assert!(u.get(3, 0).approx_eq(Complex::real(s), 1e-12));
+        assert!(u.get(1, 0).approx_eq(Complex::ZERO, 1e-12));
+        assert!(u.get(2, 0).approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn circuit_unitaries_are_unitary() {
+        for qc in [
+            generators::bell(),
+            generators::ghz(3),
+            generators::qft(3, true),
+            generators::w_state(3),
+        ] {
+            let u = circuit_unitary(&qc).unwrap();
+            assert!(u.is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        // The QFT with final swaps must equal the DFT matrix
+        // F[x][y] = ω^{xy}/√N with ω = e^{2πi/N}.
+        let n = 3;
+        let dim = 1 << n;
+        let u = circuit_unitary(&generators::qft(n, true)).unwrap();
+        let mut f = Matrix::zeros(dim, dim);
+        let w = 2.0 * std::f64::consts::PI / dim as f64;
+        for x in 0..dim {
+            for y in 0..dim {
+                f.set(
+                    x,
+                    y,
+                    Complex::cis(w * (x * y) as f64).scale(1.0 / (dim as f64).sqrt()),
+                );
+            }
+        }
+        assert!(
+            u.approx_eq_up_to_global_phase(&f, 1e-10),
+            "QFT unitary does not match the DFT matrix"
+        );
+    }
+
+    #[test]
+    fn inverse_circuit_gives_adjoint() {
+        let qc = generators::qft(3, false);
+        let u = circuit_unitary(&qc).unwrap();
+        let ui = circuit_unitary(&qc.inverse().unwrap()).unwrap();
+        assert!(u.mul(&ui).approx_eq(&Matrix::identity(8), 1e-10));
+    }
+
+    #[test]
+    fn swap_unitary_is_permutation() {
+        let mut qc = Circuit::new(2);
+        qc.swap(0, 1);
+        let u = circuit_unitary(&qc).unwrap();
+        assert!(u.get(0, 0).approx_eq(Complex::ONE, 1e-15));
+        assert!(u.get(2, 1).approx_eq(Complex::ONE, 1e-15));
+        assert!(u.get(1, 2).approx_eq(Complex::ONE, 1e-15));
+        assert!(u.get(3, 3).approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn controlled_gate_unitary_blocks() {
+        let mut qc = Circuit::new(2);
+        qc.gate(Gate::Phase(0.5), 1, &[0]);
+        let u = circuit_unitary(&qc).unwrap();
+        // Only |11⟩ picks up the phase.
+        assert!(u.get(3, 3).approx_eq(Complex::cis(0.5), 1e-12));
+        for i in 0..3 {
+            assert!(u.get(i, i).approx_eq(Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rejects_measurement() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.measure(0, 0);
+        assert!(matches!(
+            circuit_unitary(&qc),
+            Err(ArrayError::NonUnitary { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_qubits() {
+        let qc = Circuit::new(20);
+        assert!(matches!(
+            circuit_unitary(&qc),
+            Err(ArrayError::TooManyQubits { num_qubits: 20 })
+        ));
+    }
+}

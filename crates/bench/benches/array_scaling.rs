@@ -1,0 +1,24 @@
+//! C1: array-based simulation cost doubles per qubit (Section II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::array::StateVector;
+use qdt_bench::Family;
+
+fn bench_array_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_array_scaling");
+    group.sample_size(10);
+    for family in [Family::Ghz, Family::Qft] {
+        for n in [8usize, 12, 16, 18, 20] {
+            let qc = family.circuit(n);
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &qc,
+                |b, qc| b.iter(|| StateVector::from_circuit(qc).expect("fits")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! C7: compilation pipeline cost and SWAP overhead per device (Sec. I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::compile::coupling::CouplingMap;
+use qdt::compile::target::GateSet;
+use qdt::compile::{compile, routing::route};
+use qdt_bench::Family;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c7_routing");
+    group.sample_size(10);
+    let qc = Family::Qft.circuit(6);
+    let maps: [(&str, CouplingMap); 4] = [
+        ("line", CouplingMap::linear(6)),
+        ("ring", CouplingMap::ring(6)),
+        ("grid2x3", CouplingMap::grid(2, 3)),
+        ("full", CouplingMap::full(6)),
+    ];
+    for (name, map) in &maps {
+        group.bench_with_input(BenchmarkId::from_parameter(name), map, |b, map| {
+            b.iter(|| route(&qc, map).expect("routes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c7_full_pipeline");
+    group.sample_size(10);
+    for fam in [Family::Ghz, Family::Qft] {
+        let qc = fam.circuit(6);
+        let map = CouplingMap::heavy_hex(2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(fam.name()), &qc, |b, qc| {
+            b.iter(|| compile(qc, &GateSet::ibm_basis(), &map).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! C2: decision diagrams vs arrays on structured states (Section III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::array::StateVector;
+use qdt::dd::DdPackage;
+use qdt_bench::Family;
+
+fn bench_dd_vs_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_dd_vs_array");
+    group.sample_size(10);
+    for family in [Family::Ghz, Family::WState] {
+        // Arrays stop at 20; DDs keep going to 96.
+        for n in [12usize, 16, 20] {
+            let qc = family.circuit(n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("array/{}", family.name()), n),
+                &qc,
+                |b, qc| b.iter(|| StateVector::from_circuit(qc).expect("fits")),
+            );
+        }
+        for n in [12usize, 16, 20, 48, 96] {
+            let qc = family.circuit(n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dd/{}", family.name()), n),
+                &qc,
+                |b, qc| {
+                    b.iter(|| {
+                        let mut dd = DdPackage::new();
+                        dd.run_circuit(qc).expect("dd sim")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dd_vs_array);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! C6: equivalence-checking methods compared (Secs. I, III, V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::circuit::generators;
+use qdt::verify::{check, Method};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c6_equivalence_methods");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    let qc = generators::random_clifford_t(5, 8, 0.2, &mut rng);
+    let opt = qdt::compile::optimize::optimize_with_fusion(&qc);
+    for m in [
+        Method::Array,
+        Method::DecisionDiagram,
+        Method::Zx,
+        Method::RandomStimuli { samples: 8 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.to_string()),
+            &(qc.clone(), opt.clone()),
+            |b, (a, o)| b.iter(|| check(a, o, m).expect("check runs")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dd_miter_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c6_dd_miter_ghz");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = generators::ghz(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| check(g, g, Method::DecisionDiagram).expect("dd check"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_dd_miter_scaling);
+criterion_main!(benches);

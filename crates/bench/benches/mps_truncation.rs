@@ -1,0 +1,37 @@
+//! C4: matrix product states — χ sweeps and low-entanglement scaling
+//! (Section IV, refs \[31\]/\[35\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::tensor::mps::Mps;
+use qdt::circuit::generators;
+use qdt_bench::Family;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ghz_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_mps_ghz_width");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let qc = Family::Ghz.circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &qc, |b, qc| {
+            b.iter(|| Mps::from_circuit(qc, 2).expect("ghz on mps"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chi_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_mps_chi_sweep");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    let qc = generators::random_circuit(10, 5, &mut rng);
+    for chi in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(chi), &qc, |b, qc| {
+            b.iter(|| Mps::from_circuit(qc, chi).expect("mps run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghz_width, bench_chi_sweep);
+criterion_main!(benches);

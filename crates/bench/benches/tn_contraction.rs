@@ -1,0 +1,41 @@
+//! C3: tensor-network contraction — plan quality and single amplitudes
+//! vs full states (Section IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::tensor::{PlanKind, TensorNetwork};
+use qdt_bench::Family;
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_plan_quality");
+    group.sample_size(10);
+    for family in [Family::Ghz, Family::Qft] {
+        let qc = family.circuit(10);
+        let tn = TensorNetwork::from_circuit(&qc).with_output_fixed(0);
+        for kind in [PlanKind::Naive, PlanKind::Greedy] {
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), format!("{kind:?}")),
+                &tn,
+                |b, tn| b.iter(|| tn.contract(kind).expect("contracts")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_amplitude_vs_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_amplitude_vs_full_state");
+    group.sample_size(10);
+    for n in [12usize, 16] {
+        let tn = TensorNetwork::from_circuit(&Family::Ghz.circuit(n));
+        group.bench_with_input(BenchmarkId::new("single_amplitude", n), &tn, |b, tn| {
+            b.iter(|| tn.amplitude(0, PlanKind::Greedy).expect("amplitude"))
+        });
+        group.bench_with_input(BenchmarkId::new("full_state", n), &tn, |b, tn| {
+            b.iter(|| tn.state_vector(PlanKind::Greedy).expect("state"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plans, bench_amplitude_vs_state);
+criterion_main!(benches);

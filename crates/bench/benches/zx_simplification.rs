@@ -1,0 +1,43 @@
+//! C5: ZX graph-like simplification throughput (Section V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::circuit::generators;
+use qdt::zx::{simplify, Diagram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_clifford_simp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_clifford_simp");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for (n, depth) in [(4usize, 8usize), (6, 12), (8, 16), (10, 20)] {
+        let qc = generators::random_clifford(n, depth, &mut rng);
+        let d = Diagram::from_circuit(&qc).expect("zx translation");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{depth}")),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    let mut copy = d.clone();
+                    simplify::clifford_simp(&mut copy);
+                    copy.num_spiders()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_circuit_to_zx");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xC5 + 1);
+    let qc = generators::random_clifford_t(8, 16, 0.3, &mut rng);
+    group.bench_function("clifford_t_8x16", |b| {
+        b.iter(|| Diagram::from_circuit(&qc).expect("translation"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clifford_simp, bench_translation);
+criterion_main!(benches);

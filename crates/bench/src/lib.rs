@@ -1,0 +1,83 @@
+//! Shared workload definitions for the benchmark harness.
+//!
+//! The Criterion benches (`benches/`) and the `repro` binary both pull
+//! their workloads from here so the timed code and the printed tables
+//! stay in sync. Each public function corresponds to one experiment of
+//! DESIGN.md's per-experiment index.
+
+use std::time::Instant;
+
+use qdt::circuit::{generators, Circuit};
+
+/// Wall-clock helper: runs `f` once and returns (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// The circuit families used across the scaling experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// GHZ preparation (maximally structured).
+    Ghz,
+    /// Quantum Fourier transform (dense phase structure).
+    Qft,
+    /// W state (linear cascade).
+    WState,
+    /// Random Clifford+T (unstructured).
+    RandomCliffordT,
+}
+
+impl Family {
+    /// Instantiates the family at `n` qubits (seeded deterministically).
+    pub fn circuit(&self, n: usize) -> Circuit {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        match self {
+            Family::Ghz => generators::ghz(n),
+            Family::Qft => generators::qft(n, true),
+            Family::WState => generators::w_state(n),
+            Family::RandomCliffordT => {
+                let mut rng = StdRng::seed_from_u64(0xBE);
+                generators::random_clifford_t(n, 2 * n, 0.2, &mut rng)
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Ghz => "ghz",
+            Family::Qft => "qft",
+            Family::WState => "w-state",
+            Family::RandomCliffordT => "clifford+t",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_instantiate() {
+        for f in [
+            Family::Ghz,
+            Family::Qft,
+            Family::WState,
+            Family::RandomCliffordT,
+        ] {
+            let qc = f.circuit(4);
+            assert_eq!(qc.num_qubits(), 4, "{}", f.name());
+            assert!(!qc.is_empty());
+        }
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

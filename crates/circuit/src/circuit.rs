@@ -1,0 +1,766 @@
+//! The gate-list circuit IR.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{CircuitError, Gate};
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A (possibly multi-controlled) unitary gate: `gate` acts on `target`
+    /// iff every qubit in `controls` is |1⟩.
+    Unitary {
+        /// The single-qubit base gate.
+        gate: Gate,
+        /// The target qubit.
+        target: usize,
+        /// Control qubits (empty for an uncontrolled gate).
+        controls: Vec<usize>,
+    },
+    /// A (possibly controlled) SWAP of qubits `a` and `b`.
+    Swap {
+        /// First swapped qubit.
+        a: usize,
+        /// Second swapped qubit.
+        b: usize,
+        /// Control qubits (one control makes this a Fredkin gate).
+        controls: Vec<usize>,
+    },
+    /// Projective measurement of `qubit` in the computational basis into
+    /// classical bit `clbit`.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        clbit: usize,
+    },
+    /// Reset `qubit` to |0⟩.
+    Reset {
+        /// The qubit to reset.
+        qubit: usize,
+    },
+    /// A scheduling barrier over the given qubits (no semantic effect).
+    Barrier(Vec<usize>),
+}
+
+/// A single instruction; currently a thin wrapper around [`OpKind`] kept as
+/// a distinct type so that metadata (e.g. timing) can be added without
+/// breaking the API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// What the instruction does.
+    pub kind: OpKind,
+}
+
+impl Instruction {
+    /// All qubits this instruction touches (targets then controls).
+    pub fn qubits(&self) -> Vec<usize> {
+        match &self.kind {
+            OpKind::Unitary {
+                target, controls, ..
+            } => {
+                let mut qs = vec![*target];
+                qs.extend(controls);
+                qs
+            }
+            OpKind::Swap { a, b, controls } => {
+                let mut qs = vec![*a, *b];
+                qs.extend(controls);
+                qs
+            }
+            OpKind::Measure { qubit, .. } | OpKind::Reset { qubit } => vec![*qubit],
+            OpKind::Barrier(qs) => qs.clone(),
+        }
+    }
+
+    /// Returns `true` for unitary operations (gates and swaps).
+    pub fn is_unitary(&self) -> bool {
+        matches!(self.kind, OpKind::Unitary { .. } | OpKind::Swap { .. })
+    }
+
+    /// A short human-readable name, e.g. `"cx"` or `"measure"`.
+    pub fn name(&self) -> String {
+        match &self.kind {
+            OpKind::Unitary { gate, controls, .. } => {
+                format!("{}{}", "c".repeat(controls.len()), gate.name())
+            }
+            OpKind::Swap { controls, .. } => {
+                format!("{}swap", "c".repeat(controls.len()))
+            }
+            OpKind::Measure { .. } => "measure".into(),
+            OpKind::Reset { .. } => "reset".into(),
+            OpKind::Barrier(_) => "barrier".into(),
+        }
+    }
+}
+
+/// A quantum circuit: an ordered list of [`Instruction`]s over a register
+/// of qubits and an optional classical register.
+///
+/// Builder methods return `&mut Self` so calls chain; they **panic** on
+/// out-of-range or duplicate qubits (programming errors), while the
+/// checked [`Circuit::push`] returns a [`CircuitError`] instead.
+///
+/// # Example
+///
+/// ```
+/// use qdt_circuit::Circuit;
+///
+/// let mut qc = Circuit::new(3);
+/// qc.h(0).cx(0, 1).cx(1, 2); // 3-qubit GHZ preparation
+/// assert_eq!(qc.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits and no classical
+    /// bits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_clbits: 0,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with both quantum and classical registers.
+    pub fn with_clbits(num_qubits: usize, num_clbits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_clbits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instructions, in order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    fn validate(&self, inst: &Instruction) -> Result<(), CircuitError> {
+        let qs = inst.qubits();
+        for &q in &qs {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        let mut sorted = qs.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(CircuitError::DuplicateQubit { qubit: w[0] });
+            }
+        }
+        if let OpKind::Measure { clbit, .. } = inst.kind {
+            if clbit >= self.num_clbits {
+                return Err(CircuitError::ClbitOutOfRange {
+                    clbit,
+                    num_clbits: self.num_clbits,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends an instruction after validating its qubit indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if any index is out of range or a qubit is
+    /// repeated within the instruction.
+    pub fn push(&mut self, inst: Instruction) -> Result<(), CircuitError> {
+        self.validate(&inst)?;
+        self.instructions.push(inst);
+        Ok(())
+    }
+
+    /// Appends a unitary gate with the given controls, panicking on invalid
+    /// indices (builder-style convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range or repeated.
+    pub fn gate(&mut self, gate: Gate, target: usize, controls: &[usize]) -> &mut Self {
+        let inst = Instruction {
+            kind: OpKind::Unitary {
+                gate,
+                target,
+                controls: controls.to_vec(),
+            },
+        };
+        self.push(inst).expect("invalid gate qubits");
+        self
+    }
+
+    /// Appends all instructions of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits or classical bits than `self`.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits && other.num_clbits <= self.num_clbits,
+            "appended circuit does not fit"
+        );
+        self.instructions.extend(other.instructions.iter().cloned());
+        self
+    }
+
+    // --- single-qubit builders -------------------------------------------
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, q, &[])
+    }
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, q, &[])
+    }
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, q, &[])
+    }
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, q, &[])
+    }
+    /// S gate on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, q, &[])
+    }
+    /// S† gate on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sdg, q, &[])
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, q, &[])
+    }
+    /// T† gate on `q`.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Tdg, q, &[])
+    }
+    /// √X gate on `q`.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sx, q, &[])
+    }
+    /// X-rotation by `theta` on `q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rx(theta), q, &[])
+    }
+    /// Y-rotation by `theta` on `q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Ry(theta), q, &[])
+    }
+    /// Z-rotation by `theta` on `q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rz(theta), q, &[])
+    }
+    /// Phase gate diag(1, e^{iθ}) on `q`.
+    pub fn p(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Phase(theta), q, &[])
+    }
+    /// Generic `U(θ, φ, λ)` on `q`.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.gate(Gate::U(theta, phi, lambda), q, &[])
+    }
+
+    // --- multi-qubit builders --------------------------------------------
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::X, t, &[c])
+    }
+    /// Controlled-Y.
+    pub fn cy(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Y, t, &[c])
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Z, t, &[c])
+    }
+    /// Controlled-Hadamard.
+    pub fn ch(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::H, t, &[c])
+    }
+    /// Controlled phase gate.
+    pub fn cp(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Phase(theta), t, &[c])
+    }
+    /// Controlled Y-rotation.
+    pub fn cry(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Ry(theta), t, &[c])
+    }
+    /// Controlled Z-rotation.
+    pub fn crz(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Rz(theta), t, &[c])
+    }
+    /// Toffoli (CCX) with controls `c0`, `c1` and target `t`.
+    pub fn ccx(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
+        self.gate(Gate::X, t, &[c0, c1])
+    }
+    /// CCZ with controls `c0`, `c1` and target `t`.
+    pub fn ccz(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Z, t, &[c0, c1])
+    }
+    /// Multi-controlled X.
+    pub fn mcx(&mut self, controls: &[usize], t: usize) -> &mut Self {
+        self.gate(Gate::X, t, controls)
+    }
+    /// SWAP of qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Instruction {
+            kind: OpKind::Swap {
+                a,
+                b,
+                controls: vec![],
+            },
+        })
+        .expect("invalid swap qubits");
+        self
+    }
+    /// Fredkin (controlled-SWAP).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid or duplicate qubit indices.
+    pub fn cswap(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
+        self.push(Instruction {
+            kind: OpKind::Swap {
+                a,
+                b,
+                controls: vec![c],
+            },
+        })
+        .expect("invalid cswap qubits");
+        self
+    }
+
+    // --- non-unitary builders --------------------------------------------
+
+    /// Measures `qubit` into classical bit `clbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
+        self.push(Instruction {
+            kind: OpKind::Measure { qubit, clbit },
+        })
+        .expect("invalid measurement indices");
+        self
+    }
+
+    /// Resets `qubit` to |0⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn reset(&mut self, qubit: usize) -> &mut Self {
+        self.push(Instruction {
+            kind: OpKind::Reset { qubit },
+        })
+        .expect("invalid reset index");
+        self
+    }
+
+    /// Adds a barrier over all qubits.
+    pub fn barrier(&mut self) -> &mut Self {
+        let qs: Vec<usize> = (0..self.num_qubits).collect();
+        self.push(Instruction {
+            kind: OpKind::Barrier(qs),
+        })
+        .expect("barrier cannot fail");
+        self
+    }
+
+    // --- analysis ---------------------------------------------------------
+
+    /// Returns `true` if every instruction is unitary (no measurement,
+    /// reset, or barrier-only circuits count as unitary since barriers are
+    /// semantic no-ops).
+    pub fn is_unitary(&self) -> bool {
+        self.instructions
+            .iter()
+            .all(|i| i.is_unitary() || matches!(i.kind, OpKind::Barrier(_)))
+    }
+
+    /// Number of unitary gate instructions (barriers/measurements excluded).
+    pub fn gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_unitary()).count()
+    }
+
+    /// Number of gates acting on two or more qubits.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.is_unitary() && i.qubits().len() >= 2)
+            .count()
+    }
+
+    /// Number of T/T† gates — the standard cost metric for fault-tolerant
+    /// execution (cf. Section V of the paper on T-count reduction).
+    pub fn t_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    OpKind::Unitary {
+                        gate: Gate::T | Gate::Tdg,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// Gate counts keyed by instruction name (e.g. `"h"`, `"cx"`).
+    pub fn count_by_name(&self) -> BTreeMap<String, usize> {
+        let mut map = BTreeMap::new();
+        for inst in &self.instructions {
+            *map.entry(inst.name()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// The circuit depth: the longest chain of instructions that must
+    /// execute sequentially because they share qubits. Barriers force
+    /// alignment across their qubits.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        for inst in &self.instructions {
+            let qs = inst.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let level = qs.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+            let is_barrier = matches!(inst.kind, OpKind::Barrier(_));
+            for &q in &qs {
+                frontier[q] = if is_barrier { level } else { level + 1 };
+            }
+        }
+        frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// Returns the inverse circuit (gates reversed and inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotInvertible`] if the circuit contains a
+    /// measurement or reset.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut inv = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        for inst in self.instructions.iter().rev() {
+            let kind = match &inst.kind {
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => OpKind::Unitary {
+                    gate: gate.inverse(),
+                    target: *target,
+                    controls: controls.clone(),
+                },
+                OpKind::Swap { a, b, controls } => OpKind::Swap {
+                    a: *a,
+                    b: *b,
+                    controls: controls.clone(),
+                },
+                OpKind::Barrier(qs) => OpKind::Barrier(qs.clone()),
+                other => {
+                    return Err(CircuitError::NotInvertible {
+                        op: format!("{other:?}"),
+                    })
+                }
+            };
+            inv.instructions.push(Instruction { kind });
+        }
+        Ok(inv)
+    }
+
+    /// Returns a copy with all measurements, resets and barriers removed.
+    pub fn unitary_part(&self) -> Circuit {
+        let mut qc = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        qc.instructions = self
+            .instructions
+            .iter()
+            .filter(|i| i.is_unitary())
+            .cloned()
+            .collect();
+        qc
+    }
+
+    /// Remaps qubit indices through `layout` (`new[i] = layout[old[i]]`),
+    /// e.g. to place a logical circuit onto physical qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout.len() != self.num_qubits()` or any mapped index is
+    /// out of range for `new_width`.
+    pub fn remap(&self, layout: &[usize], new_width: usize) -> Circuit {
+        assert_eq!(layout.len(), self.num_qubits, "layout width mismatch");
+        let m = |q: usize| {
+            let p = layout[q];
+            assert!(p < new_width, "layout target {p} out of range");
+            p
+        };
+        let mut qc = Circuit::with_clbits(new_width, self.num_clbits);
+        for inst in &self.instructions {
+            let kind = match &inst.kind {
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => OpKind::Unitary {
+                    gate: *gate,
+                    target: m(*target),
+                    controls: controls.iter().map(|&c| m(c)).collect(),
+                },
+                OpKind::Swap { a, b, controls } => OpKind::Swap {
+                    a: m(*a),
+                    b: m(*b),
+                    controls: controls.iter().map(|&c| m(c)).collect(),
+                },
+                OpKind::Measure { qubit, clbit } => OpKind::Measure {
+                    qubit: m(*qubit),
+                    clbit: *clbit,
+                },
+                OpKind::Reset { qubit } => OpKind::Reset { qubit: m(*qubit) },
+                OpKind::Barrier(qs) => OpKind::Barrier(qs.iter().map(|&q| m(q)).collect()),
+            };
+            qc.instructions.push(Instruction { kind });
+        }
+        qc
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Circuit({} qubits, {} clbits, {} instructions)",
+            self.num_qubits,
+            self.num_clbits,
+            self.instructions.len()
+        )?;
+        for inst in &self.instructions {
+            writeln!(f, "  {} {:?}", inst.name(), inst.qubits())?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        assert_eq!(qc.len(), 2);
+        assert_eq!(qc.num_qubits(), 2);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn push_validates_range() {
+        let mut qc = Circuit::new(2);
+        let err = qc
+            .push(Instruction {
+                kind: OpKind::Unitary {
+                    gate: Gate::X,
+                    target: 5,
+                    controls: vec![],
+                },
+            })
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 5, .. }));
+    }
+
+    #[test]
+    fn push_validates_duplicates() {
+        let mut qc = Circuit::new(2);
+        let err = qc
+            .push(Instruction {
+                kind: OpKind::Unitary {
+                    gate: Gate::X,
+                    target: 1,
+                    controls: vec![1],
+                },
+            })
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::DuplicateQubit { qubit: 1 }));
+    }
+
+    #[test]
+    fn push_validates_clbits() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        let err = qc
+            .push(Instruction {
+                kind: OpKind::Measure { qubit: 0, clbit: 3 },
+            })
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::ClbitOutOfRange { clbit: 3, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate qubits")]
+    fn builder_panics_on_bad_index() {
+        let mut qc = Circuit::new(1);
+        qc.cx(0, 1);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).h(1).h(2); // all parallel
+        assert_eq!(qc.depth(), 1);
+        qc.cx(0, 1); // depends on two of them
+        assert_eq!(qc.depth(), 2);
+        qc.cx(1, 2);
+        assert_eq!(qc.depth(), 3);
+    }
+
+    #[test]
+    fn barrier_aligns_depth() {
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        qc.barrier();
+        qc.h(1); // must start after the barrier level
+        assert_eq!(qc.depth(), 2);
+    }
+
+    #[test]
+    fn counts() {
+        let mut qc = Circuit::with_clbits(3, 3);
+        qc.h(0).t(1).tdg(2).ccx(0, 1, 2).swap(0, 1).measure(2, 2);
+        assert_eq!(qc.gate_count(), 5);
+        assert_eq!(qc.t_count(), 2);
+        assert_eq!(qc.two_qubit_gate_count(), 2); // ccx + swap
+        let by_name = qc.count_by_name();
+        assert_eq!(by_name["ccx"], 1);
+        assert_eq!(by_name["measure"], 1);
+        assert!(!qc.is_unitary());
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).s(1).cx(0, 1);
+        let inv = qc.inverse().unwrap();
+        assert_eq!(inv.len(), 3);
+        // Last gate of qc is cx; first of inverse must be cx.
+        assert_eq!(inv.instructions()[0].name(), "cx");
+        assert_eq!(inv.instructions()[2].name(), "h");
+        // S became Sdg.
+        assert!(matches!(
+            inv.instructions()[1].kind,
+            OpKind::Unitary {
+                gate: Gate::Sdg,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0);
+        assert!(matches!(
+            qc.inverse(),
+            Err(CircuitError::NotInvertible { .. })
+        ));
+    }
+
+    #[test]
+    fn unitary_part_strips_non_unitary() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).measure(0, 0).cx(0, 1).reset(1);
+        let u = qc.unitary_part();
+        assert_eq!(u.len(), 2);
+        assert!(u.is_unitary());
+    }
+
+    #[test]
+    fn remap_moves_qubits() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1);
+        let mapped = qc.remap(&[3, 1], 4);
+        assert_eq!(mapped.num_qubits(), 4);
+        assert_eq!(mapped.instructions()[0].qubits(), vec![1, 3]); // target 1, control 3
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn instruction_qubits_order() {
+        let mut qc = Circuit::new(3);
+        qc.ccx(2, 1, 0);
+        assert_eq!(qc.instructions()[0].qubits(), vec![0, 2, 1]);
+        assert_eq!(qc.instructions()[0].name(), "ccx");
+    }
+
+    #[test]
+    fn into_iterator_works() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).x(0);
+        let names: Vec<String> = (&qc).into_iter().map(|i| i.name()).collect();
+        assert_eq!(names, vec!["h", "x"]);
+    }
+}

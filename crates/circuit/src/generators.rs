@@ -1,0 +1,556 @@
+//! Generators for the benchmark circuit families used throughout the
+//! reproduced paper's community.
+//!
+//! These cover the workloads referenced in the paper: the Bell circuit of
+//! Figs. 1–3, GHZ states (the n-qubit generalisation), W states, the QFT,
+//! Grover search, Bernstein–Vazirani, Deutsch–Jozsa, quantum phase
+//! estimation, random Clifford(+T) circuits (the natural workload for the
+//! ZX-calculus experiments of Sec. V) and hardware-efficient ansätze (the
+//! VQE-style workload of the paper's introduction, ref \[2\]).
+
+use std::f64::consts::PI;
+
+use rand::Rng;
+
+use crate::{Circuit, Gate};
+
+/// The 2-qubit Bell circuit of the paper's running example (Figs. 1–3):
+/// `H(0)` followed by `CX(0, 1)`.
+///
+/// ```
+/// let bell = qdt_circuit::generators::bell();
+/// assert_eq!(bell.len(), 2);
+/// ```
+pub fn bell() -> Circuit {
+    let mut qc = Circuit::new(2);
+    qc.h(0).cx(0, 1);
+    qc
+}
+
+/// The `n`-qubit GHZ preparation circuit: `H(0)` then a CNOT chain.
+///
+/// The resulting state `(|0…0⟩ + |1…1⟩)/√2` is maximally redundant — the
+/// showcase for decision-diagram compactness (Sec. III).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut qc = Circuit::new(n);
+    qc.h(0);
+    for q in 1..n {
+        qc.cx(q - 1, q);
+    }
+    qc
+}
+
+/// The `n`-qubit W-state preparation circuit.
+///
+/// Produces `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` using the standard linear
+/// cascade of controlled-Ry rotations followed by CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut qc = Circuit::new(n);
+    qc.x(0);
+    for k in 0..n.saturating_sub(1) {
+        // Split amplitude so that the "1" stays on qubit k with
+        // probability 1/(n-k).
+        let theta = 2.0 * (1.0 / ((n - k) as f64)).sqrt().acos();
+        qc.cry(theta, k, k + 1);
+        qc.cx(k + 1, k);
+    }
+    qc
+}
+
+/// The quantum Fourier transform on `n` qubits.
+///
+/// When `with_swaps` is true the final qubit-reversal SWAPs are appended so
+/// that the circuit implements the textbook QFT matrix; without them the
+/// output is bit-reversed (the common optimisation in practice).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: usize, with_swaps: bool) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    let mut qc = Circuit::new(n);
+    for q in (0..n).rev() {
+        qc.h(q);
+        for (dist, c) in (0..q).rev().enumerate() {
+            qc.cp(PI / f64::powi(2.0, dist as i32 + 1), c, q);
+        }
+    }
+    if with_swaps {
+        for q in 0..n / 2 {
+            qc.swap(q, n - 1 - q);
+        }
+    }
+    qc
+}
+
+/// Grover search over `n` data qubits for the computational basis state
+/// `marked`, running `iterations` Grover iterations.
+///
+/// The oracle is a phase oracle (multi-controlled Z conjugated by X on the
+/// zero bits of `marked`), the diffusion operator the standard
+/// inversion-about-the-mean construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `marked >= 2^n`.
+pub fn grover(n: usize, marked: u64, iterations: usize) -> Circuit {
+    assert!(n > 0 && n <= 63, "unsupported qubit count {n}");
+    assert!(marked < (1u64 << n), "marked state out of range");
+    let mut qc = Circuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: flip the phase of |marked⟩.
+        for q in 0..n {
+            if marked & (1 << q) == 0 {
+                qc.x(q);
+            }
+        }
+        apply_mcz(&mut qc, n);
+        for q in 0..n {
+            if marked & (1 << q) == 0 {
+                qc.x(q);
+            }
+        }
+        // Diffusion: 2|s⟩⟨s| − 1.
+        for q in 0..n {
+            qc.h(q);
+            qc.x(q);
+        }
+        apply_mcz(&mut qc, n);
+        for q in 0..n {
+            qc.x(q);
+            qc.h(q);
+        }
+    }
+    qc
+}
+
+/// Appends a Z controlled on all other qubits (an n-qubit phase flip of
+/// |1…1⟩).
+fn apply_mcz(qc: &mut Circuit, n: usize) {
+    if n == 1 {
+        qc.z(0);
+    } else {
+        let controls: Vec<usize> = (0..n - 1).collect();
+        qc.gate(Gate::Z, n - 1, &controls);
+    }
+}
+
+/// The number of Grover iterations that maximises the success probability
+/// for one marked item among `2^n`: `⌊π/4·√(2^n)⌋` (at least 1).
+pub fn grover_optimal_iterations(n: usize) -> usize {
+    let amp = (f64::powi(2.0, n as i32)).sqrt();
+    ((PI / 4.0 * amp).floor() as usize).max(1)
+}
+
+/// Bernstein–Vazirani circuit recovering the `n`-bit `secret` in a single
+/// query. Uses `n + 1` qubits (the last is the |−⟩ ancilla) and measures
+/// the data qubits into classical bits `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `secret >= 2^n`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(n > 0 && n <= 63, "unsupported qubit count {n}");
+    assert!(secret < (1u64 << n), "secret out of range");
+    let mut qc = Circuit::with_clbits(n + 1, n);
+    qc.x(n).h(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        if secret & (1 << q) != 0 {
+            qc.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        qc.h(q);
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Deutsch–Jozsa circuit over `n` data qubits.
+///
+/// With `balanced = false` the oracle is the constant-zero function (the
+/// circuit returns |0…0⟩); with `balanced = true` the oracle is
+/// `f(x) = x_0` (the circuit returns a state with qubit 0 set).
+pub fn deutsch_jozsa(n: usize, balanced: bool) -> Circuit {
+    assert!(n > 0, "Deutsch-Jozsa needs at least one data qubit");
+    let mut qc = Circuit::with_clbits(n + 1, n);
+    qc.x(n).h(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    if balanced {
+        qc.cx(0, n);
+    }
+    for q in 0..n {
+        qc.h(q);
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Quantum phase estimation of the eigenphase `theta ∈ [0, 1)` of the
+/// single-qubit unitary `Phase(2π·theta)` acting on its |1⟩ eigenstate.
+///
+/// Uses `counting` counting qubits (qubits `0..counting`) and one
+/// eigenstate qubit (qubit `counting`). After the inverse QFT, measuring
+/// the counting register yields the best `counting`-bit approximation of
+/// `theta`.
+///
+/// # Panics
+///
+/// Panics if `counting == 0`.
+pub fn phase_estimation(counting: usize, theta: f64) -> Circuit {
+    assert!(counting > 0, "QPE needs at least one counting qubit");
+    let n = counting + 1;
+    let mut qc = Circuit::new(n);
+    qc.x(counting); // eigenstate |1⟩ of the phase gate
+    for q in 0..counting {
+        qc.h(q);
+    }
+    for q in 0..counting {
+        // Controlled-U^{2^q}
+        let angle = 2.0 * PI * theta * f64::powi(2.0, q as i32);
+        qc.cp(angle, q, counting);
+    }
+    // Inverse QFT on the counting register (without swaps; bit-reversed
+    // readout is compensated by the controlled-power ordering above).
+    let inv_qft = qft(counting, true).inverse().expect("QFT is unitary");
+    let layout: Vec<usize> = (0..counting).collect();
+    qc.append(&inv_qft.remap(&layout, n));
+    qc
+}
+
+/// A random Clifford circuit: `depth` layers, each a row of uniformly
+/// chosen single-qubit Cliffords (`H`, `S`, `S†`, `X`, `Y`, `Z`) followed
+/// by CX/CZ gates on a random qubit pairing.
+pub fn random_clifford<R: Rng>(n: usize, depth: usize, rng: &mut R) -> Circuit {
+    random_clifford_t_impl(n, depth, 0.0, rng)
+}
+
+/// A random Clifford+T circuit: like [`random_clifford`] but each
+/// single-qubit gate is replaced by `T`/`T†` with probability `t_prob`.
+///
+/// # Panics
+///
+/// Panics if `t_prob` is outside `[0, 1]`.
+pub fn random_clifford_t<R: Rng>(n: usize, depth: usize, t_prob: f64, rng: &mut R) -> Circuit {
+    assert!((0.0..=1.0).contains(&t_prob), "t_prob must be in [0, 1]");
+    random_clifford_t_impl(n, depth, t_prob, rng)
+}
+
+fn random_clifford_t_impl<R: Rng>(n: usize, depth: usize, t_prob: f64, rng: &mut R) -> Circuit {
+    assert!(n > 0, "need at least one qubit");
+    let singles = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z];
+    let mut qc = Circuit::new(n);
+    for _ in 0..depth {
+        for q in 0..n {
+            if t_prob > 0.0 && rng.gen_bool(t_prob) {
+                let g = if rng.gen_bool(0.5) { Gate::T } else { Gate::Tdg };
+                qc.gate(g, q, &[]);
+            } else {
+                let g = singles[rng.gen_range(0..singles.len())];
+                qc.gate(g, q, &[]);
+            }
+        }
+        if n >= 2 {
+            let mut order: Vec<usize> = (0..n).collect();
+            // Fisher-Yates shuffle for a random pairing.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for pair in order.chunks(2) {
+                if let [a, b] = pair {
+                    if rng.gen_bool(0.5) {
+                        qc.cx(*a, *b);
+                    } else {
+                        qc.cz(*a, *b);
+                    }
+                }
+            }
+        }
+    }
+    qc
+}
+
+/// A fully random universal circuit: `depth` layers of random `U(θ, φ, λ)`
+/// rotations followed by CX gates on a random pairing. The generic
+/// workload for simulator cross-validation.
+pub fn random_circuit<R: Rng>(n: usize, depth: usize, rng: &mut R) -> Circuit {
+    assert!(n > 0, "need at least one qubit");
+    let mut qc = Circuit::new(n);
+    for _ in 0..depth {
+        for q in 0..n {
+            qc.u(
+                rng.gen_range(0.0..PI),
+                rng.gen_range(0.0..2.0 * PI),
+                rng.gen_range(0.0..2.0 * PI),
+                q,
+            );
+        }
+        if n >= 2 {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for pair in order.chunks(2) {
+                if let [a, b] = pair {
+                    qc.cx(*a, *b);
+                }
+            }
+        }
+    }
+    qc
+}
+
+/// A hardware-efficient variational ansatz (the VQE workload of the
+/// paper's introduction, ref \[2\]): `layers` repetitions of per-qubit
+/// `Ry`/`Rz` rotations and a linear CX entangling chain.
+///
+/// `params` must contain `2 · n · layers` angles
+/// (layer-major, then qubit, then \[Ry, Rz\]).
+///
+/// # Panics
+///
+/// Panics if `params.len() != 2 * n * layers`.
+pub fn hardware_efficient_ansatz(n: usize, layers: usize, params: &[f64]) -> Circuit {
+    assert_eq!(
+        params.len(),
+        2 * n * layers,
+        "expected {} parameters, got {}",
+        2 * n * layers,
+        params.len()
+    );
+    let mut qc = Circuit::new(n);
+    let mut it = params.iter();
+    for _ in 0..layers {
+        for q in 0..n {
+            qc.ry(*it.next().expect("len checked"), q);
+            qc.rz(*it.next().expect("len checked"), q);
+        }
+        for q in 0..n.saturating_sub(1) {
+            qc.cx(q, q + 1);
+        }
+    }
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bell_structure() {
+        let qc = bell();
+        assert_eq!(qc.num_qubits(), 2);
+        assert_eq!(qc.count_by_name()["h"], 1);
+        assert_eq!(qc.count_by_name()["cx"], 1);
+    }
+
+    #[test]
+    fn ghz_has_linear_size() {
+        for n in 1..10 {
+            let qc = ghz(n);
+            assert_eq!(qc.len(), n);
+            assert_eq!(qc.two_qubit_gate_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn w_state_structure() {
+        let qc = w_state(4);
+        assert_eq!(qc.count_by_name()["x"], 1);
+        assert_eq!(qc.count_by_name()["cry"], 3);
+        assert_eq!(qc.count_by_name()["cx"], 3);
+    }
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        let n = 5;
+        let qc = qft(n, false);
+        // n Hadamards + n(n-1)/2 controlled phases
+        assert_eq!(qc.len(), n + n * (n - 1) / 2);
+        let with = qft(n, true);
+        assert_eq!(with.len(), qc.len() + n / 2);
+    }
+
+    #[test]
+    fn grover_is_unitary_circuit() {
+        let qc = grover(3, 0b101, 2);
+        assert!(qc.is_unitary());
+        assert!(qc.len() > 0);
+    }
+
+    #[test]
+    fn grover_optimal_iterations_grows() {
+        assert_eq!(grover_optimal_iterations(2), 1);
+        assert!(grover_optimal_iterations(8) > grover_optimal_iterations(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "marked state out of range")]
+    fn grover_rejects_bad_marked() {
+        grover(2, 7, 1);
+    }
+
+    #[test]
+    fn bv_measures_data_register() {
+        let qc = bernstein_vazirani(4, 0b1011);
+        assert_eq!(qc.num_qubits(), 5);
+        assert_eq!(qc.num_clbits(), 4);
+        assert_eq!(qc.count_by_name()["measure"], 4);
+        assert_eq!(qc.count_by_name()["cx"], 3); // popcount of secret
+    }
+
+    #[test]
+    fn deutsch_jozsa_variants_differ() {
+        let c = deutsch_jozsa(3, false);
+        let b = deutsch_jozsa(3, true);
+        assert!(b.len() > c.len());
+    }
+
+    #[test]
+    fn qpe_structure() {
+        let qc = phase_estimation(3, 0.125);
+        assert_eq!(qc.num_qubits(), 4);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    fn random_clifford_is_clifford() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let qc = random_clifford(4, 6, &mut rng);
+        assert_eq!(qc.t_count(), 0);
+        for inst in &qc {
+            if let crate::OpKind::Unitary { gate, .. } = &inst.kind {
+                assert!(gate.is_clifford(), "{gate} in Clifford circuit");
+            }
+        }
+    }
+
+    #[test]
+    fn random_clifford_t_contains_t_gates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let qc = random_clifford_t(4, 20, 0.5, &mut rng);
+        assert!(qc.t_count() > 0);
+    }
+
+    #[test]
+    fn random_circuits_are_reproducible_per_seed() {
+        let a = random_circuit(3, 5, &mut StdRng::seed_from_u64(42));
+        let b = random_circuit(3, 5, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ansatz_parameter_count_enforced() {
+        let params = vec![0.1; 2 * 3 * 2];
+        let qc = hardware_efficient_ansatz(3, 2, &params);
+        assert_eq!(qc.count_by_name()["ry"], 6);
+        assert_eq!(qc.count_by_name()["rz"], 6);
+        assert_eq!(qc.count_by_name()["cx"], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 12 parameters")]
+    fn ansatz_rejects_wrong_params() {
+        hardware_efficient_ansatz(3, 2, &[0.0; 5]);
+    }
+}
+
+/// A Cuccaro-style ripple-carry adder computing `b ← a + b (mod 2^n)`.
+///
+/// Register layout on `2n + 1` qubits: `a` on qubits `0..n`, `b` on
+/// qubits `n..2n`, one ancilla (initial carry) on qubit `2n`. Uses the
+/// MAJ/UMA construction of Cuccaro et al. with CCX/CX gates only.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+    let carry = 2 * n;
+    let mut qc = Circuit::new(2 * n + 1);
+    // MAJ(c, b_i, a_i): a_i becomes the next carry.
+    let maj = |qc: &mut Circuit, c: usize, bq: usize, aq: usize| {
+        qc.cx(aq, bq);
+        qc.cx(aq, c);
+        qc.ccx(c, bq, aq);
+    };
+    // UMA(c, b_i, a_i): undoes MAJ and writes the sum into b_i.
+    let uma = |qc: &mut Circuit, c: usize, bq: usize, aq: usize| {
+        qc.ccx(c, bq, aq);
+        qc.cx(aq, c);
+        qc.cx(c, bq);
+    };
+    maj(&mut qc, carry, b(0), a(0));
+    for i in 1..n {
+        maj(&mut qc, a(i - 1), b(i), a(i));
+    }
+    for i in (1..n).rev() {
+        uma(&mut qc, a(i - 1), b(i), a(i));
+    }
+    uma(&mut qc, carry, b(0), a(0));
+    qc
+}
+
+/// Prepares computational-basis inputs and runs the `n`-bit
+/// [`ripple_carry_adder`]: after simulation the `b` register holds
+/// `(a + b) mod 2^n`.
+///
+/// # Panics
+///
+/// Panics if an input does not fit in `n` bits.
+pub fn adder_with_inputs(n: usize, a_val: u64, b_val: u64) -> Circuit {
+    assert!(n > 0 && n <= 32, "unsupported width");
+    assert!(a_val < (1 << n) && b_val < (1 << n), "input out of range");
+    let mut qc = Circuit::new(2 * n + 1);
+    for i in 0..n {
+        if a_val & (1 << i) != 0 {
+            qc.x(i);
+        }
+        if b_val & (1 << i) != 0 {
+            qc.x(n + i);
+        }
+    }
+    qc.append(&ripple_carry_adder(n));
+    qc
+}
+
+#[cfg(test)]
+mod adder_tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let qc = ripple_carry_adder(3);
+        assert_eq!(qc.num_qubits(), 7);
+        assert_eq!(qc.count_by_name()["ccx"], 6);
+        assert!(qc.is_unitary());
+    }
+
+    #[test]
+    #[should_panic(expected = "input out of range")]
+    fn adder_rejects_oversized_inputs() {
+        adder_with_inputs(2, 4, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quantum-circuit intermediate representation for the `qdt` suite.
+//!
+//! Every data structure in the reproduced paper — arrays (Sec. II),
+//! decision diagrams (Sec. III), tensor networks (Sec. IV) and ZX-diagrams
+//! (Sec. V) — consumes quantum circuits. This crate provides:
+//!
+//! * [`Gate`] — the single-qubit gate alphabet with exact 2×2 matrices,
+//!   inverses, and names.
+//! * [`Circuit`] / [`Instruction`] — a gate-list IR with arbitrary control
+//!   qubits, measurement, reset and barriers, plus a fluent builder API.
+//! * [`qasm`] — an OpenQASM 2.0 subset parser and writer, so circuits can
+//!   round-trip through the lingua franca of quantum toolchains.
+//! * [`generators`] — the benchmark families used throughout the paper's
+//!   community (Bell/GHZ/W states, QFT, Grover, Bernstein–Vazirani,
+//!   Deutsch–Jozsa, QPE, random Clifford and Clifford+T circuits,
+//!   hardware-efficient ansätze).
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_circuit::Circuit;
+//!
+//! // The Bell circuit from Fig. 1–3 of the paper.
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! assert_eq!(bell.len(), 2);
+//! assert_eq!(bell.two_qubit_gate_count(), 1);
+//! ```
+
+mod circuit;
+mod gate;
+mod pauli;
+pub mod generators;
+pub mod qasm;
+
+pub use circuit::{Circuit, Instruction, OpKind};
+pub use gate::Gate;
+pub use pauli::{ParsePauliError, Pauli, PauliString};
+
+use std::fmt;
+
+/// Error type for circuit construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit index exceeded the circuit width.
+    QubitOutOfRange { qubit: usize, num_qubits: usize },
+    /// A classical bit index exceeded the classical register width.
+    ClbitOutOfRange { clbit: usize, num_clbits: usize },
+    /// The same qubit was used twice in one instruction.
+    DuplicateQubit { qubit: usize },
+    /// An operation without a unitary inverse (measurement/reset) blocked
+    /// circuit inversion.
+    NotInvertible { op: String },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "classical bit {clbit} out of range for {num_clbits} bits")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} used more than once in a single instruction")
+            }
+            CircuitError::NotInvertible { op } => {
+                write!(f, "operation {op} has no unitary inverse")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

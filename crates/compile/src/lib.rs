@@ -1,0 +1,109 @@
+//! Quantum circuit compilation — the second design task of the
+//! reproduced paper's introduction.
+//!
+//! Circuits are written at a high abstraction level and must be adapted
+//! to the constraints of real devices: a **limited gate set** and
+//! **limited connectivity**. This crate implements both halves:
+//!
+//! * [`decompose`] / [`rebase`](decompose::rebase) — lower arbitrary
+//!   gates (multi-controlled, controlled-U, SWAP) to one- and two-qubit
+//!   primitives and rebase single-qubit gates onto restricted bases
+//!   (`{H,S,T,CX}` Clifford+T or the IBM-style `{RZ,√X,X,CX}`);
+//! * [`optimize`] — peephole optimisation: inverse cancellation,
+//!   rotation merging and single-qubit gate fusion;
+//! * [`coupling`] / [`routing`] — coupling maps (linear, ring, grid,
+//!   heavy-hex-like, full) and SWAP-insertion routing with shortest-path
+//!   movement, returning the final qubit permutation for verification.
+//!
+//! Everything is semantics-checked in the test suites against the array
+//! and decision-diagram backends — compilation *changes the structure*
+//! of circuits, which is exactly why the paper's third design task
+//! (verification) exists.
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_circuit::generators;
+//! use qdt_compile::{compile, coupling::CouplingMap, target::GateSet};
+//!
+//! let qc = generators::qft(4, true);
+//! let map = CouplingMap::linear(4);
+//! let out = compile(&qc, &GateSet::ibm_basis(), &map)?;
+//! // Every 2-qubit gate now respects the line connectivity.
+//! assert!(out.circuit.two_qubit_gate_count() >= qc.two_qubit_gate_count());
+//! # Ok::<(), qdt_compile::CompileError>(())
+//! ```
+
+pub mod coupling;
+pub mod decompose;
+pub mod layout;
+pub mod optimize;
+pub mod routing;
+pub mod target;
+
+use qdt_circuit::Circuit;
+
+use coupling::CouplingMap;
+use routing::RoutedCircuit;
+use target::GateSet;
+
+use std::fmt;
+
+/// Error type for compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A gate cannot be expressed in the requested gate set.
+    NotRepresentable { gate: String, basis: String },
+    /// The circuit does not fit the device (too many qubits).
+    TooManyQubits { circuit: usize, device: usize },
+    /// Routing requires gates on at most two qubits.
+    GateTooWide { op: String },
+    /// The coupling map is disconnected.
+    DisconnectedDevice,
+    /// A non-unitary instruction in a unitary-only pipeline stage.
+    NonUnitary { op: String },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotRepresentable { gate, basis } => {
+                write!(f, "gate {gate} is not representable in basis {basis}")
+            }
+            CompileError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit needs {circuit} qubits, device has {device}")
+            }
+            CompileError::GateTooWide { op } => {
+                write!(f, "routing requires ≤2-qubit gates, found {op}")
+            }
+            CompileError::DisconnectedDevice => write!(f, "coupling map is disconnected"),
+            CompileError::NonUnitary { op } => {
+                write!(f, "instruction {op} is not unitary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Runs the full pipeline: decompose to the gate set, optimise, route
+/// onto the coupling map, optimise again.
+///
+/// # Errors
+///
+/// Propagates errors from each stage (unrepresentable gates, width
+/// mismatch, disconnected devices).
+pub fn compile(
+    circuit: &Circuit,
+    gate_set: &GateSet,
+    map: &CouplingMap,
+) -> Result<RoutedCircuit, CompileError> {
+    let lowered = decompose::rebase(circuit, gate_set)?;
+    let optimized = optimize::optimize(&lowered);
+    let mut routed = routing::route(&optimized, map)?;
+    // Routing inserts SWAPs; if the target set lacks them, lower again
+    // (SWAP → 3 CX is always available) and re-optimise.
+    routed.circuit = decompose::rebase(&routed.circuit, gate_set)?;
+    routed.circuit = optimize::optimize(&routed.circuit);
+    Ok(routed)
+}

@@ -1,0 +1,395 @@
+//! Qubit routing: making every two-qubit gate respect the coupling map
+//! by inserting SWAPs.
+//!
+//! The router walks the circuit keeping a logical→physical mapping; when
+//! a gate's operands are not adjacent it moves one along a shortest path
+//! (choosing, among the front gate's two operands, the move that helps
+//! upcoming gates most — a light-weight lookahead in the spirit of
+//! SABRE, the paper's reference \[18\]).
+
+use qdt_circuit::{Circuit, Instruction, OpKind};
+
+use crate::coupling::CouplingMap;
+use crate::CompileError;
+
+/// The result of routing: a physical circuit plus the layouts needed to
+/// interpret it.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The physical circuit (acts on `map.num_qubits()` qubits).
+    pub circuit: Circuit,
+    /// `initial_layout[logical] = physical` at circuit start. Indices
+    /// `>= `the source circuit's width track unused device qubits so the
+    /// permutation is total.
+    pub initial_layout: Vec<usize>,
+    /// `final_layout[logical] = physical` after all inserted SWAPs
+    /// (total, like `initial_layout`).
+    pub final_layout: Vec<usize>,
+    /// Number of SWAPs inserted — the routing overhead metric.
+    pub swap_count: usize,
+}
+
+impl RoutedCircuit {
+    /// Returns the physical circuit extended with SWAPs that undo the
+    /// routing permutation, so it implements exactly
+    /// `original.remap(initial_layout)`. Used for verification.
+    pub fn with_unrouting_swaps(&self, map: &CouplingMap) -> Circuit {
+        let mut qc = self.circuit.clone();
+        let mut current = self.final_layout.clone();
+        let n = map.num_qubits();
+
+        // Token placement on a spanning tree: process physical nodes in
+        // reverse BFS order, so each node is a leaf of the still-active
+        // subtree when its token arrives and is never disturbed again.
+        let mut parent = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for v in map.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "map must be connected");
+        let mut depth = vec![0usize; n];
+        for &u in &order {
+            if parent[u] != usize::MAX {
+                depth[u] = depth[parent[u]] + 1;
+            }
+        }
+        // Tree path between two nodes via lowest common ancestor.
+        let tree_path = |mut a: usize, mut b: usize| -> Vec<usize> {
+            let mut up_a = vec![a];
+            let mut up_b = vec![b];
+            while depth[a] > depth[b] {
+                a = parent[a];
+                up_a.push(a);
+            }
+            while depth[b] > depth[a] {
+                b = parent[b];
+                up_b.push(b);
+            }
+            while a != b {
+                a = parent[a];
+                b = parent[b];
+                up_a.push(a);
+                up_b.push(b);
+            }
+            up_b.pop(); // drop the duplicated LCA
+            up_a.extend(up_b.into_iter().rev());
+            up_a
+        };
+
+        for &target in order.iter().rev() {
+            // The logical qubit whose home is `target`.
+            let logical = self
+                .initial_layout
+                .iter()
+                .position(|&p| p == target)
+                .expect("initial layout is a permutation");
+            let mut pos = current[logical];
+            if pos == target {
+                continue;
+            }
+            for &next in &tree_path(pos, target)[1..] {
+                qc.swap(pos, next);
+                if let Some(other) = current.iter().position(|&p| p == next) {
+                    current[other] = pos;
+                }
+                current[logical] = next;
+                pos = next;
+            }
+        }
+        qc
+    }
+}
+
+/// Routes a circuit onto a coupling map with a trivial initial layout
+/// (`logical i → physical i`).
+///
+/// # Errors
+///
+/// * [`CompileError::TooManyQubits`] if the device is too small;
+/// * [`CompileError::DisconnectedDevice`] if the map is disconnected;
+/// * [`CompileError::GateTooWide`] for gates on three or more qubits
+///   (decompose first).
+pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit, CompileError> {
+    route_with_layout(circuit, map, None)
+}
+
+/// Like [`route`] but with an explicit initial layout
+/// (`layout[logical] = physical`), e.g. one produced by
+/// [`interaction_layout`](crate::layout::interaction_layout). A layout
+/// shorter than the device is extended with the unused physical qubits.
+///
+/// # Errors
+///
+/// As for [`route`]; additionally rejects layouts that are not
+/// injective or out of range.
+pub fn route_with_layout(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    initial: Option<Vec<usize>>,
+) -> Result<RoutedCircuit, CompileError> {
+    if circuit.num_qubits() > map.num_qubits() {
+        return Err(CompileError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: map.num_qubits(),
+        });
+    }
+    if !map.is_connected() {
+        return Err(CompileError::DisconnectedDevice);
+    }
+    let n_phys = map.num_qubits();
+    // layout[logical] = physical; extend a partial layout with the
+    // unused sites so the permutation is total.
+    let mut layout: Vec<usize> = match initial {
+        None => (0..n_phys).collect(),
+        Some(mut given) => {
+            let mut used = vec![false; n_phys];
+            for &p in &given {
+                assert!(p < n_phys, "layout target {p} out of range");
+                assert!(!used[p], "layout maps two qubits to site {p}");
+                used[p] = true;
+            }
+            for p in 0..n_phys {
+                if !used[p] {
+                    given.push(p);
+                }
+            }
+            given
+        }
+    };
+    let initial_layout: Vec<usize> = layout.clone();
+    let mut out = Circuit::with_clbits(n_phys, circuit.num_clbits());
+    let mut swap_count = 0usize;
+
+    // Upcoming 2-qubit interactions, for the lookahead tie-break.
+    let future: Vec<(usize, usize)> = circuit
+        .instructions()
+        .iter()
+        .filter(|i| i.is_unitary() && i.qubits().len() == 2)
+        .map(|i| {
+            let qs = i.qubits();
+            (qs[0], qs[1])
+        })
+        .collect();
+    let mut future_idx = 0usize;
+
+    for inst in circuit {
+        let qs = inst.qubits();
+        if inst.is_unitary() && qs.len() > 2 {
+            return Err(CompileError::GateTooWide { op: inst.name() });
+        }
+        if inst.is_unitary() && qs.len() == 2 {
+            let (a, b) = (qs[0], qs[1]);
+            // Bring the operands together along a shortest path.
+            while !map.connected(layout[a], layout[b]) {
+                let path = map
+                    .shortest_path(layout[a], layout[b])
+                    .expect("connected map");
+                // Two candidate moves: advance a towards b, or b towards
+                // a. Pick by remaining-future cost.
+                let move_a = path[1];
+                let move_b = path[path.len() - 2];
+                let cost = |layout: &[usize]| -> usize {
+                    let mut c = 0;
+                    for &(x, y) in future.iter().skip(future_idx).take(8) {
+                        c += map.distance(layout[x], layout[y]);
+                    }
+                    c
+                };
+                let try_swap = |layout: &[usize], phys_from: usize, phys_to: usize| {
+                    let mut l = layout.to_vec();
+                    for v in l.iter_mut() {
+                        if *v == phys_from {
+                            *v = phys_to;
+                        } else if *v == phys_to {
+                            *v = phys_from;
+                        }
+                    }
+                    l
+                };
+                let la = try_swap(&layout, layout[a], move_a);
+                let lb = try_swap(&layout, layout[b], move_b);
+                let (chosen_from, chosen_to, chosen_layout) = if cost(&la) <= cost(&lb) {
+                    (layout[a], move_a, la)
+                } else {
+                    (layout[b], move_b, lb)
+                };
+                out.swap(chosen_from, chosen_to);
+                swap_count += 1;
+                layout = chosen_layout;
+            }
+            future_idx += 1;
+        }
+        // Emit the instruction on physical qubits.
+        let mapped = remap_instruction(inst, &layout);
+        out.push(mapped).expect("physical indices in range");
+    }
+
+    Ok(RoutedCircuit {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swap_count,
+    })
+}
+
+fn remap_instruction(inst: &Instruction, layout: &[usize]) -> Instruction {
+    let m = |q: usize| layout[q];
+    let kind = match &inst.kind {
+        OpKind::Unitary {
+            gate,
+            target,
+            controls,
+        } => OpKind::Unitary {
+            gate: *gate,
+            target: m(*target),
+            controls: controls.iter().map(|&c| m(c)).collect(),
+        },
+        OpKind::Swap { a, b, controls } => OpKind::Swap {
+            a: m(*a),
+            b: m(*b),
+            controls: controls.iter().map(|&c| m(c)).collect(),
+        },
+        OpKind::Measure { qubit, clbit } => OpKind::Measure {
+            qubit: m(*qubit),
+            clbit: *clbit,
+        },
+        OpKind::Reset { qubit } => OpKind::Reset { qubit: m(*qubit) },
+        OpKind::Barrier(qs) => OpKind::Barrier(qs.iter().map(|&q| m(q)).collect()),
+    };
+    Instruction { kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_dd::{check_equivalence, DdPackage, EquivalenceResult};
+
+    /// Routing followed by un-routing must reproduce the original
+    /// circuit (padded to the device width).
+    fn assert_routing_correct(qc: &Circuit, map: &CouplingMap) {
+        let routed = route(qc, map).unwrap();
+        // Every 2q gate respects the map.
+        for inst in &routed.circuit {
+            if inst.is_unitary() && inst.qubits().len() == 2 {
+                let qs = inst.qubits();
+                assert!(
+                    map.connected(qs[0], qs[1]),
+                    "gate {} on non-adjacent {:?}",
+                    inst.name(),
+                    qs
+                );
+            }
+        }
+        let undone = routed.with_unrouting_swaps(map);
+        let reference = qc.remap(
+            &routed.initial_layout,
+            map.num_qubits(),
+        );
+        let mut dd = DdPackage::new();
+        let r = check_equivalence(&mut dd, &undone, &reference).unwrap();
+        assert!(
+            matches!(r, EquivalenceResult::Equivalent),
+            "routing broke semantics: {r:?}"
+        );
+    }
+
+    #[test]
+    fn already_adjacent_needs_no_swaps() {
+        let mut qc = Circuit::new(3);
+        qc.cx(0, 1).cx(1, 2);
+        let routed = route(&qc, &CouplingMap::linear(3)).unwrap();
+        assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut qc = Circuit::new(4);
+        qc.cx(0, 3);
+        let routed = route(&qc, &CouplingMap::linear(4)).unwrap();
+        assert!(routed.swap_count >= 2);
+        assert_routing_correct(&qc, &CouplingMap::linear(4));
+    }
+
+    #[test]
+    fn ghz_on_line_and_ring() {
+        let qc = generators::ghz(5);
+        assert_routing_correct(&qc, &CouplingMap::linear(5));
+        assert_routing_correct(&qc, &CouplingMap::ring(5));
+    }
+
+    #[test]
+    fn qft_on_linear_map() {
+        let qc = generators::qft(4, true);
+        assert_routing_correct(&qc, &CouplingMap::linear(4));
+    }
+
+    #[test]
+    fn random_circuits_on_grid_and_heavy_hex() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..3 {
+            let qc = generators::random_circuit(6, 4, &mut rng);
+            assert_routing_correct(&qc, &CouplingMap::grid(2, 3));
+            assert_routing_correct(&qc, &CouplingMap::heavy_hex(2, 3));
+        }
+    }
+
+    #[test]
+    fn full_connectivity_never_swaps() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(92);
+        let qc = generators::random_circuit(5, 6, &mut rng);
+        let routed = route(&qc, &CouplingMap::full(5)).unwrap();
+        assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn device_too_small_rejected() {
+        let qc = generators::ghz(5);
+        assert!(matches!(
+            route(&qc, &CouplingMap::linear(3)),
+            Err(CompileError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_gate_rejected() {
+        let mut qc = Circuit::new(3);
+        qc.ccx(0, 1, 2);
+        assert!(matches!(
+            route(&qc, &CouplingMap::linear(3)),
+            Err(CompileError::GateTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_map_rejected() {
+        let qc = generators::bell();
+        let map = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(
+            route(&qc, &map),
+            Err(CompileError::DisconnectedDevice)
+        ));
+    }
+
+    #[test]
+    fn measurements_are_remapped() {
+        let mut qc = Circuit::with_clbits(4, 4);
+        qc.cx(0, 3).measure(3, 3);
+        let routed = route(&qc, &CouplingMap::linear(4)).unwrap();
+        assert_eq!(routed.circuit.count_by_name()["measure"], 1);
+    }
+
+    use qdt_circuit::Circuit;
+}

@@ -1,0 +1,115 @@
+//! Target gate sets.
+
+use qdt_circuit::Gate;
+
+/// A restricted gate vocabulary that a device (or a downstream tool)
+/// accepts. Two-qubit connectivity is handled separately by
+/// [`CouplingMap`](crate::coupling::CouplingMap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateSet {
+    /// Anything goes (decomposition only unfolds multi-qubit gates).
+    Universal,
+    /// `{H, S, S†, T, T†, X, Z, CX}` — the fault-tolerant Clifford+T set.
+    /// Rotations must be exact multiples of π/4.
+    CliffordT,
+    /// `{RZ(θ), √X, X, CX}` — the IBM-style continuous basis.
+    IbmBasis,
+    /// `{RZ, RX, CZ}` — an ion-trap-style continuous basis.
+    RzRxCz,
+}
+
+impl GateSet {
+    /// Convenience constructor for [`GateSet::Universal`].
+    pub fn universal() -> GateSet {
+        GateSet::Universal
+    }
+
+    /// Convenience constructor for [`GateSet::CliffordT`].
+    pub fn clifford_t() -> GateSet {
+        GateSet::CliffordT
+    }
+
+    /// Convenience constructor for [`GateSet::IbmBasis`].
+    pub fn ibm_basis() -> GateSet {
+        GateSet::IbmBasis
+    }
+
+    /// A short name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateSet::Universal => "universal",
+            GateSet::CliffordT => "clifford+t",
+            GateSet::IbmBasis => "rz-sx-x-cx",
+            GateSet::RzRxCz => "rz-rx-cz",
+        }
+    }
+
+    /// Whether an *uncontrolled* single-qubit gate is native to the set.
+    pub fn contains_1q(&self, gate: &Gate) -> bool {
+        match self {
+            GateSet::Universal => true,
+            GateSet::CliffordT => matches!(
+                gate,
+                Gate::I
+                    | Gate::H
+                    | Gate::S
+                    | Gate::Sdg
+                    | Gate::T
+                    | Gate::Tdg
+                    | Gate::X
+                    | Gate::Y
+                    | Gate::Z
+            ),
+            GateSet::IbmBasis => matches!(gate, Gate::I | Gate::Rz(_) | Gate::Sx | Gate::X),
+            GateSet::RzRxCz => matches!(gate, Gate::I | Gate::Rz(_) | Gate::Rx(_)),
+        }
+    }
+
+    /// Whether the singly-controlled gate is native (`cx` or `cz`).
+    pub fn contains_controlled(&self, gate: &Gate) -> bool {
+        match self {
+            GateSet::Universal => true,
+            GateSet::CliffordT | GateSet::IbmBasis => matches!(gate, Gate::X),
+            GateSet::RzRxCz => matches!(gate, Gate::Z),
+        }
+    }
+
+    /// The native entangling gate the decomposer should emit.
+    pub fn entangler(&self) -> Gate {
+        match self {
+            GateSet::RzRxCz => Gate::Z,
+            _ => Gate::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let ct = GateSet::clifford_t();
+        assert!(ct.contains_1q(&Gate::T));
+        assert!(!ct.contains_1q(&Gate::Rz(0.3)));
+        assert!(ct.contains_controlled(&Gate::X));
+        assert!(!ct.contains_controlled(&Gate::Z));
+
+        let ibm = GateSet::ibm_basis();
+        assert!(ibm.contains_1q(&Gate::Rz(0.3)));
+        assert!(ibm.contains_1q(&Gate::Sx));
+        assert!(!ibm.contains_1q(&Gate::H));
+
+        let ion = GateSet::RzRxCz;
+        assert!(ion.contains_controlled(&Gate::Z));
+        assert!(!ion.contains_controlled(&Gate::X));
+        assert_eq!(ion.entangler(), Gate::Z);
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let u = GateSet::universal();
+        assert!(u.contains_1q(&Gate::U(0.1, 0.2, 0.3)));
+        assert!(u.contains_controlled(&Gate::Ry(1.0)));
+    }
+}

@@ -1,0 +1,362 @@
+//! A minimal complex number type.
+//!
+//! The suite deliberately implements its own complex type instead of pulling
+//! in an external crate: the decision-diagram unique table needs bit-level
+//! access for hashing, and keeping the type local makes that contract
+//! explicit.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use qdt_complex::Complex;
+///
+/// let z = Complex::new(1.0, 1.0);
+/// assert!((z.abs() - 2f64.sqrt()).abs() < 1e-15);
+/// assert_eq!(z * z.conj(), Complex::new(2.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use qdt_complex::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!(z.approx_eq(Complex::new(0.0, 2.0), 1e-12));
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// The squared modulus `|z|² = re² + im²`.
+    ///
+    /// For a quantum amplitude this is the measurement probability of the
+    /// associated basis state.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns an infinite/NaN value when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// The principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both parts differ from `other` by at most `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` if the value is within `tol` of zero.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// A stable bit pattern of the value, suitable for hashing *after* the
+    /// value has been canonicalised through a
+    /// [`ComplexTable`](crate::ComplexTable).
+    ///
+    /// Negative zero is normalised to positive zero so that `0.0` and
+    /// `-0.0` hash identically.
+    #[inline]
+    pub fn to_bits(self) -> (u64, u64) {
+        let norm = |x: f64| if x == 0.0 { 0.0f64 } else { x };
+        (norm(self.re).to_bits(), norm(self.im).to_bits())
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, Mul::mul)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+        assert_eq!(Complex::ONE * Complex::I, Complex::I);
+    }
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.5, 0.25);
+        assert!(((a + b) - b).approx_eq(a, 1e-15));
+        assert!(((a * b) / b).approx_eq(a, 1e-15));
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::new(0.6, -0.8);
+        let back = Complex::from_polar(z.abs(), z.arg());
+        assert!(back.approx_eq(z, 1e-14));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert_eq!(z.norm_sqr(), 5.0);
+        assert!((z * z.conj()).approx_eq(Complex::real(5.0), 1e-15));
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let z = Complex::new(0.3, -0.7);
+        assert!((z * z.recip()).approx_eq(Complex::ONE, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[
+            Complex::new(2.0, 0.0),
+            Complex::new(-1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(-3.0, 4.0),
+        ] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-12), "sqrt({z}) = {r}");
+        }
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let z = Complex::cis(k as f64 * 0.4);
+            assert!((z.abs() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn negative_zero_bits_normalised() {
+        let a = Complex::new(0.0, -0.0);
+        let b = Complex::new(-0.0, 0.0);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex::real(1.5).to_string(), "1.5");
+        assert_eq!(Complex::new(0.0, 2.0).to_string(), "2i");
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1-1i");
+        assert_eq!(Complex::new(1.0, 1.0).to_string(), "1+1i");
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs = [Complex::ONE, Complex::I, Complex::new(1.0, 1.0)];
+        let s: Complex = xs.iter().copied().sum();
+        assert!(s.approx_eq(Complex::new(2.0, 2.0), 1e-15));
+        let p: Complex = xs.iter().copied().product();
+        // 1 * i * (1+i) = i + i² = -1 + i
+        assert!(p.approx_eq(Complex::new(-1.0, 1.0), 1e-15));
+    }
+}

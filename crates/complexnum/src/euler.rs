@@ -1,0 +1,189 @@
+//! Euler-angle (ZYZ) decomposition of 2×2 unitaries.
+//!
+//! Both the compiler (for rebasing arbitrary gates onto restricted gate
+//! sets) and the ZX translator (for the standard two-CNOT controlled-U
+//! construction) need `U = e^{iα}·Rz(β)·Ry(γ)·Rz(δ)`.
+
+use crate::{Complex, Matrix};
+
+/// The angles of `U = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzAngles {
+    /// Global phase α.
+    pub alpha: f64,
+    /// First (leftmost) Z rotation β.
+    pub beta: f64,
+    /// Middle Y rotation γ (in `[0, π]`).
+    pub gamma: f64,
+    /// Last (rightmost) Z rotation δ.
+    pub delta: f64,
+}
+
+/// Decomposes a 2×2 unitary into ZYZ Euler angles.
+///
+/// # Panics
+///
+/// Panics if `u` is not 2×2 or is not unitary within `1e-9`.
+///
+/// # Example
+///
+/// ```
+/// use qdt_complex::{zyz_decompose, Matrix};
+///
+/// let angles = qdt_complex::zyz_decompose(&Matrix::hadamard());
+/// // H = e^{iπ/2}·Rz(0)? No — check by reconstruction instead:
+/// let rec = qdt_complex::zyz_reconstruct(&angles);
+/// assert!(rec.approx_eq(&Matrix::hadamard(), 1e-12));
+/// ```
+pub fn zyz_decompose(u: &Matrix) -> ZyzAngles {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "ZYZ needs a 2x2 matrix");
+    assert!(u.is_unitary(1e-9), "ZYZ needs a unitary matrix");
+    // det U = e^{2iα}
+    let det = u.get(0, 0) * u.get(1, 1) - u.get(0, 1) * u.get(1, 0);
+    let alpha = det.arg() / 2.0;
+    let inv_phase = Complex::cis(-alpha);
+    // V = e^{-iα} U ∈ SU(2): V = [[a, −b̄], [b, ā]].
+    let a = inv_phase * u.get(0, 0);
+    let b = inv_phase * u.get(1, 0);
+    let gamma = 2.0 * b.abs().atan2(a.abs());
+    // arg(a) = −(β+δ)/2, arg(b) = (β−δ)/2; degenerate args default to 0.
+    let arg_a = if a.abs() > 1e-12 { a.arg() } else { 0.0 };
+    let arg_b = if b.abs() > 1e-12 { b.arg() } else { 0.0 };
+    let (beta, delta) = if b.abs() <= 1e-12 {
+        // Diagonal: only β+δ matters; put it all in δ.
+        (0.0, -2.0 * arg_a)
+    } else if a.abs() <= 1e-12 {
+        // Anti-diagonal: only β−δ matters; put it all in β.
+        (2.0 * arg_b, 0.0)
+    } else {
+        (arg_b - arg_a, -arg_a - arg_b)
+    };
+    ZyzAngles {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Rebuilds the matrix `e^{iα}·Rz(β)·Ry(γ)·Rz(δ)` from its angles.
+pub fn zyz_reconstruct(angles: &ZyzAngles) -> Matrix {
+    let rz = |t: f64| {
+        Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::cis(-t / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(t / 2.0),
+            ],
+        )
+    };
+    let ry = |t: f64| {
+        let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+        Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::real(c),
+                Complex::real(-s),
+                Complex::real(s),
+                Complex::real(c),
+            ],
+        )
+    };
+    rz(angles.beta)
+        .mul(&ry(angles.gamma))
+        .mul(&rz(angles.delta))
+        .scale(Complex::cis(angles.alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FRAC_1_SQRT_2;
+
+    fn check_round_trip(u: &Matrix) {
+        let angles = zyz_decompose(u);
+        let rec = zyz_reconstruct(&angles);
+        assert!(rec.approx_eq(u, 1e-10), "ZYZ failed for {u:?} -> {angles:?}");
+        assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&angles.gamma));
+    }
+
+    #[test]
+    fn identity_and_paulis() {
+        check_round_trip(&Matrix::identity(2));
+        let z = Complex::ZERO;
+        let o = Complex::ONE;
+        check_round_trip(&Matrix::from_rows(2, 2, &[z, o, o, z])); // X
+        check_round_trip(&Matrix::from_rows(2, 2, &[o, z, z, -o])); // Z
+        check_round_trip(&Matrix::from_rows(
+            2,
+            2,
+            &[z, -Complex::I, Complex::I, z],
+        )); // Y
+    }
+
+    #[test]
+    fn hadamard() {
+        check_round_trip(&Matrix::hadamard());
+    }
+
+    #[test]
+    fn diagonal_phase_gates() {
+        for t in [0.0, 0.3, std::f64::consts::FRAC_PI_4, 2.7] {
+            let m = Matrix::from_rows(
+                2,
+                2,
+                &[
+                    Complex::ONE,
+                    Complex::ZERO,
+                    Complex::ZERO,
+                    Complex::cis(t),
+                ],
+            );
+            check_round_trip(&m);
+        }
+    }
+
+    #[test]
+    fn anti_diagonal() {
+        let m = Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::ZERO,
+                Complex::cis(0.4),
+                Complex::cis(1.1),
+                Complex::ZERO,
+            ],
+        );
+        check_round_trip(&m);
+    }
+
+    #[test]
+    fn random_unitaries() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            // Random unitary via random ZYZ angles + random phase.
+            let angles = ZyzAngles {
+                alpha: rng.gen_range(-3.0..3.0),
+                beta: rng.gen_range(-3.0..3.0),
+                gamma: rng.gen_range(0.0..std::f64::consts::PI),
+                delta: rng.gen_range(-3.0..3.0),
+            };
+            let u = zyz_reconstruct(&angles);
+            check_round_trip(&u);
+        }
+    }
+
+    #[test]
+    fn sx_gate() {
+        let p = Complex::new(0.5, 0.5);
+        let m = Complex::new(0.5, -0.5);
+        check_round_trip(&Matrix::from_rows(2, 2, &[p, m, m, p]));
+        let _ = FRAC_1_SQRT_2;
+    }
+}

@@ -1,0 +1,327 @@
+//! Singular value decomposition of complex matrices via one-sided Jacobi
+//! rotations.
+//!
+//! The matrix-product-state simulator (`qdt-tensor::mps`) splits two-qubit
+//! tensors back into bond form by an SVD and truncates small singular
+//! values; this module provides that decomposition without any external
+//! linear-algebra dependency. One-sided Jacobi is slow compared to
+//! Golub–Kahan but is simple, numerically robust, and more than fast enough
+//! for the bond dimensions MPS simulation encounters.
+
+use crate::{Complex, Matrix};
+
+/// The result of a thin singular value decomposition `A = U · diag(S) · V†`.
+///
+/// For an `m × n` input, `u` is `m × k`, `s` has length `k`, and `v` is
+/// `n × k`, with `k = min(m, n)`. Singular values are sorted in descending
+/// order. Columns of `u` corresponding to zero singular values are zero
+/// vectors (the factorisation `A = U S V†` still holds exactly).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (columns), i.e. `A = U · diag(S) · V†`.
+    pub v: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up on further convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes a thin SVD of `a`.
+///
+/// # Example
+///
+/// ```
+/// use qdt_complex::{svd, Complex, Matrix};
+///
+/// let a = Matrix::from_rows(2, 2, &[
+///     Complex::new(1.0, 0.0), Complex::new(2.0, -1.0),
+///     Complex::new(0.0, 3.0), Complex::new(-1.0, 0.5),
+/// ]);
+/// let f = svd(&a);
+/// // Reconstruct A from the factors.
+/// let mut rec = Matrix::zeros(2, 2);
+/// for i in 0..2 {
+///     for j in 0..2 {
+///         let mut acc = Complex::ZERO;
+///         for k in 0..f.s.len() {
+///             acc += f.u.get(i, k) * Complex::real(f.s[k]) * f.v.get(j, k).conj();
+///         }
+///         rec.set(i, j, acc);
+///     }
+/// }
+/// assert!(rec.approx_eq(&a, 1e-9));
+/// ```
+pub fn svd(a: &Matrix) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    if m < n {
+        // SVD(A†) = V S U†  ⇒  A = U S V† with the factors swapped.
+        let f = svd(&a.dagger());
+        return Svd {
+            u: f.v,
+            s: f.s,
+            v: f.u,
+        };
+    }
+
+    // Work on a copy of the columns; `v` accumulates the right rotations.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-14;
+
+    for _ in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the column pair.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = Complex::ZERO;
+                for i in 0..m {
+                    let ap = w.get(i, p);
+                    let aq = w.get(i, q);
+                    alpha += ap.norm_sqr();
+                    beta += aq.norm_sqr();
+                    gamma += ap.conj() * aq;
+                }
+                let g = gamma.abs();
+                if g <= eps * (alpha * beta).sqrt() || g == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let phi = gamma.arg();
+                let tau = (beta - alpha) / (2.0 * g);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Right-multiply columns (p,q) by the unitary
+                // [[c, s·e^{iφ}], [−s·e^{−iφ}, c]].
+                let e_pos = Complex::cis(phi);
+                let e_neg = Complex::cis(-phi);
+                for i in 0..m {
+                    let ap = w.get(i, p);
+                    let aq = w.get(i, q);
+                    w.set(i, p, ap.scale(c) - e_neg * aq.scale(s));
+                    w.set(i, q, e_pos * ap.scale(s) + aq.scale(c));
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, vp.scale(c) - e_neg * vq.scale(s));
+                    v.set(i, q, e_pos * vp.scale(s) + vq.scale(c));
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values as column norms and normalise U's columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigmas = vec![0.0; n];
+    for (j, sig) in sigmas.iter_mut().enumerate() {
+        let mut norm = 0.0;
+        for i in 0..m {
+            norm += w.get(i, j).norm_sqr();
+        }
+        *sig = norm.sqrt();
+    }
+    order.sort_by(|&a, &b| sigmas[b].partial_cmp(&sigmas[a]).expect("finite sigmas"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut s_sorted = vec![0.0; n];
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sig = sigmas[old_j];
+        s_sorted[new_j] = sig;
+        if sig > 0.0 {
+            for i in 0..m {
+                u.set(i, new_j, w.get(i, old_j) / sig);
+            }
+        }
+        for i in 0..n {
+            v_sorted.set(i, new_j, v.get(i, old_j));
+        }
+    }
+
+    Svd {
+        u,
+        s: s_sorted,
+        v: v_sorted,
+    }
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(S) · V†` (useful in tests and for truncation
+    /// error measurement).
+    pub fn reconstruct(&self) -> Matrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let k = self.s.len();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = Complex::ZERO;
+                for l in 0..k {
+                    acc += self.u.get(i, l) * Complex::real(self.s[l]) * self.v.get(j, l).conj();
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// The number of singular values above `tol`.
+    pub fn rank(&self, tol: f64) -> usize {
+        self.s.iter().filter(|&&x| x > tol).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct_close(a: &Matrix, tol: f64) {
+        let f = svd(a);
+        assert!(
+            f.reconstruct().approx_eq(a, tol),
+            "SVD reconstruction failed for {a:?}"
+        );
+        // Singular values descending and non-negative.
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &f.s {
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn identity_svd() {
+        let f = svd(&Matrix::identity(4));
+        for &s in &f.s {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        reconstruct_close(&Matrix::identity(4), 1e-10);
+    }
+
+    #[test]
+    fn hadamard_singular_values_are_one() {
+        let f = svd(&Matrix::hadamard());
+        for &s in &f.s {
+            assert!((s - 1.0).abs() < 1e-12, "unitary has all σ = 1");
+        }
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // Outer product of two vectors has rank 1.
+        let u = [Complex::new(1.0, 0.5), Complex::new(-0.25, 2.0)];
+        let v = [Complex::new(0.5, -1.0), Complex::new(1.5, 0.0)];
+        let mut a = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                a.set(i, j, u[i] * v[j].conj());
+            }
+        }
+        let f = svd(&a);
+        assert_eq!(f.rank(1e-9), 1);
+        reconstruct_close(&a, 1e-9);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = Matrix::from_rows(
+            2,
+            3,
+            &[
+                Complex::new(1.0, 0.0),
+                Complex::new(0.0, 1.0),
+                Complex::new(2.0, -1.0),
+                Complex::new(-1.0, 0.0),
+                Complex::new(0.5, 0.5),
+                Complex::new(0.0, -2.0),
+            ],
+        );
+        reconstruct_close(&a, 1e-9);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_rows(
+            3,
+            2,
+            &[
+                Complex::new(1.0, 1.0),
+                Complex::new(2.0, 0.0),
+                Complex::new(0.0, -1.0),
+                Complex::new(3.0, 0.5),
+                Complex::new(-2.0, 0.0),
+                Complex::new(1.0, -1.0),
+            ],
+        );
+        reconstruct_close(&a, 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let f = svd(&a);
+        assert_eq!(f.rank(1e-12), 0);
+        assert!(f.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn left_vectors_orthonormal_on_support() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            &[
+                Complex::new(1.0, 0.0),
+                Complex::new(2.0, 1.0),
+                Complex::new(0.0, 0.0),
+                Complex::new(-1.0, 0.5),
+                Complex::new(1.0, 0.0),
+                Complex::new(3.0, -2.0),
+                Complex::new(0.5, 0.5),
+                Complex::new(0.0, 1.0),
+                Complex::new(1.0, 1.0),
+            ],
+        );
+        let f = svd(&a);
+        let gram = f.u.dagger().mul(&f.u);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j && f.s[i] > 1e-9 {
+                    Complex::ONE
+                } else if i == j {
+                    gram.get(i, j) // zero column: 0 on diagonal is fine
+                } else {
+                    Complex::ZERO
+                };
+                assert!(
+                    gram.get(i, j).approx_eq(expect, 1e-9),
+                    "U columns not orthonormal at ({i},{j})"
+                );
+            }
+        }
+        let vgram = f.v.dagger().mul(&f.v);
+        assert!(vgram.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, n) in &[(1, 1), (2, 2), (4, 4), (3, 5), (6, 2), (8, 8)] {
+            let data: Vec<Complex> = (0..m * n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let a = Matrix::from_rows(m, n, &data);
+            reconstruct_close(&a, 1e-8);
+        }
+    }
+}

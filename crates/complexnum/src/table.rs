@@ -1,0 +1,224 @@
+//! Tolerance-canonicalising interner for complex values.
+//!
+//! Decision diagrams (Section III of the reproduced paper) merge isomorphic
+//! sub-diagrams by hashing nodes, and two nodes only hash equally if their
+//! edge weights are *bitwise identical*. Floating-point round-off would
+//! destroy this sharing: `1/√2 · 1/√2 · 2` and `1.0` differ in their last
+//! bits. The classic fix (reference \[29\] of the paper) is a lookup table
+//! that maps every weight to a canonical representative within a small
+//! tolerance; this module implements that table.
+
+use std::collections::HashMap;
+
+use crate::{Complex, TOLERANCE};
+
+/// A canonicalising store of complex numbers.
+///
+/// [`ComplexTable::canonicalize`] returns, for any input value, a canonical
+/// [`Complex`] such that all inputs within the table's tolerance of each
+/// other map to the *same bit pattern*. The first value seen in a
+/// neighbourhood becomes its representative.
+///
+/// The table is seeded with the exact values `0`, `1`, `-1`, `±i` and
+/// `±1/√2` (and the corresponding imaginary variants), which dominate the
+/// edge weights of Clifford-circuit decision diagrams.
+///
+/// # Example
+///
+/// ```
+/// use qdt_complex::{Complex, ComplexTable};
+///
+/// let mut table = ComplexTable::new();
+/// let a = table.canonicalize(Complex::new(0.70710678118654746, 0.0));
+/// let b = table.canonicalize(Complex::new(0.70710678118654757, 0.0));
+/// assert_eq!(a.to_bits(), b.to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexTable {
+    tol: f64,
+    /// Values bucketed by their grid cell; each bucket holds indices into
+    /// `values`.
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    values: Vec<Complex>,
+}
+
+impl ComplexTable {
+    /// Creates a table with the default [`TOLERANCE`](crate::TOLERANCE).
+    pub fn new() -> Self {
+        Self::with_tolerance(TOLERANCE)
+    }
+
+    /// Creates a table with an explicit tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not finite and positive.
+    pub fn with_tolerance(tol: f64) -> Self {
+        assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive");
+        let mut table = ComplexTable {
+            tol,
+            buckets: HashMap::new(),
+            values: Vec::new(),
+        };
+        let s = crate::FRAC_1_SQRT_2;
+        for v in [
+            Complex::ZERO,
+            Complex::ONE,
+            -Complex::ONE,
+            Complex::I,
+            -Complex::I,
+            Complex::new(s, 0.0),
+            Complex::new(-s, 0.0),
+            Complex::new(0.0, s),
+            Complex::new(0.0, -s),
+            Complex::new(0.5, 0.0),
+            Complex::new(-0.5, 0.0),
+        ] {
+            table.canonicalize(v);
+        }
+        table
+    }
+
+    /// The tolerance within which values are merged.
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Number of distinct canonical values stored so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no values are stored (never the case after
+    /// construction, which seeds common constants).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn cell(&self, c: Complex) -> (i64, i64) {
+        // Bucket side is 2·tol so a value and anything within tol of it land
+        // in the same or an adjacent cell. The float→int cast saturates for
+        // extreme value/tolerance ratios; the neighbourhood lookup uses
+        // wrapping arithmetic so saturated cells stay well-defined (the
+        // per-entry `approx_eq` check keeps correctness regardless).
+        let side = self.tol * 2.0;
+        (
+            (c.re / side).floor() as i64,
+            (c.im / side).floor() as i64,
+        )
+    }
+
+    /// Returns the canonical representative for `value`.
+    ///
+    /// If a previously stored value lies within the tolerance (per
+    /// component), that value is returned bit-exactly; otherwise `value`
+    /// itself is stored and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` contains NaN.
+    pub fn canonicalize(&mut self, value: Complex) -> Complex {
+        assert!(!value.is_nan(), "cannot canonicalize NaN");
+        let (cx, cy) = self.cell(value);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if let Some(bucket) = self.buckets.get(&(cx.wrapping_add(dx), cy.wrapping_add(dy))) {
+                    for &idx in bucket {
+                        let stored = self.values[idx as usize];
+                        if stored.approx_eq(value, self.tol) {
+                            return stored;
+                        }
+                    }
+                }
+            }
+        }
+        let idx = self.values.len() as u32;
+        self.values.push(value);
+        self.buckets.entry((cx, cy)).or_default().push(idx);
+        value
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_constants_are_preseeded() {
+        let mut t = ComplexTable::new();
+        let before = t.len();
+        t.canonicalize(Complex::ONE);
+        t.canonicalize(Complex::ZERO);
+        t.canonicalize(Complex::new(crate::FRAC_1_SQRT_2, 0.0));
+        assert_eq!(t.len(), before, "seeded values must not be re-inserted");
+    }
+
+    #[test]
+    fn nearby_values_merge() {
+        let mut t = ComplexTable::new();
+        let a = t.canonicalize(Complex::new(0.25, 0.125));
+        let b = t.canonicalize(Complex::new(0.25 + 1e-13, 0.125 - 1e-13));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn distant_values_stay_distinct() {
+        let mut t = ComplexTable::new();
+        let a = t.canonicalize(Complex::new(0.25, 0.0));
+        let b = t.canonicalize(Complex::new(0.25 + 1e-6, 0.0));
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn cell_boundary_values_merge() {
+        // Two values straddling a bucket boundary but within tolerance of
+        // each other must still merge (the 3×3 neighbourhood search).
+        let mut t = ComplexTable::with_tolerance(1e-12);
+        let side = 2e-12;
+        let x = 1000.0 * side; // exactly on a cell boundary
+        let a = t.canonicalize(Complex::new(x - 4e-13, 0.0));
+        let b = t.canonicalize(Complex::new(x + 4e-13, 0.0));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn first_value_wins_as_representative() {
+        let mut t = ComplexTable::new();
+        let first = Complex::new(0.123456, 0.0);
+        t.canonicalize(first);
+        let got = t.canonicalize(Complex::new(0.123456 + 5e-13, 0.0));
+        assert_eq!(got.to_bits(), first.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let mut t = ComplexTable::new();
+        t.canonicalize(Complex::new(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn negative_values_merge_too() {
+        let mut t = ComplexTable::new();
+        let a = t.canonicalize(Complex::new(-0.75, -0.5));
+        let b = t.canonicalize(Complex::new(-0.75 - 1e-13, -0.5 + 1e-13));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn len_grows_with_distinct_values() {
+        let mut t = ComplexTable::new();
+        let before = t.len();
+        for k in 0..100 {
+            t.canonicalize(Complex::new(10.0 + k as f64, 0.0));
+        }
+        assert_eq!(t.len(), before + 100);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! `qdt` — **q**uantum **d**esign **t**ools.
+//!
+//! A from-scratch Rust reproduction of *"The Basis of Design Tools for
+//! Quantum Computing: Arrays, Decision Diagrams, Tensor Networks, and
+//! ZX-Calculus"* (Wille, Burgholzer, Hillmich, Grurl, Ploier, Peham —
+//! DAC 2022). The paper surveys the four complementary data structures
+//! underlying quantum design automation; this crate ties the four
+//! implementations together under one API:
+//!
+//! * [`circuit`] — the circuit IR, OpenQASM 2.0, and benchmark
+//!   generators;
+//! * [`array`](mod@array) — dense state vectors and density matrices (Sec. II);
+//! * [`dd`] — QMDD-style decision diagrams (Sec. III);
+//! * [`tensor`] — tensor networks, contraction planning and MPS
+//!   (Sec. IV);
+//! * [`zx`] — the ZX-calculus with graph-like simplification (Sec. V);
+//! * [`compile`] — gate-set rebasing, optimisation, routing (design
+//!   task 2);
+//! * [`verify`] — cross-method equivalence checking (design task 3).
+//!
+//! The [`Backend`] enum and the [`amplitudes`]/[`amplitude`]/[`sample`]
+//! entry points expose classical simulation (design task 1) uniformly
+//! over the four data structures, so their trade-offs — the central
+//! theme of the paper — can be compared on identical inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use qdt::{amplitudes, Backend};
+//! use qdt::circuit::generators;
+//!
+//! let bell = generators::bell();
+//! for backend in [Backend::Array, Backend::DecisionDiagram,
+//!                 Backend::TensorNetwork, Backend::Mps { max_bond: 2 }] {
+//!     let amps = amplitudes(&bell, backend)?;
+//!     assert!((amps[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+//!     assert!((amps[3].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+//! }
+//! # Ok::<(), qdt::QdtError>(())
+//! ```
+
+pub use qdt_array as array;
+pub use qdt_circuit as circuit;
+pub use qdt_compile as compile;
+pub use qdt_complex as complex;
+pub use qdt_dd as dd;
+pub use qdt_tensor as tensor;
+pub use qdt_verify as verify;
+pub use qdt_zx as zx;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qdt_circuit::Circuit;
+use qdt_complex::Complex;
+use qdt_dd::DdPackage;
+use qdt_tensor::{mps::Mps, PlanKind, TensorNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The simulation backend — one per data structure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Dense state-vector simulation (Section II).
+    Array,
+    /// Decision-diagram simulation (Section III).
+    DecisionDiagram,
+    /// Tensor-network contraction (Section IV).
+    TensorNetwork,
+    /// Matrix-product-state simulation with bounded bond dimension
+    /// (Section IV, refs \[31\]/\[35\]).
+    Mps {
+        /// The bond-dimension cap χ.
+        max_bond: usize,
+    },
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Array => write!(f, "array"),
+            Backend::DecisionDiagram => write!(f, "decision-diagram"),
+            Backend::TensorNetwork => write!(f, "tensor-network"),
+            Backend::Mps { max_bond } => write!(f, "mps(χ={max_bond})"),
+        }
+    }
+}
+
+/// Unified error type of the façade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QdtError {
+    message: String,
+}
+
+impl QdtError {
+    fn new(msg: impl fmt::Display) -> Self {
+        QdtError {
+            message: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for QdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for QdtError {}
+
+/// Simulates a unitary circuit from `|0…0⟩` and returns the full `2^n`
+/// amplitude vector.
+///
+/// All backends agree on the result; they differ (exponentially) in how
+/// they get there — see the benchmark suite.
+///
+/// # Errors
+///
+/// Fails for non-unitary circuits, or when the width exceeds the
+/// backend's dense-output limit.
+pub fn amplitudes(circuit: &Circuit, backend: Backend) -> Result<Vec<Complex>, QdtError> {
+    match backend {
+        Backend::Array => {
+            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
+            Ok(psi.amplitudes().to_vec())
+        }
+        Backend::DecisionDiagram => {
+            let mut dd = DdPackage::new();
+            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
+            Ok(dd.to_amplitudes(&v))
+        }
+        Backend::TensorNetwork => {
+            let tn = TensorNetwork::from_circuit(&circuit.unitary_part());
+            if !circuit.is_unitary() {
+                return Err(QdtError::new("tensor backend requires a unitary circuit"));
+            }
+            tn.state_vector(PlanKind::Greedy).map_err(QdtError::new)
+        }
+        Backend::Mps { max_bond } => {
+            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
+            Ok(mps.to_statevector())
+        }
+    }
+}
+
+/// Computes the single amplitude `⟨basis|C|0…0⟩`.
+///
+/// Unlike [`amplitudes`], this scales to widths where the dense output
+/// could never be produced (DD, TN, and MPS backends).
+///
+/// # Errors
+///
+/// Fails for non-unitary circuits or unsupported gate shapes (MPS needs
+/// ≤2-qubit gates).
+pub fn amplitude(circuit: &Circuit, basis: u128, backend: Backend) -> Result<Complex, QdtError> {
+    match backend {
+        Backend::Array => {
+            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
+            Ok(psi.amplitude(basis as usize))
+        }
+        Backend::DecisionDiagram => {
+            let mut dd = DdPackage::new();
+            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
+            Ok(dd.amplitude(&v, basis))
+        }
+        Backend::TensorNetwork => {
+            if !circuit.is_unitary() {
+                return Err(QdtError::new("tensor backend requires a unitary circuit"));
+            }
+            let tn = TensorNetwork::from_circuit(&circuit.unitary_part());
+            tn.amplitude(basis, PlanKind::Greedy).map_err(QdtError::new)
+        }
+        Backend::Mps { max_bond } => {
+            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
+            Ok(mps.amplitude(basis))
+        }
+    }
+}
+
+/// Samples `shots` measurement outcomes of the final state (without
+/// collapse between shots), keyed by basis index.
+///
+/// # Errors
+///
+/// Fails for non-unitary circuits; sampling is supported on the array
+/// and decision-diagram backends (the DD backend scales to wide,
+/// structured states).
+pub fn sample(
+    circuit: &Circuit,
+    shots: usize,
+    backend: Backend,
+    seed: u64,
+) -> Result<BTreeMap<u128, usize>, QdtError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match backend {
+        Backend::Array => {
+            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
+            Ok(psi
+                .sample(shots, &mut rng)
+                .into_iter()
+                .map(|(k, v)| (k as u128, v))
+                .collect())
+        }
+        Backend::DecisionDiagram => {
+            let mut dd = DdPackage::new();
+            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
+            let mut counts = BTreeMap::new();
+            for _ in 0..shots {
+                *counts.entry(dd.sample_once(&v, &mut rng)).or_insert(0) += 1;
+            }
+            Ok(counts)
+        }
+        other => Err(QdtError::new(format!(
+            "sampling is not implemented on the {other} backend"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    const DENSE_BACKENDS: [Backend; 4] = [
+        Backend::Array,
+        Backend::DecisionDiagram,
+        Backend::TensorNetwork,
+        Backend::Mps { max_bond: 64 },
+    ];
+
+    #[test]
+    fn backends_agree_on_w_state() {
+        let qc = generators::w_state(4);
+        let reference = amplitudes(&qc, Backend::Array).unwrap();
+        for b in DENSE_BACKENDS {
+            let got = amplitudes(&qc, b).unwrap();
+            for (i, (x, y)) in got.iter().zip(&reference).enumerate() {
+                assert!(x.approx_eq(*y, 1e-8), "{b}: amplitude {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn single_amplitude_agrees_across_backends() {
+        let qc = generators::qft(4, true);
+        let reference = amplitude(&qc, 0b1010, Backend::Array).unwrap();
+        for b in DENSE_BACKENDS {
+            let got = amplitude(&qc, 0b1010, b).unwrap();
+            assert!(got.approx_eq(reference, 1e-8), "{b}");
+        }
+    }
+
+    #[test]
+    fn wide_ghz_amplitude_without_arrays() {
+        // 60 qubits: impossible densely, trivial on DD / TN / MPS.
+        let qc = generators::ghz(60);
+        let all_ones = (1u128 << 60) - 1;
+        for b in [
+            Backend::DecisionDiagram,
+            Backend::TensorNetwork,
+            Backend::Mps { max_bond: 2 },
+        ] {
+            let amp = amplitude(&qc, all_ones, b).unwrap();
+            assert!(
+                (amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-8,
+                "{b}: {amp}"
+            );
+        }
+        assert!(amplitude(&qc, all_ones, Backend::Array).is_err());
+    }
+
+    #[test]
+    fn sampling_respects_ghz_structure() {
+        let qc = generators::ghz(10);
+        let counts = sample(&qc, 400, Backend::DecisionDiagram, 7).unwrap();
+        let all_ones = (1u128 << 10) - 1;
+        assert!(counts.keys().all(|&k| k == 0 || k == all_ones));
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn sampling_unsupported_backend_errors() {
+        let qc = generators::bell();
+        assert!(sample(&qc, 1, Backend::TensorNetwork, 0).is_err());
+    }
+
+    #[test]
+    fn backend_display() {
+        assert_eq!(Backend::Mps { max_bond: 8 }.to_string(), "mps(χ=8)");
+        assert_eq!(Backend::Array.to_string(), "array");
+    }
+}
+
+/// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string on the final state
+/// of a unitary circuit.
+///
+/// Supported on all four backends; the DD, TN, and MPS paths scale far
+/// past dense widths for structured states.
+///
+/// # Errors
+///
+/// Fails for non-unitary circuits or width mismatches.
+pub fn expectation(
+    circuit: &Circuit,
+    pauli: &qdt_circuit::PauliString,
+    backend: Backend,
+) -> Result<f64, QdtError> {
+    if pauli.num_qubits() != circuit.num_qubits() {
+        return Err(QdtError::new(format!(
+            "Pauli width {} does not match circuit width {}",
+            pauli.num_qubits(),
+            circuit.num_qubits()
+        )));
+    }
+    match backend {
+        Backend::Array => {
+            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
+            Ok(psi.expectation_pauli(pauli))
+        }
+        Backend::DecisionDiagram => {
+            let mut dd = DdPackage::new();
+            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
+            Ok(dd.expectation_pauli(&v, pauli))
+        }
+        Backend::Mps { max_bond } => {
+            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
+            Ok(mps.expectation_pauli(pauli))
+        }
+        Backend::TensorNetwork => {
+            if !circuit.is_unitary() {
+                return Err(QdtError::new("tensor backend requires a unitary circuit"));
+            }
+            qdt_tensor::expectation_pauli(&circuit.unitary_part(), pauli, PlanKind::Greedy)
+                .map_err(QdtError::new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod expectation_tests {
+    use super::*;
+    use qdt_circuit::{generators, PauliString};
+
+    #[test]
+    fn expectations_agree_across_backends() {
+        let qc = generators::w_state(4);
+        let p: PauliString = "ZZII".parse().unwrap();
+        let reference = expectation(&qc, &p, Backend::Array).unwrap();
+        for b in [
+            Backend::DecisionDiagram,
+            Backend::TensorNetwork,
+            Backend::Mps { max_bond: 16 },
+        ] {
+            let got = expectation(&qc, &p, b).unwrap();
+            assert!((got - reference).abs() < 1e-8, "{b}");
+        }
+    }
+
+    #[test]
+    fn wide_structured_expectation() {
+        let qc = generators::ghz(40);
+        let p: PauliString = "X".repeat(40).parse().unwrap();
+        for b in [Backend::DecisionDiagram, Backend::Mps { max_bond: 2 }] {
+            let got = expectation(&qc, &p, b).unwrap();
+            assert!((got - 1.0).abs() < 1e-8, "{b}");
+        }
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let qc = generators::bell();
+        let p: PauliString = "ZZZ".parse().unwrap();
+        assert!(expectation(&qc, &p, Backend::Array).is_err());
+    }
+}

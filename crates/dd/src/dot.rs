@@ -1,0 +1,162 @@
+//! Graphviz (DOT) export of decision diagrams.
+//!
+//! Stands in for the web-based visualiser the paper references (\[30\]):
+//! `dot -Tsvg` on the output reproduces drawings in the style of Fig. 1b,
+//! with edge weights annotated and weight-1 edges left unlabelled.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::package::{DdPackage, NodeId, TERMINAL};
+use crate::{MatrixDd, VectorDd};
+
+impl DdPackage {
+    /// Renders a vector DD as a Graphviz digraph.
+    pub fn vector_to_dot(&self, v: &VectorDd) -> String {
+        let mut out = String::from("digraph vectordd {\n  rankdir=TB;\n  node [shape=circle];\n");
+        let mut names: HashMap<NodeId, String> = HashMap::new();
+        names.insert(TERMINAL, "T".to_string());
+        writeln!(out, "  T [shape=box, label=\"1\"];").expect("write to string");
+        writeln!(
+            out,
+            "  root [shape=point]; root -> {} [label=\"{}\"];",
+            self.v_name(v.root.node, &mut names),
+            fmt_weight(v.root.weight)
+        )
+        .expect("write to string");
+        let mut stack = vec![v.root.node];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if id == TERMINAL || !seen.insert(id) {
+                continue;
+            }
+            let node = self.vnode(id).clone();
+            let name = self.v_name(id, &mut names);
+            writeln!(out, "  {name} [label=\"q{}\"];", node.level).expect("write to string");
+            for (i, c) in node.children.iter().enumerate() {
+                if c.is_zero() {
+                    // 0-stub per the paper's visual convention.
+                    writeln!(out, "  {name}_z{i} [shape=none, label=\"0\"];").expect("write");
+                    writeln!(
+                        out,
+                        "  {name} -> {name}_z{i} [style={}];",
+                        if i == 0 { "dashed" } else { "solid" }
+                    )
+                    .expect("write to string");
+                } else {
+                    let cname = self.v_name(c.node, &mut names);
+                    let label = fmt_weight(c.weight);
+                    let style = if i == 0 { "dashed" } else { "solid" };
+                    if label.is_empty() {
+                        writeln!(out, "  {name} -> {cname} [style={style}];").expect("write");
+                    } else {
+                        writeln!(out, "  {name} -> {cname} [style={style}, label=\"{label}\"];")
+                            .expect("write to string");
+                    }
+                    stack.push(c.node);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a matrix DD as a Graphviz digraph (children labelled by
+    /// their row/column block).
+    pub fn matrix_to_dot(&self, m: &MatrixDd) -> String {
+        let mut out = String::from("digraph matrixdd {\n  rankdir=TB;\n  node [shape=circle];\n");
+        let mut names: HashMap<NodeId, String> = HashMap::new();
+        names.insert(TERMINAL, "T".to_string());
+        writeln!(out, "  T [shape=box, label=\"1\"];").expect("write to string");
+        writeln!(
+            out,
+            "  root [shape=point]; root -> {} [label=\"{}\"];",
+            self.m_name(m.root.node, &mut names),
+            fmt_weight(m.root.weight)
+        )
+        .expect("write to string");
+        let mut stack = vec![m.root.node];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if id == TERMINAL || !seen.insert(id) {
+                continue;
+            }
+            let node = self.mnode(id).clone();
+            let name = self.m_name(id, &mut names);
+            writeln!(out, "  {name} [label=\"q{}\"];", node.level).expect("write to string");
+            for (i, c) in node.children.iter().enumerate() {
+                let block = format!("{}{}", i / 2, i % 2);
+                if c.is_zero() {
+                    continue; // zero blocks omitted to keep matrix plots legible
+                }
+                let cname = self.m_name(c.node, &mut names);
+                let w = fmt_weight(c.weight);
+                let label = if w.is_empty() { block } else { format!("{block}: {w}") };
+                writeln!(out, "  {name} -> {cname} [label=\"{label}\"];").expect("write");
+                stack.push(c.node);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn v_name(&self, id: NodeId, names: &mut HashMap<NodeId, String>) -> String {
+        names
+            .entry(id)
+            .or_insert_with(|| format!("v{id}"))
+            .clone()
+    }
+
+    fn m_name(&self, id: NodeId, names: &mut HashMap<NodeId, String>) -> String {
+        names
+            .entry(id)
+            .or_insert_with(|| format!("m{id}"))
+            .clone()
+    }
+}
+
+/// Formats an edge weight, omitting exact ones per the paper's convention.
+fn fmt_weight(w: qdt_complex::Complex) -> String {
+    if w.approx_eq(qdt_complex::Complex::ONE, 1e-12) {
+        String::new()
+    } else if w.im == 0.0 {
+        format!("{:.4}", w.re)
+    } else {
+        format!("{:.4}{:+.4}i", w.re, w.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn bell_dot_contains_levels_and_weight() {
+        let mut p = DdPackage::new();
+        let v = p.run_circuit(&generators::bell()).unwrap();
+        let dot = p.vector_to_dot(&v);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("q1"));
+        assert!(dot.contains("q0"));
+        assert!(dot.contains("0.7071"), "root weight 1/√2 must be labelled");
+        assert!(dot.contains("-> T") || dot.contains("->T"));
+    }
+
+    #[test]
+    fn zero_stubs_rendered() {
+        let mut p = DdPackage::new();
+        let v = p.basis_state(2, 0b01);
+        let dot = p.vector_to_dot(&v);
+        assert!(dot.contains("label=\"0\""), "0-stub expected");
+    }
+
+    #[test]
+    fn matrix_dot_for_cnot() {
+        let mut p = DdPackage::new();
+        let g = p.gate_dd(&qdt_circuit::Gate::X.matrix(), 2, 0, &[1]);
+        let dot = p.matrix_to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("q1"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Noise-aware decision-diagram simulation (the paper's reference \[13\],
+//! Grurl/Fuß/Wille, DAC 2022).
+//!
+//! Density matrices square the exponential cost of arrays; the
+//! DD-friendly alternative is *stochastic* noise simulation: each run
+//! samples one Kraus trajectory — operator `K_i` is applied with the
+//! Born probability `‖K_i|ψ⟩‖²` and the state renormalised — so a pure
+//! state (and hence a compact vector DD) is maintained throughout.
+//! Averaging over trajectories converges to the density-matrix result,
+//! which `qdt-array`'s `DensityMatrix` provides as
+//! ground truth in the tests.
+
+use std::collections::BTreeMap;
+
+use qdt_circuit::{Circuit, OpKind};
+use qdt_complex::{Complex, Matrix};
+use rand::Rng;
+
+use crate::{DdError, DdPackage, VectorDd};
+
+/// A single-qubit noise channel for trajectory simulation, mirroring
+/// `qdt_array::NoiseChannel`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DdNoiseChannel {
+    /// Depolarizing with probability `p`.
+    Depolarizing(f64),
+    /// Amplitude damping (T1) with probability `gamma`.
+    AmplitudeDamping(f64),
+    /// Phase damping (T2) with parameter `lambda`.
+    PhaseDamping(f64),
+    /// Bit flip with probability `p`.
+    BitFlip(f64),
+    /// Phase flip with probability `p`.
+    PhaseFlip(f64),
+}
+
+impl DdNoiseChannel {
+    /// The Kraus operators of the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is outside `[0, 1]`.
+    pub fn kraus_operators(&self) -> Vec<Matrix> {
+        let check = |p: f64| {
+            assert!((0.0..=1.0).contains(&p), "channel parameter {p} outside [0,1]");
+            p
+        };
+        let z = Complex::ZERO;
+        let o = Complex::ONE;
+        let x = Matrix::from_rows(2, 2, &[z, o, o, z]);
+        let y = Matrix::from_rows(2, 2, &[z, -Complex::I, Complex::I, z]);
+        let zg = Matrix::from_rows(2, 2, &[o, z, z, -o]);
+        match *self {
+            DdNoiseChannel::Depolarizing(p) => {
+                let p = check(p);
+                let s = Complex::real((p / 3.0).sqrt());
+                vec![
+                    Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+                    x.scale(s),
+                    y.scale(s),
+                    zg.scale(s),
+                ]
+            }
+            DdNoiseChannel::AmplitudeDamping(g) => {
+                let g = check(g);
+                vec![
+                    Matrix::from_rows(2, 2, &[o, z, z, Complex::real((1.0 - g).sqrt())]),
+                    Matrix::from_rows(2, 2, &[z, Complex::real(g.sqrt()), z, z]),
+                ]
+            }
+            DdNoiseChannel::PhaseDamping(l) => {
+                let l = check(l);
+                vec![
+                    Matrix::from_rows(2, 2, &[o, z, z, Complex::real((1.0 - l).sqrt())]),
+                    Matrix::from_rows(2, 2, &[z, z, z, Complex::real(l.sqrt())]),
+                ]
+            }
+            DdNoiseChannel::BitFlip(p) => {
+                let p = check(p);
+                vec![
+                    Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+                    x.scale(Complex::real(p.sqrt())),
+                ]
+            }
+            DdNoiseChannel::PhaseFlip(p) => {
+                let p = check(p);
+                vec![
+                    Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+                    zg.scale(Complex::real(p.sqrt())),
+                ]
+            }
+        }
+    }
+}
+
+/// Noise attached to every qubit an instruction touches.
+#[derive(Debug, Clone, Default)]
+pub struct DdNoiseModel {
+    /// Channels applied in order after each gate.
+    pub channels: Vec<DdNoiseChannel>,
+}
+
+impl DdNoiseModel {
+    /// An empty (noiseless) model.
+    pub fn new() -> Self {
+        DdNoiseModel::default()
+    }
+
+    /// Adds a channel (builder style).
+    pub fn with_channel(mut self, channel: DdNoiseChannel) -> Self {
+        self.channels.push(channel);
+        self
+    }
+}
+
+impl DdPackage {
+    /// Samples one Kraus operator of `channel` on `qubit` according to
+    /// the Born probabilities `‖K_i|ψ⟩‖²`, applies it, and renormalises.
+    ///
+    /// Returns the index of the chosen operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or the state is the zero vector.
+    pub fn apply_stochastic_channel<R: Rng + ?Sized>(
+        &mut self,
+        v: &mut VectorDd,
+        channel: DdNoiseChannel,
+        qubit: usize,
+        rng: &mut R,
+    ) -> usize {
+        let kraus = channel.kraus_operators();
+        // Born probabilities per operator: p_i = ‖K_i ψ‖².
+        let mut candidates = Vec::with_capacity(kraus.len());
+        let mut total = 0.0;
+        for k in &kraus {
+            let applied = self.apply_gate(v, k, qubit, &[]);
+            let p = self.norm_sqr(&applied);
+            total += p;
+            candidates.push((applied, p));
+        }
+        debug_assert!((total - self.norm_sqr(v)).abs() < 1e-9, "channel not trace preserving");
+        let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = candidates.len() - 1;
+        for (i, (_, p)) in candidates.iter().enumerate() {
+            if r < *p {
+                chosen = i;
+                break;
+            }
+            r -= p;
+        }
+        let (mut state, _) = candidates.swap_remove(chosen);
+        self.normalize(&mut state);
+        *v = state;
+        chosen
+    }
+
+    /// Runs one noisy trajectory of `circuit`: gates apply exactly, then
+    /// each channel of `noise` is sampled on every touched qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::NonUnitary`] for measurement/reset (compose
+    /// trajectories with [`DdSimulator`](crate::DdSimulator) manually if
+    /// you need mid-circuit measurement under noise).
+    pub fn run_noisy_trajectory<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        noise: &DdNoiseModel,
+        rng: &mut R,
+    ) -> Result<VectorDd, DdError> {
+        let mut v = self.zero_state(circuit.num_qubits().max(1));
+        for inst in circuit {
+            if matches!(inst.kind, OpKind::Barrier(_)) {
+                continue;
+            }
+            v = self.apply_instruction(&v, inst)?;
+            for q in inst.qubits() {
+                for ch in &noise.channels {
+                    self.apply_stochastic_channel(&mut v, *ch, q, rng);
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Monte-Carlo estimate of the noisy output distribution: runs
+    /// `trajectories` noisy executions and samples one measurement from
+    /// each.
+    ///
+    /// # Errors
+    ///
+    /// See [`DdPackage::run_noisy_trajectory`].
+    pub fn sample_noisy<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        noise: &DdNoiseModel,
+        trajectories: usize,
+        rng: &mut R,
+    ) -> Result<BTreeMap<u128, usize>, DdError> {
+        let mut counts = BTreeMap::new();
+        for _ in 0..trajectories {
+            let v = self.run_noisy_trajectory(circuit, noise, rng)?;
+            *counts.entry(self.sample_once(&v, rng)).or_insert(0) += 1;
+            // Caches grow per trajectory; keep memory bounded on long runs.
+            if self.vector_arena_size() > 1 << 20 {
+                self.clear_caches();
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Monte-Carlo estimate of the fidelity of the noisy output with the
+    /// ideal (noiseless) output state.
+    ///
+    /// # Errors
+    ///
+    /// See [`DdPackage::run_noisy_trajectory`].
+    pub fn noisy_fidelity<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        noise: &DdNoiseModel,
+        trajectories: usize,
+        rng: &mut R,
+    ) -> Result<f64, DdError> {
+        let ideal = self.run_circuit(circuit)?;
+        let mut acc = 0.0;
+        for _ in 0..trajectories {
+            let v = self.run_noisy_trajectory(circuit, noise, rng)?;
+            acc += self.fidelity(&ideal, &v);
+        }
+        Ok(acc / trajectories.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kraus_operators_trace_preserving() {
+        for ch in [
+            DdNoiseChannel::Depolarizing(0.2),
+            DdNoiseChannel::AmplitudeDamping(0.3),
+            DdNoiseChannel::PhaseDamping(0.15),
+            DdNoiseChannel::BitFlip(0.1),
+            DdNoiseChannel::PhaseFlip(0.4),
+        ] {
+            let mut sum = Matrix::zeros(2, 2);
+            for k in ch.kraus_operators() {
+                sum = sum.add(&k.dagger().mul(&k));
+            }
+            assert!(sum.approx_eq(&Matrix::identity(2), 1e-12), "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let qc = generators::ghz(5);
+        let noise = DdNoiseModel::new().with_channel(DdNoiseChannel::Depolarizing(0.0));
+        let v = dd.run_noisy_trajectory(&qc, &noise, &mut rng).unwrap();
+        let ideal = dd.run_circuit(&qc).unwrap();
+        assert!((dd.fidelity(&ideal, &v) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trajectory_states_stay_normalised() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let qc = generators::qft(4, true);
+        let noise = DdNoiseModel::new()
+            .with_channel(DdNoiseChannel::AmplitudeDamping(0.2))
+            .with_channel(DdNoiseChannel::PhaseFlip(0.1));
+        for _ in 0..10 {
+            let v = dd.run_noisy_trajectory(&qc, &noise, &mut rng).unwrap();
+            assert!((dd.norm_sqr(&v) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_amplitude_damping_forces_ground_state() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut qc = qdt_circuit::Circuit::new(1);
+        qc.x(0);
+        let noise = DdNoiseModel::new().with_channel(DdNoiseChannel::AmplitudeDamping(1.0));
+        let v = dd.run_noisy_trajectory(&qc, &noise, &mut rng).unwrap();
+        assert!(dd.amplitude(&v, 0).abs() > 0.999);
+    }
+
+    #[test]
+    fn trajectories_converge_to_density_matrix() {
+        // Ground truth: qdt-array's density-matrix simulator with the
+        // same depolarizing model.
+        use qdt_array::{DensityMatrix, NoiseChannel, NoiseModel};
+        let qc = generators::ghz(3);
+        let p = 0.1;
+        let dm = DensityMatrix::from_circuit(
+            &qc,
+            &NoiseModel::new().with_channel(NoiseChannel::Depolarizing(p)),
+        )
+        .unwrap();
+        let exact = dm.probabilities();
+
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let noise = DdNoiseModel::new().with_channel(DdNoiseChannel::Depolarizing(p));
+        let trajectories = 1500;
+        let counts = dd
+            .sample_noisy(&qc, &noise, trajectories, &mut rng)
+            .unwrap();
+        for (i, &p_exact) in exact.iter().enumerate() {
+            let p_mc =
+                counts.get(&(i as u128)).copied().unwrap_or(0) as f64 / trajectories as f64;
+            assert!(
+                (p_mc - p_exact).abs() < 0.05,
+                "basis {i}: MC {p_mc:.3} vs exact {p_exact:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_fidelity_decreases_with_noise_strength() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let qc = generators::ghz(4);
+        let mut last = 1.01;
+        for p in [0.0, 0.05, 0.2] {
+            let mut dd = DdPackage::new();
+            let noise = DdNoiseModel::new().with_channel(DdNoiseChannel::Depolarizing(p));
+            let f = dd.noisy_fidelity(&qc, &noise, 200, &mut rng).unwrap();
+            assert!(f < last + 0.02, "fidelity should fall: {f} after {last}");
+            last = f;
+        }
+        assert!(last < 0.7, "strong noise must visibly hurt GHZ fidelity");
+    }
+
+    #[test]
+    fn wide_noisy_simulation_runs() {
+        // 24 qubits with noise — far beyond a 2^48-entry density matrix.
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let qc = generators::ghz(24);
+        let noise = DdNoiseModel::new().with_channel(DdNoiseChannel::PhaseFlip(0.02));
+        let counts = dd.sample_noisy(&qc, &noise, 50, &mut rng).unwrap();
+        assert_eq!(counts.values().sum::<usize>(), 50);
+    }
+}

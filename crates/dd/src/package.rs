@@ -1,0 +1,672 @@
+//! The decision-diagram package: node arenas, unique tables, compute
+//! caches and normalisation.
+//!
+//! Canonicity contract: every node stored in the arena is *normalised* —
+//! its child edge weights are divided by the maximum-magnitude weight
+//! (ties broken toward the lower child index), so that one child weight is
+//! exactly `1`. Combined with the tolerance-canonicalising
+//! [`ComplexTable`], structurally equal sub-diagrams always hash to the
+//! same node, which is what makes sharing (and therefore compactness)
+//! work.
+
+use std::collections::HashMap;
+
+use qdt_complex::{Complex, ComplexTable};
+
+pub(crate) type NodeId = u32;
+/// Sentinel node id for the terminal.
+pub(crate) const TERMINAL: NodeId = u32::MAX;
+
+/// An edge of a vector decision diagram: target node plus complex weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct VEdge {
+    pub node: NodeId,
+    pub weight: Complex,
+}
+
+impl VEdge {
+    pub(crate) const ZERO: VEdge = VEdge {
+        node: TERMINAL,
+        weight: Complex::ZERO,
+    };
+
+    pub(crate) fn terminal(weight: Complex) -> VEdge {
+        if weight == Complex::ZERO {
+            VEdge::ZERO
+        } else {
+            VEdge {
+                node: TERMINAL,
+                weight,
+            }
+        }
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.weight == Complex::ZERO
+    }
+
+    fn key(&self) -> (NodeId, (u64, u64)) {
+        (self.node, self.weight.to_bits())
+    }
+}
+
+/// An edge of a matrix decision diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MEdge {
+    pub node: NodeId,
+    pub weight: Complex,
+}
+
+impl MEdge {
+    pub(crate) const ZERO: MEdge = MEdge {
+        node: TERMINAL,
+        weight: Complex::ZERO,
+    };
+
+    pub(crate) fn terminal(weight: Complex) -> MEdge {
+        if weight == Complex::ZERO {
+            MEdge::ZERO
+        } else {
+            MEdge {
+                node: TERMINAL,
+                weight,
+            }
+        }
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.weight == Complex::ZERO
+    }
+
+    fn key(&self) -> (NodeId, (u64, u64)) {
+        (self.node, self.weight.to_bits())
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VNode {
+    pub level: u16,
+    pub children: [VEdge; 2],
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MNode {
+    pub level: u16,
+    /// Row-major blocks: `children[2*row + col]`.
+    pub children: [MEdge; 4],
+}
+
+type VKey = (u16, [(NodeId, (u64, u64)); 2]);
+type MKey = (u16, [(NodeId, (u64, u64)); 4]);
+
+/// A handle to a vector decision diagram rooted in a [`DdPackage`].
+///
+/// Handles are only meaningful with the package that created them;
+/// combining handles across packages is a logic error (caught only by
+/// debug assertions on node bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorDd {
+    pub(crate) root: VEdge,
+    pub(crate) num_qubits: usize,
+}
+
+impl VectorDd {
+    /// The number of qubits of the represented state.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+}
+
+/// A handle to a matrix decision diagram rooted in a [`DdPackage`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixDd {
+    pub(crate) root: MEdge,
+    pub(crate) num_qubits: usize,
+}
+
+impl MatrixDd {
+    /// The number of qubits the represented operator acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+}
+
+/// The decision-diagram package: owns all nodes and caches.
+///
+/// All diagram construction and manipulation goes through `&mut self`
+/// methods so that node sharing is global within the package. Create one
+/// package per logical task; diagrams from different packages must not be
+/// mixed.
+#[derive(Debug)]
+pub struct DdPackage {
+    pub(crate) vnodes: Vec<VNode>,
+    pub(crate) mnodes: Vec<MNode>,
+    vunique: HashMap<VKey, NodeId>,
+    munique: HashMap<MKey, NodeId>,
+    pub(crate) ctable: ComplexTable,
+    // Compute caches. Keys factor the incoming edge weights out so cache
+    // hits are maximal (see each op).
+    vadd_cache: HashMap<(NodeId, NodeId, (u64, u64)), VEdge>,
+    madd_cache: HashMap<(NodeId, NodeId, (u64, u64)), MEdge>,
+    mv_cache: HashMap<(NodeId, NodeId), VEdge>,
+    mm_cache: HashMap<(NodeId, NodeId), MEdge>,
+    /// Cached identity diagrams: `ident[l]` spans qubits `0..=l`.
+    ident: Vec<MEdge>,
+    /// Cached squared norms of vector nodes.
+    nsq_cache: HashMap<NodeId, f64>,
+}
+
+impl DdPackage {
+    /// Creates an empty package with the default numerical tolerance.
+    pub fn new() -> Self {
+        Self::with_tolerance(qdt_complex::TOLERANCE)
+    }
+
+    /// Creates an empty package whose complex table canonicalises edge
+    /// weights within `tol`.
+    ///
+    /// The tolerance is what makes node sharing effective: with a
+    /// too-small tolerance, floating-point round-off makes numerically
+    /// equal weights bitwise distinct and the diagram blows up (see the
+    /// ablation experiment A1 in EXPERIMENTS.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not finite and positive.
+    pub fn with_tolerance(tol: f64) -> Self {
+        DdPackage {
+            vnodes: Vec::new(),
+            mnodes: Vec::new(),
+            vunique: HashMap::new(),
+            munique: HashMap::new(),
+            ctable: ComplexTable::with_tolerance(tol),
+            vadd_cache: HashMap::new(),
+            madd_cache: HashMap::new(),
+            mv_cache: HashMap::new(),
+            mm_cache: HashMap::new(),
+            ident: Vec::new(),
+            nsq_cache: HashMap::new(),
+        }
+    }
+
+    /// Total number of vector nodes ever created (arena size).
+    pub fn vector_arena_size(&self) -> usize {
+        self.vnodes.len()
+    }
+
+    /// Total number of matrix nodes ever created (arena size).
+    pub fn matrix_arena_size(&self) -> usize {
+        self.mnodes.len()
+    }
+
+    /// Drops all memoisation caches (unique tables and nodes are kept).
+    ///
+    /// Useful between independent runs to bound memory; correctness never
+    /// requires calling this.
+    pub fn clear_caches(&mut self) {
+        self.vadd_cache.clear();
+        self.madd_cache.clear();
+        self.mv_cache.clear();
+        self.mm_cache.clear();
+        self.nsq_cache.clear();
+    }
+
+    pub(crate) fn canon(&mut self, c: Complex) -> Complex {
+        self.ctable.canonicalize(c)
+    }
+
+    pub(crate) fn vnode(&self, id: NodeId) -> &VNode {
+        &self.vnodes[id as usize]
+    }
+
+    pub(crate) fn mnode(&self, id: NodeId) -> &MNode {
+        &self.mnodes[id as usize]
+    }
+
+    /// Scales an edge weight, canonicalising and collapsing to the zero
+    /// edge when the product vanishes.
+    pub(crate) fn vscale(&mut self, e: VEdge, f: Complex) -> VEdge {
+        if e.is_zero() || f == Complex::ZERO {
+            return VEdge::ZERO;
+        }
+        let w = self.canon(e.weight * f);
+        if w == Complex::ZERO {
+            VEdge::ZERO
+        } else {
+            VEdge { node: e.node, weight: w }
+        }
+    }
+
+    pub(crate) fn mscale(&mut self, e: MEdge, f: Complex) -> MEdge {
+        if e.is_zero() || f == Complex::ZERO {
+            return MEdge::ZERO;
+        }
+        let w = self.canon(e.weight * f);
+        if w == Complex::ZERO {
+            MEdge::ZERO
+        } else {
+            MEdge { node: e.node, weight: w }
+        }
+    }
+
+    /// Creates (or finds) the normalised vector node `level → children`
+    /// and returns the edge pointing to it, carrying the extracted factor.
+    pub(crate) fn make_vnode(&mut self, level: u16, mut children: [VEdge; 2]) -> VEdge {
+        for c in &mut children {
+            if c.is_zero() {
+                *c = VEdge::ZERO;
+            } else {
+                c.weight = self.canon(c.weight);
+                if c.weight == Complex::ZERO {
+                    *c = VEdge::ZERO;
+                }
+            }
+        }
+        let m0 = children[0].weight.norm_sqr();
+        let m1 = children[1].weight.norm_sqr();
+        if m0 == 0.0 && m1 == 0.0 {
+            return VEdge::ZERO;
+        }
+        // Normalise by the max-magnitude child (ties toward index 0).
+        let k = if m0 >= m1 { 0 } else { 1 };
+        let top = children[k].weight;
+        let inv = top.recip();
+        for (i, c) in children.iter_mut().enumerate() {
+            if i == k {
+                c.weight = Complex::ONE;
+            } else if !c.is_zero() {
+                c.weight = self.canon(c.weight * inv);
+                if c.weight == Complex::ZERO {
+                    *c = VEdge::ZERO;
+                }
+            }
+        }
+        let key: VKey = (level, [children[0].key(), children[1].key()]);
+        let id = match self.vunique.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.vnodes.len() as NodeId;
+                self.vnodes.push(VNode { level, children });
+                self.vunique.insert(key, id);
+                id
+            }
+        };
+        VEdge {
+            node: id,
+            weight: self.canon(top),
+        }
+    }
+
+    /// Creates (or finds) the normalised matrix node.
+    pub(crate) fn make_mnode(&mut self, level: u16, mut children: [MEdge; 4]) -> MEdge {
+        let mut max_m = 0.0f64;
+        for c in &mut children {
+            if c.is_zero() {
+                *c = MEdge::ZERO;
+            } else {
+                c.weight = self.canon(c.weight);
+                if c.weight == Complex::ZERO {
+                    *c = MEdge::ZERO;
+                }
+            }
+            max_m = max_m.max(c.weight.norm_sqr());
+        }
+        if max_m == 0.0 {
+            return MEdge::ZERO;
+        }
+        // First child whose magnitude is (numerically) maximal.
+        let mut k = 0;
+        for (i, c) in children.iter().enumerate() {
+            if c.weight.norm_sqr() >= max_m * (1.0 - 1e-12) {
+                k = i;
+                break;
+            }
+        }
+        let top = children[k].weight;
+        let inv = top.recip();
+        for (i, c) in children.iter_mut().enumerate() {
+            if i == k {
+                c.weight = Complex::ONE;
+            } else if !c.is_zero() {
+                c.weight = self.canon(c.weight * inv);
+                if c.weight == Complex::ZERO {
+                    *c = MEdge::ZERO;
+                }
+            }
+        }
+        let key: MKey = (
+            level,
+            [
+                children[0].key(),
+                children[1].key(),
+                children[2].key(),
+                children[3].key(),
+            ],
+        );
+        let id = match self.munique.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.mnodes.len() as NodeId;
+                self.mnodes.push(MNode { level, children });
+                self.munique.insert(key, id);
+                id
+            }
+        };
+        MEdge {
+            node: id,
+            weight: self.canon(top),
+        }
+    }
+
+    // --- vector arithmetic -------------------------------------------------
+
+    /// Pointwise sum of two vector diagrams (same qubit count).
+    pub(crate) fn vadd(&mut self, a: VEdge, b: VEdge) -> VEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            return VEdge::terminal(self.canon(a.weight + b.weight));
+        }
+        debug_assert!(a.node != TERMINAL && b.node != TERMINAL, "level skew in vadd");
+        // Factor out a.weight: a + b = w_a · (A + (w_b/w_a)·B).
+        let alpha = self.canon(b.weight / a.weight);
+        let key = (a.node, b.node, alpha.to_bits());
+        if let Some(&r) = self.vadd_cache.get(&key) {
+            return self.vscale(r, a.weight);
+        }
+        let an = self.vnode(a.node).clone();
+        let bn = self.vnode(b.node).clone();
+        debug_assert_eq!(an.level, bn.level, "vadd level mismatch");
+        let mut children = [VEdge::ZERO; 2];
+        for i in 0..2 {
+            let bscaled = self.vscale(bn.children[i], alpha);
+            children[i] = self.vadd(an.children[i], bscaled);
+        }
+        let r = self.make_vnode(an.level, children);
+        self.vadd_cache.insert(key, r);
+        self.vscale(r, a.weight)
+    }
+
+    // --- matrix arithmetic -------------------------------------------------
+
+    pub(crate) fn madd(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            return MEdge::terminal(self.canon(a.weight + b.weight));
+        }
+        debug_assert!(a.node != TERMINAL && b.node != TERMINAL, "level skew in madd");
+        let alpha = self.canon(b.weight / a.weight);
+        let key = (a.node, b.node, alpha.to_bits());
+        if let Some(&r) = self.madd_cache.get(&key) {
+            return self.mscale(r, a.weight);
+        }
+        let an = self.mnode(a.node).clone();
+        let bn = self.mnode(b.node).clone();
+        debug_assert_eq!(an.level, bn.level, "madd level mismatch");
+        let mut children = [MEdge::ZERO; 4];
+        for i in 0..4 {
+            let bscaled = self.mscale(bn.children[i], alpha);
+            children[i] = self.madd(an.children[i], bscaled);
+        }
+        let r = self.make_mnode(an.level, children);
+        self.madd_cache.insert(key, r);
+        self.mscale(r, a.weight)
+    }
+
+    /// Matrix–vector product of diagram edges.
+    pub(crate) fn mat_vec(&mut self, m: MEdge, v: VEdge) -> VEdge {
+        if m.is_zero() || v.is_zero() {
+            return VEdge::ZERO;
+        }
+        if m.node == TERMINAL {
+            debug_assert_eq!(v.node, TERMINAL, "level skew in mat_vec");
+            return VEdge::terminal(self.canon(m.weight * v.weight));
+        }
+        debug_assert_ne!(v.node, TERMINAL, "level skew in mat_vec");
+        let f = self.canon(m.weight * v.weight);
+        let key = (m.node, v.node);
+        if let Some(&r) = self.mv_cache.get(&key) {
+            return self.vscale(r, f);
+        }
+        let mn = self.mnode(m.node).clone();
+        let vn = self.vnode(v.node).clone();
+        debug_assert_eq!(mn.level, vn.level, "mat_vec level mismatch");
+        let mut children = [VEdge::ZERO; 2];
+        for (i, child) in children.iter_mut().enumerate() {
+            let a = self.mat_vec(mn.children[2 * i], vn.children[0]);
+            let b = self.mat_vec(mn.children[2 * i + 1], vn.children[1]);
+            *child = self.vadd(a, b);
+        }
+        let r = self.make_vnode(mn.level, children);
+        self.mv_cache.insert(key, r);
+        self.vscale(r, f)
+    }
+
+    /// Matrix–matrix product of diagram edges (`a · b`).
+    pub(crate) fn mat_mat(&mut self, a: MEdge, b: MEdge) -> MEdge {
+        if a.is_zero() || b.is_zero() {
+            return MEdge::ZERO;
+        }
+        if a.node == TERMINAL {
+            debug_assert_eq!(b.node, TERMINAL, "level skew in mat_mat");
+            return MEdge::terminal(self.canon(a.weight * b.weight));
+        }
+        debug_assert_ne!(b.node, TERMINAL, "level skew in mat_mat");
+        let f = self.canon(a.weight * b.weight);
+        let key = (a.node, b.node);
+        if let Some(&r) = self.mm_cache.get(&key) {
+            return self.mscale(r, f);
+        }
+        let an = self.mnode(a.node).clone();
+        let bn = self.mnode(b.node).clone();
+        debug_assert_eq!(an.level, bn.level, "mat_mat level mismatch");
+        let mut children = [MEdge::ZERO; 4];
+        for i in 0..2 {
+            for k in 0..2 {
+                let p = self.mat_mat(an.children[2 * i], bn.children[k]);
+                let q = self.mat_mat(an.children[2 * i + 1], bn.children[2 + k]);
+                children[2 * i + k] = self.madd(p, q);
+            }
+        }
+        let r = self.make_mnode(an.level, children);
+        self.mm_cache.insert(key, r);
+        self.mscale(r, f)
+    }
+
+    /// The identity diagram on qubits `0..=level`.
+    pub(crate) fn identity_edge(&mut self, level: isize) -> MEdge {
+        if level < 0 {
+            return MEdge::terminal(Complex::ONE);
+        }
+        let level = level as usize;
+        while self.ident.len() <= level {
+            let l = self.ident.len();
+            let below = if l == 0 {
+                MEdge::terminal(Complex::ONE)
+            } else {
+                self.ident[l - 1]
+            };
+            let e = self.make_mnode(l as u16, [below, MEdge::ZERO, MEdge::ZERO, below]);
+            self.ident.push(e);
+        }
+        self.ident[level]
+    }
+
+    /// The identity operator as a [`MatrixDd`] on `num_qubits` qubits.
+    pub fn identity(&mut self, num_qubits: usize) -> MatrixDd {
+        let root = self.identity_edge(num_qubits as isize - 1);
+        MatrixDd {
+            root,
+            num_qubits,
+        }
+    }
+
+    /// Squared norm of a vector node's (normalised) subtree.
+    pub(crate) fn node_norm_sqr(&mut self, id: NodeId) -> f64 {
+        if id == TERMINAL {
+            return 1.0;
+        }
+        if let Some(&n) = self.nsq_cache.get(&id) {
+            return n;
+        }
+        let node = self.vnode(id).clone();
+        let mut acc = 0.0;
+        for c in node.children {
+            if !c.is_zero() {
+                acc += c.weight.norm_sqr() * self.node_norm_sqr(c.node);
+            }
+        }
+        self.nsq_cache.insert(id, acc);
+        acc
+    }
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_edges_collapse() {
+        let mut p = DdPackage::new();
+        let e = p.make_vnode(0, [VEdge::ZERO, VEdge::ZERO]);
+        assert!(e.is_zero());
+        let m = p.make_mnode(0, [MEdge::ZERO; 4]);
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn normalisation_extracts_max_weight() {
+        let mut p = DdPackage::new();
+        let half = Complex::real(0.5);
+        let quarter = Complex::real(0.25);
+        let e = p.make_vnode(
+            0,
+            [
+                VEdge::terminal(quarter),
+                VEdge::terminal(half),
+            ],
+        );
+        // Max-magnitude child (index 1) becomes 1; factor 0.5 extracted.
+        assert!(e.weight.approx_eq(half, 1e-12));
+        let node = p.vnode(e.node);
+        assert!(node.children[1].weight.approx_eq(Complex::ONE, 1e-12));
+        assert!(node.children[0].weight.approx_eq(half, 1e-12));
+    }
+
+    #[test]
+    fn unique_table_shares_nodes() {
+        let mut p = DdPackage::new();
+        let mk = |p: &mut DdPackage| {
+            let t = VEdge::terminal(Complex::ONE);
+            p.make_vnode(0, [t, VEdge::ZERO])
+        };
+        let a = mk(&mut p);
+        let b = mk(&mut p);
+        assert_eq!(a.node, b.node, "identical nodes must be shared");
+        assert_eq!(p.vector_arena_size(), 1);
+    }
+
+    #[test]
+    fn tolerance_merges_nearby_nodes() {
+        let mut p = DdPackage::new();
+        let a = p.make_vnode(
+            0,
+            [
+                VEdge::terminal(Complex::ONE),
+                VEdge::terminal(Complex::real(0.5)),
+            ],
+        );
+        let b = p.make_vnode(
+            0,
+            [
+                VEdge::terminal(Complex::ONE),
+                VEdge::terminal(Complex::real(0.5 + 1e-14)),
+            ],
+        );
+        assert_eq!(a.node, b.node);
+    }
+
+    #[test]
+    fn identity_edges_are_linear_chain() {
+        let mut p = DdPackage::new();
+        let _ = p.identity_edge(9);
+        // 10 identity nodes, one per level.
+        assert_eq!(p.matrix_arena_size(), 10);
+        let i5a = p.identity_edge(5);
+        let i5b = p.identity_edge(5);
+        assert_eq!(i5a.node, i5b.node);
+        assert!(i5a.weight.approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn vadd_of_opposites_is_zero() {
+        let mut p = DdPackage::new();
+        let t = VEdge::terminal(Complex::ONE);
+        let e = p.make_vnode(0, [t, VEdge::ZERO]);
+        let minus = p.vscale(e, -Complex::ONE);
+        let sum = p.vadd(e, minus);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn mat_mat_identity_is_neutral() {
+        let mut p = DdPackage::new();
+        let i = p.identity_edge(2);
+        let prod = p.mat_mat(i, i);
+        assert_eq!(prod.node, i.node);
+        assert!(prod.weight.approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn node_norm_of_normalised_basis_chain() {
+        let mut p = DdPackage::new();
+        let t = VEdge::terminal(Complex::ONE);
+        let mut e = p.make_vnode(0, [t, VEdge::ZERO]);
+        e = p.make_vnode(1, [e, VEdge::ZERO]);
+        assert!((p.node_norm_sqr(e.node) - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod tolerance_tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_controls_sharing() {
+        // The same QFT-ish weights: with a generous tolerance the nodes
+        // merge; with an absurdly tight one they do not.
+        use qdt_circuit::generators;
+        let qc = generators::qft(6, false);
+        let mut loose = DdPackage::new();
+        let v1 = loose.run_circuit(&qc).expect("simulates");
+        let mut tight = DdPackage::with_tolerance(1e-300);
+        let v2 = tight.run_circuit(&qc).expect("simulates");
+        let n_loose = loose.vector_node_count(&v1);
+        let n_tight = tight.vector_node_count(&v2);
+        assert!(
+            n_loose <= n_tight,
+            "canonicalisation must never increase size"
+        );
+        // Amplitudes agree regardless.
+        for i in [0u128, 1, 33, 63] {
+            assert!(loose
+                .amplitude(&v1, i)
+                .approx_eq(tight.amplitude(&v2, i), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! DD-based circuit execution including measurement and reset.
+
+use std::collections::BTreeMap;
+
+use qdt_circuit::{Circuit, Gate, OpKind};
+use rand::Rng;
+
+use crate::{DdError, DdPackage, VectorDd};
+
+/// The result of one DD-based circuit execution.
+#[derive(Debug, Clone)]
+pub struct DdRunResult {
+    /// The final (collapsed) state.
+    pub state: VectorDd,
+    /// Classical register contents.
+    pub classical_bits: Vec<bool>,
+}
+
+impl DdRunResult {
+    /// The classical register as an integer (clbit 0 = LSB).
+    pub fn classical_value(&self) -> u64 {
+        self.classical_bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+}
+
+/// Decision-diagram circuit simulator handling the full IR including
+/// measurement and reset.
+///
+/// Thin stateless façade over a [`DdPackage`]; it exists so call sites
+/// mirror `ArraySimulator` in the array crate.
+///
+/// # Example
+///
+/// ```
+/// use qdt_dd::{DdPackage, DdSimulator};
+/// use qdt_circuit::Circuit;
+/// use rand::SeedableRng;
+///
+/// let mut qc = Circuit::with_clbits(2, 2);
+/// qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+/// let mut dd = DdPackage::new();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let result = DdSimulator::new().run(&mut dd, &qc, &mut rng)?;
+/// // Bell measurement outcomes are perfectly correlated.
+/// assert_eq!(result.classical_bits[0], result.classical_bits[1]);
+/// # Ok::<(), qdt_dd::DdError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DdSimulator {
+    _private: (),
+}
+
+impl DdSimulator {
+    /// Creates a simulator.
+    pub fn new() -> Self {
+        DdSimulator { _private: () }
+    }
+
+    /// Runs `circuit` once from `|0…0⟩` within the given package.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for well-formed circuits, but kept fallible
+    /// for parity with the other simulators.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        dd: &mut DdPackage,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<DdRunResult, DdError> {
+        let mut state = dd.zero_state(circuit.num_qubits().max(1));
+        let mut classical_bits = vec![false; circuit.num_clbits()];
+        for inst in circuit {
+            match &inst.kind {
+                OpKind::Measure { qubit, clbit } => {
+                    classical_bits[*clbit] = dd.measure_qubit(&mut state, *qubit, rng);
+                }
+                OpKind::Reset { qubit } => {
+                    if dd.measure_qubit(&mut state, *qubit, rng) {
+                        state = dd.apply_gate(&state, &Gate::X.matrix(), *qubit, &[]);
+                    }
+                }
+                _ => {
+                    state = dd.apply_instruction(&state, inst)?;
+                }
+            }
+        }
+        Ok(DdRunResult {
+            state,
+            classical_bits,
+        })
+    }
+
+    /// Runs the unitary part once, then draws `shots` samples from the
+    /// final state without collapsing it (the efficient strategy when the
+    /// circuit has no mid-circuit measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::NonUnitary`] if the circuit contains
+    /// measurement or reset instructions *before* its final measurement
+    /// layer. Trailing measurements are honoured through the sampled
+    /// classical bits.
+    pub fn sample_shots<R: Rng + ?Sized>(
+        &self,
+        dd: &mut DdPackage,
+        circuit: &Circuit,
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<BTreeMap<u128, usize>, DdError> {
+        let unitary = circuit.unitary_part();
+        let state = dd.run_circuit(&unitary)?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let outcome = dd.sample_once(&state, rng);
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bell_measurements_correlated() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut zeros = 0;
+        for _ in 0..100 {
+            let r = DdSimulator::new().run(&mut dd, &qc, &mut rng).unwrap();
+            assert_eq!(r.classical_bits[0], r.classical_bits[1]);
+            if !r.classical_bits[0] {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 20 && zeros < 80, "zeros={zeros}");
+    }
+
+    #[test]
+    fn bv_on_dd_recovers_secret() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        let qc = generators::bernstein_vazirani(5, 0b10110);
+        let r = DdSimulator::new().run(&mut dd, &qc, &mut rng).unwrap();
+        assert_eq!(r.classical_value(), 0b10110);
+    }
+
+    #[test]
+    fn sampling_ghz_yields_only_extremes() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let qc = generators::ghz(30);
+        let counts = DdSimulator::new()
+            .sample_shots(&mut dd, &qc, 1000, &mut rng)
+            .unwrap();
+        let all_ones = (1u128 << 30) - 1;
+        for (&k, _) in &counts {
+            assert!(k == 0 || k == all_ones, "impossible GHZ outcome {k}");
+        }
+        let zeros = counts.get(&0).copied().unwrap_or(0) as f64;
+        assert!((zeros / 1000.0 - 0.5).abs() < 0.08);
+    }
+
+    #[test]
+    fn reset_in_dd_simulator() {
+        let mut dd = DdPackage::new();
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).reset(0).measure(0, 0);
+        for _ in 0..20 {
+            let r = DdSimulator::new().run(&mut dd, &qc, &mut rng).unwrap();
+            assert!(!r.classical_bits[0]);
+        }
+    }
+
+    use qdt_circuit::Circuit;
+}

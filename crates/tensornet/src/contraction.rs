@@ -1,0 +1,445 @@
+//! Contraction planning: the order in which a network's tensors are
+//! pairwise contracted.
+//!
+//! Finding the optimal order is NP-hard (the paper's reference \[33\]), so
+//! practical tools combine heuristics with exact search on small
+//! instances (ref \[34\]). This module provides three strategies with a
+//! shared cost model, plus [`PlanStats`] so experiments can report cost
+//! and peak intermediate size *without* executing the contraction —
+//! exactly the "keep intermediate tensors in check" framing of
+//! Section IV.
+
+use std::collections::HashMap;
+
+use crate::network::TensorNetwork;
+use crate::tensor::{IndexId, Tensor};
+use crate::TensorError;
+
+/// The planning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Contract tensors left to right in insertion (circuit) order.
+    Naive,
+    /// Repeatedly contract the connected pair minimising the size growth
+    /// `size(result) − size(a) − size(b)` (ties broken by fewer flops).
+    Greedy,
+    /// Exact dynamic programming over subsets — minimal total flops, but
+    /// limited to networks of at most 14 tensors.
+    Optimal,
+}
+
+/// Maximum network size for [`PlanKind::Optimal`].
+const OPTIMAL_LIMIT: usize = 14;
+
+/// Metadata of a (possibly intermediate) tensor: labels and dimensions.
+#[derive(Debug, Clone)]
+struct Meta {
+    labels: Vec<IndexId>,
+    dims: Vec<usize>,
+}
+
+impl Meta {
+    fn of(t: &Tensor) -> Meta {
+        Meta {
+            labels: t.labels().to_vec(),
+            dims: t.dims().to_vec(),
+        }
+    }
+
+    fn size(&self) -> f64 {
+        self.dims.iter().map(|&d| d as f64).product()
+    }
+}
+
+/// Result metadata and flop count of contracting two tensors.
+fn combine(a: &Meta, b: &Meta) -> (Meta, f64) {
+    let mut flops = 1.0;
+    let mut labels = Vec::new();
+    let mut dims = Vec::new();
+    for (l, d) in a.labels.iter().zip(&a.dims) {
+        flops *= *d as f64;
+        if !b.labels.contains(l) {
+            labels.push(*l);
+            dims.push(*d);
+        }
+    }
+    for (l, d) in b.labels.iter().zip(&b.dims) {
+        if !a.labels.contains(l) {
+            flops *= *d as f64;
+            labels.push(*l);
+            dims.push(*d);
+        }
+    }
+    (Meta { labels, dims }, flops)
+}
+
+/// Cost and shape statistics of a plan, computed symbolically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    /// Total scalar multiply-adds over all contraction steps.
+    pub total_flops: f64,
+    /// Largest intermediate tensor size (number of entries) — the "bond
+    /// dimension kept in check" metric of Section IV.
+    pub peak_tensor_size: f64,
+    /// Highest rank among intermediate tensors.
+    pub max_rank: usize,
+}
+
+/// An executable contraction order.
+///
+/// Steps index into a virtual arena: slots `0..n` are the network's
+/// tensors, and step `k` writes its result to slot `n + k`.
+#[derive(Debug, Clone)]
+pub struct ContractionPlan {
+    steps: Vec<(usize, usize)>,
+    num_inputs: usize,
+    stats: PlanStats,
+}
+
+impl ContractionPlan {
+    /// Builds a plan of the given kind for the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NetworkTooLarge`] when
+    /// [`PlanKind::Optimal`] is requested for more than 14 tensors.
+    pub fn build(network: &TensorNetwork, kind: PlanKind) -> Result<ContractionPlan, TensorError> {
+        let metas: Vec<Meta> = network.tensors().iter().map(Meta::of).collect();
+        let steps = match kind {
+            PlanKind::Naive => naive_steps(&metas),
+            PlanKind::Greedy => greedy_steps(&metas),
+            PlanKind::Optimal => {
+                if metas.len() > OPTIMAL_LIMIT {
+                    return Err(TensorError::NetworkTooLarge {
+                        tensors: metas.len(),
+                        limit: OPTIMAL_LIMIT,
+                    });
+                }
+                optimal_steps(&metas)
+            }
+        };
+        let stats = simulate(&metas, &steps);
+        Ok(ContractionPlan {
+            steps,
+            num_inputs: metas.len(),
+            stats,
+        })
+    }
+
+    /// The plan's symbolic cost statistics.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// The pairwise contraction steps.
+    pub fn steps(&self) -> &[(usize, usize)] {
+        &self.steps
+    }
+
+    /// Executes the plan on the network, returning the final tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different network shape.
+    pub fn execute(&self, network: &TensorNetwork) -> Tensor {
+        assert_eq!(
+            network.num_tensors(),
+            self.num_inputs,
+            "plan built for a different network"
+        );
+        if network.num_tensors() == 0 {
+            return Tensor::scalar(qdt_complex::Complex::ONE);
+        }
+        let mut arena: Vec<Option<Tensor>> = network.tensors().iter().cloned().map(Some).collect();
+        for &(a, b) in &self.steps {
+            let ta = arena[a].take().expect("plan reuses a consumed tensor");
+            let tb = arena[b].take().expect("plan reuses a consumed tensor");
+            arena.push(Some(ta.contract(&tb)));
+        }
+        arena
+            .into_iter()
+            .rev()
+            .find_map(|t| t)
+            .expect("plan leaves exactly one tensor")
+    }
+}
+
+fn naive_steps(metas: &[Meta]) -> Vec<(usize, usize)> {
+    let n = metas.len();
+    let mut steps = Vec::new();
+    if n <= 1 {
+        return steps;
+    }
+    let mut acc = 0usize;
+    for (next, slot) in (1..n).zip(n..) {
+        steps.push((acc, next));
+        acc = slot;
+    }
+    steps
+}
+
+fn greedy_steps(metas: &[Meta]) -> Vec<(usize, usize)> {
+    let mut live: Vec<(usize, Meta)> = metas.iter().cloned().enumerate().collect();
+    let mut steps = Vec::new();
+    let mut next_slot = metas.len();
+    while live.len() > 1 {
+        let mut best: Option<(f64, f64, usize, usize)> = None;
+        // Prefer pairs that share an index; fall back to outer products
+        // only if nothing is connected.
+        for i in 0..live.len() {
+            for j in i + 1..live.len() {
+                let shares = live[i]
+                    .1
+                    .labels
+                    .iter()
+                    .any(|l| live[j].1.labels.contains(l));
+                if !shares {
+                    continue;
+                }
+                let (meta, flops) = combine(&live[i].1, &live[j].1);
+                // The classic greedy objective (as in opt_einsum):
+                // minimise the growth `size(result) − size(a) − size(b)`,
+                // breaking ties by fewer flops.
+                let growth = meta.size() - live[i].1.size() - live[j].1.size();
+                let key = (growth, flops, i, j);
+                if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (i, j) = match best {
+            Some((_, _, i, j)) => (i, j),
+            // Disconnected network: contract the two smallest tensors.
+            None => {
+                let mut order: Vec<usize> = (0..live.len()).collect();
+                order.sort_by(|&a, &b| {
+                    live[a]
+                        .1
+                        .size()
+                        .partial_cmp(&live[b].1.size())
+                        .expect("finite sizes")
+                });
+                (order[0].min(order[1]), order[0].max(order[1]))
+            }
+        };
+        let (slot_j, meta_j) = live.remove(j);
+        let (slot_i, meta_i) = live.remove(i);
+        let (meta, _) = combine(&meta_i, &meta_j);
+        steps.push((slot_i, slot_j));
+        live.push((next_slot, meta));
+        next_slot += 1;
+    }
+    steps
+}
+
+fn optimal_steps(metas: &[Meta]) -> Vec<(usize, usize)> {
+    let n = metas.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    // Free labels of a subset: labels that also occur outside the subset
+    // (open outputs never occur twice, so they stay free automatically).
+    let mut occurrences: HashMap<IndexId, usize> = HashMap::new();
+    for m in metas {
+        for &l in &m.labels {
+            *occurrences.entry(l).or_insert(0) += 1;
+        }
+    }
+    let full = (1usize << n) - 1;
+    let meta_of_subset = |s: usize| -> Meta {
+        let mut counts: HashMap<IndexId, (usize, usize)> = HashMap::new();
+        for (i, m) in metas.iter().enumerate() {
+            if s & (1 << i) == 0 {
+                continue;
+            }
+            for (&l, &d) in m.labels.iter().zip(&m.dims) {
+                let e = counts.entry(l).or_insert((0, d));
+                e.0 += 1;
+            }
+        }
+        let mut labels = Vec::new();
+        let mut dims = Vec::new();
+        for (l, (cnt, d)) in counts {
+            if cnt < occurrences[&l] {
+                labels.push(l);
+                dims.push(d);
+            }
+        }
+        Meta { labels, dims }
+    };
+
+    let mut cost = vec![f64::INFINITY; full + 1];
+    let mut split = vec![0usize; full + 1];
+    let mut metas_cache: Vec<Option<Meta>> = vec![None; full + 1];
+    for i in 0..n {
+        cost[1 << i] = 0.0;
+        metas_cache[1 << i] = Some(metas[i].clone());
+    }
+    // Iterate subsets in increasing popcount order via plain increasing
+    // value (every proper subset of s is < s).
+    for s in 1..=full {
+        if s & (s - 1) == 0 {
+            continue; // singleton
+        }
+        if metas_cache[s].is_none() {
+            metas_cache[s] = Some(meta_of_subset(s));
+        }
+        // Enumerate proper sub-subsets a of s with a < s\a to halve work.
+        let mut a = (s - 1) & s;
+        while a > 0 {
+            let b = s & !a;
+            if a < b {
+                if cost[a].is_finite() && cost[b].is_finite() {
+                    let ma = metas_cache[a].clone().expect("computed");
+                    let mb = metas_cache[b].clone().expect("computed");
+                    let (_, flops) = combine(&ma, &mb);
+                    let total = cost[a] + cost[b] + flops;
+                    if total < cost[s] {
+                        cost[s] = total;
+                        split[s] = a;
+                    }
+                }
+            }
+            a = (a - 1) & s;
+        }
+    }
+
+    // Emit steps bottom-up. Each subset's result occupies a fresh slot.
+    let mut steps = Vec::new();
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        slot_of.insert(1 << i, i);
+    }
+    let mut next_slot = n;
+    fn emit(
+        s: usize,
+        split: &[usize],
+        slot_of: &mut HashMap<usize, usize>,
+        steps: &mut Vec<(usize, usize)>,
+        next_slot: &mut usize,
+    ) -> usize {
+        if let Some(&slot) = slot_of.get(&s) {
+            return slot;
+        }
+        let a = split[s];
+        let b = s & !a;
+        let sa = emit(a, split, slot_of, steps, next_slot);
+        let sb = emit(b, split, slot_of, steps, next_slot);
+        steps.push((sa, sb));
+        let slot = *next_slot;
+        *next_slot += 1;
+        slot_of.insert(s, slot);
+        slot
+    }
+    emit(full, &split, &mut slot_of, &mut steps, &mut next_slot);
+    steps
+}
+
+/// Computes plan statistics by symbolic execution.
+fn simulate(metas: &[Meta], steps: &[(usize, usize)]) -> PlanStats {
+    let mut arena: Vec<Option<Meta>> = metas.iter().cloned().map(Some).collect();
+    let mut stats = PlanStats {
+        total_flops: 0.0,
+        peak_tensor_size: metas.iter().map(Meta::size).fold(0.0, f64::max),
+        max_rank: metas.iter().map(|m| m.labels.len()).max().unwrap_or(0),
+    };
+    for &(a, b) in steps {
+        let ma = arena[a].take().expect("plan reuses a consumed tensor");
+        let mb = arena[b].take().expect("plan reuses a consumed tensor");
+        let (m, flops) = combine(&ma, &mb);
+        stats.total_flops += flops;
+        stats.peak_tensor_size = stats.peak_tensor_size.max(m.size());
+        stats.max_rank = stats.max_rank.max(m.labels.len());
+        arena.push(Some(m));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn all_plans_agree_on_amplitude() {
+        let qc = generators::qft(3, true);
+        let tn = TensorNetwork::from_circuit(&qc).with_output_fixed(0b101);
+        let reference = tn
+            .contract(PlanKind::Naive)
+            .unwrap()
+            .into_scalar();
+        for kind in [PlanKind::Greedy, PlanKind::Optimal] {
+            let got = tn.contract(kind).unwrap().into_scalar();
+            assert!(got.approx_eq(reference, 1e-10), "{kind:?}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn greedy_beats_naive_on_line_circuits() {
+        // On a GHZ chain, naive order drags a growing open-output tensor
+        // along; greedy contracts locally.
+        let tn = TensorNetwork::from_circuit(&generators::ghz(12)).with_output_fixed(0);
+        let naive = ContractionPlan::build(&tn, PlanKind::Naive).unwrap().stats();
+        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy).unwrap().stats();
+        assert!(
+            greedy.total_flops < naive.total_flops,
+            "greedy {} !< naive {}",
+            greedy.total_flops,
+            naive.total_flops
+        );
+        assert!(greedy.peak_tensor_size <= naive.peak_tensor_size);
+    }
+
+    #[test]
+    fn optimal_no_worse_than_greedy() {
+        let tn = TensorNetwork::from_circuit(&generators::bell()).with_output_fixed(0);
+        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy).unwrap().stats();
+        let optimal = ContractionPlan::build(&tn, PlanKind::Optimal).unwrap().stats();
+        assert!(optimal.total_flops <= greedy.total_flops + 1e-9);
+    }
+
+    #[test]
+    fn optimal_rejects_large_networks() {
+        let tn = TensorNetwork::from_circuit(&generators::ghz(20));
+        assert!(matches!(
+            ContractionPlan::build(&tn, PlanKind::Optimal),
+            Err(TensorError::NetworkTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_peak_size() {
+        let tn = TensorNetwork::from_circuit(&generators::ghz(6));
+        // Full-state contraction must peak at the 2^6 output tensor.
+        let plan = ContractionPlan::build(&tn, PlanKind::Greedy).unwrap();
+        assert!(plan.stats().peak_tensor_size >= 64.0);
+        // Closed network stays small.
+        let closed = tn.with_output_fixed(0);
+        let plan = ContractionPlan::build(&closed, PlanKind::Greedy).unwrap();
+        assert!(plan.stats().peak_tensor_size < 64.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_networks() {
+        let tn = TensorNetwork::from_circuit(&qdt_circuit::Circuit::new(0));
+        let t = tn.contract(PlanKind::Greedy).unwrap();
+        assert_eq!(t.rank(), 0);
+        let tn1 = TensorNetwork::from_circuit(&qdt_circuit::Circuit::new(1));
+        let t1 = tn1.contract(PlanKind::Greedy).unwrap();
+        assert_eq!(t1.rank(), 1);
+    }
+
+    #[test]
+    fn plan_steps_consume_each_slot_once() {
+        let tn = TensorNetwork::from_circuit(&generators::qft(4, false));
+        for kind in [PlanKind::Naive, PlanKind::Greedy] {
+            let plan = ContractionPlan::build(&tn, kind).unwrap();
+            let mut used = std::collections::HashSet::new();
+            for &(a, b) in plan.steps() {
+                assert!(used.insert(a), "{kind:?} reuses slot {a}");
+                assert!(used.insert(b), "{kind:?} reuses slot {b}");
+            }
+            assert_eq!(plan.steps().len(), tn.num_tensors() - 1);
+        }
+    }
+}

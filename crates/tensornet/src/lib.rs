@@ -1,0 +1,82 @@
+//! Tensor networks for quantum circuit simulation — Section IV of the
+//! reproduced paper.
+//!
+//! Instead of exploiting redundancy in the *values* of a representation
+//! (as decision diagrams do), tensor networks exploit the *topological
+//! structure* of the circuit: every state and operation is a small
+//! multi-dimensional array (a tensor) wired to its neighbours, and the
+//! whole network costs memory linear in the number of gates. Useful
+//! quantities are extracted by pairwise contraction:
+//!
+//! * contracting with the output indices left open yields the full state
+//!   vector (still `2^n` — generally infeasible, as the paper notes);
+//! * fixing the output indices ("adding bubbles at the end") and
+//!   contracting to a rank-0 tensor yields a single amplitude — cheap
+//!   whenever the intermediate bond dimensions stay in check.
+//!
+//! The order of contraction makes an enormous difference (finding the
+//! optimum is NP-hard — the paper's reference \[33\]); this crate provides
+//! a naive left-to-right plan, a greedy cost-driven plan and an optimal
+//! dynamic-programming plan for small networks, together with cost
+//! accounting (claim C3 in DESIGN.md).
+//!
+//! The [`mps`] module implements matrix product states (the paper's
+//! references \[31\], \[35\]) — the "specialised tensor network" that
+//! decomposes a state into a chain of small tensors with a tunable bond
+//! dimension χ.
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_circuit::generators;
+//! use qdt_tensor::{TensorNetwork, PlanKind};
+//!
+//! // Fig. 2 of the paper: the Bell circuit as a tensor network.
+//! let tn = TensorNetwork::from_circuit(&generators::bell());
+//! assert_eq!(tn.num_tensors(), 4); // two |0⟩ inputs, H, CX
+//! // Contract a single amplitude to a scalar (rank-0 tensor).
+//! let amp = tn.amplitude(0b00, PlanKind::Greedy)?;
+//! assert!((amp.re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+//! # Ok::<(), qdt_tensor::TensorError>(())
+//! ```
+
+mod contraction;
+pub mod mps;
+mod network;
+mod tensor;
+
+pub use contraction::{ContractionPlan, PlanKind, PlanStats};
+pub use network::{expectation_pauli, TensorNetwork};
+pub use tensor::{IndexId, Tensor};
+
+use std::fmt;
+
+/// Error type for tensor-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The circuit contained a non-unitary instruction.
+    NonUnitary { op: String },
+    /// Contraction was asked for a network that does not reduce to the
+    /// requested shape (e.g. scalar contraction with open indices left).
+    OpenIndicesRemain { count: usize },
+    /// The requested contraction plan kind cannot handle the network size.
+    NetworkTooLarge { tensors: usize, limit: usize },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::NonUnitary { op } => {
+                write!(f, "instruction {op} is not unitary")
+            }
+            TensorError::OpenIndicesRemain { count } => {
+                write!(f, "contraction left {count} open indices")
+            }
+            TensorError::NetworkTooLarge { tensors, limit } => {
+                write!(f, "network of {tensors} tensors exceeds plan limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

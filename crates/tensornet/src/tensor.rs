@@ -1,0 +1,386 @@
+//! Dense tensors with labelled indices and pairwise contraction.
+
+use std::fmt;
+
+use qdt_complex::Complex;
+
+/// A label identifying one tensor index (wire) within a network.
+///
+/// Equal labels on two tensors mean the indices are connected and will be
+/// summed over when the tensors are contracted.
+pub type IndexId = usize;
+
+/// A dense complex tensor with labelled indices.
+///
+/// Data is stored row-major with `labels[0]` the slowest-varying index.
+/// All quantum indices in this crate have dimension 2, but the type
+/// supports arbitrary dimensions.
+///
+/// # Example
+///
+/// ```
+/// use qdt_tensor::Tensor;
+/// use qdt_complex::Complex;
+///
+/// // A 2×2 matrix as a rank-2 tensor: C_{ij} (paper's Example 3).
+/// let a = Tensor::new(vec![0, 1], vec![2, 2], vec![
+///     Complex::real(1.0), Complex::real(2.0),
+///     Complex::real(3.0), Complex::real(4.0),
+/// ]);
+/// let b = Tensor::new(vec![1, 2], vec![2, 2], vec![
+///     Complex::real(1.0), Complex::ZERO,
+///     Complex::ZERO, Complex::real(1.0),
+/// ]);
+/// // Contracting over the shared index 1 is matrix multiplication.
+/// let c = a.contract(&b);
+/// assert_eq!(c.labels(), &[0, 2]);
+/// assert_eq!(c.get(&[1, 0]), Complex::real(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    labels: Vec<IndexId>,
+    dims: Vec<usize>,
+    data: Vec<Complex>,
+}
+
+impl Tensor {
+    /// Creates a tensor from labels, dimensions and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent or a label repeats within the
+    /// tensor (traces must be taken explicitly).
+    pub fn new(labels: Vec<IndexId>, dims: Vec<usize>, data: Vec<Complex>) -> Self {
+        assert_eq!(labels.len(), dims.len(), "labels/dims length mismatch");
+        let size: usize = dims.iter().product::<usize>().max(1);
+        assert_eq!(data.len(), size, "data length does not match dimensions");
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert_ne!(w[0], w[1], "repeated label {} within a tensor", w[0]);
+        }
+        Tensor { labels, dims, data }
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: Complex) -> Self {
+        Tensor {
+            labels: vec![],
+            dims: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// The index labels.
+    pub fn labels(&self) -> &[IndexId] {
+        &self.labels
+    }
+
+    /// The index dimensions (parallel to [`Tensor::labels`]).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of indices.
+    pub fn rank(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of stored entries.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// The scalar value of a rank-0 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 0.
+    pub fn into_scalar(self) -> Complex {
+        assert_eq!(self.rank(), 0, "tensor has rank {}", self.rank());
+        self.data[0]
+    }
+
+    /// Entry at a multi-index (one coordinate per label, in label order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    pub fn get(&self, coords: &[usize]) -> Complex {
+        self.data[self.offset(coords)]
+    }
+
+    fn offset(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank(), "coordinate count mismatch");
+        let mut off = 0;
+        for (i, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            assert!(c < d, "coordinate {i} out of range");
+            off = off * d + c;
+        }
+        off
+    }
+
+    /// Returns a tensor with its indices permuted into `new_labels` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_labels` is not a permutation of the current labels.
+    pub fn transpose_to(&self, new_labels: &[IndexId]) -> Tensor {
+        assert_eq!(new_labels.len(), self.rank(), "label count mismatch");
+        if new_labels == self.labels.as_slice() {
+            return self.clone();
+        }
+        let perm: Vec<usize> = new_labels
+            .iter()
+            .map(|l| {
+                self.labels
+                    .iter()
+                    .position(|x| x == l)
+                    .expect("new labels must be a permutation of the old")
+            })
+            .collect();
+        let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
+        let mut new_data = vec![Complex::ZERO; self.data.len()];
+        // Strides of the old layout.
+        let mut old_strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            old_strides[i] = old_strides[i + 1] * self.dims[i + 1];
+        }
+        let mut coords = vec![0usize; self.rank()];
+        for (new_off, slot) in new_data.iter_mut().enumerate() {
+            // Decompose new_off into new coordinates.
+            let mut rem = new_off;
+            for i in (0..self.rank()).rev() {
+                coords[i] = rem % new_dims[i];
+                rem /= new_dims[i];
+            }
+            let mut old_off = 0;
+            for (i, &p) in perm.iter().enumerate() {
+                old_off += coords[i] * old_strides[p];
+            }
+            *slot = self.data[old_off];
+        }
+        Tensor {
+            labels: new_labels.to_vec(),
+            dims: new_dims,
+            data: new_data,
+        }
+    }
+
+    /// Contracts `self` with `other` over all shared labels (the paper's
+    /// Example 3 generalised). With no shared labels this is the outer
+    /// product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared label has different dimensions on the two
+    /// tensors.
+    pub fn contract(&self, other: &Tensor) -> Tensor {
+        let shared: Vec<IndexId> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| other.labels.contains(l))
+            .collect();
+        let free_a: Vec<IndexId> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+        let free_b: Vec<IndexId> = other
+            .labels
+            .iter()
+            .copied()
+            .filter(|l| !shared.contains(l))
+            .collect();
+
+        // Reorder both operands so the contraction is one matrix product.
+        let a_order: Vec<IndexId> = free_a.iter().chain(&shared).copied().collect();
+        let b_order: Vec<IndexId> = shared.iter().chain(&free_b).copied().collect();
+        let a = self.transpose_to(&a_order);
+        let b = other.transpose_to(&b_order);
+
+        let dim_of = |t: &Tensor, ls: &[IndexId]| -> usize {
+            ls.iter()
+                .map(|l| t.dims[t.labels.iter().position(|x| x == l).expect("label present")])
+                .product::<usize>()
+                .max(1)
+        };
+        let m = dim_of(&a, &free_a);
+        let k = dim_of(&a, &shared);
+        let k2 = dim_of(&b, &shared);
+        assert_eq!(k, k2, "shared index dimensions disagree");
+        let n = dim_of(&b, &free_b);
+
+        let mut out = vec![Complex::ZERO; m * n];
+        for i in 0..m {
+            for s in 0..k {
+                let av = a.data[i * k + s];
+                if av == Complex::ZERO {
+                    continue;
+                }
+                let brow = &b.data[s * n..(s + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+
+        let mut labels = free_a;
+        labels.extend(free_b.iter().copied());
+        let dims: Vec<usize> = labels
+            .iter()
+            .map(|l| {
+                if a.labels.contains(l) {
+                    a.dims[a.labels.iter().position(|x| x == l).expect("label")]
+                } else {
+                    b.dims[b.labels.iter().position(|x| x == l).expect("label")]
+                }
+            })
+            .collect();
+        Tensor::new(labels, dims, out)
+    }
+
+    /// Memory consumed by the tensor's data, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Complex>()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(labels={:?}, dims={:?})", self.labels, self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex {
+        Complex::real(re)
+    }
+
+    #[test]
+    fn matrix_product_as_contraction() {
+        // Paper Example 3: C_{ij} = Σ_k A_{ik} B_{kj}.
+        let a = Tensor::new(vec![0, 1], vec![2, 2], vec![c(1.0), c(2.0), c(3.0), c(4.0)]);
+        let b = Tensor::new(vec![1, 2], vec![2, 2], vec![c(5.0), c(6.0), c(7.0), c(8.0)]);
+        let out = a.contract(&b);
+        assert_eq!(out.labels(), &[0, 2]);
+        assert_eq!(out.get(&[0, 0]), c(19.0));
+        assert_eq!(out.get(&[0, 1]), c(22.0));
+        assert_eq!(out.get(&[1, 0]), c(43.0));
+        assert_eq!(out.get(&[1, 1]), c(50.0));
+    }
+
+    #[test]
+    fn contraction_to_scalar() {
+        let v = Tensor::new(vec![7], vec![2], vec![c(3.0), c(4.0)]);
+        let w = Tensor::new(vec![7], vec![2], vec![c(1.0), c(2.0)]);
+        let s = v.contract(&w).into_scalar();
+        assert_eq!(s, c(11.0));
+    }
+
+    #[test]
+    fn outer_product_when_no_shared_labels() {
+        let v = Tensor::new(vec![0], vec![2], vec![c(1.0), c(2.0)]);
+        let w = Tensor::new(vec![1], vec![2], vec![c(3.0), c(4.0)]);
+        let o = v.contract(&w);
+        assert_eq!(o.rank(), 2);
+        assert_eq!(o.get(&[1, 0]), c(6.0));
+        assert_eq!(o.size(), 4);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::new(
+            vec![0, 1, 2],
+            vec![2, 3, 2],
+            (0..12).map(|i| c(i as f64)).collect(),
+        );
+        let p = t.transpose_to(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[2, 2, 3]);
+        assert_eq!(p.get(&[1, 0, 2]), t.get(&[0, 2, 1]));
+        let back = p.transpose_to(&[0, 1, 2]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn contraction_is_associative_on_chain() {
+        // (A·B)·C == A·(B·C)
+        let a = Tensor::new(vec![0, 1], vec![2, 2], vec![c(1.0), c(-1.0), c(2.0), c(0.5)]);
+        let b = Tensor::new(vec![1, 2], vec![2, 2], vec![c(0.0), c(1.0), c(1.0), c(0.0)]);
+        let d = Tensor::new(vec![2, 3], vec![2, 2], vec![c(2.0), c(0.0), c(0.0), c(2.0)]);
+        let left = a.contract(&b).contract(&d);
+        let right = a.contract(&b.contract(&d));
+        let right = right.transpose_to(left.labels());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(left.get(&[i, j]).approx_eq(right.get(&[i, j]), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_index_contraction() {
+        // Contract over two shared indices at once.
+        let a = Tensor::new(
+            vec![0, 1, 2],
+            vec![2, 2, 2],
+            (0..8).map(|i| c(i as f64)).collect(),
+        );
+        let b = Tensor::new(
+            vec![1, 2],
+            vec![2, 2],
+            vec![c(1.0), c(1.0), c(1.0), c(1.0)],
+        );
+        let out = a.contract(&b);
+        assert_eq!(out.labels(), &[0]);
+        // Each output entry sums 4 consecutive values.
+        assert_eq!(out.get(&[0]), c(0.0 + 1.0 + 2.0 + 3.0));
+        assert_eq!(out.get(&[1]), c(4.0 + 5.0 + 6.0 + 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated label")]
+    fn repeated_label_rejected() {
+        Tensor::new(vec![0, 0], vec![2, 2], vec![c(0.0); 4]);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(Complex::I);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.size(), 1);
+        assert_eq!(s.into_scalar(), Complex::I);
+    }
+}
+
+impl Tensor {
+    /// Returns the element-wise complex conjugate.
+    pub fn conj(&self) -> Tensor {
+        Tensor {
+            labels: self.labels.clone(),
+            dims: self.dims.clone(),
+            data: self.data.iter().map(|a| a.conj()).collect(),
+        }
+    }
+
+    /// Returns a copy with every label passed through `f` (used to give
+    /// a cloned network fresh indices).
+    pub fn relabel(&self, f: impl Fn(IndexId) -> IndexId) -> Tensor {
+        Tensor {
+            labels: self.labels.iter().map(|&l| f(l)).collect(),
+            dims: self.dims.clone(),
+            data: self.data.clone(),
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Verification (equivalence checking) of quantum circuits — the third
+//! design task of the reproduced paper's introduction.
+//!
+//! Compilation changes circuit structure drastically, so the compiled
+//! circuit must be *proven* to still implement the intended function.
+//! This crate provides one façade over the complementary methods the
+//! paper surveys, each with a different trade-off:
+//!
+//! | Method | Data structure | Scale | Verdict |
+//! |---|---|---|---|
+//! | [`Method::Array`] | dense unitaries (Sec. II) | ≤ ~10 qubits | exact |
+//! | [`Method::DecisionDiagram`] | QMDD miter `G₂†·G₁` (Sec. III) | structured circuits, large | exact |
+//! | [`Method::Zx`] | graph-like rewriting (Sec. V) | Clifford-dominated, large | exact or inconclusive |
+//! | [`Method::RandomStimuli`] | DD simulation of both circuits | any | probabilistic |
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_circuit::generators;
+//! use qdt_verify::{check, Method};
+//!
+//! let a = generators::qft(4, true);
+//! let b = a.clone();
+//! let verdict = check(&a, &b, Method::DecisionDiagram)?;
+//! assert!(verdict.is_equivalent());
+//! # Ok::<(), qdt_verify::VerifyError>(())
+//! ```
+
+use std::fmt;
+
+use qdt_array::circuit_unitary;
+use qdt_circuit::Circuit;
+use qdt_complex::Complex;
+use qdt_compile::coupling::CouplingMap;
+use qdt_compile::routing::RoutedCircuit;
+use qdt_dd::{DdPackage, EquivalenceResult};
+use qdt_zx::ZxEquivalence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The equivalence-checking backend to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Build both full unitaries and compare (exponential; ≤ 10 qubits).
+    Array,
+    /// Decision-diagram miter with proportional alternation.
+    DecisionDiagram,
+    /// ZX-calculus rewriting of `G₁ ; G₂†`.
+    Zx,
+    /// Compare amplitudes of both circuits on random product-state
+    /// inputs; sound for rejection, probabilistic for acceptance.
+    RandomStimuli {
+        /// Number of random input states.
+        samples: usize,
+    },
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Array => write!(f, "array"),
+            Method::DecisionDiagram => write!(f, "decision-diagram"),
+            Method::Zx => write!(f, "zx-calculus"),
+            Method::RandomStimuli { samples } => write!(f, "random-stimuli({samples})"),
+        }
+    }
+}
+
+/// The verdict of an equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Equivalence {
+    /// Proven equal.
+    Equivalent,
+    /// Proven equal up to the given global phase.
+    EquivalentUpToGlobalPhase(Complex),
+    /// All random stimuli agreed (not a proof).
+    ProbablyEquivalent,
+    /// Proven different.
+    NotEquivalent,
+    /// The method could not decide.
+    Inconclusive,
+}
+
+impl Equivalence {
+    /// `true` for every verdict that asserts equality (including the
+    /// probabilistic one).
+    pub fn is_equivalent(&self) -> bool {
+        matches!(
+            self,
+            Equivalence::Equivalent
+                | Equivalence::EquivalentUpToGlobalPhase(_)
+                | Equivalence::ProbablyEquivalent
+        )
+    }
+}
+
+/// Error type for verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The circuits have different widths.
+    WidthMismatch { left: usize, right: usize },
+    /// A circuit contains measurement/reset (strip with
+    /// [`Circuit::unitary_part`] first).
+    NonUnitary,
+    /// The array method was asked for too many qubits.
+    TooLargeForMethod { method: String, num_qubits: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::WidthMismatch { left, right } => {
+                write!(f, "circuit widths differ: {left} vs {right}")
+            }
+            VerifyError::NonUnitary => {
+                write!(f, "circuits must be unitary for equivalence checking")
+            }
+            VerifyError::TooLargeForMethod { method, num_qubits } => {
+                write!(f, "{num_qubits} qubits exceed the {method} method's limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks two circuits for equivalence with the chosen method.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, VerifyError> {
+    if g1.num_qubits() != g2.num_qubits() {
+        return Err(VerifyError::WidthMismatch {
+            left: g1.num_qubits(),
+            right: g2.num_qubits(),
+        });
+    }
+    if !g1.is_unitary() || !g2.is_unitary() {
+        return Err(VerifyError::NonUnitary);
+    }
+    match method {
+        Method::Array => {
+            if g1.num_qubits() > 10 {
+                return Err(VerifyError::TooLargeForMethod {
+                    method: "array".into(),
+                    num_qubits: g1.num_qubits(),
+                });
+            }
+            let u1 = circuit_unitary(g1).map_err(|_| VerifyError::NonUnitary)?;
+            let u2 = circuit_unitary(g2).map_err(|_| VerifyError::NonUnitary)?;
+            if u1.approx_eq(&u2, 1e-9) {
+                Ok(Equivalence::Equivalent)
+            } else if u1.approx_eq_up_to_global_phase(&u2, 1e-9) {
+                // λ with U1 = λ·U2, read off the largest entry.
+                let mut best = (0, 0);
+                let mut mag = 0.0;
+                for r in 0..u2.rows() {
+                    for c in 0..u2.cols() {
+                        if u2.get(r, c).norm_sqr() > mag {
+                            mag = u2.get(r, c).norm_sqr();
+                            best = (r, c);
+                        }
+                    }
+                }
+                let lambda = u1.get(best.0, best.1) / u2.get(best.0, best.1);
+                Ok(Equivalence::EquivalentUpToGlobalPhase(lambda))
+            } else {
+                Ok(Equivalence::NotEquivalent)
+            }
+        }
+        Method::DecisionDiagram => {
+            let mut dd = DdPackage::new();
+            let r = qdt_dd::check_equivalence(&mut dd, g1, g2)
+                .map_err(|_| VerifyError::NonUnitary)?;
+            Ok(match r {
+                EquivalenceResult::Equivalent => Equivalence::Equivalent,
+                EquivalenceResult::EquivalentUpToGlobalPhase(l) => {
+                    Equivalence::EquivalentUpToGlobalPhase(l)
+                }
+                EquivalenceResult::NotEquivalent => Equivalence::NotEquivalent,
+            })
+        }
+        Method::Zx => {
+            let r = qdt_zx::check_equivalence(g1, g2).map_err(|_| VerifyError::NonUnitary)?;
+            Ok(match r {
+                ZxEquivalence::Equivalent => Equivalence::Equivalent,
+                ZxEquivalence::EquivalentUpToGlobalPhase(l) => {
+                    Equivalence::EquivalentUpToGlobalPhase(l)
+                }
+                ZxEquivalence::NotEquivalent => Equivalence::NotEquivalent,
+                ZxEquivalence::Inconclusive => Equivalence::Inconclusive,
+            })
+        }
+        Method::RandomStimuli { samples } => random_stimuli(g1, g2, samples),
+    }
+}
+
+/// Random-stimuli comparison: prepend the same random product-state
+/// preparation to both circuits, simulate on decision diagrams, and
+/// compare the output states by fidelity.
+fn random_stimuli(g1: &Circuit, g2: &Circuit, samples: usize) -> Result<Equivalence, VerifyError> {
+    let n = g1.num_qubits();
+    let mut rng = StdRng::seed_from_u64(0x5717AB1E);
+    for _ in 0..samples.max(1) {
+        let mut prep = Circuit::new(n.max(1));
+        for q in 0..n {
+            prep.u(
+                rng.gen_range(0.0..std::f64::consts::PI),
+                rng.gen_range(0.0..2.0 * std::f64::consts::PI),
+                rng.gen_range(0.0..2.0 * std::f64::consts::PI),
+                q,
+            );
+        }
+        let mut a = prep.clone();
+        a.append(g1);
+        let mut b = prep;
+        b.append(g2);
+        let mut dd = DdPackage::new();
+        let va = dd.run_circuit(&a).map_err(|_| VerifyError::NonUnitary)?;
+        let vb = dd.run_circuit(&b).map_err(|_| VerifyError::NonUnitary)?;
+        let fid = dd.fidelity(&va, &vb);
+        if (fid - 1.0).abs() > 1e-9 {
+            return Ok(Equivalence::NotEquivalent);
+        }
+    }
+    Ok(Equivalence::ProbablyEquivalent)
+}
+
+/// Verifies a routed/compiled circuit against its source: appends the
+/// un-routing SWAPs, remaps the original through the initial layout, and
+/// checks equivalence with the chosen method.
+///
+/// # Errors
+///
+/// Propagates [`check`] errors.
+pub fn verify_compilation(
+    original: &Circuit,
+    routed: &RoutedCircuit,
+    map: &CouplingMap,
+    method: Method,
+) -> Result<Equivalence, VerifyError> {
+    let undone = routed.with_unrouting_swaps(map);
+    let reference = original
+        .unitary_part()
+        .remap(&routed.initial_layout[..original.num_qubits()], map.num_qubits());
+    check(&undone.unitary_part(), &reference, method)
+}
+
+/// Runs every exact method that applies and reports the verdicts
+/// (used by the cross-method agreement experiment C6).
+pub fn check_all(g1: &Circuit, g2: &Circuit) -> Vec<(Method, Result<Equivalence, VerifyError>)> {
+    let mut methods = vec![
+        Method::DecisionDiagram,
+        Method::Zx,
+        Method::RandomStimuli { samples: 8 },
+    ];
+    if g1.num_qubits() <= 8 {
+        methods.insert(0, Method::Array);
+    }
+    methods
+        .into_iter()
+        .map(|m| (m, check(g1, g2, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_compile::routing::route;
+    use qdt_compile::target::GateSet;
+
+    const METHODS: [Method; 4] = [
+        Method::Array,
+        Method::DecisionDiagram,
+        Method::Zx,
+        Method::RandomStimuli { samples: 6 },
+    ];
+
+    #[test]
+    fn all_methods_accept_identical_circuits() {
+        let qc = generators::qft(3, true);
+        for m in METHODS {
+            let r = check(&qc, &qc, m).unwrap();
+            assert!(r.is_equivalent(), "{m}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn all_methods_reject_mutants() {
+        let a = generators::ghz(4);
+        let mut b = generators::ghz(4);
+        b.z(1);
+        for m in METHODS {
+            let r = check(&a, &b, m).unwrap();
+            assert_eq!(r, Equivalence::NotEquivalent, "{m}");
+        }
+    }
+
+    #[test]
+    fn global_phase_detected_consistently() {
+        let mut a = Circuit::new(1);
+        a.rz(1.1, 0);
+        let mut b = Circuit::new(1);
+        b.p(1.1, 0);
+        for m in [Method::Array, Method::DecisionDiagram, Method::Zx] {
+            match check(&a, &b, m).unwrap() {
+                Equivalence::EquivalentUpToGlobalPhase(l) => {
+                    assert!(l.approx_eq(Complex::cis(-0.55), 1e-7), "{m}: {l}");
+                }
+                other => panic!("{m}: expected phase verdict, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_stimuli_catches_subtle_mutation() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let a = generators::random_circuit(4, 4, &mut rng);
+        let mut b = a.clone();
+        b.p(1e-3, 2); // a tiny phase error on one qubit
+        let r = check(&a, &b, Method::RandomStimuli { samples: 10 }).unwrap();
+        assert_eq!(r, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert!(matches!(
+            check(&a, &b, Method::Array),
+            Err(VerifyError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn measurement_rejected() {
+        let mut a = Circuit::with_clbits(1, 1);
+        a.measure(0, 0);
+        let b = Circuit::new(1);
+        assert!(matches!(
+            check(&a, &b, Method::DecisionDiagram),
+            Err(VerifyError::NonUnitary)
+        ));
+    }
+
+    #[test]
+    fn array_method_size_guard() {
+        let a = Circuit::new(16);
+        let b = Circuit::new(16);
+        assert!(matches!(
+            check(&a, &b, Method::Array),
+            Err(VerifyError::TooLargeForMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_qft_verifies() {
+        let qc = generators::qft(4, true);
+        let map = CouplingMap::linear(4);
+        let rebased = qdt_compile::decompose::rebase(&qc, &GateSet::ibm_basis()).unwrap();
+        let routed = route(&rebased, &map).unwrap();
+        assert!(routed.swap_count > 0, "linear QFT must need swaps");
+        let r = verify_compilation(&qc, &routed, &map, Method::DecisionDiagram).unwrap();
+        assert!(r.is_equivalent(), "{r:?}");
+    }
+
+    #[test]
+    fn compiled_circuit_mutation_detected() {
+        let qc = generators::ghz(5);
+        let map = CouplingMap::ring(5);
+        let mut routed = route(&qc, &map).unwrap();
+        // Sabotage the routed circuit.
+        routed.circuit.x(2);
+        let r = verify_compilation(&qc, &routed, &map, Method::DecisionDiagram).unwrap();
+        assert_eq!(r, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn check_all_agreement() {
+        let qc = generators::ghz(4);
+        let results = check_all(&qc, &qc);
+        assert!(results.len() >= 3);
+        for (m, r) in results {
+            let verdict = r.unwrap();
+            assert!(
+                verdict.is_equivalent() || verdict == Equivalence::Inconclusive,
+                "{m}: {verdict:?}"
+            );
+        }
+    }
+
+    use qdt_circuit::Circuit;
+}

@@ -1,0 +1,555 @@
+//! The ZX-diagram data structure.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Phase, Scalar, ZxError};
+
+/// Identifier of a vertex within a [`Diagram`].
+pub type VertexId = usize;
+
+/// The kind of a vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexKind {
+    /// An input/output wire end (no tensor of its own).
+    Boundary,
+    /// A green Z-spider.
+    Z,
+    /// A red X-spider.
+    X,
+}
+
+/// The type of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeType {
+    /// A plain wire (identity).
+    Simple,
+    /// A wire with a Hadamard box on it.
+    Hadamard,
+}
+
+impl EdgeType {
+    /// The composition of two wire segments meeting at a removed vertex.
+    pub fn compose(self, other: EdgeType) -> EdgeType {
+        if self == other {
+            EdgeType::Simple
+        } else {
+            EdgeType::Hadamard
+        }
+    }
+
+    /// The opposite wire type.
+    pub fn toggled(self) -> EdgeType {
+        match self {
+            EdgeType::Simple => EdgeType::Hadamard,
+            EdgeType::Hadamard => EdgeType::Simple,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VertexData {
+    kind: VertexKind,
+    phase: Phase,
+}
+
+/// An open ZX-diagram: spiders and boundaries connected by plain or
+/// Hadamard wires, together with a global [`Scalar`].
+///
+/// At most one edge exists between any two vertices; the *smart* edge
+/// insertion ([`Diagram::add_edge_smart`]) resolves would-be parallel
+/// edges and self-loops using the calculus' rules so this invariant is
+/// maintained through rewriting.
+///
+/// # Example
+///
+/// ```
+/// use qdt_zx::{Diagram, VertexKind, EdgeType, Phase};
+///
+/// // Build ⟨identity wire⟩ by hand: input — output.
+/// let mut d = Diagram::new();
+/// let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+/// let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+/// d.add_edge(i, o, EdgeType::Simple);
+/// d.set_inputs(vec![i]);
+/// d.set_outputs(vec![o]);
+/// let m = d.to_matrix();
+/// assert_eq!(m.rows(), 2);
+/// assert!((m.get(0, 0).re - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Diagram {
+    verts: Vec<Option<VertexData>>,
+    adj: Vec<HashMap<VertexId, EdgeType>>,
+    inputs: Vec<VertexId>,
+    outputs: Vec<VertexId>,
+    scalar: Scalar,
+}
+
+impl Diagram {
+    /// An empty diagram (denoting the scalar 1).
+    pub fn new() -> Self {
+        Diagram {
+            verts: Vec::new(),
+            adj: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            scalar: Scalar::one(),
+        }
+    }
+
+    // --- vertices -----------------------------------------------------------
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self, kind: VertexKind, phase: Phase) -> VertexId {
+        self.verts.push(Some(VertexData { kind, phase }));
+        self.adj.push(HashMap::new());
+        self.verts.len() - 1
+    }
+
+    /// Removes a vertex and all incident edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex does not exist (or was already removed).
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        assert!(self.verts[v].is_some(), "vertex {v} already removed");
+        let nbrs: Vec<VertexId> = self.adj[v].keys().copied().collect();
+        for n in nbrs {
+            self.adj[n].remove(&v);
+        }
+        self.adj[v].clear();
+        self.verts[v] = None;
+    }
+
+    /// Returns `true` if `v` is a live vertex.
+    pub fn contains(&self, v: VertexId) -> bool {
+        v < self.verts.len() && self.verts[v].is_some()
+    }
+
+    /// The kind of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was removed.
+    pub fn kind(&self, v: VertexId) -> VertexKind {
+        self.verts[v].as_ref().expect("live vertex").kind
+    }
+
+    /// Changes the kind of vertex `v` (used by colour change).
+    pub fn set_kind(&mut self, v: VertexId, kind: VertexKind) {
+        self.verts[v].as_mut().expect("live vertex").kind = kind;
+    }
+
+    /// The phase of vertex `v`.
+    pub fn phase(&self, v: VertexId) -> Phase {
+        self.verts[v].as_ref().expect("live vertex").phase
+    }
+
+    /// Sets the phase of vertex `v`.
+    pub fn set_phase(&mut self, v: VertexId, phase: Phase) {
+        self.verts[v].as_mut().expect("live vertex").phase = phase;
+    }
+
+    /// Adds `delta` to the phase of vertex `v`.
+    pub fn add_to_phase(&mut self, v: VertexId, delta: Phase) {
+        let data = self.verts[v].as_mut().expect("live vertex");
+        data.phase = data.phase + delta;
+    }
+
+    /// Iterates over live vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.verts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| i))
+    }
+
+    /// The number of live vertices (including boundaries).
+    pub fn num_vertices(&self) -> usize {
+        self.verts.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// The number of live spiders (Z and X, excluding boundaries).
+    pub fn num_spiders(&self) -> usize {
+        self.vertices()
+            .filter(|&v| self.kind(v) != VertexKind::Boundary)
+            .count()
+    }
+
+    /// The number of spiders carrying a non-Clifford phase — the
+    /// T-count metric of the paper's reference \[39\].
+    pub fn t_count(&self) -> usize {
+        self.vertices()
+            .filter(|&v| self.kind(v) != VertexKind::Boundary && !self.phase(v).is_clifford())
+            .count()
+    }
+
+    // --- edges ---------------------------------------------------------------
+
+    /// Inserts or overwrites the edge `u—v` without any rewriting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops (use [`Diagram::add_edge_smart`]) or dead
+    /// vertices.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, et: EdgeType) {
+        assert_ne!(u, v, "raw add_edge cannot create self-loops");
+        assert!(self.contains(u) && self.contains(v), "dead vertex in edge");
+        self.adj[u].insert(v, et);
+        self.adj[v].insert(u, et);
+    }
+
+    /// Removes the edge `u—v` if present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) {
+        self.adj[u].remove(&v);
+        self.adj[v].remove(&u);
+    }
+
+    /// The type of the edge `u—v`, if connected.
+    pub fn edge_type(&self, u: VertexId, v: VertexId) -> Option<EdgeType> {
+        self.adj[u].get(&v).copied()
+    }
+
+    /// The neighbours of `v` with edge types.
+    pub fn neighbors(&self, v: VertexId) -> Vec<(VertexId, EdgeType)> {
+        let mut out: Vec<(VertexId, EdgeType)> = self.adj[v].iter().map(|(&n, &e)| (n, e)).collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The number of edges in the diagram.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(HashMap::len).sum::<usize>() / 2
+    }
+
+    /// Adds an edge between two **Z-spiders** (or a Z-spider and itself),
+    /// resolving self-loops and parallel edges by the rules of the
+    /// calculus:
+    ///
+    /// * plain self-loop — removed, no change;
+    /// * Hadamard self-loop — removed, phase += π, scalar × 1/√2;
+    /// * plain ∥ plain — single plain edge (idempotent copy);
+    /// * plain ∥ Hadamard — plain edge, `u`'s phase += π, scalar × 1/√2;
+    /// * Hadamard ∥ Hadamard — both removed, scalar × 1/2 (Hopf law).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a Z-spider.
+    pub fn add_edge_smart(&mut self, u: VertexId, v: VertexId, et: EdgeType) {
+        assert_eq!(self.kind(u), VertexKind::Z, "smart edges need Z-spiders");
+        assert_eq!(self.kind(v), VertexKind::Z, "smart edges need Z-spiders");
+        if u == v {
+            match et {
+                EdgeType::Simple => {}
+                EdgeType::Hadamard => {
+                    self.add_to_phase(u, Phase::PI);
+                    self.scalar.mul_sqrt2_power(-1);
+                }
+            }
+            return;
+        }
+        match self.edge_type(u, v) {
+            None => self.add_edge(u, v, et),
+            Some(EdgeType::Simple) => match et {
+                EdgeType::Simple => {}
+                EdgeType::Hadamard => {
+                    self.add_to_phase(u, Phase::PI);
+                    self.scalar.mul_sqrt2_power(-1);
+                }
+            },
+            Some(EdgeType::Hadamard) => match et {
+                EdgeType::Simple => {
+                    self.remove_edge(u, v);
+                    self.add_edge(u, v, EdgeType::Simple);
+                    self.add_to_phase(u, Phase::PI);
+                    self.scalar.mul_sqrt2_power(-1);
+                }
+                EdgeType::Hadamard => {
+                    self.remove_edge(u, v);
+                    self.scalar.mul_sqrt2_power(-2);
+                }
+            },
+        }
+    }
+
+    // --- boundaries & scalar ---------------------------------------------------
+
+    /// The input boundary vertices, in qubit order.
+    pub fn inputs(&self) -> &[VertexId] {
+        &self.inputs
+    }
+
+    /// The output boundary vertices, in qubit order.
+    pub fn outputs(&self) -> &[VertexId] {
+        &self.outputs
+    }
+
+    /// Sets the input boundary list.
+    pub fn set_inputs(&mut self, inputs: Vec<VertexId>) {
+        self.inputs = inputs;
+    }
+
+    /// Sets the output boundary list.
+    pub fn set_outputs(&mut self, outputs: Vec<VertexId>) {
+        self.outputs = outputs;
+    }
+
+    /// The diagram's global scalar.
+    pub fn scalar(&self) -> &Scalar {
+        &self.scalar
+    }
+
+    /// Mutable access to the global scalar.
+    pub fn scalar_mut(&mut self) -> &mut Scalar {
+        &mut self.scalar
+    }
+
+    // --- structural operations ---------------------------------------------------
+
+    /// Sequential composition: `self` followed by `other`
+    /// (`other ∘ self` as linear maps). Outputs of `self` are joined to
+    /// inputs of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZxError::BoundaryMismatch`] if the boundary counts
+    /// disagree.
+    pub fn compose(&mut self, other: &Diagram) -> Result<(), ZxError> {
+        if self.outputs.len() != other.inputs.len() {
+            return Err(ZxError::BoundaryMismatch {
+                left: self.outputs.len(),
+                right: other.inputs.len(),
+            });
+        }
+        // Import other's vertices.
+        let offset = self.verts.len();
+        for (i, vd) in other.verts.iter().enumerate() {
+            self.verts.push(vd.clone());
+            self.adj.push(
+                other.adj[i]
+                    .iter()
+                    .map(|(&n, &e)| (n + offset, e))
+                    .collect(),
+            );
+        }
+        self.scalar.mul(&other.scalar);
+        // Join each of our outputs to the corresponding input of other:
+        // both are boundary vertices with exactly one neighbour; fuse the
+        // two wire stubs into one edge and drop the boundary vertices.
+        let pairs: Vec<(VertexId, VertexId)> = self
+            .outputs
+            .iter()
+            .zip(&other.inputs)
+            .map(|(&o, &i)| (o, i + offset))
+            .collect();
+        for (o, i) in pairs {
+            let (on, oe) = self.sole_neighbor(o);
+            let (inn, ie) = self.sole_neighbor(i);
+            self.remove_vertex(o);
+            self.remove_vertex(i);
+            let et = oe.compose(ie);
+            if on == inn {
+                // A wire looping straight back: only possible when both
+                // sides were bare wires into the same spider.
+                match et {
+                    EdgeType::Simple => {}
+                    EdgeType::Hadamard => {
+                        self.add_to_phase(on, Phase::PI);
+                        self.scalar.mul_sqrt2_power(-1);
+                    }
+                }
+            } else if self.kind(on) != VertexKind::Boundary
+                && self.kind(on) == VertexKind::Z
+                && self.kind(inn) == VertexKind::Z
+            {
+                self.add_edge_smart(on, inn, et);
+            } else if let Some(existing) = self.edge_type(on, inn) {
+                // Parallel edge involving a boundary or X spider: keep
+                // correctness by inserting an explicit identity spider.
+                let _ = existing;
+                let mid = self.add_vertex(VertexKind::Z, Phase::ZERO);
+                self.add_edge(on, mid, et);
+                self.add_edge(mid, inn, EdgeType::Simple);
+            } else {
+                self.add_edge(on, inn, et);
+            }
+        }
+        self.outputs = other.outputs.iter().map(|&v| v + offset).collect();
+        Ok(())
+    }
+
+    fn sole_neighbor(&self, v: VertexId) -> (VertexId, EdgeType) {
+        let nbrs = self.neighbors(v);
+        assert_eq!(nbrs.len(), 1, "boundary vertex {v} must have degree 1");
+        nbrs[0]
+    }
+
+    /// The adjoint (dagger) diagram: inputs and outputs swapped, all
+    /// phases negated, scalar conjugated.
+    pub fn adjoint(&self) -> Diagram {
+        let mut d = self.clone();
+        for v in 0..d.verts.len() {
+            if let Some(vd) = d.verts[v].as_mut() {
+                vd.phase = -vd.phase;
+            }
+        }
+        std::mem::swap(&mut d.inputs, &mut d.outputs);
+        d.scalar.phase = -d.scalar.phase;
+        d.scalar.floatfactor = d.scalar.floatfactor.conj();
+        d
+    }
+
+    /// Plugs computational-basis states into all inputs: bit `false`
+    /// plugs `|0⟩`, `true` plugs `|1⟩` (X-spiders of phase 0/π with a
+    /// 1/√2 scalar each). The diagram becomes a state (no inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the input count.
+    pub fn plug_basis_inputs(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.inputs.len(), "bit count mismatch");
+        let inputs = std::mem::take(&mut self.inputs);
+        for (&b, &bit) in inputs.iter().zip(bits) {
+            self.plug_boundary(b, bit);
+        }
+    }
+
+    /// Plugs `⟨bits|` effects into all outputs, turning the diagram into
+    /// an amplitude (if inputs were plugged too, a scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the output count.
+    pub fn plug_basis_outputs(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.outputs.len(), "bit count mismatch");
+        let outputs = std::mem::take(&mut self.outputs);
+        for (&b, &bit) in outputs.iter().zip(bits) {
+            self.plug_boundary(b, bit);
+        }
+    }
+
+    fn plug_boundary(&mut self, b: VertexId, one: bool) {
+        let (n, et) = self.sole_neighbor(b);
+        self.remove_vertex(b);
+        let phase = if one { Phase::PI } else { Phase::ZERO };
+        let x = self.add_vertex(VertexKind::X, phase);
+        self.add_edge(x, n, et);
+        self.scalar.mul_sqrt2_power(-1);
+    }
+
+    /// Converts every X-spider into a Z-spider by toggling all of its
+    /// incident edge types (the colour-change rule; scalar-free).
+    pub fn color_change_all(&mut self) {
+        let xs: Vec<VertexId> = self
+            .vertices()
+            .filter(|&v| self.kind(v) == VertexKind::X)
+            .collect();
+        for v in xs {
+            // Toggle each incident edge once. An edge between two X
+            // spiders toggles twice overall (once per endpoint), which is
+            // exactly the H·H = I cancellation.
+            let nbrs: Vec<(VertexId, EdgeType)> = self.neighbors(v);
+            for (n, e) in nbrs {
+                self.adj[v].insert(n, e.toggled());
+                self.adj[n].insert(v, e.toggled());
+            }
+            self.set_kind(v, VertexKind::Z);
+        }
+    }
+}
+
+impl Default for Diagram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Diagram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Diagram({} spiders, {} edges, {} inputs, {} outputs, scalar {})",
+            self.num_spiders(),
+            self.num_edges(),
+            self.inputs.len(),
+            self.outputs.len(),
+            self.scalar
+        )?;
+        for v in self.vertices() {
+            let data = self.verts[v].as_ref().expect("live");
+            writeln!(
+                f,
+                "  {v}: {:?} phase {} -> {:?}",
+                data.kind,
+                data.phase,
+                self.neighbors(v)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_lifecycle() {
+        let mut d = Diagram::new();
+        let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let b = d.add_vertex(VertexKind::X, Phase::PI);
+        d.add_edge(a, b, EdgeType::Simple);
+        assert_eq!(d.num_vertices(), 2);
+        assert_eq!(d.num_edges(), 1);
+        d.remove_vertex(b);
+        assert_eq!(d.num_vertices(), 1);
+        assert_eq!(d.num_edges(), 0);
+        assert!(!d.contains(b));
+    }
+
+    #[test]
+    fn smart_hadamard_pair_cancels() {
+        let mut d = Diagram::new();
+        let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let b = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        d.add_edge_smart(a, b, EdgeType::Hadamard);
+        d.add_edge_smart(a, b, EdgeType::Hadamard);
+        assert_eq!(d.edge_type(a, b), None);
+        // Hopf: scalar 1/2.
+        assert!((d.scalar().to_complex().re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smart_hadamard_self_loop() {
+        let mut d = Diagram::new();
+        let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        d.add_edge_smart(a, a, EdgeType::Hadamard);
+        assert!(d.phase(a).is_pi());
+        assert!((d.scalar().to_complex().re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smart_simple_parallel_is_idempotent() {
+        let mut d = Diagram::new();
+        let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let b = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        d.add_edge_smart(a, b, EdgeType::Simple);
+        d.add_edge_smart(a, b, EdgeType::Simple);
+        assert_eq!(d.edge_type(a, b), Some(EdgeType::Simple));
+        assert!((d.scalar().to_complex().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_type_composition() {
+        use EdgeType::*;
+        assert_eq!(Simple.compose(Simple), Simple);
+        assert_eq!(Hadamard.compose(Hadamard), Simple);
+        assert_eq!(Simple.compose(Hadamard), Hadamard);
+    }
+}

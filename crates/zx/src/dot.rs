@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export of ZX-diagrams.
+//!
+//! Renders diagrams in the paper's visual conventions: green circles for
+//! Z-spiders, red circles for X-spiders, squares for boundaries, dashed
+//! blue edges for Hadamard wires; zero phases are omitted.
+
+use std::fmt::Write as _;
+
+use crate::diagram::{Diagram, EdgeType, VertexKind};
+
+impl Diagram {
+    /// Renders the diagram as a Graphviz digraph (`dot -Tsvg` friendly).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph zx {\n  rankdir=LR;\n  node [fontsize=10];\n");
+        for v in self.vertices() {
+            let (shape, color) = match self.kind(v) {
+                VertexKind::Boundary => ("square", "black"),
+                VertexKind::Z => ("circle", "green"),
+                VertexKind::X => ("circle", "red"),
+            };
+            let phase = self.phase(v);
+            let label = if self.kind(v) == VertexKind::Boundary {
+                let io = if self.inputs().contains(&v) {
+                    "in"
+                } else if self.outputs().contains(&v) {
+                    "out"
+                } else {
+                    "b"
+                };
+                io.to_string()
+            } else if phase.is_zero() {
+                String::new()
+            } else {
+                phase.to_string()
+            };
+            writeln!(
+                out,
+                "  v{v} [shape={shape}, color={color}, label=\"{label}\"];"
+            )
+            .expect("write to string");
+        }
+        for u in self.vertices() {
+            for (v, et) in self.neighbors(u) {
+                if u < v {
+                    let style = match et {
+                        EdgeType::Simple => "",
+                        EdgeType::Hadamard => " [style=dashed, color=blue]",
+                    };
+                    writeln!(out, "  v{u} -- v{v}{style};").expect("write to string");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn bell_diagram_renders() {
+        let d = Diagram::from_circuit(&generators::bell()).unwrap();
+        let dot = d.to_dot();
+        assert!(dot.starts_with("graph zx {"));
+        assert!(dot.contains("color=green"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("shape=square"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn hadamard_edges_are_dashed() {
+        let mut qc = qdt_circuit::Circuit::new(2);
+        qc.cz(0, 1);
+        let d = Diagram::from_circuit(&qc).unwrap();
+        assert!(d.to_dot().contains("style=dashed"));
+    }
+
+    #[test]
+    fn phases_are_labelled() {
+        let mut qc = qdt_circuit::Circuit::new(1);
+        qc.t(0);
+        let d = Diagram::from_circuit(&qc).unwrap();
+        assert!(d.to_dot().contains("π/4"), "{}", d.to_dot());
+    }
+}

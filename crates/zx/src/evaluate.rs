@@ -1,0 +1,322 @@
+//! Semantic evaluation of ZX-diagrams through tensor-network
+//! contraction.
+//!
+//! Every rewrite rule in [`simplify`](crate::simplify) claims to preserve
+//! the represented linear map *including its scalar*; this module is the
+//! ground truth those claims are tested against. Each spider becomes a
+//! tensor, each wire a 2×2 identity or Hadamard tensor, and the network
+//! is contracted with the greedy planner from `qdt-tensor` — the same
+//! bridge between Sections IV and V of the paper that tools like PyZX
+//! use for validation.
+
+use std::collections::HashMap;
+
+use qdt_complex::{Complex, Matrix};
+use qdt_tensor::{PlanKind, Tensor, TensorNetwork};
+
+use crate::diagram::{Diagram, EdgeType, VertexKind};
+
+impl Diagram {
+    /// Evaluates the diagram to the dense matrix it denotes.
+    ///
+    /// Row index bits follow the output order (output `i` ↔ bit `i`),
+    /// column bits the input order, so a diagram built from a circuit
+    /// matches the conventions of `qdt_array::circuit_unitary`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram has more than 24 boundary wires (the result
+    /// itself would not fit in memory).
+    pub fn to_matrix(&self) -> Matrix {
+        let n_in = self.inputs().len();
+        let n_out = self.outputs().len();
+        assert!(n_in + n_out <= 24, "too many boundary wires to expand");
+
+        // A label per (edge, endpoint): lab[(min,max,side)] where side 0
+        // is the smaller vertex id.
+        let mut next_label = 0usize;
+        let mut endpoint_label: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut tensors: Vec<Tensor> = Vec::new();
+
+        let mut edges: Vec<(usize, usize, EdgeType)> = Vec::new();
+        for u in self.vertices() {
+            for (v, et) in self.neighbors(u) {
+                if u < v {
+                    edges.push((u, v, et));
+                }
+            }
+        }
+        for &(u, v, et) in &edges {
+            let lu = next_label;
+            let lv = next_label + 1;
+            next_label += 2;
+            endpoint_label.insert((u, v), lu);
+            endpoint_label.insert((v, u), lv);
+            let (a, b) = (Complex::ONE, Complex::ZERO);
+            let data = match et {
+                EdgeType::Simple => vec![a, b, b, a],
+                EdgeType::Hadamard => {
+                    let s = qdt_complex::FRAC_1_SQRT_2;
+                    vec![
+                        Complex::real(s),
+                        Complex::real(s),
+                        Complex::real(s),
+                        Complex::real(-s),
+                    ]
+                }
+            };
+            tensors.push(Tensor::new(vec![lu, lv], vec![2, 2], data));
+        }
+
+        // Spider tensors.
+        for v in self.vertices() {
+            let kind = self.kind(v);
+            if kind == VertexKind::Boundary {
+                continue;
+            }
+            let labels: Vec<usize> = self
+                .neighbors(v)
+                .iter()
+                .map(|&(n, _)| endpoint_label[&(v, n)])
+                .collect();
+            let d = labels.len();
+            let phase = Complex::cis(self.phase(v).to_radians());
+            let size = 1usize << d;
+            let mut data = vec![Complex::ZERO; size.max(1)];
+            match kind {
+                VertexKind::Z => {
+                    if d == 0 {
+                        data[0] = Complex::ONE + phase;
+                    } else {
+                        data[0] = Complex::ONE;
+                        data[size - 1] = phase;
+                    }
+                }
+                VertexKind::X => {
+                    // X spider = H^{⊗d} · Z spider: entry over bits b is
+                    // (1/√2)^d Σ_a e^{iaα} (−1)^{a·(Σb)} =
+                    // (1/√2)^d (1 + (−1)^{|b|} e^{iα}).
+                    let norm = (0.5f64).powf(d as f64 / 2.0);
+                    for (bits, slot) in data.iter_mut().enumerate() {
+                        let parity = (bits.count_ones() & 1) == 1;
+                        let val = if parity {
+                            Complex::ONE - phase
+                        } else {
+                            Complex::ONE + phase
+                        };
+                        *slot = val.scale(norm);
+                    }
+                }
+                VertexKind::Boundary => unreachable!(),
+            }
+            tensors.push(Tensor::new(labels, vec![2; d], data));
+        }
+
+        // Boundary labels (each boundary has exactly one incident edge).
+        let boundary_label = |b: usize| -> usize {
+            let nbrs = self.neighbors(b);
+            assert_eq!(nbrs.len(), 1, "boundary {b} must have degree 1");
+            endpoint_label[&(b, nbrs[0].0)]
+        };
+        // Order open labels so the row-major offset of the final tensor
+        // is row·2^{n_in} + col with output/input bit i at position i.
+        let mut open: Vec<usize> = Vec::new();
+        for &o in self.outputs().iter().rev() {
+            open.push(boundary_label(o));
+        }
+        for &i in self.inputs().iter().rev() {
+            open.push(boundary_label(i));
+        }
+
+        let open_for_net = open.clone();
+        let net = TensorNetwork::from_tensors(tensors, open_for_net.clone());
+        let result = net
+            .contract(PlanKind::Greedy)
+            .expect("greedy planning cannot fail");
+        let result = if result.rank() == 0 {
+            result
+        } else {
+            result.transpose_to(&open)
+        };
+
+        let rows = 1usize << n_out;
+        let cols = 1usize << n_in;
+        let scalar = self.scalar().to_complex();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set(r, c, result.data()[r * cols + c] * scalar);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+    use qdt_complex::FRAC_1_SQRT_2;
+
+    #[test]
+    fn bare_wire_is_identity() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(i, o, EdgeType::Simple);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![o]);
+        assert!(d.to_matrix().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_wire_is_hadamard() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(i, o, EdgeType::Hadamard);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![o]);
+        assert!(d.to_matrix().approx_eq(&Matrix::hadamard(), 1e-12));
+    }
+
+    #[test]
+    fn z_spider_is_phase_gate() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let s = d.add_vertex(VertexKind::Z, Phase::rational(1, 2));
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(i, s, EdgeType::Simple);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        assert!(m.get(0, 0).approx_eq(Complex::ONE, 1e-12));
+        assert!(m.get(1, 1).approx_eq(Complex::I, 1e-12));
+        assert!(m.get(0, 1).approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn x_spider_pi_is_not_gate() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let s = d.add_vertex(VertexKind::X, Phase::PI);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(i, s, EdgeType::Simple);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        assert!(m.get(1, 0).approx_eq(Complex::ONE, 1e-12));
+        assert!(m.get(0, 1).approx_eq(Complex::ONE, 1e-12));
+        assert!(m.get(0, 0).approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn z_state_spider() {
+        // A one-legged Z spider with phase 0 = |0⟩ + |1⟩ = √2 |+⟩.
+        let mut d = Diagram::new();
+        let s = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 1);
+        assert!(m.get(0, 0).approx_eq(Complex::ONE, 1e-12));
+        assert!(m.get(1, 0).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn x_state_spider_is_ket_zero_up_to_sqrt2() {
+        // A one-legged X spider with phase 0 = √2 |0⟩.
+        let mut d = Diagram::new();
+        let s = d.add_vertex(VertexKind::X, Phase::ZERO);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        assert!(m.get(0, 0).approx_eq(Complex::real(2f64.sqrt()), 1e-12));
+        assert!(m.get(1, 0).approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn x_pi_state_is_ket_one() {
+        let mut d = Diagram::new();
+        let s = d.add_vertex(VertexKind::X, Phase::PI);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        assert!(m.get(0, 0).approx_eq(Complex::ZERO, 1e-12));
+        assert!(m.get(1, 0).approx_eq(Complex::real(2f64.sqrt()), 1e-12));
+    }
+
+    #[test]
+    fn cnot_as_z_x_pair() {
+        // Control Z-spider on wire 0, target X-spider on wire 1, joined
+        // by a plain edge; scalar √2.
+        let mut d = Diagram::new();
+        let i0 = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let i1 = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let z = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let x = d.add_vertex(VertexKind::X, Phase::ZERO);
+        let o0 = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let o1 = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        d.add_edge(i0, z, EdgeType::Simple);
+        d.add_edge(z, o0, EdgeType::Simple);
+        d.add_edge(i1, x, EdgeType::Simple);
+        d.add_edge(x, o1, EdgeType::Simple);
+        d.add_edge(z, x, EdgeType::Simple);
+        d.set_inputs(vec![i0, i1]);
+        d.set_outputs(vec![o0, o1]);
+        d.scalar_mut().mul_sqrt2_power(1);
+        let m = d.to_matrix();
+        let expect = {
+            let mut e = Matrix::zeros(4, 4);
+            e.set(0, 0, Complex::ONE);
+            e.set(3, 1, Complex::ONE);
+            e.set(2, 2, Complex::ONE);
+            e.set(1, 3, Complex::ONE);
+            e
+        };
+        assert!(m.approx_eq(&expect, 1e-12), "CX mismatch: {m:?}");
+    }
+
+    #[test]
+    fn scalar_diagram() {
+        // Two connected phase-free Z spiders, no boundaries:
+        // Σ_{a} (edge δ) = 2.
+        let mut d = Diagram::new();
+        let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        let b = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        d.add_edge(a, b, EdgeType::Simple);
+        let m = d.to_matrix();
+        assert_eq!(m.rows(), 1);
+        assert!(m.get(0, 0).approx_eq(Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn isolated_spider_scalar_value() {
+        let mut d = Diagram::new();
+        d.add_vertex(VertexKind::Z, Phase::rational(1, 2));
+        let m = d.to_matrix();
+        assert!(m.get(0, 0).approx_eq(Complex::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_edge_factors() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+        let s = d.add_vertex(VertexKind::Z, Phase::ZERO);
+        d.add_edge(i, s, EdgeType::Hadamard);
+        d.add_edge(s, o, EdgeType::Simple);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![o]);
+        let m = d.to_matrix();
+        let s2 = FRAC_1_SQRT_2;
+        assert!(m.get(0, 0).approx_eq(Complex::real(s2), 1e-12));
+        assert!(m.get(1, 1).approx_eq(Complex::real(-s2), 1e-12));
+    }
+}

@@ -1,0 +1,493 @@
+//! Circuit extraction from graph-like ZX-diagrams.
+//!
+//! Simplified diagrams are only useful to a compiler if they can be
+//! turned back into circuits; this is the extraction procedure of
+//! Duncan/Kissinger/Perdrix/van de Wetering (the paper's reference \[38\]),
+//! in the frontier/Gaussian-elimination formulation popularised by PyZX:
+//!
+//! 1. the *frontier* holds the spider adjacent to each output;
+//! 2. frontier phases leave as `P(α)` gates, frontier–frontier Hadamard
+//!    wires as `CZ` gates;
+//! 3. the GF(2) biadjacency between the frontier and the rest is
+//!    Gauss-eliminated — each row addition is a `CX` — until some row has
+//!    a single 1, whose neighbour then replaces the frontier spider
+//!    (one `H` gate);
+//! 4. when only wires remain, the residual permutation leaves as SWAPs.
+//!
+//! For diagrams obtained from unitary circuits via
+//! [`clifford_simp`](crate::simplify::clifford_simp) the procedure always
+//! succeeds (the diagram has a gflow); diagrams with phase gadgets (from
+//! [`full_reduce`](crate::simplify::full_reduce)) are out of scope and
+//! reported as [`ZxError::Unsupported`]. Extraction is exact up to a
+//! global phase.
+
+use qdt_circuit::Circuit;
+
+use crate::diagram::{Diagram, EdgeType, VertexId, VertexKind};
+use crate::simplify;
+use crate::ZxError;
+
+/// One extracted gate, recorded output-side first.
+#[derive(Debug, Clone, Copy)]
+enum ExGate {
+    Phase(f64, usize),
+    H(usize),
+    Cz(usize, usize),
+    Cx(usize, usize),
+    Swap(usize, usize),
+}
+
+/// Extracts a circuit from a graph-like diagram with equal numbers of
+/// inputs and outputs.
+///
+/// # Errors
+///
+/// Returns [`ZxError::Unsupported`] when the diagram is not graph-like,
+/// the boundary counts differ, a spider touches two boundaries of the
+/// same kind, or the Gaussian elimination gets stuck (no gflow — e.g.
+/// a diagram with phase gadgets).
+pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
+    let unsupported = |msg: &str| ZxError::Unsupported { op: msg.into() };
+    if diagram.inputs().len() != diagram.outputs().len() {
+        return Err(unsupported("extraction needs equal input/output counts"));
+    }
+    if !simplify::is_graph_like(diagram) {
+        return Err(unsupported("extraction needs a graph-like diagram"));
+    }
+    let n = diagram.outputs().len();
+    let mut d = diagram.clone();
+    // Gates in reverse circuit order (output side first).
+    let mut gates: Vec<ExGate> = Vec::new();
+
+    // Normalise output wires to plain edges.
+    for q in 0..n {
+        let o = d.outputs()[q];
+        let nbrs = d.neighbors(o);
+        if nbrs.len() != 1 {
+            return Err(unsupported("output boundary must have degree 1"));
+        }
+        let (v, et) = nbrs[0];
+        if et == EdgeType::Hadamard {
+            gates.push(ExGate::H(q));
+            d.remove_edge(o, v);
+            d.add_edge(o, v, EdgeType::Simple);
+        }
+    }
+
+    // Normalise plain spider–input wires: insert an explicit phase-0
+    // spider with two Hadamard wires (= a plain wire), so that every
+    // spider–input edge is a Hadamard edge and inputs can participate in
+    // the biadjacency uniformly.
+    for idx in 0..d.inputs().len() {
+        let i = d.inputs()[idx];
+        let nbrs = d.neighbors(i);
+        if nbrs.len() != 1 {
+            return Err(unsupported("input boundary must have degree 1"));
+        }
+        let (w, et) = nbrs[0];
+        if d.kind(w) != VertexKind::Boundary && et == EdgeType::Simple {
+            d.remove_edge(i, w);
+            let s = d.add_vertex(VertexKind::Z, crate::Phase::ZERO);
+            d.add_edge(i, s, EdgeType::Hadamard);
+            d.add_edge(s, w, EdgeType::Hadamard);
+        }
+    }
+
+    // Frontier: the spider (or input boundary) behind each output.
+    let frontier_of = |d: &Diagram, q: usize| -> (VertexId, EdgeType) {
+        let o = d.outputs()[q];
+        d.neighbors(o)[0]
+    };
+
+    let max_steps = 4 * (d.num_vertices() + 4) * (n + 1);
+    for _step in 0..max_steps {
+        // 1. Extract frontier phases and CZs.
+        let mut frontier: Vec<Option<VertexId>> = Vec::with_capacity(n);
+        for q in 0..n {
+            let (v, _) = frontier_of(&d, q);
+            if d.kind(v) == VertexKind::Boundary {
+                frontier.push(None); // this wire is finished
+            } else {
+                frontier.push(Some(v));
+            }
+        }
+        for q in 0..n {
+            let Some(v) = frontier[q] else { continue };
+            let ph = d.phase(v);
+            if !ph.is_zero() {
+                gates.push(ExGate::Phase(ph.to_radians(), q));
+                d.set_phase(v, crate::Phase::ZERO);
+            }
+        }
+        for qa in 0..n {
+            let Some(va) = frontier[qa] else { continue };
+            for qb in qa + 1..n {
+                let Some(vb) = frontier[qb] else { continue };
+                if d.edge_type(va, vb) == Some(EdgeType::Hadamard) {
+                    gates.push(ExGate::Cz(qa, qb));
+                    d.remove_edge(va, vb);
+                }
+            }
+        }
+
+        // 2. Retire any frontier spider whose only remaining neighbours
+        //    are its output plus exactly one other vertex.
+        let mut progressed = false;
+        for q in 0..n {
+            let Some(v) = frontier[q] else { continue };
+            let others: Vec<(VertexId, EdgeType)> = d
+                .neighbors(v)
+                .into_iter()
+                .filter(|&(w, _)| w != d.outputs()[q])
+                .collect();
+            if others.len() == 1 {
+                let (w, et) = others[0];
+                // v is a bare connector: output —(plain)— v —(et)— w.
+                if et == EdgeType::Hadamard {
+                    gates.push(ExGate::H(q));
+                }
+                let o = d.outputs()[q];
+                d.remove_vertex(v);
+                d.add_edge(o, w, EdgeType::Simple);
+                progressed = true;
+            } else if others.is_empty() {
+                return Err(unsupported("frontier spider lost all neighbours"));
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        // 3. All frontier spiders have ≥2 non-output neighbours: Gauss
+        //    eliminate the frontier/rest biadjacency over GF(2).
+        let active: Vec<usize> = (0..n).filter(|&q| frontier[q].is_some()).collect();
+        if active.is_empty() {
+            break; // only wires remain
+        }
+        // Columns: everything behind the frontier — interior spiders and
+        // input boundaries alike (all reached via Hadamard wires after
+        // the normalisation above).
+        let mut cols: Vec<VertexId> = Vec::new();
+        for &q in &active {
+            let v = frontier[q].expect("active");
+            for (w, et) in d.neighbors(v) {
+                if w == d.outputs()[q] {
+                    continue;
+                }
+                if et != EdgeType::Hadamard {
+                    return Err(unsupported("plain wire inside the interior"));
+                }
+                if frontier.iter().flatten().any(|&f| f == w) {
+                    return Err(unsupported("leftover frontier-frontier wire"));
+                }
+                if !cols.contains(&w) {
+                    cols.push(w);
+                }
+            }
+        }
+        let row_of = |d: &Diagram, v: VertexId| -> u128 {
+            let mut bits = 0u128;
+            for (ci, &w) in cols.iter().enumerate() {
+                if d.edge_type(v, w).is_some() {
+                    bits |= 1 << ci;
+                }
+            }
+            bits
+        };
+        if cols.len() > 120 {
+            return Err(unsupported("interior too wide for extraction"));
+        }
+        let mut rows: Vec<u128> = active
+            .iter()
+            .map(|&q| row_of(&d, frontier[q].expect("active")))
+            .collect();
+        // Gauss-Jordan via row additions only (rows are physical qubits,
+        // so no row swaps — each row simply becomes the pivot of at most
+        // one column). Every row addition is recorded as a CX gate and
+        // applied to the diagram's edges.
+        let mut used = vec![false; rows.len()];
+        for col in 0..cols.len() {
+            let Some(src) = (0..rows.len())
+                .find(|&r| !used[r] && rows[r] & (1 << col) != 0)
+            else {
+                continue;
+            };
+            used[src] = true;
+            for r in 0..rows.len() {
+                if r != src && rows[r] & (1 << col) != 0 {
+                    rows[r] ^= rows[src];
+                    apply_row_add(&mut d, &mut gates, &frontier, active[src], active[r], &cols);
+                }
+            }
+        }
+        // 4. Any row with a single 1 lets its frontier spider retire next
+        //    iteration (it now has exactly one interior neighbour).
+        let retirable = rows.iter().any(|r| r.count_ones() == 1);
+        if !retirable {
+            return Err(unsupported(
+                "gaussian elimination stuck (no gflow — gadgets present?)",
+            ));
+        }
+    }
+
+    // Residual permutation: every output connects (plainly) to an input.
+    let mut perm = vec![usize::MAX; n]; // perm[q_out] = q_in
+    for q in 0..n {
+        let (v, et) = frontier_of(&d, q);
+        if d.kind(v) != VertexKind::Boundary {
+            return Err(unsupported("extraction loop ended with spiders left"));
+        }
+        if et == EdgeType::Hadamard {
+            gates.push(ExGate::H(q));
+        }
+        let j = d
+            .inputs()
+            .iter()
+            .position(|&i| i == v)
+            .ok_or_else(|| unsupported("output wired to a non-input boundary"))?;
+        perm[q] = j;
+    }
+    // Emit SWAPs (input side = last in `gates`) turning the identity into
+    // the permutation wire crossing.
+    let mut current = perm.clone();
+    for q in 0..n {
+        if current[q] != q {
+            let other = (0..n)
+                .find(|&r| current[r] == q)
+                .expect("permutation is a bijection");
+            gates.push(ExGate::Swap(q, other));
+            current.swap(q, other);
+        }
+    }
+
+    // `gates` is output-side first: reverse into circuit order.
+    let mut qc = Circuit::new(n);
+    for g in gates.into_iter().rev() {
+        match g {
+            ExGate::Phase(t, q) => {
+                qc.p(t, q);
+            }
+            ExGate::H(q) => {
+                qc.h(q);
+            }
+            ExGate::Cz(a, b) => {
+                qc.cz(a, b);
+            }
+            ExGate::Cx(c, t) => {
+                qc.cx(c, t);
+            }
+            ExGate::Swap(a, b) => {
+                qc.swap(a, b);
+            }
+        }
+    }
+    Ok(qc)
+}
+
+/// Applies the GF(2) row addition `row[dst] ^= row[src]` to the diagram
+/// (toggling dst-frontier wires to src's interior neighbours) and records
+/// the corresponding CX gate.
+fn apply_row_add(
+    d: &mut Diagram,
+    gates: &mut Vec<ExGate>,
+    frontier: &[Option<VertexId>],
+    src_q: usize,
+    dst_q: usize,
+    cols: &[VertexId],
+) {
+    let src_v = frontier[src_q].expect("active frontier");
+    let dst_v = frontier[dst_q].expect("active frontier");
+    for &w in cols {
+        if d.edge_type(src_v, w).is_some() {
+            match d.edge_type(dst_v, w) {
+                Some(_) => d.remove_edge(dst_v, w),
+                None => d.add_edge(dst_v, w, EdgeType::Hadamard),
+            }
+        }
+    }
+    // Row addition dst ^= src corresponds to CX with control dst, target
+    // src when read from the output side (validated against the DD
+    // checker in the tests).
+    gates.push(ExGate::Cx(dst_q, src_q));
+}
+
+/// ZX-based circuit optimisation: translate, `clifford_simp`, extract.
+///
+/// The output implements the same unitary up to global phase (checked in
+/// the test suite with the DD equivalence checker).
+///
+/// # Errors
+///
+/// Propagates translation and extraction errors.
+pub fn optimize_circuit(circuit: &Circuit) -> Result<Circuit, ZxError> {
+    let mut d = Diagram::from_circuit(circuit)?;
+    simplify::clifford_simp(&mut d);
+    extract_circuit(&d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_dd::{check_equivalence, DdPackage};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_extraction_correct(qc: &Circuit, label: &str) {
+        let mut d = Diagram::from_circuit(qc).unwrap();
+        simplify::clifford_simp(&mut d);
+        let extracted = extract_circuit(&d)
+            .unwrap_or_else(|e| panic!("{label}: extraction failed: {e}"));
+        let mut dd = DdPackage::new();
+        let r = check_equivalence(&mut dd, qc, &extracted).unwrap();
+        assert!(
+            r.is_equivalent(),
+            "{label}: extracted circuit differs ({r:?}):\n{extracted}"
+        );
+    }
+
+    #[test]
+    fn identity_and_single_gates() {
+        let qc = Circuit::new(2);
+        assert_extraction_correct(&qc, "identity");
+        let mut qc = Circuit::new(1);
+        qc.h(0);
+        assert_extraction_correct(&qc, "h");
+        let mut qc = Circuit::new(1);
+        qc.t(0);
+        assert_extraction_correct(&qc, "t");
+        let mut qc = Circuit::new(2);
+        qc.cz(0, 1);
+        assert_extraction_correct(&qc, "cz");
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1);
+        assert_extraction_correct(&qc, "cx");
+    }
+
+    #[test]
+    fn swap_and_permutations() {
+        let mut qc = Circuit::new(3);
+        qc.swap(0, 2);
+        assert_extraction_correct(&qc, "swap02");
+        let mut qc = Circuit::new(3);
+        qc.swap(0, 1).swap(1, 2);
+        assert_extraction_correct(&qc, "cycle");
+    }
+
+    #[test]
+    fn bell_and_ghz() {
+        assert_extraction_correct(&generators::bell(), "bell");
+        assert_extraction_correct(&generators::ghz(4), "ghz4");
+    }
+
+    #[test]
+    fn random_cliffords_round_trip() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for i in 0..10 {
+            let qc = generators::random_clifford(4, 6, &mut rng);
+            assert_extraction_correct(&qc, &format!("clifford#{i}"));
+        }
+    }
+
+    #[test]
+    fn random_clifford_t_round_trip() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for i in 0..6 {
+            let qc = generators::random_clifford_t(4, 5, 0.25, &mut rng);
+            assert_extraction_correct(&qc, &format!("clifford_t#{i}"));
+        }
+    }
+
+    #[test]
+    fn qft_round_trip() {
+        assert_extraction_correct(&generators::qft(3, true), "qft3");
+        assert_extraction_correct(&generators::qft(4, false), "qft4");
+    }
+
+    #[test]
+    fn optimize_reduces_clifford_circuits() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut reduced = 0;
+        for _ in 0..5 {
+            let qc = generators::random_clifford(5, 12, &mut rng);
+            let out = optimize_circuit(&qc).unwrap();
+            let mut dd = DdPackage::new();
+            let r = check_equivalence(&mut dd, &qc, &out).unwrap();
+            assert!(r.is_equivalent(), "optimize broke semantics: {r:?}");
+            if out.gate_count() < qc.gate_count() {
+                reduced += 1;
+            }
+        }
+        assert!(reduced >= 3, "ZX optimisation should usually shrink Cliffords");
+    }
+
+    #[test]
+    fn boundary_mismatch_rejected() {
+        let mut d = Diagram::new();
+        let i = d.add_vertex(VertexKind::Boundary, crate::Phase::ZERO);
+        let z = d.add_vertex(VertexKind::Z, crate::Phase::ZERO);
+        d.add_edge(i, z, EdgeType::Simple);
+        d.set_inputs(vec![i]);
+        d.set_outputs(vec![]);
+        assert!(extract_circuit(&d).is_err());
+    }
+
+    use qdt_circuit::Circuit;
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use qdt_circuit::{generators, Circuit};
+    use qdt_dd::{check_equivalence, DdPackage};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extraction_survives_a_wide_random_zoo() {
+        let mut rng = StdRng::seed_from_u64(0xC10);
+        let mut checked = 0;
+        for i in 0..12 {
+            let qc = if i % 2 == 0 {
+                generators::random_clifford(5, 10, &mut rng)
+            } else {
+                generators::random_clifford_t(5, 8, 0.2, &mut rng)
+            };
+            let out = optimize_circuit(&qc)
+                .unwrap_or_else(|e| panic!("zoo #{i}: extraction failed: {e}"));
+            let mut dd = DdPackage::new();
+            let r = check_equivalence(&mut dd, &qc, &out).unwrap();
+            assert!(r.is_equivalent(), "zoo #{i}: wrong extraction ({r:?})");
+            checked += 1;
+        }
+        assert_eq!(checked, 12);
+    }
+
+    #[test]
+    fn extraction_of_wider_circuits() {
+        let mut rng = StdRng::seed_from_u64(0xABCD);
+        for i in 0..3 {
+            let qc = generators::random_clifford(7, 12, &mut rng);
+            let out = optimize_circuit(&qc)
+                .unwrap_or_else(|e| panic!("wide #{i}: {e}"));
+            let mut dd = DdPackage::new();
+            let r = check_equivalence(&mut dd, &qc, &out).unwrap();
+            assert!(r.is_equivalent(), "wide #{i}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn extraction_handles_w_state_and_qpe() {
+        for (name, qc) in [
+            ("w4", generators::w_state(4)),
+            ("qpe", generators::phase_estimation(3, 0.3)),
+        ] {
+            let out = optimize_circuit(&qc)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut dd = DdPackage::new();
+            let r = check_equivalence(&mut dd, &qc, &out).unwrap();
+            assert!(r.is_equivalent(), "{name}: {r:?}");
+        }
+        let _ = Circuit::new(1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Spider phases: exact rational multiples of π with a float fallback.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A spider phase, i.e. an angle mod 2π.
+///
+/// Clifford(+T) circuits only produce multiples of π/4, which are kept as
+/// exact fractions so rewrite-rule side conditions ("phase is a multiple
+/// of π/2") are decided exactly. Arbitrary rotations fall back to a float
+/// representation; mixed arithmetic promotes to float.
+///
+/// # Example
+///
+/// ```
+/// use qdt_zx::Phase;
+///
+/// let t = Phase::rational(1, 4); // π/4 — the T gate
+/// assert!(!t.is_clifford());
+/// assert!((t + t).is_proper_clifford()); // π/2 — the S gate
+/// assert!((t + t + t + t).is_pi()); // Z
+/// assert!((t - t).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum Phase {
+    /// `num/den · π`, reduced, with `num ∈ [0, 2·den)`.
+    Rational(i64, i64),
+    /// An arbitrary angle in radians, normalised to `[0, 2π)`.
+    Float(f64),
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+impl Phase {
+    /// The zero phase.
+    pub const ZERO: Phase = Phase::Rational(0, 1);
+    /// The phase π.
+    pub const PI: Phase = Phase::Rational(1, 1);
+
+    /// `num/den · π`, reduced and normalised mod 2π.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn rational(num: i64, den: i64) -> Phase {
+        assert!(den != 0, "denominator must be nonzero");
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+        num = num.rem_euclid(2 * den);
+        Phase::Rational(num, den)
+    }
+
+    /// An arbitrary angle in radians. Angles that are exact multiples of
+    /// π/4 (within 1e-12) are snapped to the rational representation so
+    /// Clifford side conditions stay decidable for circuits built from
+    /// floating-point literals like `std::f64::consts::FRAC_PI_2`.
+    pub fn from_radians(theta: f64) -> Phase {
+        let r = theta / std::f64::consts::FRAC_PI_4;
+        if (r - r.round()).abs() < 1e-12 && r.abs() < 1e15 {
+            Phase::rational(r.round() as i64, 4)
+        } else {
+            Phase::Float(theta.rem_euclid(TWO_PI))
+        }
+    }
+
+    /// The angle in radians, in `[0, 2π)`.
+    pub fn to_radians(self) -> f64 {
+        match self {
+            Phase::Rational(n, d) => n as f64 * std::f64::consts::PI / d as f64,
+            Phase::Float(x) => x,
+        }
+    }
+
+    /// `true` if the phase is 0 (mod 2π).
+    pub fn is_zero(self) -> bool {
+        match self {
+            Phase::Rational(n, _) => n == 0,
+            Phase::Float(x) => x.abs() < 1e-12 || (x - TWO_PI).abs() < 1e-12,
+        }
+    }
+
+    /// `true` if the phase is π.
+    pub fn is_pi(self) -> bool {
+        match self {
+            Phase::Rational(n, d) => n == d,
+            Phase::Float(x) => (x - std::f64::consts::PI).abs() < 1e-12,
+        }
+    }
+
+    /// `true` if the phase is 0 or π (a Pauli phase).
+    pub fn is_pauli(self) -> bool {
+        self.is_zero() || self.is_pi()
+    }
+
+    /// `true` if the phase is a multiple of π/2 (a Clifford phase).
+    pub fn is_clifford(self) -> bool {
+        match self {
+            Phase::Rational(n, d) => (2 * n) % d == 0,
+            Phase::Float(_) => false,
+        }
+    }
+
+    /// `true` if the phase is exactly ±π/2 (a *proper* Clifford phase,
+    /// the side condition of local complementation).
+    pub fn is_proper_clifford(self) -> bool {
+        match self {
+            Phase::Rational(n, d) => d == 2 && (n == 1 || n == 3),
+            Phase::Float(_) => false,
+        }
+    }
+}
+
+impl PartialEq for Phase {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Phase::Rational(a, b), Phase::Rational(c, d)) => a == c && b == d,
+            _ => (self.to_radians() - other.to_radians()).abs() < 1e-12,
+        }
+    }
+}
+
+impl Add for Phase {
+    type Output = Phase;
+    fn add(self, rhs: Phase) -> Phase {
+        match (self, rhs) {
+            (Phase::Rational(a, b), Phase::Rational(c, d)) => {
+                Phase::rational(a * d + c * b, b * d)
+            }
+            _ => Phase::from_radians(self.to_radians() + rhs.to_radians()),
+        }
+    }
+}
+
+impl Sub for Phase {
+    type Output = Phase;
+    fn sub(self, rhs: Phase) -> Phase {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Phase {
+    type Output = Phase;
+    fn neg(self) -> Phase {
+        match self {
+            Phase::Rational(n, d) => Phase::rational(-n, d),
+            Phase::Float(x) => Phase::from_radians(-x),
+        }
+    }
+}
+
+impl Default for Phase {
+    fn default() -> Self {
+        Phase::ZERO
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Rational(0, _) => write!(f, "0"),
+            Phase::Rational(n, 1) => write!(f, "{n}π"),
+            Phase::Rational(n, d) => write!(f, "{n}π/{d}"),
+            Phase::Float(x) => write!(f, "{x:.6}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_normalisation() {
+        assert_eq!(Phase::rational(4, 8), Phase::Rational(1, 2));
+        assert_eq!(Phase::rational(9, 4), Phase::Rational(1, 4));
+        assert_eq!(Phase::rational(-1, 4), Phase::Rational(7, 4));
+        assert_eq!(Phase::rational(2, 1), Phase::Rational(0, 1));
+        assert_eq!(Phase::rational(1, -2), Phase::Rational(3, 2));
+    }
+
+    #[test]
+    fn addition_wraps_mod_2pi() {
+        let t = Phase::rational(7, 4);
+        let s = Phase::rational(1, 2);
+        assert_eq!(t + s, Phase::rational(1, 4));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Phase::ZERO.is_pauli());
+        assert!(Phase::PI.is_pauli());
+        assert!(Phase::rational(1, 2).is_proper_clifford());
+        assert!(Phase::rational(3, 2).is_proper_clifford());
+        assert!(Phase::rational(1, 2).is_clifford());
+        assert!(!Phase::rational(1, 4).is_clifford());
+        assert!(!Phase::PI.is_proper_clifford());
+    }
+
+    #[test]
+    fn float_snapping() {
+        assert_eq!(
+            Phase::from_radians(std::f64::consts::FRAC_PI_2),
+            Phase::Rational(1, 2)
+        );
+        assert!(matches!(Phase::from_radians(0.3), Phase::Float(_)));
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let t = Phase::rational(1, 4);
+        assert!((t - t).is_zero());
+        assert_eq!(-t, Phase::rational(7, 4));
+        let f = Phase::from_radians(0.3);
+        assert!((f - f).is_zero());
+    }
+
+    #[test]
+    fn radians_round_trip() {
+        for (n, d) in [(1i64, 4i64), (3, 2), (1, 1), (0, 1), (7, 4)] {
+            let p = Phase::rational(n, d);
+            assert!((p.to_radians() - n as f64 * std::f64::consts::PI / d as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        let a = Phase::rational(1, 2) + Phase::from_radians(0.3);
+        assert!((a.to_radians() - (std::f64::consts::FRAC_PI_2 + 0.3)).abs() < 1e-12);
+    }
+}

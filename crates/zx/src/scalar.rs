@@ -1,0 +1,214 @@
+//! Exact global scalars of ZX-diagrams.
+//!
+//! Rewrite rules multiply the represented linear map by known constants
+//! (powers of √2 and unit phases). Tracking them exactly — in the style
+//! of PyZX's `Scalar` — is what lets the equivalence checker distinguish
+//! "equal" from "equal up to global phase".
+
+use std::fmt;
+
+use qdt_complex::Complex;
+
+use crate::Phase;
+
+/// A scalar of the form `√2^{power2} · e^{i·phase} · floatfactor`.
+///
+/// The `floatfactor` stays exactly 1 for Clifford+T rewriting; it absorbs
+/// contributions from arbitrary-angle phases (e.g. state plugging on
+/// non-Clifford spiders is never needed by the rules here, but users can
+/// multiply arbitrary complex factors in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scalar {
+    /// Exponent of √2.
+    pub power2: i64,
+    /// Unit phase as a [`Phase`].
+    pub phase: Phase,
+    /// Residual complex factor (exactly 1 unless explicitly multiplied).
+    pub floatfactor: Complex,
+    /// Whether the whole diagram denotes the zero map.
+    pub is_zero: bool,
+}
+
+impl Scalar {
+    /// The scalar 1.
+    pub fn one() -> Scalar {
+        Scalar {
+            power2: 0,
+            phase: Phase::ZERO,
+            floatfactor: Complex::ONE,
+            is_zero: false,
+        }
+    }
+
+    /// The scalar 0.
+    pub fn zero() -> Scalar {
+        Scalar {
+            is_zero: true,
+            ..Scalar::one()
+        }
+    }
+
+    /// Multiplies by `√2^k`.
+    pub fn mul_sqrt2_power(&mut self, k: i64) {
+        self.power2 += k;
+    }
+
+    /// Multiplies by `e^{i·p}`.
+    pub fn mul_phase(&mut self, p: Phase) {
+        self.phase = self.phase + p;
+    }
+
+    /// Multiplies by `1 + e^{i·p}` (the factor produced when a phase
+    /// gadget or a plugged spider collapses to a scalar).
+    pub fn mul_one_plus_phase(&mut self, p: Phase) {
+        // 1 + e^{iθ} = 2·cos(θ/2)·e^{iθ/2}
+        if p.is_pi() {
+            self.is_zero = true;
+            return;
+        }
+        if p.is_zero() {
+            self.power2 += 2;
+            return;
+        }
+        match p {
+            Phase::Rational(n, 2) => {
+                // 1 ± i = √2 · e^{±iπ/4}
+                self.power2 += 1;
+                self.phase = self.phase + Phase::rational(if n == 1 { 1 } else { -1 }, 4);
+            }
+            _ => {
+                let theta = p.to_radians();
+                self.floatfactor =
+                    self.floatfactor * Complex::cis(theta / 2.0).scale(2.0 * (theta / 2.0).cos());
+            }
+        }
+    }
+
+    /// Multiplies by an arbitrary complex factor.
+    pub fn mul_complex(&mut self, c: Complex) {
+        if c == Complex::ZERO {
+            self.is_zero = true;
+        } else {
+            self.floatfactor = self.floatfactor * c;
+        }
+    }
+
+    /// Multiplies by another scalar.
+    pub fn mul(&mut self, other: &Scalar) {
+        self.power2 += other.power2;
+        self.phase = self.phase + other.phase;
+        self.floatfactor = self.floatfactor * other.floatfactor;
+        self.is_zero |= other.is_zero;
+    }
+
+    /// The scalar as a complex number.
+    pub fn to_complex(&self) -> Complex {
+        if self.is_zero {
+            return Complex::ZERO;
+        }
+        let mag = 2f64.powf(self.power2 as f64 / 2.0);
+        Complex::cis(self.phase.to_radians()).scale(mag) * self.floatfactor
+    }
+}
+
+impl Default for Scalar {
+    fn default() -> Self {
+        Scalar::one()
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero {
+            return write!(f, "0");
+        }
+        write!(f, "√2^{} · e^(i·{})", self.power2, self.phase)?;
+        if !self.floatfactor.approx_eq(Complex::ONE, 1e-15) {
+            write!(f, " · {}", self.floatfactor)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_and_zero() {
+        assert_eq!(Scalar::one().to_complex(), Complex::ONE);
+        assert_eq!(Scalar::zero().to_complex(), Complex::ZERO);
+    }
+
+    #[test]
+    fn sqrt2_powers() {
+        let mut s = Scalar::one();
+        s.mul_sqrt2_power(2);
+        assert!(s.to_complex().approx_eq(Complex::real(2.0), 1e-12));
+        s.mul_sqrt2_power(-3);
+        assert!(s
+            .to_complex()
+            .approx_eq(Complex::real(1.0 / 2f64.sqrt()), 1e-12));
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut s = Scalar::one();
+        s.mul_phase(Phase::rational(1, 2));
+        s.mul_phase(Phase::rational(1, 2));
+        assert!(s.to_complex().approx_eq(-Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn one_plus_phase_special_cases() {
+        // 1 + e^{i0} = 2
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::ZERO);
+        assert!(s.to_complex().approx_eq(Complex::real(2.0), 1e-12));
+        // 1 + e^{iπ} = 0
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::PI);
+        assert!(s.is_zero);
+        // 1 + i = √2 e^{iπ/4}
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::rational(1, 2));
+        assert!(s.to_complex().approx_eq(Complex::new(1.0, 1.0), 1e-12));
+        // 1 − i
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::rational(3, 2));
+        assert!(s.to_complex().approx_eq(Complex::new(1.0, -1.0), 1e-12));
+        // generic angle
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::from_radians(0.7));
+        assert!(s
+            .to_complex()
+            .approx_eq(Complex::ONE + Complex::cis(0.7), 1e-12));
+        // T phase: 1 + e^{iπ/4}
+        let mut s = Scalar::one();
+        s.mul_one_plus_phase(Phase::rational(1, 4));
+        assert!(s
+            .to_complex()
+            .approx_eq(Complex::ONE + Complex::cis(std::f64::consts::FRAC_PI_4), 1e-12));
+    }
+
+    #[test]
+    fn mul_combines_fields() {
+        let mut a = Scalar::one();
+        a.mul_sqrt2_power(1);
+        a.mul_phase(Phase::rational(1, 4));
+        let mut b = Scalar::one();
+        b.mul_sqrt2_power(1);
+        b.mul_phase(Phase::rational(7, 4));
+        a.mul(&b);
+        assert!(a.to_complex().approx_eq(Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn zero_absorbs() {
+        let mut s = Scalar::one();
+        s.mul_complex(Complex::ZERO);
+        assert!(s.is_zero);
+        s.mul_sqrt2_power(5);
+        assert_eq!(s.to_complex(), Complex::ZERO);
+    }
+}

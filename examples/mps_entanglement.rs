@@ -1,0 +1,50 @@
+//! Matrix product states: memory vs entanglement.
+//!
+//! Section IV of the paper notes that specialised tensor networks
+//! "alleviate the complexity by imposing structure". This example makes
+//! that concrete: the GHZ state (1 ebit across any cut) simulates
+//! exactly with χ = 2 at 80 qubits, while a random brickwork circuit
+//! needs exponentially growing χ — visible as truncation error when χ is
+//! capped.
+//!
+//! Run with: `cargo run --example mps_entanglement`
+
+use qdt::circuit::generators;
+use qdt::tensor::mps::Mps;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Low entanglement: GHZ scales to widths arrays cannot touch ==");
+    for n in [10usize, 20, 40, 80] {
+        let mps = Mps::from_circuit(&generators::ghz(n), 2)?;
+        println!(
+            "  GHZ_{n:<3} χ=2: {:>5} stored amplitudes (dense would need 2^{n}), \
+             truncation error {:.1e}, ⟨1…1|ψ⟩ = {:.4}",
+            mps.memory_entries(),
+            mps.truncation_error(),
+            mps.amplitude(((1u128) << n) - 1).abs()
+        );
+    }
+
+    println!("\n== High entanglement: random circuits need growing χ ==");
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(1);
+    let qc = generators::random_circuit(n, 8, &mut rng);
+    println!(
+        "  random {n}-qubit circuit, depth 8 ({} gates):",
+        qc.gate_count()
+    );
+    for chi in [2usize, 4, 8, 16, 32, 64] {
+        let mps = Mps::from_circuit(&qc, chi)?;
+        println!(
+            "    χ = {chi:>2}: memory {:>6} entries, max bond {:>2}, truncation error {:.3e}",
+            mps.memory_entries(),
+            mps.max_observed_bond(),
+            mps.truncation_error()
+        );
+    }
+    println!("\nThe error collapses once χ reaches the circuit's entanglement —");
+    println!("the trade-off knob the paper's Section IV describes.");
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Integration: the equivalence checkers must agree with each other —
+//! experiment C6 of DESIGN.md.
+//!
+//! Every exact method (array, DD, ZX) and the probabilistic stimuli
+//! method are run on equivalent pairs (padded, conjugated, decomposed,
+//! compiled) and on inequivalent mutants; verdicts must never conflict.
+
+use qdt::circuit::{generators, Circuit, Gate};
+use qdt::verify::{check, Equivalence, Method};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const METHODS: [Method; 4] = [
+    Method::Array,
+    Method::DecisionDiagram,
+    Method::Zx,
+    Method::RandomStimuli { samples: 6 },
+];
+
+fn expect_equivalent(a: &Circuit, b: &Circuit, label: &str) {
+    for m in METHODS {
+        let r = check(a, b, m).unwrap_or_else(|e| panic!("{label}/{m}: {e}"));
+        assert!(
+            r.is_equivalent() || r == Equivalence::Inconclusive,
+            "{label}/{m}: wrongly rejected ({r:?})"
+        );
+    }
+}
+
+fn expect_not_equivalent(a: &Circuit, b: &Circuit, label: &str) {
+    for m in METHODS {
+        let r = check(a, b, m).unwrap_or_else(|e| panic!("{label}/{m}: {e}"));
+        assert!(
+            r == Equivalence::NotEquivalent || r == Equivalence::Inconclusive,
+            "{label}/{m}: wrongly accepted ({r:?})"
+        );
+    }
+}
+
+#[test]
+fn canceling_pair_padding() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let qc = generators::random_clifford_t(4, 6, 0.25, &mut rng);
+    let mut padded = qc.clone();
+    padded.h(2).z(2).h(2).x(2); // HZH·X = X·X = identity
+    expect_equivalent(&qc, &padded, "padding");
+}
+
+#[test]
+fn commuting_reorder() {
+    // Diagonal gates commute; reordering them preserves the unitary.
+    let mut a = Circuit::new(3);
+    a.t(0).cz(0, 1).s(1).cp(0.4, 1, 2).t(2);
+    let mut b = Circuit::new(3);
+    b.t(2).cp(0.4, 1, 2).s(1).cz(0, 1).t(0);
+    expect_equivalent(&a, &b, "commuting");
+}
+
+#[test]
+fn toffoli_vs_decomposition() {
+    let mut a = Circuit::new(3);
+    a.ccx(0, 1, 2);
+    let b = qdt::compile::decompose::rebase(&a, &qdt::compile::target::GateSet::clifford_t())
+        .unwrap();
+    expect_equivalent(&a, &b, "toffoli");
+}
+
+#[test]
+fn swap_vs_three_cnots() {
+    let mut a = Circuit::new(2);
+    a.swap(0, 1);
+    let mut b = Circuit::new(2);
+    b.cx(0, 1).cx(1, 0).cx(0, 1);
+    expect_equivalent(&a, &b, "swap");
+}
+
+#[test]
+fn rebased_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for i in 0..3 {
+        let qc = generators::random_circuit(4, 3, &mut rng);
+        let rebased =
+            qdt::compile::decompose::rebase(&qc, &qdt::compile::target::GateSet::ibm_basis())
+                .unwrap();
+        // Rebasing drops global phases; every method must still accept.
+        for m in METHODS {
+            let r = check(&qc, &rebased, m).unwrap();
+            assert!(
+                r.is_equivalent() || r == Equivalence::Inconclusive,
+                "rebase#{i}/{m}: {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_gate_mutations_rejected() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let qc = generators::random_clifford_t(4, 5, 0.2, &mut rng);
+    for (i, mutation) in [Gate::Z, Gate::X, Gate::S, Gate::T]
+        .into_iter()
+        .enumerate()
+    {
+        let mut bad = qc.clone();
+        bad.gate(mutation, i % 4, &[]);
+        expect_not_equivalent(&qc, &bad, &format!("mutant-{mutation:?}"));
+    }
+}
+
+#[test]
+fn wrong_cnot_direction_rejected() {
+    let mut a = Circuit::new(3);
+    a.h(0).cx(0, 1).cx(1, 2);
+    let mut b = Circuit::new(3);
+    b.h(0).cx(0, 1).cx(2, 1);
+    expect_not_equivalent(&a, &b, "cnot-direction");
+}
+
+#[test]
+fn angle_perturbation_rejected() {
+    let mut a = Circuit::new(2);
+    a.h(0).crz(0.7, 0, 1);
+    let mut b = Circuit::new(2);
+    b.h(0).crz(0.7001, 0, 1);
+    expect_not_equivalent(&a, &b, "angle");
+}
+
+#[test]
+fn optimizer_output_is_equivalent() {
+    let mut rng = StdRng::seed_from_u64(24);
+    for i in 0..3 {
+        let qc = generators::random_clifford_t(4, 6, 0.3, &mut rng);
+        let opt = qdt::compile::optimize::optimize_with_fusion(&qc);
+        for m in METHODS {
+            let r = check(&qc, &opt, m).unwrap();
+            assert!(
+                r.is_equivalent() || r == Equivalence::Inconclusive,
+                "optimize#{i}/{m}: {r:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration: OpenQASM round trips preserve semantics, not just
+//! structure.
+
+use qdt::circuit::{generators, qasm, Circuit};
+use qdt::verify::{check, Method};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_roundtrip_semantics(qc: &Circuit, label: &str) {
+    let text = qasm::write(qc).unwrap_or_else(|e| panic!("{label}: export failed: {e}"));
+    let back = qasm::parse(&text).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
+    let r = check(
+        &qc.unitary_part(),
+        &back.unitary_part(),
+        Method::DecisionDiagram,
+    )
+    .unwrap();
+    assert!(r.is_equivalent(), "{label}: round trip changed semantics");
+}
+
+#[test]
+fn generators_round_trip() {
+    assert_roundtrip_semantics(&generators::bell(), "bell");
+    assert_roundtrip_semantics(&generators::ghz(5), "ghz");
+    assert_roundtrip_semantics(&generators::qft(4, true), "qft");
+    assert_roundtrip_semantics(&generators::w_state(4), "w");
+    assert_roundtrip_semantics(&generators::phase_estimation(3, 0.375), "qpe");
+}
+
+#[test]
+fn random_circuits_round_trip() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for i in 0..4 {
+        let qc = generators::random_clifford_t(4, 5, 0.3, &mut rng);
+        assert_roundtrip_semantics(&qc, &format!("clifford_t#{i}"));
+    }
+    for i in 0..4 {
+        let qc = generators::random_circuit(4, 4, &mut rng);
+        assert_roundtrip_semantics(&qc, &format!("random#{i}"));
+    }
+}
+
+#[test]
+fn external_program_parses_and_runs() {
+    // A hand-written program in the style of public benchmark suites.
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        u2(0, pi) q[0];      // = H
+        cx q[0], q[1];
+        rz(pi/8) q[1];
+        ccx q[0], q[1], q[2];
+        u3(pi/2, 0, pi) q[2];
+        barrier q;
+        measure q -> c;
+    "#;
+    let qc = qasm::parse(src).unwrap();
+    assert_eq!(qc.num_qubits(), 3);
+    assert_eq!(qc.count_by_name()["measure"], 3);
+    // Execute it: no panic, normalised output.
+    let amps = qdt::amplitudes(&qc.unitary_part(), qdt::Backend::Array).unwrap();
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+    assert!((norm - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn compiled_output_exports_cleanly() {
+    use qdt::compile::coupling::CouplingMap;
+    use qdt::compile::target::GateSet;
+    let qc = generators::qft(4, true);
+    let routed = qdt::compile::compile(&qc, &GateSet::ibm_basis(), &CouplingMap::linear(4)).unwrap();
+    let text = qasm::write(&routed.circuit).unwrap();
+    assert!(text.contains("OPENQASM 2.0"));
+    let back = qasm::parse(&text).unwrap();
+    assert_eq!(back.len(), routed.circuit.len());
+}
