@@ -1,0 +1,69 @@
+//! `qdt-lint` — lint OpenQASM 2.0 files from the command line.
+//!
+//! ```text
+//! cargo run -p qdt-analysis --example qdt-lint -- [--json] file.qasm [...]
+//! ```
+//!
+//! Each file is parsed into a [`qdt_circuit::Circuit`] and run through
+//! the default analyzer (well-formedness, dead code, redundancy) plus
+//! the resource report. Findings print as human-readable text, or as one
+//! JSON document per file with `--json`. The exit code is 1 if any file
+//! fails to parse or produces an error-severity diagnostic, 0 otherwise.
+
+use std::process::ExitCode;
+
+use qdt_analysis::{render_json, render_text, Analyzer};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: qdt-lint [--json] FILE.qasm [FILE.qasm ...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: qdt-lint [--json] FILE.qasm [FILE.qasm ...]");
+        return ExitCode::FAILURE;
+    }
+
+    let analyzer = Analyzer::new();
+    let mut failed = false;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let circuit = match qdt_circuit::qasm::parse(&source) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = analyzer.analyze(&circuit);
+        if json {
+            print!("{}", render_json(path, &report));
+        } else {
+            print!("{}", render_text(path, &report));
+        }
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

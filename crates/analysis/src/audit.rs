@@ -1,0 +1,99 @@
+//! Unified reporting over the backend invariant auditors.
+//!
+//! Each backend crate owns an `audit()` method on its central data
+//! structure (compiled in with that crate's `audit` feature):
+//!
+//! * [`qdt_dd::DdPackage::audit`] — unique-table consistency,
+//!   normalization, terminal reachability of the node arenas.
+//! * [`qdt_zx::Diagram::audit`] — adjacency symmetry, boundary
+//!   integrity, canonical phase representation.
+//! * [`qdt_tensor::mps::Mps::audit`] — bond consistency, bond cap,
+//!   normalisation of the tensor train.
+//!
+//! Those methods return raw `Result<(), Vec<String>>` so the backends
+//! stay free of analysis types. This module adapts their findings into
+//! [`Diagnostic`]s (code [`Code::AuditViolation`], `QDT301`) so audit
+//! failures flow through the same text/JSON reporters as circuit lints.
+
+use crate::{Code, Diagnostic};
+
+/// Adapts a backend auditor result into diagnostics.
+///
+/// `source` names the audited structure (e.g. `"dd-package"`) and
+/// prefixes every message. An `Ok` result yields no diagnostics.
+pub fn violations_to_diagnostics(source: &str, result: Result<(), Vec<String>>) -> Vec<Diagnostic> {
+    match result {
+        Ok(()) => Vec::new(),
+        Err(violations) => violations
+            .into_iter()
+            .map(|v| Diagnostic::new(Code::AuditViolation, None, format!("{source}: {v}")))
+            .collect(),
+    }
+}
+
+/// Audits a decision-diagram package's unique tables and node arenas.
+pub fn audit_dd(package: &qdt_dd::DdPackage) -> Vec<Diagnostic> {
+    violations_to_diagnostics("dd-package", package.audit())
+}
+
+/// Audits a ZX-diagram's adjacency structure and phase canonicity.
+pub fn audit_zx(diagram: &qdt_zx::Diagram) -> Vec<Diagnostic> {
+    violations_to_diagnostics("zx-diagram", diagram.audit())
+}
+
+/// Audits a matrix-product state's bond structure and normalisation.
+pub fn audit_mps(mps: &qdt_tensor::mps::Mps) -> Vec<Diagnostic> {
+    violations_to_diagnostics("mps", mps.audit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::Circuit;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 1..n {
+            qc.cx(0, q);
+        }
+        qc
+    }
+
+    #[test]
+    fn dd_package_audits_clean_after_simulation() {
+        let mut dd = qdt_dd::DdPackage::new();
+        let mut state = dd.zero_state(3);
+        for inst in ghz(3).instructions() {
+            state = dd.apply_instruction(&state, inst).unwrap();
+        }
+        let diags = audit_dd(&dd);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn zx_diagram_audits_clean_after_lowering_and_simplify() {
+        let mut diagram = qdt_zx::Diagram::from_circuit(&ghz(3)).unwrap();
+        assert!(audit_zx(&diagram).is_empty());
+        qdt_zx::simplify::full_reduce(&mut diagram);
+        let diags = audit_zx(&diagram);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mps_audits_clean_after_simulation() {
+        let mps = qdt_tensor::mps::Mps::from_circuit(&ghz(4), 16).unwrap();
+        let diags = audit_mps(&mps);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn violations_become_qdt301_errors() {
+        let diags =
+            violations_to_diagnostics("demo", Err(vec!["first".to_string(), "second".to_string()]));
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == Code::AuditViolation));
+        assert!(diags[0].message.starts_with("demo: "));
+        assert!(violations_to_diagnostics("demo", Ok(())).is_empty());
+    }
+}

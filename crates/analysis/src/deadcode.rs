@@ -1,0 +1,123 @@
+//! Dead-code lints (`QDT1xx`).
+
+use qdt_circuit::{Circuit, OpKind};
+
+use crate::{Code, Diagnostic, Pass};
+
+/// Flags gates that can never influence a measurement outcome
+/// (`QDT101`) and qubits no instruction touches (`QDT102`).
+pub struct DeadCode;
+
+impl Pass for DeadCode {
+    fn name(&self) -> &'static str {
+        "dead-code"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let nq = circuit.num_qubits();
+
+        // Index of each qubit's final measurement, if any.
+        let mut final_measure: Vec<Option<usize>> = vec![None; nq];
+        let mut touched = vec![false; nq];
+        for (i, inst) in circuit.iter().enumerate() {
+            for q in inst.qubits() {
+                if q < nq {
+                    touched[q] = true;
+                }
+            }
+            if let OpKind::Measure { qubit, .. } = inst.kind {
+                if qubit < nq {
+                    final_measure[qubit] = Some(i);
+                }
+            }
+        }
+
+        // A gate on a measured-out qubit is dead unless a reset revives
+        // the qubit first. `live` flips back on at a reset.
+        let mut dead: Vec<bool> = vec![false; nq];
+        for (i, inst) in circuit.iter().enumerate() {
+            match inst.kind {
+                OpKind::Measure { qubit, .. } if qubit < nq && final_measure[qubit] == Some(i) => {
+                    dead[qubit] = true;
+                }
+                OpKind::Reset { qubit } if qubit < nq => {
+                    dead[qubit] = false;
+                }
+                OpKind::Barrier(_) => {}
+                OpKind::Unitary { .. } | OpKind::Swap { .. } => {
+                    let dead_qubits: Vec<usize> = inst
+                        .qubits()
+                        .into_iter()
+                        .filter(|&q| q < nq && dead[q])
+                        .collect();
+                    if !dead_qubits.is_empty() {
+                        out.push(Diagnostic::new(
+                            Code::GateAfterMeasure,
+                            Some(i),
+                            format!(
+                                "{}: acts on qubit{} {:?} after the final measurement; \
+                                 it cannot affect any outcome",
+                                inst.name(),
+                                if dead_qubits.len() == 1 { "" } else { "s" },
+                                dead_qubits
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for (q, was_touched) in touched.iter().enumerate() {
+            if !was_touched {
+                out.push(Diagnostic::new(
+                    Code::UntouchedQubit,
+                    None,
+                    format!("qubit {q} is never used by any instruction"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_after_final_measure_is_dead() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).measure(0, 0).x(0).measure(1, 1);
+        let diags = DeadCode.run(&qc);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::GateAfterMeasure);
+        assert_eq!(diags[0].instruction_index, Some(2));
+    }
+
+    #[test]
+    fn mid_circuit_measure_is_not_dead() {
+        let mut qc = Circuit::with_clbits(1, 2);
+        qc.h(0).measure(0, 0).x(0).measure(0, 1);
+        assert!(DeadCode.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn reset_revives_a_measured_qubit() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0).reset(0).x(0);
+        assert!(DeadCode.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn untouched_qubit_is_reported() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 2);
+        let diags = DeadCode.run(&qc);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::UntouchedQubit);
+        assert!(diags[0].message.contains("qubit 1"));
+        assert_eq!(diags[0].instruction_index, None);
+    }
+}

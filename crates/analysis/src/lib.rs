@@ -1,0 +1,307 @@
+//! Static analysis for quantum circuits and (behind the `audit` feature)
+//! invariant auditing of the backing data structures.
+//!
+//! The paper's three design tasks — simulation, compilation, verification
+//! — all assume their inputs are *well-formed*. This crate makes that
+//! assumption checkable:
+//!
+//! * **Circuit lints** run over a [`qdt_circuit::Circuit`] and produce
+//!   structured [`Diagnostic`]s: well-formedness (`QDT0xx`), dead code
+//!   (`QDT1xx`), redundancy (`QDT2xx`).
+//! * **A resource report** ([`ResourceReport`]) summarises gate counts,
+//!   T-count, depth and Clifford membership — the quantities compilers
+//!   and fault-tolerance estimates key off.
+//! * **Invariant auditors** (feature `audit`, re-exported in
+//!   [`audit`](mod@crate::audit)) check the decision-diagram unique
+//!   tables, ZX adjacency symmetry, and MPS bond consistency that make
+//!   the backends sound.
+//!
+//! # Example
+//!
+//! ```
+//! use qdt_analysis::Analyzer;
+//! use qdt_circuit::Circuit;
+//!
+//! let mut qc = Circuit::new(2);
+//! qc.h(0).h(0).cx(0, 1); // adjacent H·H is redundant
+//! let report = Analyzer::new().analyze(&qc);
+//! assert!(report.diagnostics.iter().any(|d| d.code == qdt_analysis::Code::RedundantPair));
+//! ```
+
+mod deadcode;
+mod redundancy;
+mod report;
+mod resources;
+mod wellformed;
+
+#[cfg(feature = "audit")]
+pub mod audit;
+
+pub use deadcode::DeadCode;
+pub use redundancy::Redundancy;
+pub use report::{render_json, render_text};
+pub use resources::{resource_report, ResourceReport};
+pub use wellformed::WellFormedness;
+
+use qdt_circuit::Circuit;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: nothing wrong, but worth knowing.
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// The circuit is ill-formed; backends may panic or mis-execute.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the reporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric bands group related findings:
+/// `QDT0xx` well-formedness, `QDT1xx` dead code, `QDT2xx` redundancy,
+/// `QDT3xx` data-structure audit violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// QDT001: a qubit index is out of range for the register.
+    QubitOutOfRange,
+    /// QDT002: one instruction names the same qubit twice.
+    DuplicateQubit,
+    /// QDT003: a classical bit index is out of range.
+    ClbitOutOfRange,
+    /// QDT004: an instruction is conditioned on a classical bit no
+    /// earlier measurement writes.
+    CondUnwrittenClbit,
+    /// QDT101: a gate acts on a qubit after its final measurement.
+    GateAfterMeasure,
+    /// QDT102: a qubit is never touched by any instruction.
+    UntouchedQubit,
+    /// QDT201: two adjacent instructions cancel (H·H, X·X, CX·CX, …).
+    RedundantPair,
+    /// QDT301: a data-structure invariant auditor found a violation.
+    AuditViolation,
+}
+
+impl Code {
+    /// The stable `QDTnnn` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::QubitOutOfRange => "QDT001",
+            Code::DuplicateQubit => "QDT002",
+            Code::ClbitOutOfRange => "QDT003",
+            Code::CondUnwrittenClbit => "QDT004",
+            Code::GateAfterMeasure => "QDT101",
+            Code::UntouchedQubit => "QDT102",
+            Code::RedundantPair => "QDT201",
+            Code::AuditViolation => "QDT301",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::QubitOutOfRange | Code::ClbitOutOfRange | Code::DuplicateQubit => Severity::Error,
+            Code::CondUnwrittenClbit | Code::GateAfterMeasure | Code::RedundantPair => {
+                Severity::Warning
+            }
+            Code::UntouchedQubit => Severity::Info,
+            Code::AuditViolation => Severity::Error,
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code identifying the kind of finding.
+    pub code: Code,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The instruction the finding anchors to (`None` for circuit-level
+    /// findings such as untouched qubits).
+    pub instruction_index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `code`'s default severity.
+    pub fn new(code: Code, instruction_index: Option<usize>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            instruction_index,
+            message: message.into(),
+        }
+    }
+}
+
+/// A lint pass over a circuit.
+pub trait Pass {
+    /// A short identifier, e.g. `"well-formedness"`.
+    fn name(&self) -> &'static str;
+    /// Runs the pass and returns its findings.
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic>;
+}
+
+/// The combined result of running the analyzer.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// All findings, ordered by instruction index (circuit-level findings
+    /// last) then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The circuit's resource summary.
+    pub resources: ResourceReport,
+}
+
+impl AnalysisReport {
+    /// Returns `true` if no finding is at [`Severity::Error`].
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with the given code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+}
+
+/// Runs a configurable sequence of [`Pass`]es plus the resource report.
+pub struct Analyzer {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with the default pass set: well-formedness, dead code,
+    /// redundancy.
+    pub fn new() -> Self {
+        Analyzer {
+            passes: vec![
+                Box::new(WellFormedness),
+                Box::new(DeadCode),
+                Box::new(Redundancy),
+            ],
+        }
+    }
+
+    /// An analyzer with no passes; add them with [`Analyzer::with_pass`].
+    pub fn empty() -> Self {
+        Analyzer { passes: Vec::new() }
+    }
+
+    /// Appends a pass (builder-style).
+    #[must_use]
+    pub fn with_pass(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `circuit` and collects the findings.
+    pub fn analyze(&self, circuit: &Circuit) -> AnalysisReport {
+        let mut diagnostics: Vec<Diagnostic> =
+            self.passes.iter().flat_map(|p| p.run(circuit)).collect();
+        diagnostics.sort_by(|a, b| {
+            // Circuit-level findings (no index) sort after instruction
+            // findings; ties break on code for stable output.
+            let ka = (a.instruction_index.is_none(), a.instruction_index, a.code);
+            let kb = (b.instruction_index.is_none(), b.instruction_index, b.code);
+            ka.cmp(&kb)
+        });
+        AnalysisReport {
+            diagnostics,
+            resources: resource_report(circuit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::{Circuit, Gate, Instruction, OpKind};
+
+    fn unchecked_gate(qc: &mut Circuit, gate: Gate, target: usize, controls: &[usize]) {
+        qc.push_unchecked(Instruction::new(OpKind::Unitary {
+            gate,
+            target,
+            controls: controls.to_vec(),
+        }));
+    }
+
+    #[test]
+    fn clean_circuit_is_clean() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let report = Analyzer::new().analyze(&qc);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn malformed_circuit_yields_wellformedness_codes() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        unchecked_gate(&mut qc, Gate::X, 7, &[]); // QDT001
+        unchecked_gate(&mut qc, Gate::X, 1, &[1]); // QDT002
+        qc.push_unchecked(Instruction::new(OpKind::Measure { qubit: 0, clbit: 9 })); // QDT003
+        qc.push_unchecked(
+            Instruction::new(OpKind::Unitary {
+                gate: Gate::Z,
+                target: 0,
+                controls: vec![],
+            })
+            .with_cond(0, true), // QDT004: c[0] never written
+        );
+        let report = Analyzer::new().analyze(&qc);
+        for code in [
+            Code::QubitOutOfRange,
+            Code::DuplicateQubit,
+            Code::ClbitOutOfRange,
+            Code::CondUnwrittenClbit,
+        ] {
+            assert!(
+                report.with_code(code).count() > 0,
+                "expected {} in {:?}",
+                code.as_str(),
+                report.diagnostics
+            );
+        }
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_instruction() {
+        let mut qc = Circuit::new(3);
+        qc.h(1).h(1); // redundant pair at index 1
+        let report = Analyzer::new().analyze(&qc);
+        let indices: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.instruction_index)
+            .collect();
+        let mut sorted = indices.clone();
+        sorted.sort_by_key(|i| (i.is_none(), *i));
+        assert_eq!(indices, sorted);
+    }
+}

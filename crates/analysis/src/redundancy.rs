@@ -1,0 +1,168 @@
+//! Redundancy lints (`QDT2xx`): adjacent gate pairs that cancel.
+
+use qdt_circuit::{Circuit, Instruction, OpKind};
+
+use crate::{Code, Diagnostic, Pass};
+
+/// Flags adjacent self-cancelling pairs: H·H, X·X, CX·CX, S·S†, and any
+/// other `g† g` with identical qubit footprint (`QDT201`). "Adjacent"
+/// means no instruction between the two touches any of their qubits.
+pub struct Redundancy;
+
+/// Structural test: does `b` undo `a`? Exact on the gate enum (no
+/// matrix arithmetic), so `Rz(θ)` then `Rz(-θ)` is caught but two
+/// rotations that merely sum to zero numerically are not.
+fn cancels(a: &Instruction, b: &Instruction) -> bool {
+    if a.cond.is_some() || b.cond.is_some() {
+        return false; // conditioned gates may or may not fire
+    }
+    match (&a.kind, &b.kind) {
+        (
+            OpKind::Unitary {
+                gate: g1,
+                target: t1,
+                controls: c1,
+            },
+            OpKind::Unitary {
+                gate: g2,
+                target: t2,
+                controls: c2,
+            },
+        ) => {
+            if t1 != t2 {
+                return false;
+            }
+            let mut s1 = c1.clone();
+            let mut s2 = c2.clone();
+            s1.sort_unstable();
+            s2.sort_unstable();
+            s1 == s2 && g1.inverse() == *g2
+        }
+        (
+            OpKind::Swap {
+                a: a1,
+                b: b1,
+                controls: c1,
+            },
+            OpKind::Swap {
+                a: a2,
+                b: b2,
+                controls: c2,
+            },
+        ) => {
+            let p1 = (a1.min(b1), a1.max(b1));
+            let p2 = (a2.min(b2), a2.max(b2));
+            let mut s1 = c1.clone();
+            let mut s2 = c2.clone();
+            s1.sort_unstable();
+            s2.sort_unstable();
+            p1 == p2 && s1 == s2
+        }
+        _ => false,
+    }
+}
+
+impl Pass for Redundancy {
+    fn name(&self) -> &'static str {
+        "redundancy"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let nq = circuit.num_qubits();
+        // Last instruction index seen per qubit (barriers count: they
+        // pin ordering, so a pair straddling a barrier is not flagged).
+        let mut last: Vec<Option<usize>> = vec![None; nq];
+        let insts = circuit.instructions();
+        for (i, inst) in insts.iter().enumerate() {
+            let qs: Vec<usize> = inst.qubits().into_iter().filter(|&q| q < nq).collect();
+            if inst.is_unitary() {
+                // All our qubits must point at the same predecessor.
+                let preds: Vec<Option<usize>> = qs.iter().map(|&q| last[q]).collect();
+                if let Some(Some(p)) = preds.first().copied() {
+                    if preds.iter().all(|&x| x == Some(p)) && cancels(&insts[p], inst) {
+                        out.push(Diagnostic::new(
+                            Code::RedundantPair,
+                            Some(i),
+                            format!(
+                                "{} at {i} cancels with {} at {p}; both can be removed",
+                                inst.name(),
+                                insts[p].name()
+                            ),
+                        ));
+                    }
+                }
+            }
+            for &q in &qs {
+                last[q] = Some(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_h_is_redundant() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).h(0);
+        let diags = Redundancy.run(&qc);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].instruction_index, Some(1));
+    }
+
+    #[test]
+    fn cx_cx_is_redundant() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).cx(0, 1);
+        assert_eq!(Redundancy.run(&qc).len(), 1);
+    }
+
+    #[test]
+    fn s_sdg_is_redundant() {
+        let mut qc = Circuit::new(1);
+        qc.s(0).sdg(0);
+        assert_eq!(Redundancy.run(&qc).len(), 1);
+    }
+
+    #[test]
+    fn swap_swap_is_redundant() {
+        let mut qc = Circuit::new(2);
+        qc.swap(0, 1).swap(0, 1);
+        assert_eq!(Redundancy.run(&qc).len(), 1);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_the_pair() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).x(0).h(0);
+        assert!(Redundancy.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn different_footprints_do_not_cancel() {
+        let mut qc = Circuit::new(3);
+        qc.cx(0, 1).cx(0, 2);
+        assert!(Redundancy.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn spectator_qubit_does_not_block() {
+        // A gate on an unrelated qubit between the pair leaves it
+        // adjacent on its own qubits.
+        let mut qc = Circuit::new(2);
+        qc.h(0).x(1).h(0);
+        assert_eq!(Redundancy.run(&qc).len(), 1);
+    }
+
+    #[test]
+    fn conditioned_gates_never_cancel() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0).h(0).c_if(0, true);
+        // The second H is conditioned: not a static pair with anything.
+        assert!(Redundancy.run(&qc).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Text and JSON rendering of an [`AnalysisReport`].
+//!
+//! The JSON writer is hand-rolled (the workspace builds offline, without
+//! serde); the escape rules cover everything the diagnostics emit.
+
+use std::fmt::Write as _;
+
+use crate::AnalysisReport;
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a report as human-readable text, one finding per line,
+/// followed by the resource summary.
+pub fn render_text(name: &str, report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let loc = match d.instruction_index {
+            Some(i) => format!("instruction {i}"),
+            None => "circuit".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{name}: {}[{}] at {loc}: {}",
+            d.severity.label(),
+            d.code.as_str(),
+            d.message
+        );
+    }
+    let r = &report.resources;
+    let _ = writeln!(
+        out,
+        "{name}: {} qubits, {} clbits, {} instructions, depth {} \
+         (2q-depth {}), T-count {}, 2q-gates {}, clifford-only: {}",
+        r.num_qubits,
+        r.num_clbits,
+        r.num_instructions,
+        r.depth,
+        r.two_qubit_depth,
+        r.t_count,
+        r.two_qubit_gate_count,
+        r.clifford_only
+    );
+    let counts: Vec<String> = r
+        .gate_counts
+        .iter()
+        .map(|(g, c)| format!("{g}:{c}"))
+        .collect();
+    if !counts.is_empty() {
+        let _ = writeln!(out, "{name}: gate counts: {}", counts.join(" "));
+    }
+    out
+}
+
+/// Renders a report as a JSON document:
+/// `{"name": …, "diagnostics": […], "resources": {…}}`.
+pub fn render_json(name: &str, report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": \"{}\",", json_escape(name));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let idx = match d.instruction_index {
+            Some(i) => i.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"code\": \"{}\", \"severity\": \"{}\", \
+             \"instruction_index\": {idx}, \"message\": \"{}\"}}",
+            d.code.as_str(),
+            d.severity.label(),
+            json_escape(&d.message)
+        );
+        out.push_str(if i + 1 < report.diagnostics.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let r = &report.resources;
+    out.push_str("  \"resources\": {\n");
+    let _ = writeln!(out, "    \"num_qubits\": {},", r.num_qubits);
+    let _ = writeln!(out, "    \"num_clbits\": {},", r.num_clbits);
+    let _ = writeln!(out, "    \"num_instructions\": {},", r.num_instructions);
+    let _ = writeln!(out, "    \"depth\": {},", r.depth);
+    let _ = writeln!(out, "    \"two_qubit_depth\": {},", r.two_qubit_depth);
+    let _ = writeln!(
+        out,
+        "    \"two_qubit_gate_count\": {},",
+        r.two_qubit_gate_count
+    );
+    let _ = writeln!(out, "    \"t_count\": {},", r.t_count);
+    let _ = writeln!(out, "    \"clifford_only\": {},", r.clifford_only);
+    out.push_str("    \"gate_counts\": {");
+    let counts: Vec<String> = r
+        .gate_counts
+        .iter()
+        .map(|(g, c)| format!("\"{}\": {c}", json_escape(g)))
+        .collect();
+    out.push_str(&counts.join(", "));
+    out.push_str("}\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Analyzer;
+    use qdt_circuit::Circuit;
+
+    #[test]
+    fn text_report_lists_findings_and_resources() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(0).cx(0, 1);
+        let report = Analyzer::new().analyze(&qc);
+        let text = super::render_text("demo", &report);
+        assert!(text.contains("QDT201"), "{text}");
+        assert!(text.contains("clifford-only: true"), "{text}");
+    }
+
+    #[test]
+    fn json_report_is_structurally_sound() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).h(0).measure(0, 0);
+        let report = Analyzer::new().analyze(&qc);
+        let json = super::render_json("demo", &report);
+        assert!(json.contains("\"code\": \"QDT201\""), "{json}");
+        assert!(json.contains("\"t_count\": 0"), "{json}");
+        // Balanced braces/brackets (cheap structural sanity check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

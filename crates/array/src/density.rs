@@ -35,7 +35,10 @@ impl NoiseChannel {
     /// Panics if the channel parameter lies outside `[0, 1]`.
     pub fn kraus_operators(&self) -> Vec<Matrix> {
         let check = |p: f64| {
-            assert!((0.0..=1.0).contains(&p), "channel parameter {p} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "channel parameter {p} outside [0,1]"
+            );
             p
         };
         let z = Complex::ZERO;
@@ -187,6 +190,11 @@ impl DensityMatrix {
         }
         let mut dm = DensityMatrix::zero_state(circuit.num_qubits().max(1));
         for inst in circuit {
+            if inst.cond.is_some() {
+                return Err(ArrayError::NonUnitary {
+                    op: format!("conditioned {}", inst.name()),
+                });
+            }
             match &inst.kind {
                 OpKind::Unitary {
                     gate,
@@ -409,7 +417,11 @@ mod tests {
 
     #[test]
     fn noiseless_matches_state_vector() {
-        for qc in [generators::bell(), generators::ghz(3), generators::qft(3, true)] {
+        for qc in [
+            generators::bell(),
+            generators::ghz(3),
+            generators::qft(3, true),
+        ] {
             let dm = DensityMatrix::from_circuit(&qc, &noiseless()).unwrap();
             let psi = StateVector::from_circuit(&qc).unwrap();
             assert!((dm.purity() - 1.0).abs() < 1e-10, "pure run lost purity");
@@ -467,7 +479,10 @@ mod tests {
         let p_before = dm.probability(0);
         dm.apply_channel(NoiseChannel::PhaseDamping(1.0), 0);
         assert!((dm.probability(0) - p_before).abs() < 1e-12);
-        assert!(dm.as_matrix().get(0, 1).abs() < 1e-12, "coherence must vanish");
+        assert!(
+            dm.as_matrix().get(0, 1).abs() < 1e-12,
+            "coherence must vanish"
+        );
     }
 
     #[test]

@@ -50,14 +50,26 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArrayError {
     /// The amplitude vector length was not a power of two.
-    NotPowerOfTwo { len: usize },
+    NotPowerOfTwo {
+        /// The offending vector length.
+        len: usize,
+    },
     /// The state norm deviated from 1 beyond tolerance.
-    NotNormalized { norm: f64 },
+    NotNormalized {
+        /// The measured norm.
+        norm: f64,
+    },
     /// The circuit contains an instruction the deterministic paths cannot
     /// execute (measurement/reset need an RNG — use [`ArraySimulator`]).
-    NonUnitary { op: String },
+    NonUnitary {
+        /// Name of the offending operation.
+        op: String,
+    },
     /// The qubit count exceeds what fits in memory / a `usize` index.
-    TooManyQubits { num_qubits: usize },
+    TooManyQubits {
+        /// The requested qubit count.
+        num_qubits: usize,
+    },
 }
 
 impl fmt::Display for ArrayError {
@@ -70,7 +82,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "state has norm {norm}, expected 1")
             }
             ArrayError::NonUnitary { op } => {
-                write!(f, "instruction {op} is not unitary; use ArraySimulator::run")
+                write!(
+                    f,
+                    "instruction {op} is not unitary; use ArraySimulator::run"
+                )
             }
             ArrayError::TooManyQubits { num_qubits } => {
                 write!(f, "{num_qubits} qubits exceed the array-based limit")

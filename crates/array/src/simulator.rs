@@ -74,11 +74,21 @@ impl ArraySimulator {
         let mut state = StateVector::zero_state(circuit.num_qubits().max(1));
         let mut classical_bits = vec![false; circuit.num_clbits()];
         for inst in circuit {
+            if let Some(cond) = inst.cond {
+                if classical_bits[cond.clbit] != cond.value {
+                    continue; // condition unmet: the instruction is a no-op
+                }
+            }
             match &inst.kind {
                 OpKind::Measure { qubit, clbit } => {
                     classical_bits[*clbit] = state.measure_qubit(*qubit, rng);
                 }
                 OpKind::Reset { qubit } => state.reset_qubit(*qubit, rng),
+                _ if inst.cond.is_some() => {
+                    // Condition satisfied: apply the bare operation (the
+                    // state-vector path rejects conditioned instructions).
+                    state.apply_instruction(&qdt_circuit::Instruction::new(inst.kind.clone()))?;
+                }
                 _ => state.apply_instruction(inst)?,
             }
         }

@@ -241,7 +241,10 @@ impl StateVector {
     ///
     /// Panics on out-of-range or duplicate indices.
     pub fn apply_swap(&mut self, a: usize, b: usize, controls: &[usize]) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(a, b, "swap qubits must differ");
         let mut cmask = 0usize;
         for &c in controls {
@@ -264,9 +267,15 @@ impl StateVector {
     ///
     /// # Errors
     ///
-    /// Returns [`ArrayError::NonUnitary`] for measurement and reset.
-    /// Barriers are no-ops.
+    /// Returns [`ArrayError::NonUnitary`] for measurement, reset, and
+    /// classically conditioned instructions (a state vector carries no
+    /// classical register). Barriers are no-ops.
     pub fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), ArrayError> {
+        if inst.cond.is_some() {
+            return Err(ArrayError::NonUnitary {
+                op: format!("conditioned {}", inst.name()),
+            });
+        }
         match &inst.kind {
             OpKind::Unitary {
                 gate,
@@ -370,7 +379,13 @@ impl fmt::Debug for StateVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "StateVector({} qubits) [", self.num_qubits)?;
         for (i, a) in self.amps.iter().enumerate().take(8) {
-            write!(f, "{}|{:0w$b}⟩: {a}", if i > 0 { ", " } else { "" }, i, w = self.num_qubits)?;
+            write!(
+                f,
+                "{}|{:0w$b}⟩: {a}",
+                if i > 0 { ", " } else { "" },
+                i,
+                w = self.num_qubits
+            )?;
         }
         if self.amps.len() > 8 {
             write!(f, ", …")?;
@@ -521,7 +536,7 @@ mod tests {
         let bell = StateVector::from_circuit(&generators::bell()).unwrap();
         let mut phased = bell.clone();
         for a in &mut phased.amps {
-            *a = *a * Complex::cis(1.234);
+            *a *= Complex::cis(1.234);
         }
         assert!(bell.approx_eq_up_to_global_phase(&phased, 1e-12));
     }
@@ -601,11 +616,7 @@ impl StateVector {
     ///
     /// Panics if the string's width differs from the state's.
     pub fn expectation_pauli(&self, pauli: &qdt_circuit::PauliString) -> f64 {
-        assert_eq!(
-            pauli.num_qubits(),
-            self.num_qubits,
-            "Pauli width mismatch"
-        );
+        assert_eq!(pauli.num_qubits(), self.num_qubits, "Pauli width mismatch");
         let mut transformed = self.clone();
         for (q, p) in pauli.support() {
             transformed.apply_gate(&p.matrix(), q);
@@ -623,7 +634,7 @@ mod pauli_tests {
     fn z_expectations_match_dedicated_method() {
         let psi = StateVector::from_circuit(&generators::w_state(4)).unwrap();
         for q in 0..4 {
-            let mut s = vec!['I'; 4];
+            let mut s = ['I'; 4];
             s[3 - q] = 'Z';
             let p: PauliString = s.iter().collect::<String>().parse().unwrap();
             assert!(
@@ -692,9 +703,7 @@ impl StateVector {
                 .enumerate()
                 .fold(0, |acc, (pos, &q)| acc | (((full >> q) & 1) << pos))
         };
-        let env_qubits: Vec<usize> = (0..self.num_qubits)
-            .filter(|q| !keep.contains(q))
-            .collect();
+        let env_qubits: Vec<usize> = (0..self.num_qubits).filter(|q| !keep.contains(q)).collect();
         let mut rho = Matrix::zeros(dim, dim);
         // Iterate over environment configurations, accumulating
         // |ψ_e⟩⟨ψ_e| on the kept subsystem.

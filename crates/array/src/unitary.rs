@@ -25,6 +25,11 @@ pub fn instruction_unitary(inst: &Instruction, num_qubits: usize) -> Result<Matr
     if num_qubits > MAX_UNITARY_QUBITS {
         return Err(ArrayError::TooManyQubits { num_qubits });
     }
+    if inst.cond.is_some() {
+        return Err(ArrayError::NonUnitary {
+            op: format!("conditioned {}", inst.name()),
+        });
+    }
     let dim = 1usize << num_qubits;
     match &inst.kind {
         OpKind::Unitary {

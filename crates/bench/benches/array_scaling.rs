@@ -10,11 +10,9 @@ fn bench_array_scaling(c: &mut Criterion) {
     for family in [Family::Ghz, Family::Qft] {
         for n in [8usize, 12, 16, 18, 20] {
             let qc = family.circuit(n);
-            group.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &qc,
-                |b, qc| b.iter(|| StateVector::from_circuit(qc).expect("fits")),
-            );
+            group.bench_with_input(BenchmarkId::new(family.name(), n), &qc, |b, qc| {
+                b.iter(|| StateVector::from_circuit(qc).expect("fits"));
+            });
         }
     }
     group.finish();

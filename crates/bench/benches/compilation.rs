@@ -18,7 +18,7 @@ fn bench_routing(c: &mut Criterion) {
     ];
     for (name, map) in &maps {
         group.bench_with_input(BenchmarkId::from_parameter(name), map, |b, map| {
-            b.iter(|| route(&qc, map).expect("routes"))
+            b.iter(|| route(&qc, map).expect("routes"));
         });
     }
     group.finish();
@@ -31,7 +31,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
         let qc = fam.circuit(6);
         let map = CouplingMap::heavy_hex(2, 3);
         group.bench_with_input(BenchmarkId::from_parameter(fam.name()), &qc, |b, qc| {
-            b.iter(|| compile(qc, &GateSet::ibm_basis(), &map).expect("compiles"))
+            b.iter(|| compile(qc, &GateSet::ibm_basis(), &map).expect("compiles"));
         });
     }
     group.finish();

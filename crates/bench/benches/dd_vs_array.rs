@@ -27,7 +27,7 @@ fn bench_dd_vs_array(c: &mut Criterion) {
                     b.iter(|| {
                         let mut dd = DdPackage::new();
                         dd.run_circuit(qc).expect("dd sim")
-                    })
+                    });
                 },
             );
         }

@@ -33,7 +33,7 @@ fn bench_dd_miter_scaling(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let g = generators::ghz(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| check(g, g, Method::DecisionDiagram).expect("dd check"))
+            b.iter(|| check(g, g, Method::DecisionDiagram).expect("dd check"));
         });
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! (Section IV, refs \[31\]/\[35\]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qdt::tensor::mps::Mps;
 use qdt::circuit::generators;
+use qdt::tensor::mps::Mps;
 use qdt_bench::Family;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,7 +14,7 @@ fn bench_ghz_width(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let qc = Family::Ghz.circuit(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &qc, |b, qc| {
-            b.iter(|| Mps::from_circuit(qc, 2).expect("ghz on mps"))
+            b.iter(|| Mps::from_circuit(qc, 2).expect("ghz on mps"));
         });
     }
     group.finish();
@@ -27,7 +27,7 @@ fn bench_chi_sweep(c: &mut Criterion) {
     let qc = generators::random_circuit(10, 5, &mut rng);
     for chi in [2usize, 8, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(chi), &qc, |b, qc| {
-            b.iter(|| Mps::from_circuit(qc, chi).expect("mps run"))
+            b.iter(|| Mps::from_circuit(qc, chi).expect("mps run"));
         });
     }
     group.finish();

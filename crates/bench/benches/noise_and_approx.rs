@@ -18,7 +18,7 @@ fn bench_noisy_trajectories(c: &mut Criterion) {
             b.iter(|| {
                 let mut dd = DdPackage::new();
                 dd.run_noisy_trajectory(qc, &noise, &mut rng).expect("runs")
-            })
+            });
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn bench_approximation(c: &mut Criterion) {
                     let mut dd = DdPackage::new();
                     let mut v = dd.run_circuit(qc).expect("simulates");
                     dd.approximate(&mut v, budget)
-                })
+                });
             },
         );
     }

@@ -28,10 +28,10 @@ fn bench_amplitude_vs_state(c: &mut Criterion) {
     for n in [12usize, 16] {
         let tn = TensorNetwork::from_circuit(&Family::Ghz.circuit(n));
         group.bench_with_input(BenchmarkId::new("single_amplitude", n), &tn, |b, tn| {
-            b.iter(|| tn.amplitude(0, PlanKind::Greedy).expect("amplitude"))
+            b.iter(|| tn.amplitude(0, PlanKind::Greedy).expect("amplitude"));
         });
         group.bench_with_input(BenchmarkId::new("full_state", n), &tn, |b, tn| {
-            b.iter(|| tn.state_vector(PlanKind::Greedy).expect("state"))
+            b.iter(|| tn.state_vector(PlanKind::Greedy).expect("state"));
         });
     }
     group.finish();

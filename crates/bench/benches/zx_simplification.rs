@@ -21,7 +21,7 @@ fn bench_clifford_simp(c: &mut Criterion) {
                     let mut copy = d.clone();
                     simplify::clifford_simp(&mut copy);
                     copy.num_spiders()
-                })
+                });
             },
         );
     }
@@ -34,7 +34,7 @@ fn bench_translation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0xC5 + 1);
     let qc = generators::random_clifford_t(8, 16, 0.3, &mut rng);
     group.bench_function("clifford_t_8x16", |b| {
-        b.iter(|| Diagram::from_circuit(&qc).expect("translation"))
+        b.iter(|| Diagram::from_circuit(&qc).expect("translation"));
     });
     group.finish();
 }

@@ -7,9 +7,9 @@
 
 use qdt::array::StateVector;
 use qdt::circuit::generators;
-use qdt::complex::Complex;
 use qdt::compile::coupling::CouplingMap;
 use qdt::compile::target::GateSet;
+use qdt::complex::Complex;
 use qdt::dd::DdPackage;
 use qdt::tensor::mps::Mps;
 use qdt::tensor::{ContractionPlan, PlanKind, TensorNetwork};
@@ -271,7 +271,10 @@ fn c3_tn_contraction() {
 fn c4_mps_truncation() {
     header("C4 — matrix product states: entanglement vs memory (Sec. IV)");
     println!("GHZ (1 ebit across any cut): exact at chi=2 at any width");
-    println!("{:>6} {:>12} {:>14} {:>12}", "qubits", "mps entries", "trunc error", "time");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "qubits", "mps entries", "trunc error", "time"
+    );
     for n in [16usize, 32, 64, 96] {
         let qc = generators::ghz(n);
         let (mps, secs) = timed(|| Mps::from_circuit(&qc, 2).expect("ghz on mps"));
@@ -304,7 +307,15 @@ fn c5_zx_simplification() {
     header("C5 — ZX-calculus: terminating graph-like simplification (Sec. V)");
     println!(
         "{:>6} {:>6} {:>7} | {:>8} {:>8} | {:>13} {:>13} | {:>13} {:>13}",
-        "qubits", "depth", "t_prob", "spiders", "t-count", "clifford_simp", "t-count", "full_reduce", "t-count"
+        "qubits",
+        "depth",
+        "t_prob",
+        "spiders",
+        "t-count",
+        "clifford_simp",
+        "t-count",
+        "full_reduce",
+        "t-count"
     );
     let mut rng = StdRng::seed_from_u64(0xC5);
     for (n, depth, t_prob) in [
@@ -355,7 +366,10 @@ fn c6_equivalence() {
         Method::Zx,
         Method::RandomStimuli { samples: 8 },
     ];
-    println!("{:>22} {:>22} {:>22}", "method", "optimised (expect ==)", "mutant (expect !=)");
+    println!(
+        "{:>22} {:>22} {:>22}",
+        "method", "optimised (expect ==)", "mutant (expect !=)"
+    );
     for m in methods {
         let (pos, pos_secs) = timed(|| check(&qc, &optimized, m).expect("check runs"));
         let (neg, neg_secs) = timed(|| check(&qc, &mutant, m).expect("check runs"));
@@ -411,7 +425,11 @@ fn c10_zx_extraction() {
             qc.two_qubit_gate_count(),
             out.gate_count(),
             out.two_qubit_gate_count(),
-            if verdict.is_equivalent() { "yes" } else { "NO!" }
+            if verdict.is_equivalent() {
+                "yes"
+            } else {
+                "NO!"
+            }
         );
     }
     println!("(circuit -> diagram -> clifford_simp -> extracted circuit, DD-verified;");
@@ -471,10 +489,18 @@ fn c8_noise() {
             .expect("noisy sampling")
     });
     println!("depolarizing p = {p}, GHZ-4, {trajectories} trajectories ({secs:.2}s):");
-    println!("{:>8} {:>14} {:>14}", "basis", "monte-carlo", "density-matrix");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "basis", "monte-carlo", "density-matrix"
+    );
     for i in [0usize, 5, 15] {
         let mc = counts.get(&(i as u128)).copied().unwrap_or(0) as f64 / trajectories as f64;
-        println!("{:>8} {:>14.4} {:>14.4}", format!("|{i:04b}>"), mc, dm.probability(i));
+        println!(
+            "{:>8} {:>14.4} {:>14.4}",
+            format!("|{i:04b}>"),
+            mc,
+            dm.probability(i)
+        );
     }
     println!("\nnoisy simulation beyond density-matrix reach (24 qubits):");
     let wide = generators::ghz(24);
@@ -542,7 +568,11 @@ fn c7_compilation() {
                 routed.circuit.two_qubit_gate_count(),
                 routed.swap_count,
                 routed.circuit.depth(),
-                if verdict.is_equivalent() { "yes" } else { "NO!" }
+                if verdict.is_equivalent() {
+                    "yes"
+                } else {
+                    "NO!"
+                }
             );
         }
     }

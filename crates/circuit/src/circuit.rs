@@ -44,16 +44,38 @@ pub enum OpKind {
     Barrier(Vec<usize>),
 }
 
-/// A single instruction; currently a thin wrapper around [`OpKind`] kept as
-/// a distinct type so that metadata (e.g. timing) can be added without
-/// breaking the API.
+/// A classical condition attached to an instruction: execute only if
+/// `clbit` currently holds `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Condition {
+    /// The classical bit inspected.
+    pub clbit: usize,
+    /// The value the bit must hold for the instruction to fire.
+    pub value: bool,
+}
+
+/// A single instruction: an [`OpKind`] plus optional metadata (currently
+/// a classical [`Condition`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// What the instruction does.
     pub kind: OpKind,
+    /// Classical condition gating execution (`None` = always execute).
+    pub cond: Option<Condition>,
 }
 
 impl Instruction {
+    /// An unconditioned instruction.
+    pub fn new(kind: OpKind) -> Instruction {
+        Instruction { kind, cond: None }
+    }
+
+    /// This instruction gated on `clbit == value`.
+    pub fn with_cond(mut self, clbit: usize, value: bool) -> Instruction {
+        self.cond = Some(Condition { clbit, value });
+        self
+    }
+
     /// All qubits this instruction touches (targets then controls).
     pub fn qubits(&self) -> Vec<usize> {
         match &self.kind {
@@ -75,8 +97,12 @@ impl Instruction {
     }
 
     /// Returns `true` for unitary operations (gates and swaps).
+    ///
+    /// A classically conditioned gate is *not* unitary as a map on the
+    /// quantum state alone — whether it fires depends on the classical
+    /// register — so conditioned instructions always return `false`.
     pub fn is_unitary(&self) -> bool {
-        matches!(self.kind, OpKind::Unitary { .. } | OpKind::Swap { .. })
+        self.cond.is_none() && matches!(self.kind, OpKind::Unitary { .. } | OpKind::Swap { .. })
     }
 
     /// A short human-readable name, e.g. `"cx"` or `"measure"`.
@@ -168,6 +194,12 @@ impl Circuit {
         self.instructions.iter()
     }
 
+    /// Attaches `cond` to the instruction at `index` (crate-internal: the
+    /// QASM parser conditions broadcast statements after appending them).
+    pub(crate) fn set_cond(&mut self, index: usize, cond: Option<Condition>) {
+        self.instructions[index].cond = cond;
+    }
+
     fn validate(&self, inst: &Instruction) -> Result<(), CircuitError> {
         let qs = inst.qubits();
         for &q in &qs {
@@ -193,6 +225,14 @@ impl Circuit {
                 });
             }
         }
+        if let Some(cond) = inst.cond {
+            if cond.clbit >= self.num_clbits {
+                return Err(CircuitError::ClbitOutOfRange {
+                    clbit: cond.clbit,
+                    num_clbits: self.num_clbits,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -208,6 +248,16 @@ impl Circuit {
         Ok(())
     }
 
+    /// Appends an instruction **without** validating it.
+    ///
+    /// Intended for building deliberately ill-formed circuits (e.g. to
+    /// exercise `qdt-analysis` well-formedness lints) and for decoders of
+    /// already-validated external formats. Everything else should use
+    /// [`Circuit::push`].
+    pub fn push_unchecked(&mut self, inst: Instruction) {
+        self.instructions.push(inst);
+    }
+
     /// Appends a unitary gate with the given controls, panicking on invalid
     /// indices (builder-style convenience).
     ///
@@ -215,13 +265,11 @@ impl Circuit {
     ///
     /// Panics if any qubit index is out of range or repeated.
     pub fn gate(&mut self, gate: Gate, target: usize, controls: &[usize]) -> &mut Self {
-        let inst = Instruction {
-            kind: OpKind::Unitary {
-                gate,
-                target,
-                controls: controls.to_vec(),
-            },
-        };
+        let inst = Instruction::new(OpKind::Unitary {
+            gate,
+            target,
+            controls: controls.to_vec(),
+        });
         self.push(inst).expect("invalid gate qubits");
         self
     }
@@ -347,13 +395,11 @@ impl Circuit {
     ///
     /// Panics if `a == b` or either index is out of range.
     pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
-        self.push(Instruction {
-            kind: OpKind::Swap {
-                a,
-                b,
-                controls: vec![],
-            },
-        })
+        self.push(Instruction::new(OpKind::Swap {
+            a,
+            b,
+            controls: vec![],
+        }))
         .expect("invalid swap qubits");
         self
     }
@@ -363,13 +409,11 @@ impl Circuit {
     ///
     /// Panics on invalid or duplicate qubit indices.
     pub fn cswap(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
-        self.push(Instruction {
-            kind: OpKind::Swap {
-                a,
-                b,
-                controls: vec![c],
-            },
-        })
+        self.push(Instruction::new(OpKind::Swap {
+            a,
+            b,
+            controls: vec![c],
+        }))
         .expect("invalid cswap qubits");
         self
     }
@@ -382,10 +426,8 @@ impl Circuit {
     ///
     /// Panics if either index is out of range.
     pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
-        self.push(Instruction {
-            kind: OpKind::Measure { qubit, clbit },
-        })
-        .expect("invalid measurement indices");
+        self.push(Instruction::new(OpKind::Measure { qubit, clbit }))
+            .expect("invalid measurement indices");
         self
     }
 
@@ -395,20 +437,37 @@ impl Circuit {
     ///
     /// Panics if the index is out of range.
     pub fn reset(&mut self, qubit: usize) -> &mut Self {
-        self.push(Instruction {
-            kind: OpKind::Reset { qubit },
-        })
-        .expect("invalid reset index");
+        self.push(Instruction::new(OpKind::Reset { qubit }))
+            .expect("invalid reset index");
         self
     }
 
     /// Adds a barrier over all qubits.
     pub fn barrier(&mut self) -> &mut Self {
         let qs: Vec<usize> = (0..self.num_qubits).collect();
-        self.push(Instruction {
-            kind: OpKind::Barrier(qs),
-        })
-        .expect("barrier cannot fail");
+        self.push(Instruction::new(OpKind::Barrier(qs)))
+            .expect("barrier cannot fail");
+        self
+    }
+
+    /// Conditions the most recently appended instruction on
+    /// `clbit == value` (mirrors Qiskit's `c_if`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is empty or `clbit` is out of range for the
+    /// classical register.
+    pub fn c_if(&mut self, clbit: usize, value: bool) -> &mut Self {
+        assert!(
+            clbit < self.num_clbits,
+            "c_if clbit {clbit} out of range for {} classical bits",
+            self.num_clbits
+        );
+        let last = self
+            .instructions
+            .last_mut()
+            .expect("c_if called on an empty circuit");
+        last.cond = Some(Condition { clbit, value });
         self
     }
 
@@ -465,6 +524,12 @@ impl Circuit {
     /// The circuit depth: the longest chain of instructions that must
     /// execute sequentially because they share qubits. Barriers force
     /// alignment across their qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range qubit indices, which only circuits built
+    /// via [`Circuit::push_unchecked`] can contain (use
+    /// `qdt-analysis` to lint those first).
     pub fn depth(&self) -> usize {
         let mut frontier = vec![0usize; self.num_qubits];
         for inst in &self.instructions {
@@ -490,6 +555,13 @@ impl Circuit {
     pub fn inverse(&self) -> Result<Circuit, CircuitError> {
         let mut inv = Circuit::with_clbits(self.num_qubits, self.num_clbits);
         for inst in self.instructions.iter().rev() {
+            if inst.cond.is_some() {
+                // Undoing a conditioned gate would need the classical
+                // register state at the original execution point.
+                return Err(CircuitError::NotInvertible {
+                    op: format!("conditioned {}", inst.name()),
+                });
+            }
             let kind = match &inst.kind {
                 OpKind::Unitary {
                     gate,
@@ -512,7 +584,7 @@ impl Circuit {
                     })
                 }
             };
-            inv.instructions.push(Instruction { kind });
+            inv.instructions.push(Instruction::new(kind));
         }
         Ok(inv)
     }
@@ -567,7 +639,10 @@ impl Circuit {
                 OpKind::Reset { qubit } => OpKind::Reset { qubit: m(*qubit) },
                 OpKind::Barrier(qs) => OpKind::Barrier(qs.iter().map(|&q| m(q)).collect()),
             };
-            qc.instructions.push(Instruction { kind });
+            qc.instructions.push(Instruction {
+                kind,
+                cond: inst.cond,
+            });
         }
         qc
     }
@@ -614,28 +689,27 @@ mod tests {
     fn push_validates_range() {
         let mut qc = Circuit::new(2);
         let err = qc
-            .push(Instruction {
-                kind: OpKind::Unitary {
-                    gate: Gate::X,
-                    target: 5,
-                    controls: vec![],
-                },
-            })
+            .push(Instruction::new(OpKind::Unitary {
+                gate: Gate::X,
+                target: 5,
+                controls: vec![],
+            }))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 5, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange { qubit: 5, .. }
+        ));
     }
 
     #[test]
     fn push_validates_duplicates() {
         let mut qc = Circuit::new(2);
         let err = qc
-            .push(Instruction {
-                kind: OpKind::Unitary {
-                    gate: Gate::X,
-                    target: 1,
-                    controls: vec![1],
-                },
-            })
+            .push(Instruction::new(OpKind::Unitary {
+                gate: Gate::X,
+                target: 1,
+                controls: vec![1],
+            }))
             .unwrap_err();
         assert!(matches!(err, CircuitError::DuplicateQubit { qubit: 1 }));
     }
@@ -644,11 +718,12 @@ mod tests {
     fn push_validates_clbits() {
         let mut qc = Circuit::with_clbits(1, 1);
         let err = qc
-            .push(Instruction {
-                kind: OpKind::Measure { qubit: 0, clbit: 3 },
-            })
+            .push(Instruction::new(OpKind::Measure { qubit: 0, clbit: 3 }))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::ClbitOutOfRange { clbit: 3, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::ClbitOutOfRange { clbit: 3, .. }
+        ));
     }
 
     #[test]
@@ -717,6 +792,70 @@ mod tests {
         assert!(matches!(
             qc.inverse(),
             Err(CircuitError::NotInvertible { .. })
+        ));
+    }
+
+    #[test]
+    fn c_if_conditions_last_instruction() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).measure(0, 0).x(1).c_if(0, true);
+        let inst = qc.instructions().last().unwrap();
+        assert_eq!(
+            inst.cond,
+            Some(Condition {
+                clbit: 0,
+                value: true
+            })
+        );
+        // A conditioned gate is not unitary as a map on the state alone.
+        assert!(!inst.is_unitary());
+        assert!(!qc.is_unitary());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn c_if_rejects_bad_clbit() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.x(0).c_if(4, true);
+    }
+
+    #[test]
+    fn inverse_rejects_conditioned_gates() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.x(0).c_if(0, true);
+        assert!(matches!(
+            qc.inverse(),
+            Err(CircuitError::NotInvertible { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_preserves_condition() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.x(0).c_if(0, false);
+        let mapped = qc.remap(&[1, 0], 2);
+        assert_eq!(
+            mapped.instructions()[0].cond,
+            Some(Condition {
+                clbit: 0,
+                value: false
+            })
+        );
+    }
+
+    #[test]
+    fn push_validates_condition_clbit() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        let inst = Instruction::new(OpKind::Unitary {
+            gate: Gate::X,
+            target: 0,
+            controls: vec![],
+        })
+        .with_cond(7, true);
+        let err = qc.push(inst).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::ClbitOutOfRange { clbit: 7, .. }
         ));
     }
 

@@ -71,7 +71,9 @@ impl Gate {
             Gate::H => Matrix::hadamard(),
             Gate::S => Matrix::from_rows(2, 2, &[o, z, z, i]),
             Gate::Sdg => Matrix::from_rows(2, 2, &[o, z, z, -i]),
-            Gate::T => Matrix::from_rows(2, 2, &[o, z, z, Complex::cis(std::f64::consts::FRAC_PI_4)]),
+            Gate::T => {
+                Matrix::from_rows(2, 2, &[o, z, z, Complex::cis(std::f64::consts::FRAC_PI_4)])
+            }
             Gate::Tdg => {
                 Matrix::from_rows(2, 2, &[o, z, z, Complex::cis(-std::f64::consts::FRAC_PI_4)])
             }
@@ -112,11 +114,9 @@ impl Gate {
                     ],
                 )
             }
-            Gate::Rz(t) => Matrix::from_rows(
-                2,
-                2,
-                &[Complex::cis(-t / 2.0), z, z, Complex::cis(t / 2.0)],
-            ),
+            Gate::Rz(t) => {
+                Matrix::from_rows(2, 2, &[Complex::cis(-t / 2.0), z, z, Complex::cis(t / 2.0)])
+            }
             Gate::Phase(t) => Matrix::from_rows(2, 2, &[o, z, z, Complex::cis(t)]),
             Gate::U(theta, phi, lambda) => {
                 let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -197,7 +197,14 @@ impl Gate {
             (r - r.round()).abs() < 1e-12
         };
         match *self {
-            Gate::I | Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::S | Gate::Sdg | Gate::Sx
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::Sx
             | Gate::Sxdg => true,
             Gate::T | Gate::Tdg => false,
             Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => quarter(t),
@@ -209,7 +216,14 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Phase(_)
         )
     }
 }

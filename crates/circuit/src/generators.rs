@@ -261,7 +261,11 @@ fn random_clifford_t_impl<R: Rng>(n: usize, depth: usize, t_prob: f64, rng: &mut
     for _ in 0..depth {
         for q in 0..n {
             if t_prob > 0.0 && rng.gen_bool(t_prob) {
-                let g = if rng.gen_bool(0.5) { Gate::T } else { Gate::Tdg };
+                let g = if rng.gen_bool(0.5) {
+                    Gate::T
+                } else {
+                    Gate::Tdg
+                };
                 qc.gate(g, q, &[]);
             } else {
                 let g = singles[rng.gen_range(0..singles.len())];
@@ -395,7 +399,7 @@ mod tests {
     fn grover_is_unitary_circuit() {
         let qc = grover(3, 0b101, 2);
         assert!(qc.is_unitary());
-        assert!(qc.len() > 0);
+        assert!(!qc.is_empty());
     }
 
     #[test]

@@ -29,11 +29,11 @@
 
 mod circuit;
 mod gate;
-mod pauli;
 pub mod generators;
+mod pauli;
 pub mod qasm;
 
-pub use circuit::{Circuit, Instruction, OpKind};
+pub use circuit::{Circuit, Condition, Instruction, OpKind};
 pub use gate::Gate;
 pub use pauli::{ParsePauliError, Pauli, PauliString};
 
@@ -43,27 +43,52 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CircuitError {
     /// A qubit index exceeded the circuit width.
-    QubitOutOfRange { qubit: usize, num_qubits: usize },
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit width.
+        num_qubits: usize,
+    },
     /// A classical bit index exceeded the classical register width.
-    ClbitOutOfRange { clbit: usize, num_clbits: usize },
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// The classical register width.
+        num_clbits: usize,
+    },
     /// The same qubit was used twice in one instruction.
-    DuplicateQubit { qubit: usize },
+    DuplicateQubit {
+        /// The qubit that appears more than once.
+        qubit: usize,
+    },
     /// An operation without a unitary inverse (measurement/reset) blocked
     /// circuit inversion.
-    NotInvertible { op: String },
+    NotInvertible {
+        /// Name of the non-invertible operation.
+        op: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "classical bit {clbit} out of range for {num_clbits} bits")
+                write!(
+                    f,
+                    "classical bit {clbit} out of range for {num_clbits} bits"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
-                write!(f, "qubit {qubit} used more than once in a single instruction")
+                write!(
+                    f,
+                    "qubit {qubit} used more than once in a single instruction"
+                )
             }
             CircuitError::NotInvertible { op } => {
                 write!(f, "operation {op} has no unitary inverse")

@@ -64,7 +64,11 @@ pub struct ParsePauliError {
 
 impl fmt::Display for ParsePauliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid Pauli character '{}' (expected I, X, Y or Z)", self.ch)
+        write!(
+            f,
+            "invalid Pauli character '{}' (expected I, X, Y or Z)",
+            self.ch
+        )
     }
 }
 
@@ -192,10 +196,7 @@ mod tests {
         let p: PauliString = "XIZY".parse().unwrap();
         assert_eq!(p.weight(), 3);
         let support: Vec<_> = p.support().collect();
-        assert_eq!(
-            support,
-            vec![(0, Pauli::Y), (1, Pauli::Z), (3, Pauli::X)]
-        );
+        assert_eq!(support, vec![(0, Pauli::Y), (1, Pauli::Z), (3, Pauli::X)]);
     }
 
     #[test]

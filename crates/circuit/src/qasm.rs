@@ -44,7 +44,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -223,6 +227,55 @@ fn apply_statement(
     line: usize,
     stmt: &str,
 ) -> Result<(), ParseQasmError> {
+    // Classical condition: `if (c[k] == v) stmt` (single-bit dialect
+    // extension) or the OpenQASM 2.0 `if (c == v) stmt` restricted to
+    // one-bit registers.
+    if let Some(rest) = stmt.strip_prefix("if") {
+        let rest = rest.trim_start();
+        if !rest.starts_with('(') {
+            return Err(err(line, "expected '(' after 'if'"));
+        }
+        let close = matching_paren(rest, 0).ok_or_else(|| err(line, "unbalanced parentheses"))?;
+        let cond_text = &rest[1..close];
+        let inner = rest[close + 1..].trim();
+        if inner.is_empty() {
+            return Err(err(line, "'if' requires a statement to condition"));
+        }
+        let parts: Vec<&str> = cond_text.split("==").collect();
+        if parts.len() != 2 {
+            return Err(err(line, "condition must be 'c[k] == value'"));
+        }
+        let value: u64 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "invalid condition value"))?;
+        let clbit = match parse_arg(parts[0], cmap, line, "classical")? {
+            ArgRef::Bit(b) => b,
+            ArgRef::Register(offset, 1) => offset,
+            ArgRef::Register(..) => {
+                return Err(err(
+                    line,
+                    "only single-bit conditions are supported (use c[k] == 0|1)",
+                ))
+            }
+        };
+        if value > 1 {
+            return Err(err(line, "single-bit condition value must be 0 or 1"));
+        }
+        let before = qc.len();
+        apply_statement(qc, qmap, cmap, line, inner)?;
+        for i in before..qc.len() {
+            qc.set_cond(
+                i,
+                Some(crate::Condition {
+                    clbit,
+                    value: value == 1,
+                }),
+            );
+        }
+        return Ok(());
+    }
+
     // measure q[i] -> c[j];
     if let Some(rest) = stmt.strip_prefix("measure") {
         let parts: Vec<&str> = rest.split("->").collect();
@@ -233,9 +286,10 @@ fn apply_statement(
         let c = parse_arg(parts[1], cmap, line, "classical")?;
         match (q, c) {
             (ArgRef::Bit(qb), ArgRef::Bit(cb)) => {
-                qc.push(Instruction {
-                    kind: OpKind::Measure { qubit: qb, clbit: cb },
-                })
+                qc.push(Instruction::new(OpKind::Measure {
+                    qubit: qb,
+                    clbit: cb,
+                }))
                 .map_err(|e| err(line, e.to_string()))?;
             }
             (ArgRef::Register(qo, qs), ArgRef::Register(co, cs)) => {
@@ -243,12 +297,10 @@ fn apply_statement(
                     return Err(err(line, "register sizes differ in broadcast measure"));
                 }
                 for k in 0..qs {
-                    qc.push(Instruction {
-                        kind: OpKind::Measure {
-                            qubit: qo + k,
-                            clbit: co + k,
-                        },
-                    })
+                    qc.push(Instruction::new(OpKind::Measure {
+                        qubit: qo + k,
+                        clbit: co + k,
+                    }))
                     .map_err(|e| err(line, e.to_string()))?;
                 }
             }
@@ -260,17 +312,13 @@ fn apply_statement(
     if let Some(rest) = stmt.strip_prefix("reset") {
         match parse_arg(rest, qmap, line, "quantum")? {
             ArgRef::Bit(q) => {
-                qc.push(Instruction {
-                    kind: OpKind::Reset { qubit: q },
-                })
-                .map_err(|e| err(line, e.to_string()))?;
+                qc.push(Instruction::new(OpKind::Reset { qubit: q }))
+                    .map_err(|e| err(line, e.to_string()))?;
             }
             ArgRef::Register(o, s) => {
                 for k in 0..s {
-                    qc.push(Instruction {
-                        kind: OpKind::Reset { qubit: o + k },
-                    })
-                    .map_err(|e| err(line, e.to_string()))?;
+                    qc.push(Instruction::new(OpKind::Reset { qubit: o + k }))
+                        .map_err(|e| err(line, e.to_string()))?;
                 }
             }
         }
@@ -285,16 +333,14 @@ fn apply_statement(
                 ArgRef::Register(o, s) => qubits.extend(o..o + s),
             }
         }
-        qc.push(Instruction {
-            kind: OpKind::Barrier(qubits),
-        })
-        .map_err(|e| err(line, e.to_string()))?;
+        qc.push(Instruction::new(OpKind::Barrier(qubits)))
+            .map_err(|e| err(line, e.to_string()))?;
         return Ok(());
     }
 
     // Gate application: name[(params)] args
     let (head, args_text) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(pos) if !stmt[..pos].contains('(') && stmt.contains('(') && stmt.find('(').unwrap() > pos => {
+        Some(pos) if !stmt[..pos].contains('(') && stmt.find('(').is_some_and(|p| p > pos) => {
             (&stmt[..pos], &stmt[pos..])
         }
         _ => {
@@ -313,7 +359,8 @@ fn apply_statement(
     };
 
     let (name, params) = if let Some(open) = head.find('(') {
-        let close = matching_paren(head, open).ok_or_else(|| err(line, "unbalanced parentheses"))?;
+        let close =
+            matching_paren(head, open).ok_or_else(|| err(line, "unbalanced parentheses"))?;
         let name = head[..open].trim();
         let params: Result<Vec<f64>, ParseQasmError> = split_top_level(&head[open + 1..close])
             .into_iter()
@@ -395,16 +442,14 @@ fn split_top_level(s: &str) -> Vec<String> {
     out
 }
 
-fn expect_params(
-    name: &str,
-    params: &[f64],
-    n: usize,
-    line: usize,
-) -> Result<(), ParseQasmError> {
+fn expect_params(name: &str, params: &[f64], n: usize, line: usize) -> Result<(), ParseQasmError> {
     if params.len() != n {
         Err(err(
             line,
-            format!("gate '{name}' expects {n} parameter(s), got {}", params.len()),
+            format!(
+                "gate '{name}' expects {n} parameter(s), got {}",
+                params.len()
+            ),
         ))
     } else {
         Ok(())
@@ -431,13 +476,11 @@ fn apply_gate(
 ) -> Result<(), ParseQasmError> {
     use std::f64::consts::PI;
     let push = |qc: &mut Circuit, gate: Gate, target: usize, controls: &[usize]| {
-        qc.push(Instruction {
-            kind: OpKind::Unitary {
-                gate,
-                target,
-                controls: controls.to_vec(),
-            },
-        })
+        qc.push(Instruction::new(OpKind::Unitary {
+            gate,
+            target,
+            controls: controls.to_vec(),
+        }))
         .map_err(|e| err(line, e.to_string()))
     };
     let simple_1q = |g: Gate| -> Result<(Gate, usize), ParseQasmError> {
@@ -515,25 +558,21 @@ fn apply_gate(
         "swap" => {
             expect_params(name, params, 0, line)?;
             expect_args(name, bits, 2, line)?;
-            qc.push(Instruction {
-                kind: OpKind::Swap {
-                    a: bits[0],
-                    b: bits[1],
-                    controls: vec![],
-                },
-            })
+            qc.push(Instruction::new(OpKind::Swap {
+                a: bits[0],
+                b: bits[1],
+                controls: vec![],
+            }))
             .map_err(|e| err(line, e.to_string()))
         }
         "cswap" => {
             expect_params(name, params, 0, line)?;
             expect_args(name, bits, 3, line)?;
-            qc.push(Instruction {
-                kind: OpKind::Swap {
-                    a: bits[1],
-                    b: bits[2],
-                    controls: vec![bits[0]],
-                },
-            })
+            qc.push(Instruction::new(OpKind::Swap {
+                a: bits[1],
+                b: bits[2],
+                controls: vec![bits[0]],
+            }))
             .map_err(|e| err(line, e.to_string()))
         }
         other => Err(err(line, format!("unknown gate '{other}'"))),
@@ -551,7 +590,10 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
     let v = parser.expr()?;
     parser.skip_ws();
     if parser.pos != parser.chars.len() {
-        return Err(err(line, format!("trailing characters in expression '{text}'")));
+        return Err(err(
+            line,
+            format!("trailing characters in expression '{text}'"),
+        ));
     }
     Ok(v)
 }
@@ -638,7 +680,8 @@ impl ExprParser {
                         || self.chars[self.pos] == 'E'
                         || ((self.chars[self.pos] == '+' || self.chars[self.pos] == '-')
                             && self.pos > start
-                            && (self.chars[self.pos - 1] == 'e' || self.chars[self.pos - 1] == 'E')))
+                            && (self.chars[self.pos - 1] == 'e'
+                                || self.chars[self.pos - 1] == 'E')))
                 {
                     self.pos += 1;
                 }
@@ -699,6 +742,20 @@ fn write_instruction(inst: &Instruction) -> Result<String, WriteQasmError> {
     let unsupported = |msg: &str| WriteQasmError {
         message: msg.to_string(),
     };
+    // Single-bit conditions use the subscripted `if` dialect extension the
+    // parser accepts (OpenQASM 2.0 proper only conditions on whole cregs).
+    let prefix = match inst.cond {
+        Some(cond) => format!("if (c[{}] == {}) ", cond.clbit, u8::from(cond.value)),
+        None => String::new(),
+    };
+    let stmt = write_kind(inst, unsupported)?;
+    Ok(format!("{prefix}{stmt}"))
+}
+
+fn write_kind(
+    inst: &Instruction,
+    unsupported: impl Fn(&str) -> WriteQasmError,
+) -> Result<String, WriteQasmError> {
     Ok(match &inst.kind {
         OpKind::Unitary {
             gate,
@@ -737,10 +794,22 @@ fn write_instruction(inst: &Instruction) -> Result<String, WriteQasmError> {
                         Gate::Ry(a) => format!("cry({}) q[{c}], q[{t}];", fmt_angle(*a)),
                         Gate::Rz(a) => format!("crz({}) q[{c}], q[{t}];", fmt_angle(*a)),
                         // S = P(π/2), T = P(π/4): emit as controlled phase.
-                        Gate::S => format!("cp({}) q[{c}], q[{t}];", fmt_angle(std::f64::consts::FRAC_PI_2)),
-                        Gate::Sdg => format!("cp({}) q[{c}], q[{t}];", fmt_angle(-std::f64::consts::FRAC_PI_2)),
-                        Gate::T => format!("cp({}) q[{c}], q[{t}];", fmt_angle(std::f64::consts::FRAC_PI_4)),
-                        Gate::Tdg => format!("cp({}) q[{c}], q[{t}];", fmt_angle(-std::f64::consts::FRAC_PI_4)),
+                        Gate::S => format!(
+                            "cp({}) q[{c}], q[{t}];",
+                            fmt_angle(std::f64::consts::FRAC_PI_2)
+                        ),
+                        Gate::Sdg => format!(
+                            "cp({}) q[{c}], q[{t}];",
+                            fmt_angle(-std::f64::consts::FRAC_PI_2)
+                        ),
+                        Gate::T => format!(
+                            "cp({}) q[{c}], q[{t}];",
+                            fmt_angle(std::f64::consts::FRAC_PI_4)
+                        ),
+                        Gate::Tdg => format!(
+                            "cp({}) q[{c}], q[{t}];",
+                            fmt_angle(-std::f64::consts::FRAC_PI_4)
+                        ),
                         other => {
                             return Err(unsupported(&format!(
                                 "controlled {} has no OpenQASM 2.0 name",
@@ -758,7 +827,11 @@ fn write_instruction(inst: &Instruction) -> Result<String, WriteQasmError> {
                         )))
                     }
                 },
-                n => return Err(unsupported(&format!("{n} controls exceed OpenQASM 2.0 subset"))),
+                n => {
+                    return Err(unsupported(&format!(
+                        "{n} controls exceed OpenQASM 2.0 subset"
+                    )))
+                }
             }
         }
         OpKind::Swap { a, b, controls } => match controls.len() {
@@ -782,12 +855,36 @@ mod tests {
 
     #[test]
     fn parses_bell() {
-        let qc = parse(
-            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];",
-        )
-        .unwrap();
+        let qc =
+            parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];")
+                .unwrap();
         assert_eq!(qc.num_qubits(), 2);
         assert_eq!(qc.len(), 2);
+    }
+
+    #[test]
+    fn parses_and_writes_conditions() {
+        let qc =
+            parse("qreg q[2]; creg c[1]; h q[0]; measure q[0] -> c[0]; if (c[0] == 1) x q[1];")
+                .unwrap();
+        let inst = qc.instructions().last().unwrap();
+        assert_eq!(
+            inst.cond,
+            Some(crate::Condition {
+                clbit: 0,
+                value: true
+            })
+        );
+        let text = write(&qc).unwrap();
+        assert!(text.contains("if (c[0] == 1) x q[1];"), "{text}");
+        let round = parse(&text).unwrap();
+        assert_eq!(round.instructions(), qc.instructions());
+    }
+
+    #[test]
+    fn rejects_register_wide_condition() {
+        let e = parse("qreg q[1]; creg c[2]; if (c == 3) x q[0];").unwrap_err();
+        assert!(e.message.contains("single-bit"), "{e}");
     }
 
     #[test]

@@ -42,11 +42,7 @@ pub fn rebase(circuit: &Circuit, gate_set: &GateSet) -> Result<Circuit, CompileE
                     emit_ccx(&mut out, controls[0], *a, *b, gate_set)?;
                     emit_controlled(&mut out, Gate::X, *b, *a, gate_set)?;
                 }
-                _ => {
-                    return Err(CompileError::GateTooWide {
-                        op: inst.name(),
-                    })
-                }
+                _ => return Err(CompileError::GateTooWide { op: inst.name() }),
             },
             OpKind::Unitary {
                 gate,
@@ -56,7 +52,7 @@ pub fn rebase(circuit: &Circuit, gate_set: &GateSet) -> Result<Circuit, CompileE
                 0 => emit_1q(&mut out, *gate, *target, gate_set)?,
                 1 => emit_controlled(&mut out, *gate, controls[0], *target, gate_set)?,
                 2 if matches!(gate, Gate::X) => {
-                    emit_ccx(&mut out, controls[0], controls[1], *target, gate_set)?
+                    emit_ccx(&mut out, controls[0], controls[1], *target, gate_set)?;
                 }
                 2 if matches!(gate, Gate::Z) => {
                     emit_1q(&mut out, Gate::H, *target, gate_set)?;
@@ -68,7 +64,7 @@ pub fn rebase(circuit: &Circuit, gate_set: &GateSet) -> Result<Circuit, CompileE
                     // any diagonalisable target via H-conjugation when
                     // the gate is X or Z; everything else goes through a
                     // single borrowed construction on Phase gates.
-                    emit_multi_controlled(&mut out, *gate, controls, *target, gate_set)?
+                    emit_multi_controlled(&mut out, *gate, controls, *target, gate_set)?;
                 }
             },
         }
@@ -349,9 +345,14 @@ fn emit_multi_controlled(
 
 /// Emits the diagonal `exp(iθ·b_0b_1…b_{n−1})` on the given qubits via
 /// parity phases: `Π b_i = Σ_{∅≠S} (−1)^{|S|+1} ⊕_{i∈S} b_i / 2^{n−1}`.
-fn emit_mcp(out: &mut Circuit, theta: f64, qubits: &[usize], gs: &GateSet) -> Result<(), CompileError> {
+fn emit_mcp(
+    out: &mut Circuit,
+    theta: f64,
+    qubits: &[usize],
+    gs: &GateSet,
+) -> Result<(), CompileError> {
     let n = qubits.len();
-    assert!(n >= 1 && n <= 16, "unsupported control count");
+    assert!((1..=16).contains(&n), "unsupported control count");
     if n == 1 {
         return emit_1q(out, Gate::Phase(theta), qubits[0], gs);
     }

@@ -56,9 +56,8 @@ pub fn interaction_layout(
         }
     }
 
-    let w = |a: usize, b: usize| -> usize {
-        weight.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
-    };
+    let w =
+        |a: usize, b: usize| -> usize { weight.get(&(a.min(b), a.max(b))).copied().unwrap_or(0) };
 
     let mut layout: Vec<Option<usize>> = vec![None; n_log];
     let mut phys_used = vec![false; n_phys];
@@ -91,8 +90,8 @@ pub fn interaction_layout(
             .filter(|&p| !phys_used[p])
             .min_by_key(|&p| {
                 let mut cost = 0usize;
-                for r in 0..n_log {
-                    if let Some(pr) = layout[r] {
+                for (r, slot) in layout.iter().enumerate() {
+                    if let Some(pr) = *slot {
                         let d = map.distance(p, pr);
                         cost += w(next, r).saturating_mul(d);
                     }
@@ -107,8 +106,8 @@ pub fn interaction_layout(
 
     // Extend to a total permutation with the unused sites.
     let mut out: Vec<usize> = layout.into_iter().map(|p| p.expect("placed")).collect();
-    for p in 0..n_phys {
-        if !phys_used[p] {
+    for (p, used) in phys_used.iter().enumerate() {
+        if !used {
             out.push(p);
         }
     }

@@ -53,15 +53,31 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
     /// A gate cannot be expressed in the requested gate set.
-    NotRepresentable { gate: String, basis: String },
+    NotRepresentable {
+        /// Name of the gate that failed to translate.
+        gate: String,
+        /// The target gate set.
+        basis: String,
+    },
     /// The circuit does not fit the device (too many qubits).
-    TooManyQubits { circuit: usize, device: usize },
+    TooManyQubits {
+        /// Width of the circuit.
+        circuit: usize,
+        /// Width of the device.
+        device: usize,
+    },
     /// Routing requires gates on at most two qubits.
-    GateTooWide { op: String },
+    GateTooWide {
+        /// Name of the offending operation.
+        op: String,
+    },
     /// The coupling map is disconnected.
     DisconnectedDevice,
     /// A non-unitary instruction in a unitary-only pipeline stage.
-    NonUnitary { op: String },
+    NonUnitary {
+        /// Name of the offending operation.
+        op: String,
+    },
 }
 
 impl fmt::Display for CompileError {

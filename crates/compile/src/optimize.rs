@@ -41,6 +41,11 @@ pub fn optimize_with_fusion(circuit: &Circuit) -> Circuit {
 /// Two instructions are inverse neighbours if they touch the same qubits
 /// in the same roles and their matrices cancel.
 fn is_inverse_pair(a: &Instruction, b: &Instruction) -> bool {
+    if a.cond.is_some() || b.cond.is_some() {
+        // Whether a conditioned gate fires depends on the classical
+        // register, so it never statically cancels.
+        return false;
+    }
     match (&a.kind, &b.kind) {
         (
             OpKind::Unitary {
@@ -185,7 +190,14 @@ pub fn merge_rotations(circuit: &Circuit) -> (Circuit, bool) {
             controls,
         } = &inst.kind
         {
-            if let Some((axis, angle)) = rotation_axis(gate) {
+            // Conditioned rotations never merge: whether they fire depends
+            // on the classical register.
+            let mergeable = if inst.cond.is_none() {
+                rotation_axis(gate)
+            } else {
+                None
+            };
+            if let Some((axis, angle)) = mergeable {
                 // Find the last kept instruction touching any of our
                 // qubits; merge if it is the same-axis rotation here.
                 let qs = inst.qubits();
@@ -200,25 +212,22 @@ pub fn merge_rotations(circuit: &Circuit) -> (Circuit, bool) {
                         controls: c2,
                     } = &out[j].kind
                     {
-                        if t2 == target && c2 == controls {
+                        if t2 == target && c2 == controls && out[j].cond.is_none() {
                             if let Some((axis2, angle2)) = rotation_axis(g2) {
                                 if axis2 == axis {
                                     changed = true;
                                     let total = angle + angle2;
-                                    let wrapped =
-                                        total.rem_euclid(2.0 * std::f64::consts::PI);
+                                    let wrapped = total.rem_euclid(2.0 * std::f64::consts::PI);
                                     if wrapped.abs() < 1e-12
                                         || (wrapped - 2.0 * std::f64::consts::PI).abs() < 1e-12
                                     {
                                         out.remove(j);
                                     } else {
-                                        out[j] = Instruction {
-                                            kind: OpKind::Unitary {
-                                                gate: rotation_of(axis, total),
-                                                target: *target,
-                                                controls: controls.clone(),
-                                            },
-                                        };
+                                        out[j] = Instruction::new(OpKind::Unitary {
+                                            gate: rotation_of(axis, total),
+                                            target: *target,
+                                            controls: controls.clone(),
+                                        });
                                     }
                                     continue 'outer;
                                 }
@@ -247,52 +256,44 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> (Circuit, bool) {
     // Pending run per qubit.
     let mut runs: Vec<Vec<Gate>> = vec![Vec::new(); circuit.num_qubits()];
 
-    let flush = |q: usize,
-                 runs: &mut Vec<Vec<Gate>>,
-                 out: &mut Vec<Instruction>,
-                 changed: &mut bool| {
-        let run = std::mem::take(&mut runs[q]);
-        match run.len() {
-            0 => {}
-            1 | 2 if false => {}
-            1 => {
-                out.push(Instruction {
-                    kind: OpKind::Unitary {
+    let flush =
+        |q: usize, runs: &mut Vec<Vec<Gate>>, out: &mut Vec<Instruction>, changed: &mut bool| {
+            let run = std::mem::take(&mut runs[q]);
+            match run.len() {
+                0 => {}
+                1 | 2 if false => {}
+                1 => {
+                    out.push(Instruction::new(OpKind::Unitary {
                         gate: run[0],
                         target: q,
                         controls: vec![],
-                    },
-                });
-            }
-            2 => {
-                for g in run {
-                    out.push(Instruction {
-                        kind: OpKind::Unitary {
+                    }));
+                }
+                2 => {
+                    for g in run {
+                        out.push(Instruction::new(OpKind::Unitary {
                             gate: g,
                             target: q,
                             controls: vec![],
-                        },
-                    });
+                        }));
+                    }
                 }
-            }
-            _ => {
-                let m = crate::decompose::matrix_of_run(&run);
-                if m.approx_eq_up_to_global_phase(&Matrix::identity(2), 1e-12) {
+                _ => {
+                    let m = crate::decompose::matrix_of_run(&run);
+                    if m.approx_eq_up_to_global_phase(&Matrix::identity(2), 1e-12) {
+                        *changed = true;
+                        return;
+                    }
+                    let a = zyz_decompose(&m);
                     *changed = true;
-                    return;
-                }
-                let a = zyz_decompose(&m);
-                *changed = true;
-                out.push(Instruction {
-                    kind: OpKind::Unitary {
+                    out.push(Instruction::new(OpKind::Unitary {
                         gate: Gate::U(a.gamma, a.beta, a.delta),
                         target: q,
                         controls: vec![],
-                    },
-                });
+                    }));
+                }
             }
-        }
-    };
+        };
 
     for inst in insts {
         match &inst.kind {
@@ -300,7 +301,7 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> (Circuit, bool) {
                 gate,
                 target,
                 controls,
-            } if controls.is_empty() => {
+            } if controls.is_empty() && inst.cond.is_none() => {
                 runs[*target].push(*gate);
             }
             _ => {
@@ -330,7 +331,10 @@ mod tests {
     fn assert_equiv_up_to_phase(a: &Circuit, b: &Circuit) {
         let ua = circuit_unitary(a).unwrap();
         let ub = circuit_unitary(b).unwrap();
-        assert!(ua.approx_eq_up_to_global_phase(&ub, 1e-8), "optimisation broke semantics");
+        assert!(
+            ua.approx_eq_up_to_global_phase(&ub, 1e-8),
+            "optimisation broke semantics"
+        );
     }
 
     #[test]

@@ -158,8 +158,8 @@ pub fn route_with_layout(
                 assert!(!used[p], "layout maps two qubits to site {p}");
                 used[p] = true;
             }
-            for p in 0..n_phys {
-                if !used[p] {
+            for (p, taken) in used.iter().enumerate() {
+                if !taken {
                     given.push(p);
                 }
             }
@@ -266,7 +266,10 @@ fn remap_instruction(inst: &Instruction, layout: &[usize]) -> Instruction {
         OpKind::Reset { qubit } => OpKind::Reset { qubit: m(*qubit) },
         OpKind::Barrier(qs) => OpKind::Barrier(qs.iter().map(|&q| m(q)).collect()),
     };
-    Instruction { kind }
+    Instruction {
+        kind,
+        cond: inst.cond,
+    }
 }
 
 #[cfg(test)]
@@ -292,10 +295,7 @@ mod tests {
             }
         }
         let undone = routed.with_unrouting_swaps(map);
-        let reference = qc.remap(
-            &routed.initial_layout,
-            map.num_qubits(),
-        );
+        let reference = qc.remap(&routed.initial_layout, map.num_qubits());
         let mut dd = DdPackage::new();
         let r = check_equivalence(&mut dd, &undone, &reference).unwrap();
         assert!(

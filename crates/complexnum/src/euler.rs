@@ -107,7 +107,10 @@ mod tests {
     fn check_round_trip(u: &Matrix) {
         let angles = zyz_decompose(u);
         let rec = zyz_reconstruct(&angles);
-        assert!(rec.approx_eq(u, 1e-10), "ZYZ failed for {u:?} -> {angles:?}");
+        assert!(
+            rec.approx_eq(u, 1e-10),
+            "ZYZ failed for {u:?} -> {angles:?}"
+        );
         assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&angles.gamma));
     }
 
@@ -118,11 +121,8 @@ mod tests {
         let o = Complex::ONE;
         check_round_trip(&Matrix::from_rows(2, 2, &[z, o, o, z])); // X
         check_round_trip(&Matrix::from_rows(2, 2, &[o, z, z, -o])); // Z
-        check_round_trip(&Matrix::from_rows(
-            2,
-            2,
-            &[z, -Complex::I, Complex::I, z],
-        )); // Y
+        check_round_trip(&Matrix::from_rows(2, 2, &[z, -Complex::I, Complex::I, z]));
+        // Y
     }
 
     #[test]
@@ -136,12 +136,7 @@ mod tests {
             let m = Matrix::from_rows(
                 2,
                 2,
-                &[
-                    Complex::ONE,
-                    Complex::ZERO,
-                    Complex::ZERO,
-                    Complex::cis(t),
-                ],
+                &[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::cis(t)],
             );
             check_round_trip(&m);
         }

@@ -104,7 +104,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> Complex {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -115,7 +118,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: Complex) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -161,7 +167,11 @@ impl Matrix {
     ///
     /// Panics if the shapes disagree.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -248,7 +258,9 @@ impl Matrix {
         if self.rows != self.cols {
             return false;
         }
-        self.dagger().mul(self).approx_eq(&Matrix::identity(self.rows), tol)
+        self.dagger()
+            .mul(self)
+            .approx_eq(&Matrix::identity(self.rows), tol)
     }
 
     /// Entry-wise approximate equality.

@@ -222,9 +222,9 @@ mod tests {
         let u = [Complex::new(1.0, 0.5), Complex::new(-0.25, 2.0)];
         let v = [Complex::new(0.5, -1.0), Complex::new(1.5, 0.0)];
         let mut a = Matrix::zeros(2, 2);
-        for i in 0..2 {
-            for j in 0..2 {
-                a.set(i, j, u[i] * v[j].conj());
+        for (i, ui) in u.iter().enumerate() {
+            for (j, vj) in v.iter().enumerate() {
+                a.set(i, j, *ui * vj.conj());
             }
         }
         let f = svd(&a);

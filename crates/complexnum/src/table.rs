@@ -102,10 +102,7 @@ impl ComplexTable {
         // wrapping arithmetic so saturated cells stay well-defined (the
         // per-entry `approx_eq` check keeps correctness regardless).
         let side = self.tol * 2.0;
-        (
-            (c.re / side).floor() as i64,
-            (c.im / side).floor() as i64,
-        )
+        ((c.re / side).floor() as i64, (c.im / side).floor() as i64)
     }
 
     /// Returns the canonical representative for `value`.
@@ -122,7 +119,10 @@ impl ComplexTable {
         let (cx, cy) = self.cell(value);
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {
-                if let Some(bucket) = self.buckets.get(&(cx.wrapping_add(dx), cy.wrapping_add(dy))) {
+                if let Some(bucket) = self
+                    .buckets
+                    .get(&(cx.wrapping_add(dx), cy.wrapping_add(dy)))
+                {
                     for &idx in bucket {
                         let stored = self.values[idx as usize];
                         if stored.approx_eq(value, self.tol) {

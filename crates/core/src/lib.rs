@@ -16,7 +16,9 @@
 //! * [`zx`] — the ZX-calculus with graph-like simplification (Sec. V);
 //! * [`compile`] — gate-set rebasing, optimisation, routing (design
 //!   task 2);
-//! * [`verify`] — cross-method equivalence checking (design task 3).
+//! * [`verify`] — cross-method equivalence checking (design task 3);
+//! * [`analysis`] — circuit lints, resource reports and (feature
+//!   `audit`) data-structure invariant auditors.
 //!
 //! The [`Backend`] enum and the [`amplitudes`]/[`amplitude`]/[`sample`]
 //! entry points expose classical simulation (design task 1) uniformly
@@ -39,6 +41,7 @@
 //! # Ok::<(), qdt::QdtError>(())
 //! ```
 
+pub use qdt_analysis as analysis;
 pub use qdt_array as array;
 pub use qdt_circuit as circuit;
 pub use qdt_compile as compile;
@@ -261,10 +264,7 @@ mod tests {
             Backend::Mps { max_bond: 2 },
         ] {
             let amp = amplitude(&qc, all_ones, b).unwrap();
-            assert!(
-                (amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-8,
-                "{b}: {amp}"
-            );
+            assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-8, "{b}: {amp}");
         }
         assert!(amplitude(&qc, all_ones, Backend::Array).is_err());
     }

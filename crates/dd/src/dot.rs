@@ -50,8 +50,11 @@ impl DdPackage {
                     if label.is_empty() {
                         writeln!(out, "  {name} -> {cname} [style={style}];").expect("write");
                     } else {
-                        writeln!(out, "  {name} -> {cname} [style={style}, label=\"{label}\"];")
-                            .expect("write to string");
+                        writeln!(
+                            out,
+                            "  {name} -> {cname} [style={style}, label=\"{label}\"];"
+                        )
+                        .expect("write to string");
                     }
                     stack.push(c.node);
                 }
@@ -91,7 +94,11 @@ impl DdPackage {
                 }
                 let cname = self.m_name(c.node, &mut names);
                 let w = fmt_weight(c.weight);
-                let label = if w.is_empty() { block } else { format!("{block}: {w}") };
+                let label = if w.is_empty() {
+                    block
+                } else {
+                    format!("{block}: {w}")
+                };
                 writeln!(out, "  {name} -> {cname} [label=\"{label}\"];").expect("write");
                 stack.push(c.node);
             }
@@ -101,17 +108,11 @@ impl DdPackage {
     }
 
     fn v_name(&self, id: NodeId, names: &mut HashMap<NodeId, String>) -> String {
-        names
-            .entry(id)
-            .or_insert_with(|| format!("v{id}"))
-            .clone()
+        names.entry(id).or_insert_with(|| format!("v{id}")).clone()
     }
 
     fn m_name(&self, id: NodeId, names: &mut HashMap<NodeId, String>) -> String {
-        names
-            .entry(id)
-            .or_insert_with(|| format!("m{id}"))
-            .clone()
+        names.entry(id).or_insert_with(|| format!("m{id}")).clone()
     }
 }
 

@@ -67,7 +67,7 @@ pub fn check_equivalence(
         .instructions()
         .iter()
         .filter(|i| !matches!(i.kind, OpKind::Barrier(_)))
-        .map(|i| invert_instruction(i))
+        .map(invert_instruction)
         .collect();
 
     // Proportional alternation: advance through the longer circuit faster
@@ -109,16 +109,14 @@ fn invert_instruction(inst: &qdt_circuit::Instruction) -> qdt_circuit::Instructi
             gate,
             target,
             controls,
-        } => Instruction {
-            kind: OpKind::Unitary {
-                gate: gate.inverse(),
-                target: *target,
-                controls: controls.clone(),
-            },
-        },
-        other => Instruction {
-            kind: other.clone(),
-        },
+        } => Instruction::new(OpKind::Unitary {
+            gate: gate.inverse(),
+            target: *target,
+            controls: controls.clone(),
+        }),
+        // Conditioned instructions are rejected upstream by the
+        // `is_unitary` check in `check_equivalence`.
+        other => Instruction::new(other.clone()),
     }
 }
 

@@ -61,9 +61,17 @@ use std::fmt;
 pub enum DdError {
     /// The circuit contains a non-unitary instruction in a context that
     /// requires unitarity.
-    NonUnitary { op: String },
+    NonUnitary {
+        /// Name of the offending operation.
+        op: String,
+    },
     /// Two diagrams from different qubit counts were combined.
-    QubitCountMismatch { left: usize, right: usize },
+    QubitCountMismatch {
+        /// Qubit count of the left operand.
+        left: usize,
+        /// Qubit count of the right operand.
+        right: usize,
+    },
 }
 
 impl fmt::Display for DdError {

@@ -82,12 +82,19 @@ impl DdPackage {
     ///
     /// # Errors
     ///
-    /// Returns [`DdError::NonUnitary`] for measurement and reset.
+    /// Returns [`DdError::NonUnitary`] for measurement, reset, and
+    /// classically conditioned instructions (a matrix DD has no classical
+    /// register to consult).
     pub fn instruction_dd(
         &mut self,
         inst: &Instruction,
         num_qubits: usize,
     ) -> Result<MatrixDd, DdError> {
+        if inst.cond.is_some() {
+            return Err(DdError::NonUnitary {
+                op: format!("conditioned {}", inst.name()),
+            });
+        }
         match &inst.kind {
             OpKind::Unitary {
                 gate,
@@ -265,7 +272,7 @@ impl DdPackage {
             if e.is_zero() {
                 return Complex::ZERO;
             }
-            w = w * e.weight;
+            w *= e.weight;
             node = e.node;
         }
         w
@@ -394,9 +401,17 @@ mod tests {
         let dd = p.gate_dd(&Gate::X.matrix(), 3, 2, &[0, 1]);
         let dense = p.to_matrix(&dd);
         for col in 0..8usize {
-            let expect_row = if col & 0b011 == 0b011 { col ^ 0b100 } else { col };
+            let expect_row = if col & 0b011 == 0b011 {
+                col ^ 0b100
+            } else {
+                col
+            };
             for row in 0..8 {
-                let v = if row == expect_row { Complex::ONE } else { Complex::ZERO };
+                let v = if row == expect_row {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                };
                 assert!(dense.get(row, col).approx_eq(v, 1e-12), "({row},{col})");
             }
         }
@@ -421,7 +436,11 @@ mod tests {
             assert_eq!(p.vector_node_count(&v), 2 * n - 1, "GHZ_{n} node count");
             let s = FRAC_1_SQRT_2;
             assert!(p.amplitude(&v, 0).approx_eq(Complex::real(s), 1e-9));
-            let all_ones = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+            let all_ones = if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            };
             assert!(p.amplitude(&v, all_ones).approx_eq(Complex::real(s), 1e-9));
         }
     }

@@ -42,7 +42,10 @@ impl DdNoiseChannel {
     /// Panics if the parameter is outside `[0, 1]`.
     pub fn kraus_operators(&self) -> Vec<Matrix> {
         let check = |p: f64| {
-            assert!((0.0..=1.0).contains(&p), "channel parameter {p} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "channel parameter {p} outside [0,1]"
+            );
             p
         };
         let z = Complex::ZERO;
@@ -139,7 +142,10 @@ impl DdPackage {
             total += p;
             candidates.push((applied, p));
         }
-        debug_assert!((total - self.norm_sqr(v)).abs() < 1e-9, "channel not trace preserving");
+        debug_assert!(
+            (total - self.norm_sqr(v)).abs() < 1e-9,
+            "channel not trace preserving"
+        );
         let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
         let mut chosen = candidates.len() - 1;
         for (i, (_, p)) in candidates.iter().enumerate() {
@@ -315,8 +321,7 @@ mod tests {
             .sample_noisy(&qc, &noise, trajectories, &mut rng)
             .unwrap();
         for (i, &p_exact) in exact.iter().enumerate() {
-            let p_mc =
-                counts.get(&(i as u128)).copied().unwrap_or(0) as f64 / trajectories as f64;
+            let p_mc = counts.get(&(i as u128)).copied().unwrap_or(0) as f64 / trajectories as f64;
             assert!(
                 (p_mc - p_exact).abs() < 0.05,
                 "basis {i}: MC {p_mc:.3} vs exact {p_exact:.3}"

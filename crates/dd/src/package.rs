@@ -233,7 +233,10 @@ impl DdPackage {
         if w == Complex::ZERO {
             VEdge::ZERO
         } else {
-            VEdge { node: e.node, weight: w }
+            VEdge {
+                node: e.node,
+                weight: w,
+            }
         }
     }
 
@@ -245,7 +248,10 @@ impl DdPackage {
         if w == Complex::ZERO {
             MEdge::ZERO
         } else {
-            MEdge { node: e.node, weight: w }
+            MEdge {
+                node: e.node,
+                weight: w,
+            }
         }
     }
 
@@ -371,7 +377,10 @@ impl DdPackage {
         if a.node == TERMINAL && b.node == TERMINAL {
             return VEdge::terminal(self.canon(a.weight + b.weight));
         }
-        debug_assert!(a.node != TERMINAL && b.node != TERMINAL, "level skew in vadd");
+        debug_assert!(
+            a.node != TERMINAL && b.node != TERMINAL,
+            "level skew in vadd"
+        );
         // Factor out a.weight: a + b = w_a · (A + (w_b/w_a)·B).
         let alpha = self.canon(b.weight / a.weight);
         let key = (a.node, b.node, alpha.to_bits());
@@ -382,9 +391,9 @@ impl DdPackage {
         let bn = self.vnode(b.node).clone();
         debug_assert_eq!(an.level, bn.level, "vadd level mismatch");
         let mut children = [VEdge::ZERO; 2];
-        for i in 0..2 {
+        for (i, child) in children.iter_mut().enumerate() {
             let bscaled = self.vscale(bn.children[i], alpha);
-            children[i] = self.vadd(an.children[i], bscaled);
+            *child = self.vadd(an.children[i], bscaled);
         }
         let r = self.make_vnode(an.level, children);
         self.vadd_cache.insert(key, r);
@@ -403,7 +412,10 @@ impl DdPackage {
         if a.node == TERMINAL && b.node == TERMINAL {
             return MEdge::terminal(self.canon(a.weight + b.weight));
         }
-        debug_assert!(a.node != TERMINAL && b.node != TERMINAL, "level skew in madd");
+        debug_assert!(
+            a.node != TERMINAL && b.node != TERMINAL,
+            "level skew in madd"
+        );
         let alpha = self.canon(b.weight / a.weight);
         let key = (a.node, b.node, alpha.to_bits());
         if let Some(&r) = self.madd_cache.get(&key) {
@@ -413,9 +425,9 @@ impl DdPackage {
         let bn = self.mnode(b.node).clone();
         debug_assert_eq!(an.level, bn.level, "madd level mismatch");
         let mut children = [MEdge::ZERO; 4];
-        for i in 0..4 {
+        for (i, child) in children.iter_mut().enumerate() {
             let bscaled = self.mscale(bn.children[i], alpha);
-            children[i] = self.madd(an.children[i], bscaled);
+            *child = self.madd(an.children[i], bscaled);
         }
         let r = self.make_mnode(an.level, children);
         self.madd_cache.insert(key, r);
@@ -504,10 +516,7 @@ impl DdPackage {
     /// The identity operator as a [`MatrixDd`] on `num_qubits` qubits.
     pub fn identity(&mut self, num_qubits: usize) -> MatrixDd {
         let root = self.identity_edge(num_qubits as isize - 1);
-        MatrixDd {
-            root,
-            num_qubits,
-        }
+        MatrixDd { root, num_qubits }
     }
 
     /// Squared norm of a vector node's (normalised) subtree.
@@ -527,6 +536,175 @@ impl DdPackage {
         }
         self.nsq_cache.insert(id, acc);
         acc
+    }
+
+    // --- invariant auditing ------------------------------------------------
+
+    /// Checks the package's structural invariants, returning every
+    /// violation found (empty on success):
+    ///
+    /// * **Unique-table consistency** — each table entry points at an
+    ///   in-range arena node whose recomputed key matches, and every
+    ///   arena node is registered (no orphans).
+    /// * **Normalisation** — every stored node has exactly one child of
+    ///   weight `1`, no child of larger magnitude, and zero children
+    ///   collapsed to the canonical zero edge.
+    /// * **Terminal reachability** — child levels strictly decrease, so
+    ///   every path reaches the terminal (no cycles).
+    ///
+    /// Compiled only with the `audit` cargo feature; debug builds of the
+    /// simulators call this after every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        let vn = self.vnodes.len();
+        let mn = self.mnodes.len();
+
+        if self.vunique.len() != vn {
+            violations.push(format!(
+                "vector unique table has {} entries for {vn} arena nodes",
+                self.vunique.len()
+            ));
+        }
+        if self.munique.len() != mn {
+            violations.push(format!(
+                "matrix unique table has {} entries for {mn} arena nodes",
+                self.munique.len()
+            ));
+        }
+        for (key, &id) in &self.vunique {
+            if id as usize >= vn {
+                violations.push(format!("vunique entry {id} out of arena range {vn}"));
+                continue;
+            }
+            let node = &self.vnodes[id as usize];
+            let recomputed: VKey = (node.level, [node.children[0].key(), node.children[1].key()]);
+            if recomputed != *key {
+                violations.push(format!("vunique key for node {id} is stale"));
+            }
+        }
+        for (key, &id) in &self.munique {
+            if id as usize >= mn {
+                violations.push(format!("munique entry {id} out of arena range {mn}"));
+                continue;
+            }
+            let node = &self.mnodes[id as usize];
+            let recomputed: MKey = (
+                node.level,
+                [
+                    node.children[0].key(),
+                    node.children[1].key(),
+                    node.children[2].key(),
+                    node.children[3].key(),
+                ],
+            );
+            if recomputed != *key {
+                violations.push(format!("munique key for node {id} is stale"));
+            }
+        }
+
+        // Magnitudes may exceed 1 by numerical round-off only.
+        const MAG_SLACK: f64 = 1e-9;
+        for (id, node) in self.vnodes.iter().enumerate() {
+            audit_children(
+                &mut violations,
+                "vector",
+                id,
+                node.level,
+                &node.children.map(|c| (c.node, c.weight)),
+                |child| {
+                    if child == TERMINAL {
+                        None
+                    } else {
+                        Some((
+                            child as usize >= vn,
+                            self.vnodes.get(child as usize).map(|n| n.level),
+                        ))
+                    }
+                },
+                MAG_SLACK,
+            );
+        }
+        for (id, node) in self.mnodes.iter().enumerate() {
+            audit_children(
+                &mut violations,
+                "matrix",
+                id,
+                node.level,
+                &node.children.map(|c| (c.node, c.weight)),
+                |child| {
+                    if child == TERMINAL {
+                        None
+                    } else {
+                        Some((
+                            child as usize >= mn,
+                            self.mnodes.get(child as usize).map(|n| n.level),
+                        ))
+                    }
+                },
+                MAG_SLACK,
+            );
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// Shared child checks for [`DdPackage::audit`]: normalisation, zero
+/// canonicalisation, and strictly decreasing levels.
+#[cfg(feature = "audit")]
+fn audit_children(
+    violations: &mut Vec<String>,
+    kind: &str,
+    id: usize,
+    level: u16,
+    children: &[(NodeId, Complex)],
+    lookup: impl Fn(NodeId) -> Option<(bool, Option<u16>)>,
+    mag_slack: f64,
+) {
+    let mut has_unit = false;
+    let mut max_sqr = 0.0f64;
+    for &(child, weight) in children {
+        if weight == Complex::ONE {
+            has_unit = true;
+        }
+        max_sqr = max_sqr.max(weight.norm_sqr());
+        if weight == Complex::ZERO && child != TERMINAL {
+            violations.push(format!(
+                "{kind} node {id}: zero-weight child not collapsed to the zero edge"
+            ));
+        }
+        if let Some((out_of_range, child_level)) = lookup(child) {
+            if out_of_range {
+                violations.push(format!("{kind} node {id}: child id {child} out of range"));
+            } else if let Some(cl) = child_level {
+                if cl >= level {
+                    violations.push(format!(
+                        "{kind} node {id} (level {level}): child level {cl} does not \
+                         decrease — terminal unreachable"
+                    ));
+                }
+            }
+        }
+    }
+    if !has_unit {
+        violations.push(format!(
+            "{kind} node {id}: no child has weight exactly 1 (normalisation broken)"
+        ));
+    }
+    if max_sqr > 1.0 + mag_slack {
+        violations.push(format!(
+            "{kind} node {id}: child magnitude² {max_sqr} exceeds 1 \
+             (top weight not extracted)"
+        ));
     }
 }
 
@@ -554,13 +732,7 @@ mod tests {
         let mut p = DdPackage::new();
         let half = Complex::real(0.5);
         let quarter = Complex::real(0.25);
-        let e = p.make_vnode(
-            0,
-            [
-                VEdge::terminal(quarter),
-                VEdge::terminal(half),
-            ],
-        );
+        let e = p.make_vnode(0, [VEdge::terminal(quarter), VEdge::terminal(half)]);
         // Max-magnitude child (index 1) becomes 1; factor 0.5 extracted.
         assert!(e.weight.approx_eq(half, 1e-12));
         let node = p.vnode(e.node);
@@ -667,6 +839,36 @@ mod tolerance_tests {
             assert!(loose
                 .amplitude(&v1, i)
                 .approx_eq(tight.amplitude(&v2, i), 1e-9));
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    mod audit {
+        use super::*;
+
+        #[test]
+        fn clean_package_passes_audit() {
+            let mut p = DdPackage::new();
+            let qc = qdt_circuit::generators::qft(5, false);
+            p.run_circuit(&qc).expect("simulates");
+            assert_eq!(p.audit(), Ok(()));
+        }
+
+        #[test]
+        fn corrupted_weight_is_detected() {
+            let mut p = DdPackage::new();
+            let qc = qdt_circuit::generators::ghz(3);
+            p.run_circuit(&qc).expect("simulates");
+            assert_eq!(p.audit(), Ok(()));
+            // Sabotage one child weight: the normalization invariant
+            // (some child has weight exactly 1) and the unique-table key
+            // both break.
+            let node = p.vnodes.len() - 1;
+            for c in &mut p.vnodes[node].children {
+                c.weight = Complex::real(2.0);
+            }
+            let violations = p.audit().expect_err("corruption must be caught");
+            assert!(!violations.is_empty());
         }
     }
 }

@@ -74,6 +74,11 @@ impl DdSimulator {
         let mut state = dd.zero_state(circuit.num_qubits().max(1));
         let mut classical_bits = vec![false; circuit.num_clbits()];
         for inst in circuit {
+            if let Some(cond) = inst.cond {
+                if classical_bits[cond.clbit] != cond.value {
+                    continue; // condition unmet: the instruction is a no-op
+                }
+            }
             match &inst.kind {
                 OpKind::Measure { qubit, clbit } => {
                     classical_bits[*clbit] = dd.measure_qubit(&mut state, *qubit, rng);
@@ -83,10 +88,22 @@ impl DdSimulator {
                         state = dd.apply_gate(&state, &Gate::X.matrix(), *qubit, &[]);
                     }
                 }
+                _ if inst.cond.is_some() => {
+                    // Condition satisfied: apply the bare operation (the
+                    // unitary DD path rejects conditioned instructions).
+                    let bare = qdt_circuit::Instruction::new(inst.kind.clone());
+                    state = dd.apply_instruction(&state, &bare)?;
+                }
                 _ => {
                     state = dd.apply_instruction(&state, inst)?;
                 }
             }
+        }
+        // Debug builds with the `audit` feature verify the package's
+        // unique-table and normalization invariants after every run.
+        #[cfg(all(debug_assertions, feature = "audit"))]
+        if let Err(violations) = dd.audit() {
+            panic!("DD package audit failed after simulation: {violations:?}");
         }
         Ok(DdRunResult {
             state,
@@ -164,7 +181,7 @@ mod tests {
             .sample_shots(&mut dd, &qc, 1000, &mut rng)
             .unwrap();
         let all_ones = (1u128 << 30) - 1;
-        for (&k, _) in &counts {
+        for &k in counts.keys() {
             assert!(k == 0 || k == all_ones, "impossible GHZ outcome {k}");
         }
         let zeros = counts.get(&0).copied().unwrap_or(0) as f64;

@@ -52,7 +52,10 @@ impl DdPackage {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(&mut self, amps: &[Complex]) -> VectorDd {
         let len = amps.len();
-        assert!(len > 0 && len & (len - 1) == 0, "length must be a power of two");
+        assert!(
+            len > 0 && len & (len - 1) == 0,
+            "length must be a power of two"
+        );
         let num_qubits = len.trailing_zeros() as usize;
         let root = self.build_from_slice(amps, num_qubits);
         VectorDd { root, num_qubits }
@@ -84,7 +87,7 @@ impl DdPackage {
             if e.is_zero() {
                 return Complex::ZERO;
             }
-            w = w * e.weight;
+            w *= e.weight;
             node = e.node;
         }
         w
@@ -376,7 +379,7 @@ mod tests {
         // H|0⟩^⊗n has all amplitudes equal: maximal sharing, n nodes.
         let mut p = DdPackage::new();
         let n = 6;
-        let amp = Complex::real(1.0 / (1u64 << n as u64 / 2) as f64); // placeholder magnitude
+        let amp = Complex::real(1.0 / (1u64 << (n as u64 / 2)) as f64); // placeholder magnitude
         let amps = vec![amp; 1 << n];
         let v = p.from_amplitudes(&amps);
         assert_eq!(p.vector_node_count(&v), n);

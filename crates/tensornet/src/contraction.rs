@@ -202,7 +202,7 @@ fn greedy_steps(metas: &[Meta]) -> Vec<(usize, usize)> {
                 // breaking ties by fewer flops.
                 let growth = meta.size() - live[i].1.size() - live[j].1.size();
                 let key = (growth, flops, i, j);
-                if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
                     best = Some(key);
                 }
             }
@@ -288,16 +288,14 @@ fn optimal_steps(metas: &[Meta]) -> Vec<(usize, usize)> {
         let mut a = (s - 1) & s;
         while a > 0 {
             let b = s & !a;
-            if a < b {
-                if cost[a].is_finite() && cost[b].is_finite() {
-                    let ma = metas_cache[a].clone().expect("computed");
-                    let mb = metas_cache[b].clone().expect("computed");
-                    let (_, flops) = combine(&ma, &mb);
-                    let total = cost[a] + cost[b] + flops;
-                    if total < cost[s] {
-                        cost[s] = total;
-                        split[s] = a;
-                    }
+            if a < b && cost[a].is_finite() && cost[b].is_finite() {
+                let ma = metas_cache[a].clone().expect("computed");
+                let mb = metas_cache[b].clone().expect("computed");
+                let (_, flops) = combine(&ma, &mb);
+                let total = cost[a] + cost[b] + flops;
+                if total < cost[s] {
+                    cost[s] = total;
+                    split[s] = a;
                 }
             }
             a = (a - 1) & s;
@@ -364,13 +362,13 @@ mod tests {
     fn all_plans_agree_on_amplitude() {
         let qc = generators::qft(3, true);
         let tn = TensorNetwork::from_circuit(&qc).with_output_fixed(0b101);
-        let reference = tn
-            .contract(PlanKind::Naive)
-            .unwrap()
-            .into_scalar();
+        let reference = tn.contract(PlanKind::Naive).unwrap().into_scalar();
         for kind in [PlanKind::Greedy, PlanKind::Optimal] {
             let got = tn.contract(kind).unwrap().into_scalar();
-            assert!(got.approx_eq(reference, 1e-10), "{kind:?}: {got} vs {reference}");
+            assert!(
+                got.approx_eq(reference, 1e-10),
+                "{kind:?}: {got} vs {reference}"
+            );
         }
     }
 
@@ -379,8 +377,12 @@ mod tests {
         // On a GHZ chain, naive order drags a growing open-output tensor
         // along; greedy contracts locally.
         let tn = TensorNetwork::from_circuit(&generators::ghz(12)).with_output_fixed(0);
-        let naive = ContractionPlan::build(&tn, PlanKind::Naive).unwrap().stats();
-        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy).unwrap().stats();
+        let naive = ContractionPlan::build(&tn, PlanKind::Naive)
+            .unwrap()
+            .stats();
+        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy)
+            .unwrap()
+            .stats();
         assert!(
             greedy.total_flops < naive.total_flops,
             "greedy {} !< naive {}",
@@ -393,8 +395,12 @@ mod tests {
     #[test]
     fn optimal_no_worse_than_greedy() {
         let tn = TensorNetwork::from_circuit(&generators::bell()).with_output_fixed(0);
-        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy).unwrap().stats();
-        let optimal = ContractionPlan::build(&tn, PlanKind::Optimal).unwrap().stats();
+        let greedy = ContractionPlan::build(&tn, PlanKind::Greedy)
+            .unwrap()
+            .stats();
+        let optimal = ContractionPlan::build(&tn, PlanKind::Optimal)
+            .unwrap()
+            .stats();
         assert!(optimal.total_flops <= greedy.total_flops + 1e-9);
     }
 

@@ -55,12 +55,23 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum TensorError {
     /// The circuit contained a non-unitary instruction.
-    NonUnitary { op: String },
+    NonUnitary {
+        /// Name of the offending operation.
+        op: String,
+    },
     /// Contraction was asked for a network that does not reduce to the
     /// requested shape (e.g. scalar contraction with open indices left).
-    OpenIndicesRemain { count: usize },
+    OpenIndicesRemain {
+        /// How many open indices were left.
+        count: usize,
+    },
     /// The requested contraction plan kind cannot handle the network size.
-    NetworkTooLarge { tensors: usize, limit: usize },
+    NetworkTooLarge {
+        /// Number of tensors in the network.
+        tensors: usize,
+        /// Maximum the plan kind supports.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for TensorError {

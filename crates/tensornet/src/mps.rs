@@ -87,6 +87,12 @@ impl Mps {
         for inst in circuit {
             mps.apply_instruction(inst)?;
         }
+        // Debug builds with the `audit` feature verify the chain's bond
+        // and normalisation invariants after every circuit conversion.
+        #[cfg(all(debug_assertions, feature = "audit"))]
+        if let Err(violations) = mps.audit() {
+            panic!("MPS audit failed after circuit application: {violations:?}");
+        }
         Ok(mps)
     }
 
@@ -127,9 +133,8 @@ impl Mps {
         if matches!(inst.kind, OpKind::Barrier(_)) {
             return Ok(());
         }
-        let (u, qubits) = local_unitary(inst).ok_or_else(|| TensorError::NonUnitary {
-            op: inst.name(),
-        })?;
+        let (u, qubits) =
+            local_unitary(inst).ok_or_else(|| TensorError::NonUnitary { op: inst.name() })?;
         match qubits.len() {
             1 => {
                 self.apply_1q(&u, qubits[0]);
@@ -260,7 +265,11 @@ impl Mps {
         if total > 0.0 {
             self.truncation_error += 1.0 - kept / total;
         }
-        let renorm = if kept > 0.0 { (total / kept).sqrt() } else { 1.0 };
+        let renorm = if kept > 0.0 {
+            (total / kept).sqrt()
+        } else {
+            1.0
+        };
         // New A = U columns; new B = σ·V† rows (renormalised).
         let mut adata = vec![Complex::ZERO; l * 2 * chi];
         for li in 0..l {
@@ -297,7 +306,7 @@ impl Mps {
             if g > 1e-300 {
                 let inv = Complex::real(1.0 / g.sqrt());
                 for v in &mut self.sites[i].data {
-                    *v = *v * inv;
+                    *v *= inv;
                 }
             }
         }
@@ -356,6 +365,77 @@ impl Mps {
             dim = r;
         }
         env[0].re
+    }
+
+    /// Checks the chain's structural invariants, returning every
+    /// violation found (empty on success):
+    ///
+    /// * **Bond consistency** — `site[i].right == site[i+1].left`, the
+    ///   boundary bonds are 1, and every site's data length is
+    ///   `left · 2 · right`.
+    /// * **Bond cap** — no bond exceeds the configured χ.
+    /// * **Normalisation** — `⟨ψ|ψ⟩ ≈ 1` (truncation renormalises, so
+    ///   any drift indicates a broken update).
+    ///
+    /// Compiled only with the `audit` cargo feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        if self.sites.is_empty() {
+            violations.push("MPS has no sites".to_string());
+            return Err(violations);
+        }
+        if self.sites[0].left != 1 {
+            violations.push(format!(
+                "left boundary bond is {}, expected 1",
+                self.sites[0].left
+            ));
+        }
+        if self.sites[self.sites.len() - 1].right != 1 {
+            violations.push(format!(
+                "right boundary bond is {}, expected 1",
+                self.sites[self.sites.len() - 1].right
+            ));
+        }
+        for (i, site) in self.sites.iter().enumerate() {
+            if site.data.len() != site.left * 2 * site.right {
+                violations.push(format!(
+                    "site {i}: data length {} != left·2·right = {}",
+                    site.data.len(),
+                    site.left * 2 * site.right
+                ));
+            }
+            if site.left > self.max_bond || site.right > self.max_bond {
+                violations.push(format!(
+                    "site {i}: bond ({}, {}) exceeds the cap χ = {}",
+                    site.left, site.right, self.max_bond
+                ));
+            }
+            if i + 1 < self.sites.len() && site.right != self.sites[i + 1].left {
+                violations.push(format!(
+                    "bond mismatch between sites {i} and {}: {} vs {}",
+                    i + 1,
+                    site.right,
+                    self.sites[i + 1].left
+                ));
+            }
+        }
+        // Only meaningful when the chain shape is sound.
+        if violations.is_empty() {
+            let n2 = self.norm_sqr();
+            if (n2 - 1.0).abs() > 1e-6 {
+                violations.push(format!("⟨ψ|ψ⟩ = {n2}, expected 1 (update broke the norm)"));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
     }
 
     /// Expands to a dense state vector (≤ 20 qubits) for validation.
@@ -510,8 +590,12 @@ mod tests {
 
     #[test]
     fn memory_is_linear_for_bounded_bond() {
-        let m20 = Mps::from_circuit(&generators::ghz(20), 2).unwrap().memory_entries();
-        let m40 = Mps::from_circuit(&generators::ghz(40), 2).unwrap().memory_entries();
+        let m20 = Mps::from_circuit(&generators::ghz(20), 2)
+            .unwrap()
+            .memory_entries();
+        let m40 = Mps::from_circuit(&generators::ghz(40), 2)
+            .unwrap()
+            .memory_entries();
         assert!(m40 <= m20 * 3, "MPS memory must grow linearly");
     }
 
@@ -568,8 +652,7 @@ impl Mps {
                                     continue;
                                 }
                                 for rj in 0..r {
-                                    next[ri * r + rj] +=
-                                        e * bra * pv * site.get(lj, s, rj);
+                                    next[ri * r + rj] += e * bra * pv * site.get(lj, s, rj);
                                 }
                             }
                         }
@@ -611,5 +694,31 @@ mod pauli_tests {
         assert!((mps.expectation_pauli(&all_x) - 1.0).abs() < 1e-8);
         let single_z: PauliString = ("Z".to_string() + &"I".repeat(47)).parse().unwrap();
         assert!(mps.expectation_pauli(&single_z).abs() < 1e-8);
+    }
+
+    #[cfg(feature = "audit")]
+    mod audit {
+        use super::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        #[test]
+        fn clean_chain_passes_audit() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let qc = generators::random_circuit(6, 8, &mut rng);
+            let mps = Mps::from_circuit(&qc, 8).unwrap();
+            assert_eq!(mps.audit(), Ok(()));
+        }
+
+        #[test]
+        fn broken_bond_is_detected() {
+            let mut mps = Mps::from_circuit(&generators::ghz(4), 4).unwrap();
+            assert_eq!(mps.audit(), Ok(()));
+            // Sabotage the chain: claim a different bond dimension
+            // without resizing the neighbour.
+            mps.sites[1].right += 1;
+            let violations = mps.audit().expect_err("bond break must be caught");
+            assert!(!violations.is_empty());
+        }
     }
 }

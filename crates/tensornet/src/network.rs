@@ -24,6 +24,10 @@ pub struct TensorNetwork {
 /// Builds the `2^k × 2^k` unitary of an instruction restricted to its own
 /// qubits, together with the qubit order (local bit `p` ↔ `qubits[p]`).
 pub(crate) fn local_unitary(inst: &Instruction) -> Option<(Matrix, Vec<usize>)> {
+    if inst.cond.is_some() {
+        // A conditioned gate is not a fixed unitary on its qubits.
+        return None;
+    }
     match &inst.kind {
         OpKind::Unitary {
             gate,
@@ -97,9 +101,9 @@ impl TensorNetwork {
         // Input |0⟩ tensors.
         let mut tensors = Vec::new();
         let mut wire: Vec<IndexId> = (0..n).map(|_| fresh()).collect();
-        for q in 0..n {
+        for &w in &wire {
             tensors.push(Tensor::new(
-                vec![wire[q]],
+                vec![w],
                 vec![2],
                 vec![Complex::ONE, Complex::ZERO],
             ));
@@ -108,8 +112,9 @@ impl TensorNetwork {
             if matches!(inst.kind, OpKind::Barrier(_)) {
                 continue;
             }
-            let (u, qubits) = local_unitary(inst)
-                .unwrap_or_else(|| panic!("non-unitary instruction {} in tensor network", inst.name()));
+            let (u, qubits) = local_unitary(inst).unwrap_or_else(|| {
+                panic!("non-unitary instruction {} in tensor network", inst.name())
+            });
             let k = qubits.len();
             // Gate tensor: labels [out_0..out_{k-1}, in_0..in_{k-1}],
             // entry T[o, i] = U[Σ o_p 2^p][Σ i_p 2^p]. With labels ordered

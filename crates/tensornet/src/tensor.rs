@@ -260,6 +260,27 @@ impl fmt::Display for Tensor {
     }
 }
 
+impl Tensor {
+    /// Returns the element-wise complex conjugate.
+    pub fn conj(&self) -> Tensor {
+        Tensor {
+            labels: self.labels.clone(),
+            dims: self.dims.clone(),
+            data: self.data.iter().map(|a| a.conj()).collect(),
+        }
+    }
+
+    /// Returns a copy with every label passed through `f` (used to give
+    /// a cloned network fresh indices).
+    pub fn relabel(&self, f: impl Fn(IndexId) -> IndexId) -> Tensor {
+        Tensor {
+            labels: self.labels.iter().map(|&l| f(l)).collect(),
+            dims: self.dims.clone(),
+            data: self.data.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,7 +337,11 @@ mod tests {
     #[test]
     fn contraction_is_associative_on_chain() {
         // (A·B)·C == A·(B·C)
-        let a = Tensor::new(vec![0, 1], vec![2, 2], vec![c(1.0), c(-1.0), c(2.0), c(0.5)]);
+        let a = Tensor::new(
+            vec![0, 1],
+            vec![2, 2],
+            vec![c(1.0), c(-1.0), c(2.0), c(0.5)],
+        );
         let b = Tensor::new(vec![1, 2], vec![2, 2], vec![c(0.0), c(1.0), c(1.0), c(0.0)]);
         let d = Tensor::new(vec![2, 3], vec![2, 2], vec![c(2.0), c(0.0), c(0.0), c(2.0)]);
         let left = a.contract(&b).contract(&d);
@@ -337,11 +362,7 @@ mod tests {
             vec![2, 2, 2],
             (0..8).map(|i| c(i as f64)).collect(),
         );
-        let b = Tensor::new(
-            vec![1, 2],
-            vec![2, 2],
-            vec![c(1.0), c(1.0), c(1.0), c(1.0)],
-        );
+        let b = Tensor::new(vec![1, 2], vec![2, 2], vec![c(1.0), c(1.0), c(1.0), c(1.0)]);
         let out = a.contract(&b);
         assert_eq!(out.labels(), &[0]);
         // Each output entry sums 4 consecutive values.
@@ -361,26 +382,5 @@ mod tests {
         assert_eq!(s.rank(), 0);
         assert_eq!(s.size(), 1);
         assert_eq!(s.into_scalar(), Complex::I);
-    }
-}
-
-impl Tensor {
-    /// Returns the element-wise complex conjugate.
-    pub fn conj(&self) -> Tensor {
-        Tensor {
-            labels: self.labels.clone(),
-            dims: self.dims.clone(),
-            data: self.data.iter().map(|a| a.conj()).collect(),
-        }
-    }
-
-    /// Returns a copy with every label passed through `f` (used to give
-    /// a cloned network fresh indices).
-    pub fn relabel(&self, f: impl Fn(IndexId) -> IndexId) -> Tensor {
-        Tensor {
-            labels: self.labels.iter().map(|&l| f(l)).collect(),
-            dims: self.dims.clone(),
-            data: self.data.clone(),
-        }
     }
 }

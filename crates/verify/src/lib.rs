@@ -30,9 +30,9 @@ use std::fmt;
 
 use qdt_array::circuit_unitary;
 use qdt_circuit::Circuit;
-use qdt_complex::Complex;
 use qdt_compile::coupling::CouplingMap;
 use qdt_compile::routing::RoutedCircuit;
+use qdt_complex::Complex;
 use qdt_dd::{DdPackage, EquivalenceResult};
 use qdt_zx::ZxEquivalence;
 use rand::rngs::StdRng;
@@ -98,12 +98,22 @@ impl Equivalence {
 #[derive(Debug, Clone, PartialEq)]
 pub enum VerifyError {
     /// The circuits have different widths.
-    WidthMismatch { left: usize, right: usize },
+    WidthMismatch {
+        /// Width of the left circuit.
+        left: usize,
+        /// Width of the right circuit.
+        right: usize,
+    },
     /// A circuit contains measurement/reset (strip with
     /// [`Circuit::unitary_part`] first).
     NonUnitary,
     /// The array method was asked for too many qubits.
-    TooLargeForMethod { method: String, num_qubits: usize },
+    TooLargeForMethod {
+        /// The verification method that hit the limit.
+        method: String,
+        /// The requested qubit count.
+        num_qubits: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -171,8 +181,8 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
         }
         Method::DecisionDiagram => {
             let mut dd = DdPackage::new();
-            let r = qdt_dd::check_equivalence(&mut dd, g1, g2)
-                .map_err(|_| VerifyError::NonUnitary)?;
+            let r =
+                qdt_dd::check_equivalence(&mut dd, g1, g2).map_err(|_| VerifyError::NonUnitary)?;
             Ok(match r {
                 EquivalenceResult::Equivalent => Equivalence::Equivalent,
                 EquivalenceResult::EquivalentUpToGlobalPhase(l) => {
@@ -241,9 +251,10 @@ pub fn verify_compilation(
     method: Method,
 ) -> Result<Equivalence, VerifyError> {
     let undone = routed.with_unrouting_swaps(map);
-    let reference = original
-        .unitary_part()
-        .remap(&routed.initial_layout[..original.num_qubits()], map.num_qubits());
+    let reference = original.unitary_part().remap(
+        &routed.initial_layout[..original.num_qubits()],
+        map.num_qubits(),
+    );
     check(&undone.unitary_part(), &reference, method)
 }
 
@@ -258,10 +269,7 @@ pub fn check_all(g1: &Circuit, g2: &Circuit) -> Vec<(Method, Result<Equivalence,
     if g1.num_qubits() <= 8 {
         methods.insert(0, Method::Array);
     }
-    methods
-        .into_iter()
-        .map(|m| (m, check(g1, g2, m)))
-        .collect()
+    methods.into_iter().map(|m| (m, check(g1, g2, m))).collect()
 }
 
 #[cfg(test)]

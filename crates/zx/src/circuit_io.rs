@@ -32,6 +32,11 @@ fn unsupported(op: impl Into<String>) -> ZxError {
 fn lower(circuit: &Circuit) -> Result<Vec<LoweredOp>, ZxError> {
     let mut out = Vec::new();
     for inst in circuit {
+        if inst.cond.is_some() {
+            // ZX-diagrams denote fixed linear maps; a classically
+            // conditioned gate is not one.
+            return Err(unsupported(format!("conditioned {}", inst.name())));
+        }
         match &inst.kind {
             OpKind::Barrier(_) => {}
             OpKind::Measure { .. } | OpKind::Reset { .. } => {
@@ -265,12 +270,30 @@ impl Diagram {
                     }
                     Gate::U(theta, phi, lambda) => {
                         // U(θ,φ,λ) = P(φ) · Ry(θ) · P(λ).
-                        attach(&mut d, &mut wires, q, VertexKind::Z, Phase::from_radians(lambda));
+                        attach(
+                            &mut d,
+                            &mut wires,
+                            q,
+                            VertexKind::Z,
+                            Phase::from_radians(lambda),
+                        );
                         attach(&mut d, &mut wires, q, VertexKind::Z, Phase::rational(3, 2));
-                        attach(&mut d, &mut wires, q, VertexKind::X, Phase::from_radians(theta));
+                        attach(
+                            &mut d,
+                            &mut wires,
+                            q,
+                            VertexKind::X,
+                            Phase::from_radians(theta),
+                        );
                         attach(&mut d, &mut wires, q, VertexKind::Z, Phase::rational(1, 2));
                         d.scalar_mut().mul_phase(Phase::from_radians(-theta / 2.0));
-                        attach(&mut d, &mut wires, q, VertexKind::Z, Phase::from_radians(phi));
+                        attach(
+                            &mut d,
+                            &mut wires,
+                            q,
+                            VertexKind::Z,
+                            Phase::from_radians(phi),
+                        );
                     }
                 },
             }

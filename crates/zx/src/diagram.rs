@@ -213,7 +213,8 @@ impl Diagram {
 
     /// The neighbours of `v` with edge types.
     pub fn neighbors(&self, v: VertexId) -> Vec<(VertexId, EdgeType)> {
-        let mut out: Vec<(VertexId, EdgeType)> = self.adj[v].iter().map(|(&n, &e)| (n, e)).collect();
+        let mut out: Vec<(VertexId, EdgeType)> =
+            self.adj[v].iter().map(|(&n, &e)| (n, e)).collect();
         out.sort_unstable_by_key(|&(n, _)| n);
         out
     }
@@ -275,6 +276,85 @@ impl Diagram {
                     self.scalar.mul_sqrt2_power(-2);
                 }
             },
+        }
+    }
+
+    // --- invariant auditing ----------------------------------------------------
+
+    /// Checks the diagram's structural invariants, returning every
+    /// violation found (empty on success):
+    ///
+    /// * **Edge symmetry** — `adj[u][v]` and `adj[v][u]` exist together
+    ///   and carry the same [`EdgeType`]; no self-loops; no edge touches
+    ///   a removed vertex.
+    /// * **Boundary integrity** — every input/output id names a live
+    ///   [`VertexKind::Boundary`] vertex.
+    /// * **Phase canonicity** — rational phases are reduced with
+    ///   `num ∈ [0, 2·den)`, float phases are finite in `[0, 2π)`.
+    ///
+    /// Compiled only with the `audit` cargo feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        for (v, adj) in self.adj.iter().enumerate() {
+            if self.verts[v].is_none() {
+                if !adj.is_empty() {
+                    violations.push(format!("removed vertex {v} still has incident edges"));
+                }
+                continue;
+            }
+            for (&n, &et) in adj {
+                if n == v {
+                    violations.push(format!("vertex {v} has a self-loop"));
+                    continue;
+                }
+                if n >= self.verts.len() || self.verts[n].is_none() {
+                    violations.push(format!("edge {v}—{n} points at a removed vertex"));
+                    continue;
+                }
+                match self.adj[n].get(&v) {
+                    None => violations.push(format!("edge {v}—{n} has no mirror entry")),
+                    Some(&back) if back != et => violations.push(format!(
+                        "edge {v}—{n} has asymmetric types {et:?} vs {back:?}"
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        for (label, list) in [("input", &self.inputs), ("output", &self.outputs)] {
+            for &b in list {
+                if b >= self.verts.len() || self.verts[b].is_none() {
+                    violations.push(format!("{label} {b} is not a live vertex"));
+                } else if self.kind(b) != VertexKind::Boundary {
+                    violations.push(format!("{label} {b} is not a Boundary vertex"));
+                }
+            }
+        }
+        for v in self.vertices() {
+            match self.phase(v) {
+                Phase::Rational(n, d) => {
+                    if d <= 0 || n < 0 || n >= 2 * d || (n != 0 && crate::phase::gcd_i64(n, d) != 1)
+                    {
+                        violations.push(format!(
+                            "vertex {v} phase {n}/{d}·π is not in canonical form"
+                        ));
+                    }
+                }
+                Phase::Float(x) => {
+                    if !x.is_finite() || !(0.0..2.0 * std::f64::consts::PI).contains(&x) {
+                        violations.push(format!("vertex {v} float phase {x} outside [0, 2π)"));
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
         }
     }
 
@@ -551,5 +631,49 @@ mod tests {
         assert_eq!(Simple.compose(Simple), Simple);
         assert_eq!(Hadamard.compose(Hadamard), Simple);
         assert_eq!(Simple.compose(Hadamard), Hadamard);
+    }
+
+    #[cfg(feature = "audit")]
+    mod audit {
+        use super::*;
+
+        #[test]
+        fn clean_diagram_passes_audit() {
+            let mut d = Diagram::new();
+            let i = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+            let z = d.add_vertex(VertexKind::Z, Phase::rational(1, 4));
+            let o = d.add_vertex(VertexKind::Boundary, Phase::ZERO);
+            d.add_edge(i, z, EdgeType::Simple);
+            d.add_edge(z, o, EdgeType::Hadamard);
+            d.set_inputs(vec![i]);
+            d.set_outputs(vec![o]);
+            assert_eq!(d.audit(), Ok(()));
+        }
+
+        #[test]
+        fn broken_adjacency_is_detected() {
+            let mut d = Diagram::new();
+            let a = d.add_vertex(VertexKind::Z, Phase::ZERO);
+            let b = d.add_vertex(VertexKind::Z, Phase::ZERO);
+            d.add_edge(a, b, EdgeType::Simple);
+            assert_eq!(d.audit(), Ok(()));
+            // Sabotage symmetry: remove only one direction of the edge.
+            d.adj[a].remove(&b);
+            let violations = d.audit().expect_err("asymmetry must be caught");
+            assert!(
+                violations.iter().any(|v| v.contains("mirror")),
+                "{violations:?}"
+            );
+        }
+
+        #[test]
+        fn unreduced_phase_is_detected() {
+            let mut d = Diagram::new();
+            let v = d.add_vertex(VertexKind::Z, Phase::ZERO);
+            // Bypass the normalising constructor.
+            d.verts[v].as_mut().unwrap().phase = Phase::Rational(2, 4);
+            let violations = d.audit().expect_err("unreduced phase must be caught");
+            assert!(!violations.is_empty());
+        }
     }
 }

@@ -111,8 +111,8 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
                 frontier.push(Some(v));
             }
         }
-        for q in 0..n {
-            let Some(v) = frontier[q] else { continue };
+        for (q, slot) in frontier.iter().enumerate() {
+            let Some(v) = *slot else { continue };
             let ph = d.phase(v);
             if !ph.is_zero() {
                 gates.push(ExGate::Phase(ph.to_radians(), q));
@@ -121,8 +121,8 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
         }
         for qa in 0..n {
             let Some(va) = frontier[qa] else { continue };
-            for qb in qa + 1..n {
-                let Some(vb) = frontier[qb] else { continue };
+            for (qb, slot) in frontier.iter().enumerate().skip(qa + 1) {
+                let Some(vb) = *slot else { continue };
                 if d.edge_type(va, vb) == Some(EdgeType::Hadamard) {
                     gates.push(ExGate::Cz(qa, qb));
                     d.remove_edge(va, vb);
@@ -133,8 +133,8 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
         // 2. Retire any frontier spider whose only remaining neighbours
         //    are its output plus exactly one other vertex.
         let mut progressed = false;
-        for q in 0..n {
-            let Some(v) = frontier[q] else { continue };
+        for (q, slot) in frontier.iter().enumerate() {
+            let Some(v) = *slot else { continue };
             let others: Vec<(VertexId, EdgeType)> = d
                 .neighbors(v)
                 .into_iter()
@@ -207,9 +207,7 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
         // applied to the diagram's edges.
         let mut used = vec![false; rows.len()];
         for col in 0..cols.len() {
-            let Some(src) = (0..rows.len())
-                .find(|&r| !used[r] && rows[r] & (1 << col) != 0)
-            else {
+            let Some(src) = (0..rows.len()).find(|&r| !used[r] && rows[r] & (1 << col) != 0) else {
                 continue;
             };
             used[src] = true;
@@ -232,7 +230,7 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
 
     // Residual permutation: every output connects (plainly) to an input.
     let mut perm = vec![usize::MAX; n]; // perm[q_out] = q_in
-    for q in 0..n {
+    for (q, slot) in perm.iter_mut().enumerate() {
         let (v, et) = frontier_of(&d, q);
         if d.kind(v) != VertexKind::Boundary {
             return Err(unsupported("extraction loop ended with spiders left"));
@@ -245,7 +243,7 @@ pub fn extract_circuit(diagram: &Diagram) -> Result<Circuit, ZxError> {
             .iter()
             .position(|&i| i == v)
             .ok_or_else(|| unsupported("output wired to a non-input boundary"))?;
-        perm[q] = j;
+        *slot = j;
     }
     // Emit SWAPs (input side = last in `gates`) turning the identity into
     // the permutation wire crossing.
@@ -336,8 +334,8 @@ mod tests {
     fn assert_extraction_correct(qc: &Circuit, label: &str) {
         let mut d = Diagram::from_circuit(qc).unwrap();
         simplify::clifford_simp(&mut d);
-        let extracted = extract_circuit(&d)
-            .unwrap_or_else(|e| panic!("{label}: extraction failed: {e}"));
+        let extracted =
+            extract_circuit(&d).unwrap_or_else(|e| panic!("{label}: extraction failed: {e}"));
         let mut dd = DdPackage::new();
         let r = check_equivalence(&mut dd, qc, &extracted).unwrap();
         assert!(
@@ -418,7 +416,10 @@ mod tests {
                 reduced += 1;
             }
         }
-        assert!(reduced >= 3, "ZX optimisation should usually shrink Cliffords");
+        assert!(
+            reduced >= 3,
+            "ZX optimisation should usually shrink Cliffords"
+        );
     }
 
     #[test]
@@ -468,8 +469,7 @@ mod stress_tests {
         let mut rng = StdRng::seed_from_u64(0xABCD);
         for i in 0..3 {
             let qc = generators::random_clifford(7, 12, &mut rng);
-            let out = optimize_circuit(&qc)
-                .unwrap_or_else(|e| panic!("wide #{i}: {e}"));
+            let out = optimize_circuit(&qc).unwrap_or_else(|e| panic!("wide #{i}: {e}"));
             let mut dd = DdPackage::new();
             let r = check_equivalence(&mut dd, &qc, &out).unwrap();
             assert!(r.is_equivalent(), "wide #{i}: {r:?}");
@@ -482,8 +482,7 @@ mod stress_tests {
             ("w4", generators::w_state(4)),
             ("qpe", generators::phase_estimation(3, 0.3)),
         ] {
-            let out = optimize_circuit(&qc)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let out = optimize_circuit(&qc).unwrap_or_else(|e| panic!("{name}: {e}"));
             let mut dd = DdPackage::new();
             let r = check_equivalence(&mut dd, &qc, &out).unwrap();
             assert!(r.is_equivalent(), "{name}: {r:?}");

@@ -64,16 +64,27 @@ use std::fmt;
 pub enum ZxError {
     /// The circuit contains an instruction with no ZX translation
     /// (measurement/reset, or ≥3 controls — compile those away first).
-    Unsupported { op: String },
+    Unsupported {
+        /// Name of the offending operation.
+        op: String,
+    },
     /// Two diagrams with mismatched boundary counts were composed.
-    BoundaryMismatch { left: usize, right: usize },
+    BoundaryMismatch {
+        /// Boundary count of the left operand.
+        left: usize,
+        /// Boundary count of the right operand.
+        right: usize,
+    },
 }
 
 impl fmt::Display for ZxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ZxError::Unsupported { op } => {
-                write!(f, "instruction {op} has no ZX translation (decompose it first)")
+                write!(
+                    f,
+                    "instruction {op} has no ZX translation (decompose it first)"
+                )
             }
             ZxError::BoundaryMismatch { left, right } => {
                 write!(f, "boundary mismatch: {left} outputs vs {right} inputs")

@@ -29,6 +29,13 @@ pub enum Phase {
     Float(f64),
 }
 
+/// Greatest common divisor (crate-internal; the auditor uses it to check
+/// phases are stored reduced).
+#[cfg(feature = "audit")]
+pub(crate) fn gcd_i64(a: i64, b: i64) -> i64 {
+    gcd(a, b)
+}
+
 fn gcd(a: i64, b: i64) -> i64 {
     let (mut a, mut b) = (a.abs(), b.abs());
     while b != 0 {
@@ -135,9 +142,7 @@ impl Add for Phase {
     type Output = Phase;
     fn add(self, rhs: Phase) -> Phase {
         match (self, rhs) {
-            (Phase::Rational(a, b), Phase::Rational(c, d)) => {
-                Phase::rational(a * d + c * b, b * d)
-            }
+            (Phase::Rational(a, b), Phase::Rational(c, d)) => Phase::rational(a * d + c * b, b * d),
             _ => Phase::from_radians(self.to_radians() + rhs.to_radians()),
         }
     }

@@ -78,8 +78,7 @@ impl Scalar {
             }
             _ => {
                 let theta = p.to_radians();
-                self.floatfactor =
-                    self.floatfactor * Complex::cis(theta / 2.0).scale(2.0 * (theta / 2.0).cos());
+                self.floatfactor *= Complex::cis(theta / 2.0).scale(2.0 * (theta / 2.0).cos());
             }
         }
     }
@@ -89,7 +88,7 @@ impl Scalar {
         if c == Complex::ZERO {
             self.is_zero = true;
         } else {
-            self.floatfactor = self.floatfactor * c;
+            self.floatfactor *= c;
         }
     }
 
@@ -97,7 +96,7 @@ impl Scalar {
     pub fn mul(&mut self, other: &Scalar) {
         self.power2 += other.power2;
         self.phase = self.phase + other.phase;
-        self.floatfactor = self.floatfactor * other.floatfactor;
+        self.floatfactor *= other.floatfactor;
         self.is_zero |= other.is_zero;
     }
 
@@ -186,9 +185,10 @@ mod tests {
         // T phase: 1 + e^{iπ/4}
         let mut s = Scalar::one();
         s.mul_one_plus_phase(Phase::rational(1, 4));
-        assert!(s
-            .to_complex()
-            .approx_eq(Complex::ONE + Complex::cis(std::f64::consts::FRAC_PI_4), 1e-12));
+        assert!(s.to_complex().approx_eq(
+            Complex::ONE + Complex::cis(std::f64::consts::FRAC_PI_4),
+            1e-12
+        ));
     }
 
     #[test]

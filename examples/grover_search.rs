@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for backend in [Backend::Array, Backend::DecisionDiagram] {
         let amp = amplitude(&qc, marked as u128, backend)?;
-        println!(
-            "  {backend:<18} P(marked) = {:.4}",
-            amp.norm_sqr()
-        );
+        println!("  {backend:<18} P(marked) = {:.4}", amp.norm_sqr());
     }
 
     let shots = 1000;
@@ -40,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     println!("  top outcomes:");
     for (value, count) in top.into_iter().take(4) {
-        println!("    |{value:0width$b}⟩: {count}", width = n);
+        println!("    |{value:0n$b}⟩: {count}");
     }
 
     Ok(())

@@ -1,0 +1,17 @@
+// A deliberately flawed circuit exercising the linter:
+//  - q[2] is never touched                       -> QDT102 (info)
+//  - h;h on q[0] cancels                         -> QDT201 (warning)
+//  - the condition reads c[1], which is never
+//    written, so it is always false              -> QDT004 (warning)
+//  - x q[1] after q[1]'s final measurement       -> QDT101 (warning)
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+h q[0];
+cx q[0], q[1];
+if (c[1] == 1) z q[0];
+measure q[1] -> c[0];
+x q[1];
+measure q[0] -> c[0];

@@ -18,14 +18,21 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = 0.05;
     let qc = generators::ghz(4);
-    println!("GHZ-4 under {}% depolarizing noise after every gate\n", p * 100.0);
+    println!(
+        "GHZ-4 under {}% depolarizing noise after every gate\n",
+        p * 100.0
+    );
 
     // (a) exact density matrix — 2^4 × 2^4 entries.
     let dm = DensityMatrix::from_circuit(
         &qc,
         &NoiseModel::new().with_channel(NoiseChannel::Depolarizing(p)),
     )?;
-    println!("density matrix: purity {:.4}, trace {:.6}", dm.purity(), dm.trace());
+    println!(
+        "density matrix: purity {:.4}, trace {:.6}",
+        dm.purity(),
+        dm.trace()
+    );
 
     // (b) DD trajectories — pure states all the way.
     let mut dd = DdPackage::new();
@@ -34,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shots = 5000;
     let counts = dd.sample_noisy(&qc, &noise, shots, &mut rng)?;
 
-    println!("\n{:>8} {:>16} {:>16}", "outcome", "DD trajectories", "density matrix");
+    println!(
+        "\n{:>8} {:>16} {:>16}",
+        "outcome", "DD trajectories", "density matrix"
+    );
     for i in 0..16usize {
         let mc = counts.get(&(i as u128)).copied().unwrap_or(0) as f64 / shots as f64;
         let exact = dm.probability(i);
@@ -49,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let light = DdNoiseModel::new().with_channel(DdNoiseChannel::BitFlip(0.01));
     let mut dd = DdPackage::new();
     let fidelity = dd.noisy_fidelity(&wide, &light, 100, &mut rng)?;
-    println!(
-        "\nGHZ-30 under 1% bit flips: mean fidelity with the ideal state {fidelity:.3}"
-    );
+    println!("\nGHZ-30 under 1% bit flips: mean fidelity with the ideal state {fidelity:.3}");
     println!("(density matrix would need 2^60 entries; the DD trajectory stays tiny)");
     Ok(())
 }

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Arrays (Fig. 1a) ==");
     let amps = amplitudes(&bell, Backend::Array)?;
     for (i, a) in amps.iter().enumerate() {
-        println!("  |{:02b}⟩: {a}", i);
+        println!("  |{i:02b}⟩: {a}");
     }
 
     // --- Section III: decision diagrams -------------------------------------

@@ -1,0 +1,516 @@
+//! A minimal, dependency-free re-implementation of the subset of the
+//! `proptest` 1.x API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors what its property tests need: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter`, range and tuple strategies, [`Just`],
+//! `prop_oneof!`, `collection::vec`, the [`proptest!`] test macro with
+//! `#![proptest_config(...)]`, and the `prop_assert!` family.
+//!
+//! Differences from real proptest: generation is driven by a fixed
+//! per-test deterministic seed (derived from the test name), and there
+//! is **no shrinking** — a failing case reports its case index and
+//! message only. That trades minimal counter-examples for zero
+//! dependencies and perfectly reproducible CI runs.
+
+use std::fmt;
+
+// --- deterministic generator -------------------------------------------------
+
+/// The deterministic random source driving generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the test name, so each test gets its own stream.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { x: h }
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// --- errors ------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected during generation (e.g. by `prop_filter`);
+    /// it does not count against the case budget.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+// --- configuration -----------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases each test runs.
+    pub cases: u32,
+    /// Maximum generation rejections tolerated per test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+// --- strategies --------------------------------------------------------------
+
+/// How many times composite strategies retry a rejecting sub-strategy
+/// before propagating the rejection.
+const LOCAL_REJECT_RETRIES: usize = 64;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`new_value`); the combinators require `Sized`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value, or `Err` if generation was rejected.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (retrying locally first).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (for `prop_oneof!` / heterogeneous lists).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        (**self).new_value(rng)
+    }
+}
+
+/// The constant strategy: always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            let v = self.inner.new_value(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(TestCaseError::reject(self.reason.clone()))
+    }
+}
+
+/// A uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        let mut last = None;
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            let arm = rng.index(self.arms.len());
+            match self.arms[arm].new_value(rng) {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| TestCaseError::reject("union exhausted")))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end - self.start) as u64;
+                Ok(self.start + (rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi - lo) as u64 + 1;
+                Ok(lo + (rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                Ok(self.start.wrapping_add((rng.next_u64() % span) as $t))
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+        assert!(self.start < self.end, "strategy over empty range");
+        Ok(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestCaseError, TestRng};
+
+    /// The size specification accepted by [`vec`].
+    pub trait SizeRange {
+        /// Picks a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec over empty size range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.index(self.end() - self.start() + 1)
+        }
+    }
+
+    /// Vectors of `len` elements drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+// --- macros ------------------------------------------------------------------
+
+/// Uniform choice between heterogeneous strategy expressions producing
+/// the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failures abort the case with a
+/// message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Declares property tests. Each inner `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that runs `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $(
+                            let $pat = $crate::Strategy::new_value(&($strategy), &mut rng)?;
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(reason)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.max_global_rejects,
+                                "proptest {}: too many generation rejections ({})",
+                                stringify!($name),
+                                reason
+                            );
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}/{}: {}",
+                                stringify!($name),
+                                accepted + 1,
+                                config.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (3..9usize).new_value(&mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let f = (-1.0..1.0f64).new_value(&mut rng).unwrap();
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn filter_rejects_then_succeeds() {
+        let mut rng = crate::TestRng::deterministic("filter");
+        let s = (0..10usize).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng).unwrap() % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0..100usize, (a, b) in (0..5usize, 0..5usize)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn oneof_and_vec(xs in prop::collection::vec(prop_oneof![Just(1usize), 2..5usize], 0..8)) {
+            prop_assert!(xs.len() < 8);
+            for x in xs {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+    }
+}

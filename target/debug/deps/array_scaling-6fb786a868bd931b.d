@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_scaling-6fb786a868bd931b.d: crates/bench/benches/array_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_scaling-6fb786a868bd931b.rmeta: crates/bench/benches/array_scaling.rs Cargo.toml
+
+crates/bench/benches/array_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

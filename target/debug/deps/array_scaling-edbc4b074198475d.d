@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_scaling-edbc4b074198475d.d: crates/bench/benches/array_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_scaling-edbc4b074198475d.rmeta: crates/bench/benches/array_scaling.rs Cargo.toml
+
+crates/bench/benches/array_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compilation-7d902c16a8a93d01.d: crates/bench/benches/compilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompilation-7d902c16a8a93d01.rmeta: crates/bench/benches/compilation.rs Cargo.toml
+
+crates/bench/benches/compilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compilation-a7b593f726389718.d: crates/bench/benches/compilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompilation-a7b593f726389718.rmeta: crates/bench/benches/compilation.rs Cargo.toml
+
+crates/bench/benches/compilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

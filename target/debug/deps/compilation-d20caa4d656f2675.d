@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compilation-d20caa4d656f2675.d: crates/bench/benches/compilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompilation-d20caa4d656f2675.rmeta: crates/bench/benches/compilation.rs Cargo.toml
+
+crates/bench/benches/compilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

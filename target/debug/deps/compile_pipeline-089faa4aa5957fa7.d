@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_pipeline-089faa4aa5957fa7.d: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_pipeline-089faa4aa5957fa7.rmeta: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+crates/core/../../tests/compile_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

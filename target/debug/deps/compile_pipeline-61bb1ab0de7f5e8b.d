@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_pipeline-61bb1ab0de7f5e8b.d: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_pipeline-61bb1ab0de7f5e8b.rmeta: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+crates/core/../../tests/compile_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

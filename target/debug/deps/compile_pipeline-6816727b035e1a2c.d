@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_pipeline-6816727b035e1a2c.d: crates/core/../../tests/compile_pipeline.rs
+
+/root/repo/target/debug/deps/compile_pipeline-6816727b035e1a2c: crates/core/../../tests/compile_pipeline.rs
+
+crates/core/../../tests/compile_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_pipeline-af8cf9b97f94cd07.d: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_pipeline-af8cf9b97f94cd07.rmeta: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+crates/core/../../tests/compile_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_pipeline-f35c28348ab40c72.d: crates/core/../../tests/compile_pipeline.rs
+
+/root/repo/target/debug/deps/compile_pipeline-f35c28348ab40c72: crates/core/../../tests/compile_pipeline.rs
+
+crates/core/../../tests/compile_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_pipeline-fe0308337a8ce912.d: crates/core/../../tests/compile_pipeline.rs
+
+/root/repo/target/debug/deps/compile_pipeline-fe0308337a8ce912: crates/core/../../tests/compile_pipeline.rs
+
+crates/core/../../tests/compile_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-153dcc64c93c250f.d: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-153dcc64c93c250f.rmeta: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+crates/core/../../tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-525d88802a3c87b7.d: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-525d88802a3c87b7.rmeta: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+crates/core/../../tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-97bebf93ac149040.d: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-97bebf93ac149040.rmeta: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+crates/core/../../tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-98739688065f5829.d: crates/core/../../tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-98739688065f5829: crates/core/../../tests/cross_backend.rs
+
+crates/core/../../tests/cross_backend.rs:

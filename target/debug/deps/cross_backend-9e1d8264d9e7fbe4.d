@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-9e1d8264d9e7fbe4.d: crates/core/../../tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-9e1d8264d9e7fbe4: crates/core/../../tests/cross_backend.rs
+
+crates/core/../../tests/cross_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-bfe4c7d9249889de.d: crates/core/../../tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-bfe4c7d9249889de: crates/core/../../tests/cross_backend.rs
+
+crates/core/../../tests/cross_backend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dd_vs_array-64daba824f18d532.d: crates/bench/benches/dd_vs_array.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_vs_array-64daba824f18d532.rmeta: crates/bench/benches/dd_vs_array.rs Cargo.toml
+
+crates/bench/benches/dd_vs_array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

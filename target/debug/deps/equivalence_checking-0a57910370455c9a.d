@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_checking-0a57910370455c9a.d: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_checking-0a57910370455c9a.rmeta: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+crates/bench/benches/equivalence_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

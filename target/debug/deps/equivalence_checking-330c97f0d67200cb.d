@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_checking-330c97f0d67200cb.d: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_checking-330c97f0d67200cb.rmeta: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+crates/bench/benches/equivalence_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

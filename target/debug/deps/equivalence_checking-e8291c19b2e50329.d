@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_checking-e8291c19b2e50329.d: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_checking-e8291c19b2e50329.rmeta: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+crates/bench/benches/equivalence_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

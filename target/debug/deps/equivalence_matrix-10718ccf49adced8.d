@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_matrix-10718ccf49adced8.d: crates/core/../../tests/equivalence_matrix.rs
+
+/root/repo/target/debug/deps/equivalence_matrix-10718ccf49adced8: crates/core/../../tests/equivalence_matrix.rs
+
+crates/core/../../tests/equivalence_matrix.rs:

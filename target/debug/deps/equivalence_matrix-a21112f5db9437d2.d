@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_matrix-a21112f5db9437d2.d: crates/core/../../tests/equivalence_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_matrix-a21112f5db9437d2.rmeta: crates/core/../../tests/equivalence_matrix.rs Cargo.toml
+
+crates/core/../../tests/equivalence_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_matrix-c601bb2ac27545cf.d: crates/core/../../tests/equivalence_matrix.rs
+
+/root/repo/target/debug/deps/equivalence_matrix-c601bb2ac27545cf: crates/core/../../tests/equivalence_matrix.rs
+
+crates/core/../../tests/equivalence_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_matrix-f965a0e28eac6bd7.d: crates/core/../../tests/equivalence_matrix.rs
+
+/root/repo/target/debug/deps/equivalence_matrix-f965a0e28eac6bd7: crates/core/../../tests/equivalence_matrix.rs
+
+crates/core/../../tests/equivalence_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mps_truncation-0393199abed38976.d: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmps_truncation-0393199abed38976.rmeta: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+crates/bench/benches/mps_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

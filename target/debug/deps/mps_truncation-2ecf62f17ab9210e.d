@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mps_truncation-2ecf62f17ab9210e.d: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmps_truncation-2ecf62f17ab9210e.rmeta: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+crates/bench/benches/mps_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mps_truncation-3b7ad5bcd37da5ea.d: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmps_truncation-3b7ad5bcd37da5ea.rmeta: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+crates/bench/benches/mps_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_and_approx-262b2f52fd94b19e.d: crates/bench/benches/noise_and_approx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_and_approx-262b2f52fd94b19e.rmeta: crates/bench/benches/noise_and_approx.rs Cargo.toml
+
+crates/bench/benches/noise_and_approx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

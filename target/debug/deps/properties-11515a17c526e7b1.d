@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-11515a17c526e7b1.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-11515a17c526e7b1: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

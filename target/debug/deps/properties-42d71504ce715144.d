@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-42d71504ce715144.d: crates/analysis/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-42d71504ce715144: crates/analysis/tests/properties.rs
+
+crates/analysis/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5d3936e7328b3fd0.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5d3936e7328b3fd0: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5f72b99f2949567d.d: crates/core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5f72b99f2949567d.rmeta: crates/core/../../tests/properties.rs Cargo.toml
+
+crates/core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

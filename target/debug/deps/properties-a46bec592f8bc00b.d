@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a46bec592f8bc00b.d: crates/analysis/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a46bec592f8bc00b.rmeta: crates/analysis/tests/properties.rs Cargo.toml
+
+crates/analysis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

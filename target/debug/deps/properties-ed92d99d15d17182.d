@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ed92d99d15d17182.d: crates/analysis/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ed92d99d15d17182.rmeta: crates/analysis/tests/properties.rs Cargo.toml
+
+crates/analysis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

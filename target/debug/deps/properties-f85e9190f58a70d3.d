@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f85e9190f58a70d3.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f85e9190f58a70d3: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

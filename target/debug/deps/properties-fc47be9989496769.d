@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fc47be9989496769.d: crates/analysis/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fc47be9989496769: crates/analysis/tests/properties.rs
+
+crates/analysis/tests/properties.rs:

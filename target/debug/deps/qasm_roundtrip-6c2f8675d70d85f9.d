@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_roundtrip-6c2f8675d70d85f9.d: crates/core/../../tests/qasm_roundtrip.rs
+
+/root/repo/target/debug/deps/qasm_roundtrip-6c2f8675d70d85f9: crates/core/../../tests/qasm_roundtrip.rs
+
+crates/core/../../tests/qasm_roundtrip.rs:

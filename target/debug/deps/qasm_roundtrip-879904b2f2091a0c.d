@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_roundtrip-879904b2f2091a0c.d: crates/core/../../tests/qasm_roundtrip.rs
+
+/root/repo/target/debug/deps/qasm_roundtrip-879904b2f2091a0c: crates/core/../../tests/qasm_roundtrip.rs
+
+crates/core/../../tests/qasm_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_roundtrip-93da8c84c45091ac.d: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_roundtrip-93da8c84c45091ac.rmeta: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/qasm_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

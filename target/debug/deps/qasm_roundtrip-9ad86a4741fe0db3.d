@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_roundtrip-9ad86a4741fe0db3.d: crates/core/../../tests/qasm_roundtrip.rs
+
+/root/repo/target/debug/deps/qasm_roundtrip-9ad86a4741fe0db3: crates/core/../../tests/qasm_roundtrip.rs
+
+crates/core/../../tests/qasm_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_roundtrip-bb39f4319e622a5c.d: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_roundtrip-bb39f4319e622a5c.rmeta: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/qasm_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

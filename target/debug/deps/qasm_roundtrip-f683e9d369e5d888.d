@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_roundtrip-f683e9d369e5d888.d: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_roundtrip-f683e9d369e5d888.rmeta: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/qasm_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

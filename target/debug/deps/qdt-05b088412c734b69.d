@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt-05b088412c734b69.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-05b088412c734b69.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-05b088412c734b69.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

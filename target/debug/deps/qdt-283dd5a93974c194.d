@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt-283dd5a93974c194.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/qdt-283dd5a93974c194: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

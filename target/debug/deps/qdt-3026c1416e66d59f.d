@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt-3026c1416e66d59f.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/qdt-3026c1416e66d59f: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

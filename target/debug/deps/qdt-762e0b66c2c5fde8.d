@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt-762e0b66c2c5fde8.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/qdt-762e0b66c2c5fde8: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

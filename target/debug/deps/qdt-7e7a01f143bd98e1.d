@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt-7e7a01f143bd98e1.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-7e7a01f143bd98e1.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

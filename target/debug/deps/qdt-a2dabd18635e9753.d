@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt-a2dabd18635e9753.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-a2dabd18635e9753.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-a2dabd18635e9753.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt-ae7a61a34712dd9c.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-ae7a61a34712dd9c.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt-ba63be9f877ddcd5.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-ba63be9f877ddcd5.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

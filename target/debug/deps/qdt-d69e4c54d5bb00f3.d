@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt-d69e4c54d5bb00f3.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-d69e4c54d5bb00f3.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

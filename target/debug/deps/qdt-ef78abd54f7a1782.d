@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt-ef78abd54f7a1782.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-ef78abd54f7a1782.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt-ef78abd54f7a1782.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt-f75416cebf2ffc37.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-f75416cebf2ffc37.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

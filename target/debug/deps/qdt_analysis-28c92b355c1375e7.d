@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qdt_analysis-28c92b355c1375e7.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-28c92b355c1375e7.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-28c92b355c1375e7.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:

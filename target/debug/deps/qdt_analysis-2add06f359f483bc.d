@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_analysis-2add06f359f483bc.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-2add06f359f483bc.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-2add06f359f483bc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:
+crates/analysis/src/audit.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qdt_analysis-3bdb9bafb34cc98f.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_analysis-3bdb9bafb34cc98f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:
+crates/analysis/src/audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

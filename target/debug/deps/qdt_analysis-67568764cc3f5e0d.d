@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt_analysis-67568764cc3f5e0d.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/qdt_analysis-67568764cc3f5e0d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:

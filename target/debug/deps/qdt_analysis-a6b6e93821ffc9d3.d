@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qdt_analysis-a6b6e93821ffc9d3.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+/root/repo/target/debug/deps/qdt_analysis-a6b6e93821ffc9d3: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:
+crates/analysis/src/audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_array-02ab0881fc91bb74.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/qdt_array-02ab0881fc91bb74: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qdt_array-34692978b76c2c23.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/libqdt_array-34692978b76c2c23.rlib: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/libqdt_array-34692978b76c2c23.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_array-9b472c9d25807bf2.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_array-9b472c9d25807bf2.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs Cargo.toml
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

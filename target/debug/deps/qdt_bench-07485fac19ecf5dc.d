@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_bench-07485fac19ecf5dc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_bench-07485fac19ecf5dc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

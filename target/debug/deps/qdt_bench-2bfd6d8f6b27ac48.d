@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_bench-2bfd6d8f6b27ac48.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-2bfd6d8f6b27ac48.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-2bfd6d8f6b27ac48.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_bench-52a490b92c45c47c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_bench-52a490b92c45c47c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

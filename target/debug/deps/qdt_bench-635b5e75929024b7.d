@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_bench-635b5e75929024b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_bench-635b5e75929024b7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

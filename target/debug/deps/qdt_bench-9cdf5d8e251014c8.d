@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_bench-9cdf5d8e251014c8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-9cdf5d8e251014c8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-9cdf5d8e251014c8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

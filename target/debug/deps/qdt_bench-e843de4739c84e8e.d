@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_bench-e843de4739c84e8e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_bench-e843de4739c84e8e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

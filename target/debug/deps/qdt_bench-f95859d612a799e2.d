@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_bench-f95859d612a799e2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_bench-f95859d612a799e2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

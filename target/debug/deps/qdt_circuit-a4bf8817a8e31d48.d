@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qdt_circuit-a4bf8817a8e31d48.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_circuit-a4bf8817a8e31d48.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs Cargo.toml
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators.rs:
+crates/circuit/src/pauli.rs:
+crates/circuit/src/qasm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

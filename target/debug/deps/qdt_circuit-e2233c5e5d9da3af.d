@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qdt_circuit-e2233c5e5d9da3af.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/debug/deps/libqdt_circuit-e2233c5e5d9da3af.rlib: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/debug/deps/libqdt_circuit-e2233c5e5d9da3af.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators.rs:
+crates/circuit/src/pauli.rs:
+crates/circuit/src/qasm.rs:

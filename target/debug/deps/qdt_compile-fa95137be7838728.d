@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_compile-fa95137be7838728.d: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/debug/deps/libqdt_compile-fa95137be7838728.rlib: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/debug/deps/libqdt_compile-fa95137be7838728.rmeta: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+crates/compile/src/lib.rs:
+crates/compile/src/coupling.rs:
+crates/compile/src/decompose.rs:
+crates/compile/src/layout.rs:
+crates/compile/src/optimize.rs:
+crates/compile/src/routing.rs:
+crates/compile/src/target.rs:

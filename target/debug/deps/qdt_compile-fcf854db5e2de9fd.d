@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qdt_compile-fcf854db5e2de9fd.d: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_compile-fcf854db5e2de9fd.rmeta: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs Cargo.toml
+
+crates/compile/src/lib.rs:
+crates/compile/src/coupling.rs:
+crates/compile/src/decompose.rs:
+crates/compile/src/layout.rs:
+crates/compile/src/optimize.rs:
+crates/compile/src/routing.rs:
+crates/compile/src/target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

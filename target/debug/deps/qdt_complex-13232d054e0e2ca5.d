@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qdt_complex-13232d054e0e2ca5.d: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/debug/deps/libqdt_complex-13232d054e0e2ca5.rlib: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/debug/deps/libqdt_complex-13232d054e0e2ca5.rmeta: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+crates/complexnum/src/lib.rs:
+crates/complexnum/src/complex.rs:
+crates/complexnum/src/euler.rs:
+crates/complexnum/src/matrix.rs:
+crates/complexnum/src/svd.rs:
+crates/complexnum/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qdt_dd-475d818383051968.d: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_dd-475d818383051968.rmeta: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs Cargo.toml
+
+crates/dd/src/lib.rs:
+crates/dd/src/approx.rs:
+crates/dd/src/dot.rs:
+crates/dd/src/equivalence.rs:
+crates/dd/src/matrix.rs:
+crates/dd/src/noise.rs:
+crates/dd/src/package.rs:
+crates/dd/src/simulate.rs:
+crates/dd/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_dd-e6ed5705d258eb63.d: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+/root/repo/target/debug/deps/qdt_dd-e6ed5705d258eb63: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+crates/dd/src/lib.rs:
+crates/dd/src/approx.rs:
+crates/dd/src/dot.rs:
+crates/dd/src/equivalence.rs:
+crates/dd/src/matrix.rs:
+crates/dd/src/noise.rs:
+crates/dd/src/package.rs:
+crates/dd/src/simulate.rs:
+crates/dd/src/vector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_tensor-2e92aca8781002ee.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/qdt_tensor-2e92aca8781002ee: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

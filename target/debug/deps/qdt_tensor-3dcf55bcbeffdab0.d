@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_tensor-3dcf55bcbeffdab0.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_tensor-3dcf55bcbeffdab0.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs Cargo.toml
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qdt_tensor-560e4eda7fb0f3b0.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/libqdt_tensor-560e4eda7fb0f3b0.rlib: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/libqdt_tensor-560e4eda7fb0f3b0.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_tensor-df15fec0227dc510.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/qdt_tensor-df15fec0227dc510: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_verify-2e5f22fd47ac0590.d: crates/verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_verify-2e5f22fd47ac0590.rmeta: crates/verify/src/lib.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_verify-6ed7f8ff981bea3b.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-6ed7f8ff981bea3b.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-6ed7f8ff981bea3b.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_verify-9804028e6eaf9a56.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_verify-9804028e6eaf9a56: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

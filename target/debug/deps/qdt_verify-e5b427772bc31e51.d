@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_verify-e5b427772bc31e51.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-e5b427772bc31e51.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-e5b427772bc31e51.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

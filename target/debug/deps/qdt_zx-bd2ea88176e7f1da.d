@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qdt_zx-bd2ea88176e7f1da.d: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_zx-bd2ea88176e7f1da.rmeta: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs Cargo.toml
+
+crates/zx/src/lib.rs:
+crates/zx/src/circuit_io.rs:
+crates/zx/src/diagram.rs:
+crates/zx/src/dot.rs:
+crates/zx/src/equivalence.rs:
+crates/zx/src/evaluate.rs:
+crates/zx/src/extract.rs:
+crates/zx/src/phase.rs:
+crates/zx/src/scalar.rs:
+crates/zx/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

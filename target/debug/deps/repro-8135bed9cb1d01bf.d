@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8135bed9cb1d01bf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8135bed9cb1d01bf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8139acab04d0bdc5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8139acab04d0bdc5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tn_contraction-bc6ad200ec95bf6a.d: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtn_contraction-bc6ad200ec95bf6a.rmeta: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+crates/bench/benches/tn_contraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

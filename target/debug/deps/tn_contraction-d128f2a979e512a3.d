@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tn_contraction-d128f2a979e512a3.d: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtn_contraction-d128f2a979e512a3.rmeta: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+crates/bench/benches/tn_contraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

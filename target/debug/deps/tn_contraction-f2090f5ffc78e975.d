@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tn_contraction-f2090f5ffc78e975.d: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtn_contraction-f2090f5ffc78e975.rmeta: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+crates/bench/benches/tn_contraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

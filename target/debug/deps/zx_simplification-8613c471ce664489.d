@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zx_simplification-8613c471ce664489.d: crates/bench/benches/zx_simplification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzx_simplification-8613c471ce664489.rmeta: crates/bench/benches/zx_simplification.rs Cargo.toml
+
+crates/bench/benches/zx_simplification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

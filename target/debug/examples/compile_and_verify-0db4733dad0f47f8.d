@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_and_verify-0db4733dad0f47f8.d: crates/core/../../examples/compile_and_verify.rs
+
+/root/repo/target/debug/examples/compile_and_verify-0db4733dad0f47f8: crates/core/../../examples/compile_and_verify.rs
+
+crates/core/../../examples/compile_and_verify.rs:

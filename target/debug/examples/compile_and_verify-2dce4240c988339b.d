@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compile_and_verify-2dce4240c988339b.d: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompile_and_verify-2dce4240c988339b.rmeta: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+crates/core/../../examples/compile_and_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_and_verify-6793200abcbe048a.d: crates/core/../../examples/compile_and_verify.rs
+
+/root/repo/target/debug/examples/compile_and_verify-6793200abcbe048a: crates/core/../../examples/compile_and_verify.rs
+
+crates/core/../../examples/compile_and_verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_and_verify-8099dce13b16bdda.d: crates/core/../../examples/compile_and_verify.rs
+
+/root/repo/target/debug/examples/compile_and_verify-8099dce13b16bdda: crates/core/../../examples/compile_and_verify.rs
+
+crates/core/../../examples/compile_and_verify.rs:

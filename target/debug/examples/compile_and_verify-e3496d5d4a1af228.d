@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compile_and_verify-e3496d5d4a1af228.d: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompile_and_verify-e3496d5d4a1af228.rmeta: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+crates/core/../../examples/compile_and_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

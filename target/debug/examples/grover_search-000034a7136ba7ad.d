@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grover_search-000034a7136ba7ad.d: crates/core/../../examples/grover_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrover_search-000034a7136ba7ad.rmeta: crates/core/../../examples/grover_search.rs Cargo.toml
+
+crates/core/../../examples/grover_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grover_search-191a7a097a02e3dd.d: crates/core/../../examples/grover_search.rs
+
+/root/repo/target/debug/examples/grover_search-191a7a097a02e3dd: crates/core/../../examples/grover_search.rs
+
+crates/core/../../examples/grover_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grover_search-6bcea58095128189.d: crates/core/../../examples/grover_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrover_search-6bcea58095128189.rmeta: crates/core/../../examples/grover_search.rs Cargo.toml
+
+crates/core/../../examples/grover_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grover_search-989561b7c18e1fa7.d: crates/core/../../examples/grover_search.rs
+
+/root/repo/target/debug/examples/grover_search-989561b7c18e1fa7: crates/core/../../examples/grover_search.rs
+
+crates/core/../../examples/grover_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grover_search-ba8782bc71e5872a.d: crates/core/../../examples/grover_search.rs
+
+/root/repo/target/debug/examples/grover_search-ba8782bc71e5872a: crates/core/../../examples/grover_search.rs
+
+crates/core/../../examples/grover_search.rs:

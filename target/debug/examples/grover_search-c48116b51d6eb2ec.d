@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grover_search-c48116b51d6eb2ec.d: crates/core/../../examples/grover_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrover_search-c48116b51d6eb2ec.rmeta: crates/core/../../examples/grover_search.rs Cargo.toml
+
+crates/core/../../examples/grover_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mps_entanglement-0713580fb8c91c3f.d: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmps_entanglement-0713580fb8c91c3f.rmeta: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+crates/core/../../examples/mps_entanglement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mps_entanglement-27ac5bc8d4b06e82.d: crates/core/../../examples/mps_entanglement.rs
+
+/root/repo/target/debug/examples/mps_entanglement-27ac5bc8d4b06e82: crates/core/../../examples/mps_entanglement.rs
+
+crates/core/../../examples/mps_entanglement.rs:

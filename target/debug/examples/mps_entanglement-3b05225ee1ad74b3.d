@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mps_entanglement-3b05225ee1ad74b3.d: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmps_entanglement-3b05225ee1ad74b3.rmeta: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+crates/core/../../examples/mps_entanglement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

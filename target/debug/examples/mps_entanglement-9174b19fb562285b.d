@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mps_entanglement-9174b19fb562285b.d: crates/core/../../examples/mps_entanglement.rs
+
+/root/repo/target/debug/examples/mps_entanglement-9174b19fb562285b: crates/core/../../examples/mps_entanglement.rs
+
+crates/core/../../examples/mps_entanglement.rs:

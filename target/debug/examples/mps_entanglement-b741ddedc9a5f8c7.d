@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mps_entanglement-b741ddedc9a5f8c7.d: crates/core/../../examples/mps_entanglement.rs
+
+/root/repo/target/debug/examples/mps_entanglement-b741ddedc9a5f8c7: crates/core/../../examples/mps_entanglement.rs
+
+crates/core/../../examples/mps_entanglement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_simulation-1f86c5889d111fc2.d: crates/core/../../examples/noisy_simulation.rs
+
+/root/repo/target/debug/examples/noisy_simulation-1f86c5889d111fc2: crates/core/../../examples/noisy_simulation.rs
+
+crates/core/../../examples/noisy_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noisy_simulation-21e8d5d6b4088bdc.d: crates/core/../../examples/noisy_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoisy_simulation-21e8d5d6b4088bdc.rmeta: crates/core/../../examples/noisy_simulation.rs Cargo.toml
+
+crates/core/../../examples/noisy_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_simulation-58ef13ab748e9542.d: crates/core/../../examples/noisy_simulation.rs
+
+/root/repo/target/debug/examples/noisy_simulation-58ef13ab748e9542: crates/core/../../examples/noisy_simulation.rs
+
+crates/core/../../examples/noisy_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_simulation-cf83f29d78eb3ff0.d: crates/core/../../examples/noisy_simulation.rs
+
+/root/repo/target/debug/examples/noisy_simulation-cf83f29d78eb3ff0: crates/core/../../examples/noisy_simulation.rs
+
+crates/core/../../examples/noisy_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qdt_lint-3e4f972481a15b0e.d: crates/analysis/examples/qdt_lint.rs
+
+/root/repo/target/debug/examples/qdt_lint-3e4f972481a15b0e: crates/analysis/examples/qdt_lint.rs
+
+crates/analysis/examples/qdt_lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qdt_lint-51b0c77762210a0e.d: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqdt_lint-51b0c77762210a0e.rmeta: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+crates/analysis/examples/qdt_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

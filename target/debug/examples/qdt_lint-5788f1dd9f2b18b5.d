@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qdt_lint-5788f1dd9f2b18b5.d: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqdt_lint-5788f1dd9f2b18b5.rmeta: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+crates/analysis/examples/qdt_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qdt_lint-fb7306b2e97dae59.d: crates/analysis/examples/qdt_lint.rs
+
+/root/repo/target/debug/examples/qdt_lint-fb7306b2e97dae59: crates/analysis/examples/qdt_lint.rs
+
+crates/analysis/examples/qdt_lint.rs:

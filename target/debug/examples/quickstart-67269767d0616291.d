@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-67269767d0616291.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-67269767d0616291: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

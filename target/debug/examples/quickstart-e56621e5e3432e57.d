@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e56621e5e3432e57.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e56621e5e3432e57: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f8599cf8a7b1ec38.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f8599cf8a7b1ec38.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

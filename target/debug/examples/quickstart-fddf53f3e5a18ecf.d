@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fddf53f3e5a18ecf.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fddf53f3e5a18ecf: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seed_probe-4e71aaead202fde7.d: crates/zx/examples/seed_probe.rs
+
+/root/repo/target/debug/examples/seed_probe-4e71aaead202fde7: crates/zx/examples/seed_probe.rs
+
+crates/zx/examples/seed_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zx_optimizer-307d4e14e954262f.d: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzx_optimizer-307d4e14e954262f.rmeta: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+crates/core/../../examples/zx_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

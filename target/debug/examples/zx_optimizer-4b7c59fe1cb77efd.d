@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zx_optimizer-4b7c59fe1cb77efd.d: crates/core/../../examples/zx_optimizer.rs
+
+/root/repo/target/debug/examples/zx_optimizer-4b7c59fe1cb77efd: crates/core/../../examples/zx_optimizer.rs
+
+crates/core/../../examples/zx_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zx_optimizer-71f98a46e58f4b19.d: crates/core/../../examples/zx_optimizer.rs
+
+/root/repo/target/debug/examples/zx_optimizer-71f98a46e58f4b19: crates/core/../../examples/zx_optimizer.rs
+
+crates/core/../../examples/zx_optimizer.rs:

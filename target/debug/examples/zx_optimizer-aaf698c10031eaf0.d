@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zx_optimizer-aaf698c10031eaf0.d: crates/core/../../examples/zx_optimizer.rs
+
+/root/repo/target/debug/examples/zx_optimizer-aaf698c10031eaf0: crates/core/../../examples/zx_optimizer.rs
+
+crates/core/../../examples/zx_optimizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zx_optimizer-c242b2b44d2359c1.d: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzx_optimizer-c242b2b44d2359c1.rmeta: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+crates/core/../../examples/zx_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

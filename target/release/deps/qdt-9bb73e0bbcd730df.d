@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt-9bb73e0bbcd730df.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libqdt-9bb73e0bbcd730df.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libqdt-9bb73e0bbcd730df.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

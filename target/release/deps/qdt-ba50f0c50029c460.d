@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt-ba50f0c50029c460.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libqdt-ba50f0c50029c460.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libqdt-ba50f0c50029c460.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

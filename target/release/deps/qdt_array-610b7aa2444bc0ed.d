@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qdt_array-610b7aa2444bc0ed.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/release/deps/libqdt_array-610b7aa2444bc0ed.rlib: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/release/deps/libqdt_array-610b7aa2444bc0ed.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

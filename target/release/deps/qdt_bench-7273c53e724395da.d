@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_bench-7273c53e724395da.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-7273c53e724395da.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-7273c53e724395da.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

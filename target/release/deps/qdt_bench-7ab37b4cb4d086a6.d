@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_bench-7ab37b4cb4d086a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-7ab37b4cb4d086a6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-7ab37b4cb4d086a6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

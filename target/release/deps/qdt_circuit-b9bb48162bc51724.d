@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_circuit-b9bb48162bc51724.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/release/deps/libqdt_circuit-b9bb48162bc51724.rlib: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/release/deps/libqdt_circuit-b9bb48162bc51724.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators.rs:
+crates/circuit/src/pauli.rs:
+crates/circuit/src/qasm.rs:

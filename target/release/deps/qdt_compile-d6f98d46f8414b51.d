@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qdt_compile-d6f98d46f8414b51.d: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/release/deps/libqdt_compile-d6f98d46f8414b51.rlib: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/release/deps/libqdt_compile-d6f98d46f8414b51.rmeta: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+crates/compile/src/lib.rs:
+crates/compile/src/coupling.rs:
+crates/compile/src/decompose.rs:
+crates/compile/src/layout.rs:
+crates/compile/src/optimize.rs:
+crates/compile/src/routing.rs:
+crates/compile/src/target.rs:

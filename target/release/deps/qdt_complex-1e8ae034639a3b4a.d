@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_complex-1e8ae034639a3b4a.d: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/release/deps/libqdt_complex-1e8ae034639a3b4a.rlib: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/release/deps/libqdt_complex-1e8ae034639a3b4a.rmeta: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+crates/complexnum/src/lib.rs:
+crates/complexnum/src/complex.rs:
+crates/complexnum/src/euler.rs:
+crates/complexnum/src/matrix.rs:
+crates/complexnum/src/svd.rs:
+crates/complexnum/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qdt_dd-ebb0f64f79eed6f0.d: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+/root/repo/target/release/deps/libqdt_dd-ebb0f64f79eed6f0.rlib: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+/root/repo/target/release/deps/libqdt_dd-ebb0f64f79eed6f0.rmeta: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+crates/dd/src/lib.rs:
+crates/dd/src/approx.rs:
+crates/dd/src/dot.rs:
+crates/dd/src/equivalence.rs:
+crates/dd/src/matrix.rs:
+crates/dd/src/noise.rs:
+crates/dd/src/package.rs:
+crates/dd/src/simulate.rs:
+crates/dd/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qdt_tensor-32f8b5c055d092c7.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/release/deps/libqdt_tensor-32f8b5c055d092c7.rlib: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/release/deps/libqdt_tensor-32f8b5c055d092c7.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

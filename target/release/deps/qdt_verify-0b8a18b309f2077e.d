@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_verify-0b8a18b309f2077e.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-0b8a18b309f2077e.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-0b8a18b309f2077e.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

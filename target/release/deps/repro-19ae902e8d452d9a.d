@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-19ae902e8d452d9a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-19ae902e8d452d9a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-72178ccb6aeb9408.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-72178ccb6aeb9408: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -55,8 +55,7 @@ fn qft_to_every_device() {
         let routed = compile(&qc, &GateSet::ibm_basis(), &map).unwrap();
         assert_respects_map(&routed.circuit, &map);
         assert_in_basis(&routed.circuit, &GateSet::ibm_basis());
-        let verdict =
-            verify_compilation(&qc, &routed, &map, Method::DecisionDiagram).unwrap();
+        let verdict = verify_compilation(&qc, &routed, &map, Method::DecisionDiagram).unwrap();
         assert!(verdict.is_equivalent(), "map {map:?}: {verdict:?}");
     }
 }
@@ -81,8 +80,7 @@ fn random_circuits_to_heavy_hex() {
         let routed = compile(&qc, &GateSet::ibm_basis(), &map).unwrap();
         assert_respects_map(&routed.circuit, &map);
         let verdict =
-            verify_compilation(&qc, &routed, &map, Method::RandomStimuli { samples: 5 })
-                .unwrap();
+            verify_compilation(&qc, &routed, &map, Method::RandomStimuli { samples: 5 }).unwrap();
         assert!(verdict.is_equivalent(), "#{i}: {verdict:?}");
     }
 }
@@ -130,6 +128,8 @@ fn bernstein_vazirani_still_works_after_compilation() {
     // The routed circuit measures *physical* qubits; the classical bits
     // still carry the answer.
     let mut rng = StdRng::seed_from_u64(32);
-    let result = ArraySimulator::new().run(&routed.circuit, &mut rng).unwrap();
+    let result = ArraySimulator::new()
+        .run(&routed.circuit, &mut rng)
+        .unwrap();
     assert_eq!(result.classical_value(), secret);
 }

@@ -149,3 +149,37 @@ fn wide_adder_on_dd_only() {
     let amp = amplitude(&qc, expect_index, Backend::DecisionDiagram).unwrap();
     assert!((amp.abs() - 1.0).abs() < 1e-9);
 }
+
+/// With `--features audit`, every backend's invariant auditor must come
+/// back clean on the structures the consistency suite exercises.
+#[cfg(feature = "audit")]
+mod audits {
+    use super::*;
+    use qdt::analysis::audit::{audit_dd, audit_mps, audit_zx};
+
+    #[test]
+    fn backends_audit_clean_on_suite_circuits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let circuits = vec![
+            generators::bell(),
+            generators::ghz(6),
+            generators::qft(5, true),
+            generators::random_clifford_t(5, 20, 0.3, &mut rng),
+        ];
+        for qc in &circuits {
+            let mut dd = qdt::dd::DdPackage::new();
+            dd.run_circuit(qc).expect("dd simulates");
+            let diags = audit_dd(&dd);
+            assert!(diags.is_empty(), "{qc}: {diags:?}");
+
+            let mps = qdt::tensor::mps::Mps::from_circuit(qc, 64).expect("mps simulates");
+            let diags = audit_mps(&mps);
+            assert!(diags.is_empty(), "{qc}: {diags:?}");
+
+            let mut zx = qdt::zx::Diagram::from_circuit(qc).expect("zx lowers");
+            qdt::zx::simplify::full_reduce(&mut zx);
+            let diags = audit_zx(&zx);
+            assert!(diags.is_empty(), "{qc}: {diags:?}");
+        }
+    }
+}

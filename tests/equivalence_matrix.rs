@@ -60,8 +60,8 @@ fn commuting_reorder() {
 fn toffoli_vs_decomposition() {
     let mut a = Circuit::new(3);
     a.ccx(0, 1, 2);
-    let b = qdt::compile::decompose::rebase(&a, &qdt::compile::target::GateSet::clifford_t())
-        .unwrap();
+    let b =
+        qdt::compile::decompose::rebase(&a, &qdt::compile::target::GateSet::clifford_t()).unwrap();
     expect_equivalent(&a, &b, "toffoli");
 }
 
@@ -97,10 +97,7 @@ fn rebased_random_circuits() {
 fn single_gate_mutations_rejected() {
     let mut rng = StdRng::seed_from_u64(23);
     let qc = generators::random_clifford_t(4, 5, 0.2, &mut rng);
-    for (i, mutation) in [Gate::Z, Gate::X, Gate::S, Gate::T]
-        .into_iter()
-        .enumerate()
-    {
+    for (i, mutation) in [Gate::Z, Gate::X, Gate::S, Gate::T].into_iter().enumerate() {
         let mut bad = qc.clone();
         bad.gate(mutation, i % 4, &[]);
         expect_not_equivalent(&qc, &bad, &format!("mutant-{mutation:?}"));

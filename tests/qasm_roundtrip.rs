@@ -70,7 +70,8 @@ fn compiled_output_exports_cleanly() {
     use qdt::compile::coupling::CouplingMap;
     use qdt::compile::target::GateSet;
     let qc = generators::qft(4, true);
-    let routed = qdt::compile::compile(&qc, &GateSet::ibm_basis(), &CouplingMap::linear(4)).unwrap();
+    let routed =
+        qdt::compile::compile(&qc, &GateSet::ibm_basis(), &CouplingMap::linear(4)).unwrap();
     let text = qasm::write(&routed.circuit).unwrap();
     assert!(text.contains("OPENQASM 2.0"));
     let back = qasm::parse(&text).unwrap();
