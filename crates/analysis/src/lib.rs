@@ -11,8 +11,12 @@
 //! * **A resource report** ([`ResourceReport`]) summarises gate counts,
 //!   T-count, depth and Clifford membership — the quantities compilers
 //!   and fault-tolerance estimates key off.
-//! * **Invariant auditors** (feature `audit`, re-exported in
-//!   [`audit`](mod@crate::audit)) check the decision-diagram unique
+//! * **A simulation profile** ([`SimulationProfile`]) captures what a
+//!   run *cost* on a concrete simulation engine: gate throughput and the
+//!   engine's own cost metric (DD nodes, MPS bond, …) at its peak and
+//!   at the end of the run.
+//! * **Invariant auditors** (feature `audit`, re-exported in the `audit`
+//!   module) check the decision-diagram unique
 //!   tables, ZX adjacency symmetry, and MPS bond consistency that make
 //!   the backends sound.
 //!
@@ -29,6 +33,7 @@
 //! ```
 
 mod deadcode;
+mod profile;
 mod redundancy;
 mod report;
 mod resources;
@@ -38,6 +43,7 @@ mod wellformed;
 pub mod audit;
 
 pub use deadcode::DeadCode;
+pub use profile::{render_simulation_profile, simulation_profile, SimulationProfile};
 pub use redundancy::Redundancy;
 pub use report::{render_json, render_text};
 pub use resources::{resource_report, ResourceReport};

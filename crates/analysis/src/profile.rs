@@ -1,0 +1,107 @@
+//! Dynamic cost profiling of simulation engines: what a backend's own
+//! cost metric did while a circuit ran.
+//!
+//! Static [`resource_report`](crate::resource_report)s describe the
+//! *circuit*; a [`SimulationProfile`] describes what simulating it
+//! *cost* on a concrete [`SimulationEngine`] — gate throughput plus the
+//! engine-reported metric (amplitudes, DD nodes, tensors, or MPS bond
+//! dimension) at its high-water mark and at the end of the run. This is
+//! the measured counterpart of the paper's central trade-off discussion.
+
+use std::fmt::Write as _;
+
+use qdt_circuit::Circuit;
+use qdt_engine::{run_instrumented, EngineError, SimulationEngine};
+
+/// Engine-reported statistics from one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationProfile {
+    /// Canonical name of the engine that ran.
+    pub engine: String,
+    /// Width of the simulated register.
+    pub num_qubits: usize,
+    /// Unitary instructions applied.
+    pub gates_applied: usize,
+    /// Barriers skipped by the run loop.
+    pub barriers_skipped: usize,
+    /// Name of the engine's cost metric (e.g. `"dd-nodes"`, `"bond"`).
+    pub metric_name: &'static str,
+    /// High-water mark of the metric over the run.
+    pub peak_metric: usize,
+    /// Metric value after the final gate.
+    pub final_metric: usize,
+}
+
+/// Runs `circuit` on `engine` and collects its [`SimulationProfile`].
+///
+/// # Errors
+///
+/// Propagates [`EngineError`]s from the run loop (non-unitary
+/// instructions, width limits, backend failures).
+pub fn simulation_profile(
+    engine: &mut dyn SimulationEngine,
+    circuit: &Circuit,
+) -> Result<SimulationProfile, EngineError> {
+    let mut peak = 0usize;
+    let mut hook = |_i: usize, _inst: &qdt_circuit::Instruction, m: qdt_engine::CostMetric| {
+        peak = peak.max(m.value);
+    };
+    let stats = run_instrumented(engine, circuit, &mut hook)?;
+    Ok(SimulationProfile {
+        engine: engine.name().to_string(),
+        num_qubits: engine.num_qubits(),
+        gates_applied: stats.gates_applied,
+        barriers_skipped: stats.barriers_skipped,
+        metric_name: stats.metric_name,
+        peak_metric: stats.peak_metric,
+        final_metric: stats.final_metric,
+    })
+}
+
+/// Renders a profile as one line of human-readable text, in the style of
+/// [`render_text`](crate::render_text).
+pub fn render_simulation_profile(p: &SimulationProfile) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{}: {} qubits, {} gates applied ({} barriers skipped), {} peak {} (final {})",
+        p.engine,
+        p.num_qubits,
+        p.gates_applied,
+        p.barriers_skipped,
+        p.metric_name,
+        p.peak_metric,
+        p.final_metric,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_engine::test_engine::ReferenceEngine;
+
+    #[test]
+    fn profile_reports_run_loop_stats() {
+        let mut qc = generators::ghz(3);
+        qc.barrier();
+        let mut e = ReferenceEngine::default();
+        let p = simulation_profile(&mut e, &qc).unwrap();
+        assert_eq!(p.engine, "reference");
+        assert_eq!(p.num_qubits, 3);
+        assert_eq!(p.gates_applied, 3);
+        assert_eq!(p.barriers_skipped, 1);
+        assert_eq!(p.metric_name, "amplitudes");
+        assert_eq!(p.peak_metric, 8);
+    }
+
+    #[test]
+    fn render_is_one_line() {
+        let mut e = ReferenceEngine::default();
+        let p = simulation_profile(&mut e, &generators::bell()).unwrap();
+        let text = render_simulation_profile(&p);
+        assert!(text.contains("reference: 2 qubits, 2 gates applied"));
+        assert!(!text.contains('\n'));
+    }
+}

@@ -1,0 +1,193 @@
+//! [`ArrayEngine`]: the dense state-vector backend behind the
+//! [`SimulationEngine`] trait.
+
+use std::collections::BTreeMap;
+
+use qdt_circuit::{Instruction, PauliString};
+use qdt_complex::Complex;
+use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use rand::RngCore;
+
+use crate::{ArrayError, StateVector};
+
+/// Dense-representation width limit (mirrors [`StateVector`]'s 30-qubit
+/// / 16 GiB cap).
+const MAX_QUBITS: usize = 30;
+
+/// The array backend (paper Section II) as a pluggable
+/// [`SimulationEngine`]: exact, ground truth for every other engine,
+/// exponential in width.
+///
+/// # Example
+///
+/// ```
+/// use qdt_array::ArrayEngine;
+/// use qdt_circuit::generators;
+/// use qdt_engine::{run, SimulationEngine};
+///
+/// let mut engine = ArrayEngine::new();
+/// run(&mut engine, &generators::bell())?;
+/// assert!((engine.amplitude(0b11)?.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), qdt_engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayEngine {
+    psi: StateVector,
+}
+
+impl ArrayEngine {
+    /// A fresh engine (one qubit in `|0⟩` until
+    /// [`prepare`](SimulationEngine::prepare) is called).
+    pub fn new() -> Self {
+        ArrayEngine {
+            psi: StateVector::zero_state(1),
+        }
+    }
+
+    /// Read access to the underlying state vector.
+    pub fn state(&self) -> &StateVector {
+        &self.psi
+    }
+}
+
+impl Default for ArrayEngine {
+    fn default() -> Self {
+        ArrayEngine::new()
+    }
+}
+
+fn map_err(e: ArrayError) -> EngineError {
+    match e {
+        ArrayError::NonUnitary { op } => EngineError::NonUnitary { op },
+        ArrayError::TooManyQubits { num_qubits } => EngineError::TooWide {
+            num_qubits,
+            limit: MAX_QUBITS,
+            what: "dense state vector",
+        },
+        other => EngineError::Backend {
+            engine: "array",
+            message: other.to_string(),
+        },
+    }
+}
+
+impl SimulationEngine for ArrayEngine {
+    fn name(&self) -> &'static str {
+        "array"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            max_qubits: MAX_QUBITS,
+            dense_limit: MAX_QUBITS,
+            wide_amplitudes: false,
+            native_sampling: true,
+            approximate: false,
+        }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.psi.num_qubits()
+    }
+
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(EngineError::TooWide {
+                num_qubits,
+                limit: MAX_QUBITS,
+                what: "dense state vector",
+            });
+        }
+        self.psi = StateVector::zero_state(num_qubits.max(1));
+        Ok(())
+    }
+
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        self.psi.apply_instruction(inst).map_err(map_err)
+    }
+
+    fn cost_metric(&self) -> CostMetric {
+        CostMetric {
+            name: "amplitudes",
+            value: self.psi.amplitudes().len(),
+        }
+    }
+
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        Ok(self.psi.amplitudes().to_vec())
+    }
+
+    fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        if basis >= self.psi.amplitudes().len() as u128 {
+            return Err(EngineError::Backend {
+                engine: "array",
+                message: format!("basis index {basis} out of range"),
+            });
+        }
+        Ok(self.psi.amplitude(basis as usize))
+    }
+
+    fn sample(
+        &mut self,
+        shots: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<BTreeMap<u128, usize>, EngineError> {
+        Ok(self
+            .psi
+            .sample(shots, rng)
+            .into_iter()
+            .map(|(k, v)| (k as u128, v))
+            .collect())
+    }
+
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.psi.num_qubits(), pauli)?;
+        Ok(self.psi.expectation_pauli(pauli))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_engine::run;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn runs_bell_through_the_trait() {
+        let mut e = ArrayEngine::new();
+        let stats = run(&mut e, &generators::bell()).unwrap();
+        assert_eq!(stats.gates_applied, 2);
+        assert_eq!(stats.metric_name, "amplitudes");
+        assert_eq!(stats.peak_metric, 4);
+        let amps = e.amplitudes().unwrap();
+        assert!((amps[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_sampler_respects_structure() {
+        let mut e = ArrayEngine::new();
+        run(&mut e, &generators::ghz(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = e.sample(300, &mut rng).unwrap();
+        assert!(counts.keys().all(|&k| k == 0 || k == 0b11111));
+    }
+
+    #[test]
+    fn width_guard_rejects_wide_registers() {
+        let mut e = ArrayEngine::new();
+        assert!(matches!(
+            e.prepare(40),
+            Err(EngineError::TooWide { limit: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn expectation_through_trait() {
+        let mut e = ArrayEngine::new();
+        run(&mut e, &generators::ghz(3)).unwrap();
+        let p: PauliString = "XXX".parse().unwrap();
+        assert!((e.expectation(&p).unwrap() - 1.0).abs() < 1e-10);
+    }
+}

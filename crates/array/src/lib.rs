@@ -35,11 +35,13 @@
 //! ```
 
 mod density;
+mod engine;
 mod simulator;
 mod state;
 mod unitary;
 
 pub use density::{DensityMatrix, NoiseChannel, NoiseModel};
+pub use engine::ArrayEngine;
 pub use simulator::{ArraySimulator, RunResult};
 pub use state::StateVector;
 pub use unitary::{circuit_unitary, instruction_unitary};

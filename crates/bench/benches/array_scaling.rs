@@ -1,7 +1,8 @@
-//! C1: array-based simulation cost doubles per qubit (Section II).
+//! C1: array-based simulation cost doubles per qubit (Section II),
+//! measured through the engine layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qdt::array::StateVector;
+use qdt::engine::run;
 use qdt_bench::Family;
 
 fn bench_array_scaling(c: &mut Criterion) {
@@ -11,7 +12,10 @@ fn bench_array_scaling(c: &mut Criterion) {
         for n in [8usize, 12, 16, 18, 20] {
             let qc = family.circuit(n);
             group.bench_with_input(BenchmarkId::new(family.name(), n), &qc, |b, qc| {
-                b.iter(|| StateVector::from_circuit(qc).expect("fits"));
+                b.iter(|| {
+                    let mut e = qdt::create_engine("array").expect("array is registered");
+                    run(e.as_mut(), qc).expect("fits")
+                });
             });
         }
     }

@@ -1,8 +1,10 @@
 //! C2: decision diagrams vs arrays on structured states (Section III).
+//!
+//! Both backends run through the [`qdt::SimulationEngine`] trait, so the
+//! timed code path is exactly what every other engine consumer drives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qdt::array::StateVector;
-use qdt::dd::DdPackage;
+use qdt::engine::run;
 use qdt_bench::Family;
 
 fn bench_dd_vs_array(c: &mut Criterion) {
@@ -15,7 +17,12 @@ fn bench_dd_vs_array(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("array/{}", family.name()), n),
                 &qc,
-                |b, qc| b.iter(|| StateVector::from_circuit(qc).expect("fits")),
+                |b, qc| {
+                    b.iter(|| {
+                        let mut e = qdt::create_engine("array").expect("array is registered");
+                        run(e.as_mut(), qc).expect("fits")
+                    });
+                },
             );
         }
         for n in [12usize, 16, 20, 48, 96] {
@@ -25,8 +32,9 @@ fn bench_dd_vs_array(c: &mut Criterion) {
                 &qc,
                 |b, qc| {
                     b.iter(|| {
-                        let mut dd = DdPackage::new();
-                        dd.run_circuit(qc).expect("dd sim")
+                        let mut e =
+                            qdt::create_engine("decision-diagram").expect("dd is registered");
+                        run(e.as_mut(), qc).expect("dd sim")
                     });
                 },
             );

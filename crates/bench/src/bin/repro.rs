@@ -4,6 +4,12 @@
 //!
 //! Run all experiments:  `cargo run -p qdt-bench --bin repro --release`
 //! Run one:              `cargo run -p qdt-bench --bin repro --release -- c2`
+//! Pick backends:        `... -- engines --backend dd --backend mps:16`
+//!
+//! `--backend <spec>` (repeatable) selects the engines the `engines`
+//! experiment instruments; specs are anything `Backend::from_str`
+//! accepts: `array`, `dd`, `tensor-network`, `mps`, `mps:16`,
+//! `mps(χ=16)`, …
 
 use qdt::array::StateVector;
 use qdt::circuit::generators;
@@ -11,18 +17,49 @@ use qdt::compile::coupling::CouplingMap;
 use qdt::compile::target::GateSet;
 use qdt::complex::Complex;
 use qdt::dd::DdPackage;
+use qdt::engine::run;
 use qdt::tensor::mps::Mps;
 use qdt::tensor::{ContractionPlan, PlanKind, TensorNetwork};
 use qdt::verify::{check, verify_compilation, Method};
 use qdt::zx::{simplify, Diagram};
+use qdt::Backend;
 use qdt_bench::{timed, Family};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut backends: Vec<Backend> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            let spec = args
+                .next()
+                .expect("--backend needs a spec, e.g. --backend mps:16");
+            match spec.parse::<Backend>() {
+                Ok(b) => backends.push(b),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            filter.push(a.to_lowercase());
+        }
+    }
+    if backends.is_empty() {
+        backends = vec![
+            Backend::Array,
+            Backend::DecisionDiagram,
+            Backend::TensorNetwork,
+            Backend::Mps { max_bond: 64 },
+        ];
+    }
     let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id);
 
+    if want("engines") {
+        engines(&backends);
+    }
     if want("fig1") {
         fig1();
     }
@@ -69,6 +106,48 @@ fn main() {
 
 fn header(title: &str) {
     println!("\n{:=^78}", format!(" {title} "));
+}
+
+/// Engines: the same run loop over every selected backend, with the
+/// per-gate instrumentation hooks reporting each data structure's own
+/// cost metric — the paper's trade-off table, measured.
+fn engines(backends: &[Backend]) {
+    header("Engines — one run loop, four data structures (instrumented)");
+    println!(
+        "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>8} {:>10}",
+        "backend", "circuit", "qubits", "gates", "metric", "peak", "final", "time"
+    );
+    for (fam, n) in [
+        (Family::Ghz, 12usize),
+        (Family::Qft, 12),
+        (Family::WState, 12),
+    ] {
+        let qc = fam.circuit(n);
+        for b in backends {
+            let mut e = match b.engine() {
+                Ok(e) => e,
+                Err(err) => {
+                    eprintln!("{b}: {err}");
+                    continue;
+                }
+            };
+            let (profile, secs) =
+                timed(|| qdt::analysis::simulation_profile(e.as_mut(), &qc).expect("profiles"));
+            println!(
+                "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>8} {:>8.4}s",
+                b.to_string(),
+                fam.name(),
+                profile.num_qubits,
+                profile.gates_applied,
+                profile.metric_name,
+                profile.peak_metric,
+                profile.final_metric,
+                secs
+            );
+        }
+    }
+    println!("(peak/final are each engine's own cost metric: dense amplitudes,");
+    println!(" DD nodes, network tensors, or the MPS bond high-water mark)");
 }
 
 /// Fig. 1: the Bell state as a state vector and as a decision diagram.
@@ -194,7 +273,9 @@ fn human_bytes(b: usize) -> String {
     format!("{v:.1} {}", UNITS[u])
 }
 
-/// C2: DDs exploit redundancy — structured states stay tiny.
+/// C2: DDs exploit redundancy — structured states stay tiny. Both
+/// backends run through the engine trait; the node count is the DD
+/// engine's own cost metric as reported by the run loop.
 fn c2_dd_vs_array() {
     header("C2 — decision diagrams exploit redundancy (Sec. III)");
     println!(
@@ -204,12 +285,13 @@ fn c2_dd_vs_array() {
     for family in [Family::Ghz, Family::WState] {
         for n in [8usize, 16, 32, 64, 96, 128] {
             let qc = family.circuit(n);
-            let mut dd = DdPackage::new();
-            let (v, dd_secs) = timed(|| dd.run_circuit(&qc).expect("dd sim"));
-            let nodes = dd.vector_node_count(&v);
+            let mut dd = qdt::create_engine("decision-diagram").expect("dd is registered");
+            let (stats, dd_secs) = timed(|| run(dd.as_mut(), &qc).expect("dd sim"));
+            let nodes = stats.final_metric;
             let (array_str, array_secs) = if n <= 24 {
-                let (psi, s) = timed(|| StateVector::from_circuit(&qc).expect("fits"));
-                (format!("{}", psi.amplitudes().len()), format!("{s:.4}s"))
+                let mut arr = qdt::create_engine("array").expect("array is registered");
+                let (stats, s) = timed(|| run(arr.as_mut(), &qc).expect("fits"));
+                (format!("{}", stats.final_metric), format!("{s:.4}s"))
             } else {
                 ("2^".to_string() + &n.to_string(), "OOM".into())
             };

@@ -1,0 +1,433 @@
+//! The engine registry and the [`Backend`] facade.
+//!
+//! The registry maps textual engine specs (`"array"`, `"dd"`,
+//! `"mps:16"`, `"mps(χ=16)"` …) to constructors of boxed
+//! [`SimulationEngine`]s, so backends are selectable from configuration
+//! and CLIs without code edits — and so later PRs (or downstream crates)
+//! can [`register`](EngineRegistry::register) additional engines that
+//! every registry-driven caller picks up automatically.
+//!
+//! [`Backend`] is the original closed enum, kept as a thin facade over
+//! the registry so existing code keeps working while new code moves to
+//! engine specs and the trait; it now also parses from strings
+//! ([`FromStr`]) and round-trips through [`fmt::Display`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use qdt_array::ArrayEngine;
+use qdt_dd::DdEngine;
+use qdt_tensor::{MpsEngine, TensorNetEngine};
+
+pub use qdt_engine::{
+    check_pauli_width, dense_expectation, run, run_instrumented, sample_from_amplitudes,
+    CostMetric, EngineCaps, EngineError, Instrument, NoInstrument, RunStats, SimulationEngine,
+};
+
+use crate::QdtError;
+
+/// Bond-dimension cap used when an MPS spec names no χ (generous enough
+/// to be exact on every workload this suite's tests run densely).
+pub const DEFAULT_MPS_BOND: usize = 64;
+
+/// Constructor signature stored in the registry: receives the optional
+/// numeric parameter of the spec (e.g. χ for MPS).
+pub type EngineFactory = fn(Option<usize>) -> Result<Box<dyn SimulationEngine>, QdtError>;
+
+/// One registered engine: its canonical name, accepted aliases, an
+/// optional numeric parameter, and the constructor.
+pub struct EngineEntry {
+    name: &'static str,
+    aliases: &'static [&'static str],
+    parameter: Option<&'static str>,
+    summary: &'static str,
+    factory: EngineFactory,
+}
+
+impl EngineEntry {
+    /// Builds a registry entry.
+    pub fn new(
+        name: &'static str,
+        aliases: &'static [&'static str],
+        parameter: Option<&'static str>,
+        summary: &'static str,
+        factory: EngineFactory,
+    ) -> Self {
+        EngineEntry {
+            name,
+            aliases,
+            parameter,
+            summary,
+            factory,
+        }
+    }
+
+    /// The canonical engine name (what [`SimulationEngine::name`]
+    /// returns).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Alternative spellings accepted by [`EngineRegistry::create`].
+    pub fn aliases(&self) -> &'static [&'static str] {
+        self.aliases
+    }
+
+    /// Human-readable description of the numeric parameter, if the
+    /// engine takes one.
+    pub fn parameter(&self) -> Option<&'static str> {
+        self.parameter
+    }
+
+    /// One-line description for help output.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.name == name || self.aliases.contains(&name)
+    }
+}
+
+impl fmt::Debug for EngineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineEntry")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("parameter", &self.parameter)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The engine registry: the open counterpart of the closed [`Backend`]
+/// enum.
+///
+/// # Example
+///
+/// ```
+/// use qdt::engine::run;
+/// use qdt::EngineRegistry;
+/// use qdt::circuit::generators;
+///
+/// let registry = EngineRegistry::with_defaults();
+/// let mut engine = registry.create("mps:8")?;
+/// run(engine.as_mut(), &generators::ghz(12))?;
+/// assert!((engine.amplitude(0)?.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), qdt::QdtError>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineRegistry {
+    entries: Vec<EngineEntry>,
+}
+
+impl EngineRegistry {
+    /// An empty registry (for fully custom engine sets).
+    pub fn new() -> Self {
+        EngineRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry preloaded with the four engines of the paper.
+    pub fn with_defaults() -> Self {
+        let mut r = EngineRegistry::new();
+        r.register(EngineEntry::new(
+            "array",
+            &["arrays", "statevector", "sv"],
+            None,
+            "dense state vector (Sec. II): exact, exponential memory",
+            |_param| Ok(Box::new(ArrayEngine::new())),
+        ));
+        r.register(EngineEntry::new(
+            "decision-diagram",
+            &["dd", "qmdd"],
+            None,
+            "QMDD decision diagram (Sec. III): exact, small on structured states",
+            |_param| Ok(Box::new(DdEngine::new())),
+        ));
+        r.register(EngineEntry::new(
+            "tensor-network",
+            &["tn", "tensor"],
+            None,
+            "tensor-network contraction (Sec. IV): cheap single amplitudes",
+            |_param| Ok(Box::new(TensorNetEngine::new())),
+        ));
+        r.register(EngineEntry::new(
+            "mps",
+            &[],
+            Some("χ (bond-dimension cap)"),
+            "matrix product state (Sec. IV): approximate once χ truncates",
+            |param| Ok(Box::new(MpsEngine::new(param.unwrap_or(DEFAULT_MPS_BOND)))),
+        ));
+        r
+    }
+
+    /// Registers an engine (replacing any entry with the same canonical
+    /// name, so defaults can be overridden).
+    pub fn register(&mut self, entry: EngineEntry) {
+        self.entries.retain(|e| e.name != entry.name);
+        self.entries.push(entry);
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[EngineEntry] {
+        &self.entries
+    }
+
+    /// The canonical names of all registered engines.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Constructs the engine named by `spec` (see [`parse_spec`] for the
+    /// accepted grammar).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed specs and unknown engine names.
+    pub fn create(&self, spec: &str) -> Result<Box<dyn SimulationEngine>, QdtError> {
+        let (name, param) = parse_spec(spec)?;
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.matches(&name))
+            .ok_or_else(|| {
+                QdtError::new(format!(
+                    "unknown engine `{name}` (registered: {})",
+                    self.names().join(", ")
+                ))
+            })?;
+        if param.is_some() && entry.parameter.is_none() {
+            return Err(QdtError::new(format!(
+                "the {} engine takes no parameter (got `{spec}`)",
+                entry.name
+            )));
+        }
+        (entry.factory)(param)
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        EngineRegistry::with_defaults()
+    }
+}
+
+/// Constructs an engine from a spec string using the default registry —
+/// the one-liner for CLIs and tests.
+///
+/// # Errors
+///
+/// See [`EngineRegistry::create`].
+pub fn create_engine(spec: &str) -> Result<Box<dyn SimulationEngine>, QdtError> {
+    EngineRegistry::with_defaults().create(spec)
+}
+
+/// Splits an engine spec into its name and optional numeric parameter.
+///
+/// Accepted forms: `name`, `name:N`, `name(N)`, `name(χ=N)`,
+/// `name(chi=N)`, `name(max_bond=N)`. Names are case-insensitive.
+///
+/// # Errors
+///
+/// Fails on empty specs, unbalanced parentheses, and non-numeric
+/// parameters.
+pub fn parse_spec(spec: &str) -> Result<(String, Option<usize>), QdtError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(QdtError::new("empty engine spec"));
+    }
+    let (name, raw_param) = if let Some((name, rest)) = spec.split_once(':') {
+        (name, Some(rest))
+    } else if let Some((name, rest)) = spec.split_once('(') {
+        let inner = rest
+            .strip_suffix(')')
+            .ok_or_else(|| QdtError::new(format!("unbalanced parentheses in `{spec}`")))?;
+        (name, Some(inner))
+    } else {
+        (spec, None)
+    };
+    let param = match raw_param {
+        None => None,
+        Some(p) => {
+            // Tolerate `χ=`, `chi=`, `max_bond=` prefixes.
+            let digits = p.rsplit('=').next().unwrap_or(p).trim();
+            Some(digits.parse::<usize>().map_err(|_| {
+                QdtError::new(format!("invalid engine parameter `{p}` in `{spec}`"))
+            })?)
+        }
+    };
+    Ok((name.trim().to_lowercase(), param))
+}
+
+/// The simulation backend — one per data structure of the paper.
+///
+/// `Backend` predates the [`SimulationEngine`] trait and is kept as a
+/// thin, [`FromStr`]-parseable facade over the [`EngineRegistry`] so
+/// downstream code migrates gradually: [`Backend::engine`] hands out the
+/// trait object every entry point now drives. New code should prefer
+/// engine specs (`"mps:16".parse::<Backend>()` or
+/// [`create_engine`]) over matching on the enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Dense state-vector simulation (Section II).
+    Array,
+    /// Decision-diagram simulation (Section III).
+    DecisionDiagram,
+    /// Tensor-network contraction (Section IV).
+    TensorNetwork,
+    /// Matrix-product-state simulation with bounded bond dimension
+    /// (Section IV, refs \[31\]/\[35\]).
+    Mps {
+        /// The bond-dimension cap χ.
+        max_bond: usize,
+    },
+}
+
+impl Backend {
+    /// The canonical registry spec of this backend (parseable by
+    /// [`EngineRegistry::create`] and [`FromStr`]).
+    pub fn spec(&self) -> String {
+        match self {
+            Backend::Array => "array".into(),
+            Backend::DecisionDiagram => "decision-diagram".into(),
+            Backend::TensorNetwork => "tensor-network".into(),
+            Backend::Mps { max_bond } => format!("mps:{max_bond}"),
+        }
+    }
+
+    /// Constructs this backend's [`SimulationEngine`] through the
+    /// default registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry construction failures.
+    pub fn engine(&self) -> Result<Box<dyn SimulationEngine>, QdtError> {
+        create_engine(&self.spec())
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Array => write!(f, "array"),
+            Backend::DecisionDiagram => write!(f, "decision-diagram"),
+            Backend::TensorNetwork => write!(f, "tensor-network"),
+            Backend::Mps { max_bond } => write!(f, "mps(χ={max_bond})"),
+        }
+    }
+}
+
+impl FromStr for Backend {
+    type Err = QdtError;
+
+    /// Parses a backend spec: any alias the default registry accepts,
+    /// with `mps:N` / `mps(N)` / `mps(χ=N)` selecting the bond cap
+    /// (defaulting to [`DEFAULT_MPS_BOND`] for a bare `mps`). The
+    /// [`fmt::Display`] form round-trips.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, param) = parse_spec(s)?;
+        match name.as_str() {
+            "array" | "arrays" | "statevector" | "sv" => Ok(Backend::Array),
+            "decision-diagram" | "dd" | "qmdd" => Ok(Backend::DecisionDiagram),
+            "tensor-network" | "tn" | "tensor" => Ok(Backend::TensorNetwork),
+            "mps" => Ok(Backend::Mps {
+                max_bond: param.unwrap_or(DEFAULT_MPS_BOND),
+            }),
+            other => Err(QdtError::new(format!(
+                "unknown backend `{other}` (try array, decision-diagram, tensor-network, or mps:N)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_from_str_round_trips() {
+        for b in [
+            Backend::Array,
+            Backend::DecisionDiagram,
+            Backend::TensorNetwork,
+            Backend::Mps { max_bond: 8 },
+            Backend::Mps { max_bond: 1 },
+        ] {
+            let parsed: Backend = b.to_string().parse().unwrap();
+            assert_eq!(parsed, b, "round-trip through `{b}`");
+            let parsed: Backend = b.spec().parse().unwrap();
+            assert_eq!(parsed, b, "round-trip through `{}`", b.spec());
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_aliases_and_parameter_forms() {
+        assert_eq!("dd".parse::<Backend>().unwrap(), Backend::DecisionDiagram);
+        assert_eq!("TN".parse::<Backend>().unwrap(), Backend::TensorNetwork);
+        assert_eq!(
+            "mps:16".parse::<Backend>().unwrap(),
+            Backend::Mps { max_bond: 16 }
+        );
+        assert_eq!(
+            "mps(32)".parse::<Backend>().unwrap(),
+            Backend::Mps { max_bond: 32 }
+        );
+        assert_eq!(
+            "mps(chi=4)".parse::<Backend>().unwrap(),
+            Backend::Mps { max_bond: 4 }
+        );
+        assert_eq!(
+            "mps".parse::<Backend>().unwrap(),
+            Backend::Mps {
+                max_bond: DEFAULT_MPS_BOND
+            }
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!("".parse::<Backend>().is_err());
+        assert!("zx".parse::<Backend>().is_err());
+        assert!("mps(χ=".parse::<Backend>().is_err());
+        assert!("mps:many".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn registry_creates_all_default_engines() {
+        let r = EngineRegistry::with_defaults();
+        for spec in ["array", "dd", "tensor-network", "mps:8", "mps(χ=8)"] {
+            let e = r.create(spec).unwrap();
+            assert!(!e.name().is_empty(), "{spec}");
+        }
+        assert!(r.create("array:7").is_err(), "array takes no parameter");
+        assert!(r.create("nope").is_err());
+    }
+
+    #[test]
+    fn registry_registration_overrides_and_extends() {
+        let mut r = EngineRegistry::with_defaults();
+        let before = r.entries().len();
+        r.register(EngineEntry::new("mps", &[], Some("χ"), "override", |p| {
+            Ok(Box::new(qdt_tensor::MpsEngine::new(p.unwrap_or(2))))
+        }));
+        assert_eq!(r.entries().len(), before, "same-name registration replaces");
+        r.register(EngineEntry::new("null", &[], None, "extension", |_| {
+            Ok(Box::new(qdt_array::ArrayEngine::new()))
+        }));
+        assert_eq!(r.entries().len(), before + 1);
+        assert!(r.create("null").is_ok());
+    }
+
+    #[test]
+    fn backend_engine_names_match_specs() {
+        for (b, name) in [
+            (Backend::Array, "array"),
+            (Backend::DecisionDiagram, "decision-diagram"),
+            (Backend::TensorNetwork, "tensor-network"),
+            (Backend::Mps { max_bond: 2 }, "mps"),
+        ] {
+            assert_eq!(b.engine().unwrap().name(), name);
+        }
+    }
+}

@@ -20,10 +20,16 @@
 //! * [`analysis`] — circuit lints, resource reports and (feature
 //!   `audit`) data-structure invariant auditors.
 //!
-//! The [`Backend`] enum and the [`amplitudes`]/[`amplitude`]/[`sample`]
-//! entry points expose classical simulation (design task 1) uniformly
-//! over the four data structures, so their trade-offs — the central
-//! theme of the paper — can be compared on identical inputs.
+//! Classical simulation (design task 1) is exposed uniformly over the
+//! four data structures through the [`engine`] module: each backend
+//! implements the [`SimulationEngine`] trait in its own crate, the
+//! [`EngineRegistry`] constructs engines from textual specs
+//! (`"array"`, `"dd"`, `"mps:16"`…), and [`engine::run`] drives any of
+//! them over a circuit while tracking the backend's own cost metric.
+//! The [`amplitudes`]/[`amplitude`]/[`sample`]/[`expectation`] entry
+//! points and the [`Backend`] enum remain as convenience facades, so
+//! the trade-offs — the central theme of the paper — can be compared on
+//! identical inputs with one line per backend.
 //!
 //! # Example
 //!
@@ -32,12 +38,26 @@
 //! use qdt::circuit::generators;
 //!
 //! let bell = generators::bell();
-//! for backend in [Backend::Array, Backend::DecisionDiagram,
-//!                 Backend::TensorNetwork, Backend::Mps { max_bond: 2 }] {
+//! for backend in ["array", "dd", "tn", "mps:2"] {
+//!     let backend: Backend = backend.parse()?;
 //!     let amps = amplitudes(&bell, backend)?;
 //!     assert!((amps[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
 //!     assert!((amps[3].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
 //! }
+//! # Ok::<(), qdt::QdtError>(())
+//! ```
+//!
+//! The same simulation through the engine layer, with instrumentation:
+//!
+//! ```
+//! use qdt::engine::run;
+//! use qdt::circuit::generators;
+//!
+//! let mut engine = qdt::create_engine("decision-diagram")?;
+//! let stats = run(engine.as_mut(), &generators::ghz(48))?;
+//! assert_eq!(stats.gates_applied, 48);
+//! assert_eq!(stats.metric_name, "dd-nodes");
+//! assert!(stats.peak_metric <= 100); // linear in width, not 2^48
 //! # Ok::<(), qdt::QdtError>(())
 //! ```
 
@@ -51,43 +71,20 @@ pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;
 pub use qdt_zx as zx;
 
+pub mod engine;
+
+pub use engine::{
+    create_engine, Backend, EngineEntry, EngineFactory, EngineRegistry, DEFAULT_MPS_BOND,
+};
+pub use qdt_engine::{EngineError, RunStats, SimulationEngine};
+
 use std::collections::BTreeMap;
 use std::fmt;
 
 use qdt_circuit::Circuit;
 use qdt_complex::Complex;
-use qdt_dd::DdPackage;
-use qdt_tensor::{mps::Mps, PlanKind, TensorNetwork};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// The simulation backend — one per data structure of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Dense state-vector simulation (Section II).
-    Array,
-    /// Decision-diagram simulation (Section III).
-    DecisionDiagram,
-    /// Tensor-network contraction (Section IV).
-    TensorNetwork,
-    /// Matrix-product-state simulation with bounded bond dimension
-    /// (Section IV, refs \[31\]/\[35\]).
-    Mps {
-        /// The bond-dimension cap χ.
-        max_bond: usize,
-    },
-}
-
-impl fmt::Display for Backend {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Backend::Array => write!(f, "array"),
-            Backend::DecisionDiagram => write!(f, "decision-diagram"),
-            Backend::TensorNetwork => write!(f, "tensor-network"),
-            Backend::Mps { max_bond } => write!(f, "mps(χ={max_bond})"),
-        }
-    }
-}
 
 /// Unified error type of the façade.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +93,7 @@ pub struct QdtError {
 }
 
 impl QdtError {
-    fn new(msg: impl fmt::Display) -> Self {
+    pub(crate) fn new(msg: impl fmt::Display) -> Self {
         QdtError {
             message: msg.to_string(),
         }
@@ -111,6 +108,12 @@ impl fmt::Display for QdtError {
 
 impl std::error::Error for QdtError {}
 
+impl From<EngineError> for QdtError {
+    fn from(e: EngineError) -> Self {
+        QdtError::new(e)
+    }
+}
+
 /// Simulates a unitary circuit from `|0…0⟩` and returns the full `2^n`
 /// amplitude vector.
 ///
@@ -122,28 +125,9 @@ impl std::error::Error for QdtError {}
 /// Fails for non-unitary circuits, or when the width exceeds the
 /// backend's dense-output limit.
 pub fn amplitudes(circuit: &Circuit, backend: Backend) -> Result<Vec<Complex>, QdtError> {
-    match backend {
-        Backend::Array => {
-            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
-            Ok(psi.amplitudes().to_vec())
-        }
-        Backend::DecisionDiagram => {
-            let mut dd = DdPackage::new();
-            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
-            Ok(dd.to_amplitudes(&v))
-        }
-        Backend::TensorNetwork => {
-            let tn = TensorNetwork::from_circuit(&circuit.unitary_part());
-            if !circuit.is_unitary() {
-                return Err(QdtError::new("tensor backend requires a unitary circuit"));
-            }
-            tn.state_vector(PlanKind::Greedy).map_err(QdtError::new)
-        }
-        Backend::Mps { max_bond } => {
-            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
-            Ok(mps.to_statevector())
-        }
-    }
+    let mut engine = backend.engine()?;
+    qdt_engine::run(engine.as_mut(), circuit)?;
+    Ok(engine.amplitudes()?)
 }
 
 /// Computes the single amplitude `⟨basis|C|0…0⟩`.
@@ -156,38 +140,23 @@ pub fn amplitudes(circuit: &Circuit, backend: Backend) -> Result<Vec<Complex>, Q
 /// Fails for non-unitary circuits or unsupported gate shapes (MPS needs
 /// ≤2-qubit gates).
 pub fn amplitude(circuit: &Circuit, basis: u128, backend: Backend) -> Result<Complex, QdtError> {
-    match backend {
-        Backend::Array => {
-            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
-            Ok(psi.amplitude(basis as usize))
-        }
-        Backend::DecisionDiagram => {
-            let mut dd = DdPackage::new();
-            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
-            Ok(dd.amplitude(&v, basis))
-        }
-        Backend::TensorNetwork => {
-            if !circuit.is_unitary() {
-                return Err(QdtError::new("tensor backend requires a unitary circuit"));
-            }
-            let tn = TensorNetwork::from_circuit(&circuit.unitary_part());
-            tn.amplitude(basis, PlanKind::Greedy).map_err(QdtError::new)
-        }
-        Backend::Mps { max_bond } => {
-            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
-            Ok(mps.amplitude(basis))
-        }
-    }
+    let mut engine = backend.engine()?;
+    qdt_engine::run(engine.as_mut(), circuit)?;
+    Ok(engine.amplitude(basis)?)
 }
 
 /// Samples `shots` measurement outcomes of the final state (without
 /// collapse between shots), keyed by basis index.
 ///
+/// All four backends support sampling: array and decision-diagram
+/// natively (the DD backend scales to wide, structured states), tensor
+/// network and MPS through the shared amplitude-based sampler of the
+/// engine layer (dense widths only).
+///
 /// # Errors
 ///
-/// Fails for non-unitary circuits; sampling is supported on the array
-/// and decision-diagram backends (the DD backend scales to wide,
-/// structured states).
+/// Fails for non-unitary circuits, or when a dense-sampling backend
+/// exceeds its width limit.
 pub fn sample(
     circuit: &Circuit,
     shots: usize,
@@ -195,28 +164,28 @@ pub fn sample(
     seed: u64,
 ) -> Result<BTreeMap<u128, usize>, QdtError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    match backend {
-        Backend::Array => {
-            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
-            Ok(psi
-                .sample(shots, &mut rng)
-                .into_iter()
-                .map(|(k, v)| (k as u128, v))
-                .collect())
-        }
-        Backend::DecisionDiagram => {
-            let mut dd = DdPackage::new();
-            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
-            let mut counts = BTreeMap::new();
-            for _ in 0..shots {
-                *counts.entry(dd.sample_once(&v, &mut rng)).or_insert(0) += 1;
-            }
-            Ok(counts)
-        }
-        other => Err(QdtError::new(format!(
-            "sampling is not implemented on the {other} backend"
-        ))),
-    }
+    let mut engine = backend.engine()?;
+    qdt_engine::run(engine.as_mut(), circuit)?;
+    Ok(engine.sample(shots, &mut rng)?)
+}
+
+/// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string on the final state
+/// of a unitary circuit.
+///
+/// Supported on all four backends; the DD, TN, and MPS paths scale far
+/// past dense widths for structured states.
+///
+/// # Errors
+///
+/// Fails for non-unitary circuits or width mismatches.
+pub fn expectation(
+    circuit: &Circuit,
+    pauli: &qdt_circuit::PauliString,
+    backend: Backend,
+) -> Result<f64, QdtError> {
+    let mut engine = backend.engine()?;
+    qdt_engine::run(engine.as_mut(), circuit)?;
+    Ok(engine.expectation(pauli)?)
 }
 
 #[cfg(test)]
@@ -280,9 +249,19 @@ mod tests {
     }
 
     #[test]
-    fn sampling_unsupported_backend_errors() {
-        let qc = generators::bell();
-        assert!(sample(&qc, 1, Backend::TensorNetwork, 0).is_err());
+    fn sampling_works_on_all_backends() {
+        // TN and MPS sample through the engine layer's shared
+        // amplitude-based sampler; all four backends now support it.
+        let qc = generators::ghz(6);
+        let all_ones = (1u128 << 6) - 1;
+        for b in DENSE_BACKENDS {
+            let counts = sample(&qc, 100, b, 11).unwrap();
+            assert!(
+                counts.keys().all(|&k| k == 0 || k == all_ones),
+                "{b}: spurious outcome"
+            );
+            assert_eq!(counts.values().sum::<usize>(), 100, "{b}");
+        }
     }
 
     #[test]
@@ -290,50 +269,14 @@ mod tests {
         assert_eq!(Backend::Mps { max_bond: 8 }.to_string(), "mps(χ=8)");
         assert_eq!(Backend::Array.to_string(), "array");
     }
-}
 
-/// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string on the final state
-/// of a unitary circuit.
-///
-/// Supported on all four backends; the DD, TN, and MPS paths scale far
-/// past dense widths for structured states.
-///
-/// # Errors
-///
-/// Fails for non-unitary circuits or width mismatches.
-pub fn expectation(
-    circuit: &Circuit,
-    pauli: &qdt_circuit::PauliString,
-    backend: Backend,
-) -> Result<f64, QdtError> {
-    if pauli.num_qubits() != circuit.num_qubits() {
-        return Err(QdtError::new(format!(
-            "Pauli width {} does not match circuit width {}",
-            pauli.num_qubits(),
-            circuit.num_qubits()
-        )));
-    }
-    match backend {
-        Backend::Array => {
-            let psi = qdt_array::StateVector::from_circuit(circuit).map_err(QdtError::new)?;
-            Ok(psi.expectation_pauli(pauli))
-        }
-        Backend::DecisionDiagram => {
-            let mut dd = DdPackage::new();
-            let v = dd.run_circuit(circuit).map_err(QdtError::new)?;
-            Ok(dd.expectation_pauli(&v, pauli))
-        }
-        Backend::Mps { max_bond } => {
-            let mps = Mps::from_circuit(circuit, max_bond).map_err(QdtError::new)?;
-            Ok(mps.expectation_pauli(pauli))
-        }
-        Backend::TensorNetwork => {
-            if !circuit.is_unitary() {
-                return Err(QdtError::new("tensor backend requires a unitary circuit"));
-            }
-            qdt_tensor::expectation_pauli(&circuit.unitary_part(), pauli, PlanKind::Greedy)
-                .map_err(QdtError::new)
-        }
+    #[test]
+    fn measurement_rejected_by_entry_points() {
+        let mut qc = qdt_circuit::Circuit::with_clbits(2, 2);
+        qc.h(0);
+        qc.measure(0, 0);
+        assert!(amplitudes(&qc, Backend::Array).is_err());
+        assert!(sample(&qc, 10, Backend::DecisionDiagram, 0).is_err());
     }
 }
 

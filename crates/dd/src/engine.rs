@@ -1,0 +1,230 @@
+//! [`DdEngine`]: the decision-diagram backend behind the
+//! [`SimulationEngine`] trait.
+
+use std::collections::BTreeMap;
+
+use qdt_circuit::{Instruction, PauliString};
+use qdt_complex::Complex;
+use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use rand::RngCore;
+
+use crate::{DdError, DdPackage, VectorDd};
+
+/// Dense-expansion cap of [`DdPackage::to_amplitudes`].
+const DENSE_LIMIT: usize = 24;
+
+/// Widest register the package's `u128` basis indexing supports.
+const MAX_QUBITS: usize = 128;
+
+/// The decision-diagram backend (paper Section III) as a pluggable
+/// [`SimulationEngine`]: exact, with node sharing that keeps structured
+/// states polynomially small far past dense widths.
+///
+/// # Example
+///
+/// ```
+/// use qdt_circuit::generators;
+/// use qdt_dd::DdEngine;
+/// use qdt_engine::{run, SimulationEngine};
+///
+/// let mut engine = DdEngine::new();
+/// let stats = run(&mut engine, &generators::ghz(60))?;
+/// assert_eq!(stats.metric_name, "dd-nodes");
+/// let amp = engine.amplitude((1u128 << 60) - 1)?;
+/// assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), qdt_engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct DdEngine {
+    tolerance: Option<f64>,
+    dd: DdPackage,
+    v: VectorDd,
+}
+
+impl DdEngine {
+    /// A fresh engine with the package's default complex-table tolerance.
+    pub fn new() -> Self {
+        let mut dd = DdPackage::new();
+        let v = dd.zero_state(1);
+        DdEngine {
+            tolerance: None,
+            dd,
+            v,
+        }
+    }
+
+    /// A fresh engine whose complex table merges weights within `tol`
+    /// (the ablation knob of DESIGN.md §6).
+    pub fn with_tolerance(tol: f64) -> Self {
+        let mut dd = DdPackage::with_tolerance(tol);
+        let v = dd.zero_state(1);
+        DdEngine {
+            tolerance: Some(tol),
+            dd,
+            v,
+        }
+    }
+
+    /// The number of distinct nodes in the current state's diagram.
+    pub fn node_count(&self) -> usize {
+        self.dd.vector_node_count(&self.v)
+    }
+}
+
+impl Default for DdEngine {
+    fn default() -> Self {
+        DdEngine::new()
+    }
+}
+
+fn map_err(e: DdError) -> EngineError {
+    match e {
+        DdError::NonUnitary { op } => EngineError::NonUnitary { op },
+        other => EngineError::Backend {
+            engine: "decision-diagram",
+            message: other.to_string(),
+        },
+    }
+}
+
+impl SimulationEngine for DdEngine {
+    fn name(&self) -> &'static str {
+        "decision-diagram"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            max_qubits: MAX_QUBITS,
+            dense_limit: DENSE_LIMIT,
+            wide_amplitudes: true,
+            native_sampling: true,
+            approximate: false,
+        }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.v.num_qubits()
+    }
+
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(EngineError::TooWide {
+                num_qubits,
+                limit: MAX_QUBITS,
+                what: "decision-diagram register",
+            });
+        }
+        // A fresh package drops the previous run's unique/compute tables
+        // so successive prepares do not leak arena memory.
+        self.dd = match self.tolerance {
+            Some(tol) => DdPackage::with_tolerance(tol),
+            None => DdPackage::new(),
+        };
+        self.v = self.dd.zero_state(num_qubits.max(1));
+        Ok(())
+    }
+
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        self.v = self.dd.apply_instruction(&self.v, inst).map_err(map_err)?;
+        Ok(())
+    }
+
+    fn cost_metric(&self) -> CostMetric {
+        CostMetric {
+            name: "dd-nodes",
+            value: self.dd.vector_node_count(&self.v),
+        }
+    }
+
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        let n = self.v.num_qubits();
+        if n > DENSE_LIMIT {
+            return Err(EngineError::TooWide {
+                num_qubits: n,
+                limit: DENSE_LIMIT,
+                what: "dense DD expansion",
+            });
+        }
+        Ok(self.dd.to_amplitudes(&self.v))
+    }
+
+    fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        let n = self.v.num_qubits();
+        if n < 128 && basis >> n > 0 {
+            return Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: format!("basis index {basis} out of range for {n} qubits"),
+            });
+        }
+        Ok(self.dd.amplitude(&self.v, basis))
+    }
+
+    fn sample(
+        &mut self,
+        shots: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<BTreeMap<u128, usize>, EngineError> {
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            *counts.entry(self.dd.sample_once(&self.v, rng)).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.v.num_qubits(), pauli)?;
+        Ok(self.dd.expectation_pauli(&self.v, pauli))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_engine::run;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ghz_node_high_water_stays_linear() {
+        let mut e = DdEngine::new();
+        let stats = run(&mut e, &generators::ghz(32)).unwrap();
+        assert_eq!(stats.metric_name, "dd-nodes");
+        assert!(
+            stats.peak_metric <= 2 * 32,
+            "GHZ DD blew up: {} nodes",
+            stats.peak_metric
+        );
+    }
+
+    #[test]
+    fn dense_expansion_guard() {
+        let mut e = DdEngine::new();
+        run(&mut e, &generators::ghz(30)).unwrap();
+        assert!(matches!(
+            e.amplitudes(),
+            Err(EngineError::TooWide { limit: 24, .. })
+        ));
+        // ... while single amplitudes still work at that width.
+        assert!(e.amplitude(0).is_ok());
+    }
+
+    #[test]
+    fn native_sampling_scales_wide() {
+        let mut e = DdEngine::new();
+        run(&mut e, &generators::ghz(48)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = e.sample(200, &mut rng).unwrap();
+        let ones = (1u128 << 48) - 1;
+        assert!(counts.keys().all(|&k| k == 0 || k == ones));
+    }
+
+    #[test]
+    fn prepare_resets_state_and_tables() {
+        let mut e = DdEngine::new();
+        run(&mut e, &generators::qft(4, true)).unwrap();
+        e.prepare(2).unwrap();
+        assert_eq!(e.num_qubits(), 2);
+        assert!((e.amplitude(0).unwrap().abs() - 1.0).abs() < 1e-12);
+    }
+}

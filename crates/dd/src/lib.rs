@@ -41,6 +41,7 @@
 
 pub mod approx;
 mod dot;
+mod engine;
 mod equivalence;
 mod matrix;
 pub mod noise;
@@ -49,6 +50,7 @@ mod simulate;
 mod vector;
 
 pub use approx::ApproxResult;
+pub use engine::DdEngine;
 pub use equivalence::{check_equivalence, EquivalenceResult};
 pub use noise::{DdNoiseChannel, DdNoiseModel};
 pub use package::{DdPackage, MatrixDd, VectorDd};

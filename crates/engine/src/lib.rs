@@ -1,0 +1,650 @@
+//! The [`SimulationEngine`] trait — the pluggable backend abstraction of
+//! the qdt suite.
+//!
+//! The reproduced paper's central theme is that arrays, decision
+//! diagrams, tensor networks, and the ZX-calculus are *interchangeable*
+//! substrates for the same design tasks. This crate turns that theme
+//! into an extension point: every simulation backend implements one
+//! trait, every caller drives backends through one shared run-loop
+//! ([`run`] / [`run_instrumented`]), and new backends plug in without
+//! touching any caller.
+//!
+//! The pieces:
+//!
+//! * [`SimulationEngine`] — capabilities plus
+//!   `prepare`/`apply_instruction`/`amplitudes`/`amplitude`/`sample`/
+//!   `expectation`, with default implementations where one primitive
+//!   derives from another (a single amplitude from the dense vector,
+//!   sampling from the amplitude distribution, expectations from dense
+//!   amplitudes);
+//! * [`run`] / [`run_instrumented`] — the shared run-loop that walks the
+//!   gate stream once, handles barriers and measurement uniformly, and
+//!   reports [`RunStats`] (gate counter plus the engine's cost-metric
+//!   high-water mark);
+//! * [`Instrument`] — per-gate observation hooks for observability
+//!   tooling (progress displays, node-growth plots, schedulers);
+//! * [`sample_from_amplitudes`] — the shared amplitude-based sampler
+//!   used by engines without a native sampling path.
+//!
+//! Engine *implementations* live with their data structures
+//! (`qdt-array`, `qdt-dd`, `qdt-tensor`); the registry tying names to
+//! constructors lives in the umbrella crate `qdt`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qdt_circuit::{Circuit, Instruction, OpKind, PauliString};
+use qdt_complex::Complex;
+use rand::{Rng, RngCore};
+
+/// Errors produced by simulation engines and the shared run-loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The instruction is not unitary (measurement, reset, or a
+    /// classically conditioned gate) and the engine simulates pure
+    /// unitary evolution.
+    NonUnitary {
+        /// Human-readable name of the offending operation.
+        op: String,
+    },
+    /// The request exceeds the engine's width limit for this primitive
+    /// (e.g. a dense `2^n` output past the dense-expansion cap).
+    TooWide {
+        /// The requested qubit count.
+        num_qubits: usize,
+        /// The engine's limit for this primitive.
+        limit: usize,
+        /// Which primitive hit the limit.
+        what: &'static str,
+    },
+    /// The engine does not support this primitive at all.
+    Unsupported {
+        /// The engine's name.
+        engine: &'static str,
+        /// Which primitive is unsupported.
+        what: String,
+    },
+    /// An operand width does not match the engine's register width.
+    WidthMismatch {
+        /// The engine's register width.
+        engine_qubits: usize,
+        /// The operand's width.
+        operand_qubits: usize,
+    },
+    /// A backend-specific failure, wrapped with the engine's name.
+    Backend {
+        /// The engine's name.
+        engine: &'static str,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NonUnitary { op } => {
+                write!(f, "non-unitary instruction `{op}` in a unitary run")
+            }
+            EngineError::TooWide {
+                num_qubits,
+                limit,
+                what,
+            } => write!(
+                f,
+                "{num_qubits} qubits exceed the {limit}-qubit {what} limit"
+            ),
+            EngineError::Unsupported { engine, what } => {
+                write!(f, "the {engine} engine does not support {what}")
+            }
+            EngineError::WidthMismatch {
+                engine_qubits,
+                operand_qubits,
+            } => write!(
+                f,
+                "operand width {operand_qubits} does not match engine width {engine_qubits}"
+            ),
+            EngineError::Backend { engine, message } => write!(f, "{engine} engine: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One engine-reported size figure — the quantity whose growth the
+/// paper's trade-off discussion revolves around (amplitude count for
+/// arrays, node count for decision diagrams, tensor count for networks,
+/// bond dimension for MPS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostMetric {
+    /// What the value measures (e.g. `"dd-nodes"`, `"bond"`).
+    pub name: &'static str,
+    /// The current value.
+    pub value: usize,
+}
+
+/// Statistics gathered by the shared run-loop: the gate counter and the
+/// cost-metric high-water mark that observability and scheduling layers
+/// key off.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Unitary instructions applied.
+    pub gates_applied: usize,
+    /// Barriers skipped (they have no semantic effect on any engine).
+    pub barriers_skipped: usize,
+    /// Name of the engine's cost metric (see [`CostMetric::name`]).
+    pub metric_name: &'static str,
+    /// Largest cost-metric value observed after any gate.
+    pub peak_metric: usize,
+    /// Cost-metric value after the final gate.
+    pub final_metric: usize,
+}
+
+/// Per-gate observation hook for [`run_instrumented`].
+///
+/// Implemented for any `FnMut(usize, &Instruction, CostMetric)` closure,
+/// so ad-hoc instrumentation needs no new type.
+pub trait Instrument {
+    /// Called after each applied gate with the gate's stream index, the
+    /// instruction, and the engine's cost metric at that point.
+    fn on_gate(&mut self, gate_index: usize, inst: &Instruction, metric: CostMetric);
+}
+
+impl<F: FnMut(usize, &Instruction, CostMetric)> Instrument for F {
+    fn on_gate(&mut self, gate_index: usize, inst: &Instruction, metric: CostMetric) {
+        self(gate_index, inst, metric);
+    }
+}
+
+/// The no-op hook used by the uninstrumented [`run`] loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInstrument;
+
+impl Instrument for NoInstrument {
+    fn on_gate(&mut self, _gate_index: usize, _inst: &Instruction, _metric: CostMetric) {}
+}
+
+/// Static capability flags of an engine, so callers can pick a backend
+/// (or a fallback) without trying and failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Widest register `prepare` accepts.
+    pub max_qubits: usize,
+    /// Widest register the dense `amplitudes` output supports.
+    pub dense_limit: usize,
+    /// `true` if single amplitudes scale past the dense limit.
+    pub wide_amplitudes: bool,
+    /// `true` if the engine has a native sampler (otherwise the shared
+    /// amplitude-based sampler is used, which is capped by
+    /// `dense_limit`).
+    pub native_sampling: bool,
+    /// `true` if the engine's results are approximate (e.g. bounded-bond
+    /// MPS truncation).
+    pub approximate: bool,
+}
+
+/// A pluggable simulation backend over the circuit IR.
+///
+/// One engine instance holds one evolving state. The lifecycle is:
+/// [`prepare`](SimulationEngine::prepare) to `|0…0⟩`, then a stream of
+/// [`apply_instruction`](SimulationEngine::apply_instruction) calls
+/// (normally driven by the shared [`run`] loop), then any number of
+/// queries (`amplitudes`, `amplitude`, `sample`, `expectation`).
+///
+/// Query methods take `&mut self` because several backing data
+/// structures memoise internally (the DD package's compute tables, for
+/// instance).
+///
+/// # Example
+///
+/// ```
+/// use qdt_engine::{run, SimulationEngine};
+/// # use qdt_engine::test_engine::ReferenceEngine;
+/// let mut qc = qdt_circuit::Circuit::new(2);
+/// qc.h(0).cx(0, 1);
+/// let mut engine = ReferenceEngine::default();
+/// let stats = run(&mut engine, &qc)?;
+/// assert_eq!(stats.gates_applied, 2);
+/// let amps = engine.amplitudes()?;
+/// assert!((amps[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), qdt_engine::EngineError>(())
+/// ```
+pub trait SimulationEngine {
+    /// Short stable name of the engine (e.g. `"array"`).
+    fn name(&self) -> &'static str;
+
+    /// The engine's static capability flags.
+    fn caps(&self) -> EngineCaps;
+
+    /// The current register width.
+    fn num_qubits(&self) -> usize;
+
+    /// Resets the engine to `|0…0⟩` on `num_qubits` qubits, discarding
+    /// any previous state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooWide`] past the engine's width limit.
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError>;
+
+    /// Applies one unitary IR instruction (gates and swaps; barriers
+    /// are filtered out by the run-loop and need not be handled).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NonUnitary`] for non-unitary instructions and
+    /// engine-specific errors for unsupported gate shapes.
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError>;
+
+    /// The engine's current size figure (see [`CostMetric`]). Called by
+    /// the run-loop after every gate to track the high-water mark, so it
+    /// must be cheap.
+    fn cost_metric(&self) -> CostMetric;
+
+    /// The dense `2^n` amplitude vector of the current state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooWide`] past the engine's dense-expansion limit.
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError>;
+
+    /// The single amplitude `⟨basis|ψ⟩`.
+    ///
+    /// The default derives it from the dense vector; engines whose data
+    /// structure reaches single amplitudes past the dense limit (DD,
+    /// TN, MPS) override it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooWide`] if the default dense path is too wide,
+    /// or [`EngineError::Backend`] for an out-of-range basis index.
+    fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        let n = self.num_qubits();
+        if basis >> n.min(127) > 0 {
+            return Err(EngineError::Backend {
+                engine: self.name(),
+                message: format!("basis index {basis} out of range for {n} qubits"),
+            });
+        }
+        Ok(self.amplitudes()?[basis as usize])
+    }
+
+    /// Samples `shots` full-register measurements of the current state
+    /// (without collapse between shots), keyed by basis index.
+    ///
+    /// The default routes through the shared amplitude-based sampler
+    /// ([`sample_from_amplitudes`]), so every engine supports sampling
+    /// up to its dense limit; engines with a native sampler (array, DD)
+    /// override it to scale further.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooWide`] when the default dense path is too wide.
+    fn sample(
+        &mut self,
+        shots: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<BTreeMap<u128, usize>, EngineError> {
+        Ok(sample_from_amplitudes(&self.amplitudes()?, shots, rng))
+    }
+
+    /// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string on the current
+    /// state.
+    ///
+    /// The default computes it densely; every bundled engine overrides
+    /// it with a native path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WidthMismatch`] if the string's width differs from
+    /// the register's, [`EngineError::TooWide`] when the default dense
+    /// path is too wide.
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.num_qubits(), pauli)?;
+        let amps = self.amplitudes()?;
+        Ok(dense_expectation(&amps, pauli))
+    }
+}
+
+/// Validates a Pauli string's width against an engine register width.
+///
+/// # Errors
+///
+/// [`EngineError::WidthMismatch`] on disagreement.
+pub fn check_pauli_width(engine_qubits: usize, pauli: &PauliString) -> Result<(), EngineError> {
+    if pauli.num_qubits() != engine_qubits {
+        return Err(EngineError::WidthMismatch {
+            engine_qubits,
+            operand_qubits: pauli.num_qubits(),
+        });
+    }
+    Ok(())
+}
+
+/// `⟨ψ|P|ψ⟩` evaluated on a dense amplitude vector (the derivation the
+/// trait's default `expectation` uses).
+pub fn dense_expectation(amps: &[Complex], pauli: &PauliString) -> f64 {
+    let mut transformed = amps.to_vec();
+    for (q, p) in pauli.support() {
+        let m = p.matrix();
+        let (m00, m01) = (m.get(0, 0), m.get(0, 1));
+        let (m10, m11) = (m.get(1, 0), m.get(1, 1));
+        let bit = 1usize << q;
+        for i0 in 0..transformed.len() {
+            if i0 & bit == 0 {
+                let i1 = i0 | bit;
+                let (a0, a1) = (transformed[i0], transformed[i1]);
+                transformed[i0] = m00 * a0 + m01 * a1;
+                transformed[i1] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+    amps.iter()
+        .zip(&transformed)
+        .map(|(a, t)| (a.conj() * *t).re)
+        .sum()
+}
+
+/// The shared amplitude-based sampler: draws `shots` basis states from
+/// the `|α_i|²` distribution by inverse transform sampling.
+pub fn sample_from_amplitudes(
+    amps: &[Complex],
+    shots: usize,
+    rng: &mut dyn RngCore,
+) -> BTreeMap<u128, usize> {
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        let mut r: f64 = rng.gen();
+        let mut chosen = amps.len().saturating_sub(1);
+        for (i, a) in amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if r < p {
+                chosen = i;
+                break;
+            }
+            r -= p;
+        }
+        *counts.entry(chosen as u128).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Runs a unitary circuit through an engine with the shared run-loop
+/// (no instrumentation).
+///
+/// # Errors
+///
+/// See [`run_instrumented`].
+pub fn run(engine: &mut dyn SimulationEngine, circuit: &Circuit) -> Result<RunStats, EngineError> {
+    run_instrumented(engine, circuit, &mut NoInstrument)
+}
+
+/// The shared run-loop: prepares `|0…0⟩`, walks the gate stream once,
+/// skips barriers, rejects non-unitary instructions uniformly, applies
+/// everything else through the engine, and tracks the cost-metric
+/// high-water mark — calling `instrument` after every applied gate.
+///
+/// All engine-dispatching entry points (the `qdt` façade, the verifier's
+/// stimuli runs, the benchmark harness) funnel through here, so
+/// measurement/barrier semantics and instrumentation are defined in
+/// exactly one place.
+///
+/// # Errors
+///
+/// [`EngineError::NonUnitary`] for measurement, reset, or conditioned
+/// instructions; engine errors from `prepare`/`apply_instruction`.
+pub fn run_instrumented(
+    engine: &mut dyn SimulationEngine,
+    circuit: &Circuit,
+    instrument: &mut dyn Instrument,
+) -> Result<RunStats, EngineError> {
+    engine.prepare(circuit.num_qubits().max(1))?;
+    let mut stats = RunStats {
+        metric_name: engine.cost_metric().name,
+        ..RunStats::default()
+    };
+    for (i, inst) in circuit.iter().enumerate() {
+        if inst.cond.is_some() {
+            return Err(EngineError::NonUnitary {
+                op: format!("conditioned {}", inst.name()),
+            });
+        }
+        match &inst.kind {
+            OpKind::Barrier(_) => {
+                stats.barriers_skipped += 1;
+                continue;
+            }
+            OpKind::Measure { .. } | OpKind::Reset { .. } => {
+                return Err(EngineError::NonUnitary { op: inst.name() });
+            }
+            OpKind::Unitary { .. } | OpKind::Swap { .. } => {
+                engine.apply_instruction(inst)?;
+            }
+        }
+        let metric = engine.cost_metric();
+        stats.gates_applied += 1;
+        stats.peak_metric = stats.peak_metric.max(metric.value);
+        stats.final_metric = metric.value;
+        instrument.on_gate(i, inst, metric);
+    }
+    if stats.gates_applied == 0 {
+        let metric = engine.cost_metric();
+        stats.peak_metric = metric.value;
+        stats.final_metric = metric.value;
+    }
+    Ok(stats)
+}
+
+/// A minimal dense reference engine, used by this crate's tests and doc
+/// examples. Real engines live with their data structures.
+pub mod test_engine {
+    use super::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+    use qdt_circuit::{Instruction, OpKind, PauliString};
+    use qdt_complex::Complex;
+
+    /// A naive dense engine over a plain `Vec<Complex>`: the simplest
+    /// possible [`SimulationEngine`], relying on every trait default.
+    #[derive(Debug, Clone, Default)]
+    pub struct ReferenceEngine {
+        num_qubits: usize,
+        amps: Vec<Complex>,
+    }
+
+    /// Dense width cap of the reference engine.
+    const LIMIT: usize = 16;
+
+    impl SimulationEngine for ReferenceEngine {
+        fn name(&self) -> &'static str {
+            "reference"
+        }
+
+        fn caps(&self) -> EngineCaps {
+            EngineCaps {
+                max_qubits: LIMIT,
+                dense_limit: LIMIT,
+                wide_amplitudes: false,
+                native_sampling: false,
+                approximate: false,
+            }
+        }
+
+        fn num_qubits(&self) -> usize {
+            self.num_qubits
+        }
+
+        fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+            if num_qubits > LIMIT {
+                return Err(EngineError::TooWide {
+                    num_qubits,
+                    limit: LIMIT,
+                    what: "reference-engine register",
+                });
+            }
+            self.num_qubits = num_qubits;
+            self.amps = vec![Complex::ZERO; 1 << num_qubits];
+            self.amps[0] = Complex::ONE;
+            Ok(())
+        }
+
+        fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+            match &inst.kind {
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => {
+                    let m = gate.matrix();
+                    let tbit = 1usize << *target;
+                    let cmask: usize = controls.iter().map(|c| 1usize << c).sum();
+                    for i0 in 0..self.amps.len() {
+                        if i0 & tbit == 0 && i0 & cmask == cmask {
+                            let i1 = i0 | tbit;
+                            let (a0, a1) = (self.amps[i0], self.amps[i1]);
+                            self.amps[i0] = m.get(0, 0) * a0 + m.get(0, 1) * a1;
+                            self.amps[i1] = m.get(1, 0) * a0 + m.get(1, 1) * a1;
+                        }
+                    }
+                    Ok(())
+                }
+                OpKind::Swap { a, b, controls } => {
+                    let (abit, bbit) = (1usize << *a, 1usize << *b);
+                    let cmask: usize = controls.iter().map(|c| 1usize << c).sum();
+                    for i in 0..self.amps.len() {
+                        if i & abit != 0 && i & bbit == 0 && i & cmask == cmask {
+                            let j = (i & !abit) | bbit;
+                            self.amps.swap(i, j);
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(EngineError::NonUnitary {
+                    op: format!("{other:?}"),
+                }),
+            }
+        }
+
+        fn cost_metric(&self) -> CostMetric {
+            CostMetric {
+                name: "amplitudes",
+                value: self.amps.len(),
+            }
+        }
+
+        fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+            Ok(self.amps.clone())
+        }
+
+        fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+            check_pauli_width(self.num_qubits, pauli)?;
+            Ok(super::dense_expectation(&self.amps, pauli))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_engine::ReferenceEngine;
+    use super::*;
+    use qdt_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> Circuit {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        qc
+    }
+
+    #[test]
+    fn run_loop_counts_gates_and_skips_barriers() {
+        let mut qc = bell();
+        qc.barrier();
+        qc.z(1);
+        let mut e = ReferenceEngine::default();
+        let stats = run(&mut e, &qc).unwrap();
+        assert_eq!(stats.gates_applied, 3);
+        assert_eq!(stats.barriers_skipped, 1);
+        assert_eq!(stats.metric_name, "amplitudes");
+        assert_eq!(stats.peak_metric, 4);
+        assert_eq!(stats.final_metric, 4);
+    }
+
+    #[test]
+    fn run_loop_rejects_measurement_uniformly() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0);
+        qc.measure(0, 0);
+        let mut e = ReferenceEngine::default();
+        assert!(matches!(
+            run(&mut e, &qc),
+            Err(EngineError::NonUnitary { .. })
+        ));
+    }
+
+    #[test]
+    fn instrumentation_hook_sees_every_gate() {
+        let qc = bell();
+        let mut seen = Vec::new();
+        let mut hook = |i: usize, inst: &Instruction, m: CostMetric| {
+            seen.push((i, inst.name(), m.value));
+        };
+        let mut e = ReferenceEngine::default();
+        run_instrumented(&mut e, &qc, &mut hook).unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].1, "h");
+        assert_eq!(seen[1].1, "cx");
+    }
+
+    #[test]
+    fn default_amplitude_derives_from_dense_vector() {
+        let mut e = ReferenceEngine::default();
+        run(&mut e, &bell()).unwrap();
+        let a = e.amplitude(0b11).unwrap();
+        assert!((a.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!(e.amplitude(1 << 30).is_err());
+    }
+
+    #[test]
+    fn default_sampler_matches_distribution() {
+        let mut e = ReferenceEngine::default();
+        run(&mut e, &bell()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = e.sample(4000, &mut rng).unwrap();
+        assert!(counts.keys().all(|&k| k == 0 || k == 3));
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 4000);
+        let c0 = *counts.get(&0).unwrap_or(&0) as f64;
+        assert!((c0 / 4000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn default_expectation_matches_known_stabilizer() {
+        let mut e = ReferenceEngine::default();
+        run(&mut e, &bell()).unwrap();
+        let p: PauliString = "XX".parse().unwrap();
+        assert!((e.expectation(&p).unwrap() - 1.0).abs() < 1e-12);
+        let bad: PauliString = "XXX".parse().unwrap();
+        assert!(matches!(
+            e.expectation(&bad),
+            Err(EngineError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_still_reports_metric() {
+        let qc = Circuit::new(3);
+        let mut e = ReferenceEngine::default();
+        let stats = run(&mut e, &qc).unwrap();
+        assert_eq!(stats.gates_applied, 0);
+        assert_eq!(stats.final_metric, 8);
+    }
+
+    #[test]
+    fn prepare_width_guard() {
+        let mut e = ReferenceEngine::default();
+        assert!(matches!(
+            e.prepare(40),
+            Err(EngineError::TooWide { limit: 16, .. })
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! [`TensorNetEngine`] and [`MpsEngine`]: the tensor-network backends
+//! behind the [`SimulationEngine`] trait.
+
+use qdt_circuit::{Circuit, Instruction, PauliString};
+use qdt_complex::Complex;
+use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+
+use crate::mps::Mps;
+use crate::{PlanKind, TensorError, TensorNetwork};
+
+/// Dense-output cap of [`TensorNetwork::state_vector`].
+const TN_DENSE_LIMIT: usize = 24;
+
+/// Dense-output cap of [`Mps::to_statevector`].
+const MPS_DENSE_LIMIT: usize = 20;
+
+/// Widest register the `u128` basis indexing supports.
+const MAX_QUBITS: usize = 128;
+
+fn map_err(engine: &'static str, e: TensorError) -> EngineError {
+    match e {
+        TensorError::NonUnitary { op } => EngineError::NonUnitary { op },
+        other => EngineError::Backend {
+            engine,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// The tensor-network backend (paper Section IV) as a pluggable
+/// [`SimulationEngine`].
+///
+/// The network representation is *lazy*: gates accumulate in a gate
+/// stream, and each query builds and contracts the network with the
+/// configured [`PlanKind`]. Single amplitudes fix the output indices
+/// ("bubbles at the end") and contract to a scalar, which scales far
+/// past dense widths for shallow circuits.
+///
+/// # Example
+///
+/// ```
+/// use qdt_circuit::generators;
+/// use qdt_engine::{run, SimulationEngine};
+/// use qdt_tensor::TensorNetEngine;
+///
+/// let mut engine = TensorNetEngine::new();
+/// run(&mut engine, &generators::ghz(40))?;
+/// let amp = engine.amplitude((1u128 << 40) - 1)?;
+/// assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), qdt_engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorNetEngine {
+    circuit: Circuit,
+    plan: PlanKind,
+    tensors: usize,
+}
+
+impl TensorNetEngine {
+    /// A fresh engine contracting with the greedy plan.
+    pub fn new() -> Self {
+        TensorNetEngine::with_plan(PlanKind::Greedy)
+    }
+
+    /// A fresh engine contracting with the given plan kind.
+    pub fn with_plan(plan: PlanKind) -> Self {
+        TensorNetEngine {
+            circuit: Circuit::new(1),
+            plan,
+            tensors: 1,
+        }
+    }
+
+    /// Builds the current network (one input tensor per qubit plus one
+    /// tensor per accumulated gate).
+    pub fn network(&self) -> TensorNetwork {
+        TensorNetwork::from_circuit(&self.circuit)
+    }
+}
+
+impl Default for TensorNetEngine {
+    fn default() -> Self {
+        TensorNetEngine::new()
+    }
+}
+
+impl SimulationEngine for TensorNetEngine {
+    fn name(&self) -> &'static str {
+        "tensor-network"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            max_qubits: MAX_QUBITS,
+            dense_limit: TN_DENSE_LIMIT,
+            wide_amplitudes: true,
+            native_sampling: false,
+            approximate: false,
+        }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.circuit.num_qubits()
+    }
+
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(EngineError::TooWide {
+                num_qubits,
+                limit: MAX_QUBITS,
+                what: "tensor-network register",
+            });
+        }
+        self.circuit = Circuit::new(num_qubits.max(1));
+        self.tensors = num_qubits.max(1);
+        Ok(())
+    }
+
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        if !inst.is_unitary() {
+            return Err(EngineError::NonUnitary { op: inst.name() });
+        }
+        self.circuit
+            .push(inst.clone())
+            .map_err(|e| EngineError::Backend {
+                engine: "tensor-network",
+                message: e.to_string(),
+            })?;
+        self.tensors += 1;
+        Ok(())
+    }
+
+    fn cost_metric(&self) -> CostMetric {
+        CostMetric {
+            name: "tensors",
+            value: self.tensors,
+        }
+    }
+
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        let n = self.circuit.num_qubits();
+        if n > TN_DENSE_LIMIT {
+            return Err(EngineError::TooWide {
+                num_qubits: n,
+                limit: TN_DENSE_LIMIT,
+                what: "dense tensor-network contraction",
+            });
+        }
+        self.network()
+            .state_vector(self.plan)
+            .map_err(|e| map_err("tensor-network", e))
+    }
+
+    fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        let n = self.circuit.num_qubits();
+        if n < 128 && basis >> n > 0 {
+            return Err(EngineError::Backend {
+                engine: "tensor-network",
+                message: format!("basis index {basis} out of range for {n} qubits"),
+            });
+        }
+        self.network()
+            .amplitude(basis, self.plan)
+            .map_err(|e| map_err("tensor-network", e))
+    }
+
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.circuit.num_qubits(), pauli)?;
+        crate::expectation_pauli(&self.circuit, pauli, self.plan)
+            .map_err(|e| map_err("tensor-network", e))
+    }
+}
+
+/// The matrix-product-state backend (paper Section IV, refs \[31\]/\[35\])
+/// as a pluggable [`SimulationEngine`]: approximate once the bond cap χ
+/// truncates, with memory `O(n·χ²)` instead of `2^n`.
+///
+/// # Example
+///
+/// ```
+/// use qdt_circuit::generators;
+/// use qdt_engine::{run, SimulationEngine};
+/// use qdt_tensor::MpsEngine;
+///
+/// let mut engine = MpsEngine::new(2); // GHZ carries 1 ebit: χ = 2 is exact
+/// let stats = run(&mut engine, &generators::ghz(64))?;
+/// assert_eq!(stats.peak_metric, 2); // bond high-water mark
+/// # Ok::<(), qdt_engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpsEngine {
+    mps: Mps,
+    max_bond: usize,
+}
+
+impl MpsEngine {
+    /// A fresh engine with bond-dimension cap `max_bond` (clamped to at
+    /// least 1).
+    pub fn new(max_bond: usize) -> Self {
+        let max_bond = max_bond.max(1);
+        MpsEngine {
+            mps: Mps::zero_state(1, max_bond),
+            max_bond,
+        }
+    }
+
+    /// The bond-dimension cap χ.
+    pub fn max_bond(&self) -> usize {
+        self.max_bond
+    }
+
+    /// Probability weight discarded by truncation so far (0 while the
+    /// simulation is exact).
+    pub fn truncation_error(&self) -> f64 {
+        self.mps.truncation_error()
+    }
+}
+
+impl SimulationEngine for MpsEngine {
+    fn name(&self) -> &'static str {
+        "mps"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            max_qubits: MAX_QUBITS,
+            dense_limit: MPS_DENSE_LIMIT,
+            wide_amplitudes: true,
+            native_sampling: false,
+            approximate: true,
+        }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.mps.num_qubits()
+    }
+
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(EngineError::TooWide {
+                num_qubits,
+                limit: MAX_QUBITS,
+                what: "MPS register",
+            });
+        }
+        self.mps = Mps::zero_state(num_qubits.max(1), self.max_bond);
+        Ok(())
+    }
+
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        self.mps
+            .apply_instruction(inst)
+            .map_err(|e| map_err("mps", e))?;
+        // Debug builds with the `audit` feature verify the chain's bond
+        // and normalisation invariants as the state evolves (the same
+        // check `Mps::from_circuit` runs once per circuit).
+        #[cfg(all(debug_assertions, feature = "audit"))]
+        if let Err(violations) = self.mps.audit() {
+            panic!("MPS audit failed after engine gate application: {violations:?}");
+        }
+        Ok(())
+    }
+
+    fn cost_metric(&self) -> CostMetric {
+        CostMetric {
+            name: "bond",
+            value: self.mps.max_observed_bond(),
+        }
+    }
+
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        let n = self.mps.num_qubits();
+        if n > MPS_DENSE_LIMIT {
+            return Err(EngineError::TooWide {
+                num_qubits: n,
+                limit: MPS_DENSE_LIMIT,
+                what: "dense MPS expansion",
+            });
+        }
+        Ok(self.mps.to_statevector())
+    }
+
+    fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        let n = self.mps.num_qubits();
+        if n < 128 && basis >> n > 0 {
+            return Err(EngineError::Backend {
+                engine: "mps",
+                message: format!("basis index {basis} out of range for {n} qubits"),
+            });
+        }
+        Ok(self.mps.amplitude(basis))
+    }
+
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.mps.num_qubits(), pauli)?;
+        Ok(self.mps.expectation_pauli(pauli))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+    use qdt_engine::{run, run_instrumented};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tn_single_amplitude_scales_wide() {
+        let mut e = TensorNetEngine::new();
+        run(&mut e, &generators::ghz(40)).unwrap();
+        let ones = (1u128 << 40) - 1;
+        let amp = e.amplitude(ones).unwrap();
+        assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!(matches!(
+            e.amplitudes(),
+            Err(EngineError::TooWide { limit: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn tn_default_sampler_works_at_dense_widths() {
+        let mut e = TensorNetEngine::new();
+        run(&mut e, &generators::ghz(8)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = e.sample(200, &mut rng).unwrap();
+        assert!(counts.keys().all(|&k| k == 0 || k == 0xFF));
+        assert_eq!(counts.values().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn tn_rejects_measurement() {
+        let mut e = TensorNetEngine::new();
+        e.prepare(1).unwrap();
+        let mut qc = qdt_circuit::Circuit::with_clbits(1, 1);
+        qc.measure(0, 0);
+        let inst = qc.iter().next().unwrap().clone();
+        assert!(matches!(
+            e.apply_instruction(&inst),
+            Err(EngineError::NonUnitary { .. })
+        ));
+    }
+
+    #[test]
+    fn mps_bond_high_water_tracks_entanglement() {
+        let mut e = MpsEngine::new(16);
+        let mut peak = 0usize;
+        let mut hook = |_i: usize, _inst: &qdt_circuit::Instruction, m: qdt_engine::CostMetric| {
+            peak = peak.max(m.value);
+        };
+        let stats = run_instrumented(&mut e, &generators::ghz(24), &mut hook).unwrap();
+        assert_eq!(stats.metric_name, "bond");
+        assert_eq!(stats.peak_metric, 2);
+        assert_eq!(peak, 2);
+        assert!(e.truncation_error() < 1e-12);
+    }
+
+    #[test]
+    fn mps_amplitude_and_expectation_through_trait() {
+        let mut e = MpsEngine::new(2);
+        run(&mut e, &generators::ghz(40)).unwrap();
+        let amp = e.amplitude(0).unwrap();
+        assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+        let p: PauliString = "X".repeat(40).parse().unwrap();
+        assert!((e.expectation(&p).unwrap() - 1.0).abs() < 1e-8);
+    }
+}

@@ -41,11 +41,13 @@
 //! ```
 
 mod contraction;
+mod engine;
 pub mod mps;
 mod network;
 mod tensor;
 
 pub use contraction::{ContractionPlan, PlanKind, PlanStats};
+pub use engine::{MpsEngine, TensorNetEngine};
 pub use network::{expectation_pauli, TensorNetwork};
 pub use tensor::{IndexId, Tensor};
 

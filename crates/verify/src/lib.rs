@@ -11,7 +11,12 @@
 //! | [`Method::Array`] | dense unitaries (Sec. II) | ≤ ~10 qubits | exact |
 //! | [`Method::DecisionDiagram`] | QMDD miter `G₂†·G₁` (Sec. III) | structured circuits, large | exact |
 //! | [`Method::Zx`] | graph-like rewriting (Sec. V) | Clifford-dominated, large | exact or inconclusive |
-//! | [`Method::RandomStimuli`] | DD simulation of both circuits | any | probabilistic |
+//! | [`Method::RandomStimuli`] | engine simulation of both circuits | any | probabilistic |
+//!
+//! Random stimuli are driven through the [`SimulationEngine`] trait
+//! (decision diagrams by default); [`random_stimuli_with_engine`]
+//! accepts any engine factory, so the same probabilistic check runs on
+//! every registered backend.
 //!
 //! # Example
 //!
@@ -33,7 +38,8 @@ use qdt_circuit::Circuit;
 use qdt_compile::coupling::CouplingMap;
 use qdt_compile::routing::RoutedCircuit;
 use qdt_complex::Complex;
-use qdt_dd::{DdPackage, EquivalenceResult};
+use qdt_dd::{DdEngine, DdPackage, EquivalenceResult};
+use qdt_engine::{EngineError, SimulationEngine};
 use qdt_zx::ZxEquivalence;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -114,6 +120,11 @@ pub enum VerifyError {
         /// The requested qubit count.
         num_qubits: usize,
     },
+    /// The simulation engine driving a stimuli check failed.
+    Simulation {
+        /// The engine's error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -127,6 +138,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::TooLargeForMethod { method, num_qubits } => {
                 write!(f, "{num_qubits} qubits exceed the {method} method's limit")
+            }
+            VerifyError::Simulation { message } => {
+                write!(f, "stimuli simulation failed: {message}")
             }
         }
     }
@@ -206,10 +220,59 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
     }
 }
 
-/// Random-stimuli comparison: prepend the same random product-state
-/// preparation to both circuits, simulate on decision diagrams, and
-/// compare the output states by fidelity.
+/// Random-stimuli comparison on the default engine (decision diagrams,
+/// which scale to wide structured circuits).
 fn random_stimuli(g1: &Circuit, g2: &Circuit, samples: usize) -> Result<Equivalence, VerifyError> {
+    random_stimuli_with_engine(g1, g2, samples, || Box::new(DdEngine::new()))
+}
+
+fn engine_failure(e: EngineError) -> VerifyError {
+    match e {
+        EngineError::NonUnitary { .. } => VerifyError::NonUnitary,
+        other => VerifyError::Simulation {
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Shots drawn per circuit and stimulus to locate the output support.
+const STIMULI_SHOTS: usize = 32;
+
+/// Random-stimuli comparison through an arbitrary [`SimulationEngine`]:
+/// prepend the same random product-state preparation to both circuits,
+/// run both on engines built by `make_engine`, and compare the outputs
+/// on their sampled support, insensitive to global phase.
+///
+/// Rather than expanding either state densely, the check samples
+/// `STIMULI_SHOTS` outcomes from each output (native on array/DD,
+/// amplitude-based otherwise), estimates the phase ratio λ at the
+/// strongest sampled amplitude, and requires `⟨x|G₁ψ⟩ ≈ λ·⟨x|G₂ψ⟩` at
+/// every sampled basis state `x` — sound for rejection, probabilistic
+/// for acceptance, and as wide as the engine's `amplitude`/`sample`
+/// scale.
+///
+/// # Errors
+///
+/// See [`VerifyError`]; engine failures surface as
+/// [`VerifyError::Simulation`].
+pub fn random_stimuli_with_engine<F>(
+    g1: &Circuit,
+    g2: &Circuit,
+    samples: usize,
+    make_engine: F,
+) -> Result<Equivalence, VerifyError>
+where
+    F: Fn() -> Box<dyn SimulationEngine>,
+{
+    if g1.num_qubits() != g2.num_qubits() {
+        return Err(VerifyError::WidthMismatch {
+            left: g1.num_qubits(),
+            right: g2.num_qubits(),
+        });
+    }
+    if !g1.is_unitary() || !g2.is_unitary() {
+        return Err(VerifyError::NonUnitary);
+    }
     let n = g1.num_qubits();
     let mut rng = StdRng::seed_from_u64(0x5717AB1E);
     for _ in 0..samples.max(1) {
@@ -226,12 +289,59 @@ fn random_stimuli(g1: &Circuit, g2: &Circuit, samples: usize) -> Result<Equivale
         a.append(g1);
         let mut b = prep;
         b.append(g2);
-        let mut dd = DdPackage::new();
-        let va = dd.run_circuit(&a).map_err(|_| VerifyError::NonUnitary)?;
-        let vb = dd.run_circuit(&b).map_err(|_| VerifyError::NonUnitary)?;
-        let fid = dd.fidelity(&va, &vb);
-        if (fid - 1.0).abs() > 1e-9 {
+
+        let mut ea = make_engine();
+        qdt_engine::run(ea.as_mut(), &a).map_err(engine_failure)?;
+        let mut eb = make_engine();
+        qdt_engine::run(eb.as_mut(), &b).map_err(engine_failure)?;
+
+        // The union of both sampled supports: indices where at least one
+        // output has noticeable weight, so one-sided support vanishing is
+        // caught too.
+        let mut support: Vec<u128> = ea
+            .sample(STIMULI_SHOTS, &mut rng)
+            .map_err(engine_failure)?
+            .into_keys()
+            .collect();
+        support.extend(
+            eb.sample(STIMULI_SHOTS, &mut rng)
+                .map_err(engine_failure)?
+                .into_keys(),
+        );
+        support.sort_unstable();
+        support.dedup();
+
+        let pairs: Vec<(Complex, Complex)> = support
+            .iter()
+            .map(|&x| {
+                Ok((
+                    ea.amplitude(x).map_err(engine_failure)?,
+                    eb.amplitude(x).map_err(engine_failure)?,
+                ))
+            })
+            .collect::<Result<_, VerifyError>>()?;
+
+        // λ from the strongest amplitude pair; the states are equivalent
+        // up to global phase iff every pair satisfies aa = λ·bb.
+        let Some(&(la, lb)) = pairs.iter().max_by(|p, q| {
+            let wp = p.0.norm_sqr().max(p.1.norm_sqr());
+            let wq = q.0.norm_sqr().max(q.1.norm_sqr());
+            wp.partial_cmp(&wq).expect("amplitude weights are finite")
+        }) else {
+            continue; // no shots requested
+        };
+        if la.norm_sqr() < 1e-18 || lb.norm_sqr() < 1e-18 {
+            // One state has weight where the other is (numerically) zero.
             return Ok(Equivalence::NotEquivalent);
+        }
+        let lambda = la / lb;
+        if (lambda.abs() - 1.0).abs() > 1e-6 {
+            return Ok(Equivalence::NotEquivalent);
+        }
+        for (aa, bb) in pairs {
+            if !aa.approx_eq(lambda * bb, 1e-6) {
+                return Ok(Equivalence::NotEquivalent);
+            }
         }
     }
     Ok(Equivalence::ProbablyEquivalent)
@@ -320,6 +430,51 @@ mod tests {
                 other => panic!("{m}: expected phase verdict, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn random_stimuli_on_every_engine_kind() {
+        // The stimuli check is engine-generic: the same mutation is
+        // caught whichever registered backend drives the simulation.
+        let a = generators::qft(3, true);
+        let mut b = a.clone();
+        b.z(0);
+        type Factory = fn() -> Box<dyn SimulationEngine>;
+        let factories: [(&str, Factory); 3] = [
+            ("array", || Box::new(qdt_array::ArrayEngine::new())),
+            ("dd", || Box::new(DdEngine::new())),
+            ("mps", || Box::new(qdt_tensor::MpsEngine::new(16))),
+        ];
+        for (name, factory) in factories {
+            let r = random_stimuli_with_engine(&a, &b, 4, factory).unwrap();
+            assert_eq!(r, Equivalence::NotEquivalent, "{name}: mutant accepted");
+            let r = random_stimuli_with_engine(&a, &a, 4, factory).unwrap();
+            assert_eq!(r, Equivalence::ProbablyEquivalent, "{name}");
+        }
+    }
+
+    #[test]
+    fn random_stimuli_scales_past_dense_widths() {
+        // 48 qubits: no dense expansion anywhere — the DD engine's
+        // native sampling and single-amplitude queries carry the check.
+        let a = generators::ghz(48);
+        let mut b = generators::ghz(48);
+        b.z(10);
+        let m = Method::RandomStimuli { samples: 2 };
+        assert_eq!(check(&a, &b, m).unwrap(), Equivalence::NotEquivalent);
+        assert_eq!(check(&a, &a, m).unwrap(), Equivalence::ProbablyEquivalent);
+    }
+
+    #[test]
+    fn random_stimuli_accepts_global_phase_difference() {
+        let mut a = Circuit::new(2);
+        a.rz(0.7, 0);
+        a.h(1);
+        let mut b = Circuit::new(2);
+        b.p(0.7, 0);
+        b.h(1);
+        let r = check(&a, &b, Method::RandomStimuli { samples: 6 }).unwrap();
+        assert_eq!(r, Equivalence::ProbablyEquivalent);
     }
 
     #[test]

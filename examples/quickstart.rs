@@ -9,17 +9,25 @@
 
 use qdt::circuit::generators;
 use qdt::dd::DdPackage;
+use qdt::engine::run;
 use qdt::tensor::{PlanKind, TensorNetwork};
 use qdt::zx::{simplify, Diagram};
-use qdt::{amplitudes, Backend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bell = generators::bell();
     println!("The Bell circuit (paper Figs. 1-3):\n{bell}");
 
     // --- Section II: arrays -------------------------------------------------
+    // Every backend is a SimulationEngine; the registry builds one from a
+    // spec string and the shared run loop reports what the run cost.
     println!("== Arrays (Fig. 1a) ==");
-    let amps = amplitudes(&bell, Backend::Array)?;
+    let mut engine = qdt::create_engine("array")?;
+    let stats = run(engine.as_mut(), &bell)?;
+    println!(
+        "  {} gates applied, {} {} held",
+        stats.gates_applied, stats.peak_metric, stats.metric_name
+    );
+    let amps = engine.amplitudes()?;
     for (i, a) in amps.iter().enumerate() {
         println!("  |{i:02b}⟩: {a}");
     }

@@ -10,6 +10,10 @@
 //! `sample_size` timed samples, and prints median / min / max wall
 //! time to stdout. No statistics beyond that, no HTML reports, no
 //! comparison against saved baselines.
+//!
+//! Like real criterion, `cargo bench -- --test` runs every benchmark in
+//! smoke mode — a single sample each — so CI can check that the
+//! benchmarks still execute without paying for full timing runs.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -100,12 +104,20 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: self.effective_samples(),
             timings: Vec::new(),
         };
         f(&mut b);
         self.criterion.report(&self.name, &id.id, &b.timings);
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.smoke {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     /// Runs one benchmark with a borrowed input value.
@@ -120,7 +132,7 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: self.effective_samples(),
             timings: Vec::new(),
         };
         f(&mut b, input);
@@ -142,9 +154,19 @@ pub enum Throughput {
 }
 
 /// The harness entry point, mirroring `criterion::Criterion`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the harness arguments: `--test` selects smoke mode (one
+    /// sample per benchmark, as `cargo bench -- --test` does upstream).
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -221,7 +243,9 @@ mod tests {
 
     #[test]
     fn group_times_and_reports() {
-        let mut c = Criterion::default();
+        // Not `default()`: the unit-test harness itself is run with
+        // `--test`, which would switch smoke mode on.
+        let mut c = Criterion { smoke: false };
         let mut g = c.benchmark_group("shim");
         g.sample_size(3);
         let mut runs = 0usize;
@@ -237,7 +261,7 @@ mod tests {
 
     #[test]
     fn bench_with_input_passes_value() {
-        let mut c = Criterion::default();
+        let mut c = Criterion { smoke: false };
         let mut g = c.benchmark_group("shim");
         g.sample_size(2);
         g.bench_with_input(BenchmarkId::new("sum", 5), &5u64, |b, &n| {

@@ -157,6 +157,17 @@ pub trait Strategy {
         }
     }
 
+    /// Builds a dependent strategy from each generated value — the
+    /// combinator behind "pick a size, then generate for that size".
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy (for `prop_oneof!` / heterogeneous lists).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -201,6 +212,25 @@ where
     type Value = O;
     fn new_value(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
         self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O::Value, TestCaseError> {
+        let outer = self.inner.new_value(rng)?;
+        (self.f)(outer).new_value(rng)
     }
 }
 
@@ -319,7 +349,7 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 pub mod collection {
     use super::{Strategy, TestCaseError, TestRng};
 
-    /// The size specification accepted by [`vec`].
+    /// The size specification accepted by [`vec()`].
     pub trait SizeRange {
         /// Picks a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_scaling-b52a6b351367f613.d: crates/bench/benches/array_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_scaling-b52a6b351367f613.rmeta: crates/bench/benches/array_scaling.rs Cargo.toml
+
+crates/bench/benches/array_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

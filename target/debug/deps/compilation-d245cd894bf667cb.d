@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compilation-d245cd894bf667cb.d: crates/bench/benches/compilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompilation-d245cd894bf667cb.rmeta: crates/bench/benches/compilation.rs Cargo.toml
+
+crates/bench/benches/compilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_pipeline-5bf672ac5d233187.d: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_pipeline-5bf672ac5d233187.rmeta: crates/core/../../tests/compile_pipeline.rs Cargo.toml
+
+crates/core/../../tests/compile_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_pipeline-99e169ec4c6e2fce.d: crates/core/../../tests/compile_pipeline.rs
+
+/root/repo/target/debug/deps/compile_pipeline-99e169ec4c6e2fce: crates/core/../../tests/compile_pipeline.rs
+
+crates/core/../../tests/compile_pipeline.rs:

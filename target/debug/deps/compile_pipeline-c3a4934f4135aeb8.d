@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_pipeline-c3a4934f4135aeb8.d: crates/core/../../tests/compile_pipeline.rs
+
+/root/repo/target/debug/deps/compile_pipeline-c3a4934f4135aeb8: crates/core/../../tests/compile_pipeline.rs
+
+crates/core/../../tests/compile_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-333e418e12e6bf0e.d: crates/core/../../tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-333e418e12e6bf0e: crates/core/../../tests/cross_backend.rs
+
+crates/core/../../tests/cross_backend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_backend-a309df4050349c14.d: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_backend-a309df4050349c14.rmeta: crates/core/../../tests/cross_backend.rs Cargo.toml
+
+crates/core/../../tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

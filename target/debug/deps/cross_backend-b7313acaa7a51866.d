@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-b7313acaa7a51866.d: crates/core/../../tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-b7313acaa7a51866: crates/core/../../tests/cross_backend.rs
+
+crates/core/../../tests/cross_backend.rs:

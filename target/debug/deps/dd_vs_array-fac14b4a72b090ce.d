@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dd_vs_array-fac14b4a72b090ce.d: crates/bench/benches/dd_vs_array.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdd_vs_array-fac14b4a72b090ce.rmeta: crates/bench/benches/dd_vs_array.rs Cargo.toml
+
+crates/bench/benches/dd_vs_array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

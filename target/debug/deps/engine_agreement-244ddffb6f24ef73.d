@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_agreement-244ddffb6f24ef73.d: crates/core/../../tests/engine_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_agreement-244ddffb6f24ef73.rmeta: crates/core/../../tests/engine_agreement.rs Cargo.toml
+
+crates/core/../../tests/engine_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_agreement-c264e6b0f7100bfc.d: crates/core/../../tests/engine_agreement.rs
+
+/root/repo/target/debug/deps/engine_agreement-c264e6b0f7100bfc: crates/core/../../tests/engine_agreement.rs
+
+crates/core/../../tests/engine_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_checking-b8c4bb540f795928.d: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_checking-b8c4bb540f795928.rmeta: crates/bench/benches/equivalence_checking.rs Cargo.toml
+
+crates/bench/benches/equivalence_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_matrix-51ec88894abd488a.d: crates/core/../../tests/equivalence_matrix.rs
+
+/root/repo/target/debug/deps/equivalence_matrix-51ec88894abd488a: crates/core/../../tests/equivalence_matrix.rs
+
+crates/core/../../tests/equivalence_matrix.rs:

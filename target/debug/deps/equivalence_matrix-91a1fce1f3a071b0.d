@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_matrix-91a1fce1f3a071b0.d: crates/core/../../tests/equivalence_matrix.rs
+
+/root/repo/target/debug/deps/equivalence_matrix-91a1fce1f3a071b0: crates/core/../../tests/equivalence_matrix.rs
+
+crates/core/../../tests/equivalence_matrix.rs:

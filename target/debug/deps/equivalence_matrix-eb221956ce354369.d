@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_matrix-eb221956ce354369.d: crates/core/../../tests/equivalence_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_matrix-eb221956ce354369.rmeta: crates/core/../../tests/equivalence_matrix.rs Cargo.toml
+
+crates/core/../../tests/equivalence_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mps_truncation-ca94b94f3771020c.d: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmps_truncation-ca94b94f3771020c.rmeta: crates/bench/benches/mps_truncation.rs Cargo.toml
+
+crates/bench/benches/mps_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

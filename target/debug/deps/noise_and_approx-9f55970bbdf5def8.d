@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_and_approx-9f55970bbdf5def8.d: crates/bench/benches/noise_and_approx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_and_approx-9f55970bbdf5def8.rmeta: crates/bench/benches/noise_and_approx.rs Cargo.toml
+
+crates/bench/benches/noise_and_approx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

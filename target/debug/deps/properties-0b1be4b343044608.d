@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0b1be4b343044608.d: crates/analysis/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0b1be4b343044608.rmeta: crates/analysis/tests/properties.rs Cargo.toml
+
+crates/analysis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

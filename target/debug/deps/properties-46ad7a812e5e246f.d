@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-46ad7a812e5e246f.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-46ad7a812e5e246f: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7933b524a5694710.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7933b524a5694710: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

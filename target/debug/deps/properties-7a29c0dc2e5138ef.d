@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7a29c0dc2e5138ef.d: crates/core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7a29c0dc2e5138ef.rmeta: crates/core/../../tests/properties.rs Cargo.toml
+
+crates/core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

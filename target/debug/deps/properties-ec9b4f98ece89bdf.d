@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec9b4f98ece89bdf.d: crates/analysis/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec9b4f98ece89bdf: crates/analysis/tests/properties.rs
+
+crates/analysis/tests/properties.rs:

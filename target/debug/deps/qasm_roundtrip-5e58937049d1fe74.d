@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_roundtrip-5e58937049d1fe74.d: crates/core/../../tests/qasm_roundtrip.rs
+
+/root/repo/target/debug/deps/qasm_roundtrip-5e58937049d1fe74: crates/core/../../tests/qasm_roundtrip.rs
+
+crates/core/../../tests/qasm_roundtrip.rs:

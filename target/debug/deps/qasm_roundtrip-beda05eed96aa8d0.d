@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_roundtrip-beda05eed96aa8d0.d: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_roundtrip-beda05eed96aa8d0.rmeta: crates/core/../../tests/qasm_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/qasm_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_roundtrip-d8b2ba399a32b16b.d: crates/core/../../tests/qasm_roundtrip.rs
+
+/root/repo/target/debug/deps/qasm_roundtrip-d8b2ba399a32b16b: crates/core/../../tests/qasm_roundtrip.rs
+
+crates/core/../../tests/qasm_roundtrip.rs:

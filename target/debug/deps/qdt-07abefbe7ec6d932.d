@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qdt-07abefbe7ec6d932.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-07abefbe7ec6d932.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

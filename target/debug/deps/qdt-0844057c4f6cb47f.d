@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt-0844057c4f6cb47f.d: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt-0844057c4f6cb47f.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

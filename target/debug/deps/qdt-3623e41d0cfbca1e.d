@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qdt-3623e41d0cfbca1e.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-3623e41d0cfbca1e.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-3623e41d0cfbca1e.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

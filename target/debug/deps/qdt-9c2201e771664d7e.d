@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qdt-9c2201e771664d7e.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-9c2201e771664d7e.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-9c2201e771664d7e.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qdt-9f4599067b44ee3f.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-9f4599067b44ee3f.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/libqdt-9f4599067b44ee3f.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

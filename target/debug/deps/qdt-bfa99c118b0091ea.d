@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qdt-bfa99c118b0091ea.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/qdt-bfa99c118b0091ea: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

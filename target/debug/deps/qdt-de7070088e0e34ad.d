@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qdt-de7070088e0e34ad.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/debug/deps/qdt-de7070088e0e34ad: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

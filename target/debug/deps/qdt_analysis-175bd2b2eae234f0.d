@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qdt_analysis-175bd2b2eae234f0.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/qdt_analysis-175bd2b2eae234f0: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/profile.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:

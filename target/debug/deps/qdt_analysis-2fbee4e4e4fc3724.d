@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qdt_analysis-2fbee4e4e4fc3724.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-2fbee4e4e4fc3724.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-2fbee4e4e4fc3724.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/profile.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:

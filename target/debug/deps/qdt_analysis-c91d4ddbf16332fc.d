@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qdt_analysis-c91d4ddbf16332fc.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-c91d4ddbf16332fc.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+/root/repo/target/debug/deps/libqdt_analysis-c91d4ddbf16332fc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs crates/analysis/src/audit.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/profile.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:
+crates/analysis/src/audit.rs:

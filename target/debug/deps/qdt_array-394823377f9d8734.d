@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt_array-394823377f9d8734.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/libqdt_array-394823377f9d8734.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/engine.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qdt_array-7f3c582104389517.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_array-7f3c582104389517.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs Cargo.toml
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/engine.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

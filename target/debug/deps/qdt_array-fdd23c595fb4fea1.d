@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qdt_array-fdd23c595fb4fea1.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/libqdt_array-fdd23c595fb4fea1.rlib: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/debug/deps/libqdt_array-fdd23c595fb4fea1.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/engine.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_bench-4e85e9a9d33604b1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-4e85e9a9d33604b1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_bench-60dd4a2f883a95aa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_bench-60dd4a2f883a95aa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

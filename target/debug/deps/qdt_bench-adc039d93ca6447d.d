@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_bench-adc039d93ca6447d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_bench-adc039d93ca6447d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

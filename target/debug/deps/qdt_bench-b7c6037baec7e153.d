@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_bench-b7c6037baec7e153.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-b7c6037baec7e153.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_bench-b7c6037baec7e153.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt_circuit-3f43244bede29915.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/debug/deps/libqdt_circuit-3f43244bede29915.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators.rs:
+crates/circuit/src/pauli.rs:
+crates/circuit/src/qasm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qdt_compile-68e8c0761a4e74a4.d: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/debug/deps/qdt_compile-68e8c0761a4e74a4: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+crates/compile/src/lib.rs:
+crates/compile/src/coupling.rs:
+crates/compile/src/decompose.rs:
+crates/compile/src/layout.rs:
+crates/compile/src/optimize.rs:
+crates/compile/src/routing.rs:
+crates/compile/src/target.rs:

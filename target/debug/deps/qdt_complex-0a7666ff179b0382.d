@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt_complex-0a7666ff179b0382.d: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/debug/deps/libqdt_complex-0a7666ff179b0382.rmeta: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+crates/complexnum/src/lib.rs:
+crates/complexnum/src/complex.rs:
+crates/complexnum/src/euler.rs:
+crates/complexnum/src/matrix.rs:
+crates/complexnum/src/svd.rs:
+crates/complexnum/src/table.rs:

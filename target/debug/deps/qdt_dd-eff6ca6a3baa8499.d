@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qdt_dd-eff6ca6a3baa8499.d: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/engine.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_dd-eff6ca6a3baa8499.rmeta: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/engine.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs Cargo.toml
+
+crates/dd/src/lib.rs:
+crates/dd/src/approx.rs:
+crates/dd/src/dot.rs:
+crates/dd/src/engine.rs:
+crates/dd/src/equivalence.rs:
+crates/dd/src/matrix.rs:
+crates/dd/src/noise.rs:
+crates/dd/src/package.rs:
+crates/dd/src/simulate.rs:
+crates/dd/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

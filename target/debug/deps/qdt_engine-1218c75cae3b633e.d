@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_engine-1218c75cae3b633e.d: crates/engine/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_engine-1218c75cae3b633e.rmeta: crates/engine/src/lib.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

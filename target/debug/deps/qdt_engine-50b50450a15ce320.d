@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_engine-50b50450a15ce320.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_engine-50b50450a15ce320.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_engine-97375f819f7c090e.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_engine-97375f819f7c090e.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_engine-97375f819f7c090e.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_engine-f9a76a34347e6a41.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_engine-f9a76a34347e6a41: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qdt_tensor-544d4ab43dfe1ddc.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/libqdt_tensor-544d4ab43dfe1ddc.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/engine.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qdt_tensor-649aa3397d747404.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_tensor-649aa3397d747404.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs Cargo.toml
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/engine.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

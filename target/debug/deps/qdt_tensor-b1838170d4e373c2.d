@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qdt_tensor-b1838170d4e373c2.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/libqdt_tensor-b1838170d4e373c2.rlib: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/debug/deps/libqdt_tensor-b1838170d4e373c2.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/engine.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

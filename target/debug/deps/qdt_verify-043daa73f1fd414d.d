@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_verify-043daa73f1fd414d.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-043daa73f1fd414d.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_verify-2979b81e61bdddf6.d: crates/verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_verify-2979b81e61bdddf6.rmeta: crates/verify/src/lib.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

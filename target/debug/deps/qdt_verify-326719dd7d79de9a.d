@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_verify-326719dd7d79de9a.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-326719dd7d79de9a.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-326719dd7d79de9a.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

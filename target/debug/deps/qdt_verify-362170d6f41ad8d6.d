@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_verify-362170d6f41ad8d6.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-362170d6f41ad8d6.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-362170d6f41ad8d6.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

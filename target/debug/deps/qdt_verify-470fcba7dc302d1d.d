@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qdt_verify-470fcba7dc302d1d.d: crates/verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_verify-470fcba7dc302d1d.rmeta: crates/verify/src/lib.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qdt_verify-cede2da2cc340409.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-cede2da2cc340409.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libqdt_verify-cede2da2cc340409.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

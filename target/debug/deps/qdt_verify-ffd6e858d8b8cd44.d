@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qdt_verify-ffd6e858d8b8cd44.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/qdt_verify-ffd6e858d8b8cd44: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

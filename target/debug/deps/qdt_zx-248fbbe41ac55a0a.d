@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qdt_zx-248fbbe41ac55a0a.d: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqdt_zx-248fbbe41ac55a0a.rmeta: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs Cargo.toml
+
+crates/zx/src/lib.rs:
+crates/zx/src/circuit_io.rs:
+crates/zx/src/diagram.rs:
+crates/zx/src/dot.rs:
+crates/zx/src/equivalence.rs:
+crates/zx/src/evaluate.rs:
+crates/zx/src/extract.rs:
+crates/zx/src/phase.rs:
+crates/zx/src/scalar.rs:
+crates/zx/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qdt_zx-72f26d0993339d18.d: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+/root/repo/target/debug/deps/libqdt_zx-72f26d0993339d18.rlib: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+/root/repo/target/debug/deps/libqdt_zx-72f26d0993339d18.rmeta: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+crates/zx/src/lib.rs:
+crates/zx/src/circuit_io.rs:
+crates/zx/src/diagram.rs:
+crates/zx/src/dot.rs:
+crates/zx/src/equivalence.rs:
+crates/zx/src/evaluate.rs:
+crates/zx/src/extract.rs:
+crates/zx/src/phase.rs:
+crates/zx/src/scalar.rs:
+crates/zx/src/simplify.rs:

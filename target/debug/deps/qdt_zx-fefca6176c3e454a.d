@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qdt_zx-fefca6176c3e454a.d: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+/root/repo/target/debug/deps/qdt_zx-fefca6176c3e454a: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+crates/zx/src/lib.rs:
+crates/zx/src/circuit_io.rs:
+crates/zx/src/diagram.rs:
+crates/zx/src/dot.rs:
+crates/zx/src/equivalence.rs:
+crates/zx/src/evaluate.rs:
+crates/zx/src/extract.rs:
+crates/zx/src/phase.rs:
+crates/zx/src/scalar.rs:
+crates/zx/src/simplify.rs:

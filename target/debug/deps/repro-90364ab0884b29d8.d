@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-90364ab0884b29d8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-90364ab0884b29d8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ebbb46f4167d9fc6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ebbb46f4167d9fc6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tn_contraction-0643145b92d4dddc.d: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtn_contraction-0643145b92d4dddc.rmeta: crates/bench/benches/tn_contraction.rs Cargo.toml
+
+crates/bench/benches/tn_contraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

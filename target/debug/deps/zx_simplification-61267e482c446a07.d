@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zx_simplification-61267e482c446a07.d: crates/bench/benches/zx_simplification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzx_simplification-61267e482c446a07.rmeta: crates/bench/benches/zx_simplification.rs Cargo.toml
+
+crates/bench/benches/zx_simplification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compile_and_verify-19c7133f2e17649d.d: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompile_and_verify-19c7133f2e17649d.rmeta: crates/core/../../examples/compile_and_verify.rs Cargo.toml
+
+crates/core/../../examples/compile_and_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

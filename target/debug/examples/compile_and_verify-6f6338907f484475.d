@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_and_verify-6f6338907f484475.d: crates/core/../../examples/compile_and_verify.rs
+
+/root/repo/target/debug/examples/compile_and_verify-6f6338907f484475: crates/core/../../examples/compile_and_verify.rs
+
+crates/core/../../examples/compile_and_verify.rs:

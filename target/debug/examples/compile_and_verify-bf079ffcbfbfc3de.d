@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_and_verify-bf079ffcbfbfc3de.d: crates/core/../../examples/compile_and_verify.rs
+
+/root/repo/target/debug/examples/compile_and_verify-bf079ffcbfbfc3de: crates/core/../../examples/compile_and_verify.rs
+
+crates/core/../../examples/compile_and_verify.rs:

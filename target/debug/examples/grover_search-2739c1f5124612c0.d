@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grover_search-2739c1f5124612c0.d: crates/core/../../examples/grover_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrover_search-2739c1f5124612c0.rmeta: crates/core/../../examples/grover_search.rs Cargo.toml
+
+crates/core/../../examples/grover_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grover_search-7ebe49c915460749.d: crates/core/../../examples/grover_search.rs
+
+/root/repo/target/debug/examples/grover_search-7ebe49c915460749: crates/core/../../examples/grover_search.rs
+
+crates/core/../../examples/grover_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grover_search-909eff50a80ae9ad.d: crates/core/../../examples/grover_search.rs
+
+/root/repo/target/debug/examples/grover_search-909eff50a80ae9ad: crates/core/../../examples/grover_search.rs
+
+crates/core/../../examples/grover_search.rs:

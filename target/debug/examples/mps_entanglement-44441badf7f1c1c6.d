@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mps_entanglement-44441badf7f1c1c6.d: crates/core/../../examples/mps_entanglement.rs
+
+/root/repo/target/debug/examples/mps_entanglement-44441badf7f1c1c6: crates/core/../../examples/mps_entanglement.rs
+
+crates/core/../../examples/mps_entanglement.rs:

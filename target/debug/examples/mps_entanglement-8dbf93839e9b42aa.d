@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mps_entanglement-8dbf93839e9b42aa.d: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmps_entanglement-8dbf93839e9b42aa.rmeta: crates/core/../../examples/mps_entanglement.rs Cargo.toml
+
+crates/core/../../examples/mps_entanglement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

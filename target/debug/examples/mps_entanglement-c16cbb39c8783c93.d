@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mps_entanglement-c16cbb39c8783c93.d: crates/core/../../examples/mps_entanglement.rs
+
+/root/repo/target/debug/examples/mps_entanglement-c16cbb39c8783c93: crates/core/../../examples/mps_entanglement.rs
+
+crates/core/../../examples/mps_entanglement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_simulation-0666f06a2fea8510.d: crates/core/../../examples/noisy_simulation.rs
+
+/root/repo/target/debug/examples/noisy_simulation-0666f06a2fea8510: crates/core/../../examples/noisy_simulation.rs
+
+crates/core/../../examples/noisy_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noisy_simulation-358d6a9bfd12a930.d: crates/core/../../examples/noisy_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoisy_simulation-358d6a9bfd12a930.rmeta: crates/core/../../examples/noisy_simulation.rs Cargo.toml
+
+crates/core/../../examples/noisy_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_simulation-3e71c71c131a81a8.d: crates/core/../../examples/noisy_simulation.rs
+
+/root/repo/target/debug/examples/noisy_simulation-3e71c71c131a81a8: crates/core/../../examples/noisy_simulation.rs
+
+crates/core/../../examples/noisy_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qdt_lint-26fa089e0eb40218.d: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqdt_lint-26fa089e0eb40218.rmeta: crates/analysis/examples/qdt_lint.rs Cargo.toml
+
+crates/analysis/examples/qdt_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qdt_lint-92da4e19418bdbe8.d: crates/analysis/examples/qdt_lint.rs
+
+/root/repo/target/debug/examples/qdt_lint-92da4e19418bdbe8: crates/analysis/examples/qdt_lint.rs
+
+crates/analysis/examples/qdt_lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b40c3054a4239b7.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b40c3054a4239b7: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

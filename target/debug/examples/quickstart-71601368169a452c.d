@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-71601368169a452c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-71601368169a452c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

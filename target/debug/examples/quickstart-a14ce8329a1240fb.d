@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a14ce8329a1240fb.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a14ce8329a1240fb: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zx_optimizer-57c831e6b738c18b.d: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzx_optimizer-57c831e6b738c18b.rmeta: crates/core/../../examples/zx_optimizer.rs Cargo.toml
+
+crates/core/../../examples/zx_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

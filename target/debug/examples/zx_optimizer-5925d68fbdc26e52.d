@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zx_optimizer-5925d68fbdc26e52.d: crates/core/../../examples/zx_optimizer.rs
+
+/root/repo/target/debug/examples/zx_optimizer-5925d68fbdc26e52: crates/core/../../examples/zx_optimizer.rs
+
+crates/core/../../examples/zx_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zx_optimizer-bdeb2e726d198fe7.d: crates/core/../../examples/zx_optimizer.rs
+
+/root/repo/target/debug/examples/zx_optimizer-bdeb2e726d198fe7: crates/core/../../examples/zx_optimizer.rs
+
+crates/core/../../examples/zx_optimizer.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qdt_analysis",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"qdt_analysis/enum.Code.html\" title=\"enum qdt_analysis::Code\">Code</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"qdt_analysis/enum.Severity.html\" title=\"enum qdt_analysis::Severity\">Severity</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[546]}

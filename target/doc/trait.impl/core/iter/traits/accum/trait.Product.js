@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qdt_complex",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/accum/trait.Product.html\" title=\"trait core::iter::traits::accum::Product\">Product</a> for <a class=\"struct\" href=\"qdt_complex/struct.Complex.html\" title=\"struct qdt_complex::Complex\">Complex</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[309]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qdt",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"enum\" href=\"qdt/engine/enum.Backend.html\" title=\"enum qdt::engine::Backend\">Backend</a>",0]]],["qdt_circuit",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"struct\" href=\"qdt_circuit/struct.PauliString.html\" title=\"struct qdt_circuit::PauliString\">PauliString</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[279,307]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qdt",[]],["qdt_array",[["impl SimulationEngine for <a class=\"struct\" href=\"qdt_array/struct.ArrayEngine.html\" title=\"struct qdt_array::ArrayEngine\">ArrayEngine</a>",0]]],["qdt_dd",[["impl SimulationEngine for <a class=\"struct\" href=\"qdt_dd/struct.DdEngine.html\" title=\"struct qdt_dd::DdEngine\">DdEngine</a>",0]]],["qdt_engine",[]],["qdt_tensor",[["impl SimulationEngine for <a class=\"struct\" href=\"qdt_tensor/struct.MpsEngine.html\" title=\"struct qdt_tensor::MpsEngine\">MpsEngine</a>",0],["impl SimulationEngine for <a class=\"struct\" href=\"qdt_tensor/struct.TensorNetEngine.html\" title=\"struct qdt_tensor::TensorNetEngine\">TensorNetEngine</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[10,167,149,18,329]}

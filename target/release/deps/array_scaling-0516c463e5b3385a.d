@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array_scaling-0516c463e5b3385a.d: crates/bench/benches/array_scaling.rs
+
+/root/repo/target/release/deps/array_scaling-0516c463e5b3385a: crates/bench/benches/array_scaling.rs
+
+crates/bench/benches/array_scaling.rs:

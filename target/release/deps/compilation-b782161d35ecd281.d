@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compilation-b782161d35ecd281.d: crates/bench/benches/compilation.rs
+
+/root/repo/target/release/deps/compilation-b782161d35ecd281: crates/bench/benches/compilation.rs
+
+crates/bench/benches/compilation.rs:

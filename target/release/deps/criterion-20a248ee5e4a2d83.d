@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-20a248ee5e4a2d83.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-20a248ee5e4a2d83.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-20a248ee5e4a2d83.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-64efbf4dfb2a78ec.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-64efbf4dfb2a78ec: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dd_vs_array-8f5831abbe57a20e.d: crates/bench/benches/dd_vs_array.rs
+
+/root/repo/target/release/deps/dd_vs_array-8f5831abbe57a20e: crates/bench/benches/dd_vs_array.rs
+
+crates/bench/benches/dd_vs_array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence_checking-1380e5a2ad8a0587.d: crates/bench/benches/equivalence_checking.rs
+
+/root/repo/target/release/deps/equivalence_checking-1380e5a2ad8a0587: crates/bench/benches/equivalence_checking.rs
+
+crates/bench/benches/equivalence_checking.rs:

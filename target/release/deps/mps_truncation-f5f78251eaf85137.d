@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mps_truncation-f5f78251eaf85137.d: crates/bench/benches/mps_truncation.rs
+
+/root/repo/target/release/deps/mps_truncation-f5f78251eaf85137: crates/bench/benches/mps_truncation.rs
+
+crates/bench/benches/mps_truncation.rs:

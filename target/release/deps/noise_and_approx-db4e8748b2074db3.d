@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/noise_and_approx-db4e8748b2074db3.d: crates/bench/benches/noise_and_approx.rs
+
+/root/repo/target/release/deps/noise_and_approx-db4e8748b2074db3: crates/bench/benches/noise_and_approx.rs
+
+crates/bench/benches/noise_and_approx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-42ea88ebd4fa47d2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-42ea88ebd4fa47d2: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

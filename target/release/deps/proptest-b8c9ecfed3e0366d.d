@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-b8c9ecfed3e0366d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b8c9ecfed3e0366d.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b8c9ecfed3e0366d.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qdt-670964799eee9c9d.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/libqdt-670964799eee9c9d.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/libqdt-670964799eee9c9d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qdt-860d2bc2c8f9cbf7.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/libqdt-860d2bc2c8f9cbf7.rlib: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/libqdt-860d2bc2c8f9cbf7.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

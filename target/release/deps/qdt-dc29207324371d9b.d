@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/qdt-dc29207324371d9b.d: crates/core/src/lib.rs crates/core/src/engine.rs
+
+/root/repo/target/release/deps/qdt-dc29207324371d9b: crates/core/src/lib.rs crates/core/src/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:

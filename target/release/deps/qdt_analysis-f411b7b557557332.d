@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qdt_analysis-f411b7b557557332.d: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/release/deps/libqdt_analysis-f411b7b557557332.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+/root/repo/target/release/deps/libqdt_analysis-f411b7b557557332.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadcode.rs crates/analysis/src/profile.rs crates/analysis/src/redundancy.rs crates/analysis/src/report.rs crates/analysis/src/resources.rs crates/analysis/src/wellformed.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadcode.rs:
+crates/analysis/src/profile.rs:
+crates/analysis/src/redundancy.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/resources.rs:
+crates/analysis/src/wellformed.rs:

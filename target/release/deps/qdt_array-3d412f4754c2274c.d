@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qdt_array-3d412f4754c2274c.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/release/deps/qdt_array-3d412f4754c2274c: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/engine.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_array-3f1a66532e7d332d.d: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/release/deps/libqdt_array-3f1a66532e7d332d.rlib: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+/root/repo/target/release/deps/libqdt_array-3f1a66532e7d332d.rmeta: crates/array/src/lib.rs crates/array/src/density.rs crates/array/src/engine.rs crates/array/src/simulator.rs crates/array/src/state.rs crates/array/src/unitary.rs
+
+crates/array/src/lib.rs:
+crates/array/src/density.rs:
+crates/array/src/engine.rs:
+crates/array/src/simulator.rs:
+crates/array/src/state.rs:
+crates/array/src/unitary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qdt_bench-2031ffc011a90b50.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/qdt_bench-2031ffc011a90b50: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

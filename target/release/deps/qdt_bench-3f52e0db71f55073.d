@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_bench-3f52e0db71f55073.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-3f52e0db71f55073.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-3f52e0db71f55073.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

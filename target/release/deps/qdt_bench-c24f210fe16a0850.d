@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_bench-c24f210fe16a0850.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-c24f210fe16a0850.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_bench-c24f210fe16a0850.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

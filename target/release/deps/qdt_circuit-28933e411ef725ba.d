@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_circuit-28933e411ef725ba.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/release/deps/libqdt_circuit-28933e411ef725ba.rlib: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/release/deps/libqdt_circuit-28933e411ef725ba.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/gate.rs crates/circuit/src/generators.rs crates/circuit/src/pauli.rs crates/circuit/src/qasm.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators.rs:
+crates/circuit/src/pauli.rs:
+crates/circuit/src/qasm.rs:

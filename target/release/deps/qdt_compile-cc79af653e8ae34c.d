@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qdt_compile-cc79af653e8ae34c.d: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+/root/repo/target/release/deps/qdt_compile-cc79af653e8ae34c: crates/compile/src/lib.rs crates/compile/src/coupling.rs crates/compile/src/decompose.rs crates/compile/src/layout.rs crates/compile/src/optimize.rs crates/compile/src/routing.rs crates/compile/src/target.rs
+
+crates/compile/src/lib.rs:
+crates/compile/src/coupling.rs:
+crates/compile/src/decompose.rs:
+crates/compile/src/layout.rs:
+crates/compile/src/optimize.rs:
+crates/compile/src/routing.rs:
+crates/compile/src/target.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qdt_complex-7e1a411ebf1d06d4.d: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/release/deps/qdt_complex-7e1a411ebf1d06d4: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+crates/complexnum/src/lib.rs:
+crates/complexnum/src/complex.rs:
+crates/complexnum/src/euler.rs:
+crates/complexnum/src/matrix.rs:
+crates/complexnum/src/svd.rs:
+crates/complexnum/src/table.rs:

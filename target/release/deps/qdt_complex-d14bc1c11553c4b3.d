@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_complex-d14bc1c11553c4b3.d: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/release/deps/libqdt_complex-d14bc1c11553c4b3.rlib: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+/root/repo/target/release/deps/libqdt_complex-d14bc1c11553c4b3.rmeta: crates/complexnum/src/lib.rs crates/complexnum/src/complex.rs crates/complexnum/src/euler.rs crates/complexnum/src/matrix.rs crates/complexnum/src/svd.rs crates/complexnum/src/table.rs
+
+crates/complexnum/src/lib.rs:
+crates/complexnum/src/complex.rs:
+crates/complexnum/src/euler.rs:
+crates/complexnum/src/matrix.rs:
+crates/complexnum/src/svd.rs:
+crates/complexnum/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qdt_dd-a88b886b10ca0435.d: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/engine.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+/root/repo/target/release/deps/libqdt_dd-a88b886b10ca0435.rlib: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/engine.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+/root/repo/target/release/deps/libqdt_dd-a88b886b10ca0435.rmeta: crates/dd/src/lib.rs crates/dd/src/approx.rs crates/dd/src/dot.rs crates/dd/src/engine.rs crates/dd/src/equivalence.rs crates/dd/src/matrix.rs crates/dd/src/noise.rs crates/dd/src/package.rs crates/dd/src/simulate.rs crates/dd/src/vector.rs
+
+crates/dd/src/lib.rs:
+crates/dd/src/approx.rs:
+crates/dd/src/dot.rs:
+crates/dd/src/engine.rs:
+crates/dd/src/equivalence.rs:
+crates/dd/src/matrix.rs:
+crates/dd/src/noise.rs:
+crates/dd/src/package.rs:
+crates/dd/src/simulate.rs:
+crates/dd/src/vector.rs:

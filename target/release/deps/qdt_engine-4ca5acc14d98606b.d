@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_engine-4ca5acc14d98606b.d: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_engine-4ca5acc14d98606b.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_engine-4ca5acc14d98606b.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

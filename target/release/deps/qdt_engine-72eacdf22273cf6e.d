@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_engine-72eacdf22273cf6e.d: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_engine-72eacdf22273cf6e.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_engine-72eacdf22273cf6e.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qdt_engine-f15d71400992e983.d: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/qdt_engine-f15d71400992e983: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

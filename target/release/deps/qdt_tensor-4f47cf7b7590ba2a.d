@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qdt_tensor-4f47cf7b7590ba2a.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/release/deps/libqdt_tensor-4f47cf7b7590ba2a.rlib: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/release/deps/libqdt_tensor-4f47cf7b7590ba2a.rmeta: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/engine.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

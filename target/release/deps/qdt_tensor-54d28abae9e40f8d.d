@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qdt_tensor-54d28abae9e40f8d.d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+/root/repo/target/release/deps/qdt_tensor-54d28abae9e40f8d: crates/tensornet/src/lib.rs crates/tensornet/src/contraction.rs crates/tensornet/src/engine.rs crates/tensornet/src/mps.rs crates/tensornet/src/network.rs crates/tensornet/src/tensor.rs
+
+crates/tensornet/src/lib.rs:
+crates/tensornet/src/contraction.rs:
+crates/tensornet/src/engine.rs:
+crates/tensornet/src/mps.rs:
+crates/tensornet/src/network.rs:
+crates/tensornet/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qdt_verify-2d1f4d992d0358ad.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/qdt_verify-2d1f4d992d0358ad: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

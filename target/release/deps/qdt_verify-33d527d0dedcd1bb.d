@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_verify-33d527d0dedcd1bb.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-33d527d0dedcd1bb.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-33d527d0dedcd1bb.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qdt_verify-e9806339950a5287.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-e9806339950a5287.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libqdt_verify-e9806339950a5287.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

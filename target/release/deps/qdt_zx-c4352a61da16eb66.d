@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qdt_zx-c4352a61da16eb66.d: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+/root/repo/target/release/deps/libqdt_zx-c4352a61da16eb66.rlib: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+/root/repo/target/release/deps/libqdt_zx-c4352a61da16eb66.rmeta: crates/zx/src/lib.rs crates/zx/src/circuit_io.rs crates/zx/src/diagram.rs crates/zx/src/dot.rs crates/zx/src/equivalence.rs crates/zx/src/evaluate.rs crates/zx/src/extract.rs crates/zx/src/phase.rs crates/zx/src/scalar.rs crates/zx/src/simplify.rs
+
+crates/zx/src/lib.rs:
+crates/zx/src/circuit_io.rs:
+crates/zx/src/diagram.rs:
+crates/zx/src/dot.rs:
+crates/zx/src/equivalence.rs:
+crates/zx/src/evaluate.rs:
+crates/zx/src/extract.rs:
+crates/zx/src/phase.rs:
+crates/zx/src/scalar.rs:
+crates/zx/src/simplify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-6a26224349ebccb7.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-6a26224349ebccb7: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0273d64b7ef086ce.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0273d64b7ef086ce: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

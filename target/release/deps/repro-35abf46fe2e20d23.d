@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-35abf46fe2e20d23.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-35abf46fe2e20d23: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-38b3139d76486b4e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-38b3139d76486b4e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tn_contraction-16bebf679667530a.d: crates/bench/benches/tn_contraction.rs
+
+/root/repo/target/release/deps/tn_contraction-16bebf679667530a: crates/bench/benches/tn_contraction.rs
+
+crates/bench/benches/tn_contraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zx_simplification-0d87645ea078b643.d: crates/bench/benches/zx_simplification.rs
+
+/root/repo/target/release/deps/zx_simplification-0d87645ea078b643: crates/bench/benches/zx_simplification.rs
+
+crates/bench/benches/zx_simplification.rs:
