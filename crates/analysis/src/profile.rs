@@ -97,6 +97,26 @@ mod tests {
     }
 
     #[test]
+    fn profile_reports_density_engine_nonzeros() {
+        use qdt_noise::{DensityMatrixEngine, KrausChannel, NoiseModel};
+
+        let mut ideal = DensityMatrixEngine::new();
+        let p = simulation_profile(&mut ideal, &generators::bell()).unwrap();
+        assert_eq!(p.engine, "density");
+        assert_eq!(p.metric_name, "rho-nonzeros");
+        // A pure Bell state has exactly four nonzero density entries.
+        assert_eq!(p.final_metric, 4);
+
+        let model = NoiseModel::uniform(KrausChannel::Depolarizing { p: 0.05 });
+        let mut noisy = DensityMatrixEngine::with_noise(&model).unwrap();
+        let p = simulation_profile(&mut noisy, &generators::bell()).unwrap();
+        assert!(
+            p.final_metric > 4,
+            "depolarizing noise spreads ρ beyond the pure-state support"
+        );
+    }
+
+    #[test]
     fn render_is_one_line() {
         let mut e = ReferenceEngine::default();
         let p = simulation_profile(&mut e, &generators::bell()).unwrap();

@@ -339,11 +339,24 @@ impl DensityMatrix {
     ///
     /// Panics if `qubit` is out of range or a channel parameter is invalid.
     pub fn apply_channel(&mut self, channel: NoiseChannel, qubit: usize) {
+        self.apply_kraus(&channel.kraus_operators(), qubit);
+    }
+
+    /// Applies an arbitrary single-qubit Kraus channel, given directly
+    /// by its operator list: `ρ → Σ_i K_i ρ K_i†`. This is the
+    /// superoperator primitive the `qdt-noise` density-matrix engine
+    /// drives; [`apply_channel`](DensityMatrix::apply_channel) is the
+    /// built-in-channel convenience wrapper over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or an operator is not 2×2.
+    pub fn apply_kraus(&mut self, kraus: &[Matrix], qubit: usize) {
         assert!(qubit < self.num_qubits, "qubit out of range");
-        let kraus = channel.kraus_operators();
         let dim = self.rho.rows();
         let mut acc = Matrix::zeros(dim, dim);
-        for k in &kraus {
+        for k in kraus {
+            assert_eq!((k.rows(), k.cols()), (2, 2), "Kraus operator must be 2x2");
             let mut term = self.clone();
             term.apply_kraus_one_sided(k, qubit);
             acc = acc.add(&term.rho);

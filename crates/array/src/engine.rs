@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use qdt_circuit::{Instruction, PauliString};
-use qdt_complex::Complex;
+use qdt_complex::{Complex, Matrix};
 use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
 use rand::RngCore;
 
@@ -83,6 +83,7 @@ impl SimulationEngine for ArrayEngine {
             wide_amplitudes: false,
             native_sampling: true,
             approximate: false,
+            stochastic_kraus: true,
         }
     }
 
@@ -143,6 +144,25 @@ impl SimulationEngine for ArrayEngine {
     fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
         check_pauli_width(self.psi.num_qubits(), pauli)?;
         Ok(self.psi.expectation_pauli(pauli))
+    }
+
+    fn apply_kraus(
+        &mut self,
+        kraus: &[Matrix],
+        qubit: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, EngineError> {
+        if kraus.is_empty() || qubit >= self.psi.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "array",
+                message: format!(
+                    "invalid Kraus application: {} operators on qubit {qubit} of {}",
+                    kraus.len(),
+                    self.psi.num_qubits()
+                ),
+            });
+        }
+        Ok(self.psi.apply_kraus(kraus, qubit, rng))
     }
 }
 

@@ -194,6 +194,67 @@ impl StateVector {
         self.apply_controlled_gate(gate, target, &[]);
     }
 
+    /// Stochastically applies one operator of a single-qubit Kraus
+    /// channel to `target`: operator `K_i` is chosen with the Born
+    /// probability `‖K_i|ψ⟩‖²`, applied in place, and the state
+    /// renormalised — the per-gate step of Monte-Carlo noise-trajectory
+    /// simulation. Returns the index of the chosen operator.
+    ///
+    /// The Born weights are accumulated in one pass over the amplitude
+    /// pairs, so no candidate state is ever materialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kraus` is empty, an operator is not 2×2, or `target`
+    /// is out of range.
+    pub fn apply_kraus<R: Rng + ?Sized>(
+        &mut self,
+        kraus: &[Matrix],
+        target: usize,
+        rng: &mut R,
+    ) -> usize {
+        assert!(!kraus.is_empty(), "empty Kraus operator list");
+        assert!(target < self.num_qubits, "target out of range");
+        for k in kraus {
+            assert_eq!((k.rows(), k.cols()), (2, 2), "Kraus operator must be 2x2");
+        }
+        let tbit = 1usize << target;
+        let mut weights = vec![0.0f64; kraus.len()];
+        for i0 in 0..self.amps.len() {
+            if i0 & tbit != 0 {
+                continue;
+            }
+            let i1 = i0 | tbit;
+            let (a0, a1) = (self.amps[i0], self.amps[i1]);
+            for (w, k) in weights.iter_mut().zip(kraus) {
+                *w += (k.get(0, 0) * a0 + k.get(0, 1) * a1).norm_sqr()
+                    + (k.get(1, 0) * a0 + k.get(1, 1) * a1).norm_sqr();
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if r < *w {
+                chosen = i;
+                break;
+            }
+            r -= w;
+        }
+        let k = &kraus[chosen];
+        let scale = 1.0 / weights[chosen].sqrt().max(1e-300);
+        for i0 in 0..self.amps.len() {
+            if i0 & tbit != 0 {
+                continue;
+            }
+            let i1 = i0 | tbit;
+            let (a0, a1) = (self.amps[i0], self.amps[i1]);
+            self.amps[i0] = (k.get(0, 0) * a0 + k.get(0, 1) * a1).scale(scale);
+            self.amps[i1] = (k.get(1, 0) * a0 + k.get(1, 1) * a1).scale(scale);
+        }
+        chosen
+    }
+
     /// Applies a 2×2 unitary to `target`, controlled on every qubit in
     /// `controls` being |1⟩.
     ///

@@ -1,0 +1,33 @@
+//! Noise subsystem: wall-clock of stochastic-trajectory sampling as
+//! the worker count grows. The merged histogram is identical at every
+//! worker count (per-trajectory seeding), so this measures parallel
+//! speed-up alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::circuit::generators;
+use qdt::engine::run;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRAJECTORIES: usize = 400;
+
+fn bench_trajectory_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_trajectory_workers");
+    group.sample_size(10);
+    let qc = generators::ghz(6);
+    for workers in [1usize, 2, 4, 8] {
+        let spec = format!("traj({TRAJECTORIES}, seed=7, workers={workers}, depol=0.02):dd");
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &spec, |b, spec| {
+            b.iter(|| {
+                let mut e = qdt::create_engine(spec).expect("spec builds");
+                run(e.as_mut(), &qc).expect("program records");
+                let mut rng = StdRng::seed_from_u64(7);
+                e.sample(TRAJECTORIES, &mut rng).expect("samples")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trajectory_workers);
+criterion_main!(benches);

@@ -7,9 +7,11 @@
 //! Pick backends:        `... -- engines --backend dd --backend mps:16`
 //!
 //! `--backend <spec>` (repeatable) selects the engines the `engines`
-//! experiment instruments; specs are anything `Backend::from_str`
-//! accepts: `array`, `dd`, `tensor-network`, `mps`, `mps:16`,
-//! `mps(χ=16)`, …
+//! experiment instruments; specs are anything the engine registry
+//! accepts: `array`, `dd`, `tensor-network`, `mps:16`, `mps(χ=16)`,
+//! `density(depol=0.01)`, `traj(1000, seed=7, depol=0.01):dd`, …
+//! Invalid specs are rejected up front with the registry's own
+//! diagnostic.
 
 use qdt::array::StateVector;
 use qdt::circuit::generators;
@@ -22,38 +24,34 @@ use qdt::tensor::mps::Mps;
 use qdt::tensor::{ContractionPlan, PlanKind, TensorNetwork};
 use qdt::verify::{check, verify_compilation, Method};
 use qdt::zx::{simplify, Diagram};
-use qdt::Backend;
 use qdt_bench::{timed, Family};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut filter: Vec<String> = Vec::new();
-    let mut backends: Vec<Backend> = Vec::new();
+    let mut backends: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--backend" {
             let spec = args
                 .next()
                 .expect("--backend needs a spec, e.g. --backend mps:16");
-            match spec.parse::<Backend>() {
-                Ok(b) => backends.push(b),
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                }
+            // Build one throwaway engine so bad specs fail fast with
+            // the registry's diagnostic instead of mid-experiment.
+            if let Err(e) = qdt::create_engine(&spec) {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
+            backends.push(spec);
         } else {
             filter.push(a.to_lowercase());
         }
     }
     if backends.is_empty() {
-        backends = vec![
-            Backend::Array,
-            Backend::DecisionDiagram,
-            Backend::TensorNetwork,
-            Backend::Mps { max_bond: 64 },
-        ];
+        backends = ["array", "decision-diagram", "tensor-network", "mps:64"]
+            .map(String::from)
+            .to_vec();
     }
     let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id);
 
@@ -93,6 +91,9 @@ fn main() {
     if want("c8") {
         c8_noise();
     }
+    if want("noise") {
+        noise_subsystem();
+    }
     if want("c9") {
         c9_approximation();
     }
@@ -111,7 +112,7 @@ fn header(title: &str) {
 /// Engines: the same run loop over every selected backend, with the
 /// per-gate instrumentation hooks reporting each data structure's own
 /// cost metric — the paper's trade-off table, measured.
-fn engines(backends: &[Backend]) {
+fn engines(backends: &[String]) {
     header("Engines — one run loop, four data structures (instrumented)");
     println!(
         "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>8} {:>10}",
@@ -124,7 +125,7 @@ fn engines(backends: &[Backend]) {
     ] {
         let qc = fam.circuit(n);
         for b in backends {
-            let mut e = match b.engine() {
+            let mut e = match qdt::create_engine(b) {
                 Ok(e) => e,
                 Err(err) => {
                     eprintln!("{b}: {err}");
@@ -594,6 +595,57 @@ fn c8_noise() {
     });
     println!("  GHZ-24 mean fidelity with ideal under 2% phase flips: {f:.3} ({secs:.2}s)");
     println!("  (a density matrix would need 2^48 entries = 4 PiB)");
+}
+
+/// Noise subsystem: stochastic Kraus trajectories converge on the
+/// exact density-matrix ground truth as the trajectory count grows —
+/// both engines built through the registry spec grammar.
+fn noise_subsystem() {
+    use qdt::noise::{DensityMatrixEngine, KrausChannel, NoiseModel};
+    use qdt::verify::noise::{chi_squared_stat, noisy_vs_ideal};
+
+    header("Noise — trajectory sampling vs density-matrix ground truth");
+    let depol = 0.05;
+    let qc = generators::ghz(4);
+    let model = NoiseModel::uniform(KrausChannel::Depolarizing { p: depol });
+
+    let mut exact = DensityMatrixEngine::with_noise(&model).expect("valid model");
+    let (probs, exact_secs) = timed(|| {
+        run(&mut exact, &qc).expect("density run");
+        exact.density().probabilities()
+    });
+    let report = noisy_vs_ideal(&qc, &model).expect("fits the density limit");
+    println!(
+        "GHZ-4, uniform depolarizing p = {depol}: fidelity {:.4}, purity {:.4}, \
+         TVD {:.4} vs ideal (exact ρ in {exact_secs:.3}s)",
+        report.state_fidelity, report.purity, report.tvd
+    );
+    println!(
+        "\n{:>12} {:>10} {:>10} {:>10}",
+        "trajectories", "tvd", "chi^2", "time"
+    );
+    for t in [250usize, 1000, 4000] {
+        let spec = format!("traj({t}, seed=7, depol={depol}):dd");
+        let mut e = qdt::create_engine(&spec).expect("spec builds");
+        let (hist, secs) = timed(|| {
+            run(e.as_mut(), &qc).expect("trajectory run");
+            let mut rng = StdRng::seed_from_u64(7);
+            e.sample(t, &mut rng).expect("sampling")
+        });
+        let tvd = 0.5
+            * probs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let f = *hist.get(&(i as u128)).unwrap_or(&0) as f64 / t as f64;
+                    (f - p).abs()
+                })
+                .sum::<f64>();
+        let chi = chi_squared_stat(&hist, &probs);
+        println!("{t:>12} {tvd:>10.4} {chi:>10.2} {secs:>9.3}s");
+    }
+    println!("(sampling error falls like 1/sqrt(trajectories) toward the exact");
+    println!(" distribution; each trajectory stays a pure state on the DD substrate)");
 }
 
 /// C9: approximate DD simulation (paper ref \[12\]) — bounded fidelity

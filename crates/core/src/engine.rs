@@ -1,22 +1,43 @@
-//! The engine registry and the [`Backend`] facade.
+//! The engine registry, the engine-spec grammar, and the [`Backend`]
+//! facade.
 //!
-//! The registry maps textual engine specs (`"array"`, `"dd"`,
-//! `"mps:16"`, `"mps(χ=16)"` …) to constructors of boxed
+//! The registry maps textual engine specs to constructors of boxed
 //! [`SimulationEngine`]s, so backends are selectable from configuration
-//! and CLIs without code edits — and so later PRs (or downstream crates)
-//! can [`register`](EngineRegistry::register) additional engines that
-//! every registry-driven caller picks up automatically.
+//! and CLIs without code edits — and so later PRs (or downstream
+//! crates) can [`register`](EngineRegistry::register) additional
+//! engines that every registry-driven caller picks up automatically.
+//!
+//! The spec grammar ([`parse_spec`]) is compositional:
+//!
+//! ```text
+//! spec  ::= name                      array, dd, density
+//!         | name ":" N                mps:16            (positional arg)
+//!         | name "(" args ")"         mps(χ=16), density(depol=0.01)
+//!         | name [ "(" args ")" ] ":" spec
+//!                                     traj(1000,seed=7,depol=0.01):dd
+//! args  ::= arg { "," arg }
+//! arg   ::= value | key "=" value
+//! ```
+//!
+//! A numeric `:` tail is a positional argument (`mps:16`); a
+//! non-numeric tail is a nested *inner* spec, which is how the
+//! trajectory engine names its substrate (`traj:dd`, `traj(500):mps(8)`).
 //!
 //! [`Backend`] is the original closed enum, kept as a thin facade over
 //! the registry so existing code keeps working while new code moves to
-//! engine specs and the trait; it now also parses from strings
-//! ([`FromStr`]) and round-trips through [`fmt::Display`].
+//! engine specs and the trait; it parses from strings ([`FromStr`]) and
+//! round-trips through [`fmt::Display`].
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use qdt_array::ArrayEngine;
 use qdt_dd::DdEngine;
+use qdt_noise::{
+    channel_from_key, DensityMatrixEngine, GateSelector, NoiseModel, TrajectoryConfig,
+    TrajectoryEngine,
+};
 use qdt_tensor::{MpsEngine, TensorNetEngine};
 
 pub use qdt_engine::{
@@ -30,12 +51,297 @@ use crate::QdtError;
 /// to be exact on every workload this suite's tests run densely).
 pub const DEFAULT_MPS_BOND: usize = 64;
 
-/// Constructor signature stored in the registry: receives the optional
-/// numeric parameter of the spec (e.g. χ for MPS).
-pub type EngineFactory = fn(Option<usize>) -> Result<Box<dyn SimulationEngine>, QdtError>;
+/// Trajectory count used when a `traj` spec names none.
+pub const DEFAULT_TRAJECTORIES: usize = 500;
+
+/// Master seed used when a `traj` spec names none.
+pub const DEFAULT_TRAJECTORY_SEED: u64 = 0x5EED;
+
+/// Worker-thread count used when a `traj` spec names none.
+pub const DEFAULT_TRAJECTORY_WORKERS: usize = 4;
+
+/// One argument of an engine spec: a bare `value` (positional) or a
+/// `key=value` pair. Keys are lowercased during parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecArg {
+    /// The key, if the argument was written `key=value`.
+    pub key: Option<String>,
+    /// The raw value text.
+    pub value: String,
+}
+
+impl fmt::Display for SpecArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.key {
+            Some(k) => write!(f, "{k}={}", self.value),
+            None => write!(f, "{}", self.value),
+        }
+    }
+}
+
+/// A parsed engine spec: a lowercased name, its arguments, and an
+/// optional nested substrate spec (see the grammar in the module docs).
+///
+/// # Example
+///
+/// ```
+/// use qdt::engine::parse_spec;
+///
+/// let spec = parse_spec("traj(1000, seed=7, depol=0.01):mps(χ=8)")?;
+/// assert_eq!(spec.name, "traj");
+/// assert_eq!(spec.args.len(), 3);
+/// assert_eq!(spec.inner.as_ref().unwrap().name, "mps");
+/// let canonical = spec.to_string();
+/// assert_eq!(parse_spec(&canonical)?, spec); // Display round-trips
+/// # Ok::<(), qdt::QdtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// The engine name (lowercased).
+    pub name: String,
+    /// Arguments, in written order.
+    pub args: Vec<SpecArg>,
+    /// The nested substrate spec, for composite engines like `traj`.
+    pub inner: Option<Box<EngineSpec>>,
+}
+
+impl EngineSpec {
+    /// A bare spec with no arguments and no inner engine.
+    pub fn named(name: &str) -> Self {
+        EngineSpec {
+            name: name.to_lowercase(),
+            args: Vec::new(),
+            inner: None,
+        }
+    }
+
+    /// The first positional (key-less) argument, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails if more than one positional argument is present.
+    pub fn positional(&self) -> Result<Option<&str>, QdtError> {
+        let mut positionals = self.args.iter().filter(|a| a.key.is_none());
+        let first = positionals.next();
+        if positionals.next().is_some() {
+            return Err(QdtError::new(format!(
+                "`{self}`: at most one positional argument is allowed"
+            )));
+        }
+        Ok(first.map(|a| a.value.as_str()))
+    }
+
+    /// The value of the first argument whose key is in `keys`.
+    pub fn value_of(&self, keys: &[&str]) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|a| a.key.as_deref().is_some_and(|k| keys.contains(&k)))
+            .map(|a| a.value.as_str())
+    }
+
+    /// Parses the value under `keys` as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is present but not a non-negative integer.
+    pub fn usize_of(&self, keys: &[&str]) -> Result<Option<usize>, QdtError> {
+        self.value_of(keys)
+            .map(|v| {
+                v.parse::<usize>().map_err(|_| {
+                    QdtError::new(format!(
+                        "`{self}`: `{}` expects an integer, got `{v}`",
+                        keys[0]
+                    ))
+                })
+            })
+            .transpose()
+    }
+
+    /// Rejects any argument — for engines that take none.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spec carries arguments.
+    pub fn expect_no_args(&self, engine: &str) -> Result<(), QdtError> {
+        if self.args.is_empty() {
+            Ok(())
+        } else {
+            Err(QdtError::new(format!(
+                "the {engine} engine takes no parameter (got `{self}`)"
+            )))
+        }
+    }
+
+    /// Rejects a nested inner spec — for non-composite engines.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spec carries an inner engine.
+    pub fn expect_no_inner(&self, engine: &str) -> Result<(), QdtError> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => Err(QdtError::new(format!(
+                "the {engine} engine takes no inner engine (got `{self}`; `:{inner}` is only \
+                 valid after composite engines like traj)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, arg) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{arg}")?;
+            }
+            write!(f, ")")?;
+        }
+        if let Some(inner) = &self.inner {
+            write!(f, ":{inner}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses an engine spec (grammar in the module docs). Names and keys
+/// are case-insensitive; whitespace around tokens is ignored.
+///
+/// # Errors
+///
+/// Fails on empty specs, unbalanced parentheses, malformed `key=value`
+/// arguments, a dangling `:` with nothing after it, and trailing
+/// garbage after a closing parenthesis.
+pub fn parse_spec(spec: &str) -> Result<EngineSpec, QdtError> {
+    let spec_str = spec.trim();
+    if spec_str.is_empty() {
+        return Err(QdtError::new("empty engine spec"));
+    }
+    let name_end = spec_str.find(['(', ':']).unwrap_or(spec_str.len());
+    let name = spec_str[..name_end].trim();
+    if name.is_empty() {
+        return Err(QdtError::new(format!(
+            "engine spec `{spec_str}` is missing an engine name"
+        )));
+    }
+    let name = name.to_lowercase();
+    let rest = &spec_str[name_end..];
+    if rest.is_empty() {
+        return Ok(EngineSpec {
+            name,
+            args: Vec::new(),
+            inner: None,
+        });
+    }
+    if let Some(after_open) = rest.strip_prefix('(') {
+        let close = after_open
+            .find(')')
+            .ok_or_else(|| QdtError::new(format!("unbalanced parentheses in `{spec_str}`")))?;
+        let args_str = &after_open[..close];
+        if args_str.contains('(') {
+            return Err(QdtError::new(format!(
+                "unbalanced parentheses in `{spec_str}`"
+            )));
+        }
+        let args = parse_args(args_str, spec_str)?;
+        let tail = &after_open[close + 1..];
+        if tail.is_empty() {
+            return Ok(EngineSpec {
+                name,
+                args,
+                inner: None,
+            });
+        }
+        let Some(inner_str) = tail.strip_prefix(':') else {
+            return Err(QdtError::new(format!(
+                "unexpected trailing `{tail}` in `{spec_str}` (expected `:inner-engine`)"
+            )));
+        };
+        if inner_str.trim().is_empty() {
+            return Err(QdtError::new(format!(
+                "`{spec_str}`: missing inner engine after `:`"
+            )));
+        }
+        let inner = parse_spec(inner_str)?;
+        return Ok(EngineSpec {
+            name,
+            args,
+            inner: Some(Box::new(inner)),
+        });
+    }
+    // `name:tail` — a numeric tail is a positional argument (mps:16), a
+    // non-numeric tail is a nested inner spec (traj:dd).
+    let tail = rest.strip_prefix(':').expect("rest starts with ':'").trim();
+    if tail.is_empty() {
+        return Err(QdtError::new(format!(
+            "`{spec_str}`: missing parameter after `:` (use `{name}:N`, `{name}(…)`, or \
+             `{name}:inner-engine`)"
+        )));
+    }
+    if tail.chars().all(|c| c.is_ascii_digit()) {
+        return Ok(EngineSpec {
+            name,
+            args: vec![SpecArg {
+                key: None,
+                value: tail.to_string(),
+            }],
+            inner: None,
+        });
+    }
+    let inner = parse_spec(tail)?;
+    Ok(EngineSpec {
+        name,
+        args: Vec::new(),
+        inner: Some(Box::new(inner)),
+    })
+}
+
+fn parse_args(args_str: &str, full: &str) -> Result<Vec<SpecArg>, QdtError> {
+    let args_str = args_str.trim();
+    if args_str.is_empty() {
+        return Ok(Vec::new());
+    }
+    args_str
+        .split(',')
+        .map(|token| {
+            let token = token.trim();
+            if token.is_empty() {
+                return Err(QdtError::new(format!("empty argument in `{full}`")));
+            }
+            if let Some((key, value)) = token.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                if key.is_empty() || value.is_empty() {
+                    return Err(QdtError::new(format!(
+                        "malformed `key=value` argument `{token}` in `{full}`"
+                    )));
+                }
+                Ok(SpecArg {
+                    key: Some(key.to_lowercase()),
+                    value: value.to_string(),
+                })
+            } else {
+                Ok(SpecArg {
+                    key: None,
+                    value: token.to_string(),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Constructor signature stored in the registry: receives the parsed
+/// spec and the registry itself, so composite engines (like `traj`) can
+/// construct their substrate through the same registry.
+pub type EngineFactory =
+    fn(&EngineSpec, &EngineRegistry) -> Result<Box<dyn SimulationEngine>, QdtError>;
 
 /// One registered engine: its canonical name, accepted aliases, an
-/// optional numeric parameter, and the constructor.
+/// optional parameter description, and the constructor.
+#[derive(Clone)]
 pub struct EngineEntry {
     name: &'static str,
     aliases: &'static [&'static str],
@@ -73,8 +379,8 @@ impl EngineEntry {
         self.aliases
     }
 
-    /// Human-readable description of the numeric parameter, if the
-    /// engine takes one.
+    /// Human-readable description of the engine's parameters, if it
+    /// takes any.
     pub fn parameter(&self) -> Option<&'static str> {
         self.parameter
     }
@@ -115,7 +421,7 @@ impl fmt::Debug for EngineEntry {
 /// assert!((engine.amplitude(0)?.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
 /// # Ok::<(), qdt::QdtError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EngineRegistry {
     entries: Vec<EngineEntry>,
 }
@@ -128,7 +434,8 @@ impl EngineRegistry {
         }
     }
 
-    /// The registry preloaded with the four engines of the paper.
+    /// The registry preloaded with the four pure-state engines of the
+    /// paper plus the two noise-aware engines of `qdt-noise`.
     pub fn with_defaults() -> Self {
         let mut r = EngineRegistry::new();
         r.register(EngineEntry::new(
@@ -136,28 +443,119 @@ impl EngineRegistry {
             &["arrays", "statevector", "sv"],
             None,
             "dense state vector (Sec. II): exact, exponential memory",
-            |_param| Ok(Box::new(ArrayEngine::new())),
+            |spec, _| {
+                spec.expect_no_args("array")?;
+                spec.expect_no_inner("array")?;
+                Ok(Box::new(ArrayEngine::new()))
+            },
         ));
         r.register(EngineEntry::new(
             "decision-diagram",
             &["dd", "qmdd"],
             None,
             "QMDD decision diagram (Sec. III): exact, small on structured states",
-            |_param| Ok(Box::new(DdEngine::new())),
+            |spec, _| {
+                spec.expect_no_args("decision-diagram")?;
+                spec.expect_no_inner("decision-diagram")?;
+                Ok(Box::new(DdEngine::new()))
+            },
         ));
         r.register(EngineEntry::new(
             "tensor-network",
             &["tn", "tensor"],
             None,
             "tensor-network contraction (Sec. IV): cheap single amplitudes",
-            |_param| Ok(Box::new(TensorNetEngine::new())),
+            |spec, _| {
+                spec.expect_no_args("tensor-network")?;
+                spec.expect_no_inner("tensor-network")?;
+                Ok(Box::new(TensorNetEngine::new()))
+            },
         ));
         r.register(EngineEntry::new(
             "mps",
             &[],
             Some("χ (bond-dimension cap)"),
             "matrix product state (Sec. IV): approximate once χ truncates",
-            |param| Ok(Box::new(MpsEngine::new(param.unwrap_or(DEFAULT_MPS_BOND)))),
+            |spec, _| {
+                spec.expect_no_inner("mps")?;
+                Ok(Box::new(MpsEngine::new(mps_bond_from_spec(spec)?)))
+            },
+        ));
+        r.register(EngineEntry::new(
+            "density",
+            &["density-matrix", "dm"],
+            Some("noise channels, e.g. depol=0.01, readout=0.02"),
+            "dense density matrix (ref [13]): exact noise, quadratic memory",
+            |spec, _| {
+                spec.expect_no_inner("density")?;
+                if spec.positional()?.is_some() {
+                    return Err(QdtError::new(format!(
+                        "`{spec}`: density takes only `key=value` noise arguments"
+                    )));
+                }
+                let model = noise_model_from_args(spec, &[])?;
+                let engine = DensityMatrixEngine::with_noise(&model).map_err(QdtError::new)?;
+                Ok(Box::new(engine))
+            },
+        ));
+        r.register(EngineEntry::new(
+            "traj",
+            &["trajectories", "stochastic"],
+            Some("count, seed=, workers=, noise channels; `:substrate` names the inner engine"),
+            "stochastic noise trajectories (ref [13]) over any Kraus-capable substrate",
+            |spec, registry| {
+                let trajectories = match spec.positional()? {
+                    Some(v) => v.parse::<usize>().map_err(|_| {
+                        QdtError::new(format!(
+                            "`{spec}`: trajectory count must be an integer, got `{v}`"
+                        ))
+                    })?,
+                    None => spec
+                        .usize_of(&["trajectories", "count"])?
+                        .unwrap_or(DEFAULT_TRAJECTORIES),
+                };
+                if trajectories == 0 {
+                    return Err(QdtError::new(format!(
+                        "`{spec}`: trajectory count must be ≥ 1"
+                    )));
+                }
+                let seed = match spec.value_of(&["seed"]) {
+                    None => DEFAULT_TRAJECTORY_SEED,
+                    Some(v) => v.parse::<u64>().map_err(|_| {
+                        QdtError::new(format!("`{spec}`: seed must be an integer, got `{v}`"))
+                    })?,
+                };
+                let workers = spec
+                    .usize_of(&["workers"])?
+                    .unwrap_or(DEFAULT_TRAJECTORY_WORKERS);
+                if workers == 0 {
+                    return Err(QdtError::new(format!("`{spec}`: workers must be ≥ 1")));
+                }
+                let model =
+                    noise_model_from_args(spec, &["trajectories", "count", "seed", "workers"])?;
+                let inner_spec = spec
+                    .inner
+                    .as_deref()
+                    .cloned()
+                    .unwrap_or_else(|| EngineSpec::named("decision-diagram"));
+                let registry = registry.clone();
+                let factory: qdt_noise::InnerFactory = Arc::new(move || {
+                    registry
+                        .create_from_spec(&inner_spec)
+                        .map_err(|e| EngineError::Backend {
+                            engine: "trajectories",
+                            message: e.to_string(),
+                        })
+                });
+                let config = TrajectoryConfig {
+                    trajectories,
+                    seed,
+                    workers,
+                };
+                let engine =
+                    TrajectoryEngine::new(factory, config, &model).map_err(QdtError::new)?;
+                Ok(Box::new(engine))
+            },
         ));
         r
     }
@@ -179,31 +577,39 @@ impl EngineRegistry {
         self.entries.iter().map(|e| e.name).collect()
     }
 
-    /// Constructs the engine named by `spec` (see [`parse_spec`] for the
-    /// accepted grammar).
+    /// Constructs the engine named by `spec` (see [`parse_spec`] for
+    /// the accepted grammar).
     ///
     /// # Errors
     ///
     /// Fails on malformed specs and unknown engine names.
     pub fn create(&self, spec: &str) -> Result<Box<dyn SimulationEngine>, QdtError> {
-        let (name, param) = parse_spec(spec)?;
+        self.create_from_spec(&parse_spec(spec)?)
+    }
+
+    /// Constructs an engine from an already-parsed spec. Composite
+    /// engine factories call back into this for their substrates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown engine names and factory-specific argument
+    /// errors.
+    pub fn create_from_spec(
+        &self,
+        spec: &EngineSpec,
+    ) -> Result<Box<dyn SimulationEngine>, QdtError> {
         let entry = self
             .entries
             .iter()
-            .find(|e| e.matches(&name))
+            .find(|e| e.matches(&spec.name))
             .ok_or_else(|| {
                 QdtError::new(format!(
-                    "unknown engine `{name}` (registered: {})",
+                    "unknown engine `{}` (registered: {})",
+                    spec.name,
                     self.names().join(", ")
                 ))
             })?;
-        if param.is_some() && entry.parameter.is_none() {
-            return Err(QdtError::new(format!(
-                "the {} engine takes no parameter (got `{spec}`)",
-                entry.name
-            )));
-        }
-        (entry.factory)(param)
+        (entry.factory)(spec, self)
     }
 }
 
@@ -211,6 +617,70 @@ impl Default for EngineRegistry {
     fn default() -> Self {
         EngineRegistry::with_defaults()
     }
+}
+
+/// Extracts the MPS bond cap from a spec: the positional argument or a
+/// `χ=`/`chi=`/`max_bond=` key, defaulting to [`DEFAULT_MPS_BOND`].
+fn mps_bond_from_spec(spec: &EngineSpec) -> Result<usize, QdtError> {
+    let chi = match spec.positional()? {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| QdtError::new(format!("`{spec}`: χ must be an integer, got `{v}`")))?,
+        ),
+        None => {
+            for arg in &spec.args {
+                if let Some(key) = &arg.key {
+                    if !["χ", "chi", "max_bond"].contains(&key.as_str()) {
+                        return Err(QdtError::new(format!(
+                            "`{spec}`: unknown mps key `{key}` (use χ=, chi=, or max_bond=)"
+                        )));
+                    }
+                }
+            }
+            spec.usize_of(&["χ", "chi", "max_bond"])?
+        }
+    };
+    let chi = chi.unwrap_or(DEFAULT_MPS_BOND);
+    if chi == 0 {
+        return Err(QdtError::new(format!(
+            "`{spec}`: the bond-dimension cap χ must be ≥ 1"
+        )));
+    }
+    Ok(chi)
+}
+
+/// Builds a [`NoiseModel`] from a spec's `key=value` arguments,
+/// ignoring keys in `reserved` (consumed by the engine itself) and
+/// positionals. Channel keys are those of
+/// [`channel_from_key`](qdt_noise::channel_from_key) plus `readout=`.
+fn noise_model_from_args(spec: &EngineSpec, reserved: &[&str]) -> Result<NoiseModel, QdtError> {
+    let mut model = NoiseModel::new();
+    for arg in &spec.args {
+        let Some(key) = arg.key.as_deref() else {
+            continue;
+        };
+        if reserved.contains(&key) {
+            continue;
+        }
+        let value: f64 = arg.value.parse().map_err(|_| {
+            QdtError::new(format!(
+                "`{spec}`: `{key}` expects a probability, got `{}`",
+                arg.value
+            ))
+        })?;
+        if key == "readout" {
+            model = model.with_readout_flip(value);
+        } else if let Some(channel) = channel_from_key(key, value) {
+            model = model.with_rule(GateSelector::All, channel);
+        } else {
+            return Err(QdtError::new(format!(
+                "`{spec}`: unknown noise key `{key}` (try depol=, damp=, dephase=, bitflip=, \
+                 phaseflip=, or readout=)"
+            )));
+        }
+    }
+    model.validate().map_err(QdtError::new)?;
+    Ok(model)
 }
 
 /// Constructs an engine from a spec string using the default registry —
@@ -223,43 +693,6 @@ pub fn create_engine(spec: &str) -> Result<Box<dyn SimulationEngine>, QdtError> 
     EngineRegistry::with_defaults().create(spec)
 }
 
-/// Splits an engine spec into its name and optional numeric parameter.
-///
-/// Accepted forms: `name`, `name:N`, `name(N)`, `name(χ=N)`,
-/// `name(chi=N)`, `name(max_bond=N)`. Names are case-insensitive.
-///
-/// # Errors
-///
-/// Fails on empty specs, unbalanced parentheses, and non-numeric
-/// parameters.
-pub fn parse_spec(spec: &str) -> Result<(String, Option<usize>), QdtError> {
-    let spec = spec.trim();
-    if spec.is_empty() {
-        return Err(QdtError::new("empty engine spec"));
-    }
-    let (name, raw_param) = if let Some((name, rest)) = spec.split_once(':') {
-        (name, Some(rest))
-    } else if let Some((name, rest)) = spec.split_once('(') {
-        let inner = rest
-            .strip_suffix(')')
-            .ok_or_else(|| QdtError::new(format!("unbalanced parentheses in `{spec}`")))?;
-        (name, Some(inner))
-    } else {
-        (spec, None)
-    };
-    let param = match raw_param {
-        None => None,
-        Some(p) => {
-            // Tolerate `χ=`, `chi=`, `max_bond=` prefixes.
-            let digits = p.rsplit('=').next().unwrap_or(p).trim();
-            Some(digits.parse::<usize>().map_err(|_| {
-                QdtError::new(format!("invalid engine parameter `{p}` in `{spec}`"))
-            })?)
-        }
-    };
-    Ok((name.trim().to_lowercase(), param))
-}
-
 /// The simulation backend — one per data structure of the paper.
 ///
 /// `Backend` predates the [`SimulationEngine`] trait and is kept as a
@@ -267,7 +700,8 @@ pub fn parse_spec(spec: &str) -> Result<(String, Option<usize>), QdtError> {
 /// downstream code migrates gradually: [`Backend::engine`] hands out the
 /// trait object every entry point now drives. New code should prefer
 /// engine specs (`"mps:16".parse::<Backend>()` or
-/// [`create_engine`]) over matching on the enum.
+/// [`create_engine`]) over matching on the enum; the noise-aware
+/// engines (`density`, `traj(…):dd`) exist only as specs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Dense state-vector simulation (Section II).
@@ -324,16 +758,32 @@ impl FromStr for Backend {
     /// Parses a backend spec: any alias the default registry accepts,
     /// with `mps:N` / `mps(N)` / `mps(χ=N)` selecting the bond cap
     /// (defaulting to [`DEFAULT_MPS_BOND`] for a bare `mps`). The
-    /// [`fmt::Display`] form round-trips.
+    /// [`fmt::Display`] form round-trips. Malformed specs (`mps:`,
+    /// `mps:0`, `array:7`) are rejected with descriptive errors.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (name, param) = parse_spec(s)?;
-        match name.as_str() {
-            "array" | "arrays" | "statevector" | "sv" => Ok(Backend::Array),
-            "decision-diagram" | "dd" | "qmdd" => Ok(Backend::DecisionDiagram),
-            "tensor-network" | "tn" | "tensor" => Ok(Backend::TensorNetwork),
-            "mps" => Ok(Backend::Mps {
-                max_bond: param.unwrap_or(DEFAULT_MPS_BOND),
-            }),
+        let spec = parse_spec(s)?;
+        match spec.name.as_str() {
+            "array" | "arrays" | "statevector" | "sv" => {
+                spec.expect_no_args("array")?;
+                spec.expect_no_inner("array")?;
+                Ok(Backend::Array)
+            }
+            "decision-diagram" | "dd" | "qmdd" => {
+                spec.expect_no_args("decision-diagram")?;
+                spec.expect_no_inner("decision-diagram")?;
+                Ok(Backend::DecisionDiagram)
+            }
+            "tensor-network" | "tn" | "tensor" => {
+                spec.expect_no_args("tensor-network")?;
+                spec.expect_no_inner("tensor-network")?;
+                Ok(Backend::TensorNetwork)
+            }
+            "mps" => {
+                spec.expect_no_inner("mps")?;
+                Ok(Backend::Mps {
+                    max_bond: mps_bond_from_spec(&spec)?,
+                })
+            }
             other => Err(QdtError::new(format!(
                 "unknown backend `{other}` (try array, decision-diagram, tensor-network, or mps:N)"
             ))),
@@ -386,17 +836,78 @@ mod tests {
     }
 
     #[test]
-    fn from_str_rejects_garbage() {
+    fn from_str_rejects_garbage_with_descriptive_errors() {
         assert!("".parse::<Backend>().is_err());
         assert!("zx".parse::<Backend>().is_err());
         assert!("mps(χ=".parse::<Backend>().is_err());
         assert!("mps:many".parse::<Backend>().is_err());
+        let err = "mps:".parse::<Backend>().unwrap_err().to_string();
+        assert!(err.contains("missing parameter"), "{err}");
+        let err = "mps:0".parse::<Backend>().unwrap_err().to_string();
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        let err = "array:7".parse::<Backend>().unwrap_err().to_string();
+        assert!(err.contains("takes no parameter"), "{err}");
+        let err = "mps(bond=3)".parse::<Backend>().unwrap_err().to_string();
+        assert!(err.contains("unknown mps key"), "{err}");
+        assert!("array:dd".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn spec_parser_handles_composites_and_round_trips() {
+        for text in [
+            "array",
+            "mps:16",
+            "mps(χ=16)",
+            "density(depol=0.01,readout=0.02)",
+            "traj(1000,seed=7,depol=0.01):dd",
+            "traj:mps(8)",
+            "traj(250):mps(χ=4)",
+        ] {
+            let spec = parse_spec(text).unwrap();
+            let reparsed = parse_spec(&spec.to_string()).unwrap();
+            assert_eq!(spec, reparsed, "`{text}` → `{spec}` must round-trip");
+        }
+        let spec = parse_spec("traj(1000, seed=7):mps(χ=8)").unwrap();
+        assert_eq!(spec.name, "traj");
+        assert_eq!(spec.positional().unwrap(), Some("1000"));
+        assert_eq!(spec.value_of(&["seed"]), Some("7"));
+        let inner = spec.inner.as_deref().unwrap();
+        assert_eq!(inner.name, "mps");
+        assert_eq!(inner.value_of(&["χ", "chi"]), Some("8"));
+    }
+
+    #[test]
+    fn spec_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "(8)",
+            "mps(",
+            "mps(χ=8",
+            "mps(χ=8)x",
+            "mps(a,,b)",
+            "mps(=3)",
+            "traj():",
+            ":dd",
+        ] {
+            assert!(parse_spec(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]
     fn registry_creates_all_default_engines() {
         let r = EngineRegistry::with_defaults();
-        for spec in ["array", "dd", "tensor-network", "mps:8", "mps(χ=8)"] {
+        for spec in [
+            "array",
+            "dd",
+            "tensor-network",
+            "mps:8",
+            "mps(χ=8)",
+            "density",
+            "density(depol=0.05)",
+            "traj(16,seed=1,workers=2,depol=0.05):dd",
+            "traj(16):array",
+            "traj(16):mps(4)",
+        ] {
             let e = r.create(spec).unwrap();
             assert!(!e.name().is_empty(), "{spec}");
         }
@@ -405,14 +916,53 @@ mod tests {
     }
 
     #[test]
+    fn noise_specs_validate_their_arguments() {
+        let r = EngineRegistry::with_defaults();
+        let create_err = |spec: &str| match r.create(spec) {
+            Ok(_) => panic!("{spec} unexpectedly built an engine"),
+            Err(e) => e.to_string(),
+        };
+        let err = create_err("density(depol=1.5)");
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        let err = create_err("density(thermal=0.1)");
+        assert!(err.contains("unknown noise key"), "{err}");
+        let err = create_err("traj(0):dd");
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        let err = create_err("traj(8,workers=0):dd");
+        assert!(err.contains("workers"), "{err}");
+        let err = create_err("traj(8):tn");
+        assert!(
+            err.contains("stochastic") || err.contains("Kraus"),
+            "tensor-network cannot host trajectories: {err}"
+        );
+        let err = create_err("density:dd");
+        assert!(err.contains("no inner engine"), "{err}");
+    }
+
+    #[test]
+    fn trajectory_defaults_to_decision_diagram_substrate() {
+        let r = EngineRegistry::with_defaults();
+        let mut e = r.create("traj(8,seed=3)").unwrap();
+        let mut qc = qdt_circuit::Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        qdt_engine::run(e.as_mut(), &qc).unwrap();
+        assert_eq!(e.name(), "trajectories");
+        assert_eq!(e.cost_metric().name, "trajectory-gates");
+    }
+
+    #[test]
     fn registry_registration_overrides_and_extends() {
         let mut r = EngineRegistry::with_defaults();
         let before = r.entries().len();
-        r.register(EngineEntry::new("mps", &[], Some("χ"), "override", |p| {
-            Ok(Box::new(qdt_tensor::MpsEngine::new(p.unwrap_or(2))))
-        }));
+        r.register(EngineEntry::new(
+            "mps",
+            &[],
+            Some("χ"),
+            "override",
+            |_, _| Ok(Box::new(qdt_tensor::MpsEngine::new(2))),
+        ));
         assert_eq!(r.entries().len(), before, "same-name registration replaces");
-        r.register(EngineEntry::new("null", &[], None, "extension", |_| {
+        r.register(EngineEntry::new("null", &[], None, "extension", |_, _| {
             Ok(Box::new(qdt_array::ArrayEngine::new()))
         }));
         assert_eq!(r.entries().len(), before + 1);

@@ -67,6 +67,7 @@ pub use qdt_circuit as circuit;
 pub use qdt_compile as compile;
 pub use qdt_complex as complex;
 pub use qdt_dd as dd;
+pub use qdt_noise as noise;
 pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;
 pub use qdt_zx as zx;
@@ -74,7 +75,8 @@ pub use qdt_zx as zx;
 pub mod engine;
 
 pub use engine::{
-    create_engine, Backend, EngineEntry, EngineFactory, EngineRegistry, DEFAULT_MPS_BOND,
+    create_engine, parse_spec, Backend, EngineEntry, EngineFactory, EngineRegistry, EngineSpec,
+    SpecArg, DEFAULT_MPS_BOND,
 };
 pub use qdt_engine::{EngineError, RunStats, SimulationEngine};
 

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use qdt_circuit::{Instruction, PauliString};
-use qdt_complex::Complex;
+use qdt_complex::{Complex, Matrix};
 use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
 use rand::RngCore;
 
@@ -99,6 +99,7 @@ impl SimulationEngine for DdEngine {
             wide_amplitudes: true,
             native_sampling: true,
             approximate: false,
+            stochastic_kraus: true,
         }
     }
 
@@ -174,6 +175,32 @@ impl SimulationEngine for DdEngine {
     fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
         check_pauli_width(self.v.num_qubits(), pauli)?;
         Ok(self.dd.expectation_pauli(&self.v, pauli))
+    }
+
+    fn apply_kraus(
+        &mut self,
+        kraus: &[Matrix],
+        qubit: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, EngineError> {
+        if kraus.is_empty() || qubit >= self.v.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: format!(
+                    "invalid Kraus application: {} operators on qubit {qubit} of {}",
+                    kraus.len(),
+                    self.v.num_qubits()
+                ),
+            });
+        }
+        let chosen = self
+            .dd
+            .apply_stochastic_kraus(&mut self.v, kraus, qubit, rng);
+        // Long trajectory batches reuse one engine arena; keep it bounded.
+        if self.dd.vector_arena_size() > 1 << 20 {
+            self.dd.clear_caches();
+        }
+        Ok(chosen)
     }
 }
 

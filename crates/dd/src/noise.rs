@@ -132,11 +132,33 @@ impl DdPackage {
         qubit: usize,
         rng: &mut R,
     ) -> usize {
-        let kraus = channel.kraus_operators();
+        self.apply_stochastic_kraus(v, &channel.kraus_operators(), qubit, rng)
+    }
+
+    /// Samples one operator of an arbitrary single-qubit Kraus channel
+    /// (given directly as matrices) according to the Born probabilities
+    /// `‖K_i|ψ⟩‖²`, applies it, and renormalises — the generalisation of
+    /// [`apply_stochastic_channel`](DdPackage::apply_stochastic_channel)
+    /// that the `qdt-noise` trajectory engine drives.
+    ///
+    /// Returns the index of the chosen operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kraus` is empty, `qubit` is out of range, or the state
+    /// is the zero vector.
+    pub fn apply_stochastic_kraus<R: Rng + ?Sized>(
+        &mut self,
+        v: &mut VectorDd,
+        kraus: &[Matrix],
+        qubit: usize,
+        rng: &mut R,
+    ) -> usize {
+        assert!(!kraus.is_empty(), "empty Kraus operator list");
         // Born probabilities per operator: p_i = ‖K_i ψ‖².
         let mut candidates = Vec::with_capacity(kraus.len());
         let mut total = 0.0;
-        for k in &kraus {
+        for k in kraus {
             let applied = self.apply_gate(v, k, qubit, &[]);
             let p = self.norm_sqr(&applied);
             total += p;

@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use qdt_circuit::{Circuit, Instruction, OpKind, PauliString};
-use qdt_complex::Complex;
+use qdt_complex::{Complex, Matrix};
 use rand::{Rng, RngCore};
 
 /// Errors produced by simulation engines and the shared run-loop.
@@ -181,6 +181,10 @@ pub struct EngineCaps {
     /// `true` if the engine's results are approximate (e.g. bounded-bond
     /// MPS truncation).
     pub approximate: bool,
+    /// `true` if the engine implements
+    /// [`apply_kraus`](SimulationEngine::apply_kraus), i.e. it can serve
+    /// as the substrate of stochastic noise trajectories.
+    pub stochastic_kraus: bool,
 }
 
 /// A pluggable simulation backend over the circuit IR.
@@ -304,6 +308,59 @@ pub trait SimulationEngine {
         let amps = self.amplitudes()?;
         Ok(dense_expectation(&amps, pauli))
     }
+
+    /// Stochastically applies one operator of a single-qubit Kraus
+    /// channel to `qubit`: operator `K_i` is chosen with the Born
+    /// probability `‖K_i|ψ⟩‖²`, applied, and the state renormalised —
+    /// the per-gate step of Monte-Carlo noise-trajectory simulation
+    /// (the paper's ref \[13\], Grurl/Fuß/Wille). Returns the index of
+    /// the chosen operator.
+    ///
+    /// Engines that keep a pure state (array, DD, MPS) implement this
+    /// natively and advertise it via
+    /// [`EngineCaps::stochastic_kraus`]; the default rejects with
+    /// [`EngineError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] when the engine has no stochastic
+    /// noise path, [`EngineError::Backend`] for an out-of-range qubit
+    /// or an empty operator list.
+    fn apply_kraus(
+        &mut self,
+        kraus: &[Matrix],
+        qubit: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, EngineError> {
+        let _ = (kraus, qubit, rng);
+        Err(EngineError::Unsupported {
+            engine: self.name(),
+            what: "stochastic Kraus application".into(),
+        })
+    }
+}
+
+/// Inverse-transform choice among non-negative weights: draws an index
+/// with probability `weights[i] / Σ weights` — the shared Kraus-operator
+/// selection step of every [`SimulationEngine::apply_kraus`]
+/// implementation.
+///
+/// # Panics
+///
+/// Panics on an empty weight list.
+pub fn choose_weighted(weights: &[f64], rng: &mut dyn RngCore) -> usize {
+    assert!(!weights.is_empty(), "choose_weighted: no weights");
+    let total: f64 = weights.iter().sum();
+    let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    let mut chosen = weights.len() - 1;
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            chosen = i;
+            break;
+        }
+        r -= w;
+    }
+    chosen
 }
 
 /// Validates a Pauli string's width against an engine register width.
@@ -438,9 +495,12 @@ pub fn run_instrumented(
 /// A minimal dense reference engine, used by this crate's tests and doc
 /// examples. Real engines live with their data structures.
 pub mod test_engine {
-    use super::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+    use super::{
+        check_pauli_width, choose_weighted, CostMetric, EngineCaps, EngineError, SimulationEngine,
+    };
     use qdt_circuit::{Instruction, OpKind, PauliString};
-    use qdt_complex::Complex;
+    use qdt_complex::{Complex, Matrix};
+    use rand::RngCore;
 
     /// A naive dense engine over a plain `Vec<Complex>`: the simplest
     /// possible [`SimulationEngine`], relying on every trait default.
@@ -465,6 +525,7 @@ pub mod test_engine {
                 wide_amplitudes: false,
                 native_sampling: false,
                 approximate: false,
+                stochastic_kraus: true,
             }
         }
 
@@ -537,6 +598,48 @@ pub mod test_engine {
         fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
             check_pauli_width(self.num_qubits, pauli)?;
             Ok(super::dense_expectation(&self.amps, pauli))
+        }
+
+        fn apply_kraus(
+            &mut self,
+            kraus: &[Matrix],
+            qubit: usize,
+            rng: &mut dyn RngCore,
+        ) -> Result<usize, EngineError> {
+            if kraus.is_empty() || qubit >= self.num_qubits {
+                return Err(EngineError::Backend {
+                    engine: "reference",
+                    message: format!("invalid Kraus application on qubit {qubit}"),
+                });
+            }
+            // Candidate states and their Born weights, the naive way.
+            let bit = 1usize << qubit;
+            let candidates: Vec<Vec<Complex>> = kraus
+                .iter()
+                .map(|k| {
+                    let mut amps = self.amps.clone();
+                    for i0 in 0..amps.len() {
+                        if i0 & bit == 0 {
+                            let i1 = i0 | bit;
+                            let (a0, a1) = (amps[i0], amps[i1]);
+                            amps[i0] = k.get(0, 0) * a0 + k.get(0, 1) * a1;
+                            amps[i1] = k.get(1, 0) * a0 + k.get(1, 1) * a1;
+                        }
+                    }
+                    amps
+                })
+                .collect();
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|amps| amps.iter().map(|a| a.norm_sqr()).sum())
+                .collect();
+            let chosen = choose_weighted(&weights, rng);
+            let norm = weights[chosen].sqrt().max(f64::MIN_POSITIVE);
+            self.amps = candidates[chosen]
+                .iter()
+                .map(|a| a.scale(1.0 / norm))
+                .collect();
+            Ok(chosen)
         }
     }
 }
@@ -646,5 +749,46 @@ mod tests {
             e.prepare(40),
             Err(EngineError::TooWide { limit: 16, .. })
         ));
+    }
+
+    #[test]
+    fn choose_weighted_is_deterministic_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.1, 0.0, 0.7, 0.2];
+        let mut histogram = [0usize; 4];
+        for _ in 0..4000 {
+            histogram[choose_weighted(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(histogram[1], 0, "zero-weight option must never win");
+        assert!(histogram[2] > histogram[0] && histogram[2] > histogram[3]);
+    }
+
+    #[test]
+    fn kraus_application_preserves_norm_and_flips() {
+        // A full bit flip as a 1-operator "channel": |0⟩ → |1⟩.
+        let mut e = ReferenceEngine::default();
+        e.prepare(1).unwrap();
+        let x = Matrix::from_rows(
+            2,
+            2,
+            &[Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let chosen = e
+            .apply_kraus(std::slice::from_ref(&x), 0, &mut rng)
+            .unwrap();
+        assert_eq!(chosen, 0);
+        let amps = e.amplitudes().unwrap();
+        assert!((amps[1].abs() - 1.0).abs() < 1e-12);
+        assert!(amps[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn kraus_application_guards_bad_inputs() {
+        let mut e = ReferenceEngine::default();
+        e.prepare(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(e.apply_kraus(&[], 0, &mut rng).is_err());
+        assert!(e.apply_kraus(&[Matrix::identity(2)], 5, &mut rng).is_err());
     }
 }

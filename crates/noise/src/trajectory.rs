@@ -1,0 +1,476 @@
+//! Monte-Carlo noise simulation via parallel stochastic trajectories.
+//!
+//! Instead of evolving the full density matrix, each *trajectory*
+//! evolves one pure state on an ordinary pure-state engine: after every
+//! gate, each matching [`NoiseModel`](crate::NoiseModel) rule picks
+//! **one** Kraus operator with its Born probability, applies it, and
+//! renormalises (the method of the paper's reference \[13\],
+//! Grurl/Fuß/Wille). Averaging many trajectories converges to the
+//! density-matrix result — at pure-state memory cost, on any substrate
+//! engine that advertises
+//! [`EngineCaps::stochastic_kraus`](qdt_engine::EngineCaps).
+//!
+//! Trajectories are embarrassingly parallel: they are striped across
+//! `std::thread` workers, each trajectory seeding its own RNG from the
+//! config seed and its trajectory index alone — so results are
+//! bit-identical for any worker count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use qdt_circuit::{Instruction, PauliString};
+use qdt_complex::Complex;
+use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{CompiledNoise, NoiseError, NoiseModel};
+
+/// Constructor of fresh substrate engines, one per worker thread. The
+/// umbrella crate's registry wraps engine specs (`array`, `dd`,
+/// `mps:16`…) into this shape.
+pub type InnerFactory =
+    Arc<dyn Fn() -> Result<Box<dyn SimulationEngine>, EngineError> + Send + Sync>;
+
+/// How many trajectories to run, on how many threads, from which seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryConfig {
+    /// Number of independent noise trajectories averaged per query.
+    pub trajectories: usize,
+    /// Master seed; per-trajectory RNGs derive from it and the
+    /// trajectory index only (worker count never affects results).
+    pub seed: u64,
+    /// Worker threads trajectories are striped across (min 1).
+    pub workers: usize,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            trajectories: 500,
+            seed: 0x5EED,
+            workers: 4,
+        }
+    }
+}
+
+/// The per-trajectory RNG seed: a SplitMix64-style mix of the master
+/// seed and the trajectory index, deliberately independent of worker
+/// assignment.
+fn trajectory_seed(seed: u64, t: u64) -> u64 {
+    seed ^ (t.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Monte-Carlo noisy simulation wrapping any stochastic-Kraus-capable
+/// substrate engine, as a pluggable [`SimulationEngine`].
+///
+/// The engine records the gate stream during the run-loop pass and
+/// replays it once per trajectory at query time (`sample`,
+/// `expectation`), so one `TrajectoryEngine` supports any number of
+/// queries. Dense `amplitudes` are rejected — the averaged state is
+/// mixed and has no amplitude vector.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use qdt_engine::{run, SimulationEngine};
+/// use qdt_noise::{KrausChannel, NoiseModel, TrajectoryConfig, TrajectoryEngine};
+///
+/// let mut qc = qdt_circuit::Circuit::new(2);
+/// qc.h(0).cx(0, 1);
+/// let noise = NoiseModel::uniform(KrausChannel::BitFlip { p: 0.05 });
+/// let config = TrajectoryConfig { trajectories: 200, seed: 7, workers: 2 };
+/// let factory: qdt_noise::InnerFactory = Arc::new(|| {
+///     Ok(Box::new(qdt_engine::test_engine::ReferenceEngine::default())
+///         as Box<dyn SimulationEngine>)
+/// });
+/// let mut engine = TrajectoryEngine::new(factory, config, &noise)?;
+/// run(&mut engine, &qc)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// # use rand::SeedableRng;
+/// let counts = engine.sample(200, &mut rng)?;
+/// assert_eq!(counts.values().sum::<usize>(), 200);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TrajectoryEngine {
+    factory: InnerFactory,
+    config: TrajectoryConfig,
+    noise: CompiledNoise,
+    num_qubits: usize,
+    program: Vec<Instruction>,
+    inner_name: &'static str,
+    inner_caps: EngineCaps,
+}
+
+impl TrajectoryEngine {
+    /// Builds a trajectory engine over fresh substrates from `factory`.
+    ///
+    /// One probe substrate is constructed immediately to verify that it
+    /// advertises [`EngineCaps::stochastic_kraus`].
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Engine`] if the factory fails or the substrate
+    /// cannot apply Kraus operators; model validation errors as for
+    /// [`NoiseModel::compile`](crate::NoiseModel::compile).
+    pub fn new(
+        factory: InnerFactory,
+        config: TrajectoryConfig,
+        model: &NoiseModel,
+    ) -> Result<Self, NoiseError> {
+        let probe = factory().map_err(NoiseError::Engine)?;
+        if !probe.caps().stochastic_kraus {
+            return Err(NoiseError::Engine(EngineError::Unsupported {
+                engine: probe.name(),
+                what: "hosting stochastic noise trajectories (no Kraus support)".into(),
+            }));
+        }
+        Ok(TrajectoryEngine {
+            factory,
+            config,
+            noise: model.compile()?,
+            num_qubits: 0,
+            program: Vec::new(),
+            inner_name: probe.name(),
+            inner_caps: probe.caps(),
+        })
+    }
+
+    /// The trajectory configuration.
+    pub fn config(&self) -> &TrajectoryConfig {
+        &self.config
+    }
+
+    /// The substrate engine's name (e.g. `"decision-diagram"`).
+    pub fn inner_name(&self) -> &'static str {
+        self.inner_name
+    }
+
+    /// Replays the recorded program as trajectory `t`: fresh substrate,
+    /// per-trajectory RNG, stochastic Kraus application after each
+    /// matching gate.
+    fn evolve(&self, t: u64) -> Result<(Box<dyn SimulationEngine>, StdRng), EngineError> {
+        let mut rng = StdRng::seed_from_u64(trajectory_seed(self.config.seed, t));
+        let mut engine = (self.factory)()?;
+        engine.prepare(self.num_qubits.max(1))?;
+        for inst in &self.program {
+            engine.apply_instruction(inst)?;
+            for (qubit, kraus) in self.noise.channels_for(inst) {
+                engine.apply_kraus(kraus, qubit, &mut rng)?;
+            }
+        }
+        Ok((engine, rng))
+    }
+
+    /// Runs `job` for every trajectory index, striped across the
+    /// configured worker threads, and folds the per-worker outputs.
+    fn parallel_trajectories<T, F>(&self, job: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(u64) -> Result<Option<T>, EngineError> + Sync,
+    {
+        let total = self.config.trajectories.max(1);
+        let workers = self.config.workers.max(1).min(total);
+        let mut results: Vec<T> = Vec::with_capacity(total);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for t in (w..total).step_by(workers) {
+                            if let Some(v) = job(t as u64)? {
+                                out.push(v);
+                            }
+                        }
+                        Ok::<_, EngineError>(out)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let worker_out = handle.join().expect("trajectory worker panicked")?;
+                results.extend(worker_out);
+            }
+            Ok(results)
+        })
+    }
+}
+
+impl SimulationEngine for TrajectoryEngine {
+    fn name(&self) -> &'static str {
+        "trajectories"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            max_qubits: self.inner_caps.max_qubits,
+            dense_limit: 0, // the averaged state is mixed: no amplitudes
+            wide_amplitudes: false,
+            native_sampling: true,
+            approximate: true, // Monte-Carlo estimates carry sampling error
+            stochastic_kraus: false,
+        }
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn prepare(&mut self, num_qubits: usize) -> Result<(), EngineError> {
+        if num_qubits > self.inner_caps.max_qubits {
+            return Err(EngineError::TooWide {
+                num_qubits,
+                limit: self.inner_caps.max_qubits,
+                what: "trajectory substrate register",
+            });
+        }
+        self.num_qubits = num_qubits;
+        self.program.clear();
+        Ok(())
+    }
+
+    fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        // Gates are recorded, not executed: each trajectory replays the
+        // program with its own noise realisation at query time.
+        self.program.push(inst.clone());
+        Ok(())
+    }
+
+    fn cost_metric(&self) -> CostMetric {
+        CostMetric {
+            name: "trajectory-gates",
+            value: self.program.len(),
+        }
+    }
+
+    fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        Err(EngineError::Unsupported {
+            engine: "trajectories",
+            what: "dense amplitudes (the trajectory-averaged state is mixed)".into(),
+        })
+    }
+
+    fn amplitude(&mut self, _basis: u128) -> Result<Complex, EngineError> {
+        Err(EngineError::Unsupported {
+            engine: "trajectories",
+            what: "single amplitudes (the trajectory-averaged state is mixed)".into(),
+        })
+    }
+
+    /// Merged measurement histogram over all trajectories.
+    ///
+    /// `shots` are distributed as evenly as possible across the
+    /// configured trajectories (each trajectory is one noise
+    /// realisation; its shots sample its final pure state). The
+    /// caller-provided RNG is **unused**: determinism comes from the
+    /// config seed alone, so fixed-seed runs reproduce bit-identically
+    /// for any worker count.
+    fn sample(
+        &mut self,
+        shots: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Result<BTreeMap<u128, usize>, EngineError> {
+        let total = self.config.trajectories.max(1);
+        let (base, extra) = (shots / total, shots % total);
+        let n = self.num_qubits;
+        let flip = self.noise.readout_flip();
+        let histograms = self.parallel_trajectories(|t| {
+            let shots_t = base + usize::from((t as usize) < extra);
+            if shots_t == 0 {
+                return Ok(None);
+            }
+            let (mut engine, mut rng) = self.evolve(t)?;
+            let counts = engine.sample(shots_t, &mut rng)?;
+            if flip == 0.0 {
+                return Ok(Some(counts));
+            }
+            // Classical readout error: flip each measured bit
+            // independently, per shot.
+            let mut flipped = BTreeMap::new();
+            for (outcome, count) in counts {
+                for _ in 0..count {
+                    let mut noisy = outcome;
+                    for q in 0..n {
+                        if rng.gen_bool(flip) {
+                            noisy ^= 1 << q;
+                        }
+                    }
+                    *flipped.entry(noisy).or_insert(0) += 1;
+                }
+            }
+            Ok(Some(flipped))
+        })?;
+        let mut merged = BTreeMap::new();
+        for histogram in histograms {
+            for (outcome, count) in histogram {
+                *merged.entry(outcome).or_insert(0) += count;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The trajectory average of `⟨ψₜ|P|ψₜ⟩` — the Monte-Carlo
+    /// estimator of `Tr(ρP)`.
+    fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        check_pauli_width(self.num_qubits, pauli)?;
+        let values = self.parallel_trajectories(|t| {
+            let (mut engine, _rng) = self.evolve(t)?;
+            engine.expectation(pauli).map(Some)
+        })?;
+        let total = values.len().max(1) as f64;
+        Ok(values.iter().sum::<f64>() / total)
+    }
+}
+
+impl std::fmt::Debug for TrajectoryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrajectoryEngine")
+            .field("config", &self.config)
+            .field("inner", &self.inner_name)
+            .field("num_qubits", &self.num_qubits)
+            .field("program_len", &self.program.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::Circuit;
+    use qdt_engine::run;
+    use qdt_engine::test_engine::ReferenceEngine;
+
+    use crate::{KrausChannel, NoiseModel};
+
+    fn reference_factory() -> InnerFactory {
+        Arc::new(|| Ok(Box::new(ReferenceEngine::default()) as Box<dyn SimulationEngine>))
+    }
+
+    fn bell() -> Circuit {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        qc
+    }
+
+    fn engine_with(
+        trajectories: usize,
+        seed: u64,
+        workers: usize,
+        model: &NoiseModel,
+    ) -> TrajectoryEngine {
+        TrajectoryEngine::new(
+            reference_factory(),
+            TrajectoryConfig {
+                trajectories,
+                seed,
+                workers,
+            },
+            model,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noiseless_trajectories_reproduce_bell_statistics() {
+        let mut e = engine_with(50, 3, 2, &NoiseModel::new());
+        run(&mut e, &bell()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let counts = e.sample(2000, &mut rng).unwrap();
+        assert!(counts.keys().all(|&k| k == 0 || k == 3));
+        let zz: PauliString = "ZZ".parse().unwrap();
+        assert!((e.expectation(&zz).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible_across_worker_counts() {
+        let noise = NoiseModel::uniform(KrausChannel::Depolarizing { p: 0.1 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut histograms = Vec::new();
+        for workers in [1, 2, 4, 8] {
+            let mut e = engine_with(64, 42, workers, &noise);
+            run(&mut e, &bell()).unwrap();
+            histograms.push(e.sample(64, &mut rng).unwrap());
+        }
+        for h in &histograms[1..] {
+            assert_eq!(h, &histograms[0], "worker count must not change results");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_noise_realisations() {
+        let noise = NoiseModel::uniform(KrausChannel::BitFlip { p: 0.25 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut a = engine_with(128, 1, 2, &noise);
+        run(&mut a, &bell()).unwrap();
+        let mut b = engine_with(128, 2, 2, &noise);
+        run(&mut b, &bell()).unwrap();
+        assert_ne!(
+            a.sample(128, &mut rng).unwrap(),
+            b.sample(128, &mut rng).unwrap()
+        );
+    }
+
+    #[test]
+    fn amplitudes_are_rejected_as_mixed() {
+        let mut e = engine_with(10, 0, 1, &NoiseModel::new());
+        run(&mut e, &bell()).unwrap();
+        assert!(matches!(
+            e.amplitudes(),
+            Err(EngineError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            e.amplitude(0),
+            Err(EngineError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn substrate_without_kraus_support_is_rejected_up_front() {
+        struct NoKraus(ReferenceEngine);
+        impl SimulationEngine for NoKraus {
+            fn name(&self) -> &'static str {
+                "no-kraus"
+            }
+            fn caps(&self) -> EngineCaps {
+                EngineCaps {
+                    stochastic_kraus: false,
+                    ..self.0.caps()
+                }
+            }
+            fn num_qubits(&self) -> usize {
+                self.0.num_qubits()
+            }
+            fn prepare(&mut self, n: usize) -> Result<(), EngineError> {
+                self.0.prepare(n)
+            }
+            fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+                self.0.apply_instruction(inst)
+            }
+            fn cost_metric(&self) -> CostMetric {
+                self.0.cost_metric()
+            }
+            fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+                self.0.amplitudes()
+            }
+        }
+        let factory: InnerFactory =
+            Arc::new(|| Ok(Box::new(NoKraus(ReferenceEngine::default())) as _));
+        let err = TrajectoryEngine::new(factory, TrajectoryConfig::default(), &NoiseModel::new());
+        assert!(matches!(
+            err,
+            Err(NoiseError::Engine(EngineError::Unsupported { .. }))
+        ));
+    }
+
+    #[test]
+    fn readout_flip_applies_per_shot() {
+        let noise = NoiseModel::new().with_readout_flip(1.0);
+        let mut e = engine_with(8, 5, 2, &noise);
+        let qc = Circuit::new(1); // |0⟩; certain flip reads |1⟩
+        run(&mut e, &qc).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let counts = e.sample(80, &mut rng).unwrap();
+        assert_eq!(*counts.get(&1).unwrap_or(&0), 80);
+    }
+}

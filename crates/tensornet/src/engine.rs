@@ -2,8 +2,9 @@
 //! behind the [`SimulationEngine`] trait.
 
 use qdt_circuit::{Circuit, Instruction, PauliString};
-use qdt_complex::Complex;
+use qdt_complex::{Complex, Matrix};
 use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use rand::RngCore;
 
 use crate::mps::Mps;
 use crate::{PlanKind, TensorError, TensorNetwork};
@@ -96,6 +97,7 @@ impl SimulationEngine for TensorNetEngine {
             wide_amplitudes: true,
             native_sampling: false,
             approximate: false,
+            stochastic_kraus: false,
         }
     }
 
@@ -228,6 +230,7 @@ impl SimulationEngine for MpsEngine {
             wide_amplitudes: true,
             native_sampling: false,
             approximate: true,
+            stochastic_kraus: true,
         }
     }
 
@@ -294,6 +297,25 @@ impl SimulationEngine for MpsEngine {
     fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
         check_pauli_width(self.mps.num_qubits(), pauli)?;
         Ok(self.mps.expectation_pauli(pauli))
+    }
+
+    fn apply_kraus(
+        &mut self,
+        kraus: &[Matrix],
+        qubit: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, EngineError> {
+        if kraus.is_empty() || qubit >= self.mps.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "mps",
+                message: format!(
+                    "invalid Kraus application: {} operators on qubit {qubit} of {}",
+                    kraus.len(),
+                    self.mps.num_qubits()
+                ),
+            });
+        }
+        Ok(self.mps.apply_kraus(kraus, qubit, rng))
     }
 }
 

@@ -10,6 +10,7 @@
 
 use qdt_circuit::{Circuit, Instruction, OpKind};
 use qdt_complex::{svd, Complex, Matrix};
+use rand::Rng;
 
 use crate::network::local_unitary;
 use crate::TensorError;
@@ -169,6 +170,51 @@ impl Mps {
             }
         }
         s.data = new;
+    }
+
+    /// Stochastically applies a single-qubit Kraus channel: each
+    /// operator's branch is weighted by its Born probability, one branch
+    /// is sampled, kept, and renormalised. Bond dimensions never change
+    /// (all operators are 2×2), so the trajectory stays a valid MPS.
+    ///
+    /// Returns the index of the chosen Kraus operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kraus` is empty, the site is out of range, or an
+    /// operator is not 2×2.
+    pub fn apply_kraus<R: Rng + ?Sized>(
+        &mut self,
+        kraus: &[Matrix],
+        site: usize,
+        rng: &mut R,
+    ) -> usize {
+        assert!(!kraus.is_empty(), "empty Kraus operator list");
+        assert!(site < self.sites.len(), "site out of range");
+        let mut weights = Vec::with_capacity(kraus.len());
+        let mut branches = Vec::with_capacity(kraus.len());
+        for k in kraus {
+            let mut cand = self.clone();
+            cand.apply_1q(k, site);
+            weights.push(cand.norm_sqr());
+            branches.push(cand);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if r < *w {
+                chosen = i;
+                break;
+            }
+            r -= w;
+        }
+        *self = branches.swap_remove(chosen);
+        let scale = 1.0 / weights[chosen].sqrt().max(1e-300);
+        for a in &mut self.sites[site].data {
+            *a = a.scale(scale);
+        }
+        chosen
     }
 
     /// Applies a 4×4 gate whose local bit 0 is `qa` and local bit 1 is

@@ -31,6 +31,8 @@
 //! # Ok::<(), qdt_verify::VerifyError>(())
 //! ```
 
+pub mod noise;
+
 use std::fmt;
 
 use qdt_array::circuit_unitary;
