@@ -43,7 +43,9 @@ mod wellformed;
 pub mod audit;
 
 pub use deadcode::DeadCode;
-pub use profile::{render_simulation_profile, simulation_profile, SimulationProfile};
+pub use profile::{
+    render_simulation_profile, simulation_profile, simulation_profile_traced, SimulationProfile,
+};
 pub use redundancy::Redundancy;
 pub use report::{render_json, render_text};
 pub use resources::{resource_report, ResourceReport};

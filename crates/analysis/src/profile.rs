@@ -7,11 +7,17 @@
 //! engine-reported metric (amplitudes, DD nodes, tensors, or MPS bond
 //! dimension) at its high-water mark and at the end of the run. This is
 //! the measured counterpart of the paper's central trade-off discussion.
+//!
+//! Profiling is built on the telemetry run-loop
+//! ([`qdt_engine::run_traced`]): pass an enabled
+//! [`TelemetrySink`] to [`simulation_profile_traced`] to additionally
+//! capture spans and the full per-gate metric stream while profiling;
+//! [`simulation_profile`] uses a disabled sink and costs nothing extra.
 
 use std::fmt::Write as _;
 
 use qdt_circuit::Circuit;
-use qdt_engine::{run_instrumented, EngineError, SimulationEngine};
+use qdt_engine::{run_traced, EngineError, SimulationEngine, TelemetrySink};
 
 /// Engine-reported statistics from one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,11 +34,15 @@ pub struct SimulationProfile {
     pub metric_name: &'static str,
     /// High-water mark of the metric over the run.
     pub peak_metric: usize,
+    /// Stream index of the gate at which the peak was first reached.
+    pub peak_gate_index: usize,
     /// Metric value after the final gate.
     pub final_metric: usize,
 }
 
 /// Runs `circuit` on `engine` and collects its [`SimulationProfile`].
+///
+/// Equivalent to [`simulation_profile_traced`] with a disabled sink.
 ///
 /// # Errors
 ///
@@ -42,11 +52,22 @@ pub fn simulation_profile(
     engine: &mut dyn SimulationEngine,
     circuit: &Circuit,
 ) -> Result<SimulationProfile, EngineError> {
-    let mut peak = 0usize;
-    let mut hook = |_i: usize, _inst: &qdt_circuit::Instruction, m: qdt_engine::CostMetric| {
-        peak = peak.max(m.value);
-    };
-    let stats = run_instrumented(engine, circuit, &mut hook)?;
+    simulation_profile_traced(engine, circuit, &TelemetrySink::disabled())
+}
+
+/// Runs `circuit` on `engine`, collecting its [`SimulationProfile`]
+/// while streaming spans and per-gate metrics into `sink`.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`]s from the run loop (non-unitary
+/// instructions, width limits, backend failures).
+pub fn simulation_profile_traced(
+    engine: &mut dyn SimulationEngine,
+    circuit: &Circuit,
+    sink: &TelemetrySink,
+) -> Result<SimulationProfile, EngineError> {
+    let (stats, _log) = run_traced(engine, circuit, sink)?;
     Ok(SimulationProfile {
         engine: engine.name().to_string(),
         num_qubits: engine.num_qubits(),
@@ -54,6 +75,7 @@ pub fn simulation_profile(
         barriers_skipped: stats.barriers_skipped,
         metric_name: stats.metric_name,
         peak_metric: stats.peak_metric,
+        peak_gate_index: stats.peak_gate_index,
         final_metric: stats.final_metric,
     })
 }
@@ -64,13 +86,14 @@ pub fn render_simulation_profile(p: &SimulationProfile) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{}: {} qubits, {} gates applied ({} barriers skipped), {} peak {} (final {})",
+        "{}: {} qubits, {} gates applied ({} barriers skipped), {} peak {} at gate {} (final {})",
         p.engine,
         p.num_qubits,
         p.gates_applied,
         p.barriers_skipped,
         p.metric_name,
         p.peak_metric,
+        p.peak_gate_index,
         p.final_metric,
     );
     out
@@ -94,6 +117,7 @@ mod tests {
         assert_eq!(p.barriers_skipped, 1);
         assert_eq!(p.metric_name, "amplitudes");
         assert_eq!(p.peak_metric, 8);
+        assert_eq!(p.peak_gate_index, 0);
     }
 
     #[test]
@@ -114,6 +138,31 @@ mod tests {
             p.final_metric > 4,
             "depolarizing noise spreads ρ beyond the pure-state support"
         );
+    }
+
+    #[test]
+    fn traced_profile_streams_per_gate_metrics() {
+        let sink = TelemetrySink::new();
+        let mut e = ReferenceEngine::default();
+        let p = simulation_profile_traced(&mut e, &generators::bell(), &sink).unwrap();
+        assert_eq!(p.gates_applied, 2);
+        assert!(
+            !sink.metrics().is_empty(),
+            "traced profile registers metrics"
+        );
+        assert!(
+            !sink.tracer().events().is_empty(),
+            "traced profile records spans"
+        );
+    }
+
+    #[test]
+    fn untraced_profile_registers_nothing() {
+        // simulation_profile must not pay for telemetry: the disabled
+        // sink it uses records nothing anywhere.
+        let mut e = ReferenceEngine::default();
+        let p = simulation_profile(&mut e, &generators::bell()).unwrap();
+        assert_eq!(p.gates_applied, 2);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use qdt_circuit::{Instruction, PauliString};
+use qdt_circuit::{Instruction, OpKind, PauliString};
 use qdt_complex::{Complex, Matrix};
-use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use qdt_engine::{
+    check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
+};
 use rand::RngCore;
 
 use crate::{ArrayError, StateVector};
@@ -33,6 +35,8 @@ const MAX_QUBITS: usize = 30;
 #[derive(Debug, Clone)]
 pub struct ArrayEngine {
     psi: StateVector,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
 }
 
 impl ArrayEngine {
@@ -41,12 +45,47 @@ impl ArrayEngine {
     pub fn new() -> Self {
         ArrayEngine {
             psi: StateVector::zero_state(1),
+            sink: None,
         }
     }
 
     /// Read access to the underlying state vector.
     pub fn state(&self) -> &StateVector {
         &self.psi
+    }
+
+    /// Pushes flop/byte estimates for one applied instruction into the
+    /// attached sink (no-op without one).
+    ///
+    /// The model matches the dense kernel's structure: a 1-qubit gate
+    /// touches `2^(n-1-#controls)` amplitude pairs, each pair costing a
+    /// 2×2 complex mat-vec (4 complex multiplies + 2 complex adds = 28
+    /// real flops) and 64 bytes of amplitude traffic (2 amplitudes × 16
+    /// bytes, read + write). A swap moves `2^(n-2-#controls)` pairs with
+    /// no arithmetic.
+    fn push_metrics(&self, inst: &Instruction) {
+        let Some(sink) = &self.sink else { return };
+        let n = self.psi.num_qubits();
+        let (flops, bytes) = match &inst.kind {
+            OpKind::Unitary { controls, .. } => {
+                let pairs = 1u64 << (n - 1 - controls.len().min(n - 1)) as u32;
+                (28 * pairs, 64 * pairs)
+            }
+            OpKind::Swap { controls, .. } => {
+                let pairs = if n >= 2 {
+                    1u64 << (n - 2 - controls.len().min(n - 2)) as u32
+                } else {
+                    0
+                };
+                (0, 64 * pairs)
+            }
+            _ => (0, 0),
+        };
+        let m = sink.metrics();
+        m.counter_add("array.gate.flops", flops);
+        m.counter_add("array.bytes.touched", bytes);
+        #[allow(clippy::cast_precision_loss)]
+        m.gauge_set("array.amplitudes", self.psi.amplitudes().len() as f64);
     }
 }
 
@@ -104,7 +143,9 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
-        self.psi.apply_instruction(inst).map_err(map_err)
+        self.psi.apply_instruction(inst).map_err(map_err)?;
+        self.push_metrics(inst);
+        Ok(())
     }
 
     fn cost_metric(&self) -> CostMetric {
@@ -164,6 +205,10 @@ impl SimulationEngine for ArrayEngine {
         }
         Ok(self.psi.apply_kraus(kraus, qubit, rng))
     }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +237,31 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let counts = e.sample(300, &mut rng).unwrap();
         assert!(counts.keys().all(|&k| k == 0 || k == 0b11111));
+    }
+
+    #[test]
+    fn telemetry_counts_flops_and_bytes() {
+        use qdt_engine::run_traced;
+
+        let sink = TelemetrySink::new();
+        let mut e = ArrayEngine::new();
+        let (_stats, log) = run_traced(&mut e, &generators::bell(), &sink).unwrap();
+        assert_eq!(log.len(), 2);
+        // Bell on 2 qubits: H touches 2 pairs (56 flops), CX 1 pair (28).
+        let flops = log[1]
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "array.gate.flops")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((flops - 84.0).abs() < 1e-9);
+        let bytes = log[1]
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "array.bytes.touched")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((bytes - 192.0).abs() < 1e-9);
     }
 
     #[test]

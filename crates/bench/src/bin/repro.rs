@@ -5,6 +5,7 @@
 //! Run all experiments:  `cargo run -p qdt-bench --bin repro --release`
 //! Run one:              `cargo run -p qdt-bench --bin repro --release -- c2`
 //! Pick backends:        `... -- engines --backend dd --backend mps:16`
+//! Export telemetry:     `... -- telemetry --trace t.json --metrics m.jsonl`
 //!
 //! `--backend <spec>` (repeatable) selects the engines the `engines`
 //! experiment instruments; specs are anything the engine registry
@@ -12,6 +13,10 @@
 //! `density(depol=0.01)`, `traj(1000, seed=7, depol=0.01):dd`, …
 //! Invalid specs are rejected up front with the registry's own
 //! diagnostic.
+//!
+//! `--trace <file>` writes the `telemetry` experiment's span stream in
+//! Chrome trace format (load in `about:tracing` or Perfetto);
+//! `--metrics <file>` writes its per-gate metric stream as JSONL.
 
 use qdt::array::StateVector;
 use qdt::circuit::generators;
@@ -31,6 +36,8 @@ use rand::SeedableRng;
 fn main() {
     let mut filter: Vec<String> = Vec::new();
     let mut backends: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--backend" {
@@ -44,6 +51,10 @@ fn main() {
                 std::process::exit(2);
             }
             backends.push(spec);
+        } else if a == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a file path"));
+        } else if a == "--metrics" {
+            metrics_path = Some(args.next().expect("--metrics needs a file path"));
         } else {
             filter.push(a.to_lowercase());
         }
@@ -57,6 +68,9 @@ fn main() {
 
     if want("engines") {
         engines(&backends);
+    }
+    if want("telemetry") {
+        telemetry(trace_path.as_deref(), metrics_path.as_deref());
     }
     if want("fig1") {
         fig1();
@@ -115,8 +129,8 @@ fn header(title: &str) {
 fn engines(backends: &[String]) {
     header("Engines — one run loop, four data structures (instrumented)");
     println!(
-        "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>8} {:>10}",
-        "backend", "circuit", "qubits", "gates", "metric", "peak", "final", "time"
+        "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>7} {:>8} {:>10}",
+        "backend", "circuit", "qubits", "gates", "metric", "peak", "peak@", "final", "time"
     );
     for (fam, n) in [
         (Family::Ghz, 12usize),
@@ -135,20 +149,58 @@ fn engines(backends: &[String]) {
             let (profile, secs) =
                 timed(|| qdt::analysis::simulation_profile(e.as_mut(), &qc).expect("profiles"));
             println!(
-                "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>8} {:>8.4}s",
+                "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>7} {:>8} {:>8.4}s",
                 b.to_string(),
                 fam.name(),
                 profile.num_qubits,
                 profile.gates_applied,
                 profile.metric_name,
                 profile.peak_metric,
+                profile.peak_gate_index,
                 profile.final_metric,
                 secs
             );
         }
     }
     println!("(peak/final are each engine's own cost metric: dense amplitudes,");
-    println!(" DD nodes, network tensors, or the MPS bond high-water mark)");
+    println!(" DD nodes, network tensors, or the MPS bond high-water mark;");
+    println!(" peak@ is the 0-based gate index where the peak first occurred)");
+}
+
+/// Telemetry: one traced run end-to-end — spans from the engine
+/// run-loop and the verifier, a per-gate metric stream from the DD
+/// backend — exported as a Chrome trace (`--trace`), a JSONL gate log
+/// (`--metrics`), and an aligned text summary on stdout.
+fn telemetry(trace_path: Option<&str>, metrics_path: Option<&str>) {
+    use qdt::telemetry::{chrome_trace, gate_log_jsonl, text_summary};
+    use qdt::verify::check_traced;
+
+    header("Telemetry — traced GHZ-10 on decision diagrams");
+    let sink = qdt::TelemetrySink::new();
+    let qc = generators::ghz(10);
+    let mut e = qdt::create_engine("decision-diagram").expect("dd is registered");
+    let (stats, log) = qdt::run_traced(e.as_mut(), &qc, &sink).expect("traced run");
+    let verdict = check_traced(&qc, &qc, Method::DecisionDiagram, &sink).expect("check runs");
+    println!(
+        "ghz-10 on dd: {} gates, peak {} {} at gate {}, self-equivalence {verdict:?}",
+        stats.gates_applied, stats.peak_metric, stats.metric_name, stats.peak_gate_index
+    );
+    let events = sink.tracer().events();
+    println!(
+        "trace: {} span/instant events   gate log: {} records",
+        events.len(),
+        log.len()
+    );
+    if let Some(path) = trace_path {
+        std::fs::write(path, chrome_trace(&events)).expect("trace file writes");
+        println!("chrome trace -> {path} (load in about:tracing / Perfetto)");
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(path, gate_log_jsonl(&log)).expect("metrics file writes");
+        println!("gate-metric JSONL -> {path}");
+    }
+    println!("\nregistry totals:");
+    print!("{}", text_summary(sink.metrics()));
 }
 
 /// Fig. 1: the Bell state as a state vector and as a decision diagram.

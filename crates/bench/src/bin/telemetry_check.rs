@@ -1,0 +1,212 @@
+//! Validates the telemetry exporters' output files, as produced by
+//! `repro telemetry --trace <file> --metrics <file>`:
+//!
+//! * the Chrome trace parses as JSON, carries a `traceEvents` array,
+//!   and every span `B` event has a matching same-name `E` on the same
+//!   thread (checked with a per-thread stack, so nesting must be
+//!   well-bracketed too);
+//! * every JSONL line parses, round-trips byte-stably through the
+//!   `qdt::telemetry::json` emitter, and carries the
+//!   `index`/`gate`/`dt_ns`/`metrics` schema with contiguous indices.
+//!
+//! With `--snapshot <file>` it also writes the *deterministic* part of
+//! the metric stream (wall-clock fields stripped) as a canonical JSON
+//! snapshot — the committed `BENCH_telemetry.json` baseline that CI
+//! diffs against to catch accidental changes to the instrumentation.
+//!
+//! Usage: `telemetry-check <trace.json> <metrics.jsonl> [--snapshot <out>]`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use qdt::telemetry::is_wall_clock;
+use qdt::telemetry::json::{parse, JsonValue};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("telemetry-check: FAIL: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut snapshot: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--snapshot" {
+            snapshot = Some(args.next().expect("--snapshot needs a file path"));
+        } else {
+            paths.push(a);
+        }
+    }
+    let [trace_path, metrics_path] = &paths[..] else {
+        eprintln!("usage: telemetry-check <trace.json> <metrics.jsonl> [--snapshot <out>]");
+        return ExitCode::FAILURE;
+    };
+
+    let trace_text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
+    };
+    if let Err(msg) = check_trace(&trace_text) {
+        return fail(&format!("{trace_path}: {msg}"));
+    }
+
+    let metrics_text = match std::fs::read_to_string(metrics_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+    };
+    let records = match check_metrics(&metrics_text) {
+        Ok(r) => r,
+        Err(msg) => return fail(&format!("{metrics_path}: {msg}")),
+    };
+
+    if let Some(out) = snapshot {
+        let doc = snapshot_of(&records);
+        if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("telemetry-check: snapshot -> {out}");
+    }
+    println!(
+        "telemetry-check: OK ({} gate records, trace and JSONL well-formed)",
+        records.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Chrome-trace validation: schema fields plus per-thread B/E bracket
+/// matching.
+fn check_trace(text: &str) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut stacks: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        let phase = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("event {i}: missing ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative timestamp {ts}"));
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("event {i}: missing tid"))? as i64;
+        let stack = stacks.entry(tid).or_default();
+        match phase {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or(format!("event {i}: E \"{name}\" with no open span"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E \"{name}\" closes open span \"{open}\""
+                    ));
+                }
+            }
+            "i" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    for (tid, stack) in stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("thread {tid}: span \"{open}\" never closed"));
+        }
+    }
+    Ok(())
+}
+
+/// JSONL validation: parse + byte-stable round-trip + schema + index
+/// contiguity. Returns the parsed records for snapshotting.
+fn check_metrics(text: &str) -> Result<Vec<JsonValue>, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let emitted = v.to_string();
+        let reparsed =
+            parse(&emitted).map_err(|e| format!("line {}: emit not parseable: {e}", lineno + 1))?;
+        if reparsed != v || reparsed.to_string() != emitted {
+            return Err(format!("line {}: round-trip is not stable", lineno + 1));
+        }
+        let index = v
+            .get("index")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("line {}: missing index", lineno + 1))?;
+        #[allow(clippy::cast_precision_loss)]
+        if (index - records.len() as f64).abs() > 0.0 {
+            return Err(format!(
+                "line {}: index {index} breaks contiguity (expected {})",
+                lineno + 1,
+                records.len()
+            ));
+        }
+        v.get("gate")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("line {}: missing gate", lineno + 1))?;
+        v.get("dt_ns")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("line {}: missing dt_ns", lineno + 1))?;
+        if !matches!(v.get("metrics"), Some(JsonValue::Object(_))) {
+            return Err(format!("line {}: missing metrics object", lineno + 1));
+        }
+        records.push(v);
+    }
+    if records.is_empty() {
+        return Err("no gate records".into());
+    }
+    Ok(records)
+}
+
+/// The deterministic projection of the gate records: `dt_ns` and all
+/// wall-clock (`_ns`/`_us`) metrics stripped, everything else verbatim.
+fn snapshot_of(records: &[JsonValue]) -> JsonValue {
+    let per_gate: Vec<JsonValue> = records
+        .iter()
+        .map(|r| {
+            let mut pairs = Vec::new();
+            if let Some(index) = r.get("index") {
+                pairs.push(("index".to_string(), index.clone()));
+            }
+            if let Some(gate) = r.get("gate") {
+                pairs.push(("gate".to_string(), gate.clone()));
+            }
+            if let Some(JsonValue::Object(metrics)) = r.get("metrics") {
+                let kept: Vec<(String, JsonValue)> = metrics
+                    .iter()
+                    .filter(|(name, _)| !is_wall_clock(name))
+                    .cloned()
+                    .collect();
+                pairs.push(("metrics".to_string(), JsonValue::Object(kept)));
+            }
+            JsonValue::Object(pairs)
+        })
+        .collect();
+    JsonValue::Object(vec![
+        (
+            "experiment".to_string(),
+            JsonValue::String("telemetry".to_string()),
+        ),
+        (
+            "gates".to_string(),
+            #[allow(clippy::cast_precision_loss)]
+            JsonValue::Number(records.len() as f64),
+        ),
+        ("per_gate".to_string(), JsonValue::Array(per_gate)),
+    ])
+}

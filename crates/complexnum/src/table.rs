@@ -40,6 +40,8 @@ pub struct ComplexTable {
     /// `values`.
     buckets: HashMap<(i64, i64), Vec<u32>>,
     values: Vec<Complex>,
+    lookups: u64,
+    hits: u64,
 }
 
 impl ComplexTable {
@@ -59,6 +61,8 @@ impl ComplexTable {
             tol,
             buckets: HashMap::new(),
             values: Vec::new(),
+            lookups: 0,
+            hits: 0,
         };
         let s = crate::FRAC_1_SQRT_2;
         for v in [
@@ -95,6 +99,18 @@ impl ComplexTable {
         self.values.is_empty()
     }
 
+    /// Total [`canonicalize`](ComplexTable::canonicalize) calls,
+    /// including the constructor's seeding pass.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// How many lookups returned a previously stored representative
+    /// (rather than inserting the probed value).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
     fn cell(&self, c: Complex) -> (i64, i64) {
         // Bucket side is 2·tol so a value and anything within tol of it land
         // in the same or an adjacent cell. The float→int cast saturates for
@@ -116,6 +132,7 @@ impl ComplexTable {
     /// Panics if `value` contains NaN.
     pub fn canonicalize(&mut self, value: Complex) -> Complex {
         assert!(!value.is_nan(), "cannot canonicalize NaN");
+        self.lookups += 1;
         let (cx, cy) = self.cell(value);
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {
@@ -126,6 +143,7 @@ impl ComplexTable {
                     for &idx in bucket {
                         let stored = self.values[idx as usize];
                         if stored.approx_eq(value, self.tol) {
+                            self.hits += 1;
                             return stored;
                         }
                     }
@@ -209,6 +227,17 @@ mod tests {
         let a = t.canonicalize(Complex::new(-0.75, -0.5));
         let b = t.canonicalize(Complex::new(-0.75 - 1e-13, -0.5 + 1e-13));
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn lookup_and_hit_counters_track_sharing() {
+        let mut t = ComplexTable::new();
+        let (l0, h0) = (t.lookups(), t.hits());
+        t.canonicalize(Complex::ONE); // seeded → hit
+        t.canonicalize(Complex::new(42.0, 0.0)); // new → miss
+        t.canonicalize(Complex::new(42.0, 0.0)); // now stored → hit
+        assert_eq!(t.lookups(), l0 + 3);
+        assert_eq!(t.hits(), h0 + 2);
     }
 
     #[test]

@@ -41,8 +41,9 @@ use qdt_noise::{
 use qdt_tensor::{MpsEngine, TensorNetEngine};
 
 pub use qdt_engine::{
-    check_pauli_width, dense_expectation, run, run_instrumented, sample_from_amplitudes,
-    CostMetric, EngineCaps, EngineError, Instrument, NoInstrument, RunStats, SimulationEngine,
+    check_pauli_width, dense_expectation, run, run_instrumented, run_traced,
+    sample_from_amplitudes, CostMetric, EngineCaps, EngineError, GateLog, GateRecord, Instrument,
+    NoInstrument, RunStats, SimulationEngine, TelemetrySink,
 };
 
 use crate::QdtError;

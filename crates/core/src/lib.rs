@@ -68,6 +68,7 @@ pub use qdt_compile as compile;
 pub use qdt_complex as complex;
 pub use qdt_dd as dd;
 pub use qdt_noise as noise;
+pub use qdt_telemetry as telemetry;
 pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;
 pub use qdt_zx as zx;
@@ -78,7 +79,7 @@ pub use engine::{
     create_engine, parse_spec, Backend, EngineEntry, EngineFactory, EngineRegistry, EngineSpec,
     SpecArg, DEFAULT_MPS_BOND,
 };
-pub use qdt_engine::{EngineError, RunStats, SimulationEngine};
+pub use qdt_engine::{run_traced, EngineError, RunStats, SimulationEngine, TelemetrySink};
 
 use std::collections::BTreeMap;
 use std::fmt;

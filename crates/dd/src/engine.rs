@@ -5,10 +5,12 @@ use std::collections::BTreeMap;
 
 use qdt_circuit::{Instruction, PauliString};
 use qdt_complex::{Complex, Matrix};
-use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use qdt_engine::{
+    check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
+};
 use rand::RngCore;
 
-use crate::{DdError, DdPackage, VectorDd};
+use crate::{DdError, DdPackage, DdStats, VectorDd};
 
 /// Dense-expansion cap of [`DdPackage::to_amplitudes`].
 const DENSE_LIMIT: usize = 24;
@@ -39,6 +41,10 @@ pub struct DdEngine {
     tolerance: Option<f64>,
     dd: DdPackage,
     v: VectorDd,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
+    /// Package-stats snapshot at the last metric push, for deltas.
+    last: DdStats,
 }
 
 impl DdEngine {
@@ -50,6 +56,8 @@ impl DdEngine {
             tolerance: None,
             dd,
             v,
+            sink: None,
+            last: DdStats::default(),
         }
     }
 
@@ -62,12 +70,58 @@ impl DdEngine {
             tolerance: Some(tol),
             dd,
             v,
+            sink: None,
+            last: DdStats::default(),
         }
     }
 
     /// The number of distinct nodes in the current state's diagram.
     pub fn node_count(&self) -> usize {
         self.dd.vector_node_count(&self.v)
+    }
+
+    /// Pushes package-internal counters and gauges into the attached
+    /// sink (no-op without one). Counters accumulate deltas since the
+    /// previous push, so registry totals equal the package's cumulative
+    /// stats since `prepare`.
+    fn push_metrics(&mut self) {
+        let Some(sink) = &self.sink else { return };
+        let stats = self.dd.stats();
+        let m = sink.metrics();
+        m.counter_add(
+            "dd.unique_table.lookups",
+            stats.unique_lookups - self.last.unique_lookups,
+        );
+        m.counter_add(
+            "dd.unique_table.hits",
+            stats.unique_hits - self.last.unique_hits,
+        );
+        m.counter_add(
+            "dd.compute_table.lookups",
+            stats.compute_lookups - self.last.compute_lookups,
+        );
+        m.counter_add(
+            "dd.compute_table.hits",
+            stats.compute_hits - self.last.compute_hits,
+        );
+        m.counter_add(
+            "dd.complex_table.lookups",
+            stats.ctable_lookups - self.last.ctable_lookups,
+        );
+        m.counter_add(
+            "dd.complex_table.hits",
+            stats.ctable_hits - self.last.ctable_hits,
+        );
+        #[allow(clippy::cast_precision_loss)]
+        {
+            m.gauge_set("dd.complex_table.entries", stats.ctable_entries as f64);
+            m.gauge_set("dd.nodes.live", self.dd.vector_node_count(&self.v) as f64);
+            m.gauge_set(
+                "dd.arena.nodes",
+                (self.dd.vector_arena_size() + self.dd.matrix_arena_size()) as f64,
+            );
+        }
+        self.last = stats;
     }
 }
 
@@ -122,11 +176,23 @@ impl SimulationEngine for DdEngine {
             None => DdPackage::new(),
         };
         self.v = self.dd.zero_state(num_qubits.max(1));
+        // Counters restart with the fresh package; registry totals are
+        // cumulative since this prepare.
+        self.last = DdStats::default();
+        if self.sink.is_some() {
+            // Sharing self-check: rebuilding the canonical zero chain
+            // must be answered entirely from the unique table, so the
+            // hit counter is live (and verified) before the first gate.
+            // O(num_qubits), and only runs with telemetry attached.
+            let probe = self.dd.zero_state(num_qubits.max(1));
+            debug_assert_eq!(probe, self.v, "zero-state chain must be shared");
+        }
         Ok(())
     }
 
     fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
         self.v = self.dd.apply_instruction(&self.v, inst).map_err(map_err)?;
+        self.push_metrics();
         Ok(())
     }
 
@@ -202,6 +268,10 @@ impl SimulationEngine for DdEngine {
         }
         Ok(chosen)
     }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +314,47 @@ mod tests {
         let counts = e.sample(200, &mut rng).unwrap();
         let ones = (1u128 << 48) - 1;
         assert!(counts.keys().all(|&k| k == 0 || k == ones));
+    }
+
+    #[test]
+    fn telemetry_streams_nonzero_table_hits_per_gate() {
+        use qdt_engine::run_traced;
+
+        let sink = TelemetrySink::new();
+        let mut e = DdEngine::new();
+        let (stats, log) = run_traced(&mut e, &generators::ghz(10), &sink).unwrap();
+        assert_eq!(stats.gates_applied, 10);
+        assert_eq!(log.len(), 10);
+        for record in &log {
+            let get = |name: &str| {
+                record
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("missing {name} in gate {}", record.index))
+            };
+            assert!(get("dd.unique_table.hits") > 0.0, "gate {}", record.index);
+            assert!(get("dd.nodes.live") > 0.0, "gate {}", record.index);
+            assert!(get("dd.unique_table.lookups") >= get("dd.unique_table.hits"));
+            assert!(get("dd.complex_table.hits") > 0.0);
+        }
+    }
+
+    #[test]
+    fn untraced_run_is_bitwise_identical_to_traced() {
+        let sink = TelemetrySink::new();
+        let mut traced = DdEngine::new();
+        qdt_engine::run_traced(&mut traced, &generators::ghz(10), &sink).unwrap();
+        let mut plain = DdEngine::new();
+        run(&mut plain, &generators::ghz(10)).unwrap();
+        for basis in [0u128, (1 << 10) - 1, 5] {
+            assert_eq!(
+                traced.amplitude(basis).unwrap(),
+                plain.amplitude(basis).unwrap()
+            );
+        }
+        assert_eq!(traced.node_count(), plain.node_count());
     }
 
     #[test]

@@ -131,6 +131,33 @@ impl MatrixDd {
     }
 }
 
+/// Running totals of table and cache activity inside a [`DdPackage`] —
+/// the internal statistics the paper's trade-off discussion (and its
+/// companion tool papers) lean on: how often structural sharing pays.
+///
+/// All counters are cumulative since package creation. Maintaining them
+/// is a handful of integer increments on paths that already do hash-map
+/// lookups, so they are always on; telemetry layers read them through
+/// [`DdPackage::stats`] and difference snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DdStats {
+    /// Unique-table probes (vector + matrix `make_*node` calls that
+    /// reached the table).
+    pub unique_lookups: u64,
+    /// Unique-table probes answered by an existing node (sharing).
+    pub unique_hits: u64,
+    /// Compute-cache probes (add, matrix–vector, matrix–matrix).
+    pub compute_lookups: u64,
+    /// Compute-cache probes answered from the cache.
+    pub compute_hits: u64,
+    /// Complex-table canonicalisation calls.
+    pub ctable_lookups: u64,
+    /// Canonicalisations resolved to an existing representative.
+    pub ctable_hits: u64,
+    /// Distinct canonical complex values stored.
+    pub ctable_entries: u64,
+}
+
 /// The decision-diagram package: owns all nodes and caches.
 ///
 /// All diagram construction and manipulation goes through `&mut self`
@@ -154,6 +181,8 @@ pub struct DdPackage {
     ident: Vec<MEdge>,
     /// Cached squared norms of vector nodes.
     nsq_cache: HashMap<NodeId, f64>,
+    /// Table/cache activity counters (see [`DdStats`]).
+    stats: DdStats,
 }
 
 impl DdPackage {
@@ -186,6 +215,7 @@ impl DdPackage {
             mm_cache: HashMap::new(),
             ident: Vec::new(),
             nsq_cache: HashMap::new(),
+            stats: DdStats::default(),
         }
     }
 
@@ -197,6 +227,16 @@ impl DdPackage {
     /// Total number of matrix nodes ever created (arena size).
     pub fn matrix_arena_size(&self) -> usize {
         self.mnodes.len()
+    }
+
+    /// Cumulative table/cache activity since package creation.
+    pub fn stats(&self) -> DdStats {
+        DdStats {
+            ctable_lookups: self.ctable.lookups(),
+            ctable_hits: self.ctable.hits(),
+            ctable_entries: self.ctable.len() as u64,
+            ..self.stats
+        }
     }
 
     /// Drops all memoisation caches (unique tables and nodes are kept).
@@ -288,8 +328,12 @@ impl DdPackage {
             }
         }
         let key: VKey = (level, [children[0].key(), children[1].key()]);
+        self.stats.unique_lookups += 1;
         let id = match self.vunique.get(&key) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
             None => {
                 let id = self.vnodes.len() as NodeId;
                 self.vnodes.push(VNode { level, children });
@@ -349,8 +393,12 @@ impl DdPackage {
                 children[3].key(),
             ],
         );
+        self.stats.unique_lookups += 1;
         let id = match self.munique.get(&key) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
             None => {
                 let id = self.mnodes.len() as NodeId;
                 self.mnodes.push(MNode { level, children });
@@ -384,7 +432,9 @@ impl DdPackage {
         // Factor out a.weight: a + b = w_a · (A + (w_b/w_a)·B).
         let alpha = self.canon(b.weight / a.weight);
         let key = (a.node, b.node, alpha.to_bits());
+        self.stats.compute_lookups += 1;
         if let Some(&r) = self.vadd_cache.get(&key) {
+            self.stats.compute_hits += 1;
             return self.vscale(r, a.weight);
         }
         let an = self.vnode(a.node).clone();
@@ -418,7 +468,9 @@ impl DdPackage {
         );
         let alpha = self.canon(b.weight / a.weight);
         let key = (a.node, b.node, alpha.to_bits());
+        self.stats.compute_lookups += 1;
         if let Some(&r) = self.madd_cache.get(&key) {
+            self.stats.compute_hits += 1;
             return self.mscale(r, a.weight);
         }
         let an = self.mnode(a.node).clone();
@@ -446,7 +498,9 @@ impl DdPackage {
         debug_assert_ne!(v.node, TERMINAL, "level skew in mat_vec");
         let f = self.canon(m.weight * v.weight);
         let key = (m.node, v.node);
+        self.stats.compute_lookups += 1;
         if let Some(&r) = self.mv_cache.get(&key) {
+            self.stats.compute_hits += 1;
             return self.vscale(r, f);
         }
         let mn = self.mnode(m.node).clone();
@@ -475,7 +529,9 @@ impl DdPackage {
         debug_assert_ne!(b.node, TERMINAL, "level skew in mat_mat");
         let f = self.canon(a.weight * b.weight);
         let key = (a.node, b.node);
+        self.stats.compute_lookups += 1;
         if let Some(&r) = self.mm_cache.get(&key) {
+            self.stats.compute_hits += 1;
             return self.mscale(r, f);
         }
         let an = self.mnode(a.node).clone();
@@ -783,6 +839,37 @@ mod tests {
         let i5b = p.identity_edge(5);
         assert_eq!(i5a.node, i5b.node);
         assert!(i5a.weight.approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn stats_count_unique_table_sharing() {
+        let mut p = DdPackage::new();
+        let mk = |p: &mut DdPackage| {
+            let t = VEdge::terminal(Complex::ONE);
+            p.make_vnode(0, [t, VEdge::ZERO])
+        };
+        let before = p.stats();
+        mk(&mut p); // miss (insert)
+        mk(&mut p); // hit (shared)
+        let after = p.stats();
+        assert_eq!(after.unique_lookups - before.unique_lookups, 2);
+        assert_eq!(after.unique_hits - before.unique_hits, 1);
+        assert!(after.ctable_lookups > before.ctable_lookups);
+        assert_eq!(after.ctable_entries as usize, p.ctable.len());
+    }
+
+    #[test]
+    fn stats_count_compute_cache_hits() {
+        let mut p = DdPackage::new();
+        let i = p.identity_edge(3);
+        let before = p.stats();
+        let _ = p.mat_mat(i, i); // populates the mm cache
+        let mid = p.stats();
+        let _ = p.mat_mat(i, i); // fully served from the cache
+        let after = p.stats();
+        assert!(mid.compute_lookups > before.compute_lookups);
+        assert_eq!(after.compute_lookups, mid.compute_lookups + 1);
+        assert_eq!(after.compute_hits, mid.compute_hits + 1);
     }
 
     #[test]

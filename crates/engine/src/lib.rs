@@ -23,6 +23,10 @@
 //!   high-water mark);
 //! * [`Instrument`] — per-gate observation hooks for observability
 //!   tooling (progress displays, node-growth plots, schedulers);
+//! * [`run_traced`] — the telemetry-aware run-loop: attaches a
+//!   [`TelemetrySink`] to the engine, wraps the run and every gate in
+//!   spans, and captures a per-gate [`GateLog`] of all registered
+//!   metrics;
 //! * [`sample_from_amplitudes`] — the shared amplitude-based sampler
 //!   used by engines without a native sampling path.
 //!
@@ -36,6 +40,9 @@ use std::fmt;
 use qdt_circuit::{Circuit, Instruction, OpKind, PauliString};
 use qdt_complex::{Complex, Matrix};
 use rand::{Rng, RngCore};
+
+pub use qdt_telemetry as telemetry;
+pub use qdt_telemetry::{GateLog, GateRecord, TelemetrySink};
 
 /// Errors produced by simulation engines and the shared run-loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,23 +143,52 @@ pub struct RunStats {
     pub metric_name: &'static str,
     /// Largest cost-metric value observed after any gate.
     pub peak_metric: usize,
+    /// Stream index of the gate after which [`peak_metric`] was first
+    /// observed (0 for an empty circuit).
+    ///
+    /// [`peak_metric`]: RunStats::peak_metric
+    pub peak_gate_index: usize,
     /// Cost-metric value after the final gate.
     pub final_metric: usize,
 }
 
 /// Per-gate observation hook for [`run_instrumented`].
 ///
-/// Implemented for any `FnMut(usize, &Instruction, CostMetric)` closure,
-/// so ad-hoc instrumentation needs no new type.
+/// Implemented for any
+/// `FnMut(usize, &Instruction, CostMetric, &RunStats)` closure, so
+/// ad-hoc instrumentation needs no new type. The running [`RunStats`]
+/// are passed by reference so hooks can read totals (peak so far, gates
+/// applied) without recomputing them.
 pub trait Instrument {
+    /// Called immediately before a unitary instruction is applied.
+    ///
+    /// The default does nothing; telemetry implementations open their
+    /// per-gate span here.
+    fn on_gate_start(&mut self, gate_index: usize, inst: &Instruction) {
+        let _ = (gate_index, inst);
+    }
+
     /// Called after each applied gate with the gate's stream index, the
-    /// instruction, and the engine's cost metric at that point.
-    fn on_gate(&mut self, gate_index: usize, inst: &Instruction, metric: CostMetric);
+    /// instruction, the engine's cost metric at that point, and the
+    /// running totals accumulated so far (including this gate).
+    fn on_gate(
+        &mut self,
+        gate_index: usize,
+        inst: &Instruction,
+        metric: CostMetric,
+        stats: &RunStats,
+    );
 }
 
-impl<F: FnMut(usize, &Instruction, CostMetric)> Instrument for F {
-    fn on_gate(&mut self, gate_index: usize, inst: &Instruction, metric: CostMetric) {
-        self(gate_index, inst, metric);
+impl<F: FnMut(usize, &Instruction, CostMetric, &RunStats)> Instrument for F {
+    fn on_gate(
+        &mut self,
+        gate_index: usize,
+        inst: &Instruction,
+        metric: CostMetric,
+        stats: &RunStats,
+    ) {
+        self(gate_index, inst, metric, stats);
     }
 }
 
@@ -161,7 +197,14 @@ impl<F: FnMut(usize, &Instruction, CostMetric)> Instrument for F {
 pub struct NoInstrument;
 
 impl Instrument for NoInstrument {
-    fn on_gate(&mut self, _gate_index: usize, _inst: &Instruction, _metric: CostMetric) {}
+    fn on_gate(
+        &mut self,
+        _gate_index: usize,
+        _inst: &Instruction,
+        _metric: CostMetric,
+        _stats: &RunStats,
+    ) {
+    }
 }
 
 /// Static capability flags of an engine, so callers can pick a backend
@@ -338,6 +381,19 @@ pub trait SimulationEngine {
             what: "stochastic Kraus application".into(),
         })
     }
+
+    /// Attaches a telemetry sink to the engine.
+    ///
+    /// Instrumented engines keep an enabled clone of the sink
+    /// ([`TelemetrySink::enabled_clone`]) and push backend-internal
+    /// metrics — table hit rates, bond spectra, flop counts — under the
+    /// `backend.subsystem.name` convention while applying gates. The
+    /// default does nothing, so backends without internal telemetry
+    /// cost nothing and need no changes. Attaching a *disabled* sink is
+    /// equivalent to never calling this.
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        let _ = sink;
+    }
 }
 
 /// Inverse-transform choice among non-negative weights: draws an index
@@ -475,14 +531,18 @@ pub fn run_instrumented(
                 return Err(EngineError::NonUnitary { op: inst.name() });
             }
             OpKind::Unitary { .. } | OpKind::Swap { .. } => {
+                instrument.on_gate_start(i, inst);
                 engine.apply_instruction(inst)?;
             }
         }
         let metric = engine.cost_metric();
         stats.gates_applied += 1;
-        stats.peak_metric = stats.peak_metric.max(metric.value);
+        if stats.gates_applied == 1 || metric.value > stats.peak_metric {
+            stats.peak_metric = metric.value;
+            stats.peak_gate_index = i;
+        }
         stats.final_metric = metric.value;
-        instrument.on_gate(i, inst, metric);
+        instrument.on_gate(i, inst, metric, &stats);
     }
     if stats.gates_applied == 0 {
         let metric = engine.cost_metric();
@@ -490,6 +550,82 @@ pub fn run_instrumented(
         stats.final_metric = metric.value;
     }
     Ok(stats)
+}
+
+/// The [`Instrument`] behind [`run_traced`]: spans every gate on the
+/// sink's tracer and snapshots every registered metric after each gate
+/// into a [`GateLog`].
+struct TraceInstrument<'a> {
+    sink: &'a TelemetrySink,
+    log: GateLog,
+    open: Option<(qdt_telemetry::SpanGuard, std::time::Instant)>,
+}
+
+impl Instrument for TraceInstrument<'_> {
+    fn on_gate_start(&mut self, _gate_index: usize, inst: &Instruction) {
+        self.open = Some((
+            self.sink.tracer().span_in("gate", &inst.name()),
+            std::time::Instant::now(),
+        ));
+    }
+
+    fn on_gate(
+        &mut self,
+        gate_index: usize,
+        inst: &Instruction,
+        metric: CostMetric,
+        _stats: &RunStats,
+    ) {
+        // Dropping the guard records the span-end event.
+        let dt_ns = self.open.take().map_or(0, |(_guard, t0)| {
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
+        #[allow(clippy::cast_precision_loss)]
+        let cost = metric.value as f64;
+        self.sink
+            .metrics()
+            .gauge_set(&format!("engine.cost.{}", metric.name), cost);
+        self.log.push(GateRecord {
+            index: gate_index,
+            gate: inst.name(),
+            dt_ns,
+            metrics: self.sink.metrics().flattened(),
+        });
+    }
+}
+
+/// The telemetry-aware run-loop.
+///
+/// Attaches `sink` to the engine (see
+/// [`SimulationEngine::telemetry`]), wraps the whole run in a span named
+/// after the engine, spans every gate, and records one [`GateRecord`]
+/// per applied gate: stream index, gate name, wall-clock Δt, and a
+/// flattened snapshot of *every* registered metric after that gate
+/// (backend internals plus the run-loop's own `engine.cost.<metric>`
+/// gauge).
+///
+/// With a [disabled](TelemetrySink::disabled) sink this degrades to
+/// [`run`] semantics: the result is identical, nothing is recorded, and
+/// the returned log still carries the (metric-free) per-gate skeleton.
+///
+/// # Errors
+///
+/// Same as [`run_instrumented`].
+pub fn run_traced(
+    engine: &mut dyn SimulationEngine,
+    circuit: &Circuit,
+    sink: &TelemetrySink,
+) -> Result<(RunStats, GateLog), EngineError> {
+    engine.telemetry(sink);
+    let run_span = sink.tracer().span_in("run", engine.name());
+    let mut instrument = TraceInstrument {
+        sink,
+        log: GateLog::new(),
+        open: None,
+    };
+    let stats = run_instrumented(engine, circuit, &mut instrument)?;
+    drop(run_span);
+    Ok((stats, instrument.log))
 }
 
 /// A minimal dense reference engine, used by this crate's tests and doc
@@ -685,17 +821,76 @@ mod tests {
     }
 
     #[test]
-    fn instrumentation_hook_sees_every_gate() {
+    fn instrumentation_hook_sees_every_gate_and_running_totals() {
         let qc = bell();
         let mut seen = Vec::new();
-        let mut hook = |i: usize, inst: &Instruction, m: CostMetric| {
-            seen.push((i, inst.name(), m.value));
+        let mut hook = |i: usize, inst: &Instruction, m: CostMetric, stats: &RunStats| {
+            seen.push((i, inst.name(), m.value, stats.gates_applied));
         };
         let mut e = ReferenceEngine::default();
         run_instrumented(&mut e, &qc, &mut hook).unwrap();
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].1, "h");
         assert_eq!(seen[1].1, "cx");
+        // The stats passed to the hook already include the current gate.
+        assert_eq!(seen[0].3, 1);
+        assert_eq!(seen[1].3, 2);
+    }
+
+    #[test]
+    fn peak_gate_index_records_first_peak_occurrence() {
+        let qc = bell();
+        let mut e = ReferenceEngine::default();
+        let stats = run(&mut e, &qc).unwrap();
+        // The reference engine's metric (amplitude count) is constant,
+        // so the peak is first reached at gate 0.
+        assert_eq!(stats.peak_metric, 4);
+        assert_eq!(stats.peak_gate_index, 0);
+    }
+
+    #[test]
+    fn run_traced_produces_gate_log_and_balanced_spans() {
+        let qc = bell();
+        let sink = TelemetrySink::new();
+        let mut e = ReferenceEngine::default();
+        let (stats, log) = run_traced(&mut e, &qc, &sink).unwrap();
+        assert_eq!(stats.gates_applied, 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].gate, "h");
+        assert_eq!(log[1].index, 1);
+        // Every record carries the run-loop's cost gauge.
+        for record in &log {
+            assert!(record
+                .metrics
+                .iter()
+                .any(|(name, v)| name == "engine.cost.amplitudes" && (*v - 4.0).abs() < 1e-12));
+        }
+        // One run span + one span per gate, all balanced.
+        let events = sink.tracer().events();
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == telemetry::TraceEventKind::Begin)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == telemetry::TraceEventKind::End)
+            .count();
+        assert_eq!(begins, 3);
+        assert_eq!(ends, 3);
+    }
+
+    #[test]
+    fn run_traced_with_disabled_sink_matches_plain_run() {
+        let qc = bell();
+        let sink = TelemetrySink::disabled();
+        let mut traced = ReferenceEngine::default();
+        let (stats, _log) = run_traced(&mut traced, &qc, &sink).unwrap();
+        let mut plain = ReferenceEngine::default();
+        let plain_stats = run(&mut plain, &qc).unwrap();
+        assert_eq!(stats, plain_stats);
+        assert_eq!(traced.amplitudes().unwrap(), plain.amplitudes().unwrap());
+        assert!(sink.metrics().is_empty());
+        assert!(sink.tracer().events().is_empty());
     }
 
     #[test]

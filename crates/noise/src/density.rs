@@ -13,7 +13,9 @@ use std::collections::BTreeMap;
 use qdt_array::DensityMatrix;
 use qdt_circuit::{Gate, Instruction, OpKind, Pauli, PauliString};
 use qdt_complex::Complex;
-use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use qdt_engine::{
+    check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
+};
 use rand::{Rng, RngCore};
 
 use crate::{CompiledNoise, NoiseError, NoiseModel};
@@ -55,6 +57,8 @@ const NONZERO_EPS: f64 = 1e-24;
 pub struct DensityMatrixEngine {
     rho: DensityMatrix,
     noise: CompiledNoise,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
 }
 
 impl DensityMatrixEngine {
@@ -63,6 +67,7 @@ impl DensityMatrixEngine {
         DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: CompiledNoise::default(),
+            sink: None,
         }
     }
 
@@ -77,6 +82,7 @@ impl DensityMatrixEngine {
         Ok(DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: model.compile()?,
+            sink: None,
         })
     }
 
@@ -92,6 +98,41 @@ impl DensityMatrixEngine {
             .iter()
             .filter(|c| c.norm_sqr() > NONZERO_EPS)
             .count()
+    }
+
+    /// Pushes ρ health gauges and flop/byte estimates for one applied
+    /// instruction into the attached sink (no-op without one).
+    ///
+    /// The cost model is the array engine's per-statevector count lifted
+    /// to the superoperator `ρ → UρU†`: the left multiply runs the
+    /// controlled 1-qubit kernel over every column of ρ, the right
+    /// multiply over every row, so each side multiplies the pure-state
+    /// pair count (`2^(n-1-#controls)` pairs of 28 flops / 64 bytes) by
+    /// the `2^n` rows/columns. A swap decomposes into 3 CX gates with
+    /// one extra control each. Kraus channel applications are counted
+    /// separately (`density.noise.kraus_applications`), not flop-modeled.
+    fn push_metrics(&self, inst: &Instruction, kraus_applications: u64) {
+        let Some(sink) = &self.sink else { return };
+        let n = self.rho.num_qubits();
+        let dim = 1u64 << n as u32;
+        let (flops, bytes) = match &inst.kind {
+            OpKind::Unitary { controls, .. } => {
+                let pairs = (1u64 << (n - 1 - controls.len().min(n - 1)) as u32) * 2 * dim;
+                (28 * pairs, 64 * pairs)
+            }
+            OpKind::Swap { controls, .. } if n >= 2 => {
+                let pairs = (1u64 << (n - 2 - controls.len().min(n - 2)) as u32) * 2 * dim;
+                (3 * 28 * pairs, 3 * 64 * pairs)
+            }
+            _ => (0, 0),
+        };
+        let m = sink.metrics();
+        m.counter_add("density.gate.flops", flops);
+        m.counter_add("density.bytes.touched", bytes);
+        m.counter_add("density.noise.kraus_applications", kraus_applications);
+        #[allow(clippy::cast_precision_loss)]
+        m.gauge_set("density.rho.nonzeros", self.nonzero_entries() as f64);
+        m.gauge_set("density.rho.trace", self.rho.trace());
     }
 }
 
@@ -161,9 +202,12 @@ impl SimulationEngine for DensityMatrixEngine {
                 });
             }
         }
+        let mut kraus_applications = 0u64;
         for (qubit, kraus) in self.noise.channels_for(inst) {
             self.rho.apply_kraus(kraus, qubit);
+            kraus_applications += 1;
         }
+        self.push_metrics(inst, kraus_applications);
         Ok(())
     }
 
@@ -257,6 +301,10 @@ impl SimulationEngine for DensityMatrixEngine {
         }
         Ok(total.re)
     }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +374,32 @@ mod tests {
         let counts = e.sample(2000, &mut rng).unwrap();
         let ones = *counts.get(&1).unwrap_or(&0) as f64;
         assert!((ones / 2000.0 - 0.5).abs() < 0.05, "50% flip rate");
+    }
+
+    #[test]
+    fn telemetry_tracks_rho_health_and_flops() {
+        use qdt_engine::run_traced;
+
+        let noise = NoiseModel::uniform(KrausChannel::Depolarizing { p: 0.1 });
+        let sink = TelemetrySink::new();
+        let mut e = DensityMatrixEngine::with_noise(&noise).unwrap();
+        let (_stats, log) = run_traced(&mut e, &bell(), &sink).unwrap();
+        assert_eq!(log.len(), 2);
+        let get = |name: &str| {
+            log[1]
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        // Per gate on 2 qubits: 2 (sides) · 4 (dim) · 2^(n-1-c) pairs;
+        // H has 2 pairs/column (16 total), CX 1 (8 total): 24 · 28 flops.
+        assert!((get("density.gate.flops") - 672.0).abs() < 1e-9);
+        // Uniform noise fires once per touched qubit: 1 (H) + 2 (CX).
+        assert!((get("density.noise.kraus_applications") - 3.0).abs() < 1e-9);
+        assert!((get("density.rho.trace") - 1.0).abs() < 1e-9);
+        assert!(get("density.rho.nonzeros") > 4.0, "noise fills in entries");
     }
 
     #[test]

@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use qdt_circuit::{Instruction, PauliString};
 use qdt_complex::Complex;
-use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use qdt_engine::{
+    check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -101,6 +103,8 @@ pub struct TrajectoryEngine {
     program: Vec<Instruction>,
     inner_name: &'static str,
     inner_caps: EngineCaps,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
 }
 
 impl TrajectoryEngine {
@@ -134,6 +138,7 @@ impl TrajectoryEngine {
             program: Vec::new(),
             inner_name: probe.name(),
             inner_caps: probe.caps(),
+            sink: None,
         })
     }
 
@@ -165,6 +170,12 @@ impl TrajectoryEngine {
 
     /// Runs `job` for every trajectory index, striped across the
     /// configured worker threads, and folds the per-worker outputs.
+    ///
+    /// With telemetry attached, each worker opens a `worker` span (the
+    /// tracer tags it with the worker thread's own id) and reports its
+    /// completed-trajectory count and busy time. The busy-time metric is
+    /// wall-clock (`_us` suffix), so determinism comparisons skip it;
+    /// everything else is independent of the worker count.
     fn parallel_trajectories<T, F>(&self, job: F) -> Result<Vec<T>, EngineError>
     where
         T: Send,
@@ -172,17 +183,37 @@ impl TrajectoryEngine {
     {
         let total = self.config.trajectories.max(1);
         let workers = self.config.workers.max(1).min(total);
+        if let Some(sink) = &self.sink {
+            #[allow(clippy::cast_precision_loss)]
+            sink.metrics().gauge_set("traj.workers", workers as f64);
+        }
         let mut results: Vec<T> = Vec::with_capacity(total);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let job = &job;
+                    let sink = self.sink.clone();
                     scope.spawn(move || {
+                        let _span = sink
+                            .as_ref()
+                            .map(|s| s.tracer().span_in("trajectories", "worker"));
+                        let started = std::time::Instant::now();
+                        let mut completed = 0u64;
                         let mut out = Vec::new();
                         for t in (w..total).step_by(workers) {
                             if let Some(v) = job(t as u64)? {
                                 out.push(v);
                             }
+                            completed += 1;
+                        }
+                        if let Some(s) = &sink {
+                            let m = s.metrics();
+                            m.counter_add("traj.trajectories.completed", completed);
+                            #[allow(clippy::cast_precision_loss)]
+                            m.histogram_record(
+                                "traj.worker.busy_us",
+                                started.elapsed().as_micros() as f64,
+                            );
                         }
                         Ok::<_, EngineError>(out)
                     })
@@ -234,6 +265,11 @@ impl SimulationEngine for TrajectoryEngine {
         // Gates are recorded, not executed: each trajectory replays the
         // program with its own noise realisation at query time.
         self.program.push(inst.clone());
+        if let Some(sink) = &self.sink {
+            #[allow(clippy::cast_precision_loss)]
+            sink.metrics()
+                .gauge_set("traj.program.gates", self.program.len() as f64);
+        }
         Ok(())
     }
 
@@ -320,6 +356,10 @@ impl SimulationEngine for TrajectoryEngine {
         })?;
         let total = values.len().max(1) as f64;
         Ok(values.iter().sum::<f64>() / total)
+    }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
     }
 }
 
@@ -461,6 +501,38 @@ mod tests {
             err,
             Err(NoiseError::Engine(EngineError::Unsupported { .. }))
         ));
+    }
+
+    #[test]
+    fn telemetry_spans_workers_and_counts_trajectories() {
+        use qdt_engine::run_traced;
+        use qdt_engine::telemetry::{MetricValue, TraceEventKind};
+
+        let noise = NoiseModel::uniform(KrausChannel::BitFlip { p: 0.1 });
+        let sink = TelemetrySink::new();
+        let mut e = engine_with(32, 7, 4, &noise);
+        let (_stats, log) = run_traced(&mut e, &bell(), &sink).unwrap();
+        assert_eq!(log.len(), 2);
+        let zz: PauliString = "ZZ".parse().unwrap();
+        e.expectation(&zz).unwrap();
+
+        // All 32 trajectories completed, reported across 4 worker spans
+        // tagged with distinct thread ids.
+        assert_eq!(
+            sink.metrics().get("traj.trajectories.completed"),
+            Some(MetricValue::Counter(32))
+        );
+        let workers: Vec<_> = sink
+            .tracer()
+            .events()
+            .into_iter()
+            .filter(|ev| ev.name == "worker" && ev.kind == TraceEventKind::Begin)
+            .collect();
+        assert_eq!(workers.len(), 4);
+        let mut threads: Vec<_> = workers.iter().map(|ev| ev.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4, "each worker span has its own thread id");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! qdt-telemetry: structured tracing, metrics, and exporters for qdt.
+//!
+//! The paper's qualitative claims about simulation data structures are
+//! claims about *internal* behaviour — decision-diagram table hit rates,
+//! MPS bond spectra, flop counts. This crate makes those observable
+//! without adding any external dependency:
+//!
+//! * [`Tracer`] — nested spans and instant events with wall-clock
+//!   timestamps and per-thread track ids (trajectory workers trace as
+//!   parallel tracks).
+//! * [`MetricsRegistry`] — named counters, gauges, and histograms under
+//!   the `backend.subsystem.name` naming convention.
+//! * [`TelemetrySink`] — the `{tracer, metrics}` bundle engines accept
+//!   through `SimulationEngine::telemetry`. A *disabled* sink is free:
+//!   every operation on it is a no-op and nothing allocates.
+//! * [`export`] — Chrome-trace JSON (Perfetto-loadable), JSONL gate
+//!   time-series, and aligned-column text summaries.
+//! * [`json`] — a minimal parser/emitter standing in for `serde_json`
+//!   (unavailable offline), used to validate exporter output.
+//!
+//! # Example
+//! ```
+//! use qdt_telemetry::TelemetrySink;
+//!
+//! let sink = TelemetrySink::new();
+//! {
+//!     let _span = sink.tracer().span_in("gate", "h");
+//!     sink.metrics().counter_add("dd.unique_table.hits", 3);
+//! }
+//! assert_eq!(sink.tracer().events().len(), 2);
+//! assert!(!sink.metrics().is_empty());
+//! ```
+
+pub mod export;
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use export::{chrome_trace, gate_log_jsonl, is_wall_clock, text_summary, GateLog, GateRecord};
+pub use metrics::{Histogram, MetricValue, MetricsRegistry};
+pub use trace::{current_thread_id, SpanGuard, TraceEvent, TraceEventKind, Tracer};
+
+/// The tracer + metrics bundle handed to engines.
+///
+/// Cheap to clone (both halves are `Arc` handles); clones observe the
+/// same buffers. Construct with [`TelemetrySink::new`] to collect, or
+/// [`TelemetrySink::disabled`] for a free no-op sink.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+}
+
+impl TelemetrySink {
+    /// Creates an enabled sink with fresh trace and metric buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tracer: Tracer::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Creates a disabled sink: spans and metric writes are dropped.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Whether this sink records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_enabled() || self.metrics.is_enabled()
+    }
+
+    /// A clone of this sink if enabled, `None` otherwise.
+    ///
+    /// Engines store the result of this call so their per-gate hot path
+    /// is a plain `Option` check when telemetry is off.
+    #[must_use]
+    pub fn enabled_clone(&self) -> Option<TelemetrySink> {
+        self.is_enabled().then(|| self.clone())
+    }
+
+    /// The span recorder half.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry half.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert_and_not_cloned() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(sink.enabled_clone().is_none());
+        sink.metrics().counter_add("x", 1);
+        let _span = sink.tracer().span("y");
+        assert!(sink.metrics().is_empty());
+        assert!(sink.tracer().events().is_empty());
+    }
+
+    #[test]
+    fn enabled_clone_shares_buffers() {
+        let sink = TelemetrySink::new();
+        let clone = sink.enabled_clone().expect("enabled");
+        clone.metrics().gauge_set("shared.gauge", 1.0);
+        assert_eq!(sink.metrics().len(), 1);
+    }
+}

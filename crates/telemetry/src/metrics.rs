@@ -1,0 +1,266 @@
+//! Named metrics: counters, gauges, and histograms.
+//!
+//! Metric names follow the `backend.subsystem.name` convention, e.g.
+//! `dd.unique_table.hits` or `mps.truncation.discarded_weight`. Names
+//! ending in `_ns` or `_us` denote wall-clock quantities and are excluded
+//! from determinism comparisons (see [`crate::export::is_wall_clock`]).
+//!
+//! The registry is a cheaply clonable handle onto shared state, ordered
+//! by name (`BTreeMap`) so snapshots are deterministic. Like
+//! [`crate::Tracer`], a disabled registry is a no-op.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Aggregate statistics of a histogram metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Histogram {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the recorded observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.count as f64;
+            self.sum / n
+        }
+    }
+}
+
+/// The current value of one registered metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing integer count.
+    Counter(u64),
+    /// Last-written point-in-time value.
+    Gauge(f64),
+    /// Aggregated distribution of observations.
+    Histogram(Histogram),
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Clones share the same underlying map. A registry created with
+/// [`MetricsRegistry::disabled`] ignores every write and reports itself
+/// empty.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Mutex<BTreeMap<String, MetricValue>>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an enabled, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+        }
+    }
+
+    /// Creates a disabled registry: writes are dropped, reads see nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether writes to this handle are kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of registered metrics (0 when disabled).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |m| m.lock().expect("metrics poisoned").len())
+    }
+
+    /// Whether no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn update(&self, name: &str, f: impl FnOnce(Option<MetricValue>) -> MetricValue) {
+        if let Some(map) = &self.inner {
+            let mut map = map.lock().expect("metrics poisoned");
+            let next = f(map.get(name).copied());
+            map.insert(name.to_string(), next);
+        }
+    }
+
+    /// Adds `delta` to the counter `name`, registering it at 0 first if
+    /// needed. A previously non-counter metric of the same name is
+    /// replaced.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.update(name, |prev| match prev {
+            Some(MetricValue::Counter(v)) => MetricValue::Counter(v.saturating_add(delta)),
+            _ => MetricValue::Counter(delta),
+        });
+    }
+
+    /// Sets the gauge `name` to `value`, replacing any previous kind.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.update(name, |_| MetricValue::Gauge(value));
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        self.update(name, |prev| {
+            let mut h = match prev {
+                Some(MetricValue::Histogram(h)) => h,
+                _ => Histogram::default(),
+            };
+            h.record(value);
+            MetricValue::Histogram(h)
+        });
+    }
+
+    /// Reads the current value of `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.inner
+            .as_ref()
+            .and_then(|m| m.lock().expect("metrics poisoned").get(name).copied())
+    }
+
+    /// A name-ordered snapshot of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.inner.as_ref().map_or_else(Vec::new, |m| {
+            m.lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        })
+    }
+
+    /// A name-ordered snapshot flattened to `f64` values.
+    ///
+    /// Counters and gauges map to one entry each; a histogram expands to
+    /// `name.count`, `name.sum`, `name.min`, and `name.max`.
+    #[must_use]
+    pub fn flattened(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                #[allow(clippy::cast_precision_loss)]
+                MetricValue::Counter(v) => out.push((name, v as f64)),
+                MetricValue::Gauge(v) => out.push((name, v)),
+                MetricValue::Histogram(h) => {
+                    #[allow(clippy::cast_precision_loss)]
+                    out.push((format!("{name}.count"), h.count as f64));
+                    out.push((format!("{name}.sum"), h.sum));
+                    out.push((format!("{name}.min"), h.min));
+                    out.push((format!("{name}.max"), h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("dd.unique_table.hits", 3);
+        reg.counter_add("dd.unique_table.hits", 4);
+        reg.gauge_set("dd.nodes.live", 10.0);
+        reg.gauge_set("dd.nodes.live", 7.0);
+        assert_eq!(
+            reg.get("dd.unique_table.hits"),
+            Some(MetricValue::Counter(7))
+        );
+        assert_eq!(reg.get("dd.nodes.live"), Some(MetricValue::Gauge(7.0)));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let reg = MetricsRegistry::new();
+        for v in [4.0, 1.0, 9.0] {
+            reg.histogram_record("mps.bond.dimension", v);
+        }
+        let Some(MetricValue::Histogram(h)) = reg.get("mps.bond.dimension") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 14.0).abs() < 1e-12);
+        assert!((h.min - 1.0).abs() < 1e-12);
+        assert!((h.max - 9.0).abs() < 1e-12);
+        assert!((h.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_flatten_expands_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("b.gauge", 1.5);
+        reg.counter_add("a.counter", 2);
+        reg.histogram_record("c.hist", 5.0);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.counter", "b.gauge", "c.hist"]);
+        let flat = reg.flattened();
+        let flat_names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            flat_names,
+            vec![
+                "a.counter",
+                "b.gauge",
+                "c.hist.count",
+                "c.hist.sum",
+                "c.hist.min",
+                "c.hist.max"
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_registry_stays_empty() {
+        let reg = MetricsRegistry::disabled();
+        reg.counter_add("x", 1);
+        reg.gauge_set("y", 2.0);
+        reg.histogram_record("z", 3.0);
+        assert!(reg.is_empty());
+        assert!(reg.snapshot().is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter_add("shared", 5);
+        assert_eq!(reg.get("shared"), Some(MetricValue::Counter(5)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Span and event recording.
+//!
+//! A [`Tracer`] is a cheaply clonable handle onto a shared, thread-safe
+//! event buffer. Spans are recorded as begin/end event pairs stamped with
+//! a monotonic timestamp (nanoseconds since the tracer's creation) and a
+//! small per-process thread id, so traces taken from
+//! `TrajectoryEngine`-style worker pools render as parallel tracks in a
+//! Chrome-trace viewer.
+//!
+//! A disabled tracer (the default for un-instrumented runs) allocates
+//! nothing and every operation on it is a no-op, so instrumented code can
+//! call it unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Process-wide counter handing out small sequential thread ids.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Lazily assigned trace-thread id for the current OS thread.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The small sequential id of the calling thread, assigned on first use.
+///
+/// The main thread of a process that touches telemetry first gets id 0;
+/// worker threads get 1, 2, ... in spawn-touch order.
+#[must_use]
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// What a single [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened (Chrome trace phase `B`).
+    Begin,
+    /// A span closed (Chrome trace phase `E`).
+    End,
+    /// A point-in-time marker (Chrome trace phase `i`).
+    Instant,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind (span begin/end or instant marker).
+    pub kind: TraceEventKind,
+    /// Human-readable name, e.g. the gate or phase being timed.
+    pub name: String,
+    /// Grouping category, e.g. `"gate"`, `"run"`, `"verify"`.
+    pub category: String,
+    /// Trace-local id of the recording thread (see [`current_thread_id`]).
+    pub thread: u64,
+    /// Nanoseconds since the tracer was created.
+    pub ts_ns: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A handle onto a shared trace buffer; `None` inner means disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer with an empty event buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Creates a disabled tracer: every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events recorded on this handle are kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn record(&self, kind: TraceEventKind, category: &str, name: &str) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let event = TraceEvent {
+                kind,
+                name: name.to_string(),
+                category: category.to_string(),
+                thread: current_thread_id(),
+                ts_ns,
+            };
+            inner
+                .events
+                .lock()
+                .expect("trace buffer poisoned")
+                .push(event);
+        }
+    }
+
+    /// Opens a span in the default (empty) category.
+    ///
+    /// The span closes when the returned guard is dropped.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_in("", name)
+    }
+
+    /// Opens a named span in `category`, closed when the guard drops.
+    #[must_use]
+    pub fn span_in(&self, category: &str, name: &str) -> SpanGuard {
+        self.record(TraceEventKind::Begin, category, name);
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_string(),
+            category: category.to_string(),
+        }
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(&self, name: &str) {
+        self.record(TraceEventKind::Instant, "", name);
+    }
+
+    /// Snapshot of every event recorded so far, in recording order.
+    ///
+    /// Returns an empty vector for a disabled tracer.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.events.lock().expect("trace buffer poisoned").clone()
+        })
+    }
+}
+
+/// Closes its span when dropped; returned by [`Tracer::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    category: String,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer
+            .record(TraceEventKind::End, &self.category, &self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_begin_end_pairs_in_order() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span_in("run", "outer");
+            let _inner = tracer.span("inner");
+        }
+        tracer.instant("tick");
+        let events = tracer.events();
+        let kinds: Vec<TraceEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::Begin,
+                TraceEventKind::Begin,
+                TraceEventKind::End,
+                TraceEventKind::End,
+                TraceEventKind::Instant,
+            ]
+        );
+        // Inner closes before outer (LIFO drop order).
+        assert_eq!(events[2].name, "inner");
+        assert_eq!(events[3].name, "outer");
+        assert_eq!(events[0].category, "run");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let tracer = Tracer::new();
+        for i in 0..10 {
+            let _span = tracer.span(&format!("s{i}"));
+        }
+        let events = tracer.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        let _span = tracer.span("ignored");
+        tracer.instant("ignored");
+        assert!(!tracer.is_enabled());
+        assert!(tracer.events().is_empty());
+    }
+
+    #[test]
+    fn worker_threads_get_distinct_ids() {
+        let tracer = Tracer::new();
+        let main_id = current_thread_id();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let t = tracer.clone();
+                std::thread::spawn(move || {
+                    let _span = t.span(&format!("worker-{i}"));
+                    current_thread_id()
+                })
+            })
+            .collect();
+        let mut worker_ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        worker_ids.sort_unstable();
+        worker_ids.dedup();
+        assert_eq!(worker_ids.len(), 3);
+        assert!(!worker_ids.contains(&main_id));
+        let events = tracer.events();
+        assert_eq!(events.len(), 6);
+        let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), 3);
+    }
+}

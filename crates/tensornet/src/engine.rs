@@ -3,7 +3,9 @@
 
 use qdt_circuit::{Circuit, Instruction, PauliString};
 use qdt_complex::{Complex, Matrix};
-use qdt_engine::{check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine};
+use qdt_engine::{
+    check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
+};
 use rand::RngCore;
 
 use crate::mps::Mps;
@@ -55,6 +57,8 @@ pub struct TensorNetEngine {
     circuit: Circuit,
     plan: PlanKind,
     tensors: usize,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
 }
 
 impl TensorNetEngine {
@@ -69,6 +73,7 @@ impl TensorNetEngine {
             circuit: Circuit::new(1),
             plan,
             tensors: 1,
+            sink: None,
         }
     }
 
@@ -129,6 +134,10 @@ impl SimulationEngine for TensorNetEngine {
                 message: e.to_string(),
             })?;
         self.tensors += 1;
+        if let Some(sink) = &self.sink {
+            #[allow(clippy::cast_precision_loss)]
+            sink.metrics().gauge_set("tn.tensors", self.tensors as f64);
+        }
         Ok(())
     }
 
@@ -171,6 +180,10 @@ impl SimulationEngine for TensorNetEngine {
         crate::expectation_pauli(&self.circuit, pauli, self.plan)
             .map_err(|e| map_err("tensor-network", e))
     }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
+    }
 }
 
 /// The matrix-product-state backend (paper Section IV, refs \[31\]/\[35\])
@@ -193,6 +206,8 @@ impl SimulationEngine for TensorNetEngine {
 pub struct MpsEngine {
     mps: Mps,
     max_bond: usize,
+    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
+    sink: Option<TelemetrySink>,
 }
 
 impl MpsEngine {
@@ -203,6 +218,7 @@ impl MpsEngine {
         MpsEngine {
             mps: Mps::zero_state(1, max_bond),
             max_bond,
+            sink: None,
         }
     }
 
@@ -215,6 +231,23 @@ impl MpsEngine {
     /// simulation is exact).
     pub fn truncation_error(&self) -> f64 {
         self.mps.truncation_error()
+    }
+
+    /// Pushes the chain's bond spectrum and truncation weight into the
+    /// attached sink (no-op without one). The per-gate histogram samples
+    /// every interior bond, so its max tracks χ saturation and its mean
+    /// tracks how much of the chain is entangled.
+    fn push_metrics(&self) {
+        let Some(sink) = &self.sink else { return };
+        let m = sink.metrics();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            m.gauge_set("mps.bond.max", self.mps.max_observed_bond() as f64);
+            for bond in self.mps.bond_dims() {
+                m.histogram_record("mps.bond.dimension", bond as f64);
+            }
+        }
+        m.gauge_set("mps.truncation.discarded_weight", self.truncation_error());
     }
 }
 
@@ -261,6 +294,7 @@ impl SimulationEngine for MpsEngine {
         if let Err(violations) = self.mps.audit() {
             panic!("MPS audit failed after engine gate application: {violations:?}");
         }
+        self.push_metrics();
         Ok(())
     }
 
@@ -317,6 +351,10 @@ impl SimulationEngine for MpsEngine {
         }
         Ok(self.mps.apply_kraus(kraus, qubit, rng))
     }
+
+    fn telemetry(&mut self, sink: &TelemetrySink) {
+        self.sink = sink.enabled_clone();
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +405,10 @@ mod tests {
     fn mps_bond_high_water_tracks_entanglement() {
         let mut e = MpsEngine::new(16);
         let mut peak = 0usize;
-        let mut hook = |_i: usize, _inst: &qdt_circuit::Instruction, m: qdt_engine::CostMetric| {
+        let mut hook = |_i: usize,
+                        _inst: &qdt_circuit::Instruction,
+                        m: qdt_engine::CostMetric,
+                        _stats: &qdt_engine::RunStats| {
             peak = peak.max(m.value);
         };
         let stats = run_instrumented(&mut e, &generators::ghz(24), &mut hook).unwrap();
@@ -375,6 +416,47 @@ mod tests {
         assert_eq!(stats.peak_metric, 2);
         assert_eq!(peak, 2);
         assert!(e.truncation_error() < 1e-12);
+    }
+
+    #[test]
+    fn mps_telemetry_streams_bond_spectrum() {
+        use qdt_engine::run_traced;
+
+        let sink = TelemetrySink::new();
+        let mut e = MpsEngine::new(16);
+        let (_stats, log) = run_traced(&mut e, &generators::ghz(8), &sink).unwrap();
+        assert_eq!(log.len(), 8);
+        let last = log.last().unwrap();
+        let get = |name: &str| {
+            last.metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!((get("mps.bond.max") - 2.0).abs() < 1e-12);
+        assert!(get("mps.truncation.discarded_weight") < 1e-12);
+        // 7 interior bonds sampled per gate over 8 gates.
+        assert!((get("mps.bond.dimension.count") - 56.0).abs() < 1e-12);
+        assert!((get("mps.bond.dimension.max") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tn_telemetry_tracks_tensor_count() {
+        use qdt_engine::run_traced;
+
+        let sink = TelemetrySink::new();
+        let mut e = TensorNetEngine::new();
+        let (_stats, log) = run_traced(&mut e, &generators::ghz(8), &sink).unwrap();
+        // 8 input tensors + one per applied gate.
+        let (_, tensors) = log
+            .last()
+            .unwrap()
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "tn.tensors")
+            .unwrap();
+        assert!((tensors - 16.0).abs() < 1e-12);
     }
 
     #[test]

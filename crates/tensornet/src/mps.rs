@@ -112,6 +112,17 @@ impl Mps {
         self.sites.iter().map(|s| s.right).max().unwrap_or(1)
     }
 
+    /// The interior bond dimensions of the chain, left to right
+    /// (`n - 1` entries; empty for a single-site chain) — the bond
+    /// spectrum telemetry histograms per gate.
+    pub fn bond_dims(&self) -> Vec<usize> {
+        self.sites
+            .iter()
+            .take(self.sites.len().saturating_sub(1))
+            .map(|s| s.right)
+            .collect()
+    }
+
     /// Accumulated discarded probability weight over all truncations
     /// (0 when the cap was never hit).
     pub fn truncation_error(&self) -> f64 {

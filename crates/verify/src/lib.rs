@@ -41,7 +41,7 @@ use qdt_compile::coupling::CouplingMap;
 use qdt_compile::routing::RoutedCircuit;
 use qdt_complex::Complex;
 use qdt_dd::{DdEngine, DdPackage, EquivalenceResult};
-use qdt_engine::{EngineError, SimulationEngine};
+use qdt_engine::{EngineError, SimulationEngine, TelemetrySink};
 use qdt_zx::ZxEquivalence;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,6 +156,26 @@ impl std::error::Error for VerifyError {}
 ///
 /// See [`VerifyError`].
 pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, VerifyError> {
+    check_traced(g1, g2, method, &TelemetrySink::disabled())
+}
+
+/// [`check`] with telemetry: the whole check runs inside a
+/// `verify`-category span named after the method, and each method's
+/// distinct phases (building unitaries, folding the miter, rewriting,
+/// per-stimulus simulation) get nested sub-spans — so an exported trace
+/// shows where verification time goes.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn check_traced(
+    g1: &Circuit,
+    g2: &Circuit,
+    method: Method,
+    sink: &TelemetrySink,
+) -> Result<Equivalence, VerifyError> {
+    let tracer = sink.tracer();
+    let _check_span = tracer.span_in("verify", &method.to_string());
     if g1.num_qubits() != g2.num_qubits() {
         return Err(VerifyError::WidthMismatch {
             left: g1.num_qubits(),
@@ -173,8 +193,11 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
                     num_qubits: g1.num_qubits(),
                 });
             }
+            let build = tracer.span_in("verify", "build-unitaries");
             let u1 = circuit_unitary(g1).map_err(|_| VerifyError::NonUnitary)?;
             let u2 = circuit_unitary(g2).map_err(|_| VerifyError::NonUnitary)?;
+            drop(build);
+            let _compare = tracer.span_in("verify", "compare-unitaries");
             if u1.approx_eq(&u2, 1e-9) {
                 Ok(Equivalence::Equivalent)
             } else if u1.approx_eq_up_to_global_phase(&u2, 1e-9) {
@@ -196,6 +219,7 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
             }
         }
         Method::DecisionDiagram => {
+            let _miter = tracer.span_in("verify", "fold-miter");
             let mut dd = DdPackage::new();
             let r =
                 qdt_dd::check_equivalence(&mut dd, g1, g2).map_err(|_| VerifyError::NonUnitary)?;
@@ -208,6 +232,7 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
             })
         }
         Method::Zx => {
+            let _rewrite = tracer.span_in("verify", "zx-rewrite");
             let r = qdt_zx::check_equivalence(g1, g2).map_err(|_| VerifyError::NonUnitary)?;
             Ok(match r {
                 ZxEquivalence::Equivalent => Equivalence::Equivalent,
@@ -218,7 +243,10 @@ pub fn check(g1: &Circuit, g2: &Circuit, method: Method) -> Result<Equivalence, 
                 ZxEquivalence::Inconclusive => Equivalence::Inconclusive,
             })
         }
-        Method::RandomStimuli { samples } => random_stimuli(g1, g2, samples),
+        Method::RandomStimuli { samples } => {
+            let _stimuli = tracer.span_in("verify", "random-stimuli");
+            random_stimuli(g1, g2, samples)
+        }
     }
 }
 
@@ -540,6 +568,40 @@ mod tests {
         routed.circuit.x(2);
         let r = verify_compilation(&qc, &routed, &map, Method::DecisionDiagram).unwrap();
         assert_eq!(r, Equivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn traced_check_tags_method_phases_as_spans() {
+        use qdt_engine::telemetry::TraceEventKind;
+
+        let qc = generators::qft(3, true);
+        let sink = TelemetrySink::new();
+        for m in METHODS {
+            assert!(check_traced(&qc, &qc, m, &sink).unwrap().is_equivalent());
+        }
+        let events = sink.tracer().events();
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Begin && e.category == "verify")
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::End && e.category == "verify")
+            .count();
+        assert_eq!(begins, ends, "all verify spans close");
+        // Each method span plus at least one phase sub-span each.
+        assert!(begins >= 2 * METHODS.len(), "got {begins} begin events");
+        for phase in [
+            "fold-miter",
+            "zx-rewrite",
+            "random-stimuli",
+            "compare-unitaries",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == phase),
+                "missing phase span {phase}"
+            );
+        }
     }
 
     #[test]

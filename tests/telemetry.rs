@@ -1,0 +1,155 @@
+//! Cross-crate telemetry integration: metric streams are deterministic,
+//! exporters emit well-formed output, and a disabled sink changes
+//! nothing.
+
+use std::sync::Arc;
+
+use qdt::circuit::{generators, Circuit};
+use qdt::dd::DdEngine;
+use qdt::noise::{InnerFactory, KrausChannel, NoiseModel, TrajectoryConfig, TrajectoryEngine};
+use qdt::telemetry::json::{parse, JsonValue};
+use qdt::telemetry::{chrome_trace, gate_log_jsonl, is_wall_clock, GateLog};
+use qdt::{run_traced, SimulationEngine, TelemetrySink};
+
+/// One gate record with its wall-clock fields stripped.
+type DeterministicRecord = (usize, String, Vec<(String, f64)>);
+
+/// The deterministic projection of a gate log: the wall-clock `dt_ns`
+/// field and `_ns`/`_us` metrics stripped, everything else verbatim.
+fn deterministic_stream(log: &GateLog) -> Vec<DeterministicRecord> {
+    log.iter()
+        .map(|r| {
+            (
+                r.index,
+                r.gate.clone(),
+                r.metrics
+                    .iter()
+                    .filter(|(name, _)| !is_wall_clock(name))
+                    .cloned()
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn traced_log(spec: &str, qc: &Circuit) -> GateLog {
+    let sink = TelemetrySink::new();
+    let mut engine = qdt::create_engine(spec).expect("spec builds");
+    let (_stats, log) = run_traced(engine.as_mut(), qc, &sink).expect("traced run");
+    log
+}
+
+#[test]
+fn metric_streams_are_deterministic_across_runs() {
+    let qc = generators::ghz(10);
+    for spec in ["array", "decision-diagram", "tensor-network", "mps:16"] {
+        let first = deterministic_stream(&traced_log(spec, &qc));
+        let second = deterministic_stream(&traced_log(spec, &qc));
+        assert!(!first.is_empty(), "{spec}: empty gate log");
+        assert_eq!(first, second, "{spec}: metric stream not deterministic");
+    }
+}
+
+#[test]
+fn trajectory_worker_count_does_not_change_metric_stream() {
+    let qc = generators::bell();
+    let noise = NoiseModel::uniform(KrausChannel::Depolarizing { p: 0.1 });
+    let run_with = |workers: usize| {
+        let factory: InnerFactory =
+            Arc::new(|| Ok(Box::new(DdEngine::new()) as Box<dyn SimulationEngine>));
+        let config = TrajectoryConfig {
+            trajectories: 16,
+            seed: 7,
+            workers,
+        };
+        let mut e = TrajectoryEngine::new(factory, config, &noise).expect("valid model");
+        let sink = TelemetrySink::new();
+        let (_stats, log) = run_traced(&mut e, &qc, &sink).expect("traced run");
+        let zz: qdt::circuit::PauliString = "ZZ".parse().unwrap();
+        let expectation = e.expectation(&zz).expect("expectation");
+        (deterministic_stream(&log), expectation)
+    };
+    let (log_1, exp_1) = run_with(1);
+    let (log_4, exp_4) = run_with(4);
+    assert_eq!(log_1, log_4, "worker count leaked into the gate stream");
+    assert!(
+        (exp_1 - exp_4).abs() < 1e-12,
+        "worker count changed the result: {exp_1} vs {exp_4}"
+    );
+}
+
+#[test]
+fn disabled_sink_changes_no_results_and_registers_nothing() {
+    let qc = generators::ghz(8);
+    let sink = TelemetrySink::disabled();
+    let mut traced = qdt::create_engine("decision-diagram").expect("dd builds");
+    let (stats, log) = run_traced(traced.as_mut(), &qc, &sink).expect("traced run");
+    let mut plain = qdt::create_engine("decision-diagram").expect("dd builds");
+    let plain_stats = qdt::engine::run(plain.as_mut(), &qc).expect("plain run");
+
+    assert_eq!(stats.gates_applied, plain_stats.gates_applied);
+    assert_eq!(stats.peak_metric, plain_stats.peak_metric);
+    assert_eq!(stats.peak_gate_index, plain_stats.peak_gate_index);
+    for basis in [0u128, (1 << 8) - 1, 3] {
+        assert_eq!(
+            traced.amplitude(basis).unwrap(),
+            plain.amplitude(basis).unwrap(),
+            "telemetry must not perturb amplitudes"
+        );
+    }
+    // The log still records gate names, but no metrics were registered
+    // anywhere: the disabled registry stays empty.
+    assert_eq!(log.len(), 8);
+    assert!(log.iter().all(|r| r.metrics.is_empty()));
+    assert!(sink.metrics().is_empty());
+    assert!(sink.tracer().events().is_empty());
+}
+
+#[test]
+fn exporters_emit_well_formed_output() {
+    let qc = generators::ghz(10);
+    let sink = TelemetrySink::new();
+    let mut engine = qdt::create_engine("decision-diagram").expect("dd builds");
+    let (_stats, log) = run_traced(engine.as_mut(), &qc, &sink).expect("traced run");
+
+    // Chrome trace: parses, and every B has a matching same-name E on
+    // its thread (checked with a per-thread stack).
+    let trace = chrome_trace(&sink.tracer().events());
+    let doc = parse(&trace).expect("chrome trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap();
+        let tid = ev.get("tid").and_then(JsonValue::as_number).unwrap() as u64;
+        match ev.get("ph").and_then(JsonValue::as_str).unwrap() {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .expect("E without open B");
+                assert_eq!(open, name, "mismatched span close");
+            }
+            _ => {}
+        }
+    }
+    assert!(stacks.values().all(Vec::is_empty), "unclosed spans remain");
+
+    // JSONL: every row parses and round-trips through the emitter.
+    let jsonl = gate_log_jsonl(&log);
+    let mut rows = 0;
+    for line in jsonl.lines() {
+        let v = parse(line).expect("JSONL row parses");
+        let reparsed = parse(&v.to_string()).expect("emitted row parses");
+        assert_eq!(v, reparsed, "round-trip changed the row");
+        assert!(v.get("metrics").is_some());
+        rows += 1;
+    }
+    assert_eq!(rows, log.len());
+}
