@@ -8,6 +8,7 @@
 
 use qdt_circuit::{Circuit, Gate, OpKind};
 use qdt_complex::{Complex, Matrix};
+use qdt_parallel::{KernelContext, SharedSlice};
 
 use crate::{ArrayError, StateVector};
 
@@ -288,6 +289,24 @@ impl DensityMatrix {
     /// Panics on invalid indices (as for
     /// [`StateVector::apply_controlled_gate`]).
     pub fn apply_controlled_gate(&mut self, gate: &Matrix, target: usize, controls: &[usize]) {
+        self.apply_controlled_gate_with(gate, target, controls, &KernelContext::sequential());
+    }
+
+    /// [`DensityMatrix::apply_controlled_gate`] scheduled through a
+    /// [`KernelContext`]: the left pass partitions over columns and the
+    /// right pass over rows, so workers write disjoint strides of ρ.
+    /// Results are bit-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// As [`DensityMatrix::apply_controlled_gate`].
+    pub fn apply_controlled_gate_with(
+        &mut self,
+        gate: &Matrix,
+        target: usize,
+        controls: &[usize],
+        ctx: &KernelContext,
+    ) {
         assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
         assert!(target < self.num_qubits, "target out of range");
         let mut cmask = 0usize;
@@ -296,40 +315,69 @@ impl DensityMatrix {
             assert_ne!(c, target, "control equals target");
             cmask |= 1 << c;
         }
-        let tbit = 1usize << target;
-        let dim = self.rho.rows();
         let m = [
             [gate.get(0, 0), gate.get(0, 1)],
             [gate.get(1, 0), gate.get(1, 1)],
         ];
-        // Left multiplication: rows transform.
-        for col in 0..dim {
-            for r0 in 0..dim {
-                if r0 & tbit != 0 || r0 & cmask != cmask {
-                    continue;
+        self.superoperator_passes(&m, 1usize << target, cmask, ctx);
+    }
+
+    /// The two passes of `ρ → UρU†` (or `KρK†` with `cmask = 0`): a left
+    /// multiplication transforming row pairs of every column, then a
+    /// right multiplication by the conjugate transforming column pairs of
+    /// every row. Each `ctx.run` call completes before the next starts,
+    /// and inside a pass workers own whole columns (resp. rows), so the
+    /// writes are disjoint.
+    fn superoperator_passes(
+        &mut self,
+        m: &[[Complex; 2]; 2],
+        tbit: usize,
+        cmask: usize,
+        ctx: &KernelContext,
+    ) {
+        let dim = self.rho.rows();
+        let data = SharedSlice::new(self.rho.as_mut_slice());
+        // Left multiplication: rows transform, one column per item.
+        ctx.run(dim, dim, &|range| {
+            for col in range {
+                for r0 in 0..dim {
+                    if r0 & tbit != 0 || r0 & cmask != cmask {
+                        continue;
+                    }
+                    let r1 = r0 | tbit;
+                    // SAFETY: every touched index lies in the columns of
+                    // this chunk's range; ranges are disjoint.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let a0 = data.get(r0 * dim + col);
+                        let a1 = data.get(r1 * dim + col);
+                        data.set(r0 * dim + col, m[0][0] * a0 + m[0][1] * a1);
+                        data.set(r1 * dim + col, m[1][0] * a0 + m[1][1] * a1);
+                    }
                 }
-                let r1 = r0 | tbit;
-                let a0 = self.rho.get(r0, col);
-                let a1 = self.rho.get(r1, col);
-                self.rho.set(r0, col, m[0][0] * a0 + m[0][1] * a1);
-                self.rho.set(r1, col, m[1][0] * a0 + m[1][1] * a1);
             }
-        }
-        // Right multiplication by U†: columns transform with conjugates.
-        for row in 0..dim {
-            for c0 in 0..dim {
-                if c0 & tbit != 0 || c0 & cmask != cmask {
-                    continue;
+        });
+        // Right multiplication by the dagger: columns transform with
+        // conjugates, one row per item.
+        ctx.run(dim, dim, &|range| {
+            for row in range {
+                for c0 in 0..dim {
+                    if c0 & tbit != 0 || c0 & cmask != cmask {
+                        continue;
+                    }
+                    let c1 = c0 | tbit;
+                    // SAFETY: every touched index lies in the rows of
+                    // this chunk's range; ranges are disjoint.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let a0 = data.get(row * dim + c0);
+                        let a1 = data.get(row * dim + c1);
+                        data.set(row * dim + c0, a0 * m[0][0].conj() + a1 * m[0][1].conj());
+                        data.set(row * dim + c1, a0 * m[1][0].conj() + a1 * m[1][1].conj());
+                    }
                 }
-                let c1 = c0 | tbit;
-                let a0 = self.rho.get(row, c0);
-                let a1 = self.rho.get(row, c1);
-                self.rho
-                    .set(row, c0, a0 * m[0][0].conj() + a1 * m[0][1].conj());
-                self.rho
-                    .set(row, c1, a0 * m[1][0].conj() + a1 * m[1][1].conj());
             }
-        }
+        });
     }
 
     /// Applies a single-qubit Kraus channel to `qubit`:
@@ -352,49 +400,35 @@ impl DensityMatrix {
     ///
     /// Panics if `qubit` is out of range or an operator is not 2×2.
     pub fn apply_kraus(&mut self, kraus: &[Matrix], qubit: usize) {
+        self.apply_kraus_with(kraus, qubit, &KernelContext::sequential());
+    }
+
+    /// [`DensityMatrix::apply_kraus`] scheduled through a
+    /// [`KernelContext`]. Each operator's `K ρ K†` passes run in
+    /// parallel internally, but the terms are accumulated sequentially in
+    /// operator order so the floating-point sum — and therefore the
+    /// result — is bit-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// As [`DensityMatrix::apply_kraus`].
+    pub fn apply_kraus_with(&mut self, kraus: &[Matrix], qubit: usize, ctx: &KernelContext) {
         assert!(qubit < self.num_qubits, "qubit out of range");
         let dim = self.rho.rows();
         let mut acc = Matrix::zeros(dim, dim);
         for k in kraus {
             assert_eq!((k.rows(), k.cols()), (2, 2), "Kraus operator must be 2x2");
             let mut term = self.clone();
-            term.apply_kraus_one_sided(k, qubit);
+            term.apply_kraus_one_sided(k, qubit, ctx);
             acc = acc.add(&term.rho);
         }
         self.rho = acc;
     }
 
     /// `ρ → K ρ K†` for one (not necessarily unitary) 2×2 operator.
-    fn apply_kraus_one_sided(&mut self, k: &Matrix, target: usize) {
-        let tbit = 1usize << target;
-        let dim = self.rho.rows();
+    fn apply_kraus_one_sided(&mut self, k: &Matrix, target: usize, ctx: &KernelContext) {
         let m = [[k.get(0, 0), k.get(0, 1)], [k.get(1, 0), k.get(1, 1)]];
-        for col in 0..dim {
-            for r0 in 0..dim {
-                if r0 & tbit != 0 {
-                    continue;
-                }
-                let r1 = r0 | tbit;
-                let a0 = self.rho.get(r0, col);
-                let a1 = self.rho.get(r1, col);
-                self.rho.set(r0, col, m[0][0] * a0 + m[0][1] * a1);
-                self.rho.set(r1, col, m[1][0] * a0 + m[1][1] * a1);
-            }
-        }
-        for row in 0..dim {
-            for c0 in 0..dim {
-                if c0 & tbit != 0 {
-                    continue;
-                }
-                let c1 = c0 | tbit;
-                let a0 = self.rho.get(row, c0);
-                let a1 = self.rho.get(row, c1);
-                self.rho
-                    .set(row, c0, a0 * m[0][0].conj() + a1 * m[0][1].conj());
-                self.rho
-                    .set(row, c1, a0 * m[1][0].conj() + a1 * m[1][1].conj());
-            }
-        }
+        self.superoperator_passes(&m, 1usize << target, 0, ctx);
     }
 }
 

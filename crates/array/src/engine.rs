@@ -8,6 +8,7 @@ use qdt_complex::{Complex, Matrix};
 use qdt_engine::{
     check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
 };
+use qdt_parallel::KernelContext;
 use rand::RngCore;
 
 use crate::{ArrayError, StateVector};
@@ -35,18 +36,41 @@ const MAX_QUBITS: usize = 30;
 #[derive(Debug, Clone)]
 pub struct ArrayEngine {
     psi: StateVector,
+    /// Kernel scheduling: thread count, fallback threshold, pool sink.
+    ctx: KernelContext,
     /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
     sink: Option<TelemetrySink>,
 }
 
 impl ArrayEngine {
     /// A fresh engine (one qubit in `|0⟩` until
-    /// [`prepare`](SimulationEngine::prepare) is called).
+    /// [`prepare`](SimulationEngine::prepare) is called), honouring the
+    /// `QDT_THREADS` environment variable for its kernel thread count
+    /// (sequential when unset). Results are bit-identical for every
+    /// thread count.
     pub fn new() -> Self {
+        ArrayEngine::with_context(KernelContext::from_env())
+    }
+
+    /// An engine whose gate kernels run on the shared pool of `threads`
+    /// threads (`threads = 1` is plain sequential execution).
+    pub fn with_threads(threads: usize) -> Self {
+        ArrayEngine::with_context(KernelContext::with_threads(threads))
+    }
+
+    /// An engine with an explicit [`KernelContext`] (thread count and
+    /// sequential-fallback threshold).
+    pub fn with_context(ctx: KernelContext) -> Self {
         ArrayEngine {
             psi: StateVector::zero_state(1),
+            ctx,
             sink: None,
         }
+    }
+
+    /// The kernel scheduling context in use.
+    pub fn kernel_context(&self) -> &KernelContext {
+        &self.ctx
     }
 
     /// Read access to the underlying state vector.
@@ -143,7 +167,9 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
-        self.psi.apply_instruction(inst).map_err(map_err)?;
+        self.psi
+            .apply_instruction_with(inst, &self.ctx)
+            .map_err(map_err)?;
         self.push_metrics(inst);
         Ok(())
     }
@@ -208,6 +234,9 @@ impl SimulationEngine for ArrayEngine {
 
     fn telemetry(&mut self, sink: &TelemetrySink) {
         self.sink = sink.enabled_clone();
+        // The pool records only spans and a `_us` histogram — both off
+        // the deterministic gate metric stream.
+        self.ctx.set_telemetry(sink);
     }
 }
 
@@ -262,6 +291,17 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert!((bytes - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_sequential() {
+        // Exact `==`, not approx: chunking must never change arithmetic.
+        let qc = generators::qft(6, true);
+        let mut seq = ArrayEngine::with_threads(1);
+        run(&mut seq, &qc).unwrap();
+        let mut par = ArrayEngine::with_context(KernelContext::with_threads(4).with_threshold(1));
+        run(&mut par, &qc).unwrap();
+        assert_eq!(seq.amplitudes().unwrap(), par.amplitudes().unwrap());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 
 use qdt_circuit::{Circuit, Instruction, OpKind};
 use qdt_complex::{Complex, Matrix};
+use qdt_parallel::{KernelContext, SharedSlice};
 use rand::Rng;
 
 use crate::ArrayError;
@@ -263,6 +264,28 @@ impl StateVector {
     /// Panics if `gate` is not 2×2, any index is out of range, or
     /// `controls` contains `target`.
     pub fn apply_controlled_gate(&mut self, gate: &Matrix, target: usize, controls: &[usize]) {
+        self.apply_controlled_gate_with(gate, target, controls, &KernelContext::sequential());
+    }
+
+    /// [`StateVector::apply_controlled_gate`] scheduled through a
+    /// [`KernelContext`]: the `dim/2` amplitude pairs are partitioned on
+    /// the target-qubit stride so each worker owns disjoint pairs, with a
+    /// sequential fallback below the context's threshold.
+    ///
+    /// Every pair is transformed by the same floating-point expressions
+    /// regardless of partitioning, so results are bit-identical across
+    /// thread counts (enforced by `tests/parallel_agreement.rs`).
+    ///
+    /// # Panics
+    ///
+    /// As [`StateVector::apply_controlled_gate`].
+    pub fn apply_controlled_gate_with(
+        &mut self,
+        gate: &Matrix,
+        target: usize,
+        controls: &[usize],
+        ctx: &KernelContext,
+    ) {
         assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
         assert!(target < self.num_qubits, "target out of range");
         let mut cmask = 0usize;
@@ -276,24 +299,28 @@ impl StateVector {
         let m01 = gate.get(0, 1);
         let m10 = gate.get(1, 0);
         let m11 = gate.get(1, 1);
-        let dim = self.amps.len();
-        let mut i0 = 0usize;
-        while i0 < dim {
-            if i0 & tbit != 0 {
-                // Skip the half of the iteration space where the target
-                // bit is already set; pairs are visited from their 0 side.
-                i0 += tbit;
-                continue;
+        let pairs = self.amps.len() >> 1;
+        // Pair p < dim/2 expands to its 0-side index by inserting a zero
+        // at the target bit: distinct p yield disjoint {i0, i1} sets.
+        let low = tbit - 1;
+        let amps = SharedSlice::new(&mut self.amps);
+        ctx.run(pairs, 1, &|range| {
+            for p in range {
+                let i0 = ((p & !low) << 1) | (p & low);
+                if i0 & cmask == cmask {
+                    let i1 = i0 | tbit;
+                    // SAFETY: each pair index is claimed by exactly one
+                    // chunk and maps to indices no other pair touches.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let a0 = amps.get(i0);
+                        let a1 = amps.get(i1);
+                        amps.set(i0, m00 * a0 + m01 * a1);
+                        amps.set(i1, m10 * a0 + m11 * a1);
+                    }
+                }
             }
-            if i0 & cmask == cmask {
-                let i1 = i0 | tbit;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = m00 * a0 + m01 * a1;
-                self.amps[i1] = m10 * a0 + m11 * a1;
-            }
-            i0 += 1;
-        }
+        });
     }
 
     /// Swaps qubits `a` and `b`, optionally controlled.
@@ -302,6 +329,17 @@ impl StateVector {
     ///
     /// Panics on out-of-range or duplicate indices.
     pub fn apply_swap(&mut self, a: usize, b: usize, controls: &[usize]) {
+        self.apply_swap_with(a, b, controls, &KernelContext::sequential());
+    }
+
+    /// [`StateVector::apply_swap`] scheduled through a [`KernelContext`];
+    /// see [`StateVector::apply_controlled_gate_with`] for the
+    /// partitioning and determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// As [`StateVector::apply_swap`].
+    pub fn apply_swap_with(&mut self, a: usize, b: usize, controls: &[usize], ctx: &KernelContext) {
         assert!(
             a < self.num_qubits && b < self.num_qubits,
             "qubit out of range"
@@ -315,13 +353,33 @@ impl StateVector {
         }
         let abit = 1usize << a;
         let bbit = 1usize << b;
-        for i in 0..self.amps.len() {
-            // Visit each swapped pair once: a-bit set, b-bit clear.
-            if i & abit != 0 && i & bbit == 0 && i & cmask == cmask {
-                let j = (i & !abit) | bbit;
-                self.amps.swap(i, j);
+        // Enumerate the dim/4 settings of the other n−2 bits; expanding
+        // each by inserting zeros at both swap positions yields a base
+        // index owning the disjoint pair {base|abit, base|bbit}. (A naive
+        // range split over full indices would race: the partner index of
+        // a boundary element lies outside the chunk.)
+        let lo_low = abit.min(bbit) - 1;
+        let hi_low = abit.max(bbit) - 1;
+        let quads = self.amps.len() >> 2;
+        let amps = SharedSlice::new(&mut self.amps);
+        ctx.run(quads, 1, &|range| {
+            for q in range {
+                let x = ((q & !lo_low) << 1) | (q & lo_low);
+                let base = ((x & !hi_low) << 1) | (x & hi_low);
+                if base & cmask == cmask {
+                    let i = base | abit;
+                    let j = base | bbit;
+                    // SAFETY: each q is claimed by exactly one chunk and
+                    // owns both indices of its pair.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let tmp = amps.get(i);
+                        amps.set(i, amps.get(j));
+                        amps.set(j, tmp);
+                    }
+                }
             }
-        }
+        });
     }
 
     /// Applies one IR instruction (unitary gates and swaps only).
@@ -332,6 +390,21 @@ impl StateVector {
     /// classically conditioned instructions (a state vector carries no
     /// classical register). Barriers are no-ops.
     pub fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), ArrayError> {
+        self.apply_instruction_with(inst, &KernelContext::sequential())
+    }
+
+    /// [`StateVector::apply_instruction`] scheduled through a
+    /// [`KernelContext`] (sequential fallback included); results are
+    /// bit-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`StateVector::apply_instruction`].
+    pub fn apply_instruction_with(
+        &mut self,
+        inst: &Instruction,
+        ctx: &KernelContext,
+    ) -> Result<(), ArrayError> {
         if inst.cond.is_some() {
             return Err(ArrayError::NonUnitary {
                 op: format!("conditioned {}", inst.name()),
@@ -343,11 +416,11 @@ impl StateVector {
                 target,
                 controls,
             } => {
-                self.apply_controlled_gate(&gate.matrix(), *target, controls);
+                self.apply_controlled_gate_with(&gate.matrix(), *target, controls, ctx);
                 Ok(())
             }
             OpKind::Swap { a, b, controls } => {
-                self.apply_swap(*a, *b, controls);
+                self.apply_swap_with(*a, *b, controls, ctx);
                 Ok(())
             }
             OpKind::Barrier(_) => Ok(()),

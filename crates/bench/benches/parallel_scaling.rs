@@ -1,0 +1,28 @@
+//! Parallel kernels: wall-clock of dense state-vector simulation as
+//! the kernel thread count grows. The amplitudes are bit-identical at
+//! every thread count (disjoint chunk ownership, identical per-pair
+//! arithmetic), so this measures chunked-kernel speed-up alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::circuit::generators;
+use qdt::engine::run;
+
+fn bench_kernel_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_kernel_threads");
+    group.sample_size(10);
+    let qc = generators::qft(12, true);
+    for threads in [1usize, 2, 4, 8] {
+        let spec = format!("array(threads={threads})");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &spec, |b, spec| {
+            b.iter(|| {
+                let mut e = qdt::create_engine(spec).expect("spec builds");
+                run(e.as_mut(), &qc).expect("simulates");
+                e.amplitudes().expect("dense amplitudes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_threads);
+criterion_main!(benches);

@@ -108,6 +108,9 @@ fn main() {
     if want("noise") {
         noise_subsystem();
     }
+    if want("parallel") || want("parallel_scaling") {
+        parallel_scaling();
+    }
     if want("c9") {
         c9_approximation();
     }
@@ -129,8 +132,17 @@ fn header(title: &str) {
 fn engines(backends: &[String]) {
     header("Engines — one run loop, four data structures (instrumented)");
     println!(
-        "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>7} {:>8} {:>10}",
-        "backend", "circuit", "qubits", "gates", "metric", "peak", "peak@", "final", "time"
+        "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>10}",
+        "backend",
+        "circuit",
+        "qubits",
+        "gates",
+        "threads",
+        "metric",
+        "peak",
+        "peak@",
+        "final",
+        "time"
     );
     for (fam, n) in [
         (Family::Ghz, 12usize),
@@ -149,11 +161,12 @@ fn engines(backends: &[String]) {
             let (profile, secs) =
                 timed(|| qdt::analysis::simulation_profile(e.as_mut(), &qc).expect("profiles"));
             println!(
-                "{:>16} {:>8} {:>8} {:>7} {:>12} {:>8} {:>7} {:>8} {:>8.4}s",
+                "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>8.4}s",
                 b.to_string(),
                 fam.name(),
                 profile.num_qubits,
                 profile.gates_applied,
+                spec_threads(b),
                 profile.metric_name,
                 profile.peak_metric,
                 profile.peak_gate_index,
@@ -164,7 +177,69 @@ fn engines(backends: &[String]) {
     }
     println!("(peak/final are each engine's own cost metric: dense amplitudes,");
     println!(" DD nodes, network tensors, or the MPS bond high-water mark;");
-    println!(" peak@ is the 0-based gate index where the peak first occurred)");
+    println!(" peak@ is the 0-based gate index where the peak first occurred;");
+    println!(" threads is the kernel worker count for the dense engines — an");
+    println!(" explicit threads= key or the QDT_THREADS default, - otherwise)");
+}
+
+/// The kernel thread count a spec runs with: an explicit `threads=N`
+/// key, else the `QDT_THREADS` environment default — shown only for
+/// the dense engines that have chunked parallel kernels.
+fn spec_threads(spec: &str) -> String {
+    let Ok(parsed) = qdt::engine::parse_spec(spec) else {
+        return "-".into();
+    };
+    if !matches!(
+        parsed.name.as_str(),
+        "array" | "arrays" | "statevector" | "sv" | "density" | "density-matrix" | "dm"
+    ) {
+        return "-".into();
+    }
+    match parsed.usize_of(&["threads"]) {
+        Ok(Some(t)) => t.to_string(),
+        Ok(None) => qdt::parallel::default_threads().to_string(),
+        Err(_) => "-".into(),
+    }
+}
+
+/// Parallel: the chunked dense kernels across thread counts. The
+/// amplitudes are asserted bit-identical at every thread count, so the
+/// table measures scheduling overhead and speed-up alone.
+fn parallel_scaling() {
+    header("Parallel — chunked state-vector kernels vs thread count");
+    const REPEATS: usize = 5;
+    println!(
+        "{:>8} {:>8} {:>8} {:>12} {:>9}",
+        "circuit", "qubits", "threads", "time", "speedup"
+    );
+    for (fam, n) in [(Family::Qft, 12usize), (Family::Ghz, 16)] {
+        let qc = fam.circuit(n);
+        let mut reference: Option<(Vec<Complex>, f64)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let spec = format!("array(threads={threads})");
+            let (amps, secs) = timed(|| {
+                let mut amps = Vec::new();
+                for _ in 0..REPEATS {
+                    let mut e = qdt::create_engine(&spec).expect("spec builds");
+                    run(e.as_mut(), &qc).expect("simulates");
+                    amps = e.amplitudes().expect("dense amplitudes");
+                }
+                amps
+            });
+            let (base_amps, base_secs) = reference.get_or_insert((amps.clone(), secs));
+            assert_eq!(&amps, base_amps, "thread count changed the amplitudes");
+            println!(
+                "{:>8} {:>8} {:>8} {:>10.4}s {:>8.2}x",
+                fam.name(),
+                n,
+                threads,
+                secs,
+                *base_secs / secs
+            );
+        }
+    }
+    println!("(every row's amplitudes are asserted bit-identical to threads=1;");
+    println!(" on a multi-core host the larger rows show the kernel speed-up)");
 }
 
 /// Telemetry: one traced run end-to-end — spans from the engine

@@ -130,6 +130,12 @@ impl Matrix {
         &self.data
     }
 
+    /// A mutable view of the underlying row-major data, for in-place
+    /// kernels (element `(r, c)` lives at `r * cols + c`).
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the underlying row-major data.
     pub fn into_vec(self) -> Vec<Complex> {
         self.data

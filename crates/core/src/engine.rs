@@ -38,6 +38,7 @@ use qdt_noise::{
     channel_from_key, DensityMatrixEngine, GateSelector, NoiseModel, TrajectoryConfig,
     TrajectoryEngine,
 };
+use qdt_parallel::KernelContext;
 use qdt_tensor::{MpsEngine, TensorNetEngine};
 
 pub use qdt_engine::{
@@ -442,12 +443,12 @@ impl EngineRegistry {
         r.register(EngineEntry::new(
             "array",
             &["arrays", "statevector", "sv"],
-            None,
+            Some("kernel scheduling, e.g. threads=4, threshold=2048"),
             "dense state vector (Sec. II): exact, exponential memory",
             |spec, _| {
-                spec.expect_no_args("array")?;
                 spec.expect_no_inner("array")?;
-                Ok(Box::new(ArrayEngine::new()))
+                let ctx = kernel_context_from_spec(spec, &[])?;
+                Ok(Box::new(ArrayEngine::with_context(ctx)))
             },
         ));
         r.register(EngineEntry::new(
@@ -485,7 +486,7 @@ impl EngineRegistry {
         r.register(EngineEntry::new(
             "density",
             &["density-matrix", "dm"],
-            Some("noise channels, e.g. depol=0.01, readout=0.02"),
+            Some("noise channels and kernel threads, e.g. depol=0.01, readout=0.02, threads=4"),
             "dense density matrix (ref [13]): exact noise, quadratic memory",
             |spec, _| {
                 spec.expect_no_inner("density")?;
@@ -494,8 +495,10 @@ impl EngineRegistry {
                         "`{spec}`: density takes only `key=value` noise arguments"
                     )));
                 }
-                let model = noise_model_from_args(spec, &[])?;
-                let engine = DensityMatrixEngine::with_noise(&model).map_err(QdtError::new)?;
+                let ctx = kernel_context_from_spec(spec, &["*"])?;
+                let model = noise_model_from_args(spec, &[KEY_THREADS, KEY_THRESHOLD])?;
+                let engine = DensityMatrixEngine::with_noise_and_context(&model, ctx)
+                    .map_err(QdtError::new)?;
                 Ok(Box::new(engine))
             },
         ));
@@ -648,6 +651,53 @@ fn mps_bond_from_spec(spec: &EngineSpec) -> Result<usize, QdtError> {
         )));
     }
     Ok(chi)
+}
+
+/// Spec key selecting the kernel worker-thread count.
+const KEY_THREADS: &str = "threads";
+
+/// Spec key selecting the sequential-fallback threshold (weighted item
+/// count below which kernels stay on the calling thread).
+const KEY_THRESHOLD: &str = "threshold";
+
+/// Builds a [`KernelContext`] from a spec's `threads=`/`threshold=`
+/// arguments, defaulting to the `QDT_THREADS` environment variable
+/// (sequential when unset) exactly like [`ArrayEngine::new`].
+///
+/// `other_keys` lists additional keys the engine consumes itself; any
+/// key outside that set (and outside `threads`/`threshold`) is rejected
+/// with a descriptive error. Pass `&["*"]` to skip the key check when
+/// the remaining keys are validated elsewhere (density's noise
+/// channels).
+fn kernel_context_from_spec(
+    spec: &EngineSpec,
+    other_keys: &[&str],
+) -> Result<KernelContext, QdtError> {
+    if !other_keys.contains(&"*") {
+        for arg in &spec.args {
+            let Some(key) = arg.key.as_deref() else {
+                return Err(QdtError::new(format!(
+                    "`{spec}`: {} takes only `key=value` arguments (threads=, threshold=)",
+                    spec.name
+                )));
+            };
+            if key != KEY_THREADS && key != KEY_THRESHOLD && !other_keys.contains(&key) {
+                return Err(QdtError::new(format!(
+                    "`{spec}`: unknown {} key `{key}` (use threads= or threshold=)",
+                    spec.name
+                )));
+            }
+        }
+    }
+    let mut ctx = match spec.usize_of(&[KEY_THREADS])? {
+        None => KernelContext::from_env(),
+        Some(0) => return Err(QdtError::new(format!("`{spec}`: threads must be ≥ 1"))),
+        Some(threads) => KernelContext::with_threads(threads),
+    };
+    if let Some(threshold) = spec.usize_of(&[KEY_THRESHOLD])? {
+        ctx = ctx.with_threshold(threshold);
+    }
+    Ok(ctx)
 }
 
 /// Builds a [`NoiseModel`] from a spec's `key=value` arguments,
@@ -899,12 +949,15 @@ mod tests {
         let r = EngineRegistry::with_defaults();
         for spec in [
             "array",
+            "array(threads=4)",
+            "array(threads=2,threshold=64)",
             "dd",
             "tensor-network",
             "mps:8",
             "mps(χ=8)",
             "density",
             "density(depol=0.05)",
+            "density(threads=4,depol=0.05)",
             "traj(16,seed=1,workers=2,depol=0.05):dd",
             "traj(16):array",
             "traj(16):mps(4)",
@@ -938,6 +991,32 @@ mod tests {
         );
         let err = create_err("density:dd");
         assert!(err.contains("no inner engine"), "{err}");
+    }
+
+    #[test]
+    fn parallel_kernel_specs_validate_their_arguments() {
+        let r = EngineRegistry::with_defaults();
+        let create_err = |spec: &str| match r.create(spec) {
+            Ok(_) => panic!("{spec} unexpectedly built an engine"),
+            Err(e) => e.to_string(),
+        };
+        let err = create_err("array(threads=0)");
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        let err = create_err("array(threads=many)");
+        assert!(err.contains("integer"), "{err}");
+        let err = create_err("array(cores=4)");
+        assert!(err.contains("unknown array key"), "{err}");
+        let err = create_err("array(8)");
+        assert!(err.contains("key=value"), "{err}");
+        let err = create_err("density(threads=0,depol=0.01)");
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        let err = create_err("density(threads=2,thermal=0.1)");
+        assert!(err.contains("unknown noise key"), "{err}");
+        // threads=/threshold= are kernel keys, not noise channels.
+        assert!(r
+            .create("density(threads=2,threshold=16,depol=0.05)")
+            .is_ok());
+        assert!(r.create("array(threads=4,threshold=1)").is_ok());
     }
 
     #[test]

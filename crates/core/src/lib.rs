@@ -68,6 +68,7 @@ pub use qdt_compile as compile;
 pub use qdt_complex as complex;
 pub use qdt_dd as dd;
 pub use qdt_noise as noise;
+pub use qdt_parallel as parallel;
 pub use qdt_telemetry as telemetry;
 pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;

@@ -16,6 +16,7 @@ use qdt_complex::Complex;
 use qdt_engine::{
     check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
 };
+use qdt_parallel::KernelContext;
 use rand::{Rng, RngCore};
 
 use crate::{CompiledNoise, NoiseError, NoiseModel};
@@ -57,16 +58,22 @@ const NONZERO_EPS: f64 = 1e-24;
 pub struct DensityMatrixEngine {
     rho: DensityMatrix,
     noise: CompiledNoise,
+    /// Kernel scheduling: thread count, fallback threshold, pool sink.
+    ctx: KernelContext,
     /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
     sink: Option<TelemetrySink>,
 }
 
 impl DensityMatrixEngine {
-    /// A noiseless density-matrix engine.
+    /// A noiseless density-matrix engine, honouring the `QDT_THREADS`
+    /// environment variable for its superoperator kernel thread count
+    /// (sequential when unset). Results are bit-identical for every
+    /// thread count.
     pub fn new() -> Self {
         DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: CompiledNoise::default(),
+            ctx: KernelContext::from_env(),
             sink: None,
         }
     }
@@ -79,11 +86,30 @@ impl DensityMatrixEngine {
     /// [`NoiseError`] if the model fails validation (parameter range or
     /// CPTP completeness).
     pub fn with_noise(model: &NoiseModel) -> Result<Self, NoiseError> {
+        Self::with_noise_and_context(model, KernelContext::from_env())
+    }
+
+    /// An engine with both a noise model and an explicit
+    /// [`KernelContext`] (thread count, sequential-fallback threshold).
+    ///
+    /// # Errors
+    ///
+    /// As [`DensityMatrixEngine::with_noise`].
+    pub fn with_noise_and_context(
+        model: &NoiseModel,
+        ctx: KernelContext,
+    ) -> Result<Self, NoiseError> {
         Ok(DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: model.compile()?,
+            ctx,
             sink: None,
         })
+    }
+
+    /// The kernel scheduling context in use.
+    pub fn kernel_context(&self) -> &KernelContext {
+        &self.ctx
     }
 
     /// The current density matrix.
@@ -182,7 +208,7 @@ impl SimulationEngine for DensityMatrixEngine {
                 controls,
             } => {
                 self.rho
-                    .apply_controlled_gate(&gate.matrix(), *target, controls);
+                    .apply_controlled_gate_with(&gate.matrix(), *target, controls, &self.ctx);
             }
             OpKind::Swap { a, b, controls } => {
                 // SWAP = CX(a→b) · CX(b→a) · CX(a→b), with the swap's own
@@ -192,9 +218,12 @@ impl SimulationEngine for DensityMatrixEngine {
                 ctrl_a.push(*a);
                 let mut ctrl_b = controls.clone();
                 ctrl_b.push(*b);
-                self.rho.apply_controlled_gate(&x, *b, &ctrl_a);
-                self.rho.apply_controlled_gate(&x, *a, &ctrl_b);
-                self.rho.apply_controlled_gate(&x, *b, &ctrl_a);
+                self.rho
+                    .apply_controlled_gate_with(&x, *b, &ctrl_a, &self.ctx);
+                self.rho
+                    .apply_controlled_gate_with(&x, *a, &ctrl_b, &self.ctx);
+                self.rho
+                    .apply_controlled_gate_with(&x, *b, &ctrl_a, &self.ctx);
             }
             other => {
                 return Err(EngineError::NonUnitary {
@@ -204,7 +233,7 @@ impl SimulationEngine for DensityMatrixEngine {
         }
         let mut kraus_applications = 0u64;
         for (qubit, kraus) in self.noise.channels_for(inst) {
-            self.rho.apply_kraus(kraus, qubit);
+            self.rho.apply_kraus_with(kraus, qubit, &self.ctx);
             kraus_applications += 1;
         }
         self.push_metrics(inst, kraus_applications);
@@ -304,6 +333,9 @@ impl SimulationEngine for DensityMatrixEngine {
 
     fn telemetry(&mut self, sink: &TelemetrySink) {
         self.sink = sink.enabled_clone();
+        // The pool records only spans and a `_us` histogram — both off
+        // the deterministic gate metric stream.
+        self.ctx.set_telemetry(sink);
     }
 }
 

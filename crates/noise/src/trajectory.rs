@@ -11,18 +11,20 @@
 //! [`EngineCaps::stochastic_kraus`](qdt_engine::EngineCaps).
 //!
 //! Trajectories are embarrassingly parallel: they are striped across
-//! `std::thread` workers, each trajectory seeding its own RNG from the
-//! config seed and its trajectory index alone — so results are
+//! the shared `qdt-parallel` worker pool (the same threads the array and
+//! density gate kernels use), each trajectory seeding its own RNG from
+//! the config seed and its trajectory index alone — so results are
 //! bit-identical for any worker count.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use qdt_circuit::{Instruction, PauliString};
 use qdt_complex::Complex;
 use qdt_engine::{
     check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
 };
+use qdt_parallel::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -168,8 +170,9 @@ impl TrajectoryEngine {
         Ok((engine, rng))
     }
 
-    /// Runs `job` for every trajectory index, striped across the
-    /// configured worker threads, and folds the per-worker outputs.
+    /// Runs `job` for every trajectory index, striped across the shared
+    /// worker pool (worker `w` owns trajectories `w, w + workers, …`),
+    /// and folds the per-worker outputs in worker order.
     ///
     /// With telemetry attached, each worker opens a `worker` span (the
     /// tracer tags it with the worker thread's own id) and reports its
@@ -187,44 +190,52 @@ impl TrajectoryEngine {
             #[allow(clippy::cast_precision_loss)]
             sink.metrics().gauge_set("traj.workers", workers as f64);
         }
-        let mut results: Vec<T> = Vec::with_capacity(total);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let job = &job;
-                    let sink = self.sink.clone();
-                    scope.spawn(move || {
-                        let _span = sink
-                            .as_ref()
-                            .map(|s| s.tracer().span_in("trajectories", "worker"));
-                        let started = std::time::Instant::now();
-                        let mut completed = 0u64;
-                        let mut out = Vec::new();
-                        for t in (w..total).step_by(workers) {
-                            if let Some(v) = job(t as u64)? {
-                                out.push(v);
-                            }
-                            completed += 1;
-                        }
-                        if let Some(s) = &sink {
-                            let m = s.metrics();
-                            m.counter_add("traj.trajectories.completed", completed);
-                            #[allow(clippy::cast_precision_loss)]
-                            m.histogram_record(
-                                "traj.worker.busy_us",
-                                started.elapsed().as_micros() as f64,
-                            );
-                        }
-                        Ok::<_, EngineError>(out)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                let worker_out = handle.join().expect("trajectory worker panicked")?;
-                results.extend(worker_out);
+        // One result slot per worker; each worker locks only its own
+        // slot, so there is no contention, and folding the slots in
+        // order preserves the stripe ordering of the scoped-thread
+        // implementation this replaces.
+        type WorkerSlot<T> = Mutex<Option<Result<Vec<T>, EngineError>>>;
+        let slots: Vec<WorkerSlot<T>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        let sink = &self.sink;
+        WorkerPool::shared(workers).run_per_worker(workers, &|w| {
+            let _span = sink
+                .as_ref()
+                .map(|s| s.tracer().span_in("trajectories", "worker"));
+            let started = std::time::Instant::now();
+            let mut completed = 0u64;
+            let mut out = Vec::new();
+            let mut failure = None;
+            for t in (w..total).step_by(workers) {
+                match job(t as u64) {
+                    Ok(Some(v)) => out.push(v),
+                    Ok(None) => {}
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+                completed += 1;
             }
-            Ok(results)
-        })
+            if let Some(s) = sink {
+                let m = s.metrics();
+                m.counter_add("traj.trajectories.completed", completed);
+                #[allow(clippy::cast_precision_loss)]
+                m.histogram_record("traj.worker.busy_us", started.elapsed().as_micros() as f64);
+            }
+            *slots[w].lock().expect("trajectory slot poisoned") = Some(match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            });
+        });
+        let mut results: Vec<T> = Vec::with_capacity(total);
+        for slot in slots {
+            let worker_out = slot
+                .into_inner()
+                .expect("trajectory slot poisoned")
+                .expect("trajectory worker slot unfilled")?;
+            results.extend(worker_out);
+        }
+        Ok(results)
     }
 }
 

@@ -32,12 +32,14 @@ pub struct GateRecord {
 /// The per-gate telemetry stream of one traced run.
 pub type GateLog = Vec<GateRecord>;
 
-/// Whether a metric name denotes a wall-clock quantity (`_ns`/`_us`
-/// suffix). Such fields vary run-to-run and are excluded from
-/// determinism comparisons and committed snapshots.
+/// Whether a metric name denotes a wall-clock quantity: a `_ns`/`_us`
+/// suffix, or a derived field of one (histogram projections like
+/// `pool.busy_us.count`, whose values depend on runtime scheduling).
+/// Such fields vary run-to-run and are excluded from determinism
+/// comparisons and committed snapshots.
 #[must_use]
 pub fn is_wall_clock(name: &str) -> bool {
-    name.ends_with("_ns") || name.ends_with("_us")
+    name.ends_with("_ns") || name.ends_with("_us") || name.contains("_ns.") || name.contains("_us.")
 }
 
 /// Renders trace events as a Chrome trace-event JSON document.

@@ -21,8 +21,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Engine specs under test: all four registered defaults (MPS with a
-/// bond cap generous enough to stay exact at these widths).
-const SPECS: [&str; 4] = ["array", "decision-diagram", "tensor-network", "mps:64"];
+/// bond cap generous enough to stay exact at these widths), plus the
+/// array engine on the 4-thread parallel kernels (`threshold=1` forces
+/// the chunked path even on these small registers).
+const SPECS: [&str; 5] = [
+    "array",
+    "array(threads=4,threshold=1)",
+    "decision-diagram",
+    "tensor-network",
+    "mps:64",
+];
 
 fn clifford_t_gate() -> impl Strategy<Value = Gate> {
     prop_oneof![
