@@ -5,14 +5,27 @@
 //! ```
 //!
 //! Each file is parsed into a [`qdt_circuit::Circuit`] and run through
-//! the default analyzer (well-formedness, dead code, redundancy) plus
-//! the resource report. Findings print as human-readable text, or as one
-//! JSON document per file with `--json`. The exit code is 1 if any file
-//! fails to parse or produces an error-severity diagnostic, 0 otherwise.
+//! the default analyzer (well-formedness, dead code, redundancy, and the
+//! dataflow passes) plus the resource report. Findings print as
+//! human-readable text, or as one JSON document per file with `--json`.
+//!
+//! Exit codes: 0 when every file parses and emits nothing worse than
+//! info-level findings; 1 when any file cannot be read, fails to parse,
+//! or produces a warning- or error-severity diagnostic.
 
 use std::process::ExitCode;
 
-use qdt_analysis::{render_json, render_text, Analyzer};
+use qdt_analysis::{render_json, render_text, Analyzer, Severity};
+
+const USAGE: &str = "usage: qdt-lint [--json] FILE.qasm [FILE.qasm ...]
+
+Lints OpenQASM 2.0 files with the default qdt-analysis pass set and
+prints findings as text (or JSON with --json).
+
+Exit codes:
+  0  every file parsed and produced only info-level findings (or none)
+  1  a file could not be read or parsed, or any diagnostic at warning
+     severity or above was emitted";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -21,14 +34,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: qdt-lint [--json] FILE.qasm [FILE.qasm ...]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: qdt-lint [--json] FILE.qasm [FILE.qasm ...]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -57,7 +70,11 @@ fn main() -> ExitCode {
         } else {
             print!("{}", render_text(path, &report));
         }
-        if !report.is_clean() {
+        if report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity >= Severity::Warning)
+        {
             failed = true;
         }
     }

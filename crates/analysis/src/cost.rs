@@ -1,0 +1,273 @@
+//! The per-backend cost model behind the `auto` engine spec.
+//!
+//! The paper's thesis — arrays, decision diagrams, and tensor networks
+//! each win on different circuit shapes — becomes actionable once the
+//! shapes are measured. [`circuit_facts`] gathers the dataflow facts
+//! (resources, Clifford regions, interaction cut-width, lightcone
+//! liveness) and [`plan_dispatch`] turns them into one predicted cost
+//! per backend:
+//!
+//! * `n` qubits, `g` gates (`g₂` multi-qubit), `m` non-Clifford gates,
+//!   `w` the interaction cut-width proxy, `χ̂ = 2^min(w, n/2)` the
+//!   predicted peak Schmidt rank;
+//! * **array** — `g · 2^n`, infeasible past
+//!   [`ARRAY_MAX_QUBITS`] (dense allocation);
+//! * **decision diagram** — `8 · g · n · 2^ℓ` with
+//!   `ℓ = min(n, w + m/2)`: width-bounded entanglement plus
+//!   non-Clifford density drive node growth. Pure-Clifford spans get
+//!   the stabilizer-shaped discount automatically (`m = 0 ⇒ ℓ ≤ w`);
+//! * **MPS** — `8·g₂·χ̂³ + 4·(g−g₂)·χ̂²` (per-gate contraction + SVD);
+//!   the dispatched spec caps χ at the default bond, so
+//!   high-entanglement circuits are priced out rather than silently
+//!   truncated;
+//! * **tensor network** — `16 · g · 2^min(2w, n)`: single-amplitude
+//!   contraction with intermediate tensors bounded by the cut.
+//!
+//! The units are arbitrary flop-shaped counts: only the *ordering*
+//! matters, and ties break toward the earlier entry in
+//! [`DispatchDecision::estimates`] (exact-and-simple first).
+
+use qdt_circuit::Circuit;
+
+use crate::dag::CircuitDag;
+use crate::passes::{
+    clifford_regions, interaction_facts, lightcone_facts, CliffordRegion, InteractionFacts,
+    LightconeFacts,
+};
+use crate::resources::{resource_report, ResourceReport};
+
+/// Widest register the dense array backend is considered feasible for.
+pub const ARRAY_MAX_QUBITS: usize = 28;
+
+/// Bond-dimension cap written into a dispatched `mps:<χ>` spec.
+pub const MPS_DISPATCH_BOND_CAP: usize = 64;
+
+/// Every dataflow fact the cost model (and the reporters) consume.
+#[derive(Debug, Clone)]
+pub struct CircuitFacts {
+    /// The classic resource summary.
+    pub resources: ResourceReport,
+    /// Maximal Clifford-only spans.
+    pub regions: Vec<CliffordRegion>,
+    /// Interaction graph, components, and the cut-width proxy.
+    pub interaction: InteractionFacts,
+    /// Per-instruction measurement-lightcone liveness.
+    pub lightcone: LightconeFacts,
+    /// Unitary gates outside every measurement lightcone.
+    pub dead_gates: usize,
+    /// Non-Clifford unitary gate count.
+    pub non_clifford_gates: usize,
+}
+
+/// Gathers all dataflow facts of `circuit` in one pass bundle.
+#[must_use]
+pub fn circuit_facts(circuit: &Circuit) -> CircuitFacts {
+    let dag = CircuitDag::build(circuit);
+    let lightcone = lightcone_facts(circuit, &dag);
+    let dead_gates = lightcone.dead_gates(circuit);
+    let regions = clifford_regions(circuit);
+    let clifford_in_regions: usize = regions.iter().map(|r| r.gates).sum();
+    let resources = resource_report(circuit);
+    let num_gates: usize = resources.gate_counts.values().sum();
+    CircuitFacts {
+        non_clifford_gates: num_gates.saturating_sub(clifford_in_regions),
+        resources,
+        regions,
+        interaction: interaction_facts(circuit),
+        lightcone,
+        dead_gates,
+    }
+}
+
+/// One backend's predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendCost {
+    /// The engine spec this estimate prices (e.g. `"mps:8"`).
+    pub spec: String,
+    /// Predicted cost in arbitrary flop-shaped units.
+    pub cost: f64,
+    /// `false` when the backend cannot run the circuit at all (e.g.
+    /// dense arrays past [`ARRAY_MAX_QUBITS`]).
+    pub feasible: bool,
+}
+
+/// The cost model's verdict: the cheapest feasible backend plus every
+/// estimate that went into the decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchDecision {
+    /// Spec of the predicted-cheapest feasible backend.
+    pub chosen: String,
+    /// All estimates, in tie-break order.
+    pub estimates: Vec<BackendCost>,
+}
+
+impl DispatchDecision {
+    /// The estimate backing the chosen spec.
+    #[must_use]
+    pub fn chosen_estimate(&self) -> &BackendCost {
+        self.estimates
+            .iter()
+            .find(|e| e.spec == self.chosen)
+            .expect("chosen spec is always one of the estimates")
+    }
+}
+
+fn exp2_capped(exponent: f64) -> f64 {
+    exponent.min(120.0).exp2()
+}
+
+/// Prices every backend for the circuit described by `facts` and picks
+/// the cheapest feasible one.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn plan_dispatch(facts: &CircuitFacts) -> DispatchDecision {
+    let n = facts.resources.num_qubits.max(1);
+    let g = facts.resources.gate_counts.values().sum::<usize>().max(1) as f64;
+    let g2 = facts.resources.two_qubit_gate_count as f64;
+    let g1 = (g - g2).max(0.0);
+    let m = facts.non_clifford_gates as f64;
+    let w = facts.interaction.cut_width as f64;
+    let nf = n as f64;
+
+    let log_chi = w.min(nf / 2.0);
+    let chi_hat = exp2_capped(log_chi);
+    let cost_array = g * exp2_capped(nf);
+    let l_dd = nf.min(w + m / 2.0);
+    let cost_dd = 8.0 * g * nf * exp2_capped(l_dd);
+    let cost_mps = 8.0 * g2 * chi_hat.powi(3) + 4.0 * g1 * chi_hat.powi(2);
+    let cost_tn = 16.0 * g * exp2_capped((2.0 * w).min(nf));
+
+    let mps_spec = format!("mps:{}", (chi_hat as usize).clamp(2, MPS_DISPATCH_BOND_CAP));
+    let estimates = vec![
+        BackendCost {
+            spec: "array".into(),
+            cost: cost_array,
+            feasible: n <= ARRAY_MAX_QUBITS,
+        },
+        BackendCost {
+            spec: "decision-diagram".into(),
+            cost: cost_dd,
+            feasible: true,
+        },
+        BackendCost {
+            spec: mps_spec,
+            cost: cost_mps,
+            feasible: true,
+        },
+        BackendCost {
+            spec: "tensor-network".into(),
+            cost: cost_tn,
+            feasible: true,
+        },
+    ];
+    let chosen = estimates
+        .iter()
+        .filter(|e| e.feasible)
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+        .expect("dd and mps are always feasible")
+        .spec
+        .clone();
+    DispatchDecision { chosen, estimates }
+}
+
+/// Convenience: facts + decision for one circuit.
+#[must_use]
+pub fn dispatch_circuit(circuit: &Circuit) -> DispatchDecision {
+    plan_dispatch(&circuit_facts(circuit))
+}
+
+/// Width above which a Clifford-only circuit on an exponential backend
+/// is reported (`QDT404`): below this, dense simulation is trivially
+/// cheap anyway.
+pub const QDT404_WIDTH_THRESHOLD: usize = 16;
+
+/// Whether a circuit is worth a stabilizer warning: used by the
+/// backend-fit pass (`QDT404`).
+pub(crate) fn clifford_only_and_wide(facts: &CircuitFacts) -> bool {
+    let has_gates = facts.resources.gate_counts.values().sum::<usize>() > 0;
+    has_gates
+        && facts.resources.clifford_only
+        && facts.resources.num_qubits > QDT404_WIDTH_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn wide_ghz_avoids_the_dense_array() {
+        let decision = dispatch_circuit(&generators::ghz(40));
+        let array = &decision.estimates[0];
+        assert_eq!(array.spec, "array");
+        assert!(!array.feasible);
+        assert_ne!(decision.chosen, "array");
+    }
+
+    #[test]
+    fn narrow_t_dense_circuit_picks_the_array() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let qc = generators::random_clifford_t(12, 12, 0.35, &mut rng);
+        let decision = dispatch_circuit(&qc);
+        assert_eq!(decision.chosen, "array", "{:?}", decision.estimates);
+    }
+
+    #[test]
+    fn low_entanglement_chain_picks_a_structured_backend() {
+        let decision = dispatch_circuit(&generators::w_state(16));
+        assert_ne!(decision.chosen, "array", "{:?}", decision.estimates);
+        assert!(
+            decision.chosen.starts_with("mps")
+                || decision.chosen == "decision-diagram"
+                || decision.chosen == "tensor-network",
+            "{:?}",
+            decision.chosen
+        );
+    }
+
+    #[test]
+    fn clifford_discount_prices_dd_below_generic_width() {
+        // Same width and gate count, but pure Clifford vs T-heavy: the
+        // Clifford circuit must price DD strictly cheaper.
+        let mut clifford = Circuit::new(12);
+        let mut t_heavy = Circuit::new(12);
+        for i in 0..11 {
+            clifford.cx(i, i + 1).s(i);
+            t_heavy.cx(i, i + 1).t(i);
+        }
+        let dd_cost = |qc: &Circuit| {
+            dispatch_circuit(qc)
+                .estimates
+                .iter()
+                .find(|e| e.spec == "decision-diagram")
+                .expect("dd estimate")
+                .cost
+        };
+        assert!(dd_cost(&clifford) < dd_cost(&t_heavy));
+    }
+
+    #[test]
+    fn decision_always_resolves_to_a_feasible_estimate() {
+        for qc in [
+            generators::bell(),
+            generators::ghz(60),
+            generators::qft(10, true),
+            generators::w_state(8),
+        ] {
+            let decision = dispatch_circuit(&qc);
+            assert!(decision.chosen_estimate().feasible, "{decision:?}");
+        }
+    }
+
+    #[test]
+    fn facts_bundle_is_consistent() {
+        let mut qc = Circuit::with_clbits(3, 1);
+        qc.h(0).cx(0, 1).t(2).measure(0, 0);
+        let facts = circuit_facts(&qc);
+        assert_eq!(facts.non_clifford_gates, 1);
+        assert_eq!(facts.regions.len(), 1);
+        // t(2) feeds no measurement: one dead gate.
+        assert_eq!(facts.dead_gates, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! A fixed-point dataflow framework over the [`CircuitDag`].
+//!
+//! Classic worklist solving, specialised to the circuit IR: an
+//! [`Analysis`] names a direction, a per-node seed fact, a transfer
+//! function over dependence edges, and a join. [`solve`] iterates until
+//! no fact changes.
+//!
+//! # The fixed-point contract
+//!
+//! * `join(acc, x)` must be monotone and idempotent: joining the same
+//!   fact twice changes nothing, and facts only ever *grow* (with
+//!   respect to the analysis' implicit lattice order). `join` returns
+//!   whether `acc` changed, which is what drives the worklist.
+//! * `transfer` must be monotone in its input fact. It may return
+//!   `None` to kill propagation across an edge (e.g. liveness does not
+//!   flow backwards through a `reset`, which overwrites its qubit).
+//! * Under those two conditions the solver terminates on any circuit:
+//!   the DAG is finite and acyclic (stream order is a topological
+//!   order), so every fact stabilises after finitely many joins. At
+//!   exit, re-running `transfer`+`join` over every edge changes no
+//!   fact — the solution is a true fixed point, which
+//!   [`Solution::verify_fixed_point`] checks in debug builds and tests.
+
+use qdt_circuit::Circuit;
+
+use crate::dag::{CircuitDag, Edge};
+
+/// Which way facts flow along dependence edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From definitions to uses (stream order).
+    Forward,
+    /// From uses to definitions (reverse stream order) — liveness,
+    /// lightcones.
+    Backward,
+}
+
+/// One dataflow analysis over the def-use DAG.
+pub trait Analysis {
+    /// The per-node fact.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The seed fact of node `i` before any propagation.
+    fn seed(&self, i: usize, circuit: &Circuit) -> Self::Fact;
+
+    /// The contribution `fact` (of the source node in this analysis'
+    /// direction) makes across `edge`, or `None` when the edge kills
+    /// propagation.
+    fn transfer(&self, edge: &Edge, fact: &Self::Fact, circuit: &Circuit) -> Option<Self::Fact>;
+
+    /// Joins `incoming` into `acc`; returns `true` iff `acc` changed.
+    fn join(&self, acc: &mut Self::Fact, incoming: &Self::Fact) -> bool;
+}
+
+/// The result of [`solve`]: one fact per instruction, plus the
+/// iteration count (worklist pops) for the curious.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// The stabilised fact of each instruction, by stream index.
+    pub facts: Vec<F>,
+    /// Worklist pops until stabilisation.
+    pub iterations: usize,
+}
+
+impl<F: Clone + PartialEq> Solution<F> {
+    /// Checks that one more sweep changes nothing — the fixed-point
+    /// contract. Used by tests and debug assertions.
+    pub fn verify_fixed_point<A>(&self, analysis: &A, circuit: &Circuit, dag: &CircuitDag) -> bool
+    where
+        A: Analysis<Fact = F>,
+    {
+        for i in 0..dag.num_nodes() {
+            let edges = match analysis.direction() {
+                Direction::Forward => dag.preds(i),
+                Direction::Backward => dag.succs(i),
+            };
+            let mut acc = self.facts[i].clone();
+            for edge in edges {
+                let source = match analysis.direction() {
+                    Direction::Forward => edge.from,
+                    Direction::Backward => edge.to,
+                };
+                if let Some(contrib) = analysis.transfer(edge, &self.facts[source], circuit) {
+                    if analysis.join(&mut acc, &contrib) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Runs `analysis` to its fixed point over `circuit`'s DAG.
+pub fn solve<A: Analysis>(analysis: &A, circuit: &Circuit, dag: &CircuitDag) -> Solution<A::Fact> {
+    let n = dag.num_nodes();
+    let mut facts: Vec<A::Fact> = (0..n).map(|i| analysis.seed(i, circuit)).collect();
+    // Seeding the worklist in propagation order makes the acyclic case
+    // converge in one sweep; the loop below stays correct regardless.
+    // (`pop` drains from the back, hence the reversed layouts.)
+    let mut worklist: Vec<usize> = match analysis.direction() {
+        Direction::Forward => (0..n).rev().collect(),
+        Direction::Backward => (0..n).collect(),
+    };
+    let mut queued = vec![true; n];
+    let mut iterations = 0;
+    while let Some(i) = worklist.pop() {
+        queued[i] = false;
+        iterations += 1;
+        // Push this node's fact across its out-edges (in the analysis'
+        // direction) and re-queue any neighbour whose fact grew.
+        let fact = facts[i].clone();
+        let edges: Vec<Edge> = match analysis.direction() {
+            Direction::Forward => dag.succs(i).to_vec(),
+            Direction::Backward => dag.preds(i).to_vec(),
+        };
+        for edge in &edges {
+            let target = match analysis.direction() {
+                Direction::Forward => edge.to,
+                Direction::Backward => edge.from,
+            };
+            if let Some(contrib) = analysis.transfer(edge, &fact, circuit) {
+                if analysis.join(&mut facts[target], &contrib) && !queued[target] {
+                    queued[target] = true;
+                    worklist.push(target);
+                }
+            }
+        }
+    }
+    debug_assert!(
+        Solution {
+            facts: facts.clone(),
+            iterations
+        }
+        .verify_fixed_point(analysis, circuit, dag),
+        "dataflow solution is not a fixed point"
+    );
+    Solution { facts, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeKind;
+    use qdt_circuit::OpKind;
+
+    /// Forward reachability from the first instruction — the simplest
+    /// possible analysis, used to exercise the solver both ways.
+    struct ReachesFromEntry;
+
+    impl Analysis for ReachesFromEntry {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn seed(&self, i: usize, _c: &Circuit) -> bool {
+            i == 0
+        }
+        fn transfer(&self, _e: &Edge, fact: &bool, _c: &Circuit) -> Option<bool> {
+            Some(*fact)
+        }
+        fn join(&self, acc: &mut bool, incoming: &bool) -> bool {
+            let grew = *incoming && !*acc;
+            *acc |= *incoming;
+            grew
+        }
+    }
+
+    /// Backward liveness from measurements, with reset kills — a
+    /// miniature of the lightcone pass.
+    struct LiveFromMeasure;
+
+    impl Analysis for LiveFromMeasure {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn seed(&self, i: usize, c: &Circuit) -> bool {
+            matches!(c.instructions()[i].kind, OpKind::Measure { .. })
+        }
+        fn transfer(&self, edge: &Edge, fact: &bool, c: &Circuit) -> Option<bool> {
+            if let EdgeKind::Qubit(q) = edge.kind {
+                if matches!(c.instructions()[edge.to].kind, OpKind::Reset { qubit } if qubit == q) {
+                    return None; // reset overwrites: nothing flows back
+                }
+            }
+            Some(*fact)
+        }
+        fn join(&self, acc: &mut bool, incoming: &bool) -> bool {
+            let grew = *incoming && !*acc;
+            *acc |= *incoming;
+            grew
+        }
+    }
+
+    #[test]
+    fn forward_reachability_follows_entanglement() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).x(2);
+        let dag = crate::dag::CircuitDag::build(&qc);
+        let sol = solve(&ReachesFromEntry, &qc, &dag);
+        assert_eq!(sol.facts, vec![true, true, false]);
+        assert!(sol.verify_fixed_point(&ReachesFromEntry, &qc, &dag));
+    }
+
+    #[test]
+    fn backward_liveness_stops_at_reset() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).reset(0).x(0).measure(0, 0);
+        let dag = crate::dag::CircuitDag::build(&qc);
+        let sol = solve(&LiveFromMeasure, &qc, &dag);
+        // The H before the reset cannot influence the measurement.
+        assert_eq!(sol.facts, vec![false, true, true, true]);
+        assert!(sol.verify_fixed_point(&LiveFromMeasure, &qc, &dag));
+    }
+
+    #[test]
+    fn diamond_dependencies_converge_in_one_sweep() {
+        // h(0); h(1); cx(0,1); measure — the cx joins two chains.
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).h(1).cx(0, 1).measure(1, 0);
+        let dag = crate::dag::CircuitDag::build(&qc);
+        let sol = solve(&LiveFromMeasure, &qc, &dag);
+        assert!(sol.facts.iter().all(|&l| l));
+        // Acyclic + seeded in reverse order: one pop per node suffices.
+        assert_eq!(sol.iterations, qc.len());
+    }
+}

@@ -85,6 +85,7 @@ impl Pass for DeadCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qdt_circuit::{Gate, Instruction};
 
     #[test]
     fn gate_after_final_measure_is_dead() {
@@ -108,6 +109,48 @@ mod tests {
         let mut qc = Circuit::with_clbits(1, 1);
         qc.h(0).measure(0, 0).reset(0).x(0);
         assert!(DeadCode.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn conditioned_gate_feeding_a_measurement_is_not_dead() {
+        // measure(0)->c0 writes c0; the conditioned X on q1 reads it and
+        // feeds the final measurement of q1: live on every account.
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).measure(0, 0);
+        qc.push_unchecked(
+            Instruction::new(OpKind::Unitary {
+                gate: Gate::X,
+                target: 1,
+                controls: vec![],
+            })
+            .with_cond(0, true),
+        );
+        qc.measure(1, 1);
+        assert!(DeadCode.run(&qc).is_empty());
+        // The full default pass set (including the lightcone pass) must
+        // agree: no dead-code finding of any kind.
+        let report = crate::Analyzer::new().analyze(&qc);
+        assert_eq!(report.with_code(Code::GateAfterMeasure).count(), 0);
+        assert_eq!(report.with_code(Code::OutsideLightcone).count(), 0);
+    }
+
+    #[test]
+    fn conditioned_gate_after_final_measure_is_still_dead() {
+        // The condition does not shield a gate acting after its qubit's
+        // final measurement.
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0);
+        qc.push_unchecked(
+            Instruction::new(OpKind::Unitary {
+                gate: Gate::X,
+                target: 0,
+                controls: vec![],
+            })
+            .with_cond(0, true),
+        );
+        let diags = DeadCode.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::GateAfterMeasure);
     }
 
     #[test]

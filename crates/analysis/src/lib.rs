@@ -7,7 +7,12 @@
 //!
 //! * **Circuit lints** run over a [`qdt_circuit::Circuit`] and produce
 //!   structured [`Diagnostic`]s: well-formedness (`QDT0xx`), dead code
-//!   (`QDT1xx`), redundancy (`QDT2xx`).
+//!   (`QDT1xx`), redundancy (`QDT2xx`), and dataflow findings
+//!   (`QDT4xx`) computed on the def-use DAG ([`dag`]) by fixed-point
+//!   passes ([`dataflow`], [`passes`]).
+//! * **A cost model** ([`cost`]) prices every backend from the same
+//!   dataflow facts; it powers the `auto` engine spec of the umbrella
+//!   crate.
 //! * **A resource report** ([`ResourceReport`]) summarises gate counts,
 //!   T-count, depth and Clifford membership — the quantities compilers
 //!   and fault-tolerance estimates key off.
@@ -31,6 +36,30 @@
 //! let report = Analyzer::new().analyze(&qc);
 //! assert!(report.diagnostics.iter().any(|d| d.code == qdt_analysis::Code::RedundantPair));
 //! ```
+//!
+//! # Diagnostic code table
+//!
+//! Every code the linter can emit, by band:
+//!
+//! | Code | Severity | Finding |
+//! |--------|---------|---------------------------------------------------|
+//! | QDT001 | error   | qubit index out of range                          |
+//! | QDT002 | error   | instruction names the same qubit twice            |
+//! | QDT003 | error   | classical bit index out of range                  |
+//! | QDT004 | warning | condition reads a clbit no measurement writes     |
+//! | QDT101 | warning | gate on a qubit after its final measurement       |
+//! | QDT102 | info    | qubit never touched by any instruction            |
+//! | QDT201 | warning | adjacent gate pair cancels                        |
+//! | QDT301 | error   | data-structure invariant auditor violation        |
+//! | QDT401 | warning | gate outside every measurement lightcone          |
+//! | QDT402 | warning | pair cancels through provably-commuting gates     |
+//! | QDT403 | info    | qubit never entangled with the measured set       |
+//! | QDT404 | info    | wide Clifford-only circuit on exponential backend |
+
+pub mod cost;
+pub mod dag;
+pub mod dataflow;
+pub mod passes;
 
 mod deadcode;
 mod profile;
@@ -42,7 +71,11 @@ mod wellformed;
 #[cfg(feature = "audit")]
 pub mod audit;
 
+pub use cost::{
+    circuit_facts, dispatch_circuit, plan_dispatch, BackendCost, CircuitFacts, DispatchDecision,
+};
 pub use deadcode::DeadCode;
+pub use passes::{BackendFit, Commutation, Isolation, Lightcone};
 pub use profile::{
     render_simulation_profile, simulation_profile, simulation_profile_traced, SimulationProfile,
 };
@@ -77,7 +110,8 @@ impl Severity {
 
 /// Stable diagnostic codes. The numeric bands group related findings:
 /// `QDT0xx` well-formedness, `QDT1xx` dead code, `QDT2xx` redundancy,
-/// `QDT3xx` data-structure audit violations.
+/// `QDT3xx` data-structure audit violations, `QDT4xx` dataflow facts
+/// computed on the def-use DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// QDT001: a qubit index is out of range for the register.
@@ -97,6 +131,36 @@ pub enum Code {
     RedundantPair,
     /// QDT301: a data-structure invariant auditor found a violation.
     AuditViolation,
+    /// QDT401: a gate lies outside every measurement lightcone — no
+    /// def-use chain connects it to an observed outcome.
+    OutsideLightcone,
+    /// QDT402: a gate pair cancels through intervening gates that
+    /// provably commute with both.
+    CommutingCancellation,
+    /// QDT403: a qubit is touched by gates but never entangled with any
+    /// measured qubit.
+    UnentangledQubit,
+    /// QDT404: a wide Clifford-only circuit for which exponential-cost
+    /// dense backends are predicted overkill.
+    CliffordOnlyExponential,
+}
+
+impl Code {
+    /// Every code, in `as_str` order — handy for exhaustive table tests.
+    pub const ALL: [Code; 12] = [
+        Code::QubitOutOfRange,
+        Code::DuplicateQubit,
+        Code::ClbitOutOfRange,
+        Code::CondUnwrittenClbit,
+        Code::GateAfterMeasure,
+        Code::UntouchedQubit,
+        Code::RedundantPair,
+        Code::AuditViolation,
+        Code::OutsideLightcone,
+        Code::CommutingCancellation,
+        Code::UnentangledQubit,
+        Code::CliffordOnlyExponential,
+    ];
 }
 
 impl Code {
@@ -111,6 +175,10 @@ impl Code {
             Code::UntouchedQubit => "QDT102",
             Code::RedundantPair => "QDT201",
             Code::AuditViolation => "QDT301",
+            Code::OutsideLightcone => "QDT401",
+            Code::CommutingCancellation => "QDT402",
+            Code::UnentangledQubit => "QDT403",
+            Code::CliffordOnlyExponential => "QDT404",
         }
     }
 
@@ -118,10 +186,14 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::QubitOutOfRange | Code::ClbitOutOfRange | Code::DuplicateQubit => Severity::Error,
-            Code::CondUnwrittenClbit | Code::GateAfterMeasure | Code::RedundantPair => {
-                Severity::Warning
+            Code::CondUnwrittenClbit
+            | Code::GateAfterMeasure
+            | Code::RedundantPair
+            | Code::OutsideLightcone
+            | Code::CommutingCancellation => Severity::Warning,
+            Code::UntouchedQubit | Code::UnentangledQubit | Code::CliffordOnlyExponential => {
+                Severity::Info
             }
-            Code::UntouchedQubit => Severity::Info,
             Code::AuditViolation => Severity::Error,
         }
     }
@@ -161,6 +233,23 @@ pub trait Pass {
     fn run(&self, circuit: &Circuit) -> Vec<Diagnostic>;
 }
 
+/// Dataflow facts and the cost-model verdict, condensed for reports.
+#[derive(Debug, Clone)]
+pub struct DataflowSummary {
+    /// Greedy cut-width of the interaction graph (log₂ Schmidt-rank
+    /// proxy).
+    pub cut_width: usize,
+    /// Number of maximal Clifford-only regions.
+    pub clifford_regions: usize,
+    /// Unitary gates outside every measurement lightcone (0 when the
+    /// circuit has no measurements).
+    pub dead_gates: usize,
+    /// Unitary gates outside every Clifford region.
+    pub non_clifford_gates: usize,
+    /// The cost model's backend choice and all per-backend estimates.
+    pub dispatch: DispatchDecision,
+}
+
 /// The combined result of running the analyzer.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -169,6 +258,8 @@ pub struct AnalysisReport {
     pub diagnostics: Vec<Diagnostic>,
     /// The circuit's resource summary.
     pub resources: ResourceReport,
+    /// Dataflow facts plus the cost model's dispatch verdict.
+    pub dataflow: DataflowSummary,
 }
 
 impl AnalysisReport {
@@ -199,13 +290,18 @@ impl Default for Analyzer {
 
 impl Analyzer {
     /// An analyzer with the default pass set: well-formedness, dead code,
-    /// redundancy.
+    /// redundancy, plus the dataflow passes (lightcone, commutation,
+    /// isolation, backend fit).
     pub fn new() -> Self {
         Analyzer {
             passes: vec![
                 Box::new(WellFormedness),
                 Box::new(DeadCode),
                 Box::new(Redundancy),
+                Box::new(Lightcone),
+                Box::new(Commutation),
+                Box::new(Isolation),
+                Box::new(BackendFit),
             ],
         }
     }
@@ -238,9 +334,18 @@ impl Analyzer {
             let kb = (b.instruction_index.is_none(), b.instruction_index, b.code);
             ka.cmp(&kb)
         });
+        let facts = circuit_facts(circuit);
+        let dataflow = DataflowSummary {
+            cut_width: facts.interaction.cut_width,
+            clifford_regions: facts.regions.len(),
+            dead_gates: facts.dead_gates,
+            non_clifford_gates: facts.non_clifford_gates,
+            dispatch: plan_dispatch(&facts),
+        };
         AnalysisReport {
             diagnostics,
-            resources: resource_report(circuit),
+            resources: facts.resources,
+            dataflow,
         }
     }
 }
@@ -296,6 +401,55 @@ mod tests {
             );
         }
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn every_code_appears_exactly_once_in_the_doc_table() {
+        // Satellite: the documented code table at the top of this file
+        // must list each emittable code exactly once, with the right
+        // severity label, so docs can never drift from the enum.
+        let source = include_str!("lib.rs");
+        let rows: Vec<&str> = source
+            .lines()
+            .map(str::trim_start)
+            .filter(|l| l.starts_with("//! | QDT"))
+            .collect();
+        assert_eq!(
+            rows.len(),
+            Code::ALL.len(),
+            "table rows vs Code variants: {rows:#?}"
+        );
+        for code in Code::ALL {
+            let matching: Vec<&&str> = rows
+                .iter()
+                .filter(|row| row.contains(code.as_str()))
+                .collect();
+            assert_eq!(
+                matching.len(),
+                1,
+                "{} must appear exactly once in the doc table",
+                code.as_str()
+            );
+            assert!(
+                matching[0].contains(code.severity().label()),
+                "{} row must carry severity `{}`: {}",
+                code.as_str(),
+                code.severity().label(),
+                matching[0]
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_report_carries_dataflow_summary() {
+        let mut qc = Circuit::with_clbits(3, 1);
+        qc.h(0).cx(0, 1).t(2).measure(0, 0);
+        let report = Analyzer::new().analyze(&qc);
+        assert_eq!(report.dataflow.clifford_regions, 1);
+        assert_eq!(report.dataflow.non_clifford_gates, 1);
+        assert_eq!(report.dataflow.dead_gates, 1);
+        assert!(!report.dataflow.dispatch.chosen.is_empty());
+        assert_eq!(report.dataflow.dispatch.estimates.len(), 4);
     }
 
     #[test]

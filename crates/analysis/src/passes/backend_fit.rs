@@ -1,0 +1,73 @@
+//! Backend-fit advice (`QDT404`): a wide Clifford-only circuit priced
+//! onto an exponential backend deserves a nudge toward structured
+//! simulation.
+//!
+//! Clifford circuits are classically simulable in polynomial time
+//! (Gottesman–Knill); past [`QDT404_WIDTH_THRESHOLD`] qubits a dense
+//! state vector pays `2^n` for a state the stabilizer formalism (or a
+//! width-bounded decision diagram / MPS) tracks cheaply. The `auto`
+//! spec follows the same cost model, so this lint is exactly "you
+//! would not want the array backend here".
+
+use qdt_circuit::Circuit;
+
+use crate::cost::{circuit_facts, clifford_only_and_wide, plan_dispatch, QDT404_WIDTH_THRESHOLD};
+use crate::{Code, Diagnostic, Pass};
+
+/// Flags wide Clifford-only circuits for which exponential-cost
+/// backends are predicted overkill (`QDT404`).
+pub struct BackendFit;
+
+impl Pass for BackendFit {
+    fn name(&self) -> &'static str {
+        "backend-fit"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let facts = circuit_facts(circuit);
+        if !clifford_only_and_wide(&facts) {
+            return Vec::new();
+        }
+        let decision = plan_dispatch(&facts);
+        vec![Diagnostic::new(
+            Code::CliffordOnlyExponential,
+            None,
+            format!(
+                "the circuit is Clifford-only on {} qubits (> {QDT404_WIDTH_THRESHOLD}): \
+                 an exponential dense backend is overkill; the cost model picks `{}`",
+                facts.resources.num_qubits, decision.chosen
+            ),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn wide_clifford_circuit_is_flagged() {
+        let diags = BackendFit.run(&generators::ghz(24));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::CliffordOnlyExponential);
+        assert!(diags[0].message.contains('`'), "names the chosen spec");
+    }
+
+    #[test]
+    fn narrow_clifford_circuit_is_not_flagged() {
+        assert!(BackendFit.run(&generators::ghz(8)).is_empty());
+    }
+
+    #[test]
+    fn wide_non_clifford_circuit_is_not_flagged() {
+        let mut qc = generators::ghz(24);
+        qc.t(0);
+        assert!(BackendFit.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn empty_circuit_is_not_flagged() {
+        assert!(BackendFit.run(&Circuit::new(32)).is_empty());
+    }
+}

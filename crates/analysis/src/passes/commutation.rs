@@ -1,0 +1,230 @@
+//! Commutation-aware cancellation detection (`QDT402`).
+//!
+//! The peephole redundancy pass (`QDT201`) only sees pairs whose
+//! in-between instructions touch *disjoint* qubits. This pass also
+//! cancels through instructions that *share* qubits but provably
+//! commute — `cx(0,1); z(0); cx(0,1)` cancels because Z on the control
+//! commutes with CX.
+//!
+//! The commutation test is structural and conservative. Each
+//! instruction acts on each of its qubits in one of two commuting
+//! one-qubit algebras:
+//!
+//! * **Z-class** — control qubits (diagonal projectors) and diagonal
+//!   gates (`Z`, `S`, `T`, `Rz`, `Phase`, …). Everything diagonal
+//!   commutes with everything diagonal.
+//! * **X-class** — `X`-axis gates on the target (`X`, `Sx`, `Sx†`,
+//!   `Rx`), all of the form `e^{iθX}` up to global phase, so they
+//!   mutually commute.
+//!
+//! Two instructions commute when, on every *shared* qubit, both act in
+//! the *same* class. Since controlled gates decompose as
+//! `Π|1⟩⟨1| ⊗ G + (1 − Π) ⊗ I`, equal classes make every term pair
+//! commute qubit-by-qubit, which is sufficient (not necessary —
+//! anything unclassifiable is treated as non-commuting).
+
+use qdt_circuit::{Circuit, Gate, Instruction, OpKind};
+
+use crate::redundancy::cancels;
+use crate::{Code, Diagnostic, Pass};
+
+/// How far ahead of a gate the pass searches for its cancelling twin.
+/// Keeps the scan `O(len · WINDOW)` on pathological circuits.
+const WINDOW: usize = 64;
+
+/// Which commuting one-qubit algebra an instruction acts in on a qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    /// Diagonal: controls and diagonal gates.
+    Z,
+    /// `e^{iθX}`-shaped on the target.
+    X,
+    /// Anything else (swaps, `H`, `Y`, `Ry`, `U`, …).
+    Other,
+}
+
+/// The axis `inst` acts along on qubit `q` (which must be one of its
+/// qubits).
+fn axis_on(inst: &Instruction, q: usize) -> Axis {
+    match &inst.kind {
+        OpKind::Unitary {
+            gate,
+            target,
+            controls,
+        } => {
+            if controls.contains(&q) {
+                return Axis::Z;
+            }
+            if *target != q {
+                return Axis::Other;
+            }
+            if gate.is_diagonal() {
+                Axis::Z
+            } else if matches!(gate, Gate::X | Gate::Sx | Gate::Sxdg | Gate::Rx(_)) {
+                Axis::X
+            } else {
+                Axis::Other
+            }
+        }
+        _ => Axis::Other,
+    }
+}
+
+/// Conservative structural commutation between two instructions: true
+/// when they act on disjoint qubits, or act in the same non-`Other`
+/// axis on every shared qubit.
+fn commutes(a: &Instruction, b: &Instruction) -> bool {
+    if a.cond.is_some() || b.cond.is_some() {
+        return false;
+    }
+    if !matches!(a.kind, OpKind::Unitary { .. }) || !matches!(b.kind, OpKind::Unitary { .. }) {
+        // Swaps permute wires; measure/reset collapse or overwrite;
+        // barriers pin ordering. All treated as non-commuting.
+        return false;
+    }
+    let qa = a.qubits();
+    for &q in &qa {
+        if !b.qubits().contains(&q) {
+            continue;
+        }
+        let (ax, bx) = (axis_on(a, q), axis_on(b, q));
+        if ax == Axis::Other || ax != bx {
+            return false;
+        }
+    }
+    true
+}
+
+/// Flags gate pairs that cancel once provably-commuting in-between
+/// instructions are moved aside (`QDT402`). Pairs the peephole pass
+/// already reports (`QDT201`) are skipped: this pass only fires when at
+/// least one in-between instruction *shares* a qubit with the pair.
+pub struct Commutation;
+
+impl Pass for Commutation {
+    fn name(&self) -> &'static str {
+        "commutation"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let insts = circuit.instructions();
+        let nq = circuit.num_qubits();
+        let mut out = Vec::new();
+        // A gate already consumed as the opener of a reported pair
+        // should not also close an overlapping one.
+        let mut consumed = vec![false; insts.len()];
+        for i in 0..insts.len() {
+            if consumed[i] || insts[i].cond.is_some() {
+                continue;
+            }
+            if !matches!(insts[i].kind, OpKind::Unitary { .. } | OpKind::Swap { .. }) {
+                continue;
+            }
+            let qubits_i: Vec<usize> = insts[i].qubits().into_iter().filter(|&q| q < nq).collect();
+            let mut through_shared = false;
+            for j in i + 1..insts.len().min(i + 1 + WINDOW) {
+                if consumed[j] {
+                    break;
+                }
+                if cancels(&insts[i], &insts[j]) {
+                    if through_shared {
+                        out.push(Diagnostic::new(
+                            Code::CommutingCancellation,
+                            Some(j),
+                            format!(
+                                "{} at {j} cancels with {} at {i}: every instruction \
+                                 between them commutes with the pair",
+                                insts[j].name(),
+                                insts[i].name()
+                            ),
+                        ));
+                        consumed[i] = true;
+                        consumed[j] = true;
+                    }
+                    // Disjoint-spectator pairs are QDT201's; either way
+                    // this opener is closed.
+                    break;
+                }
+                if !commutes(&insts[i], &insts[j]) {
+                    break;
+                }
+                if insts[j].qubits().iter().any(|q| qubits_i.contains(q)) {
+                    through_shared = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cx_commutes_through_z_on_control() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).z(0).cx(0, 1);
+        let diags = Commutation.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::CommutingCancellation);
+        assert_eq!(diags[0].instruction_index, Some(2));
+    }
+
+    #[test]
+    fn cx_commutes_through_x_on_target() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).x(1).cx(0, 1);
+        assert_eq!(Commutation.run(&qc).len(), 1);
+    }
+
+    #[test]
+    fn x_on_control_blocks_the_pair() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).x(0).cx(0, 1);
+        assert!(Commutation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn hadamard_in_between_blocks_the_pair() {
+        let mut qc = Circuit::new(1);
+        qc.z(0).h(0).z(0);
+        assert!(Commutation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn disjoint_spectators_are_left_to_the_peephole_pass() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).x(1).h(0); // QDT201 territory: spectator on another wire
+        assert!(Commutation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn diagonal_chain_cancels_through_shared_wires() {
+        // t(0) … tdg(0) through cz(0,1) and s(0): all diagonal on q0.
+        let mut qc = Circuit::new(2);
+        qc.t(0).cz(0, 1).s(0).tdg(0);
+        let diags = Commutation.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].instruction_index, Some(3));
+    }
+
+    #[test]
+    fn conditioned_gates_do_not_participate() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.measure(0, 0);
+        qc.cx(0, 1);
+        qc.z(0).c_if(0, true);
+        qc.cx(0, 1);
+        assert!(Commutation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn each_gate_joins_at_most_one_pair() {
+        // cx z cx z cx: the first pair consumes gates 0 and 2; gate 2
+        // must not also open a pair with gate 4.
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).z(0).cx(0, 1).z(0).cx(0, 1);
+        assert_eq!(Commutation.run(&qc).len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The qubit interaction graph, its greedy cut-width, and the
+//! entanglement-isolation lint (`QDT403`).
+//!
+//! Multi-qubit unitaries connect their qubits in the *interaction
+//! graph*. Two derived facts feed the cost model:
+//!
+//! * **Connected components** — a qubit in no component with a measured
+//!   qubit can never influence an observed outcome (`QDT403`).
+//! * **Cut-width proxy** — sweep the qubits in a linear order and count
+//!   distinct interaction edges crossing each prefix cut; the maximum,
+//!   further capped by the smaller side of the cut, upper-bounds the
+//!   log₂ of any Schmidt rank an MPS sweep must carry. The proxy takes
+//!   the best of the natural order and a greedy order that repeatedly
+//!   places the qubit with the most edges into the placed set, so
+//!   chain-like circuits (GHZ, W) score 1 while all-to-all circuits
+//!   (QFT) score ~n/2.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qdt_circuit::{Circuit, OpKind};
+
+use crate::{Code, Diagnostic, Pass};
+
+/// The interaction graph and its derived dataflow facts.
+#[derive(Debug, Clone)]
+pub struct InteractionFacts {
+    /// Distinct interaction edges `(a, b)` with `a < b`, with the
+    /// number of gates realising each.
+    pub edges: BTreeMap<(usize, usize), usize>,
+    /// Union-find root per qubit; qubits share a root iff some gate
+    /// chain entangles them.
+    pub component: Vec<usize>,
+    /// Qubits touched by at least one gate.
+    pub touched: Vec<bool>,
+    /// The cut-width proxy: an upper-bound estimate of log₂ of the
+    /// peak Schmidt rank across any linear qubit ordering sweep.
+    pub cut_width: usize,
+}
+
+impl InteractionFacts {
+    /// Whether qubits `a` and `b` are in the same entangled component.
+    #[must_use]
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.component[a] == self.component[b]
+    }
+}
+
+/// Union-find with path halving.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Builds the interaction graph of `circuit` and computes its facts.
+#[must_use]
+pub fn interaction_facts(circuit: &Circuit) -> InteractionFacts {
+    let nq = circuit.num_qubits();
+    let mut edges: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = (0..nq).collect();
+    let mut touched = vec![false; nq];
+    for inst in circuit.iter() {
+        if !matches!(inst.kind, OpKind::Unitary { .. } | OpKind::Swap { .. }) {
+            continue;
+        }
+        let qs: Vec<usize> = inst.qubits().into_iter().filter(|&q| q < nq).collect();
+        for &q in &qs {
+            touched[q] = true;
+        }
+        for i in 0..qs.len() {
+            for j in i + 1..qs.len() {
+                let (a, b) = (qs[i].min(qs[j]), qs[i].max(qs[j]));
+                if a == b {
+                    continue;
+                }
+                *edges.entry((a, b)).or_insert(0) += 1;
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            }
+        }
+    }
+    let component: Vec<usize> = (0..nq).map(|q| find(&mut parent, q)).collect();
+    let natural: Vec<usize> = (0..nq).collect();
+    let cut_width =
+        cut_width_of(&natural, &edges).min(cut_width_of(&greedy_order(nq, &edges), &edges));
+    InteractionFacts {
+        edges,
+        component,
+        touched,
+        cut_width,
+    }
+}
+
+/// The cut-width of one linear order: the maximum over prefix cuts of
+/// the number of distinct edges crossing, capped per cut by the
+/// smaller side's size (entanglement across a cut of `k` qubits is at
+/// most `2^k` regardless of how many gates straddle it).
+fn cut_width_of(order: &[usize], edges: &BTreeMap<(usize, usize), usize>) -> usize {
+    let n = order.len();
+    let mut position = vec![0usize; n];
+    for (pos, &q) in order.iter().enumerate() {
+        position[q] = pos;
+    }
+    let mut width = 0;
+    for cut in 1..n {
+        let crossing = edges
+            .keys()
+            .filter(|&&(a, b)| {
+                let (pa, pb) = (position[a], position[b]);
+                pa.min(pb) < cut && pa.max(pb) >= cut
+            })
+            .count();
+        width = width.max(crossing.min(cut).min(n - cut));
+    }
+    width
+}
+
+/// Greedy linear arrangement: start from a minimum-degree qubit, then
+/// repeatedly place the qubit with the most edges into the placed set
+/// (ties to the lowest index), closing edges as early as possible.
+fn greedy_order(nq: usize, edges: &BTreeMap<(usize, usize), usize>) -> Vec<usize> {
+    let mut degree = vec![0usize; nq];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    for &(a, b) in edges.keys() {
+        degree[a] += 1;
+        degree[b] += 1;
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut placed = vec![false; nq];
+    let mut order = Vec::with_capacity(nq);
+    while order.len() < nq {
+        let next = (0..nq)
+            .filter(|&q| !placed[q])
+            .max_by_key(|&q| {
+                let into_placed = adj[q].iter().filter(|&&r| placed[r]).count();
+                // Seed choice (no one placed yet): prefer low degree.
+                // Ties then lowest index via the reversed key.
+                (into_placed, usize::MAX - degree[q], usize::MAX - q)
+            })
+            .expect("some qubit unplaced");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Flags qubits that gates touch but that can never be entangled with
+/// any measured qubit (`QDT403`). Silent on circuits without
+/// measurements.
+pub struct Isolation;
+
+impl Pass for Isolation {
+    fn name(&self) -> &'static str {
+        "isolation"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let nq = circuit.num_qubits();
+        let mut measured = BTreeSet::new();
+        for inst in circuit.iter() {
+            if let OpKind::Measure { qubit, .. } = inst.kind {
+                if qubit < nq {
+                    measured.insert(qubit);
+                }
+            }
+        }
+        if measured.is_empty() {
+            return Vec::new();
+        }
+        let facts = interaction_facts(circuit);
+        let mut out = Vec::new();
+        for q in 0..nq {
+            if !facts.touched[q] || measured.contains(&q) {
+                continue;
+            }
+            if measured.iter().any(|&m| facts.connected(q, m)) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                Code::UnentangledQubit,
+                None,
+                format!(
+                    "qubit {q} is touched by gates but never entangled with any \
+                     measured qubit; its state cannot affect an observed outcome"
+                ),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::generators;
+
+    #[test]
+    fn ghz_chain_has_cut_width_one() {
+        let facts = interaction_facts(&generators::ghz(12));
+        assert_eq!(facts.cut_width, 1);
+        assert!(facts.connected(0, 11));
+    }
+
+    #[test]
+    fn qft_all_to_all_has_wide_cuts() {
+        let facts = interaction_facts(&generators::qft(12, false));
+        assert!(facts.cut_width >= 4, "got {}", facts.cut_width);
+        assert!(
+            facts.cut_width <= 6,
+            "capped by n/2, got {}",
+            facts.cut_width
+        );
+    }
+
+    #[test]
+    fn disconnected_halves_are_separate_components() {
+        let mut qc = Circuit::new(4);
+        qc.cx(0, 1).cx(2, 3);
+        let facts = interaction_facts(&qc);
+        assert!(facts.connected(0, 1));
+        assert!(!facts.connected(1, 2));
+    }
+
+    #[test]
+    fn unentangled_but_touched_qubit_is_flagged() {
+        let mut qc = Circuit::with_clbits(3, 1);
+        qc.h(0).cx(0, 1).h(2).measure(0, 0);
+        let diags = Isolation.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::UnentangledQubit);
+        assert!(diags[0].message.contains("qubit 2"));
+    }
+
+    #[test]
+    fn entangled_with_measured_set_is_not_flagged() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).cx(0, 1).measure(0, 0); // q1 entangled with measured q0
+        assert!(Isolation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn no_measurements_means_no_findings() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(1);
+        assert!(Isolation.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn untouched_qubits_are_not_flagged_here() {
+        // QDT102's territory: q1 is untouched, not "unentangled".
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).measure(0, 0);
+        assert!(Isolation.run(&qc).is_empty());
+    }
+}

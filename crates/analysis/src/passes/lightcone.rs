@@ -1,0 +1,235 @@
+//! Backward lightcone / qubit-liveness from measurements (`QDT401`).
+//!
+//! An instruction is *live* when some chain of dependence edges leads
+//! from it to a measurement: its effect can reach an observed outcome.
+//! The analysis runs backward over the def-use DAG with two wrinkles
+//! the peephole dead-code pass cannot see:
+//!
+//! * **Reset kills** — liveness does not flow backwards through a
+//!   `reset`, which overwrites its qubit regardless of history.
+//! * **Condition edges** — a classically-conditioned gate reads the
+//!   measurement that wrote its clbit, so a conditioned gate feeding a
+//!   measurement keeps *that* measurement's whole cone live too.
+//!
+//! Circuits without any measurement are treated as observed at the end
+//! of every wire (the caller will read amplitudes), so nothing is dead
+//! and the pass stays silent.
+
+use qdt_circuit::{Circuit, OpKind};
+
+use crate::dag::{CircuitDag, Edge, EdgeKind};
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::{Code, Diagnostic, Pass};
+
+/// The liveness analysis: `true` = inside some measurement lightcone.
+struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = bool;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn seed(&self, i: usize, circuit: &Circuit) -> bool {
+        matches!(circuit.instructions()[i].kind, OpKind::Measure { .. })
+    }
+
+    fn transfer(&self, edge: &Edge, fact: &bool, circuit: &Circuit) -> Option<bool> {
+        if let EdgeKind::Qubit(q) = edge.kind {
+            let later = &circuit.instructions()[edge.to];
+            if matches!(later.kind, OpKind::Reset { qubit } if qubit == q) {
+                return None;
+            }
+        }
+        Some(*fact)
+    }
+
+    fn join(&self, acc: &mut bool, incoming: &bool) -> bool {
+        let grew = *incoming && !*acc;
+        *acc |= *incoming;
+        grew
+    }
+}
+
+/// Per-instruction liveness facts.
+#[derive(Debug, Clone)]
+pub struct LightconeFacts {
+    /// `true` when the instruction is inside some measurement
+    /// lightcone. All-true when the circuit has no measurements.
+    pub live: Vec<bool>,
+    /// Whether the circuit measures anything (when `false`, `live` is
+    /// vacuously all-true and no gate is reportable).
+    pub has_measurements: bool,
+}
+
+impl LightconeFacts {
+    /// Number of unitary instructions outside every lightcone.
+    #[must_use]
+    pub fn dead_gates(&self, circuit: &Circuit) -> usize {
+        circuit
+            .iter()
+            .zip(&self.live)
+            .filter(|(inst, &live)| {
+                !live && matches!(inst.kind, OpKind::Unitary { .. } | OpKind::Swap { .. })
+            })
+            .count()
+    }
+}
+
+/// Computes liveness for every instruction of `circuit`.
+#[must_use]
+pub fn lightcone_facts(circuit: &Circuit, dag: &CircuitDag) -> LightconeFacts {
+    let has_measurements = circuit
+        .iter()
+        .any(|i| matches!(i.kind, OpKind::Measure { .. }));
+    if !has_measurements {
+        return LightconeFacts {
+            live: vec![true; circuit.len()],
+            has_measurements,
+        };
+    }
+    let solution = solve(&Liveness, circuit, dag);
+    LightconeFacts {
+        live: solution.facts,
+        has_measurements,
+    }
+}
+
+/// Flags unitary instructions outside every measurement lightcone
+/// (`QDT401`). Skips the simpler after-final-measurement cases that the
+/// peephole dead-code pass already reports as `QDT101`.
+pub struct Lightcone;
+
+impl Pass for Lightcone {
+    fn name(&self) -> &'static str {
+        "lightcone"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Vec<Diagnostic> {
+        let dag = CircuitDag::build(circuit);
+        let facts = lightcone_facts(circuit, &dag);
+        if !facts.has_measurements {
+            return Vec::new();
+        }
+        let after_measure = after_final_measure(circuit);
+        let mut out = Vec::new();
+        for (i, inst) in circuit.iter().enumerate() {
+            let is_gate = matches!(inst.kind, OpKind::Unitary { .. } | OpKind::Swap { .. });
+            if !is_gate || facts.live[i] || after_measure[i] {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                Code::OutsideLightcone,
+                Some(i),
+                format!(
+                    "{}: no dependence chain reaches any measurement; \
+                     the gate cannot affect an observed outcome",
+                    inst.name()
+                ),
+            ));
+        }
+        out
+    }
+}
+
+/// Marks instructions the peephole rule already catches: gates on a
+/// qubit strictly after its final measurement (no reviving reset).
+fn after_final_measure(circuit: &Circuit) -> Vec<bool> {
+    let nq = circuit.num_qubits();
+    let mut final_measure: Vec<Option<usize>> = vec![None; nq];
+    for (i, inst) in circuit.iter().enumerate() {
+        if let OpKind::Measure { qubit, .. } = inst.kind {
+            if qubit < nq {
+                final_measure[qubit] = Some(i);
+            }
+        }
+    }
+    let mut dead = vec![false; nq];
+    let mut out = vec![false; circuit.len()];
+    for (i, inst) in circuit.iter().enumerate() {
+        match inst.kind {
+            OpKind::Measure { qubit, .. } if qubit < nq && final_measure[qubit] == Some(i) => {
+                dead[qubit] = true;
+            }
+            OpKind::Reset { qubit } if qubit < nq => dead[qubit] = false,
+            OpKind::Unitary { .. } | OpKind::Swap { .. } => {
+                out[i] = inst.qubits().iter().any(|&q| q < nq && dead[q]);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_on_unmeasured_wire_is_outside_the_lightcone() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).h(1).measure(0, 0);
+        let diags = Lightcone.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::OutsideLightcone);
+        assert_eq!(diags[0].instruction_index, Some(1));
+    }
+
+    #[test]
+    fn entangling_chain_keeps_upstream_gates_live() {
+        // h(1) feeds cx(1,0) which feeds the measurement of q0: live
+        // even though q1 itself is never measured.
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(1).cx(1, 0).measure(0, 0);
+        assert!(Lightcone.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn reset_cuts_the_cone() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).reset(0).x(0).measure(0, 0);
+        let diags = Lightcone.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].instruction_index, Some(0), "the pre-reset H");
+    }
+
+    #[test]
+    fn conditioned_gate_feeding_a_measurement_is_live() {
+        // measure q0 → conditioned X on q1 → measure q1: the conditioned
+        // gate is inside q1's lightcone and must never be reported dead.
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).measure(0, 0);
+        qc.x(1).c_if(0, true);
+        qc.measure(1, 1);
+        assert!(Lightcone.run(&qc).is_empty());
+    }
+
+    #[test]
+    fn conditioned_gate_feeding_nothing_is_dead() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).measure(0, 0);
+        qc.x(1).c_if(0, true); // q1 is never observed afterwards
+        let diags = Lightcone.run(&qc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].instruction_index, Some(2));
+    }
+
+    #[test]
+    fn no_measurements_means_no_findings() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).x(1);
+        assert!(Lightcone.run(&qc).is_empty());
+        let dag = CircuitDag::build(&qc);
+        assert_eq!(lightcone_facts(&qc, &dag).dead_gates(&qc), 0);
+    }
+
+    #[test]
+    fn after_measure_cases_are_left_to_the_peephole_pass() {
+        // x(0) after q0's final measurement: QDT101 territory, so the
+        // lightcone pass stays silent about it.
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0).x(0);
+        assert!(Lightcone.run(&qc).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Dataflow-backed analysis passes over the def-use DAG.
+//!
+//! Each submodule exposes a *facts* function (pure data, consumed by
+//! the cost model and the reporters) and, where a finding is worth a
+//! diagnostic, a [`crate::Pass`] implementation emitting the `QDT4xx`
+//! family.
+
+mod backend_fit;
+mod clifford;
+mod commutation;
+mod interaction;
+mod lightcone;
+
+pub use backend_fit::BackendFit;
+pub use clifford::{clifford_regions, CliffordRegion};
+pub use commutation::Commutation;
+pub use interaction::{interaction_facts, InteractionFacts, Isolation};
+pub use lightcone::{lightcone_facts, Lightcone, LightconeFacts};

@@ -11,8 +11,9 @@ pub struct Redundancy;
 
 /// Structural test: does `b` undo `a`? Exact on the gate enum (no
 /// matrix arithmetic), so `Rz(θ)` then `Rz(-θ)` is caught but two
-/// rotations that merely sum to zero numerically are not.
-fn cancels(a: &Instruction, b: &Instruction) -> bool {
+/// rotations that merely sum to zero numerically are not. Shared with
+/// the commutation-aware pass (`QDT402`).
+pub(crate) fn cancels(a: &Instruction, b: &Instruction) -> bool {
     if a.cond.is_some() || b.cond.is_some() {
         return false; // conditioned gates may or may not fire
     }

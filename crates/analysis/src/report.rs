@@ -65,11 +65,37 @@ pub fn render_text(name: &str, report: &AnalysisReport) -> String {
     if !counts.is_empty() {
         let _ = writeln!(out, "{name}: gate counts: {}", counts.join(" "));
     }
+    let df = &report.dataflow;
+    let _ = writeln!(
+        out,
+        "{name}: dataflow: cut-width {}, {} clifford region(s), \
+         {} dead gate(s), {} non-clifford gate(s)",
+        df.cut_width, df.clifford_regions, df.dead_gates, df.non_clifford_gates
+    );
+    let estimates: Vec<String> = df
+        .dispatch
+        .estimates
+        .iter()
+        .map(|e| {
+            format!(
+                "{}:{:.3e}{}",
+                e.spec,
+                e.cost,
+                if e.feasible { "" } else { " (infeasible)" }
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "{name}: dispatch: auto -> {} [{}]",
+        df.dispatch.chosen,
+        estimates.join(", ")
+    );
     out
 }
 
 /// Renders a report as a JSON document:
-/// `{"name": …, "diagnostics": […], "resources": {…}}`.
+/// `{"name": …, "diagnostics": […], "resources": {…}, "dataflow": {…}}`.
 pub fn render_json(name: &str, report: &AnalysisReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -116,7 +142,38 @@ pub fn render_json(name: &str, report: &AnalysisReport) -> String {
         .map(|(g, c)| format!("\"{}\": {c}", json_escape(g)))
         .collect();
     out.push_str(&counts.join(", "));
-    out.push_str("}\n  }\n}\n");
+    out.push_str("}\n  },\n");
+    let df = &report.dataflow;
+    out.push_str("  \"dataflow\": {\n");
+    let _ = writeln!(out, "    \"cut_width\": {},", df.cut_width);
+    let _ = writeln!(out, "    \"clifford_regions\": {},", df.clifford_regions);
+    let _ = writeln!(out, "    \"dead_gates\": {},", df.dead_gates);
+    let _ = writeln!(
+        out,
+        "    \"non_clifford_gates\": {},",
+        df.non_clifford_gates
+    );
+    let _ = writeln!(
+        out,
+        "    \"auto_dispatch\": \"{}\",",
+        json_escape(&df.dispatch.chosen)
+    );
+    out.push_str("    \"cost_estimates\": [\n");
+    for (i, e) in df.dispatch.estimates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"spec\": \"{}\", \"cost\": {:.6e}, \"feasible\": {}}}",
+            json_escape(&e.spec),
+            e.cost,
+            e.feasible
+        );
+        out.push_str(if i + 1 < df.dispatch.estimates.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -143,6 +200,8 @@ mod tests {
         let json = super::render_json("demo", &report);
         assert!(json.contains("\"code\": \"QDT201\""), "{json}");
         assert!(json.contains("\"t_count\": 0"), "{json}");
+        assert!(json.contains("\"auto_dispatch\": \""), "{json}");
+        assert!(json.contains("\"cost_estimates\": ["), "{json}");
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(
             json.matches('{').count(),

@@ -30,8 +30,9 @@ pub struct ResourceReport {
     pub clifford_only: bool,
 }
 
-/// Whether one instruction is a Clifford operation.
-fn is_clifford_inst(inst: &qdt_circuit::Instruction) -> bool {
+/// Whether one instruction is a Clifford operation. Shared with the
+/// Clifford-region segmentation pass.
+pub(crate) fn is_clifford_inst(inst: &qdt_circuit::Instruction) -> bool {
     match &inst.kind {
         OpKind::Unitary { gate, controls, .. } => match controls.len() {
             0 => gate.is_clifford(),

@@ -41,6 +41,8 @@ use qdt_noise::{
 use qdt_parallel::KernelContext;
 use qdt_tensor::{MpsEngine, TensorNetEngine};
 
+use crate::auto::AutoEngine;
+
 pub use qdt_engine::{
     check_pauli_width, dense_expectation, run, run_instrumented, run_traced,
     sample_from_amplitudes, CostMetric, EngineCaps, EngineError, GateLog, GateRecord, Instrument,
@@ -559,6 +561,17 @@ impl EngineRegistry {
                 let engine =
                     TrajectoryEngine::new(factory, config, &model).map_err(QdtError::new)?;
                 Ok(Box::new(engine))
+            },
+        ));
+        r.register(EngineEntry::new(
+            "auto",
+            &["dispatch"],
+            None,
+            "cost-model dispatch: statically picks the predicted-cheapest backend",
+            |spec, registry| {
+                spec.expect_no_args("auto")?;
+                spec.expect_no_inner("auto")?;
+                Ok(Box::new(AutoEngine::new(registry.clone())))
             },
         ));
         r

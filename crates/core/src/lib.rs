@@ -74,8 +74,10 @@ pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;
 pub use qdt_zx as zx;
 
+pub mod auto;
 pub mod engine;
 
+pub use auto::AutoEngine;
 pub use engine::{
     create_engine, parse_spec, Backend, EngineEntry, EngineFactory, EngineRegistry, EngineSpec,
     SpecArg, DEFAULT_MPS_BOND,

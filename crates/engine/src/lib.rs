@@ -260,6 +260,14 @@ pub trait SimulationEngine {
     /// Short stable name of the engine (e.g. `"array"`).
     fn name(&self) -> &'static str;
 
+    /// A human-readable description for reports and benchmark tables.
+    /// The default is just [`name`](SimulationEngine::name); wrapper
+    /// engines (the umbrella crate's `auto` dispatcher, for instance)
+    /// override it to expose the backend they resolved to.
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+
     /// The engine's static capability flags.
     fn caps(&self) -> EngineCaps;
 
@@ -806,6 +814,12 @@ mod tests {
         assert_eq!(stats.metric_name, "amplitudes");
         assert_eq!(stats.peak_metric, 4);
         assert_eq!(stats.final_metric, 4);
+    }
+
+    #[test]
+    fn describe_defaults_to_the_engine_name() {
+        let e = ReferenceEngine::default();
+        assert_eq!(e.describe(), e.name());
     }
 
     #[test]

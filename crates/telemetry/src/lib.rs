@@ -9,7 +9,10 @@
 //!   timestamps and per-thread track ids (trajectory workers trace as
 //!   parallel tracks).
 //! * [`MetricsRegistry`] — named counters, gauges, and histograms under
-//!   the `backend.subsystem.name` naming convention.
+//!   the `backend.subsystem.name` naming convention. The `auto.*`
+//!   namespace is reserved for the cost-model dispatcher in `qdt-core`:
+//!   `auto.cost.<spec>` gauges record the per-backend estimates and
+//!   `auto.dispatches` counts resolved dispatch decisions.
 //! * [`TelemetrySink`] — the `{tracer, metrics}` bundle engines accept
 //!   through `SimulationEngine::telemetry`. A *disabled* sink is free:
 //!   every operation on it is a no-op and nothing allocates.
