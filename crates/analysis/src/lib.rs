@@ -55,6 +55,7 @@
 //! | QDT402 | warning | pair cancels through provably-commuting gates     |
 //! | QDT403 | info    | qubit never entangled with the measured set       |
 //! | QDT404 | info    | wide Clifford-only circuit on exponential backend |
+//! | QDT405 | warning | measurement result overwritten before any read    |
 
 pub mod cost;
 pub mod dag;
@@ -75,7 +76,7 @@ pub use cost::{
     circuit_facts, dispatch_circuit, plan_dispatch, BackendCost, CircuitFacts, DispatchDecision,
 };
 pub use deadcode::DeadCode;
-pub use passes::{BackendFit, Commutation, Isolation, Lightcone};
+pub use passes::{BackendFit, Commutation, DeadClbit, Isolation, Lightcone};
 pub use profile::{
     render_simulation_profile, simulation_profile, simulation_profile_traced, SimulationProfile,
 };
@@ -143,11 +144,15 @@ pub enum Code {
     /// QDT404: a wide Clifford-only circuit for which exponential-cost
     /// dense backends are predicted overkill.
     CliffordOnlyExponential,
+    /// QDT405: a measurement's classical result is overwritten before
+    /// any condition reads it — the qubit is collapsed for a value
+    /// nothing observes.
+    DeadClbitWrite,
 }
 
 impl Code {
     /// Every code, in `as_str` order — handy for exhaustive table tests.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 13] = [
         Code::QubitOutOfRange,
         Code::DuplicateQubit,
         Code::ClbitOutOfRange,
@@ -160,6 +165,7 @@ impl Code {
         Code::CommutingCancellation,
         Code::UnentangledQubit,
         Code::CliffordOnlyExponential,
+        Code::DeadClbitWrite,
     ];
 }
 
@@ -179,6 +185,7 @@ impl Code {
             Code::CommutingCancellation => "QDT402",
             Code::UnentangledQubit => "QDT403",
             Code::CliffordOnlyExponential => "QDT404",
+            Code::DeadClbitWrite => "QDT405",
         }
     }
 
@@ -190,7 +197,8 @@ impl Code {
             | Code::GateAfterMeasure
             | Code::RedundantPair
             | Code::OutsideLightcone
-            | Code::CommutingCancellation => Severity::Warning,
+            | Code::CommutingCancellation
+            | Code::DeadClbitWrite => Severity::Warning,
             Code::UntouchedQubit | Code::UnentangledQubit | Code::CliffordOnlyExponential => {
                 Severity::Info
             }
@@ -290,8 +298,8 @@ impl Default for Analyzer {
 
 impl Analyzer {
     /// An analyzer with the default pass set: well-formedness, dead code,
-    /// redundancy, plus the dataflow passes (lightcone, commutation,
-    /// isolation, backend fit).
+    /// redundancy, plus the dataflow passes (lightcone, dead clbits,
+    /// commutation, isolation, backend fit).
     pub fn new() -> Self {
         Analyzer {
             passes: vec![
@@ -299,6 +307,7 @@ impl Analyzer {
                 Box::new(DeadCode),
                 Box::new(Redundancy),
                 Box::new(Lightcone),
+                Box::new(DeadClbit),
                 Box::new(Commutation),
                 Box::new(Isolation),
                 Box::new(BackendFit),

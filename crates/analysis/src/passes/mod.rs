@@ -8,11 +8,13 @@
 mod backend_fit;
 mod clifford;
 mod commutation;
+mod dead_clbit;
 mod interaction;
 mod lightcone;
 
 pub use backend_fit::BackendFit;
 pub use clifford::{clifford_regions, CliffordRegion};
 pub use commutation::Commutation;
+pub use dead_clbit::DeadClbit;
 pub use interaction::{interaction_facts, InteractionFacts, Isolation};
 pub use lightcone::{lightcone_facts, Lightcone, LightconeFacts};

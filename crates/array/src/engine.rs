@@ -147,6 +147,7 @@ impl SimulationEngine for ArrayEngine {
             native_sampling: true,
             approximate: false,
             stochastic_kraus: true,
+            dynamic: true,
         }
     }
 
@@ -230,6 +231,39 @@ impl SimulationEngine for ArrayEngine {
             });
         }
         Ok(self.psi.apply_kraus(kraus, qubit, rng))
+    }
+
+    fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+        if qubit >= self.psi.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "array",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        Ok(self.psi.probability_of_one(qubit))
+    }
+
+    fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+        if qubit >= self.psi.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "array",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        let p1 = self.psi.probability_of_one(qubit);
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        if p <= 1e-12 {
+            return Err(EngineError::Backend {
+                engine: "array",
+                message: format!("projection of qubit {qubit} onto a zero-probability branch"),
+            });
+        }
+        self.psi.project_qubit(qubit, outcome);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
+        Some(Box::new(self.clone()))
     }
 
     fn telemetry(&mut self, sink: &TelemetrySink) {

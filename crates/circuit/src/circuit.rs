@@ -54,6 +54,109 @@ pub struct Condition {
     pub value: bool,
 }
 
+impl Condition {
+    /// Evaluates the condition against a classical register snapshot.
+    ///
+    /// Out-of-range bits read as `false`, matching the hardware
+    /// convention that an unwritten classical bit holds `0`.
+    pub fn is_satisfied(&self, state: &ClassicalState) -> bool {
+        state.get(self.clbit) == self.value
+    }
+}
+
+/// The classical register of one shot: the bits written by mid-circuit
+/// measurements and read by [`Condition`]s.
+///
+/// Dynamic-circuit executors thread one `ClassicalState` through each
+/// shot; at the end of the shot [`ClassicalState::as_u128`] is the
+/// histogram key (clbit `k` contributes bit `k`, the same packing the
+/// engine layer uses for basis indices).
+///
+/// # Example
+///
+/// ```
+/// use qdt_circuit::ClassicalState;
+///
+/// let mut cs = ClassicalState::new(3);
+/// cs.set(0, true);
+/// cs.set(2, true);
+/// assert_eq!(cs.as_u128(), 0b101);
+/// assert!(!cs.get(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassicalState {
+    bits: u128,
+    len: usize,
+}
+
+impl ClassicalState {
+    /// Maximum register width (the histogram key is a `u128`).
+    pub const MAX_BITS: usize = 128;
+
+    /// An all-zero register of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`ClassicalState::MAX_BITS`].
+    #[must_use]
+    pub fn new(len: usize) -> ClassicalState {
+        assert!(
+            len <= Self::MAX_BITS,
+            "classical register of {len} bits exceeds the {}-bit histogram key",
+            Self::MAX_BITS
+        );
+        ClassicalState { bits: 0, len }
+    }
+
+    /// Number of bits in the register.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the register has no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `clbit`; out-of-range bits read as `false`.
+    #[must_use]
+    pub fn get(&self, clbit: usize) -> bool {
+        clbit < Self::MAX_BITS && (self.bits >> clbit) & 1 == 1
+    }
+
+    /// Writes bit `clbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clbit` is out of range.
+    pub fn set(&mut self, clbit: usize, value: bool) {
+        assert!(
+            clbit < self.len,
+            "clbit {clbit} out of range ({})",
+            self.len
+        );
+        if value {
+            self.bits |= 1 << clbit;
+        } else {
+            self.bits &= !(1 << clbit);
+        }
+    }
+
+    /// The register packed as a basis-index-style integer (bit `k` =
+    /// clbit `k`).
+    #[must_use]
+    pub fn as_u128(&self) -> u128 {
+        self.bits
+    }
+
+    /// Clears every bit (start of a fresh shot).
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
 /// A single instruction: an [`OpKind`] plus optional metadata (currently
 /// a classical [`Condition`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -480,6 +583,39 @@ impl Circuit {
         self.instructions
             .iter()
             .all(|i| i.is_unitary() || matches!(i.kind, OpKind::Barrier(_)))
+    }
+
+    /// Returns `true` if the circuit needs per-shot dynamic execution:
+    /// it contains a measurement, a reset, or a classically conditioned
+    /// instruction.
+    pub fn is_dynamic(&self) -> bool {
+        self.static_prefix_len() < self.instructions.len()
+    }
+
+    /// Length of the static unitary prefix: the longest leading run of
+    /// instructions that are unconditioned unitaries, swaps, or
+    /// barriers. Everything from this index on is the *dynamic suffix*
+    /// that a shot executor replays per shot.
+    ///
+    /// For a fully unitary circuit this is the instruction count, so the
+    /// dynamic suffix is empty.
+    pub fn static_prefix_len(&self) -> usize {
+        self.instructions
+            .iter()
+            .position(|i| !(i.is_unitary() || matches!(i.kind, OpKind::Barrier(_))))
+            .unwrap_or(self.instructions.len())
+    }
+
+    /// Splits the circuit at [`static_prefix_len`]: a unitary prefix
+    /// circuit (runnable through the plain engine run-loop) and the
+    /// dynamic suffix as an instruction slice.
+    ///
+    /// [`static_prefix_len`]: Circuit::static_prefix_len
+    pub fn split_dynamic(&self) -> (Circuit, &[Instruction]) {
+        let split = self.static_prefix_len();
+        let mut prefix = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        prefix.instructions = self.instructions[..split].to_vec();
+        (prefix, &self.instructions[split..])
     }
 
     /// Number of unitary gate instructions (barriers/measurements excluded).

@@ -558,3 +558,174 @@ mod adder_tests {
         adder_with_inputs(2, 4, 0);
     }
 }
+
+// --- dynamic-circuit generators ------------------------------------------
+
+/// Quantum teleportation of the single-qubit state
+/// `Rz(φ)·Ry(θ)|0⟩` from qubit 0 to qubit 2 — the canonical dynamic
+/// circuit: mid-circuit Bell measurement plus classically conditioned
+/// Pauli corrections.
+///
+/// Layout: qubit 0 carries the message, qubits 1–2 share a Bell pair,
+/// clbits 0–1 hold the Bell-measurement outcomes. After the conditioned
+/// `X`/`Z` corrections qubit 2 holds the message state *exactly* (up to
+/// global phase), whatever the two random measurement outcomes were —
+/// the fidelity oracle in `qdt-verify` checks this per shot.
+pub fn teleportation(theta: f64, phi: f64) -> Circuit {
+    let mut qc = Circuit::with_clbits(3, 2);
+    // Message state on qubit 0.
+    qc.ry(theta, 0).rz(phi, 0);
+    // Bell pair between qubits 1 (Alice) and 2 (Bob).
+    qc.h(1).cx(1, 2);
+    // Bell measurement of the message against Alice's half.
+    qc.cx(0, 1).h(0);
+    qc.measure(0, 0).measure(1, 1);
+    // Bob's conditioned corrections.
+    qc.x(2).c_if(1, true);
+    qc.z(2).c_if(0, true);
+    qc
+}
+
+/// Iterative phase estimation of the eigenphase `2π·k / 2^m` of a
+/// `Phase` gate, using one repeatedly reset ancilla (qubit 0) and `m`
+/// classically fed-back correction rounds.
+///
+/// Round `j` measures bit `j` of `k` (least-significant first) into
+/// clbit `j`: the ancilla accumulates the controlled phase
+/// `U^{2^{m-1-j}}`, previously measured bits rotate it back by
+/// `-π/2^{j-l}`, and an exact eigenphase makes every round
+/// deterministic — the resulting histogram is `{k: shots}`, which the
+/// `qdt-verify` oracle asserts.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or ≥ 64, or if `k >= 2^m`.
+pub fn iterative_phase_estimation(m: usize, k: u64) -> Circuit {
+    assert!(m > 0 && m < 64, "bit count {m} out of range");
+    assert!(k < 1 << m, "phase index {k} needs more than {m} bits");
+    let mut qc = Circuit::with_clbits(2, m);
+    // The system qubit sits in the eigenstate |1⟩ of the Phase gate.
+    qc.x(1);
+    #[allow(clippy::cast_precision_loss)]
+    let phi = 2.0 * PI * (k as f64) / (1u64 << m) as f64;
+    for j in 0..m {
+        qc.reset(0);
+        qc.h(0);
+        // Controlled-U^(2^(m-1-j)) kicks the phase onto the ancilla.
+        let reps = 1u64 << (m - 1 - j);
+        #[allow(clippy::cast_precision_loss)]
+        qc.cp(phi * reps as f64, 0, 1);
+        // Peel off the bits already measured.
+        for l in 0..j {
+            #[allow(clippy::cast_precision_loss)]
+            qc.p(-PI / (1u64 << (j - l)) as f64, 0).c_if(l, true);
+        }
+        qc.h(0);
+        qc.measure(0, j);
+    }
+    qc
+}
+
+/// GHZ preparation followed by measurement-conditioned disentangling:
+/// an `n`-qubit GHZ state is collapsed by measuring qubit 0, then every
+/// qubit is flipped back to `|0⟩` conditioned on the outcome, and the
+/// whole register is measured.
+///
+/// Each shot's mid-circuit outcome is a fair coin, yet the final
+/// classical register is deterministically all-zeros — a self-checking
+/// probe that collapse, classical feedback, and final readout compose
+/// correctly on any dynamic-capable backend.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn adaptive_ghz(n: usize) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut qc = Circuit::with_clbits(n, n);
+    qc.h(0);
+    for i in 1..n {
+        qc.cx(i - 1, i);
+    }
+    qc.measure(0, 0);
+    // The register is now |b…b⟩ for a random bit b = c0; undo it.
+    for i in 0..n {
+        qc.x(i).c_if(0, true);
+    }
+    for i in 0..n {
+        qc.measure(i, i);
+    }
+    qc
+}
+
+/// A qubit-reuse ladder: one ancilla (qubit 0) is reset, entangled with
+/// the data qubit (qubit 1), measured, and the data qubit is restored by
+/// a conditioned flip — `rounds` times over. The final round checks the
+/// data qubit into the last clbit.
+///
+/// Clbits `0..rounds` are i.i.d. fair coins; clbit `rounds` (the data
+/// check) is deterministically 0, so every histogram key is below
+/// `2^rounds` — the property the repro's reset-reuse experiment and the
+/// determinism tests assert.
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+pub fn reset_reuse_ladder(rounds: usize) -> Circuit {
+    assert!(rounds > 0, "ladder needs at least one round");
+    let mut qc = Circuit::with_clbits(2, rounds + 1);
+    for i in 0..rounds {
+        qc.reset(0);
+        qc.h(0);
+        qc.cx(0, 1);
+        qc.measure(0, i);
+        // Return the data qubit to |0⟩ for the next round.
+        qc.x(1).c_if(i, true);
+    }
+    qc.measure(1, rounds);
+    qc
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+
+    #[test]
+    fn teleportation_shape() {
+        let qc = teleportation(0.3, 0.7);
+        assert_eq!(qc.num_qubits(), 3);
+        assert_eq!(qc.num_clbits(), 2);
+        assert!(qc.is_dynamic());
+        // The Bell-pair and message preparation form the static prefix.
+        assert_eq!(qc.static_prefix_len(), 6);
+    }
+
+    #[test]
+    fn ipe_shape_and_guards() {
+        let qc = iterative_phase_estimation(3, 5);
+        assert_eq!(qc.num_clbits(), 3);
+        assert!(qc.is_dynamic());
+        assert_eq!(qc.count_by_name()["reset"], 3);
+        assert_eq!(qc.count_by_name()["measure"], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs more than")]
+    fn ipe_rejects_out_of_range_phase_index() {
+        iterative_phase_estimation(2, 4);
+    }
+
+    #[test]
+    fn ladder_reuses_one_ancilla() {
+        let qc = reset_reuse_ladder(4);
+        assert_eq!(qc.num_qubits(), 2);
+        assert_eq!(qc.num_clbits(), 5);
+        assert_eq!(qc.count_by_name()["reset"], 4);
+    }
+
+    #[test]
+    fn adaptive_ghz_is_dynamic_with_full_readout() {
+        let qc = adaptive_ghz(4);
+        assert_eq!(qc.count_by_name()["measure"], 5);
+        assert!(qc.is_dynamic());
+    }
+}

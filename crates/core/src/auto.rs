@@ -118,6 +118,10 @@ impl SimulationEngine for AutoEngine {
                 native_sampling: true,
                 approximate: true,
                 stochastic_kraus: false,
+                // Dispatch happens at the first measurement boundary,
+                // too late for the shot loop's up-front capability
+                // check; run dynamic circuits on a concrete spec.
+                dynamic: false,
             },
         }
     }

@@ -46,7 +46,8 @@ use crate::auto::AutoEngine;
 pub use qdt_engine::{
     check_pauli_width, dense_expectation, run, run_instrumented, run_traced,
     sample_from_amplitudes, CostMetric, EngineCaps, EngineError, GateLog, GateRecord, Instrument,
-    NoInstrument, RunStats, SimulationEngine, TelemetrySink,
+    NoInstrument, RunStats, ShotConfig, ShotExecutor, ShotFactory, ShotGateHook, ShotResult,
+    ShotStats, SimulationEngine, TelemetrySink,
 };
 
 use crate::QdtError;
@@ -755,6 +756,44 @@ fn noise_model_from_args(spec: &EngineSpec, reserved: &[&str]) -> Result<NoiseMo
 /// See [`EngineRegistry::create`].
 pub fn create_engine(spec: &str) -> Result<Box<dyn SimulationEngine>, QdtError> {
     EngineRegistry::with_defaults().create(spec)
+}
+
+/// Wraps a registry spec into a [`ShotFactory`] for the dynamic-circuit
+/// shot loop: [`ShotExecutor::sample`] calls it once per worker thread,
+/// so each worker gets its own engine built from the same spec.
+///
+/// The spec is parsed and probed once up front, so unknown names and
+/// bad arguments fail here rather than inside a worker.
+///
+/// # Errors
+///
+/// See [`EngineRegistry::create`].
+///
+/// # Example
+///
+/// ```
+/// use qdt::engine::{shot_factory, ShotConfig, ShotExecutor};
+/// use qdt::circuit::generators;
+///
+/// let factory = shot_factory("dd")?;
+/// let qc = generators::teleportation(0.3, 0.7);
+/// let result = ShotExecutor::new(ShotConfig::new(64, 1).with_workers(4))
+///     .sample(&factory, &qc)?;
+/// assert_eq!(result.counts.values().sum::<usize>(), 64);
+/// # Ok::<(), qdt::QdtError>(())
+/// ```
+pub fn shot_factory(spec: &str) -> Result<ShotFactory, QdtError> {
+    let parsed = parse_spec(spec)?;
+    let registry = EngineRegistry::with_defaults();
+    registry.create_from_spec(&parsed)?;
+    Ok(Arc::new(move || {
+        registry
+            .create_from_spec(&parsed)
+            .map_err(|e| EngineError::Backend {
+                engine: "shots",
+                message: e.to_string(),
+            })
+    }))
 }
 
 /// The simulation backend — one per data structure of the paper.

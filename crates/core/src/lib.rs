@@ -79,8 +79,8 @@ pub mod engine;
 
 pub use auto::AutoEngine;
 pub use engine::{
-    create_engine, parse_spec, Backend, EngineEntry, EngineFactory, EngineRegistry, EngineSpec,
-    SpecArg, DEFAULT_MPS_BOND,
+    create_engine, parse_spec, shot_factory, Backend, EngineEntry, EngineFactory, EngineRegistry,
+    EngineSpec, SpecArg, DEFAULT_MPS_BOND,
 };
 pub use qdt_engine::{run_traced, EngineError, RunStats, SimulationEngine, TelemetrySink};
 
@@ -151,28 +151,81 @@ pub fn amplitude(circuit: &Circuit, basis: u128, backend: Backend) -> Result<Com
     Ok(engine.amplitude(basis)?)
 }
 
-/// Samples `shots` measurement outcomes of the final state (without
-/// collapse between shots), keyed by basis index.
+/// Samples `shots` measurement outcomes of a circuit, keyed by basis
+/// index (static circuits) or by the final classical register (dynamic
+/// circuits).
 ///
-/// All four backends support sampling: array and decision-diagram
-/// natively (the DD backend scales to wide, structured states), tensor
-/// network and MPS through the shared amplitude-based sampler of the
-/// engine layer (dense widths only).
+/// Static circuits run once and sample the final state without
+/// collapse, on all four backends: array and decision-diagram natively
+/// (the DD backend scales to wide, structured states), tensor network
+/// and MPS through the shared amplitude-based sampler of the engine
+/// layer (dense widths only).
+///
+/// Circuits with mid-circuit measurement, reset, or classical control
+/// ([`Circuit::is_dynamic`]) are routed through the per-shot
+/// [`ShotExecutor`](qdt_engine::ShotExecutor) on backends advertising
+/// [`EngineCaps::dynamic`](qdt_engine::EngineCaps) — array,
+/// decision-diagram, and MPS. See [`sample_dynamic`] for worker-striped
+/// shots and execution counters.
 ///
 /// # Errors
 ///
-/// Fails for non-unitary circuits, or when a dense-sampling backend
-/// exceeds its width limit.
+/// Fails for non-unitary static circuits, when a dense-sampling backend
+/// exceeds its width limit, or for dynamic circuits on a backend
+/// without collapse support (tensor network).
 pub fn sample(
     circuit: &Circuit,
     shots: usize,
     backend: Backend,
     seed: u64,
 ) -> Result<BTreeMap<u128, usize>, QdtError> {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut engine = backend.engine()?;
+    if circuit.is_dynamic() {
+        let result = qdt_engine::ShotExecutor::new(qdt_engine::ShotConfig::new(shots, seed))
+            .run_on(engine.as_mut(), circuit)?;
+        return Ok(result.counts);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
     qdt_engine::run(engine.as_mut(), circuit)?;
     Ok(engine.sample(shots, &mut rng)?)
+}
+
+/// Runs a dynamic circuit through the per-shot executor on `workers`
+/// threads and returns the full
+/// [`ShotResult`](qdt_engine::ShotResult) — the histogram plus
+/// collapse/feed-forward counters.
+///
+/// `spec` is any registry spec whose engine advertises
+/// [`EngineCaps::dynamic`](qdt_engine::EngineCaps) (`"array"`, `"dd"`,
+/// `"mps:16"`…). Histograms are bit-identical for every worker count;
+/// static circuits are accepted and keyed by one final-state sample per
+/// shot.
+///
+/// # Errors
+///
+/// Fails on malformed specs and on engines without collapse support.
+///
+/// # Example
+///
+/// ```
+/// use qdt::circuit::generators;
+///
+/// let qc = generators::teleportation(1.0, 0.5);
+/// let result = qdt::sample_dynamic(&qc, 128, "dd", 7, 4)?;
+/// assert_eq!(result.stats.shots, 128);
+/// assert!(result.stats.collapses >= 2 * 128);
+/// # Ok::<(), qdt::QdtError>(())
+/// ```
+pub fn sample_dynamic(
+    circuit: &Circuit,
+    shots: usize,
+    spec: &str,
+    seed: u64,
+    workers: usize,
+) -> Result<qdt_engine::ShotResult, QdtError> {
+    let factory = shot_factory(spec)?;
+    let config = qdt_engine::ShotConfig::new(shots, seed).with_workers(workers);
+    Ok(qdt_engine::ShotExecutor::new(config).sample(&factory, circuit)?)
 }
 
 /// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string on the final state
@@ -277,12 +330,40 @@ mod tests {
     }
 
     #[test]
-    fn measurement_rejected_by_entry_points() {
+    fn measurement_rejected_by_amplitude_entry_points_only() {
+        // Amplitude queries still demand a unitary circuit; sampling
+        // now routes dynamic circuits through the shot executor.
         let mut qc = qdt_circuit::Circuit::with_clbits(2, 2);
         qc.h(0);
         qc.measure(0, 0);
         assert!(amplitudes(&qc, Backend::Array).is_err());
-        assert!(sample(&qc, 10, Backend::DecisionDiagram, 0).is_err());
+        let counts = sample(&qc, 10, Backend::DecisionDiagram, 0).unwrap();
+        assert_eq!(counts.values().sum::<usize>(), 10);
+        assert!(counts.keys().all(|&k| k <= 1));
+    }
+
+    #[test]
+    fn dynamic_sampling_rejected_without_collapse_support() {
+        let mut qc = qdt_circuit::Circuit::with_clbits(1, 1);
+        qc.h(0);
+        qc.measure(0, 0);
+        let err = sample(&qc, 10, Backend::TensorNetwork, 0).unwrap_err();
+        assert!(err.to_string().contains("EngineCaps::dynamic"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_backends_agree_on_teleportation() {
+        // Feed-forward teleportation reproduces |ψ⟩ on qubit 2, so the
+        // message bits are uniform and qubit 2's marginal matches the
+        // prepared state on every dynamic-capable backend.
+        let qc = generators::teleportation(std::f64::consts::FRAC_PI_2, 0.0);
+        for spec in ["array", "dd", "mps:4"] {
+            let result = sample_dynamic(&qc, 400, spec, 13, 2).unwrap();
+            assert_eq!(result.stats.shots, 400, "{spec}");
+            assert_eq!(result.counts.values().sum::<usize>(), 400, "{spec}");
+            // 2 measured clbits: all four patterns occur for a generic ψ.
+            assert_eq!(result.counts.len(), 4, "{spec}");
+        }
     }
 }
 

@@ -154,6 +154,7 @@ impl SimulationEngine for DdEngine {
             native_sampling: true,
             approximate: false,
             stochastic_kraus: true,
+            dynamic: true,
         }
     }
 
@@ -267,6 +268,40 @@ impl SimulationEngine for DdEngine {
             self.dd.clear_caches();
         }
         Ok(chosen)
+    }
+
+    fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+        if qubit >= self.v.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        Ok(self.dd.probability_of_one(&self.v, qubit))
+    }
+
+    fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+        if qubit >= self.v.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        let p1 = self.dd.probability_of_one(&self.v, qubit);
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        if p <= 1e-12 {
+            return Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: format!("projection of qubit {qubit} onto a zero-probability branch"),
+            });
+        }
+        self.dd.project_qubit(&mut self.v, qubit, outcome);
+        // Per-shot projections churn the arena; keep it bounded like
+        // the Kraus path does.
+        if self.dd.vector_arena_size() > 1 << 20 {
+            self.dd.clear_caches();
+        }
+        Ok(())
     }
 
     fn telemetry(&mut self, sink: &TelemetrySink) {

@@ -44,6 +44,9 @@ use rand::{Rng, RngCore};
 pub use qdt_telemetry as telemetry;
 pub use qdt_telemetry::{GateLog, GateRecord, TelemetrySink};
 
+pub mod shot;
+pub use shot::{ShotConfig, ShotExecutor, ShotFactory, ShotGateHook, ShotResult, ShotStats};
+
 /// Errors produced by simulation engines and the shared run-loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -228,6 +231,13 @@ pub struct EngineCaps {
     /// [`apply_kraus`](SimulationEngine::apply_kraus), i.e. it can serve
     /// as the substrate of stochastic noise trajectories.
     pub stochastic_kraus: bool,
+    /// `true` if the engine supports *dynamic circuits*: per-shot
+    /// projective collapse via
+    /// [`project`](SimulationEngine::project) /
+    /// [`probability_of_one`](SimulationEngine::probability_of_one),
+    /// which the [`shot::ShotExecutor`] composes into mid-circuit
+    /// measurement, reset, and classically conditioned execution.
+    pub dynamic: bool,
 }
 
 /// A pluggable simulation backend over the circuit IR.
@@ -390,6 +400,70 @@ pub trait SimulationEngine {
         })
     }
 
+    /// The probability of measuring `qubit` as `|1⟩` in the current
+    /// state — the marginal the dynamic shot loop draws measurement
+    /// outcomes from.
+    ///
+    /// The default derives it from the `Z` expectation on `qubit`
+    /// (`P(1) = (1 − ⟨Z⟩)/2`), so every engine with an `expectation`
+    /// path gets it for free; engines with a cheaper native marginal
+    /// (array, DD) override it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Backend`] for an out-of-range qubit; expectation
+    /// errors otherwise.
+    fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+        let n = self.num_qubits();
+        if qubit >= n {
+            return Err(EngineError::Backend {
+                engine: self.name(),
+                message: format!("qubit {qubit} out of range for {n} qubits"),
+            });
+        }
+        let mut ops = vec![qdt_circuit::Pauli::I; n];
+        ops[qubit] = qdt_circuit::Pauli::Z;
+        let z = self.expectation(&PauliString::new(ops))?;
+        Ok(((1.0 - z) / 2.0).clamp(0.0, 1.0))
+    }
+
+    /// Projects `qubit` onto `outcome` and renormalises — the collapse
+    /// primitive of the dynamic execution model. Callers draw the
+    /// outcome from [`probability_of_one`] first (see [`collapse_qubit`]),
+    /// so a correctly used `project` never targets a zero-probability
+    /// branch.
+    ///
+    /// Engines advertising [`EngineCaps::dynamic`] implement this; the
+    /// default rejects with a message naming the dynamic path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] when the engine has no collapse
+    /// path, [`EngineError::Backend`] for an out-of-range qubit or a
+    /// (numerically) zero-probability outcome.
+    ///
+    /// [`probability_of_one`]: SimulationEngine::probability_of_one
+    fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+        let _ = (qubit, outcome);
+        Err(EngineError::Unsupported {
+            engine: self.name(),
+            what: "projective collapse — dynamic circuits need an engine with \
+                   `EngineCaps::dynamic` (array, decision-diagram, or mps)"
+                .into(),
+        })
+    }
+
+    /// A boxed copy of the engine in its current state, if cloning is
+    /// cheap enough to anchor per-shot execution.
+    ///
+    /// The [`shot::ShotExecutor`] snapshots the engine after the static
+    /// unitary prefix and restores from the snapshot each shot; engines
+    /// returning `None` (e.g. arena-backed DD) fall back to replaying
+    /// the prefix per shot.
+    fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
+        None
+    }
+
     /// Attaches a telemetry sink to the engine.
     ///
     /// Instrumented engines keep an enabled clone of the sink
@@ -402,6 +476,50 @@ pub trait SimulationEngine {
     fn telemetry(&mut self, sink: &TelemetrySink) {
         let _ = sink;
     }
+}
+
+/// Projective measurement of one qubit: draws the outcome from the
+/// engine's marginal ([`SimulationEngine::probability_of_one`]),
+/// collapses via [`SimulationEngine::project`], and returns the
+/// measured bit — the shared step behind mid-circuit `measure` on every
+/// dynamic-capable substrate.
+///
+/// # Errors
+///
+/// Propagates the engine's marginal/projection errors.
+pub fn collapse_qubit(
+    engine: &mut dyn SimulationEngine,
+    qubit: usize,
+    rng: &mut dyn RngCore,
+) -> Result<bool, EngineError> {
+    let p1 = engine.probability_of_one(qubit)?;
+    let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+    engine.project(qubit, outcome)?;
+    Ok(outcome)
+}
+
+/// Resets one qubit to `|0⟩` by measuring it and flipping on a `1`
+/// outcome (the measure-and-correct reset of real hardware). Returns
+/// the pre-reset measurement outcome.
+///
+/// # Errors
+///
+/// Propagates the engine's collapse and gate-application errors.
+pub fn reset_to_zero(
+    engine: &mut dyn SimulationEngine,
+    qubit: usize,
+    rng: &mut dyn RngCore,
+) -> Result<bool, EngineError> {
+    let outcome = collapse_qubit(engine, qubit, rng)?;
+    if outcome {
+        let flip = Instruction::new(OpKind::Unitary {
+            gate: qdt_circuit::Gate::X,
+            target: qubit,
+            controls: vec![],
+        });
+        engine.apply_instruction(&flip)?;
+    }
+    Ok(outcome)
 }
 
 /// Inverse-transform choice among non-negative weights: draws an index
@@ -670,6 +788,7 @@ pub mod test_engine {
                 native_sampling: false,
                 approximate: false,
                 stochastic_kraus: true,
+                dynamic: true,
             }
         }
 
@@ -742,6 +861,50 @@ pub mod test_engine {
         fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
             check_pauli_width(self.num_qubits, pauli)?;
             Ok(super::dense_expectation(&self.amps, pauli))
+        }
+
+        fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+            if qubit >= self.num_qubits {
+                return Err(EngineError::Backend {
+                    engine: "reference",
+                    message: format!("qubit {qubit} out of range"),
+                });
+            }
+            let bit = 1usize << qubit;
+            let p1: f64 = self
+                .amps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & bit != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            Ok(p1.clamp(0.0, 1.0))
+        }
+
+        fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+            let p1 = self.probability_of_one(qubit)?;
+            let p = if outcome { p1 } else { 1.0 - p1 };
+            if p <= 1e-12 {
+                return Err(EngineError::Backend {
+                    engine: "reference",
+                    message: format!("projection of qubit {qubit} onto a zero-probability branch"),
+                });
+            }
+            let bit = 1usize << qubit;
+            let keep = if outcome { bit } else { 0 };
+            let scale = 1.0 / p.sqrt();
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                *a = if i & bit == keep {
+                    a.scale(scale)
+                } else {
+                    Complex::ZERO
+                };
+            }
+            Ok(())
+        }
+
+        fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
+            Some(Box::new(self.clone()))
         }
 
         fn apply_kraus(

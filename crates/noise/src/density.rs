@@ -181,6 +181,7 @@ impl SimulationEngine for DensityMatrixEngine {
             native_sampling: true,
             approximate: false,
             stochastic_kraus: false,
+            dynamic: false,
         }
     }
 

@@ -156,6 +156,32 @@ impl NoiseModel {
             readout_flip: self.readout_flip,
         })
     }
+
+    /// Wraps the compiled model into a [`ShotGateHook`] for
+    /// [`ShotExecutor::with_gate_hook`]: after every unitary the shot
+    /// loop applies, the hook fires the matching rules' Kraus channels
+    /// with the shot's RNG — so each shot of a dynamic circuit is one
+    /// noise trajectory, composed with mid-circuit measurement, reset,
+    /// and feedback. The classical [`readout_flip`] probability is
+    /// *not* applied by the hook (the shot loop owns the measurement
+    /// outcomes); it remains a property of the noise engines' samplers.
+    ///
+    /// # Errors
+    ///
+    /// See [`validate`](NoiseModel::validate).
+    ///
+    /// [`ShotGateHook`]: qdt_engine::ShotGateHook
+    /// [`ShotExecutor::with_gate_hook`]: qdt_engine::ShotExecutor::with_gate_hook
+    /// [`readout_flip`]: CompiledNoise::readout_flip
+    pub fn shot_hook(&self) -> Result<qdt_engine::ShotGateHook, NoiseError> {
+        let compiled = self.compile()?;
+        Ok(std::sync::Arc::new(move |engine, inst, rng| {
+            for (qubit, kraus) in compiled.channels_for(inst) {
+                engine.apply_kraus(kraus, qubit, rng)?;
+            }
+            Ok(())
+        }))
+    }
 }
 
 /// One compiled rule: the selector plus its materialised operators.
@@ -243,5 +269,52 @@ mod tests {
         let bad_readout = NoiseModel::new().with_readout_flip(-0.5);
         assert!(bad_readout.validate().is_err());
         assert!(NoiseModel::new().compile().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shot_hook_composes_noise_with_dynamic_circuits() {
+        use std::sync::Arc;
+
+        use qdt_array::ArrayEngine;
+        use qdt_engine::{ShotConfig, ShotExecutor, ShotFactory, SimulationEngine};
+
+        // Bell + feed-forward: measure q0, flip q1 if it read 1. The
+        // noiseless histogram is exactly {00, 01}; heavy bit-flip noise
+        // must leak probability into the other keys, and the striped
+        // run must stay bit-identical to the sequential one (per-shot
+        // seeding is worker-independent).
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1);
+        qc.measure(0, 0);
+        qc.x(1).c_if(0, true);
+        qc.measure(1, 1);
+        let factory: ShotFactory =
+            Arc::new(|| Ok(Box::new(ArrayEngine::new()) as Box<dyn SimulationEngine>));
+
+        let clean = ShotExecutor::new(ShotConfig::new(200, 11))
+            .sample(&factory, &qc)
+            .unwrap();
+        assert!(clean.counts.keys().all(|&k| k == 0b00 || k == 0b01));
+
+        let hook = NoiseModel::uniform(KrausChannel::BitFlip { p: 0.25 })
+            .shot_hook()
+            .unwrap();
+        let noisy = ShotExecutor::new(ShotConfig::new(200, 11))
+            .with_gate_hook(Arc::clone(&hook))
+            .sample(&factory, &qc)
+            .unwrap();
+        assert!(noisy.counts.keys().any(|&k| k == 0b10 || k == 0b11));
+
+        let striped = ShotExecutor::new(ShotConfig::new(200, 11).with_workers(4))
+            .with_gate_hook(hook)
+            .sample(&factory, &qc)
+            .unwrap();
+        assert_eq!(striped.counts, noisy.counts);
+    }
+
+    #[test]
+    fn shot_hook_validates_the_model() {
+        let bad = NoiseModel::uniform(KrausChannel::Depolarizing { p: 2.0 });
+        assert!(bad.shot_hook().is_err());
     }
 }

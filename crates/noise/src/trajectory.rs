@@ -252,6 +252,11 @@ impl SimulationEngine for TrajectoryEngine {
             native_sampling: true,
             approximate: true, // Monte-Carlo estimates carry sampling error
             stochastic_kraus: false,
+            // The averaged state is mixed, so no projective collapse;
+            // dynamic circuits compose with noise through
+            // `ShotExecutor::with_gate_hook` + `NoiseModel::shot_hook`
+            // instead.
+            dynamic: false,
         }
     }
 

@@ -103,6 +103,7 @@ impl SimulationEngine for TensorNetEngine {
             native_sampling: false,
             approximate: false,
             stochastic_kraus: false,
+            dynamic: false,
         }
     }
 
@@ -125,7 +126,15 @@ impl SimulationEngine for TensorNetEngine {
 
     fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
         if !inst.is_unitary() {
-            return Err(EngineError::NonUnitary { op: inst.name() });
+            return Err(EngineError::Unsupported {
+                engine: "tensor-network",
+                what: format!(
+                    "the dynamic instruction `{}` — the lazily contracted network \
+                     has no collapse primitive; use an engine with \
+                     `Capabilities::dynamic` (array, decision-diagram, or mps)",
+                    inst.name()
+                ),
+            });
         }
         self.circuit
             .push(inst.clone())
@@ -264,6 +273,7 @@ impl SimulationEngine for MpsEngine {
             native_sampling: false,
             approximate: true,
             stochastic_kraus: true,
+            dynamic: true,
         }
     }
 
@@ -352,6 +362,40 @@ impl SimulationEngine for MpsEngine {
         Ok(self.mps.apply_kraus(kraus, qubit, rng))
     }
 
+    fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+        if qubit >= self.mps.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "mps",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        Ok(self.mps.probability_of_one(qubit))
+    }
+
+    fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+        if qubit >= self.mps.num_qubits() {
+            return Err(EngineError::Backend {
+                engine: "mps",
+                message: format!("qubit {qubit} out of range"),
+            });
+        }
+        let p1 = self.mps.probability_of_one(qubit);
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        if p <= 1e-12 {
+            return Err(EngineError::Backend {
+                engine: "mps",
+                message: format!("projection of qubit {qubit} onto a zero-probability branch"),
+            });
+        }
+        self.mps.project_qubit(qubit, outcome);
+        self.push_metrics();
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
         self.sink = sink.enabled_clone();
     }
@@ -389,16 +433,48 @@ mod tests {
     }
 
     #[test]
-    fn tn_rejects_measurement() {
+    fn tn_rejects_measurement_naming_the_dynamic_path() {
         let mut e = TensorNetEngine::new();
+        assert!(!e.caps().dynamic);
         e.prepare(1).unwrap();
         let mut qc = qdt_circuit::Circuit::with_clbits(1, 1);
         qc.measure(0, 0);
         let inst = qc.iter().next().unwrap().clone();
-        assert!(matches!(
-            e.apply_instruction(&inst),
-            Err(EngineError::NonUnitary { .. })
-        ));
+        match e.apply_instruction(&inst).unwrap_err() {
+            EngineError::Unsupported { engine, what } => {
+                assert_eq!(engine, "tensor-network");
+                assert!(what.contains("`measure`"), "{what}");
+                assert!(what.contains("Capabilities::dynamic"), "{what}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn mps_collapse_primitives_measure_and_project() {
+        use qdt_engine::collapse_qubit;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Bell state: measuring qubit 0 collapses qubit 1 to match.
+        let mut e = MpsEngine::new(8);
+        assert!(e.caps().dynamic);
+        e.prepare(2).unwrap();
+        let mut qc = qdt_circuit::Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        for inst in qc.iter() {
+            e.apply_instruction(inst).unwrap();
+        }
+        let p1 = e.probability_of_one(0).unwrap();
+        assert!((p1 - 0.5).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = collapse_qubit(&mut e, 0, &mut rng).unwrap();
+        // Both qubits now agree deterministically.
+        let p_partner = e.probability_of_one(1).unwrap();
+        let expected = if outcome { 1.0 } else { 0.0 };
+        assert!((p_partner - expected).abs() < 1e-9);
+        // Projecting onto the impossible branch is rejected.
+        assert!(e.project(1, !outcome).is_err());
     }
 
     #[test]

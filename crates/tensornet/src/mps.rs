@@ -228,6 +228,41 @@ impl Mps {
         chosen
     }
 
+    /// Probability of measuring `site` as `|1⟩`, relative to the
+    /// current norm (so bond-truncated states still yield a proper
+    /// marginal) — the quantity mid-circuit measurement draws from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn probability_of_one(&self, site: usize) -> f64 {
+        assert!(site < self.sites.len(), "site out of range");
+        let mut cand = self.clone();
+        cand.apply_1q(&basis_projector(true), site);
+        (cand.norm_sqr() / self.norm_sqr().max(1e-300)).clamp(0.0, 1.0)
+    }
+
+    /// Projects `site` onto `outcome` and renormalises to unit norm,
+    /// returning the outcome's pre-collapse probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or the outcome has
+    /// (numerically) zero probability.
+    pub fn project_qubit(&mut self, site: usize, outcome: bool) -> f64 {
+        assert!(site < self.sites.len(), "site out of range");
+        let before = self.norm_sqr();
+        self.apply_1q(&basis_projector(outcome), site);
+        let after = self.norm_sqr();
+        let p = (after / before.max(1e-300)).clamp(0.0, 1.0);
+        assert!(p > 1e-12, "projection onto zero-probability outcome");
+        let scale = 1.0 / after.sqrt().max(1e-300);
+        for a in &mut self.sites[site].data {
+            *a = a.scale(scale);
+        }
+        p
+    }
+
     /// Applies a 4×4 gate whose local bit 0 is `qa` and local bit 1 is
     /// `qb`, routing with SWAPs if the sites are not adjacent.
     fn apply_2q_anywhere(&mut self, u: &Matrix, qa: usize, qb: usize) {
@@ -508,6 +543,16 @@ impl Mps {
 }
 
 /// The 4×4 SWAP matrix in (bit0, bit1) local order.
+/// The single-qubit basis projector `|b⟩⟨b|`.
+fn basis_projector(outcome: bool) -> Matrix {
+    let (z, o) = (Complex::ZERO, Complex::ONE);
+    if outcome {
+        Matrix::from_rows(2, 2, &[z, z, z, o])
+    } else {
+        Matrix::from_rows(2, 2, &[o, z, z, z])
+    }
+}
+
 fn swap_4x4() -> Matrix {
     let mut m = Matrix::zeros(4, 4);
     m.set(0, 0, Complex::ONE);

@@ -1,0 +1,210 @@
+//! Oracles for the dynamic execution model: known-answer protocols
+//! whose correctness exercises mid-circuit measurement, reset, and
+//! classical feed-forward end to end.
+//!
+//! Equivalence checking (the rest of this crate) compares two circuits
+//! as linear maps, which no longer applies once a circuit branches on
+//! measurement outcomes. These oracles instead pin the *protocol*: a
+//! teleportation circuit must reproduce the message state on the target
+//! qubit in **every** shot, and iterative phase estimation of an exact
+//! `m`-bit phase must read out that phase in **every** shot. Both
+//! checks run on any engine advertising
+//! [`EngineCaps::dynamic`](qdt_engine::EngineCaps) and use the per-shot
+//! inspection hook of
+//! [`ShotExecutor::run_on_inspected`](qdt_engine::ShotExecutor::run_on_inspected),
+//! so the verdict covers the collapsed state itself, not only the
+//! histogram.
+
+use qdt_circuit::{generators, Pauli, PauliString};
+use qdt_engine::{ShotConfig, ShotExecutor, SimulationEngine};
+
+use crate::VerifyError;
+
+/// Per-shot fidelity summary of a teleportation run — see
+/// [`check_teleportation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeleportationReport {
+    /// Shots executed.
+    pub shots: usize,
+    /// The smallest per-shot fidelity between qubit 2's collapsed state
+    /// and the prepared message state (1 for a correct protocol).
+    pub min_fidelity: f64,
+    /// The mean per-shot fidelity.
+    pub mean_fidelity: f64,
+    /// Distinct measurement patterns observed on the two message
+    /// clbits (4 for a generic message state).
+    pub outcome_patterns: usize,
+}
+
+impl TeleportationReport {
+    /// Whether every shot reproduced the message state within `tol`.
+    #[must_use]
+    pub fn is_faithful(&self, tol: f64) -> bool {
+        self.min_fidelity >= 1.0 - tol
+    }
+}
+
+/// The single-qubit Pauli expectations ⟨X⟩, ⟨Y⟩, ⟨Z⟩ of `qubit` — its
+/// Bloch vector.
+fn bloch_vector(
+    engine: &mut dyn SimulationEngine,
+    num_qubits: usize,
+    qubit: usize,
+) -> Result<[f64; 3], qdt_engine::EngineError> {
+    let mut out = [0.0; 3];
+    for (i, pauli) in [Pauli::X, Pauli::Y, Pauli::Z].into_iter().enumerate() {
+        let mut ops = vec![Pauli::I; num_qubits];
+        ops[qubit] = pauli;
+        out[i] = engine.expectation(&PauliString::new(ops))?;
+    }
+    Ok(out)
+}
+
+/// Verifies quantum teleportation of the message state
+/// `Rz(phi)·Ry(theta)|0⟩` on `engine`: every shot must leave qubit 2 in
+/// the message state after the conditioned Pauli corrections, whatever
+/// the two measurement outcomes were.
+///
+/// The per-shot fidelity is computed from Bloch vectors:
+/// `f = (1 + a·b) / 2`, with `a` the prepared message's Bloch vector
+/// and `b` the collapsed qubit 2's. For a correct implementation of
+/// collapse + feed-forward this is exactly 1 in every shot (up to
+/// floating-point roundoff), which is what makes the protocol a sharp
+/// oracle: any error in projection normalisation, classical-register
+/// plumbing, or condition evaluation shows up as `min_fidelity < 1`.
+///
+/// # Errors
+///
+/// [`VerifyError::Simulation`] when the engine cannot run the protocol
+/// (e.g. it does not advertise dynamic capability).
+pub fn check_teleportation(
+    engine: &mut dyn SimulationEngine,
+    theta: f64,
+    phi: f64,
+    shots: usize,
+    seed: u64,
+) -> Result<TeleportationReport, VerifyError> {
+    let qc = generators::teleportation(theta, phi);
+    // Bloch vector of Rz(phi)·Ry(theta)|0⟩.
+    let a = [
+        theta.sin() * phi.cos(),
+        theta.sin() * phi.sin(),
+        theta.cos(),
+    ];
+    let mut min_fidelity = f64::INFINITY;
+    let mut sum_fidelity = 0.0;
+    let mut inspect_err = None;
+    let executor = ShotExecutor::new(ShotConfig::new(shots, seed));
+    let result = executor.run_on_inspected(engine, &qc, &mut |_, work, _| {
+        if inspect_err.is_some() {
+            return;
+        }
+        match bloch_vector(work, 3, 2) {
+            Ok(b) => {
+                let f = (1.0 + a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) / 2.0;
+                min_fidelity = min_fidelity.min(f);
+                sum_fidelity += f;
+            }
+            Err(e) => inspect_err = Some(e),
+        }
+    });
+    let result = result.map_err(|e| VerifyError::Simulation {
+        message: e.to_string(),
+    })?;
+    if let Some(e) = inspect_err {
+        return Err(VerifyError::Simulation {
+            message: e.to_string(),
+        });
+    }
+    #[allow(clippy::cast_precision_loss)]
+    Ok(TeleportationReport {
+        shots,
+        min_fidelity,
+        mean_fidelity: sum_fidelity / shots as f64,
+        outcome_patterns: result.counts.len(),
+    })
+}
+
+/// Verifies iterative phase estimation of the exact `m`-bit phase
+/// `2π·k/2^m` on `engine`: with one work qubit reset and reused `m`
+/// times and phase corrections conditioned on all previously measured
+/// bits, **every** shot must read out exactly `k`.
+///
+/// Returns the number of shots that read `k`; the protocol is correct
+/// iff this equals `shots` (the deterministic readout is what makes IPE
+/// an oracle — any mistake in reset, conditioned-phase bookkeeping, or
+/// bit ordering derandomises it).
+///
+/// # Errors
+///
+/// [`VerifyError::Simulation`] when the engine cannot run the protocol.
+///
+/// # Panics
+///
+/// As [`generators::iterative_phase_estimation`]: `m` must be in
+/// `1..64` and `k < 2^m`.
+pub fn check_iterative_phase_estimation(
+    engine: &mut dyn SimulationEngine,
+    m: usize,
+    k: u64,
+    shots: usize,
+    seed: u64,
+) -> Result<usize, VerifyError> {
+    let qc = generators::iterative_phase_estimation(m, k);
+    let executor = ShotExecutor::new(ShotConfig::new(shots, seed));
+    let result = executor
+        .run_on(engine, &qc)
+        .map_err(|e| VerifyError::Simulation {
+            message: e.to_string(),
+        })?;
+    Ok(result.counts.get(&u128::from(k)).copied().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_dd::DdEngine;
+
+    #[test]
+    fn teleportation_is_exact_on_dd() {
+        let mut engine = DdEngine::new();
+        let report = check_teleportation(&mut engine, 1.1, 2.3, 64, 5).unwrap();
+        assert!(report.is_faithful(1e-12), "{report:?}");
+        assert_eq!(report.outcome_patterns, 4);
+    }
+
+    #[test]
+    fn ipe_reads_the_exact_phase_every_shot() {
+        let mut engine = DdEngine::new();
+        let hits = check_iterative_phase_estimation(&mut engine, 3, 5, 32, 9).unwrap();
+        assert_eq!(hits, 32);
+    }
+
+    #[test]
+    fn broken_protocol_is_caught() {
+        // The same circuit with its conditioned corrections stripped is
+        // teleportation without feed-forward: fidelity < 1 on the shots
+        // whose measurements read 1.
+        let qc = generators::teleportation(1.1, 2.3);
+        let mut broken = qdt_circuit::Circuit::with_clbits(3, 2);
+        for inst in qc.instructions() {
+            if inst.cond.is_none() {
+                broken.push(inst.clone()).unwrap();
+            }
+        }
+        let a = [
+            1.1f64.sin() * 2.3f64.cos(),
+            1.1f64.sin() * 2.3f64.sin(),
+            1.1f64.cos(),
+        ];
+        let mut engine = DdEngine::new();
+        let mut min_f = f64::INFINITY;
+        ShotExecutor::new(ShotConfig::new(64, 5))
+            .run_on_inspected(&mut engine, &broken, &mut |_, work, _| {
+                let b = bloch_vector(work, 3, 2).unwrap();
+                min_f = min_f.min((1.0 + a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) / 2.0);
+            })
+            .unwrap();
+        assert!(min_f < 0.99, "uncorrected teleportation looked faithful");
+    }
+}

@@ -31,6 +31,7 @@
 //! # Ok::<(), qdt_verify::VerifyError>(())
 //! ```
 
+pub mod dynamic;
 pub mod noise;
 
 use std::fmt;

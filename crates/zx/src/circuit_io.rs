@@ -35,12 +35,22 @@ fn lower(circuit: &Circuit) -> Result<Vec<LoweredOp>, ZxError> {
         if inst.cond.is_some() {
             // ZX-diagrams denote fixed linear maps; a classically
             // conditioned gate is not one.
-            return Err(unsupported(format!("conditioned {}", inst.name())));
+            return Err(unsupported(format!(
+                "conditioned {} — a ZX-diagram denotes one fixed linear map; run \
+                 dynamic circuits on an engine with `Capabilities::dynamic` \
+                 (array, decision-diagram, or mps)",
+                inst.name()
+            )));
         }
         match &inst.kind {
             OpKind::Barrier(_) => {}
             OpKind::Measure { .. } | OpKind::Reset { .. } => {
-                return Err(unsupported(inst.name()));
+                return Err(unsupported(format!(
+                    "{} — a ZX-diagram denotes one fixed linear map; run dynamic \
+                     circuits on an engine with `Capabilities::dynamic` (array, \
+                     decision-diagram, or mps)",
+                    inst.name()
+                )));
             }
             OpKind::Swap { a, b, controls } => match controls.len() {
                 0 => out.push(LoweredOp::Swap(*a, *b)),
@@ -470,13 +480,26 @@ mod tests {
     }
 
     #[test]
-    fn measurement_rejected() {
+    fn measurement_rejected_naming_the_dynamic_path() {
         let mut qc = Circuit::with_clbits(1, 1);
         qc.measure(0, 0);
-        assert!(matches!(
-            Diagram::from_circuit(&qc),
-            Err(ZxError::Unsupported { .. })
-        ));
+        match Diagram::from_circuit(&qc).unwrap_err() {
+            ZxError::Unsupported { op } => {
+                assert!(op.starts_with("measure"), "{op}");
+                assert!(op.contains("Capabilities::dynamic"), "{op}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Conditioned gates get the same pointer.
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.x(0).c_if(0, true);
+        match Diagram::from_circuit(&qc).unwrap_err() {
+            ZxError::Unsupported { op } => {
+                assert!(op.contains("conditioned x"), "{op}");
+                assert!(op.contains("Capabilities::dynamic"), "{op}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //  - the condition reads c[1], which is never
 //    written, so it is always false              -> QDT004 (warning)
 //  - x q[1] after q[1]'s final measurement       -> QDT101 (warning)
+//  - measure into c[0] overwritten unread        -> QDT405 (warning)
 OPENQASM 2.0;
 include "qelib1.inc";
 qreg q[3];
