@@ -12,6 +12,11 @@
 //!   predicted peak Schmidt rank;
 //! * **array** — `g · 2^n`, infeasible past
 //!   [`ARRAY_MAX_QUBITS`] (dense allocation);
+//! * **stabilizer** — `g · n²/64` (word-parallel tableau row updates);
+//!   feasible only for Clifford-only circuits wider than
+//!   [`QDT404_WIDTH_THRESHOLD`] (narrow Clifford circuits stay on the
+//!   dense array, which is exact on every query) and at most
+//!   [`STABILIZER_MAX_QUBITS`] qubits;
 //! * **decision diagram** — `8 · g · n · 2^ℓ` with
 //!   `ℓ = min(n, w + m/2)`: width-bounded entanglement plus
 //!   non-Clifford density drive node growth. Pure-Clifford spans get
@@ -41,6 +46,11 @@ pub const ARRAY_MAX_QUBITS: usize = 28;
 
 /// Bond-dimension cap written into a dispatched `mps:<χ>` spec.
 pub const MPS_DISPATCH_BOND_CAP: usize = 64;
+
+/// Widest register the stabilizer tableau is considered feasible for
+/// (mirrors `qdt_stabilizer::MAX_QUBITS`; the tableau itself is
+/// quadratic, so this is a guard against absurd inputs, not memory).
+pub const STABILIZER_MAX_QUBITS: usize = 16_384;
 
 /// Every dataflow fact the cost model (and the reporters) consume.
 #[derive(Debug, Clone)]
@@ -137,12 +147,23 @@ pub fn plan_dispatch(facts: &CircuitFacts) -> DispatchDecision {
     let cost_mps = 8.0 * g2 * chi_hat.powi(3) + 4.0 * g1 * chi_hat.powi(2);
     let cost_tn = 16.0 * g * exp2_capped((2.0 * w).min(nf));
 
+    // Word-parallel row updates touch 2n rows of n/64 words per gate;
+    // the model only needs the quadratic shape, not the constant.
+    let cost_stab = (g * nf * nf / 64.0).max(1.0);
+    let stab_feasible =
+        facts.resources.clifford_only && n > QDT404_WIDTH_THRESHOLD && n <= STABILIZER_MAX_QUBITS;
+
     let mps_spec = format!("mps:{}", (chi_hat as usize).clamp(2, MPS_DISPATCH_BOND_CAP));
     let estimates = vec![
         BackendCost {
             spec: "array".into(),
             cost: cost_array,
             feasible: n <= ARRAY_MAX_QUBITS,
+        },
+        BackendCost {
+            spec: "stabilizer".into(),
+            cost: cost_stab,
+            feasible: stab_feasible,
         },
         BackendCost {
             spec: "decision-diagram".into(),
@@ -245,6 +266,38 @@ mod tests {
                 .cost
         };
         assert!(dd_cost(&clifford) < dd_cost(&t_heavy));
+    }
+
+    #[test]
+    fn wide_clifford_circuit_picks_the_stabilizer_tableau() {
+        let decision = dispatch_circuit(&generators::ghz(40));
+        assert_eq!(decision.chosen, "stabilizer", "{:?}", decision.estimates);
+        // The T-sprinkled variant at the same width must not.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let qc = generators::random_clifford_t(40, 8, 0.2, &mut rng);
+        let decision = dispatch_circuit(&qc);
+        let stab = decision
+            .estimates
+            .iter()
+            .find(|e| e.spec == "stabilizer")
+            .expect("stabilizer estimate");
+        assert!(!stab.feasible, "{:?}", decision.estimates);
+        assert_ne!(decision.chosen, "stabilizer");
+    }
+
+    #[test]
+    fn narrow_clifford_circuit_keeps_the_exact_dense_array() {
+        // Bell is Clifford but narrow: the stabilizer arm must stay
+        // infeasible so `auto` keeps exact dense amplitudes available.
+        let decision = dispatch_circuit(&generators::bell());
+        let stab = decision
+            .estimates
+            .iter()
+            .find(|e| e.spec == "stabilizer")
+            .expect("stabilizer estimate");
+        assert!(!stab.feasible);
+        assert_eq!(decision.chosen, "array", "{:?}", decision.estimates);
     }
 
     #[test]

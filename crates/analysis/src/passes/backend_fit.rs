@@ -4,10 +4,10 @@
 //!
 //! Clifford circuits are classically simulable in polynomial time
 //! (Gottesman–Knill); past [`QDT404_WIDTH_THRESHOLD`] qubits a dense
-//! state vector pays `2^n` for a state the stabilizer formalism (or a
-//! width-bounded decision diagram / MPS) tracks cheaply. The `auto`
-//! spec follows the same cost model, so this lint is exactly "you
-//! would not want the array backend here".
+//! state vector pays `2^n` for a state the `stabilizer` tableau engine
+//! tracks in `O(n²)` bits. The `auto` spec follows the same cost
+//! model — its stabilizer arm is feasible exactly when this lint
+//! fires — so the diagnostic names the spec `auto` would dispatch to.
 
 use qdt_circuit::Circuit;
 
@@ -34,7 +34,8 @@ impl Pass for BackendFit {
             None,
             format!(
                 "the circuit is Clifford-only on {} qubits (> {QDT404_WIDTH_THRESHOLD}): \
-                 an exponential dense backend is overkill; the cost model picks `{}`",
+                 an exponential dense backend is overkill; use the `stabilizer` tableau \
+                 engine (the cost model picks `{}`)",
                 facts.resources.num_qubits, decision.chosen
             ),
         )]
@@ -51,7 +52,16 @@ mod tests {
         let diags = BackendFit.run(&generators::ghz(24));
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, Code::CliffordOnlyExponential);
-        assert!(diags[0].message.contains('`'), "names the chosen spec");
+        assert!(
+            diags[0].message.contains("`stabilizer`"),
+            "suggests the stabilizer spec: {}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("picks `stabilizer`"),
+            "the cost model agrees with the suggestion: {}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() {
     let mut backends: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut snapshot_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--backend" {
@@ -55,6 +56,8 @@ fn main() {
             trace_path = Some(args.next().expect("--trace needs a file path"));
         } else if a == "--metrics" {
             metrics_path = Some(args.next().expect("--metrics needs a file path"));
+        } else if a == "--snapshot" {
+            snapshot_path = Some(args.next().expect("--snapshot needs a file path"));
         } else {
             filter.push(a.to_lowercase());
         }
@@ -116,6 +119,9 @@ fn main() {
     }
     if want("dynamic") {
         dynamic_circuits();
+    }
+    if want("stabilizer") || want("stabilizer_scaling") {
+        stabilizer_scaling(snapshot_path.as_deref());
     }
     if want("c9") {
         c9_approximation();
@@ -225,6 +231,13 @@ fn auto_dispatch() {
         // estimate by construction; assert the dominance anyway so the
         // table doubles as a regression test of the model.
         let decision = qdt::analysis::dispatch_circuit(qc);
+        if *name == "ghz-24" {
+            // Wide Clifford-only is exactly the stabilizer arm's niche.
+            assert_eq!(
+                decision.chosen, "stabilizer",
+                "the wide Clifford workload must dispatch to the tableau"
+            );
+        }
         let chosen_cost = decision.chosen_estimate().cost;
         for estimate in &decision.estimates {
             assert!(
@@ -296,7 +309,16 @@ fn spec_threads(spec: &str) -> String {
     };
     if !matches!(
         parsed.name.as_str(),
-        "array" | "arrays" | "statevector" | "sv" | "density" | "density-matrix" | "dm"
+        "array"
+            | "arrays"
+            | "statevector"
+            | "sv"
+            | "density"
+            | "density-matrix"
+            | "dm"
+            | "stabilizer"
+            | "tableau"
+            | "chp"
     ) {
         return "-".into();
     }
@@ -362,6 +384,7 @@ fn dynamic_circuits() {
         "{:>18} {:>16} {:>10} {:>10}",
         "backend", "min fidelity", "patterns", "time"
     );
+    let mut teleport_secs = Vec::new();
     for spec in specs {
         let mut e = qdt::create_engine(spec).expect("spec builds");
         let (report, secs) =
@@ -371,11 +394,22 @@ fn dynamic_circuits() {
             "{spec}: teleportation fidelity {} below 1 - 1e-12",
             report.min_fidelity
         );
+        teleport_secs.push(secs);
         println!(
             "{:>18} {:>16.12} {:>10} {:>8.3}s",
             spec, report.min_fidelity, report.outcome_patterns, secs
         );
     }
+    // The DD collapse fast path: snapshot/restore anchors each shot on
+    // the cloned package instead of rebuilding the diagram gate by
+    // gate, so the per-shot loop stays within a constant factor of the
+    // dense array (the band absorbs timer noise on fast hosts).
+    let (array_secs, dd_secs) = (teleport_secs[0], teleport_secs[1]);
+    assert!(
+        dd_secs <= 20.0 * array_secs + 0.05,
+        "DD teleportation ({dd_secs:.3}s) drifted past 20x the array ({array_secs:.3}s): \
+         the snapshot fast path regressed"
+    );
 
     println!("\niterative phase estimation (4-bit phase k=11, 256 shots):");
     for spec in specs {
@@ -420,6 +454,124 @@ fn dynamic_circuits() {
     println!("(every dynamic histogram above is a seeded pure function of the");
     println!(" circuit: striping shots over the worker pool is bit-identical to");
     println!(" the sequential loop on every collapse-capable backend)");
+}
+
+/// Stabilizer scaling: the polynomial Clifford fragment at widths no
+/// dense backend can touch — a 1000-qubit GHZ prepared and sampled in
+/// well under a second, plus repetition-code syndrome extraction
+/// through the dynamic shot loop. With `--snapshot <file>` the
+/// deterministic integers (counts, seeds, tableau words — never
+/// timings) are written as JSON for CI to diff against the committed
+/// `BENCH_stabilizer.json`.
+fn stabilizer_scaling(snapshot_path: Option<&str>) {
+    use qdt::stabilizer::StabilizerEngine;
+    use qdt::SimulationEngine;
+
+    header("Stabilizer — bit-packed tableaux on the Clifford fragment");
+
+    const GHZ_QUBITS: usize = 1000;
+    const GHZ_SHOTS: usize = 4096;
+    const GHZ_SEED: u64 = 0x57AB;
+    let qc = generators::ghz(GHZ_QUBITS);
+
+    println!("GHZ-{GHZ_QUBITS}: prepare + sample {GHZ_SHOTS} shots (seed {GHZ_SEED:#x})");
+    let ((words, counts), secs) = timed(|| {
+        let mut e = StabilizerEngine::new();
+        run(&mut e, &qc).expect("Clifford circuit runs");
+        let words = e.cost_metric().value;
+        let counts = e.sample_bits(GHZ_SHOTS, &mut StdRng::seed_from_u64(GHZ_SEED));
+        (words, counts)
+    });
+    // 2n+1 rows, each an x and a z block of ceil(n/64) words.
+    let w = GHZ_QUBITS.div_ceil(64);
+    assert_eq!(words, 2 * (2 * GHZ_QUBITS + 1) * w);
+    // A GHZ register collapses to all-zeros or all-ones, nothing else.
+    let zeros = vec![0u64; w];
+    let mut ones = vec![u64::MAX; w - 1];
+    ones.push((1u64 << (GHZ_QUBITS - 64 * (w - 1))) - 1);
+    assert!(
+        counts.keys().all(|k| *k == zeros || *k == ones),
+        "GHZ sampling produced a non-GHZ bit pattern"
+    );
+    assert_eq!(counts.values().sum::<usize>(), GHZ_SHOTS);
+    let n_zeros = counts.get(&zeros).copied().unwrap_or(0);
+    let n_ones = counts.get(&ones).copied().unwrap_or(0);
+    println!("  {words} tableau words, all-zeros {n_zeros} / all-ones {n_ones}, {secs:.3}s");
+    assert!(
+        secs < 1.0,
+        "GHZ-{GHZ_QUBITS} prepare+sample took {secs:.3}s (budget: 1s)"
+    );
+
+    println!("\nthread-count invariance (same RNG seed, identical histograms):");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "threads", "all-zeros", "all-ones", "time"
+    );
+    for threads in [1usize, 2, 4] {
+        let (t_counts, t_secs) = timed(|| {
+            let mut e = StabilizerEngine::with_threads(threads);
+            run(&mut e, &qc).expect("Clifford circuit runs");
+            e.sample_bits(GHZ_SHOTS, &mut StdRng::seed_from_u64(GHZ_SEED))
+        });
+        assert_eq!(
+            t_counts, counts,
+            "threads={threads}: histogram diverged from the baseline"
+        );
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.3}s",
+            threads,
+            t_counts.get(&zeros).copied().unwrap_or(0),
+            t_counts.get(&ones).copied().unwrap_or(0),
+            t_secs
+        );
+    }
+
+    const CODE_DISTANCE: usize = 41;
+    const CODE_ROUNDS: usize = 3;
+    const CODE_SHOTS: usize = 256;
+    const CODE_SEED: u64 = 11;
+    println!(
+        "\nrepetition code d={CODE_DISTANCE}, {CODE_ROUNDS} rounds \
+         ({} qubits, {} syndrome bits, {CODE_SHOTS} shots):",
+        2 * CODE_DISTANCE - 1,
+        CODE_ROUNDS * (CODE_DISTANCE - 1)
+    );
+    let code = generators::repetition_code(CODE_DISTANCE, CODE_ROUNDS);
+    let mut zero_syndrome = 0usize;
+    for workers in [1usize, 2, 4] {
+        let (result, c_secs) = timed(|| {
+            qdt::sample_dynamic(&code, CODE_SHOTS, "stabilizer", CODE_SEED, workers)
+                .expect("syndrome extraction runs")
+        });
+        assert_eq!(
+            result.counts.get(&0),
+            Some(&CODE_SHOTS),
+            "workers={workers}: error-free code must read an all-zero syndrome"
+        );
+        zero_syndrome = CODE_SHOTS;
+        println!(
+            "  workers={workers}: {CODE_SHOTS}/{CODE_SHOTS} all-zero syndromes, \
+             {} resets, {c_secs:.3}s",
+            result.stats.resets
+        );
+    }
+
+    if let Some(path) = snapshot_path {
+        // Deterministic integers only — timings stay out so the file
+        // diffs cleanly across machines.
+        let json = format!(
+            "{{\n  \"ghz\": {{\n    \"qubits\": {GHZ_QUBITS},\n    \"shots\": {GHZ_SHOTS},\n    \
+             \"seed\": {GHZ_SEED},\n    \"tableau_words\": {words},\n    \
+             \"all_zeros\": {n_zeros},\n    \"all_ones\": {n_ones}\n  }},\n  \
+             \"repetition_code\": {{\n    \"distance\": {CODE_DISTANCE},\n    \
+             \"rounds\": {CODE_ROUNDS},\n    \"shots\": {CODE_SHOTS},\n    \
+             \"seed\": {CODE_SEED},\n    \"zero_syndromes\": {zero_syndrome}\n  }}\n}}\n"
+        );
+        std::fs::write(path, json).expect("snapshot file writes");
+        println!("\nsnapshot -> {path}");
+    }
+    println!("(exponential backends stop near 30 qubits; the tableau holds the");
+    println!(" same GHZ state in {words} machine words and samples it exactly)");
 }
 
 /// Telemetry: one traced run end-to-end — spans from the engine

@@ -292,6 +292,49 @@ fn random_clifford_t_impl<R: Rng>(n: usize, depth: usize, t_prob: f64, rng: &mut
     qc
 }
 
+/// A self-seeded random Clifford circuit over the *generator* set
+/// `{H, S, CX}` only: `depth` layers, each one uniformly chosen
+/// single-qubit gate per qubit followed by CX gates on a random qubit
+/// pairing. Unlike [`random_clifford`] the stimulus is fully
+/// reproducible from `(n, depth, seed)` alone, which is what the
+/// cross-backend stabilizer agreement tests key their histograms on.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_clifford_seeded(n: usize, depth: usize, seed: u64) -> Circuit {
+    use rand::SeedableRng;
+    assert!(n > 0, "need at least one qubit");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut qc = Circuit::new(n);
+    for _ in 0..depth {
+        for q in 0..n {
+            // H/S/skip: {H, S, CX} generates the whole Clifford group.
+            match rng.gen_range(0..3) {
+                0 => {
+                    qc.h(q);
+                }
+                1 => {
+                    qc.s(q);
+                }
+                _ => {}
+            }
+        }
+        if n >= 2 {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for pair in order.chunks(2) {
+                if let [a, b] = pair {
+                    qc.cx(*a, *b);
+                }
+            }
+        }
+    }
+    qc
+}
+
 /// A fully random universal circuit: `depth` layers of random `U(θ, φ, λ)`
 /// rotations followed by CX gates on a random pairing. The generic
 /// workload for simulator cross-validation.
@@ -445,6 +488,21 @@ mod tests {
         for inst in &qc {
             if let crate::OpKind::Unitary { gate, .. } = &inst.kind {
                 assert!(gate.is_clifford(), "{gate} in Clifford circuit");
+            }
+        }
+    }
+
+    #[test]
+    fn random_clifford_seeded_uses_only_h_s_cx_and_is_reproducible() {
+        let qc = random_clifford_seeded(5, 8, 7);
+        assert_eq!(qc, random_clifford_seeded(5, 8, 7));
+        assert_ne!(qc, random_clifford_seeded(5, 8, 8));
+        for inst in &qc {
+            if let crate::OpKind::Unitary { gate, controls, .. } = &inst.kind {
+                match (gate, controls.len()) {
+                    (Gate::H | Gate::S, 0) | (Gate::X, 1) => {}
+                    other => panic!("unexpected gate {other:?} in H/S/CX circuit"),
+                }
             }
         }
     }
@@ -685,6 +743,50 @@ pub fn reset_reuse_ladder(rounds: usize) -> Circuit {
     qc
 }
 
+/// Syndrome extraction for the distance-`d` bit-flip repetition code:
+/// `d` data qubits (0..d) in a GHZ-encoded logical |+⟩, `d − 1`
+/// ancillas (d..2d−1), and `rounds` rounds in which every ancilla is
+/// reset, entangled with its two neighbouring data qubits (ZZ parity
+/// check via two CNOTs), and measured into clbit `round·(d−1) + i`.
+///
+/// With no injected errors every parity check is satisfied, so the
+/// classical register is deterministically all-zeros while each round
+/// performs `d − 1` genuine mid-circuit measure/reset cycles — the
+/// QEC-shaped workload the stabilizer backend exists for, self-checking
+/// on any dynamic-capable engine.
+///
+/// # Panics
+///
+/// Panics if `distance < 2` or the syndrome record
+/// (`rounds · (distance − 1)` bits) exceeds the 128-bit classical
+/// register.
+pub fn repetition_code(distance: usize, rounds: usize) -> Circuit {
+    assert!(distance >= 2, "repetition code needs distance ≥ 2");
+    assert!(rounds > 0, "need at least one syndrome round");
+    let checks = distance - 1;
+    let clbits = rounds * checks;
+    assert!(
+        clbits <= 128,
+        "syndrome record of {clbits} bits exceeds the classical register"
+    );
+    let mut qc = Circuit::with_clbits(2 * distance - 1, clbits);
+    // Logical |+⟩: GHZ across the data qubits.
+    qc.h(0);
+    for q in 1..distance {
+        qc.cx(q - 1, q);
+    }
+    for round in 0..rounds {
+        for i in 0..checks {
+            let anc = distance + i;
+            qc.reset(anc);
+            qc.cx(i, anc);
+            qc.cx(i + 1, anc);
+            qc.measure(anc, round * checks + i);
+        }
+    }
+    qc
+}
+
 #[cfg(test)]
 mod dynamic_tests {
     use super::*;
@@ -727,5 +829,22 @@ mod dynamic_tests {
         let qc = adaptive_ghz(4);
         assert_eq!(qc.count_by_name()["measure"], 5);
         assert!(qc.is_dynamic());
+    }
+
+    #[test]
+    fn repetition_code_shape_is_clifford_and_dynamic() {
+        let qc = repetition_code(5, 3);
+        assert_eq!(qc.num_qubits(), 9);
+        assert_eq!(qc.num_clbits(), 12);
+        assert!(qc.is_dynamic());
+        assert_eq!(qc.count_by_name()["reset"], 12);
+        assert_eq!(qc.count_by_name()["measure"], 12);
+        assert_eq!(qc.t_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the classical register")]
+    fn repetition_code_guards_the_classical_register() {
+        repetition_code(66, 2);
     }
 }

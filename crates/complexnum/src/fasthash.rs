@@ -1,0 +1,118 @@
+//! A fast, deterministic hasher for kernel-internal tables.
+//!
+//! Decision-diagram and complex-table kernels are dominated by hash
+//! lookups on small fixed-size keys — node-id pairs, weight bit
+//! patterns, grid cells — performed on every unique-table and
+//! compute-cache access. `std`'s default SipHash is keyed and
+//! DoS-resistant, properties these private tables do not need, at
+//! several times the cost of a multiply-xor mix. [`FastHasher`] is the
+//! classic word-folding construction (rotate, xor, multiply by a large
+//! odd constant): unkeyed and fully deterministic across runs and
+//! platforms, so table iteration-independent results stay reproducible.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate word hasher for small fixed-size keys.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+/// A large odd multiplier (the golden-ratio-derived constant used by
+/// Fibonacci hashing) that diffuses low-entropy ids across the word.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        #[allow(clippy::cast_sign_loss)]
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(t)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&(3u32, 7u32)), hash_of(&(3u32, 7u32)));
+        assert_ne!(hash_of(&(3u32, 7u32)), hash_of(&(7u32, 3u32)));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3][..]));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+    }
+
+    #[test]
+    fn fast_map_behaves_like_a_map() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(17)), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999, 999u32.wrapping_mul(17))), Some(&999));
+    }
+}

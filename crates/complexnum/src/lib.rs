@@ -18,6 +18,10 @@
 //!   truth that all other representations are tested against.
 //! * [`svd`] — a one-sided Jacobi singular value decomposition used by the
 //!   matrix-product-state simulator for bond truncation.
+//! * [`FastHasher`]/[`FastMap`] — an unkeyed, deterministic multiply-xor
+//!   hasher for the hot kernel-internal tables (unique tables, compute
+//!   caches, the complex table's grid buckets), several times cheaper
+//!   than `std`'s DoS-resistant default on small fixed-size keys.
 //!
 //! # Example
 //!
@@ -32,12 +36,14 @@
 
 mod complex;
 mod euler;
+mod fasthash;
 mod matrix;
 mod svd;
 mod table;
 
 pub use complex::Complex;
 pub use euler::{zyz_decompose, zyz_reconstruct, ZyzAngles};
+pub use fasthash::{FastHasher, FastMap};
 pub use matrix::Matrix;
 pub use svd::{svd, Svd};
 pub use table::ComplexTable;

@@ -8,8 +8,7 @@
 //! that maps every weight to a canonical representative within a small
 //! tolerance; this module implements that table.
 
-use std::collections::HashMap;
-
+use crate::fasthash::FastMap;
 use crate::{Complex, TOLERANCE};
 
 /// A canonicalising store of complex numbers.
@@ -38,7 +37,7 @@ pub struct ComplexTable {
     tol: f64,
     /// Values bucketed by their grid cell; each bucket holds indices into
     /// `values`.
-    buckets: HashMap<(i64, i64), Vec<u32>>,
+    buckets: FastMap<(i64, i64), Vec<u32>>,
     values: Vec<Complex>,
     lookups: u64,
     hits: u64,
@@ -59,7 +58,7 @@ impl ComplexTable {
         assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive");
         let mut table = ComplexTable {
             tol,
-            buckets: HashMap::new(),
+            buckets: FastMap::default(),
             values: Vec::new(),
             lookups: 0,
             hits: 0,

@@ -226,8 +226,18 @@ mod tests {
         run(engine.as_mut(), &generators::ghz(24)).unwrap();
         engine.amplitude(0).unwrap();
         let described = engine.describe();
-        assert!(described.starts_with("auto->"), "{described}");
-        assert!(!described.contains("array"), "{described}");
+        // A wide Clifford-only circuit dispatches to the tableau.
+        assert_eq!(described, "auto->stabilizer");
+    }
+
+    #[test]
+    fn auto_picks_the_stabilizer_for_wide_random_clifford() {
+        let mut engine = auto_engine();
+        let qc = generators::random_clifford_seeded(32, 6, 11);
+        run(engine.as_mut(), &qc).unwrap();
+        let amp = engine.amplitude(0).unwrap();
+        assert_eq!(engine.describe(), "auto->stabilizer");
+        assert!(amp.abs() <= 1.0 + 1e-12);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use qdt_noise::{
     TrajectoryEngine,
 };
 use qdt_parallel::KernelContext;
+use qdt_stabilizer::StabilizerEngine;
 use qdt_tensor::{MpsEngine, TensorNetEngine};
 
 use crate::auto::AutoEngine;
@@ -440,7 +441,8 @@ impl EngineRegistry {
     }
 
     /// The registry preloaded with the four pure-state engines of the
-    /// paper plus the two noise-aware engines of `qdt-noise`.
+    /// paper, the Clifford-only stabilizer tableau, and the two
+    /// noise-aware engines of `qdt-noise`.
     pub fn with_defaults() -> Self {
         let mut r = EngineRegistry::new();
         r.register(EngineEntry::new(
@@ -463,6 +465,17 @@ impl EngineRegistry {
                 spec.expect_no_args("decision-diagram")?;
                 spec.expect_no_inner("decision-diagram")?;
                 Ok(Box::new(DdEngine::new()))
+            },
+        ));
+        r.register(EngineEntry::new(
+            "stabilizer",
+            &["tableau", "chp"],
+            Some("kernel scheduling, e.g. threads=4, threshold=2048"),
+            "bit-packed Clifford tableau (Aaronson-Gottesman): polynomial, Clifford-only",
+            |spec, _| {
+                spec.expect_no_inner("stabilizer")?;
+                let ctx = kernel_context_from_spec(spec, &[])?;
+                Ok(Box::new(StabilizerEngine::with_context(ctx)))
             },
         ));
         r.register(EngineEntry::new(
@@ -1004,6 +1017,10 @@ mod tests {
             "array(threads=4)",
             "array(threads=2,threshold=64)",
             "dd",
+            "stabilizer",
+            "stabilizer(threads=4)",
+            "tableau",
+            "chp",
             "tensor-network",
             "mps:8",
             "mps(χ=8)",
@@ -1013,6 +1030,7 @@ mod tests {
             "traj(16,seed=1,workers=2,depol=0.05):dd",
             "traj(16):array",
             "traj(16):mps(4)",
+            "traj(16,depol=0.05):stabilizer",
         ] {
             let e = r.create(spec).unwrap();
             assert!(!e.name().is_empty(), "{spec}");
@@ -1060,6 +1078,12 @@ mod tests {
         assert!(err.contains("unknown array key"), "{err}");
         let err = create_err("array(8)");
         assert!(err.contains("key=value"), "{err}");
+        let err = create_err("stabilizer(threads=0)");
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        let err = create_err("stabilizer(cores=4)");
+        assert!(err.contains("unknown stabilizer key"), "{err}");
+        let err = create_err("stabilizer:dd");
+        assert!(err.contains("no inner engine"), "{err}");
         let err = create_err("density(threads=0,depol=0.01)");
         assert!(err.contains("must be ≥ 1"), "{err}");
         let err = create_err("density(threads=2,thermal=0.1)");

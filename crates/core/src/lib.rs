@@ -11,6 +11,8 @@
 //!   generators;
 //! * [`array`](mod@array) — dense state vectors and density matrices (Sec. II);
 //! * [`dd`] — QMDD-style decision diagrams (Sec. III);
+//! * [`stabilizer`](mod@stabilizer) — bit-packed Clifford tableaux
+//!   (Aaronson–Gottesman), polynomial on the Clifford fragment;
 //! * [`tensor`] — tensor networks, contraction planning and MPS
 //!   (Sec. IV);
 //! * [`zx`] — the ZX-calculus with graph-like simplification (Sec. V);
@@ -69,6 +71,7 @@ pub use qdt_complex as complex;
 pub use qdt_dd as dd;
 pub use qdt_noise as noise;
 pub use qdt_parallel as parallel;
+pub use qdt_stabilizer as stabilizer;
 pub use qdt_telemetry as telemetry;
 pub use qdt_tensor as tensor;
 pub use qdt_verify as verify;
@@ -165,7 +168,8 @@ pub fn amplitude(circuit: &Circuit, basis: u128, backend: Backend) -> Result<Com
 /// ([`Circuit::is_dynamic`]) are routed through the per-shot
 /// [`ShotExecutor`](qdt_engine::ShotExecutor) on backends advertising
 /// [`EngineCaps::dynamic`](qdt_engine::EngineCaps) — array,
-/// decision-diagram, and MPS. See [`sample_dynamic`] for worker-striped
+/// decision-diagram, MPS, and the Clifford-only stabilizer tableau.
+/// See [`sample_dynamic`] for worker-striped
 /// shots and execution counters.
 ///
 /// # Errors

@@ -36,11 +36,17 @@ const MAX_QUBITS: usize = 128;
 /// assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-9);
 /// # Ok::<(), qdt_engine::EngineError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DdEngine {
     tolerance: Option<f64>,
     dd: DdPackage,
     v: VectorDd,
+    /// Root edge saved by [`SimulationEngine::checkpoint`]. The edge
+    /// stays valid across suffix execution because the arena never
+    /// frees nodes between `prepare` calls, so rollback is a copy of
+    /// two words — the whole package (unique tables, compute caches)
+    /// survives and stays warm across shots.
+    saved: Option<VectorDd>,
     /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
     sink: Option<TelemetrySink>,
     /// Package-stats snapshot at the last metric push, for deltas.
@@ -56,6 +62,7 @@ impl DdEngine {
             tolerance: None,
             dd,
             v,
+            saved: None,
             sink: None,
             last: DdStats::default(),
         }
@@ -70,6 +77,7 @@ impl DdEngine {
             tolerance: Some(tol),
             dd,
             v,
+            saved: None,
             sink: None,
             last: DdStats::default(),
         }
@@ -177,6 +185,8 @@ impl SimulationEngine for DdEngine {
             None => DdPackage::new(),
         };
         self.v = self.dd.zero_state(num_qubits.max(1));
+        // The saved root (if any) points into the dropped package.
+        self.saved = None;
         // Counters restart with the fresh package; registry totals are
         // cumulative since this prepare.
         self.last = DdStats::default();
@@ -302,6 +312,36 @@ impl SimulationEngine for DdEngine {
             self.dd.clear_caches();
         }
         Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
+        // Cloning the package (arena + unique tables) lets callers
+        // anchor per-shot execution on a copy; the shot executor
+        // prefers the cheaper in-place checkpoint below.
+        Some(Box::new(self.clone()))
+    }
+
+    fn checkpoint(&mut self) -> bool {
+        // The collapse fast path (DESIGN.md §13): save the root edge
+        // in place. Suffix replay then runs against the live package,
+        // so unique-table and compute-cache entries built by one shot
+        // are hits for every later shot instead of being rebuilt
+        // against a fresh clone.
+        self.saved = Some(self.v);
+        true
+    }
+
+    fn rollback(&mut self) -> Result<(), EngineError> {
+        match self.saved.take() {
+            Some(v) => {
+                self.v = v;
+                Ok(())
+            }
+            None => Err(EngineError::Backend {
+                engine: "decision-diagram",
+                message: "rollback without a pending checkpoint".into(),
+            }),
+        }
     }
 
     fn telemetry(&mut self, sink: &TelemetrySink) {

@@ -36,6 +36,24 @@ impl DdPackage {
         for &c in controls {
             assert!(c < num_qubits, "control out of range");
         }
+        // Memo hit: the same gate on the same wires rebuilds to the
+        // same canonical root, so skip the construction entirely (the
+        // per-shot path of dynamic circuits re-applies a handful of
+        // suffix gates thousands of times).
+        let key: crate::package::GateKey = (
+            [
+                gate.get(0, 0).to_bits(),
+                gate.get(0, 1).to_bits(),
+                gate.get(1, 0).to_bits(),
+                gate.get(1, 1).to_bits(),
+            ],
+            num_qubits,
+            target,
+            controls.to_vec(),
+        );
+        if let Some(&root) = self.gate_cache.get(&key) {
+            return MatrixDd { root, num_qubits };
+        }
 
         // The four entry diagrams, on qubits below the current level.
         let mut em: [MEdge; 4] = [
@@ -71,6 +89,7 @@ impl DdPackage {
                 e = self.make_mnode(z as u16, [e, MEdge::ZERO, MEdge::ZERO, e]);
             }
         }
+        self.gate_cache.insert(key, e);
         MatrixDd {
             root: e,
             num_qubits,

@@ -9,9 +9,7 @@
 //! same node, which is what makes sharing (and therefore compactness)
 //! work.
 
-use std::collections::HashMap;
-
-use qdt_complex::{Complex, ComplexTable};
+use qdt_complex::{Complex, ComplexTable, FastMap};
 
 pub(crate) type NodeId = u32;
 /// Sentinel node id for the terminal.
@@ -98,6 +96,9 @@ pub(crate) struct MNode {
 
 type VKey = (u16, [(NodeId, (u64, u64)); 2]);
 type MKey = (u16, [(NodeId, (u64, u64)); 4]);
+/// Memo key of a constructed gate diagram: the four 2×2 entry bit
+/// patterns, the register width, the target and the control set.
+pub(crate) type GateKey = ([(u64, u64); 4], usize, usize, Vec<usize>);
 
 /// A handle to a vector decision diagram rooted in a [`DdPackage`].
 ///
@@ -164,23 +165,30 @@ pub struct DdStats {
 /// methods so that node sharing is global within the package. Create one
 /// package per logical task; diagrams from different packages must not be
 /// mixed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DdPackage {
     pub(crate) vnodes: Vec<VNode>,
     pub(crate) mnodes: Vec<MNode>,
-    vunique: HashMap<VKey, NodeId>,
-    munique: HashMap<MKey, NodeId>,
+    vunique: FastMap<VKey, NodeId>,
+    munique: FastMap<MKey, NodeId>,
     pub(crate) ctable: ComplexTable,
     // Compute caches. Keys factor the incoming edge weights out so cache
     // hits are maximal (see each op).
-    vadd_cache: HashMap<(NodeId, NodeId, (u64, u64)), VEdge>,
-    madd_cache: HashMap<(NodeId, NodeId, (u64, u64)), MEdge>,
-    mv_cache: HashMap<(NodeId, NodeId), VEdge>,
-    mm_cache: HashMap<(NodeId, NodeId), MEdge>,
+    vadd_cache: FastMap<(NodeId, NodeId, (u64, u64)), VEdge>,
+    madd_cache: FastMap<(NodeId, NodeId, (u64, u64)), MEdge>,
+    mv_cache: FastMap<(NodeId, NodeId), VEdge>,
+    mm_cache: FastMap<(NodeId, NodeId), MEdge>,
+    /// Memoised [`gate_dd`](DdPackage::gate_dd) roots keyed by gate
+    /// entries, register width, target and controls. Dynamic-circuit
+    /// suffixes re-apply the same few gates once per shot; the memo
+    /// turns each rebuild into a single lookup. Entries stay valid for
+    /// the package's whole lifetime because arena nodes are never
+    /// freed.
+    pub(crate) gate_cache: FastMap<GateKey, MEdge>,
     /// Cached identity diagrams: `ident[l]` spans qubits `0..=l`.
     ident: Vec<MEdge>,
     /// Cached squared norms of vector nodes.
-    nsq_cache: HashMap<NodeId, f64>,
+    nsq_cache: FastMap<NodeId, f64>,
     /// Table/cache activity counters (see [`DdStats`]).
     stats: DdStats,
 }
@@ -206,15 +214,16 @@ impl DdPackage {
         DdPackage {
             vnodes: Vec::new(),
             mnodes: Vec::new(),
-            vunique: HashMap::new(),
-            munique: HashMap::new(),
+            vunique: FastMap::default(),
+            munique: FastMap::default(),
             ctable: ComplexTable::with_tolerance(tol),
-            vadd_cache: HashMap::new(),
-            madd_cache: HashMap::new(),
-            mv_cache: HashMap::new(),
-            mm_cache: HashMap::new(),
+            vadd_cache: FastMap::default(),
+            madd_cache: FastMap::default(),
+            mv_cache: FastMap::default(),
+            mm_cache: FastMap::default(),
+            gate_cache: FastMap::default(),
             ident: Vec::new(),
-            nsq_cache: HashMap::new(),
+            nsq_cache: FastMap::default(),
             stats: DdStats::default(),
         }
     }

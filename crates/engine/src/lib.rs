@@ -448,7 +448,7 @@ pub trait SimulationEngine {
         Err(EngineError::Unsupported {
             engine: self.name(),
             what: "projective collapse — dynamic circuits need an engine with \
-                   `EngineCaps::dynamic` (array, decision-diagram, or mps)"
+                   `EngineCaps::dynamic` (array, decision-diagram, mps, or stabilizer)"
                 .into(),
         })
     }
@@ -458,10 +458,39 @@ pub trait SimulationEngine {
     ///
     /// The [`shot::ShotExecutor`] snapshots the engine after the static
     /// unitary prefix and restores from the snapshot each shot; engines
-    /// returning `None` (e.g. arena-backed DD) fall back to replaying
-    /// the prefix per shot.
+    /// returning `None` fall back to replaying the prefix per shot.
     fn snapshot(&self) -> Option<Box<dyn SimulationEngine>> {
         None
+    }
+
+    /// Saves an in-place checkpoint of the current state and returns
+    /// `true`, or returns `false` when the engine does not support
+    /// in-place restore.
+    ///
+    /// This is the cheapest per-shot anchor: the [`shot::ShotExecutor`]
+    /// checkpoints the post-prefix state once per shot, runs the
+    /// dynamic suffix *on the engine itself*, and calls
+    /// [`rollback`](SimulationEngine::rollback) afterwards. Unlike
+    /// [`snapshot`](SimulationEngine::snapshot), backend-internal
+    /// structures (arenas, unique tables, compute caches) survive
+    /// across shots, so repeated suffix work hits warm caches instead
+    /// of being recomputed against a fresh copy every shot.
+    fn checkpoint(&mut self) -> bool {
+        false
+    }
+
+    /// Restores the state saved by the most recent
+    /// [`checkpoint`](SimulationEngine::checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] when the engine does not support
+    /// checkpoints (the default), or when no checkpoint is pending.
+    fn rollback(&mut self) -> Result<(), EngineError> {
+        Err(EngineError::Unsupported {
+            engine: self.name(),
+            what: "in-place checkpoint/rollback (see `SimulationEngine::checkpoint`)".into(),
+        })
     }
 
     /// Attaches a telemetry sink to the engine.

@@ -16,10 +16,12 @@
 //!    measure-and-correct ([`reset_to_zero`]), and conditions gate
 //!    execution on the clbits written so far.
 //!
-//! The engine state after the prefix is restored per shot from a cheap
-//! clone where the substrate supports it
-//! ([`SimulationEngine::snapshot`]) and by replaying the prefix where
-//! it does not (the arena-backed DD engine).
+//! The engine state after the prefix is restored per shot by the
+//! cheapest anchor the substrate offers: an in-place checkpoint
+//! ([`SimulationEngine::checkpoint`], which keeps backend caches warm
+//! across shots — the DD collapse fast path), a boxed clone
+//! ([`SimulationEngine::snapshot`]), or replaying the prefix when
+//! neither is supported.
 //!
 //! **Determinism.** Shot `s` draws all randomness from a
 //! [`StdRng`] seeded by [`shot_seed`]`(seed, s)` — a function of the
@@ -390,7 +392,7 @@ impl<'c> ShotPlan<'c> {
                 engine: engine.name(),
                 what: "dynamic circuits (mid-circuit measurement, reset, classical \
                        control); use an engine with `EngineCaps::dynamic` (array, \
-                       decision-diagram, or mps)"
+                       decision-diagram, mps, or stabilizer)"
                     .into(),
             });
         }
@@ -430,10 +432,11 @@ impl<'c> ShotPlan<'c> {
     }
 
     /// Executes one shot's dynamic suffix and returns its histogram
-    /// key. `engine` must hold the post-prefix state; it is left
-    /// unchanged when it supports snapshots and holding the shot's
-    /// final state otherwise (the caller re-runs the prefix next shot
-    /// implicitly via [`ShotPlan::run_shot`]'s replay branch).
+    /// key. `engine` must hold the post-prefix state; it is restored to
+    /// it when the engine supports checkpoints or snapshots, and left
+    /// holding the shot's final state otherwise (the caller re-runs the
+    /// prefix next shot implicitly via [`ShotPlan::run_shot`]'s replay
+    /// branch).
     #[allow(clippy::too_many_lines)]
     fn run_shot(
         &self,
@@ -446,16 +449,24 @@ impl<'c> ShotPlan<'c> {
     ) -> Result<u128, EngineError> {
         let mut rng = StdRng::seed_from_u64(shot_seed(seed, shot));
         let mut snapshot;
-        let work: &mut dyn SimulationEngine = match engine.snapshot() {
-            Some(boxed) => {
-                snapshot = boxed;
-                snapshot.as_mut()
-            }
-            None => {
-                // No cheap clone: replay the prefix on the engine
-                // itself (prepare resets it to |0…0⟩ first).
-                run(engine, &self.prefix)?;
-                engine
+        // Cheapest first: an in-place checkpoint keeps the backend's
+        // internal tables warm across shots (the DD collapse fast
+        // path); next a boxed clone; last, full prefix replay.
+        let checkpointed = engine.checkpoint();
+        let work: &mut dyn SimulationEngine = if checkpointed {
+            engine
+        } else {
+            match engine.snapshot() {
+                Some(boxed) => {
+                    snapshot = boxed;
+                    snapshot.as_mut()
+                }
+                None => {
+                    // No cheap clone: replay the prefix on the engine
+                    // itself (prepare resets it to |0…0⟩ first).
+                    run(engine, &self.prefix)?;
+                    engine
+                }
             }
         };
         let mut classical = ClassicalState::new(self.num_clbits);
@@ -517,6 +528,9 @@ impl<'c> ShotPlan<'c> {
             key
         };
         inspect(shot, work, &classical);
+        if checkpointed {
+            work.rollback()?;
+        }
         Ok(key)
     }
 }

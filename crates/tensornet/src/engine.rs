@@ -131,7 +131,8 @@ impl SimulationEngine for TensorNetEngine {
                 what: format!(
                     "the dynamic instruction `{}` — the lazily contracted network \
                      has no collapse primitive; use an engine with \
-                     `Capabilities::dynamic` (array, decision-diagram, or mps)",
+                     `Capabilities::dynamic` (array, decision-diagram, mps, or \
+                     stabilizer)",
                     inst.name()
                 ),
             });

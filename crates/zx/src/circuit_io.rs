@@ -38,7 +38,7 @@ fn lower(circuit: &Circuit) -> Result<Vec<LoweredOp>, ZxError> {
             return Err(unsupported(format!(
                 "conditioned {} — a ZX-diagram denotes one fixed linear map; run \
                  dynamic circuits on an engine with `Capabilities::dynamic` \
-                 (array, decision-diagram, or mps)",
+                 (array, decision-diagram, mps, or stabilizer)",
                 inst.name()
             )));
         }

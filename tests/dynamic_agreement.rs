@@ -120,6 +120,101 @@ proptest! {
     }
 }
 
+/// Clifford-only dynamic circuits: the same op mix minus `T`, so the
+/// stabilizer tableau can join the differential harness.
+fn clifford_dynamic_circuit(n: usize, c: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let clifford_gate = prop_oneof![Just(Gate::X), Just(Gate::H), Just(Gate::S), Just(Gate::Z),];
+    let op = prop_oneof![
+        (clifford_gate, 0..n).prop_map(|(g, q)| Op::G(g, q)),
+        (0..n, 0..n)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Op::Cx(a, b)),
+        (0..n, 0..c).prop_map(|(q, k)| Op::Measure(q, k)),
+        (0..n).prop_map(Op::Reset),
+        (0..n, 0..c, 0..2usize).prop_map(|(q, k, v)| Op::CondX(q, k, v == 1)),
+    ];
+    prop::collection::vec(op, 1..max_len).prop_map(move |ops| {
+        let mut qc = Circuit::with_clbits(n, c);
+        for op in ops {
+            match op {
+                Op::G(g, q) => {
+                    qc.gate(g, q, &[]);
+                }
+                Op::Cx(a, b) => {
+                    qc.cx(a, b);
+                }
+                Op::Measure(q, k) => {
+                    qc.measure(q, k);
+                }
+                Op::Reset(q) => {
+                    qc.reset(q);
+                }
+                Op::CondX(q, k, v) => {
+                    qc.x(q).c_if(k, v);
+                }
+            }
+        }
+        qc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The worker-invariance and cross-backend contracts extend to the
+    /// stabilizer tableau on Clifford-only dynamic circuits: histograms
+    /// are bit-identical across worker counts AND bit-identical to the
+    /// array backend under the same seed (collapse draws exactly one
+    /// RNG sample per measurement on every backend).
+    #[test]
+    fn stabilizer_matches_array_on_clifford_dynamic_circuits(
+        qc in clifford_dynamic_circuit(3, 3, 16).prop_filter("dynamic", Circuit::is_dynamic),
+        seed in 0u64..1000,
+    ) {
+        let reference = qdt::sample_dynamic(&qc, 65, "array", seed, 1).unwrap();
+        for spec in ["stabilizer", "stabilizer(threads=2)"] {
+            let sequential = qdt::sample_dynamic(&qc, 65, spec, seed, 1).unwrap();
+            prop_assert!(
+                sequential.counts == reference.counts,
+                "{} vs array: {:?} vs {:?}",
+                spec, sequential.counts, reference.counts
+            );
+            for workers in [2usize, 4] {
+                let striped = qdt::sample_dynamic(&qc, 65, spec, seed, workers).unwrap();
+                prop_assert!(
+                    striped.counts == sequential.counts,
+                    "{} diverged at workers={}", spec, workers
+                );
+                prop_assert!(striped.stats == sequential.stats, "{} stats diverged", spec);
+            }
+        }
+    }
+}
+
+#[test]
+fn stabilizer_runs_the_clifford_protocol_generators() {
+    // Adaptive GHZ folds back to the all-zero register in every shot.
+    let ghz = generators::adaptive_ghz(5);
+    let result = qdt::sample_dynamic(&ghz, 512, "stabilizer", 7, 4).unwrap();
+    assert_eq!(result.counts.len(), 1);
+    assert_eq!(result.counts.get(&0), Some(&512));
+
+    // Reset-reuse ladder: fair-coin ladder bits, data check always 0 —
+    // and the histogram matches the array backend bit for bit.
+    let ladder = generators::reset_reuse_ladder(4);
+    let result = qdt::sample_dynamic(&ladder, 512, "stabilizer", 7, 2).unwrap();
+    let reference = qdt::sample_dynamic(&ladder, 512, "array", 7, 2).unwrap();
+    assert_eq!(result.counts, reference.counts);
+    assert_eq!(result.stats.resets, 4 * 512);
+
+    // Repetition-code syndrome extraction: with no injected errors the
+    // syndrome record is deterministically all-zeros.
+    let code = generators::repetition_code(5, 3);
+    let result = qdt::sample_dynamic(&code, 256, "stabilizer", 11, 4).unwrap();
+    assert_eq!(result.counts.get(&0), Some(&256), "{:?}", result.counts);
+    assert_eq!(result.stats.resets, 3 * 4 * 256);
+}
+
 #[test]
 fn teleportation_is_exact_on_every_dynamic_backend() {
     // The acceptance bar: 3 qubits, 4096 shots, fidelity 1 up to 1e-12

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use qdt::circuit::{Circuit, Gate, PauliString};
+use qdt::circuit::{generators, Circuit, Gate, PauliString};
 use qdt::engine::run;
 use qdt::EngineRegistry;
 use rand::rngs::StdRng;
@@ -218,5 +218,133 @@ proptest! {
                 "{}: chi2 {} over bound {} (dof {})", spec, stat, bound, dof
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clifford-only agreement: the stabilizer tableau joins the dense
+// engines on the Clifford fragment, sequentially and on the 4-thread
+// parallel kernels (`threshold=1` forces the chunked path even on these
+// small registers).
+// ---------------------------------------------------------------------
+
+/// Specs checked against the dense array on H/S/CX-only circuits.
+const CLIFFORD_SPECS: [&str; 3] = [
+    "stabilizer",
+    "stabilizer(threads=4,threshold=1)",
+    "decision-diagram",
+];
+
+#[test]
+fn clifford_amplitudes_agree_with_the_array() {
+    // A stabilizer group pins the state only up to a global phase, so
+    // the comparison aligns the first nonzero amplitude before asking
+    // for entrywise equality (relative phases ARE physical and must
+    // match exactly).
+    let registry = EngineRegistry::with_defaults();
+    for seed in 0..12u64 {
+        let qc = generators::random_clifford_seeded(6, 16, seed);
+        let mut reference = registry.create("array").unwrap();
+        run(reference.as_mut(), &qc).unwrap();
+        let ref_amps = reference.amplitudes().unwrap();
+        for spec in CLIFFORD_SPECS {
+            let mut e = registry.create(spec).unwrap();
+            run(e.as_mut(), &qc).unwrap();
+            let amps = e.amplitudes().unwrap();
+            assert_eq!(amps.len(), ref_amps.len(), "{spec} seed {seed}");
+            let anchor = ref_amps
+                .iter()
+                .position(|a| a.abs() > 1e-9)
+                .expect("normalised state has a nonzero amplitude");
+            let phase = ref_amps[anchor] / amps[anchor];
+            assert!(
+                (phase.abs() - 1.0).abs() < 1e-9,
+                "{spec} seed {seed}: magnitudes differ at anchor {anchor}: {phase}"
+            );
+            for (i, (x, y)) in amps.iter().zip(&ref_amps).enumerate() {
+                assert!(
+                    (*x * phase).approx_eq(*y, 1e-9),
+                    "{spec} seed {seed}: amplitude {i} is {x} vs {y} (phase {phase})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clifford_expectations_agree_with_the_array() {
+    let registry = EngineRegistry::with_defaults();
+    for (seed, pauli) in [
+        (1u64, "ZZIIII"),
+        (2, "XXXXXX"),
+        (3, "IYZIXI"),
+        (4, "ZIZIZI"),
+    ] {
+        let qc = generators::random_clifford_seeded(6, 16, seed);
+        let p: PauliString = pauli.parse().unwrap();
+        let mut reference = registry.create("array").unwrap();
+        run(reference.as_mut(), &qc).unwrap();
+        let expected = reference.expectation(&p).unwrap();
+        for spec in CLIFFORD_SPECS {
+            let mut e = registry.create(spec).unwrap();
+            run(e.as_mut(), &qc).unwrap();
+            let got = e.expectation(&p).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "{spec} seed {seed} {pauli}: {got} vs {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clifford_sample_distributions_agree_with_the_array() {
+    const SHOTS: usize = 4000;
+    let registry = EngineRegistry::with_defaults();
+    for seed in 0..6u64 {
+        let qc = generators::random_clifford_seeded(5, 12, seed);
+        let mut reference = registry.create("array").unwrap();
+        run(reference.as_mut(), &qc).unwrap();
+        let probs: Vec<f64> = reference
+            .amplitudes()
+            .unwrap()
+            .iter()
+            .map(|a| a.norm_sqr())
+            .collect();
+        for (k, spec) in CLIFFORD_SPECS.iter().enumerate() {
+            let mut e = registry.create(spec).unwrap();
+            run(e.as_mut(), &qc).unwrap();
+            let mut rng = StdRng::seed_from_u64(0xC11F + seed * 31 + k as u64);
+            let counts = e.sample(SHOTS, &mut rng).unwrap();
+            assert_eq!(counts.values().sum::<usize>(), SHOTS, "{spec} seed {seed}");
+            let (stat, dof) = chi_squared(&probs, &counts, SHOTS);
+            let bound = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt() + 20.0;
+            assert!(
+                stat <= bound,
+                "{spec} seed {seed}: chi2 {stat} over bound {bound} (dof {dof})"
+            );
+        }
+    }
+}
+
+#[test]
+fn stabilizer_sampling_is_bit_identical_across_thread_counts() {
+    // The PR 5 determinism contract extends to the tableau: identical
+    // seeds must give identical histograms at any worker count, even on
+    // a register wide enough that the row kernels actually chunk.
+    let registry = EngineRegistry::with_defaults();
+    let qc = generators::random_clifford_seeded(40, 8, 9);
+    let sample_with = |spec: &str| {
+        let mut e = registry.create(spec).unwrap();
+        run(e.as_mut(), &qc).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        e.sample(512, &mut rng).unwrap()
+    };
+    let sequential = sample_with("stabilizer(threads=1)");
+    for spec in [
+        "stabilizer(threads=2,threshold=1)",
+        "stabilizer(threads=4,threshold=1)",
+    ] {
+        assert_eq!(sample_with(spec), sequential, "{spec} diverged");
     }
 }
