@@ -38,6 +38,9 @@ pub struct SimulationProfile {
     pub peak_gate_index: usize,
     /// Metric value after the final gate.
     pub final_metric: usize,
+    /// High-water mark of the engine's self-reported state memory over
+    /// the run, in bytes (0 for engines that do not report memory).
+    pub peak_memory_bytes: usize,
 }
 
 /// Runs `circuit` on `engine` and collects its [`SimulationProfile`].
@@ -77,6 +80,7 @@ pub fn simulation_profile_traced(
         peak_metric: stats.peak_metric,
         peak_gate_index: stats.peak_gate_index,
         final_metric: stats.final_metric,
+        peak_memory_bytes: stats.peak_memory_bytes,
     })
 }
 
@@ -96,6 +100,9 @@ pub fn render_simulation_profile(p: &SimulationProfile) -> String {
         p.peak_gate_index,
         p.final_metric,
     );
+    if p.peak_memory_bytes > 0 {
+        let _ = write!(out, ", {} peak state bytes", p.peak_memory_bytes);
+    }
     out
 }
 
@@ -130,6 +137,8 @@ mod tests {
         assert_eq!(p.metric_name, "rho-nonzeros");
         // A pure Bell state has exactly four nonzero density entries.
         assert_eq!(p.final_metric, 4);
+        // ρ is the dense 4×4 complex matrix: 16 entries of 16 bytes.
+        assert_eq!(p.peak_memory_bytes, 16 * 16);
 
         let model = NoiseModel::uniform(KrausChannel::Depolarizing { p: 0.05 });
         let mut noisy = DensityMatrixEngine::with_noise(&model).unwrap();

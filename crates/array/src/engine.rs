@@ -38,8 +38,34 @@ pub struct ArrayEngine {
     psi: StateVector,
     /// Kernel scheduling: thread count, fallback threshold, pool sink.
     ctx: KernelContext,
-    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
-    sink: Option<TelemetrySink>,
+    /// Attached telemetry with pre-interned metric ids, if any (see
+    /// [`SimulationEngine::telemetry`]).
+    metrics: Option<ArrayMetrics>,
+}
+
+/// The engine's registered metric handles, resolved once when a sink is
+/// attached so the per-gate path records by id (no name hashing, no
+/// allocation).
+#[derive(Debug, Clone)]
+struct ArrayMetrics {
+    sink: TelemetrySink,
+    flops: qdt_engine::telemetry::MetricId,
+    bytes: qdt_engine::telemetry::MetricId,
+    amplitudes: qdt_engine::telemetry::MetricId,
+    mem: qdt_engine::telemetry::MemoryGauge,
+}
+
+impl ArrayMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        let m = sink.metrics();
+        ArrayMetrics {
+            flops: m.register("array.gate.flops"),
+            bytes: m.register("array.bytes.touched"),
+            amplitudes: m.register("array.amplitudes"),
+            mem: qdt_engine::telemetry::MemoryGauge::new(m, "array.state_vector"),
+            sink,
+        }
+    }
 }
 
 impl ArrayEngine {
@@ -64,7 +90,7 @@ impl ArrayEngine {
         ArrayEngine {
             psi: StateVector::zero_state(1),
             ctx,
-            sink: None,
+            metrics: None,
         }
     }
 
@@ -88,7 +114,7 @@ impl ArrayEngine {
     /// bytes, read + write). A swap moves `2^(n-2-#controls)` pairs with
     /// no arithmetic.
     fn push_metrics(&self, inst: &Instruction) {
-        let Some(sink) = &self.sink else { return };
+        let Some(metrics) = &self.metrics else { return };
         let n = self.psi.num_qubits();
         let (flops, bytes) = match &inst.kind {
             OpKind::Unitary { controls, .. } => {
@@ -105,11 +131,12 @@ impl ArrayEngine {
             }
             _ => (0, 0),
         };
-        let m = sink.metrics();
-        m.counter_add("array.gate.flops", flops);
-        m.counter_add("array.bytes.touched", bytes);
+        let m = metrics.sink.metrics();
+        m.counter_add_id(metrics.flops, flops);
+        m.counter_add_id(metrics.bytes, bytes);
         #[allow(clippy::cast_precision_loss)]
-        m.gauge_set("array.amplitudes", self.psi.amplitudes().len() as f64);
+        m.gauge_set_id(metrics.amplitudes, self.psi.amplitudes().len() as f64);
+        metrics.mem.record(self.psi.memory_bytes());
     }
 }
 
@@ -266,8 +293,12 @@ impl SimulationEngine for ArrayEngine {
         Some(Box::new(self.clone()))
     }
 
+    fn memory_bytes(&self) -> usize {
+        self.psi.memory_bytes()
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(ArrayMetrics::new);
         // The pool records only spans and a `_us` histogram — both off
         // the deterministic gate metric stream.
         self.ctx.set_telemetry(sink);

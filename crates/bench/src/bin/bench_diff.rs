@@ -1,0 +1,231 @@
+//! `qdt-bench-diff` — the CI perf-regression gate.
+//!
+//! Compares two `BENCH_*.json` snapshots structurally:
+//!
+//! * objects must have identical key sets, arrays identical lengths —
+//!   a shape change is always a regression (the snapshot must be
+//!   regenerated deliberately, not drift silently);
+//! * integer-valued numbers (counts, node totals, tableau words) must
+//!   match *exactly* — these are the deterministic metrics, identical
+//!   on every machine and thread count;
+//! * fractional numbers (timings, rates) may differ by a relative
+//!   noise band (`--noise <fraction>`, default 0.25) before they count
+//!   as a regression.
+//!
+//! Exit status: 0 when the candidate matches the baseline, 1 on any
+//! difference (each printed with its JSON path), 2 on usage or I/O
+//! errors.
+//!
+//! ```text
+//! qdt-bench-diff BENCH_telemetry.json /tmp/candidate.json
+//! qdt-bench-diff --noise 0.5 BENCH_timings.json new_timings.json
+//! ```
+
+use qdt::telemetry::json::{parse, JsonValue};
+
+/// Relative tolerance applied to non-integer numbers by default.
+const DEFAULT_NOISE: f64 = 0.25;
+
+fn main() {
+    let mut noise = DEFAULT_NOISE;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--noise" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--noise needs a value"));
+            noise = v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("invalid --noise value `{v}`")));
+            if !(0.0..=10.0).contains(&noise) {
+                usage(&format!("--noise {noise} out of range (0..=10)"));
+            }
+        } else if a == "--help" || a == "-h" {
+            eprintln!(
+                "usage: qdt-bench-diff [--noise <fraction>] <baseline.json> <candidate.json>"
+            );
+            std::process::exit(0);
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline_path, candidate_path] = &paths[..] else {
+        usage("expected exactly two snapshot paths");
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+    let diffs = diff_values("$", &baseline, &candidate, noise);
+    if diffs.is_empty() {
+        println!("bench-diff: {candidate_path} matches {baseline_path} (noise {noise})");
+        return;
+    }
+    eprintln!(
+        "bench-diff: {} difference(s) between {baseline_path} and {candidate_path}:",
+        diffs.len()
+    );
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    std::process::exit(1);
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("qdt-bench-diff: {message}");
+    eprintln!("usage: qdt-bench-diff [--noise <fraction>] <baseline.json> <candidate.json>");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("qdt-bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("qdt-bench-diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Recursively compares `baseline` against `candidate`, returning one
+/// human-readable line per difference, prefixed with the JSON path.
+fn diff_values(path: &str, baseline: &JsonValue, candidate: &JsonValue, noise: f64) -> Vec<String> {
+    match (baseline, candidate) {
+        (JsonValue::Object(b), JsonValue::Object(c)) => {
+            let mut out = Vec::new();
+            for (key, bv) in b {
+                match c.iter().find(|(k, _)| k == key) {
+                    Some((_, cv)) => {
+                        out.extend(diff_values(&format!("{path}.{key}"), bv, cv, noise));
+                    }
+                    None => out.push(format!("{path}.{key}: missing from candidate")),
+                }
+            }
+            for (key, _) in c {
+                if !b.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in baseline"));
+                }
+            }
+            out
+        }
+        (JsonValue::Array(b), JsonValue::Array(c)) => {
+            if b.len() != c.len() {
+                return vec![format!(
+                    "{path}: array length {} != baseline {}",
+                    c.len(),
+                    b.len()
+                )];
+            }
+            b.iter()
+                .zip(c)
+                .enumerate()
+                .flat_map(|(i, (bv, cv))| diff_values(&format!("{path}[{i}]"), bv, cv, noise))
+                .collect()
+        }
+        (JsonValue::Number(b), JsonValue::Number(c)) => {
+            if numbers_match(*b, *c, noise) {
+                Vec::new()
+            } else {
+                vec![format!("{path}: {c} != baseline {b}")]
+            }
+        }
+        _ => {
+            if baseline == candidate {
+                Vec::new()
+            } else {
+                vec![format!("{path}: {candidate} != baseline {baseline}")]
+            }
+        }
+    }
+}
+
+/// Integer pairs compare exactly; anything fractional gets the relative
+/// noise band (scaled by the larger magnitude, with an absolute floor
+/// so near-zero timings don't fail on dust).
+fn numbers_match(baseline: f64, candidate: f64, noise: f64) -> bool {
+    let integral = baseline.fract() == 0.0 && candidate.fract() == 0.0;
+    if integral {
+        return baseline == candidate;
+    }
+    let scale = baseline.abs().max(candidate.abs()).max(1e-12);
+    (candidate - baseline).abs() <= noise * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> JsonValue {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_have_no_differences() {
+        let doc = v(r#"{"gates": 10, "per_gate": [{"x": 1}, {"x": 2}]}"#);
+        assert!(diff_values("$", &doc, &doc, DEFAULT_NOISE).is_empty());
+    }
+
+    #[test]
+    fn integer_counts_compare_exactly() {
+        // An injected regression: one deterministic counter off by one.
+        let base = v(r#"{"dd": {"nodes": 100}}"#);
+        let cand = v(r#"{"dd": {"nodes": 101}}"#);
+        let diffs = diff_values("$", &base, &cand, DEFAULT_NOISE);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("$.dd.nodes"), "{diffs:?}");
+    }
+
+    #[test]
+    fn fractional_numbers_get_the_noise_band() {
+        let base = v(r#"{"secs": 1.0}"#);
+        assert!(diff_values("$", &base, &v(r#"{"secs": 1.2}"#), 0.25).is_empty());
+        let diffs = diff_values("$", &base, &v(r#"{"secs": 1.5}"#), 0.25);
+        assert_eq!(diffs.len(), 1);
+    }
+
+    #[test]
+    fn integral_baseline_with_fractional_candidate_uses_the_band() {
+        // 2.0 vs 2.1 — the candidate is fractional, so this is a timing,
+        // not a count.
+        let base = v(r#"{"secs": 2.0}"#);
+        assert!(diff_values("$", &base, &v(r#"{"secs": 2.1}"#), 0.25).is_empty());
+    }
+
+    #[test]
+    fn shape_changes_are_regressions() {
+        let base = v(r#"{"a": 1, "b": 2}"#);
+        let missing = v(r#"{"a": 1}"#);
+        let extra = v(r#"{"a": 1, "b": 2, "c": 3}"#);
+        assert_eq!(diff_values("$", &base, &missing, DEFAULT_NOISE).len(), 1);
+        assert_eq!(diff_values("$", &base, &extra, DEFAULT_NOISE).len(), 1);
+        let short = v(r#"{"a": [1, 2], "b": 2}"#);
+        let base_arr = v(r#"{"a": [1, 2, 3], "b": 2}"#);
+        assert_eq!(diff_values("$", &base_arr, &short, DEFAULT_NOISE).len(), 1);
+    }
+
+    #[test]
+    fn nested_paths_name_the_offending_metric() {
+        let base = v(r#"{"per_gate": [{"metrics": {"dd.nodes.live": 10}}]}"#);
+        let cand = v(r#"{"per_gate": [{"metrics": {"dd.nodes.live": 12}}]}"#);
+        let diffs = diff_values("$", &base, &cand, DEFAULT_NOISE);
+        assert_eq!(diffs.len(), 1);
+        assert!(
+            diffs[0].contains("$.per_gate[0].metrics.dd.nodes.live"),
+            "{diffs:?}"
+        );
+    }
+
+    #[test]
+    fn committed_snapshots_self_compare_clean() {
+        // The real gate: every committed BENCH_*.json must diff clean
+        // against itself (exercises the full parse → diff pipeline on
+        // production data).
+        for name in ["BENCH_telemetry.json", "BENCH_stabilizer.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let doc = parse(&text).unwrap();
+                assert!(diff_values("$", &doc, &doc, DEFAULT_NOISE).is_empty());
+            }
+        }
+    }
+}

@@ -33,12 +33,47 @@ use qdt_bench::{timed, Family};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// How `--metrics <file>` serialises the telemetry registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    /// Per-gate metric stream as JSON Lines (the default).
+    Jsonl,
+    /// Registry totals in Prometheus/OpenMetrics text exposition.
+    Prometheus,
+}
+
 fn main() {
+    // `QDT_PROFILE=<hz>` turns on the sampling wall-clock profiler for
+    // the whole process; the collapsed-stack and Chrome-trace files are
+    // written on exit (base path `QDT_PROFILE_OUT`, default
+    // `qdt-profile`).
+    let profiler = qdt::telemetry::Profiler::from_env();
+    {
+        let _root_frame = qdt::telemetry::profile_frame("repro");
+        run_repro();
+    }
+    if let Some(p) = profiler {
+        let report = p.finish();
+        let base = std::env::var("QDT_PROFILE_OUT").unwrap_or_else(|_| "qdt-profile".into());
+        match report.write_files(&base) {
+            Ok((collapsed, trace)) => eprintln!(
+                "profiler: {} samples over {} ticks -> {collapsed} (collapsed stacks), \
+                 {trace} (chrome trace)",
+                report.sample_count(),
+                report.ticks
+            ),
+            Err(e) => eprintln!("profiler: failed to write {base}.*: {e}"),
+        }
+    }
+}
+
+fn run_repro() {
     let mut filter: Vec<String> = Vec::new();
     let mut backends: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut snapshot_path: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Jsonl;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--backend" {
@@ -56,6 +91,18 @@ fn main() {
             trace_path = Some(args.next().expect("--trace needs a file path"));
         } else if a == "--metrics" {
             metrics_path = Some(args.next().expect("--metrics needs a file path"));
+        } else if a == "--format" {
+            let fmt = args
+                .next()
+                .expect("--format needs a value: jsonl or prometheus");
+            metrics_format = match fmt.as_str() {
+                "jsonl" => MetricsFormat::Jsonl,
+                "prometheus" | "openmetrics" => MetricsFormat::Prometheus,
+                other => {
+                    eprintln!("unknown --format `{other}` (expected jsonl or prometheus)");
+                    std::process::exit(2);
+                }
+            };
         } else if a == "--snapshot" {
             snapshot_path = Some(args.next().expect("--snapshot needs a file path"));
         } else {
@@ -76,7 +123,11 @@ fn main() {
         auto_dispatch();
     }
     if want("telemetry") {
-        telemetry(trace_path.as_deref(), metrics_path.as_deref());
+        telemetry(
+            trace_path.as_deref(),
+            metrics_path.as_deref(),
+            metrics_format,
+        );
     }
     if want("fig1") {
         fig1();
@@ -144,7 +195,7 @@ fn header(title: &str) {
 fn engines(backends: &[String]) {
     header("Engines — one run loop, four data structures (instrumented)");
     println!(
-        "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>10}",
+        "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>10} {:>10}",
         "backend",
         "circuit",
         "qubits",
@@ -154,6 +205,7 @@ fn engines(backends: &[String]) {
         "peak",
         "peak@",
         "final",
+        "mem",
         "time"
     );
     for (fam, n) in [
@@ -173,7 +225,7 @@ fn engines(backends: &[String]) {
             let (profile, secs) =
                 timed(|| qdt::analysis::simulation_profile(e.as_mut(), &qc).expect("profiles"));
             println!(
-                "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>8.4}s",
+                "{:>16} {:>8} {:>8} {:>7} {:>8} {:>12} {:>8} {:>7} {:>8} {:>10} {:>8.4}s",
                 b.to_string(),
                 fam.name(),
                 profile.num_qubits,
@@ -183,6 +235,7 @@ fn engines(backends: &[String]) {
                 profile.peak_metric,
                 profile.peak_gate_index,
                 profile.final_metric,
+                format_bytes(profile.peak_memory_bytes),
                 secs
             );
         }
@@ -190,8 +243,26 @@ fn engines(backends: &[String]) {
     println!("(peak/final are each engine's own cost metric: dense amplitudes,");
     println!(" DD nodes, network tensors, or the MPS bond high-water mark;");
     println!(" peak@ is the 0-based gate index where the peak first occurred;");
+    println!(" mem is the engine's self-reported peak state memory over the run;");
     println!(" threads is the kernel worker count for the dense engines — an");
     println!(" explicit threads= key or the QDT_THREADS default, - otherwise)");
+}
+
+/// Human-readable byte count for the engines table (`-` for engines
+/// that do not report memory).
+fn format_bytes(bytes: usize) -> String {
+    if bytes == 0 {
+        return "-".to_string();
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let b = bytes as f64;
+    if bytes < 1024 {
+        format!("{bytes}B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else {
+        format!("{:.1}MiB", b / (1024.0 * 1024.0))
+    }
 }
 
 /// Auto dispatch: the dataflow cost model of `qdt-analysis` prices
@@ -578,8 +649,8 @@ fn stabilizer_scaling(snapshot_path: Option<&str>) {
 /// run-loop and the verifier, a per-gate metric stream from the DD
 /// backend — exported as a Chrome trace (`--trace`), a JSONL gate log
 /// (`--metrics`), and an aligned text summary on stdout.
-fn telemetry(trace_path: Option<&str>, metrics_path: Option<&str>) {
-    use qdt::telemetry::{chrome_trace, gate_log_jsonl, text_summary};
+fn telemetry(trace_path: Option<&str>, metrics_path: Option<&str>, format: MetricsFormat) {
+    use qdt::telemetry::{chrome_trace, gate_log_jsonl, prometheus_text, text_summary};
     use qdt::verify::check_traced;
 
     header("Telemetry — traced GHZ-10 on decision diagrams");
@@ -603,8 +674,16 @@ fn telemetry(trace_path: Option<&str>, metrics_path: Option<&str>) {
         println!("chrome trace -> {path} (load in about:tracing / Perfetto)");
     }
     if let Some(path) = metrics_path {
-        std::fs::write(path, gate_log_jsonl(&log)).expect("metrics file writes");
-        println!("gate-metric JSONL -> {path}");
+        match format {
+            MetricsFormat::Jsonl => {
+                std::fs::write(path, gate_log_jsonl(&log)).expect("metrics file writes");
+                println!("gate-metric JSONL -> {path}");
+            }
+            MetricsFormat::Prometheus => {
+                std::fs::write(path, prometheus_text(sink.metrics())).expect("metrics file writes");
+                println!("OpenMetrics exposition -> {path}");
+            }
+        }
     }
     println!("\nregistry totals:");
     print!("{}", text_summary(sink.metrics()));

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use qdt::telemetry::is_wall_clock;
+use qdt::telemetry::is_deterministic;
 use qdt::telemetry::json::{parse, JsonValue};
 
 fn fail(message: &str) -> ExitCode {
@@ -173,8 +173,10 @@ fn check_metrics(text: &str) -> Result<Vec<JsonValue>, String> {
     Ok(records)
 }
 
-/// The deterministic projection of the gate records: `dt_ns` and all
-/// wall-clock (`_ns`/`_us`) metrics stripped, everything else verbatim.
+/// The deterministic projection of the gate records: `dt_ns` stripped
+/// and metrics filtered through [`is_deterministic`] (drops wall-clock
+/// `_ns`/`_us` timings and scheduling-dependent `parallel.*` series),
+/// everything else verbatim.
 fn snapshot_of(records: &[JsonValue]) -> JsonValue {
     let per_gate: Vec<JsonValue> = records
         .iter()
@@ -189,7 +191,7 @@ fn snapshot_of(records: &[JsonValue]) -> JsonValue {
             if let Some(JsonValue::Object(metrics)) = r.get("metrics") {
                 let kept: Vec<(String, JsonValue)> = metrics
                     .iter()
-                    .filter(|(name, _)| !is_wall_clock(name))
+                    .filter(|(name, _)| is_deterministic(name))
                     .cloned()
                     .collect();
                 pairs.push(("metrics".to_string(), JsonValue::Object(kept)));

@@ -63,6 +63,7 @@ impl AutoEngine {
     /// replays the buffer into it. Idempotent after the first call.
     fn dispatch(&mut self) -> Result<&mut (dyn SimulationEngine + 'static), EngineError> {
         if self.inner.is_none() {
+            let _frame = qdt_engine::telemetry::profile_frame("auto:dispatch");
             let decision = dispatch_circuit(&self.buffer);
             let mut engine =
                 self.registry
@@ -184,6 +185,10 @@ impl SimulationEngine for AutoEngine {
 
     fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
         self.dispatch()?.expectation(pauli)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.memory_bytes())
     }
 
     fn telemetry(&mut self, sink: &TelemetrySink) {

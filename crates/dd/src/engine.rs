@@ -47,10 +47,55 @@ pub struct DdEngine {
     /// two words — the whole package (unique tables, compute caches)
     /// survives and stays warm across shots.
     saved: Option<VectorDd>,
-    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
-    sink: Option<TelemetrySink>,
+    /// Attached telemetry with pre-interned metric ids, if any (see
+    /// [`SimulationEngine::telemetry`]).
+    metrics: Option<DdMetrics>,
     /// Package-stats snapshot at the last metric push, for deltas.
     last: DdStats,
+}
+
+/// Pre-registered metric handles, resolved once at sink attach so the
+/// per-gate push records by [`qdt_engine::telemetry::MetricId`] — no
+/// name hashing or allocation on the hot path.
+#[derive(Debug, Clone)]
+struct DdMetrics {
+    sink: TelemetrySink,
+    unique_lookups: qdt_engine::telemetry::MetricId,
+    unique_hits: qdt_engine::telemetry::MetricId,
+    compute_lookups: qdt_engine::telemetry::MetricId,
+    compute_hits: qdt_engine::telemetry::MetricId,
+    ctable_lookups: qdt_engine::telemetry::MetricId,
+    ctable_hits: qdt_engine::telemetry::MetricId,
+    ctable_entries: qdt_engine::telemetry::MetricId,
+    nodes_live: qdt_engine::telemetry::MetricId,
+    arena_nodes: qdt_engine::telemetry::MetricId,
+    mem_arena: qdt_engine::telemetry::MemoryGauge,
+    mem_unique: qdt_engine::telemetry::MemoryGauge,
+    mem_ctable: qdt_engine::telemetry::MemoryGauge,
+    mem_compute: qdt_engine::telemetry::MemoryGauge,
+}
+
+impl DdMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        use qdt_engine::telemetry::MemoryGauge;
+        let m = sink.metrics();
+        DdMetrics {
+            unique_lookups: m.register("dd.unique_table.lookups"),
+            unique_hits: m.register("dd.unique_table.hits"),
+            compute_lookups: m.register("dd.compute_table.lookups"),
+            compute_hits: m.register("dd.compute_table.hits"),
+            ctable_lookups: m.register("dd.complex_table.lookups"),
+            ctable_hits: m.register("dd.complex_table.hits"),
+            ctable_entries: m.register("dd.complex_table.entries"),
+            nodes_live: m.register("dd.nodes.live"),
+            arena_nodes: m.register("dd.arena.nodes"),
+            mem_arena: MemoryGauge::new(m, "dd.arena"),
+            mem_unique: MemoryGauge::new(m, "dd.unique_table"),
+            mem_ctable: MemoryGauge::new(m, "dd.complex_table"),
+            mem_compute: MemoryGauge::new(m, "dd.compute_table"),
+            sink,
+        }
+    }
 }
 
 impl DdEngine {
@@ -63,7 +108,7 @@ impl DdEngine {
             dd,
             v,
             saved: None,
-            sink: None,
+            metrics: None,
             last: DdStats::default(),
         }
     }
@@ -78,7 +123,7 @@ impl DdEngine {
             dd,
             v,
             saved: None,
-            sink: None,
+            metrics: None,
             last: DdStats::default(),
         }
     }
@@ -93,42 +138,50 @@ impl DdEngine {
     /// previous push, so registry totals equal the package's cumulative
     /// stats since `prepare`.
     fn push_metrics(&mut self) {
-        let Some(sink) = &self.sink else { return };
+        let Some(metrics) = &self.metrics else { return };
         let stats = self.dd.stats();
-        let m = sink.metrics();
-        m.counter_add(
-            "dd.unique_table.lookups",
+        let m = metrics.sink.metrics();
+        m.counter_add_id(
+            metrics.unique_lookups,
             stats.unique_lookups - self.last.unique_lookups,
         );
-        m.counter_add(
-            "dd.unique_table.hits",
+        m.counter_add_id(
+            metrics.unique_hits,
             stats.unique_hits - self.last.unique_hits,
         );
-        m.counter_add(
-            "dd.compute_table.lookups",
+        m.counter_add_id(
+            metrics.compute_lookups,
             stats.compute_lookups - self.last.compute_lookups,
         );
-        m.counter_add(
-            "dd.compute_table.hits",
+        m.counter_add_id(
+            metrics.compute_hits,
             stats.compute_hits - self.last.compute_hits,
         );
-        m.counter_add(
-            "dd.complex_table.lookups",
+        m.counter_add_id(
+            metrics.ctable_lookups,
             stats.ctable_lookups - self.last.ctable_lookups,
         );
-        m.counter_add(
-            "dd.complex_table.hits",
+        m.counter_add_id(
+            metrics.ctable_hits,
             stats.ctable_hits - self.last.ctable_hits,
         );
         #[allow(clippy::cast_precision_loss)]
         {
-            m.gauge_set("dd.complex_table.entries", stats.ctable_entries as f64);
-            m.gauge_set("dd.nodes.live", self.dd.vector_node_count(&self.v) as f64);
-            m.gauge_set(
-                "dd.arena.nodes",
+            m.gauge_set_id(metrics.ctable_entries, stats.ctable_entries as f64);
+            m.gauge_set_id(
+                metrics.nodes_live,
+                self.dd.vector_node_count(&self.v) as f64,
+            );
+            m.gauge_set_id(
+                metrics.arena_nodes,
                 (self.dd.vector_arena_size() + self.dd.matrix_arena_size()) as f64,
             );
         }
+        let mem = self.dd.memory_breakdown();
+        metrics.mem_arena.record(mem.arena);
+        metrics.mem_unique.record(mem.unique_tables);
+        metrics.mem_ctable.record(mem.complex_table);
+        metrics.mem_compute.record(mem.compute_tables);
         self.last = stats;
     }
 }
@@ -190,7 +243,7 @@ impl SimulationEngine for DdEngine {
         // Counters restart with the fresh package; registry totals are
         // cumulative since this prepare.
         self.last = DdStats::default();
-        if self.sink.is_some() {
+        if self.metrics.is_some() {
             // Sharing self-check: rebuilding the canonical zero chain
             // must be answered entirely from the unique table, so the
             // hit counter is live (and verified) before the first gate.
@@ -344,8 +397,12 @@ impl SimulationEngine for DdEngine {
         }
     }
 
+    fn memory_bytes(&self) -> usize {
+        self.dd.memory_bytes()
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(DdMetrics::new);
     }
 }
 

@@ -53,7 +53,7 @@ pub use approx::ApproxResult;
 pub use engine::DdEngine;
 pub use equivalence::{check_equivalence, EquivalenceResult};
 pub use noise::{DdNoiseChannel, DdNoiseModel};
-pub use package::{DdPackage, DdStats, MatrixDd, VectorDd};
+pub use package::{DdMemory, DdPackage, DdStats, MatrixDd, VectorDd};
 pub use simulate::DdSimulator;
 
 use std::fmt;

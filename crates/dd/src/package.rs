@@ -159,6 +159,20 @@ pub struct DdStats {
     pub ctable_entries: u64,
 }
 
+/// Approximate resident bytes of a [`DdPackage`], by subsystem (see
+/// [`DdPackage::memory_breakdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DdMemory {
+    /// Node arenas (vector + matrix nodes ever created).
+    pub arena: usize,
+    /// Unique tables (canonical node keys → arena ids).
+    pub unique_tables: usize,
+    /// Canonical complex-number table.
+    pub complex_table: usize,
+    /// Compute caches (add, mat–vec, mat–mat, gate memo, norms).
+    pub compute_tables: usize,
+}
+
 /// The decision-diagram package: owns all nodes and caches.
 ///
 /// All diagram construction and manipulation goes through `&mut self`
@@ -236,6 +250,39 @@ impl DdPackage {
     /// Total number of matrix nodes ever created (arena size).
     pub fn matrix_arena_size(&self) -> usize {
         self.mnodes.len()
+    }
+
+    /// Approximate resident bytes of the package's four memory
+    /// subsystems: `(arena, unique_tables, complex_table,
+    /// compute_tables)` — entry counts times entry sizes, ignoring
+    /// hash-map bucket overhead. Pure arithmetic on already-tracked
+    /// lengths, cheap enough for the run-loop to poll per gate.
+    pub fn memory_breakdown(&self) -> DdMemory {
+        use std::mem::size_of;
+        let arena = self.vnodes.len() * size_of::<VNode>() + self.mnodes.len() * size_of::<MNode>();
+        let unique_tables = self.vunique.len() * size_of::<(VKey, NodeId)>()
+            + self.munique.len() * size_of::<(MKey, NodeId)>();
+        let complex_table = self.ctable.len() * size_of::<Complex>();
+        let compute_tables = self.vadd_cache.len()
+            * size_of::<((NodeId, NodeId, (u64, u64)), VEdge)>()
+            + self.madd_cache.len() * size_of::<((NodeId, NodeId, (u64, u64)), MEdge)>()
+            + self.mv_cache.len() * size_of::<((NodeId, NodeId), VEdge)>()
+            + self.mm_cache.len() * size_of::<((NodeId, NodeId), MEdge)>()
+            + self.gate_cache.len() * size_of::<(GateKey, MEdge)>()
+            + self.nsq_cache.len() * size_of::<(NodeId, f64)>();
+        DdMemory {
+            arena,
+            unique_tables,
+            complex_table,
+            compute_tables,
+        }
+    }
+
+    /// Total approximate resident bytes (see
+    /// [`memory_breakdown`](DdPackage::memory_breakdown)).
+    pub fn memory_bytes(&self) -> usize {
+        let m = self.memory_breakdown();
+        m.arena + m.unique_tables + m.complex_table + m.compute_tables
     }
 
     /// Cumulative table/cache activity since package creation.

@@ -153,6 +153,9 @@ pub struct RunStats {
     pub peak_gate_index: usize,
     /// Cost-metric value after the final gate.
     pub final_metric: usize,
+    /// Largest [`SimulationEngine::memory_bytes`] observed after any
+    /// gate (0 for engines that don't report memory).
+    pub peak_memory_bytes: usize,
 }
 
 /// Per-gate observation hook for [`run_instrumented`].
@@ -305,6 +308,16 @@ pub trait SimulationEngine {
     /// the run-loop after every gate to track the high-water mark, so it
     /// must be cheap.
     fn cost_metric(&self) -> CostMetric;
+
+    /// Resident bytes of the engine's core state representation —
+    /// amplitude chunks, DD arenas plus tables, bond tensors, tableau
+    /// words. Like [`cost_metric`](SimulationEngine::cost_metric) it is
+    /// polled by the run-loop after every gate and must be cheap
+    /// (arithmetic on already-tracked sizes, no traversal). The default
+    /// reports 0 for engines without memory accounting.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
 
     /// The dense `2^n` amplitude vector of the current state.
     ///
@@ -697,12 +710,14 @@ pub fn run_instrumented(
             stats.peak_gate_index = i;
         }
         stats.final_metric = metric.value;
+        stats.peak_memory_bytes = stats.peak_memory_bytes.max(engine.memory_bytes());
         instrument.on_gate(i, inst, metric, &stats);
     }
     if stats.gates_applied == 0 {
         let metric = engine.cost_metric();
         stats.peak_metric = metric.value;
         stats.final_metric = metric.value;
+        stats.peak_memory_bytes = engine.memory_bytes();
     }
     Ok(stats)
 }
@@ -714,6 +729,11 @@ struct TraceInstrument<'a> {
     sink: &'a TelemetrySink,
     log: GateLog,
     open: Option<(qdt_telemetry::SpanGuard, std::time::Instant)>,
+    /// Interned id of the `engine.cost.<metric>` gauge, resolved on the
+    /// first gate (the metric name isn't known earlier).
+    cost_id: Option<qdt_telemetry::MetricId>,
+    /// Interned id of the `engine.mem.peak_bytes` max-gauge.
+    mem_id: qdt_telemetry::MetricId,
 }
 
 impl Instrument for TraceInstrument<'_> {
@@ -729,7 +749,7 @@ impl Instrument for TraceInstrument<'_> {
         gate_index: usize,
         inst: &Instruction,
         metric: CostMetric,
-        _stats: &RunStats,
+        stats: &RunStats,
     ) {
         // Dropping the guard records the span-end event.
         let dt_ns = self.open.take().map_or(0, |(_guard, t0)| {
@@ -737,9 +757,16 @@ impl Instrument for TraceInstrument<'_> {
         });
         #[allow(clippy::cast_precision_loss)]
         let cost = metric.value as f64;
+        let cost_id = *self.cost_id.get_or_insert_with(|| {
+            self.sink
+                .metrics()
+                .register(&format!("engine.cost.{}", metric.name))
+        });
+        self.sink.metrics().gauge_set_id(cost_id, cost);
+        #[allow(clippy::cast_precision_loss)]
         self.sink
             .metrics()
-            .gauge_set(&format!("engine.cost.{}", metric.name), cost);
+            .gauge_max_id(self.mem_id, stats.peak_memory_bytes as f64);
         self.log.push(GateRecord {
             index: gate_index,
             gate: inst.name(),
@@ -757,7 +784,7 @@ impl Instrument for TraceInstrument<'_> {
 /// per applied gate: stream index, gate name, wall-clock Δt, and a
 /// flattened snapshot of *every* registered metric after that gate
 /// (backend internals plus the run-loop's own `engine.cost.<metric>`
-/// gauge).
+/// gauge and the `engine.mem.peak_bytes` memory high-water mark).
 ///
 /// With a [disabled](TelemetrySink::disabled) sink this degrades to
 /// [`run`] semantics: the result is identical, nothing is recorded, and
@@ -777,6 +804,8 @@ pub fn run_traced(
         sink,
         log: GateLog::new(),
         open: None,
+        cost_id: None,
+        mem_id: sink.metrics().register("engine.mem.peak_bytes"),
     };
     let stats = run_instrumented(engine, circuit, &mut instrument)?;
     drop(run_span);

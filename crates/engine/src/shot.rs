@@ -275,7 +275,11 @@ impl ShotExecutor {
             return Ok(result);
         }
         let mut result = ShotResult::default();
-        run(engine, &plan.prefix)?;
+        {
+            let _frame = qdt_telemetry::profile_frame("shot:prefix");
+            run(engine, &plan.prefix)?;
+        }
+        let _frame = qdt_telemetry::profile_frame("shot:suffix-loop");
         for s in 0..shots as u64 {
             let key = plan.run_shot(
                 engine,
@@ -323,6 +327,7 @@ impl ShotExecutor {
         let slots: Vec<Slot> = (0..workers).map(|_| Mutex::new(None)).collect();
         let seed = self.config.seed;
         WorkerPool::shared(workers).run_per_worker(workers, &|w| {
+            let _frame = qdt_telemetry::profile_frame("shot:worker");
             let out = (|| {
                 let mut engine = factory()?;
                 let plan = ShotPlan::new(circuit, engine.as_mut(), self.hook.is_some())?;

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use qdt_array::DensityMatrix;
 use qdt_circuit::{Gate, Instruction, OpKind, Pauli, PauliString};
 use qdt_complex::Complex;
+use qdt_engine::telemetry::{MemoryGauge, MetricId};
 use qdt_engine::{
     check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
 };
@@ -60,8 +61,42 @@ pub struct DensityMatrixEngine {
     noise: CompiledNoise,
     /// Kernel scheduling: thread count, fallback threshold, pool sink.
     ctx: KernelContext,
-    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
-    sink: Option<TelemetrySink>,
+    /// Interned telemetry handles, if a live sink is attached.
+    metrics: Option<DensityMetrics>,
+}
+
+/// Interned metric handles for [`DensityMatrixEngine`], built once when
+/// a live sink is attached so the per-gate path records by [`MetricId`].
+#[derive(Debug, Clone)]
+struct DensityMetrics {
+    sink: TelemetrySink,
+    flops: MetricId,
+    bytes: MetricId,
+    kraus: MetricId,
+    nonzeros: MetricId,
+    trace: MetricId,
+    mem: MemoryGauge,
+}
+
+impl DensityMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        let m = sink.metrics();
+        let flops = m.register("density.gate.flops");
+        let bytes = m.register("density.bytes.touched");
+        let kraus = m.register("density.noise.kraus_applications");
+        let nonzeros = m.register("density.rho.nonzeros");
+        let trace = m.register("density.rho.trace");
+        let mem = MemoryGauge::new(m, "density.rho");
+        DensityMetrics {
+            sink,
+            flops,
+            bytes,
+            kraus,
+            nonzeros,
+            trace,
+            mem,
+        }
+    }
 }
 
 impl DensityMatrixEngine {
@@ -74,7 +109,7 @@ impl DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: CompiledNoise::default(),
             ctx: KernelContext::from_env(),
-            sink: None,
+            metrics: None,
         }
     }
 
@@ -103,7 +138,7 @@ impl DensityMatrixEngine {
             rho: DensityMatrix::zero_state(1),
             noise: model.compile()?,
             ctx,
-            sink: None,
+            metrics: None,
         })
     }
 
@@ -138,7 +173,7 @@ impl DensityMatrixEngine {
     /// one extra control each. Kraus channel applications are counted
     /// separately (`density.noise.kraus_applications`), not flop-modeled.
     fn push_metrics(&self, inst: &Instruction, kraus_applications: u64) {
-        let Some(sink) = &self.sink else { return };
+        let Some(metrics) = &self.metrics else { return };
         let n = self.rho.num_qubits();
         let dim = 1u64 << n as u32;
         let (flops, bytes) = match &inst.kind {
@@ -152,13 +187,14 @@ impl DensityMatrixEngine {
             }
             _ => (0, 0),
         };
-        let m = sink.metrics();
-        m.counter_add("density.gate.flops", flops);
-        m.counter_add("density.bytes.touched", bytes);
-        m.counter_add("density.noise.kraus_applications", kraus_applications);
+        let m = metrics.sink.metrics();
+        m.counter_add_id(metrics.flops, flops);
+        m.counter_add_id(metrics.bytes, bytes);
+        m.counter_add_id(metrics.kraus, kraus_applications);
         #[allow(clippy::cast_precision_loss)]
-        m.gauge_set("density.rho.nonzeros", self.nonzero_entries() as f64);
-        m.gauge_set("density.rho.trace", self.rho.trace());
+        m.gauge_set_id(metrics.nonzeros, self.nonzero_entries() as f64);
+        m.gauge_set_id(metrics.trace, self.rho.trace());
+        metrics.mem.record(self.memory_bytes());
     }
 }
 
@@ -332,8 +368,12 @@ impl SimulationEngine for DensityMatrixEngine {
         Ok(total.re)
     }
 
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.rho.as_matrix().as_slice())
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(DensityMetrics::new);
         // The pool records only spans and a `_us` histogram — both off
         // the deterministic gate metric stream.
         self.ctx.set_telemetry(sink);

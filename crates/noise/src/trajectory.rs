@@ -198,6 +198,7 @@ impl TrajectoryEngine {
         let slots: Vec<WorkerSlot<T>> = (0..workers).map(|_| Mutex::new(None)).collect();
         let sink = &self.sink;
         WorkerPool::shared(workers).run_per_worker(workers, &|w| {
+            let _frame = qdt_engine::telemetry::profile_frame("traj:worker");
             let _span = sink
                 .as_ref()
                 .map(|s| s.tracer().span_in("trajectories", "worker"));

@@ -146,10 +146,12 @@ impl PoolShared {
         let sink: Option<&TelemetrySink> = unsafe { handle.sink.as_ref() };
         if handle.fixed {
             if slot < handle.chunks {
+                let _frame = qdt_telemetry::profile_frame("parallel:worker-job");
                 job(slot);
             }
             return;
         }
+        let _frame = qdt_telemetry::profile_frame("parallel:chunk-loop");
         let mut span = None;
         let mut first_claim: Option<Instant> = None;
         loop {

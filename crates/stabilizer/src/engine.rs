@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use qdt_circuit::{Gate, Instruction, OpKind, Pauli, PauliString};
 use qdt_complex::{Complex, Matrix};
+use qdt_engine::telemetry::{MemoryGauge, MetricId};
 use qdt_engine::{
     check_pauli_width, choose_weighted, CostMetric, EngineCaps, EngineError, SimulationEngine,
     TelemetrySink,
@@ -65,9 +66,43 @@ const TOL: f64 = 1e-9;
 pub struct StabilizerEngine {
     t: Tableau,
     ctx: KernelContext,
-    sink: Option<TelemetrySink>,
+    metrics: Option<StabilizerMetrics>,
     /// Memoised canonical form; any mutation clears it.
     canon: Option<Canonical>,
+}
+
+/// Interned metric handles for [`StabilizerEngine`], built once when a
+/// live sink is attached so the hot path records by [`MetricId`].
+#[derive(Debug, Clone)]
+struct StabilizerMetrics {
+    sink: TelemetrySink,
+    row_ops: MetricId,
+    rowsums: MetricId,
+    measure_random: MetricId,
+    measure_deterministic: MetricId,
+    words: MetricId,
+    mem: MemoryGauge,
+}
+
+impl StabilizerMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        let m = sink.metrics();
+        let row_ops = m.register("stabilizer.row_ops");
+        let rowsums = m.register("stabilizer.rowsums");
+        let measure_random = m.register("stabilizer.measure.random");
+        let measure_deterministic = m.register("stabilizer.measure.deterministic");
+        let words = m.register("stabilizer.tableau.words");
+        let mem = MemoryGauge::new(m, "stabilizer.tableau");
+        StabilizerMetrics {
+            sink,
+            row_ops,
+            rowsums,
+            measure_random,
+            measure_deterministic,
+            words,
+            mem,
+        }
+    }
 }
 
 impl StabilizerEngine {
@@ -90,7 +125,7 @@ impl StabilizerEngine {
         StabilizerEngine {
             t: Tableau::new(1),
             ctx,
-            sink: None,
+            metrics: None,
             canon: None,
         }
     }
@@ -133,26 +168,29 @@ impl StabilizerEngine {
     }
 
     fn push_rows(&self, rows: u64) {
-        let Some(sink) = &self.sink else { return };
-        sink.metrics().counter_add("stabilizer.row_ops", rows);
+        let Some(metrics) = &self.metrics else { return };
+        metrics.sink.metrics().counter_add_id(metrics.row_ops, rows);
     }
 
     fn push_rowsums(&self, rowsums: u64) {
         if rowsums == 0 {
             return;
         }
-        let Some(sink) = &self.sink else { return };
-        sink.metrics().counter_add("stabilizer.rowsums", rowsums);
+        let Some(metrics) = &self.metrics else { return };
+        metrics
+            .sink
+            .metrics()
+            .counter_add_id(metrics.rowsums, rowsums);
     }
 
     fn push_measure(&self, random: bool) {
-        let Some(sink) = &self.sink else { return };
-        let name = if random {
-            "stabilizer.measure.random"
+        let Some(metrics) = &self.metrics else { return };
+        let id = if random {
+            metrics.measure_random
         } else {
-            "stabilizer.measure.deterministic"
+            metrics.measure_deterministic
         };
-        sink.metrics().counter_add(name, 1);
+        metrics.sink.metrics().counter_add_id(id, 1);
     }
 
     /// Applies an uncontrolled single-qubit Clifford gate.
@@ -252,10 +290,13 @@ impl SimulationEngine for StabilizerEngine {
         }
         self.t = Tableau::new(num_qubits.max(1));
         self.canon = None;
-        if let Some(sink) = &self.sink {
+        if let Some(metrics) = &self.metrics {
             #[allow(clippy::cast_precision_loss)]
-            sink.metrics()
-                .gauge_set("stabilizer.tableau.words", self.t.total_words() as f64);
+            metrics
+                .sink
+                .metrics()
+                .gauge_set_id(metrics.words, self.t.total_words() as f64);
+            metrics.mem.record(self.memory_bytes());
         }
         Ok(())
     }
@@ -499,8 +540,12 @@ impl SimulationEngine for StabilizerEngine {
         Some(Box::new(self.clone()))
     }
 
+    fn memory_bytes(&self) -> usize {
+        self.t.total_words() * std::mem::size_of::<u64>()
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(StabilizerMetrics::new);
         self.ctx.set_telemetry(sink);
     }
 }

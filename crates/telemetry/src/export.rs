@@ -42,6 +42,52 @@ pub fn is_wall_clock(name: &str) -> bool {
     name.ends_with("_ns") || name.ends_with("_us") || name.contains("_ns.") || name.contains("_us.")
 }
 
+/// Whether a metric is expected to be bit-identical across runs and
+/// thread counts: everything except wall-clock quantities (see
+/// [`is_wall_clock`]) and the `parallel.*` namespace, whose values
+/// (worker utilisation, pool bookkeeping) depend on scheduling and the
+/// configured worker count by construction.
+///
+/// This is the single filter behind every determinism comparison:
+/// `tests/parallel_agreement.rs`, `tests/telemetry.rs`, and the
+/// `telemetry-check` snapshot that lands in `BENCH_telemetry.json`.
+#[must_use]
+pub fn is_deterministic(name: &str) -> bool {
+    !is_wall_clock(name) && !name.starts_with("parallel.")
+}
+
+/// The deterministic projection of one flattened metric snapshot:
+/// every `(name, value)` pair for which [`is_deterministic`] holds, in
+/// the original order.
+#[must_use]
+pub fn deterministic_metrics(metrics: &[(String, f64)]) -> Vec<(String, f64)> {
+    metrics
+        .iter()
+        .filter(|(name, _)| is_deterministic(name))
+        .cloned()
+        .collect()
+}
+
+/// One row of [`deterministic_stream`]: gate index, gate name, and the
+/// gate's [`deterministic_metrics`].
+pub type DeterministicRecord = (usize, String, Vec<(String, f64)>);
+
+/// The deterministic projection of a traced run's gate log: per gate,
+/// the index, gate name, and [`deterministic_metrics`] — everything
+/// that must be bit-identical at any thread count.
+#[must_use]
+pub fn deterministic_stream(log: &[GateRecord]) -> Vec<DeterministicRecord> {
+    log.iter()
+        .map(|record| {
+            (
+                record.index,
+                record.gate.clone(),
+                deterministic_metrics(&record.metrics),
+            )
+        })
+        .collect()
+}
+
 /// Renders trace events as a Chrome trace-event JSON document.
 ///
 /// The output is an object with a `traceEvents` array — the form both
@@ -247,5 +293,41 @@ mod tests {
         assert!(is_wall_clock("traj.worker.busy_us"));
         assert!(is_wall_clock("gate.dt_ns"));
         assert!(!is_wall_clock("dd.unique_table.hits"));
+        // Histogram projections of wall-clock metrics count too.
+        assert!(is_wall_clock("parallel.worker.busy_us.count"));
+        assert!(is_wall_clock("shot.prefix_ns.max"));
+    }
+
+    #[test]
+    fn deterministic_filter_strips_wall_clock_and_parallel_namespaces() {
+        assert!(is_deterministic("dd.unique_table.hits"));
+        assert!(is_deterministic("engine.mem.peak_bytes"));
+        assert!(is_deterministic("mem.array.state_vector.peak_bytes"));
+        assert!(!is_deterministic("parallel.worker.busy_us.count"));
+        assert!(!is_deterministic("parallel.queue.peak_bytes"));
+        assert!(!is_deterministic("engine.gate.dt_ns"));
+    }
+
+    #[test]
+    fn deterministic_stream_projects_gate_logs() {
+        let log = vec![GateRecord {
+            index: 0,
+            gate: "h".to_string(),
+            dt_ns: 1234,
+            metrics: vec![
+                ("array.flops".to_string(), 16.0),
+                ("engine.gate.dt_ns".to_string(), 1234.0),
+                ("parallel.worker.busy_us.sum".to_string(), 9.0),
+            ],
+        }];
+        let stream = deterministic_stream(&log);
+        assert_eq!(
+            stream,
+            vec![(0, "h".to_string(), vec![("array.flops".to_string(), 16.0)])]
+        );
+        assert_eq!(
+            deterministic_metrics(&log[0].metrics),
+            vec![("array.flops".to_string(), 16.0)]
+        );
     }
 }

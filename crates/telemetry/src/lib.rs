@@ -17,9 +17,22 @@
 //!   through `SimulationEngine::telemetry`. A *disabled* sink is free:
 //!   every operation on it is a no-op and nothing allocates.
 //! * [`export`] — Chrome-trace JSON (Perfetto-loadable), JSONL gate
-//!   time-series, and aligned-column text summaries.
+//!   time-series, aligned-column text summaries, and the
+//!   [`is_deterministic`] filter behind every cross-thread-count
+//!   bit-identity comparison.
+//! * [`profiler`] — a sampling wall-clock profiler (`QDT_PROFILE=hz`)
+//!   that snapshots active span stacks and exports collapsed-stack and
+//!   Chrome-trace flamegraphs.
+//! * [`MemoryGauge`] — per-subsystem `mem.<subsystem>.peak_bytes`
+//!   high-water marks, merged order-independently.
+//! * [`prometheus_text`] — OpenMetrics text exposition of a registry
+//!   snapshot.
 //! * [`json`] — a minimal parser/emitter standing in for `serde_json`
 //!   (unavailable offline), used to validate exporter output.
+//!
+//! The metrics registry records onto lock-free per-thread shards keyed
+//! by interned [`MetricId`]s; see [`MetricsRegistry`] for the recording
+//! model and its determinism guarantees.
 //!
 //! # Example
 //! ```
@@ -36,11 +49,20 @@
 
 pub mod export;
 pub mod json;
+mod memory;
 mod metrics;
+pub mod profiler;
+mod prometheus;
 mod trace;
 
-pub use export::{chrome_trace, gate_log_jsonl, is_wall_clock, text_summary, GateLog, GateRecord};
-pub use metrics::{Histogram, MetricValue, MetricsRegistry};
+pub use export::{
+    chrome_trace, deterministic_metrics, deterministic_stream, gate_log_jsonl, is_deterministic,
+    is_wall_clock, text_summary, DeterministicRecord, GateLog, GateRecord,
+};
+pub use memory::MemoryGauge;
+pub use metrics::{Histogram, MetricId, MetricValue, MetricsRegistry};
+pub use profiler::{profile_frame, ProfileReport, Profiler};
+pub use prometheus::{prometheus_name, prometheus_text};
 pub use trace::{current_thread_id, SpanGuard, TraceEvent, TraceEventKind, Tracer};
 
 /// The tracer + metrics bundle handed to engines.

@@ -1,16 +1,51 @@
-//! Named metrics: counters, gauges, and histograms.
+//! Named metrics: counters, gauges, and histograms on lock-free
+//! per-thread shards.
 //!
 //! Metric names follow the `backend.subsystem.name` convention, e.g.
 //! `dd.unique_table.hits` or `mps.truncation.discarded_weight`. Names
 //! ending in `_ns` or `_us` denote wall-clock quantities and are excluded
 //! from determinism comparisons (see [`crate::export::is_wall_clock`]).
 //!
-//! The registry is a cheaply clonable handle onto shared state, ordered
-//! by name (`BTreeMap`) so snapshots are deterministic. Like
-//! [`crate::Tracer`], a disabled registry is a no-op.
+//! # Recording model
+//!
+//! A [`MetricsRegistry`] is a cheaply clonable handle onto shared state.
+//! Every recording thread owns a private *shard*: a fixed array of
+//! atomic slots indexed by interned [`MetricId`]s. Writes touch only the
+//! caller's own shard — no lock, no allocation, no cross-thread
+//! cache-line contention — so engines can record from inside the
+//! `qdt-parallel` worker kernels without perturbing the hot path.
+//!
+//! Reads ([`MetricsRegistry::snapshot`] and friends) *merge* the shards:
+//! counters sum, histograms combine their count/sum/min/max, last-write
+//! gauges resolve by a global write sequence, and max-gauges take the
+//! maximum. The merge runs at span close (the traced run-loop snapshots
+//! after every gate, once the parallel kernels have quiesced), so
+//! exported streams are a pure function of the recorded values:
+//!
+//! * counter merges are integer sums — associative and commutative, so
+//!   the result is independent of shard order and thread count;
+//! * max-gauge merges take an `f64` maximum — likewise order-free;
+//! * last-write gauges carry a registry-global write sequence and the
+//!   merge takes the latest, which is well defined whenever a gauge has
+//!   one writing thread per span (the convention every engine follows);
+//! * histogram count/min/max are order-free; the merged *sum* adds shard
+//!   subtotals in shard-creation order, so multi-writer `f64` histogram
+//!   sums are deterministic only up to float associativity — in this
+//!   workspace the only multi-writer histograms are wall-clock (`_us`)
+//!   utilisation figures, which determinism comparisons strip anyway.
+//!
+//! Metric names are interned once ([`MetricsRegistry::register`]) and
+//! recorded by [`MetricId`] thereafter; the string-keyed methods remain
+//! as thin wrappers that resolve the id under a short name-table lock.
+//! Like [`crate::Tracer`], a disabled registry is a no-op and allocates
+//! nothing.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::trace::current_thread_id;
 
 /// Aggregate statistics of a histogram metric.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -26,16 +61,18 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn record(&mut self, value: f64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
         }
-        self.count += 1;
-        self.sum += value;
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Mean of the recorded observations (0 when empty).
@@ -62,14 +99,334 @@ pub enum MetricValue {
     Histogram(Histogram),
 }
 
+/// The interned id of one metric name (see
+/// [`MetricsRegistry::register`]).
+///
+/// Ids are registry-specific: an id interned on one registry names a
+/// different metric (or nothing) on another. Engines resolve their ids
+/// once when a sink is attached and record by id on the per-gate path,
+/// which avoids both the name hash and any `String` traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The id handed out by a disabled registry; every operation on it
+    /// is a no-op.
+    pub const INVALID: MetricId = MetricId(u32::MAX);
+
+    /// Whether this id refers to a registered metric.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0 != u32::MAX
+    }
+}
+
+/// Slots per shard. Ids past this spill into a mutex-guarded overflow
+/// map (correct, just not lock-free); the whole workspace registers a
+/// few dozen names, so the overflow path never runs in practice.
+const SHARD_SLOTS: usize = 512;
+
+// Slot kinds. Kind 0 — the `Default`-zeroed state — means empty; `read`
+// maps it (and any unknown kind) to `None`.
+const KIND_COUNTER: u8 = 1;
+const KIND_GAUGE: u8 = 2;
+const KIND_GAUGE_MAX: u8 = 3;
+const KIND_HIST: u8 = 4;
+
+/// One metric's storage in one thread's shard. Written only by the
+/// owning thread; read by merges. All orderings are `Relaxed`: the
+/// traced run-loop merges after the parallel kernels have joined (a
+/// happens-before edge through the pool's mutex), and monitoring reads
+/// outside that window tolerate slightly stale values.
+#[derive(Debug, Default)]
+struct Slot {
+    kind: AtomicU8,
+    /// Counter value, or histogram observation count.
+    a: AtomicU64,
+    /// Gauge bits (both kinds), or histogram sum bits.
+    b: AtomicU64,
+    /// Histogram min bits.
+    c: AtomicU64,
+    /// Histogram max bits.
+    d: AtomicU64,
+    /// Registry-global write sequence: stamped when the slot's kind is
+    /// (re)claimed and on every last-write gauge set, so merges can
+    /// resolve both kind conflicts and gauge recency.
+    seq: AtomicU64,
+}
+
+impl Slot {
+    /// Claims the slot for `kind`, zeroing the payload, unless it
+    /// already holds that kind. Returns `true` if the payload was reset.
+    fn claim(&self, kind: u8, seq: &AtomicU64) -> bool {
+        if self.kind.load(Ordering::Relaxed) == kind {
+            return false;
+        }
+        self.a.store(0, Ordering::Relaxed);
+        self.b.store(0, Ordering::Relaxed);
+        self.c.store(0, Ordering::Relaxed);
+        self.d.store(0, Ordering::Relaxed);
+        self.seq
+            .store(seq.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.kind.store(kind, Ordering::Relaxed);
+        true
+    }
+
+    fn counter_add(&self, delta: u64, seq: &AtomicU64) {
+        if self.claim(KIND_COUNTER, seq) {
+            self.a.store(delta, Ordering::Relaxed);
+        } else {
+            let cur = self.a.load(Ordering::Relaxed);
+            self.a.store(cur.saturating_add(delta), Ordering::Relaxed);
+        }
+    }
+
+    fn gauge_set(&self, value: f64, seq: &AtomicU64) {
+        self.claim(KIND_GAUGE, seq);
+        self.b.store(value.to_bits(), Ordering::Relaxed);
+        self.seq
+            .store(seq.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    fn gauge_max(&self, value: f64, seq: &AtomicU64) {
+        if self.claim(KIND_GAUGE_MAX, seq) {
+            self.b.store(value.to_bits(), Ordering::Relaxed);
+        } else {
+            let cur = f64::from_bits(self.b.load(Ordering::Relaxed));
+            if value > cur {
+                self.b.store(value.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn histogram_record(&self, value: f64, seq: &AtomicU64) {
+        let fresh = self.claim(KIND_HIST, seq);
+        let count = self.a.load(Ordering::Relaxed);
+        if fresh || count == 0 {
+            self.c.store(value.to_bits(), Ordering::Relaxed);
+            self.d.store(value.to_bits(), Ordering::Relaxed);
+            self.b.store(value.to_bits(), Ordering::Relaxed);
+        } else {
+            let min = f64::from_bits(self.c.load(Ordering::Relaxed));
+            let max = f64::from_bits(self.d.load(Ordering::Relaxed));
+            let sum = f64::from_bits(self.b.load(Ordering::Relaxed));
+            self.c.store(min.min(value).to_bits(), Ordering::Relaxed);
+            self.d.store(max.max(value).to_bits(), Ordering::Relaxed);
+            self.b.store((sum + value).to_bits(), Ordering::Relaxed);
+        }
+        self.a.store(count + 1, Ordering::Relaxed);
+    }
+
+    /// The slot's current value, or `None` when empty. Also returns the
+    /// slot's kind and sequence stamp for merge arbitration.
+    fn read(&self) -> Option<(u8, u64, MetricValue)> {
+        let kind = self.kind.load(Ordering::Relaxed);
+        let seq = self.seq.load(Ordering::Relaxed);
+        let value = match kind {
+            KIND_COUNTER => MetricValue::Counter(self.a.load(Ordering::Relaxed)),
+            KIND_GAUGE | KIND_GAUGE_MAX => {
+                MetricValue::Gauge(f64::from_bits(self.b.load(Ordering::Relaxed)))
+            }
+            KIND_HIST => MetricValue::Histogram(Histogram {
+                count: self.a.load(Ordering::Relaxed),
+                sum: f64::from_bits(self.b.load(Ordering::Relaxed)),
+                min: f64::from_bits(self.c.load(Ordering::Relaxed)),
+                max: f64::from_bits(self.d.load(Ordering::Relaxed)),
+            }),
+            _ => return None,
+        };
+        Some((kind, seq, value))
+    }
+}
+
+/// One thread's private slot array.
+#[derive(Debug)]
+struct Shard {
+    thread: u64,
+    slots: Vec<Slot>,
+}
+
+impl Shard {
+    fn new(thread: u64) -> Self {
+        Shard {
+            thread,
+            slots: (0..SHARD_SLOTS).map(|_| Slot::default()).collect(),
+        }
+    }
+}
+
+/// Interned name table: id ↔ name, behind the registration lock.
+#[derive(Debug, Default)]
+struct NameTable {
+    ids: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+/// Hands out process-unique registry ids for the per-thread shard cache.
+static NEXT_REGISTRY_UID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The calling thread's shard in the registry it touched last. One
+    /// entry, not a map: a thread almost always records into a single
+    /// registry at a time, and a bounded cache cannot pin shards of
+    /// dropped registries indefinitely.
+    static SHARD_CACHE: RefCell<Option<(u64, Arc<Shard>)>> = const { RefCell::new(None) };
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    uid: u64,
+    names: Mutex<NameTable>,
+    /// Every thread's shard, in creation order (the histogram merge
+    /// order; see the module docs).
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Ids past [`SHARD_SLOTS`], kept with the pre-shard mutex-map
+    /// semantics.
+    overflow: Mutex<BTreeMap<u32, MetricValue>>,
+    /// Global write sequence for gauge recency and kind arbitration.
+    seq: AtomicU64,
+}
+
+impl RegistryInner {
+    fn new() -> Self {
+        RegistryInner {
+            uid: NEXT_REGISTRY_UID.fetch_add(1, Ordering::Relaxed),
+            names: Mutex::new(NameTable::default()),
+            shards: Mutex::new(Vec::new()),
+            overflow: Mutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn intern(&self, name: &str) -> u32 {
+        let mut table = self.names.lock().expect("metric names poisoned");
+        if let Some(&id) = table.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(table.names.len()).expect("metric id space exhausted");
+        table.names.push(name.to_string());
+        table.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Runs `f` on the calling thread's shard, creating and caching it
+    /// on first touch.
+    fn with_shard(&self, f: impl FnOnce(&Shard, &AtomicU64)) {
+        SHARD_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((uid, shard)) = cache.as_ref() {
+                if *uid == self.uid {
+                    f(shard, &self.seq);
+                    return;
+                }
+            }
+            let thread = current_thread_id();
+            let shard = {
+                let mut shards = self.shards.lock().expect("metric shards poisoned");
+                match shards.iter().find(|s| s.thread == thread) {
+                    Some(s) => Arc::clone(s),
+                    None => {
+                        let s = Arc::new(Shard::new(thread));
+                        shards.push(Arc::clone(&s));
+                        s
+                    }
+                }
+            };
+            f(&shard, &self.seq);
+            *cache = Some((self.uid, shard));
+        });
+    }
+
+    fn overflow_update(&self, id: u32, f: impl FnOnce(Option<MetricValue>) -> MetricValue) {
+        let mut map = self.overflow.lock().expect("metric overflow poisoned");
+        let next = f(map.get(&id).copied());
+        map.insert(id, next);
+    }
+
+    /// Merges every shard's view of metric `id` (the deterministic
+    /// combination described in the module docs).
+    fn merge_id(&self, id: u32, shards: &[Arc<Shard>]) -> Option<MetricValue> {
+        let slot_index = id as usize;
+        if slot_index >= SHARD_SLOTS {
+            return self
+                .overflow
+                .lock()
+                .expect("metric overflow poisoned")
+                .get(&id)
+                .copied();
+        }
+        // Pass 1: the winning kind is the one most recently claimed.
+        let mut winner: Option<(u8, u64)> = None;
+        for shard in shards {
+            if let Some((kind, seq, _)) = shard.slots[slot_index].read() {
+                if winner.is_none_or(|(_, best)| seq > best) {
+                    winner = Some((kind, seq));
+                }
+            }
+        }
+        let (kind, _) = winner?;
+        // Pass 2: combine every shard holding the winning kind.
+        let mut counter: u64 = 0;
+        let mut gauge: Option<(u64, f64)> = None;
+        let mut gauge_max: Option<f64> = None;
+        let mut hist = Histogram::default();
+        for shard in shards {
+            let Some((k, seq, value)) = shard.slots[slot_index].read() else {
+                continue;
+            };
+            if k != kind {
+                continue;
+            }
+            match value {
+                MetricValue::Counter(v) => counter = counter.saturating_add(v),
+                MetricValue::Gauge(v) if k == KIND_GAUGE_MAX => {
+                    gauge_max = Some(gauge_max.map_or(v, |cur: f64| cur.max(v)));
+                }
+                MetricValue::Gauge(v) => {
+                    if gauge.is_none_or(|(best, _)| seq > best) {
+                        gauge = Some((seq, v));
+                    }
+                }
+                MetricValue::Histogram(h) => hist.merge(&h),
+            }
+        }
+        Some(match kind {
+            KIND_COUNTER => MetricValue::Counter(counter),
+            KIND_GAUGE => MetricValue::Gauge(gauge.map_or(0.0, |(_, v)| v)),
+            KIND_GAUGE_MAX => MetricValue::Gauge(gauge_max.unwrap_or(0.0)),
+            _ => MetricValue::Histogram(hist),
+        })
+    }
+
+    /// A merged, name-ordered view of every registered metric.
+    fn merged(&self) -> BTreeMap<String, MetricValue> {
+        let names: Vec<String> = {
+            let table = self.names.lock().expect("metric names poisoned");
+            table.names.clone()
+        };
+        let shards: Vec<Arc<Shard>> = {
+            let shards = self.shards.lock().expect("metric shards poisoned");
+            shards.clone()
+        };
+        let mut out = BTreeMap::new();
+        for (id, name) in names.into_iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            if let Some(value) = self.merge_id(id as u32, &shards) {
+                out.insert(name, value);
+            }
+        }
+        out
+    }
+}
+
 /// A registry of named counters, gauges, and histograms.
 ///
-/// Clones share the same underlying map. A registry created with
+/// Clones share the same underlying shards. A registry created with
 /// [`MetricsRegistry::disabled`] ignores every write and reports itself
 /// empty.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    inner: Option<Arc<Mutex<BTreeMap<String, MetricValue>>>>,
+    inner: Option<Arc<RegistryInner>>,
 }
 
 impl MetricsRegistry {
@@ -77,7 +434,7 @@ impl MetricsRegistry {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+            inner: Some(Arc::new(RegistryInner::new())),
         }
     }
 
@@ -93,73 +450,165 @@ impl MetricsRegistry {
         self.inner.is_some()
     }
 
-    /// Number of registered metrics (0 when disabled).
+    /// Number of metrics with at least one recorded value (0 when
+    /// disabled).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner
-            .as_ref()
-            .map_or(0, |m| m.lock().expect("metrics poisoned").len())
+        self.inner.as_ref().map_or(0, |inner| inner.merged().len())
     }
 
-    /// Whether no metric has been registered.
+    /// Whether no metric has recorded a value.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    fn update(&self, name: &str, f: impl FnOnce(Option<MetricValue>) -> MetricValue) {
-        if let Some(map) = &self.inner {
-            let mut map = map.lock().expect("metrics poisoned");
-            let next = f(map.get(name).copied());
-            map.insert(name.to_string(), next);
+    /// Interns `name` and returns its id, registering it on first use.
+    ///
+    /// Returns [`MetricId::INVALID`] (whose operations are no-ops) on a
+    /// disabled registry, so callers can register unconditionally.
+    #[must_use]
+    pub fn register(&self, name: &str) -> MetricId {
+        match &self.inner {
+            Some(inner) => MetricId(inner.intern(name)),
+            None => MetricId::INVALID,
         }
     }
 
-    /// Adds `delta` to the counter `name`, registering it at 0 first if
-    /// needed. A previously non-counter metric of the same name is
-    /// replaced.
-    pub fn counter_add(&self, name: &str, delta: u64) {
-        self.update(name, |prev| match prev {
-            Some(MetricValue::Counter(v)) => MetricValue::Counter(v.saturating_add(delta)),
-            _ => MetricValue::Counter(delta),
-        });
+    /// The interned name of `id`, if it was registered here.
+    #[must_use]
+    pub fn name_of(&self, id: MetricId) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let table = inner.names.lock().expect("metric names poisoned");
+        table.names.get(id.0 as usize).cloned()
     }
 
-    /// Sets the gauge `name` to `value`, replacing any previous kind.
+    fn record(&self, id: MetricId, f: impl FnOnce(&Slot, &AtomicU64)) {
+        let Some(inner) = &self.inner else { return };
+        if !id.is_valid() {
+            return;
+        }
+        let slot_index = id.0 as usize;
+        if slot_index < SHARD_SLOTS {
+            inner.with_shard(|shard, seq| f(&shard.slots[slot_index], seq));
+        }
+    }
+
+    /// Adds `delta` to the counter with interned id `id`.
+    pub fn counter_add_id(&self, id: MetricId, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        if !id.is_valid() {
+            return;
+        }
+        if id.0 as usize >= SHARD_SLOTS {
+            inner.overflow_update(id.0, |prev| match prev {
+                Some(MetricValue::Counter(v)) => MetricValue::Counter(v.saturating_add(delta)),
+                _ => MetricValue::Counter(delta),
+            });
+            return;
+        }
+        self.record(id, |slot, seq| slot.counter_add(delta, seq));
+    }
+
+    /// Sets the last-write gauge with interned id `id` to `value`.
+    pub fn gauge_set_id(&self, id: MetricId, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if !id.is_valid() {
+            return;
+        }
+        if id.0 as usize >= SHARD_SLOTS {
+            inner.overflow_update(id.0, |_| MetricValue::Gauge(value));
+            return;
+        }
+        self.record(id, |slot, seq| slot.gauge_set(value, seq));
+    }
+
+    /// Raises the max-gauge with interned id `id` to `value` if larger.
+    pub fn gauge_max_id(&self, id: MetricId, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if !id.is_valid() {
+            return;
+        }
+        if id.0 as usize >= SHARD_SLOTS {
+            inner.overflow_update(id.0, |prev| match prev {
+                Some(MetricValue::Gauge(v)) if v >= value => MetricValue::Gauge(v),
+                _ => MetricValue::Gauge(value),
+            });
+            return;
+        }
+        self.record(id, |slot, seq| slot.gauge_max(value, seq));
+    }
+
+    /// Records one observation into the histogram with interned id `id`.
+    pub fn histogram_record_id(&self, id: MetricId, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if !id.is_valid() {
+            return;
+        }
+        if id.0 as usize >= SHARD_SLOTS {
+            inner.overflow_update(id.0, |prev| {
+                let mut h = match prev {
+                    Some(MetricValue::Histogram(h)) => h,
+                    _ => Histogram::default(),
+                };
+                h.merge(&Histogram {
+                    count: 1,
+                    sum: value,
+                    min: value,
+                    max: value,
+                });
+                MetricValue::Histogram(h)
+            });
+            return;
+        }
+        self.record(id, |slot, seq| slot.histogram_record(value, seq));
+    }
+
+    /// Adds `delta` to the counter `name`, registering it first if
+    /// needed. A previously non-counter metric of the same name is
+    /// superseded.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.counter_add_id(self.register(name), delta);
+    }
+
+    /// Sets the gauge `name` to `value`, superseding any previous kind.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.update(name, |_| MetricValue::Gauge(value));
+        self.gauge_set_id(self.register(name), value);
+    }
+
+    /// Raises the max-gauge `name` to `value` if larger — the
+    /// order-independent peak tracker behind `mem.*.peak_bytes`.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        self.gauge_max_id(self.register(name), value);
     }
 
     /// Records one observation into the histogram `name`.
     pub fn histogram_record(&self, name: &str, value: f64) {
-        self.update(name, |prev| {
-            let mut h = match prev {
-                Some(MetricValue::Histogram(h)) => h,
-                _ => Histogram::default(),
-            };
-            h.record(value);
-            MetricValue::Histogram(h)
-        });
+        self.histogram_record_id(self.register(name), value);
     }
 
-    /// Reads the current value of `name`, if registered.
+    /// Reads the merged value of `name`, if any thread recorded it.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<MetricValue> {
-        self.inner
-            .as_ref()
-            .and_then(|m| m.lock().expect("metrics poisoned").get(name).copied())
+        let inner = self.inner.as_ref()?;
+        let id = {
+            let table = inner.names.lock().expect("metric names poisoned");
+            *table.ids.get(name)?
+        };
+        let shards: Vec<Arc<Shard>> = {
+            let shards = inner.shards.lock().expect("metric shards poisoned");
+            shards.clone()
+        };
+        inner.merge_id(id, &shards)
     }
 
-    /// A name-ordered snapshot of every registered metric.
+    /// A name-ordered snapshot of every recorded metric, merged across
+    /// all thread shards.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
-        self.inner.as_ref().map_or_else(Vec::new, |m| {
-            m.lock()
-                .expect("metrics poisoned")
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.merged().into_iter().collect())
     }
 
     /// A name-ordered snapshot flattened to `f64` values.
@@ -254,6 +703,7 @@ mod tests {
         assert!(reg.is_empty());
         assert!(reg.snapshot().is_empty());
         assert!(!reg.is_enabled());
+        assert!(!reg.register("x").is_valid());
     }
 
     #[test]
@@ -262,5 +712,105 @@ mod tests {
         let clone = reg.clone();
         clone.counter_add("shared", 5);
         assert_eq!(reg.get("shared"), Some(MetricValue::Counter(5)));
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_alias_the_name() {
+        let reg = MetricsRegistry::new();
+        let id = reg.register("dd.compute_table.hits");
+        assert_eq!(reg.register("dd.compute_table.hits"), id);
+        assert_eq!(reg.name_of(id).as_deref(), Some("dd.compute_table.hits"));
+        reg.counter_add_id(id, 2);
+        reg.counter_add("dd.compute_table.hits", 3);
+        assert_eq!(
+            reg.get("dd.compute_table.hits"),
+            Some(MetricValue::Counter(5))
+        );
+        // A registered-but-never-written name stays invisible.
+        let _ = reg.register("dd.never.written");
+        assert!(reg.get("dd.never.written").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_peak() {
+        let reg = MetricsRegistry::new();
+        let id = reg.register("mem.array.state_vector.peak_bytes");
+        reg.gauge_max_id(id, 512.0);
+        reg.gauge_max_id(id, 8192.0);
+        reg.gauge_max_id(id, 1024.0);
+        assert_eq!(
+            reg.get("mem.array.state_vector.peak_bytes"),
+            Some(MetricValue::Gauge(8192.0))
+        );
+    }
+
+    #[test]
+    fn cross_thread_counters_merge_to_the_exact_sum() {
+        let reg = MetricsRegistry::new();
+        let id = reg.register("stabilizer.row_ops");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.counter_add_id(id, t + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.get("stabilizer.row_ops"),
+            Some(MetricValue::Counter(1000 * (1 + 2 + 3 + 4)))
+        );
+    }
+
+    #[test]
+    fn cross_thread_histograms_merge_counts_and_extrema() {
+        let reg = MetricsRegistry::new();
+        let id = reg.register("parallel.worker.busy_us");
+        std::thread::scope(|scope| {
+            for t in 0..3u64 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    #[allow(clippy::cast_precision_loss)]
+                    reg.histogram_record_id(id, (t * 10 + 1) as f64);
+                });
+            }
+        });
+        let Some(MetricValue::Histogram(h)) = reg.get("parallel.worker.busy_us") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 3);
+        assert!((h.min - 1.0).abs() < 1e-12);
+        assert!((h.max - 21.0).abs() < 1e-12);
+        assert!((h.sum - 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_thread_alternating_registries_keeps_them_separate() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for _ in 0..10 {
+            a.counter_add("x", 1);
+            b.counter_add("x", 2);
+        }
+        assert_eq!(a.get("x"), Some(MetricValue::Counter(10)));
+        assert_eq!(b.get("x"), Some(MetricValue::Counter(20)));
+    }
+
+    #[test]
+    fn overflow_ids_past_the_shard_capacity_still_work() {
+        let reg = MetricsRegistry::new();
+        // Exhaust the lock-free slots, then keep going.
+        for i in 0..SHARD_SLOTS + 8 {
+            reg.counter_add(&format!("overflow.metric.{i:04}"), 1);
+        }
+        assert_eq!(reg.len(), SHARD_SLOTS + 8);
+        let last = format!("overflow.metric.{:04}", SHARD_SLOTS + 7);
+        assert_eq!(reg.get(&last), Some(MetricValue::Counter(1)));
+        reg.gauge_max(&last, 5.0);
+        reg.gauge_max(&last, 3.0);
+        assert_eq!(reg.get(&last), Some(MetricValue::Gauge(5.0)));
     }
 }

@@ -1,0 +1,375 @@
+//! Sampling wall-clock profiler with flamegraph export.
+//!
+//! Enabled via `QDT_PROFILE=<hz>` (see [`Profiler::from_env`]): a
+//! background thread wakes `hz` times per second and snapshots the
+//! active *span stack* of every thread that has one. The stacks come
+//! from two sources, both free when profiling is off:
+//!
+//! * every [`crate::Tracer::span_in`] span — including spans on a
+//!   *disabled* tracer, so `run_traced`, the shot executor, and the
+//!   worker pool profile without any telemetry sink attached;
+//! * explicit [`profile_frame`] markers placed at coarse boundaries
+//!   (repro experiments, trajectory workers, auto dispatch).
+//!
+//! The cost of an inactive profiler is one relaxed atomic load per span;
+//! no allocation, no locking. When active, opening a span pushes a
+//! `"category:name"` frame onto the calling thread's mutex-guarded stack
+//! and pops it on drop; the sampler reads those stacks under the same
+//! short locks, so every sample observes a consistent stack.
+//!
+//! [`ProfileReport`] renders the samples two ways:
+//!
+//! * **collapsed stacks** (`<base>.collapsed`): one line per distinct
+//!   stack, `thread-0;run:circuit;gate:h 42`, the input format of every
+//!   flamegraph tool (inferno, speedscope, Brendan Gregg's scripts);
+//! * **Chrome trace** (`<base>.trace.json`): complete (`"X"`) events
+//!   reconstructed by merging consecutive identical samples, loadable in
+//!   Perfetto / `chrome://tracing` as a time-ordered flame chart.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::trace::current_thread_id;
+
+/// Whether a sampler is currently running. Checked with one relaxed
+/// load on every span open — the entire cost of an inactive profiler.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// One thread's frame stack, shared with the sampler thread.
+#[derive(Debug)]
+struct FrameStack {
+    thread: u64,
+    frames: Mutex<Vec<String>>,
+}
+
+/// Every thread's stack, in first-touch order.
+fn stacks() -> &'static Mutex<Vec<Arc<FrameStack>>> {
+    static STACKS: OnceLock<Mutex<Vec<Arc<FrameStack>>>> = OnceLock::new();
+    STACKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// The calling thread's stack, registered globally on first frame.
+    static LOCAL_STACK: std::cell::OnceCell<Arc<FrameStack>> = const { std::cell::OnceCell::new() };
+}
+
+fn local_stack() -> Arc<FrameStack> {
+    LOCAL_STACK.with(|cell| {
+        Arc::clone(cell.get_or_init(|| {
+            let stack = Arc::new(FrameStack {
+                thread: current_thread_id(),
+                frames: Mutex::new(Vec::new()),
+            });
+            stacks()
+                .lock()
+                .expect("profiler stacks poisoned")
+                .push(Arc::clone(&stack));
+            stack
+        }))
+    })
+}
+
+/// Pops its frame when dropped; returned by [`profile_frame`].
+#[derive(Debug)]
+pub struct FrameGuard {
+    stack: Arc<FrameStack>,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        let mut frames = self.stack.frames.lock().expect("profiler frames poisoned");
+        frames.pop();
+    }
+}
+
+fn push_frame(frame: String) -> FrameGuard {
+    let stack = local_stack();
+    stack
+        .frames
+        .lock()
+        .expect("profiler frames poisoned")
+        .push(frame);
+    FrameGuard { stack }
+}
+
+/// Pushes `name` onto the calling thread's profiler stack while the
+/// returned guard lives. Returns `None` — for free — when no profiler
+/// is active, so hot paths can call this unconditionally.
+#[must_use]
+pub fn profile_frame(name: &str) -> Option<FrameGuard> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    Some(push_frame(name.to_string()))
+}
+
+/// Span hook: frames a `category:name` span (see
+/// [`crate::Tracer::span_in`]).
+pub(crate) fn span_frame(category: &str, name: &str) -> Option<FrameGuard> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let frame = if category.is_empty() {
+        name.to_string()
+    } else {
+        format!("{category}:{name}")
+    };
+    Some(push_frame(frame))
+}
+
+/// One observation: at tick `tick`, thread `thread` was inside `stack`
+/// (frames joined with `;`, innermost last).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSample {
+    /// Sampler tick index (multiply by the period for a timestamp).
+    pub tick: u64,
+    /// Trace-thread id of the sampled thread.
+    pub thread: u64,
+    /// `;`-joined frame stack, outermost first.
+    pub stack: String,
+}
+
+/// The result of a finished profiling run; renders collapsed-stack and
+/// Chrome-trace flamegraph views.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Sampling period in nanoseconds.
+    pub period_ns: u64,
+    /// Total ticks the sampler ran (including idle ones).
+    pub ticks: u64,
+    /// Every non-idle observation, in (tick, thread) order.
+    pub samples: Vec<ProfileSample>,
+}
+
+impl ProfileReport {
+    /// Number of non-idle samples captured.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Collapsed-stack rendering: one `thread-<id>;<stack> <count>` line
+    /// per distinct stack, sorted, newline-terminated.
+    #[must_use]
+    pub fn collapsed(&self) -> String {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for sample in &self.samples {
+            let key = format!("thread-{};{}", sample.thread, sample.stack);
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let mut out = String::new();
+        for (stack, count) in counts {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome-trace rendering: consecutive identical samples merge into
+    /// complete (`"X"`) events, one per frame depth, producing a flame
+    /// chart per thread track.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        let period_us = self.period_ns as f64 / 1_000.0;
+        // Group samples per thread, preserving tick order.
+        let mut per_thread: BTreeMap<u64, Vec<&ProfileSample>> = BTreeMap::new();
+        for sample in &self.samples {
+            per_thread.entry(sample.thread).or_default().push(sample);
+        }
+        let mut events = Vec::new();
+        for (thread, samples) in per_thread {
+            let mut run: Option<(u64, u64, &str)> = None; // (start_tick, len, stack)
+            let flush = |start: u64, len: u64, stack: &str, events: &mut Vec<String>| {
+                #[allow(clippy::cast_precision_loss)]
+                let ts = start as f64 * period_us;
+                #[allow(clippy::cast_precision_loss)]
+                let dur = len as f64 * period_us;
+                for frame in stack.split(';') {
+                    events.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"profile\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{thread}}}",
+                        crate::json::escape(frame),
+                    ));
+                }
+            };
+            for sample in samples {
+                match run {
+                    Some((start, len, stack))
+                        if stack == sample.stack && sample.tick == start + len =>
+                    {
+                        run = Some((start, len + 1, stack));
+                    }
+                    Some((start, len, stack)) => {
+                        flush(start, len, stack, &mut events);
+                        run = Some((sample.tick, 1, sample.stack.as_str()));
+                    }
+                    None => run = Some((sample.tick, 1, sample.stack.as_str())),
+                }
+            }
+            if let Some((start, len, stack)) = run {
+                flush(start, len, stack, &mut events);
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    /// Writes `<base>.collapsed` and `<base>.trace.json`; returns the
+    /// two paths.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from writing either file.
+    pub fn write_files(&self, base: &str) -> std::io::Result<(String, String)> {
+        let collapsed_path = format!("{base}.collapsed");
+        let trace_path = format!("{base}.trace.json");
+        std::fs::write(&collapsed_path, self.collapsed())?;
+        std::fs::write(&trace_path, self.chrome_trace())?;
+        Ok((collapsed_path, trace_path))
+    }
+}
+
+/// A running sampling profiler; call [`Profiler::finish`] to stop it
+/// and collect the [`ProfileReport`].
+#[derive(Debug)]
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<ProfileReport>,
+}
+
+impl Profiler {
+    /// Starts a sampler at `hz` samples per second (clamped to
+    /// 1..=10_000) and activates span framing process-wide.
+    ///
+    /// Profilers are process-global: run one at a time.
+    #[must_use]
+    pub fn start(hz: u32) -> Self {
+        let hz = hz.clamp(1, 10_000);
+        let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+        let stop = Arc::new(AtomicBool::new(false));
+        ACTIVE.store(true, Ordering::Relaxed);
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("qdt-profiler".into())
+            .spawn(move || {
+                let mut samples = Vec::new();
+                let mut tick: u64 = 0;
+                let period_ns = u64::try_from(period.as_nanos()).unwrap_or(u64::MAX);
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    let stacks: Vec<Arc<FrameStack>> = {
+                        let guard = stacks().lock().expect("profiler stacks poisoned");
+                        guard.clone()
+                    };
+                    for stack in stacks {
+                        let joined = {
+                            let frames = stack.frames.lock().expect("profiler frames poisoned");
+                            if frames.is_empty() {
+                                continue;
+                            }
+                            frames.join(";")
+                        };
+                        samples.push(ProfileSample {
+                            tick,
+                            thread: stack.thread,
+                            stack: joined,
+                        });
+                    }
+                    tick += 1;
+                }
+                ProfileReport {
+                    period_ns,
+                    ticks: tick,
+                    samples,
+                }
+            })
+            .expect("spawn profiler thread");
+        Self { stop, handle }
+    }
+
+    /// Starts a profiler if `QDT_PROFILE` is set to a positive sampling
+    /// rate in hertz, e.g. `QDT_PROFILE=97`.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let hz: u32 = std::env::var("QDT_PROFILE").ok()?.trim().parse().ok()?;
+        (hz > 0).then(|| Self::start(hz))
+    }
+
+    /// Stops the sampler and returns the captured report.
+    #[must_use]
+    pub fn finish(self) -> ProfileReport {
+        ACTIVE.store(false, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("profiler thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapsed_and_chrome_views_fold_samples() {
+        let report = ProfileReport {
+            period_ns: 1_000_000,
+            ticks: 4,
+            samples: vec![
+                ProfileSample {
+                    tick: 0,
+                    thread: 0,
+                    stack: "run:circuit;gate:h".into(),
+                },
+                ProfileSample {
+                    tick: 1,
+                    thread: 0,
+                    stack: "run:circuit;gate:h".into(),
+                },
+                ProfileSample {
+                    tick: 2,
+                    thread: 0,
+                    stack: "run:circuit;gate:cx".into(),
+                },
+                ProfileSample {
+                    tick: 1,
+                    thread: 3,
+                    stack: "parallel:job".into(),
+                },
+            ],
+        };
+        let collapsed = report.collapsed();
+        assert!(collapsed.contains("thread-0;run:circuit;gate:h 2\n"));
+        assert!(collapsed.contains("thread-0;run:circuit;gate:cx 1\n"));
+        assert!(collapsed.contains("thread-3;parallel:job 1\n"));
+        let trace = report.chrome_trace();
+        let doc = crate::json::parse(&trace).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(crate::json::JsonValue::as_array)
+            .expect("traceEvents array");
+        // h merges into one 2-tick event (2 frames), cx 1 tick (2
+        // frames), parallel:job 1 tick (1 frame).
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn sampler_captures_live_span_stacks() {
+        let profiler = Profiler::start(2_000);
+        {
+            let _outer = profile_frame("outer").expect("profiler active");
+            let tracer = crate::Tracer::disabled();
+            let _span = tracer.span_in("test", "busy");
+            // Hold the stack open across several sampling periods.
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        let report = profiler.finish();
+        assert!(report.ticks > 0);
+        assert!(
+            report.samples.iter().any(|s| s.stack == "outer;test:busy"),
+            "expected an outer;test:busy sample, got {:?}",
+            report.samples
+        );
+        // Inactive again: frames are free.
+        assert!(profile_frame("after").is_none());
+    }
+}

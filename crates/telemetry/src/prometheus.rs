@@ -1,0 +1,110 @@
+//! OpenMetrics / Prometheus text exposition.
+//!
+//! [`prometheus_text`] renders a merged registry snapshot in the
+//! OpenMetrics text format (`repro --metrics --format prometheus`, and
+//! the scrape surface the planned `qdt-server` will expose):
+//!
+//! * counters become `# TYPE qdt_x counter` with a `qdt_x_total` sample;
+//! * gauges become `# TYPE qdt_x gauge` with a `qdt_x` sample;
+//! * histograms become a summary (`qdt_x_count`, `qdt_x_sum`) plus
+//!   `qdt_x_min` / `qdt_x_max` gauges, since the registry tracks extrema
+//!   rather than quantiles;
+//! * metric names are sanitised (`.` and other non-identifier bytes map
+//!   to `_`) and prefixed `qdt_`; the exposition ends with `# EOF`.
+//!
+//! The output is deterministic (name-ordered, stable number formatting),
+//! which the golden-file test under `tests/` pins byte-for-byte.
+
+use crate::json::format_number;
+use crate::metrics::{MetricValue, MetricsRegistry};
+
+/// Maps a dotted metric name onto a Prometheus identifier:
+/// `dd.unique_table.hits` → `qdt_dd_unique_table_hits`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("qdt_");
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let ok = ok && !(i == 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders the registry's merged snapshot as OpenMetrics text
+/// exposition, terminated by `# EOF`.
+#[must_use]
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.snapshot() {
+        let id = prometheus_name(&name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {id} counter\n{id}_total {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {id} gauge\n{id} {}\n", format_number(v)));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "# TYPE {id} summary\n{id}_count {}\n{id}_sum {}\n",
+                    h.count,
+                    format_number(h.sum)
+                ));
+                out.push_str(&format!(
+                    "# TYPE {id}_min gauge\n{id}_min {}\n",
+                    format_number(h.min)
+                ));
+                out.push_str(&format!(
+                    "# TYPE {id}_max gauge\n{id}_max {}\n",
+                    format_number(h.max)
+                ));
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(
+            prometheus_name("dd.unique_table.hits"),
+            "qdt_dd_unique_table_hits"
+        );
+        assert_eq!(
+            prometheus_name("mem.array.state_vector.peak_bytes"),
+            "qdt_mem_array_state_vector_peak_bytes"
+        );
+        assert_eq!(prometheus_name("3weird name!"), "qdt__weird_name_");
+    }
+
+    #[test]
+    fn exposition_covers_all_three_kinds_and_ends_with_eof() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("dd.unique_table.hits", 12);
+        reg.gauge_set("dd.nodes.live", 5.0);
+        reg.histogram_record("mps.bond.dimension", 2.0);
+        reg.histogram_record("mps.bond.dimension", 4.0);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE qdt_dd_unique_table_hits counter\n"));
+        assert!(text.contains("qdt_dd_unique_table_hits_total 12\n"));
+        assert!(text.contains("# TYPE qdt_dd_nodes_live gauge\n"));
+        assert!(text.contains("qdt_dd_nodes_live 5\n"));
+        assert!(text.contains("qdt_mps_bond_dimension_count 2\n"));
+        assert!(text.contains("qdt_mps_bond_dimension_sum 6\n"));
+        assert!(text.contains("qdt_mps_bond_dimension_min 2\n"));
+        assert!(text.contains("qdt_mps_bond_dimension_max 4\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn empty_registry_is_just_eof() {
+        assert_eq!(prometheus_text(&MetricsRegistry::disabled()), "# EOF\n");
+    }
+}

@@ -121,13 +121,25 @@ impl Tracer {
     }
 
     /// Opens a named span in `category`, closed when the guard drops.
+    ///
+    /// On a disabled tracer the guard is empty — no allocation, no
+    /// bookkeeping — unless the sampling profiler is active, in which
+    /// case the span still contributes a stack frame (so `QDT_PROFILE`
+    /// works even when tracing itself is off).
     #[must_use]
     pub fn span_in(&self, category: &str, name: &str) -> SpanGuard {
-        self.record(TraceEventKind::Begin, category, name);
+        let frame = crate::profiler::span_frame(category, name);
+        let inner = self.inner.is_some().then(|| {
+            self.record(TraceEventKind::Begin, category, name);
+            SpanGuardInner {
+                tracer: self.clone(),
+                name: name.to_string(),
+                category: category.to_string(),
+            }
+        });
         SpanGuard {
-            tracer: self.clone(),
-            name: name.to_string(),
-            category: category.to_string(),
+            _inner: inner,
+            _frame: frame,
         }
     }
 
@@ -150,12 +162,21 @@ impl Tracer {
 /// Closes its span when dropped; returned by [`Tracer::span`].
 #[derive(Debug)]
 pub struct SpanGuard {
+    /// `None` for a span opened on a disabled tracer (nothing to close);
+    /// held only so its `Drop` records the span's `End` event.
+    _inner: Option<SpanGuardInner>,
+    /// Keeps the span on the profiler's stack while the guard lives.
+    _frame: Option<crate::profiler::FrameGuard>,
+}
+
+#[derive(Debug)]
+struct SpanGuardInner {
     tracer: Tracer,
     name: String,
     category: String,
 }
 
-impl Drop for SpanGuard {
+impl Drop for SpanGuardInner {
     fn drop(&mut self) {
         self.tracer
             .record(TraceEventKind::End, &self.category, &self.name);

@@ -1,0 +1,49 @@
+//! Golden-file test for the OpenMetrics exposition: a fixed registry
+//! must render byte-for-byte identically to the committed fixture.
+
+use qdt_telemetry::{prometheus_text, MetricsRegistry};
+
+const GOLDEN: &str = include_str!("golden/metrics.prom");
+
+fn fixture_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter_add("dd.unique_table.hits", 42);
+    reg.counter_add("dd.unique_table.lookups", 64);
+    reg.gauge_set("dd.nodes.live", 17.0);
+    reg.gauge_max("mem.dd.arena.peak_bytes", 65536.0);
+    reg.gauge_max("engine.mem.peak_bytes", 131072.0);
+    for v in [2.0, 4.0, 8.0] {
+        reg.histogram_record("mps.bond.dimension", v);
+    }
+    reg.histogram_record("parallel.worker.busy_us", 12.5);
+    reg
+}
+
+#[test]
+fn exposition_matches_the_committed_golden_file() {
+    let text = prometheus_text(&fixture_registry());
+    assert_eq!(
+        text, GOLDEN,
+        "prometheus exposition drifted from tests/golden/metrics.prom"
+    );
+}
+
+#[test]
+fn golden_file_is_well_formed_openmetrics() {
+    for line in GOLDEN.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line == "# EOF" || line.starts_with("# TYPE qdt_"),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let name = parts.next().expect("sample name");
+        let value = parts.next().expect("sample value");
+        assert!(parts.next().is_none(), "trailing tokens in: {line}");
+        assert!(name.starts_with("qdt_"), "unprefixed sample: {line}");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+    }
+    assert!(GOLDEN.ends_with("# EOF\n"));
+}

@@ -1,8 +1,9 @@
 //! [`TensorNetEngine`] and [`MpsEngine`]: the tensor-network backends
 //! behind the [`SimulationEngine`] trait.
 
-use qdt_circuit::{Circuit, Instruction, PauliString};
+use qdt_circuit::{Circuit, Instruction, OpKind, PauliString};
 use qdt_complex::{Complex, Matrix};
+use qdt_engine::telemetry::{MemoryGauge, MetricId};
 use qdt_engine::{
     check_pauli_width, CostMetric, EngineCaps, EngineError, SimulationEngine, TelemetrySink,
 };
@@ -19,6 +20,50 @@ const MPS_DENSE_LIMIT: usize = 20;
 
 /// Widest register the `u128` basis indexing supports.
 const MAX_QUBITS: usize = 128;
+
+/// Interned metric handles for [`TensorNetEngine`], built once when a
+/// live sink is attached so the per-gate path records by [`MetricId`].
+#[derive(Debug, Clone)]
+struct TnMetrics {
+    sink: TelemetrySink,
+    tensors: MetricId,
+    mem: MemoryGauge,
+}
+
+impl TnMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        let tensors = sink.metrics().register("tn.tensors");
+        let mem = MemoryGauge::new(sink.metrics(), "tn.tensors");
+        TnMetrics { sink, tensors, mem }
+    }
+}
+
+/// Interned metric handles for [`MpsEngine`].
+#[derive(Debug, Clone)]
+struct MpsMetrics {
+    sink: TelemetrySink,
+    bond_max: MetricId,
+    bond_dimension: MetricId,
+    discarded_weight: MetricId,
+    mem: MemoryGauge,
+}
+
+impl MpsMetrics {
+    fn new(sink: TelemetrySink) -> Self {
+        let m = sink.metrics();
+        let bond_max = m.register("mps.bond.max");
+        let bond_dimension = m.register("mps.bond.dimension");
+        let discarded_weight = m.register("mps.truncation.discarded_weight");
+        let mem = MemoryGauge::new(m, "mps.bond_tensors");
+        MpsMetrics {
+            sink,
+            bond_max,
+            bond_dimension,
+            discarded_weight,
+            mem,
+        }
+    }
+}
 
 fn map_err(engine: &'static str, e: TensorError) -> EngineError {
     match e {
@@ -57,8 +102,12 @@ pub struct TensorNetEngine {
     circuit: Circuit,
     plan: PlanKind,
     tensors: usize,
-    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
-    sink: Option<TelemetrySink>,
+    /// Running byte footprint of the network [`network`](Self::network)
+    /// would build (input tensors plus one tensor per accumulated gate),
+    /// maintained incrementally so polling it per gate is O(1).
+    tensor_bytes: usize,
+    /// Interned telemetry handles, if a live sink is attached.
+    metrics: Option<TnMetrics>,
 }
 
 impl TensorNetEngine {
@@ -73,7 +122,8 @@ impl TensorNetEngine {
             circuit: Circuit::new(1),
             plan,
             tensors: 1,
-            sink: None,
+            tensor_bytes: 2 * std::mem::size_of::<Complex>(),
+            metrics: None,
         }
     }
 
@@ -121,6 +171,9 @@ impl SimulationEngine for TensorNetEngine {
         }
         self.circuit = Circuit::new(num_qubits.max(1));
         self.tensors = num_qubits.max(1);
+        // One rank-1 input tensor (2 complex entries) per qubit, matching
+        // `TensorNetwork::from_circuit`.
+        self.tensor_bytes = self.tensors * 2 * std::mem::size_of::<Complex>();
         Ok(())
     }
 
@@ -144,9 +197,22 @@ impl SimulationEngine for TensorNetEngine {
                 message: e.to_string(),
             })?;
         self.tensors += 1;
-        if let Some(sink) = &self.sink {
+        // The gate becomes one rank-2k tensor of 4^k complex entries in
+        // the built network, where k counts the qubits the local unitary
+        // spans (target + controls; both swapped qubits + controls).
+        let k = match &inst.kind {
+            OpKind::Unitary { controls, .. } => 1 + controls.len(),
+            OpKind::Swap { controls, .. } => 2 + controls.len(),
+            _ => 0,
+        };
+        self.tensor_bytes += (1usize << (2 * k)) * std::mem::size_of::<Complex>();
+        if let Some(metrics) = &self.metrics {
             #[allow(clippy::cast_precision_loss)]
-            sink.metrics().gauge_set("tn.tensors", self.tensors as f64);
+            metrics
+                .sink
+                .metrics()
+                .gauge_set_id(metrics.tensors, self.tensors as f64);
+            metrics.mem.record(self.tensor_bytes);
         }
         Ok(())
     }
@@ -191,8 +257,12 @@ impl SimulationEngine for TensorNetEngine {
             .map_err(|e| map_err("tensor-network", e))
     }
 
+    fn memory_bytes(&self) -> usize {
+        self.tensor_bytes
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(TnMetrics::new);
     }
 }
 
@@ -216,8 +286,8 @@ impl SimulationEngine for TensorNetEngine {
 pub struct MpsEngine {
     mps: Mps,
     max_bond: usize,
-    /// Attached telemetry, if any (see [`SimulationEngine::telemetry`]).
-    sink: Option<TelemetrySink>,
+    /// Interned telemetry handles, if a live sink is attached.
+    metrics: Option<MpsMetrics>,
 }
 
 impl MpsEngine {
@@ -228,7 +298,7 @@ impl MpsEngine {
         MpsEngine {
             mps: Mps::zero_state(1, max_bond),
             max_bond,
-            sink: None,
+            metrics: None,
         }
     }
 
@@ -248,16 +318,17 @@ impl MpsEngine {
     /// every interior bond, so its max tracks χ saturation and its mean
     /// tracks how much of the chain is entangled.
     fn push_metrics(&self) {
-        let Some(sink) = &self.sink else { return };
-        let m = sink.metrics();
+        let Some(metrics) = &self.metrics else { return };
+        let m = metrics.sink.metrics();
         #[allow(clippy::cast_precision_loss)]
         {
-            m.gauge_set("mps.bond.max", self.mps.max_observed_bond() as f64);
+            m.gauge_set_id(metrics.bond_max, self.mps.max_observed_bond() as f64);
             for bond in self.mps.bond_dims() {
-                m.histogram_record("mps.bond.dimension", bond as f64);
+                m.histogram_record_id(metrics.bond_dimension, bond as f64);
             }
         }
-        m.gauge_set("mps.truncation.discarded_weight", self.truncation_error());
+        m.gauge_set_id(metrics.discarded_weight, self.truncation_error());
+        metrics.mem.record(self.memory_bytes());
     }
 }
 
@@ -397,8 +468,12 @@ impl SimulationEngine for MpsEngine {
         Some(Box::new(self.clone()))
     }
 
+    fn memory_bytes(&self) -> usize {
+        self.mps.memory_entries() * std::mem::size_of::<Complex>()
+    }
+
     fn telemetry(&mut self, sink: &TelemetrySink) {
-        self.sink = sink.enabled_clone();
+        self.metrics = sink.enabled_clone().map(MpsMetrics::new);
     }
 }
 

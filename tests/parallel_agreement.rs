@@ -21,7 +21,7 @@ use qdt::circuit::{generators, Circuit, Gate};
 use qdt::engine::run;
 use qdt::noise::{DensityMatrixEngine, KrausChannel, NoiseModel};
 use qdt::parallel::KernelContext;
-use qdt::telemetry::{is_wall_clock, GateLog};
+use qdt::telemetry::deterministic_stream;
 use qdt::{run_traced, EngineRegistry, TelemetrySink};
 
 /// Parallel specs checked against the `threads=1` reference.
@@ -147,26 +147,7 @@ proptest! {
     }
 }
 
-/// One gate record with its wall-clock fields stripped.
-type DeterministicRecord = (usize, String, Vec<(String, f64)>);
-
-/// The deterministic projection of a gate log: wall-clock `dt_ns` and
-/// `_ns`/`_us` metrics stripped, everything else verbatim.
-fn deterministic_stream(log: &GateLog) -> Vec<DeterministicRecord> {
-    log.iter()
-        .map(|r| {
-            (
-                r.index,
-                r.gate.clone(),
-                r.metrics
-                    .iter()
-                    .filter(|(name, _)| !is_wall_clock(name))
-                    .cloned()
-                    .collect(),
-            )
-        })
-        .collect()
-}
+use qdt::telemetry::DeterministicRecord;
 
 fn traced_stream(spec: &str, qc: &Circuit) -> Vec<DeterministicRecord> {
     let sink = TelemetrySink::new();

@@ -8,29 +8,8 @@ use qdt::circuit::{generators, Circuit};
 use qdt::dd::DdEngine;
 use qdt::noise::{InnerFactory, KrausChannel, NoiseModel, TrajectoryConfig, TrajectoryEngine};
 use qdt::telemetry::json::{parse, JsonValue};
-use qdt::telemetry::{chrome_trace, gate_log_jsonl, is_wall_clock, GateLog};
+use qdt::telemetry::{chrome_trace, deterministic_stream, gate_log_jsonl, GateLog};
 use qdt::{run_traced, SimulationEngine, TelemetrySink};
-
-/// One gate record with its wall-clock fields stripped.
-type DeterministicRecord = (usize, String, Vec<(String, f64)>);
-
-/// The deterministic projection of a gate log: the wall-clock `dt_ns`
-/// field and `_ns`/`_us` metrics stripped, everything else verbatim.
-fn deterministic_stream(log: &GateLog) -> Vec<DeterministicRecord> {
-    log.iter()
-        .map(|r| {
-            (
-                r.index,
-                r.gate.clone(),
-                r.metrics
-                    .iter()
-                    .filter(|(name, _)| !is_wall_clock(name))
-                    .cloned()
-                    .collect(),
-            )
-        })
-        .collect()
-}
 
 fn traced_log(spec: &str, qc: &Circuit) -> GateLog {
     let sink = TelemetrySink::new();
@@ -152,4 +131,137 @@ fn exporters_emit_well_formed_output() {
         rows += 1;
     }
     assert_eq!(rows, log.len());
+}
+
+#[test]
+fn traced_runs_report_peak_memory() {
+    let qc = generators::ghz(10);
+    let sink = TelemetrySink::new();
+    let mut engine = qdt::create_engine("array").expect("array builds");
+    let (stats, _log) = run_traced(engine.as_mut(), &qc, &sink).expect("traced run");
+    // The 10-qubit state vector holds 1024 complex amplitudes of 16 bytes.
+    assert_eq!(stats.peak_memory_bytes, 1024 * 16);
+    let flat = sink.metrics().flattened();
+    let mem = |name: &str| {
+        flat.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {name} in {flat:?}"))
+    };
+    assert!((mem("engine.mem.peak_bytes") - 16384.0).abs() < 1e-9);
+    assert!((mem("mem.array.state_vector.peak_bytes") - 16384.0).abs() < 1e-9);
+}
+
+/// Wall-clock budget for enabled telemetry on QFT-12, as a multiple of
+/// the disabled-sink run (documented in DESIGN.md §15): the sharded
+/// id-keyed hot path must keep the full traced run within 3× of the
+/// untraced run, median-of-5.
+const QFT12_OVERHEAD_BUDGET: f64 = 3.0;
+
+#[test]
+fn enabled_telemetry_overhead_stays_in_budget() {
+    let qc = generators::qft(12, true);
+    let median_secs = |enabled: bool| {
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let sink = if enabled {
+                    TelemetrySink::new()
+                } else {
+                    TelemetrySink::disabled()
+                };
+                let mut e = qdt::create_engine("array").expect("array builds");
+                let start = std::time::Instant::now();
+                let _ = run_traced(e.as_mut(), &qc, &sink).expect("traced run");
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    // Warm up allocators and the engine registry before timing.
+    let _ = median_secs(false);
+    let disabled = median_secs(false);
+    let enabled = median_secs(true);
+    assert!(
+        enabled <= QFT12_OVERHEAD_BUDGET * disabled.max(1e-6),
+        "enabled telemetry {enabled:.6}s vs disabled {disabled:.6}s \
+         exceeds the {QFT12_OVERHEAD_BUDGET}x budget"
+    );
+}
+
+mod thread_count_determinism {
+    use proptest::prelude::*;
+    use qdt::array::ArrayEngine;
+    use qdt::circuit::{generators, Circuit, Gate};
+    use qdt::parallel::KernelContext;
+    use qdt::telemetry::{deterministic_stream, DeterministicRecord};
+    use qdt::{run_traced, TelemetrySink};
+
+    /// The deterministic metric stream of `qc` on an array engine with
+    /// `threads` workers, with the sequential-fallback threshold forced
+    /// to 1 so every gate really runs on the pool.
+    fn stream_at(qc: &Circuit, threads: usize) -> Vec<DeterministicRecord> {
+        let ctx = KernelContext::with_threads(threads).with_threshold(1);
+        let mut e = ArrayEngine::with_context(ctx);
+        let sink = TelemetrySink::new();
+        let (_stats, log) = run_traced(&mut e, qc, &sink).expect("traced run");
+        deterministic_stream(&log)
+    }
+
+    fn op_strategy(n: usize) -> impl Strategy<Value = (u8, usize, usize)> {
+        (0u8..6, 0..n, 0..n).prop_filter("distinct for 2q ops", |(op, a, b)| *op < 4 || a != b)
+    }
+
+    fn circuit_strategy(n: usize) -> impl Strategy<Value = Circuit> {
+        prop::collection::vec(op_strategy(n), 1..24).prop_map(move |ops| {
+            let mut qc = Circuit::new(n);
+            for (op, a, b) in ops {
+                match op {
+                    0 => {
+                        qc.gate(Gate::H, a, &[]);
+                    }
+                    1 => {
+                        qc.gate(Gate::T, a, &[]);
+                    }
+                    2 => {
+                        qc.gate(Gate::X, a, &[]);
+                    }
+                    3 => {
+                        qc.gate(Gate::Rz(0.3), a, &[]);
+                    }
+                    4 => {
+                        qc.cx(a, b);
+                    }
+                    _ => {
+                        qc.swap(a, b);
+                    }
+                }
+            }
+            qc
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The exported metric stream is bit-identical whether the
+        /// array kernels run on 1, 2, or 4 workers.
+        #[test]
+        fn metric_stream_is_bit_identical_across_thread_counts(qc in circuit_strategy(6)) {
+            let base = stream_at(&qc, 1);
+            prop_assert!(!base.is_empty());
+            for threads in [2usize, 4] {
+                let other = stream_at(&qc, threads);
+                prop_assert!(base == other, "threads={} diverged", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn qft_stream_is_bit_identical_across_thread_counts() {
+        let qc = generators::qft(10, true);
+        let base = stream_at(&qc, 1);
+        assert_eq!(base, stream_at(&qc, 2));
+        assert_eq!(base, stream_at(&qc, 4));
+    }
 }
