@@ -12,6 +12,13 @@
 //!   predicted peak Schmidt rank;
 //! * **array** — `g · 2^n`, infeasible past
 //!   [`ARRAY_MAX_QUBITS`] (dense allocation);
+//! * **array(fuse=5)** — `G · 2^n` with `G` the greedy gate-fusion
+//!   group count at width [`FUSE_DISPATCH_WIDTH`] (mirroring
+//!   `qdt-array`'s streaming fuser): the dense kernels are
+//!   memory-bound, so each fused group costs one strided pass over the
+//!   state regardless of how many gates it absorbed. `G ≤ g`, so the
+//!   fused array never prices above the plain one, and the tie-break
+//!   order keeps the plain array when fusion merges nothing;
 //! * **stabilizer** — `g · n²/64` (word-parallel tableau row updates);
 //!   feasible only for Clifford-only circuits wider than
 //!   [`QDT404_WIDTH_THRESHOLD`] (narrow Clifford circuits stay on the
@@ -32,7 +39,7 @@
 //! matters, and ties break toward the earlier entry in
 //! [`DispatchDecision::estimates`] (exact-and-simple first).
 
-use qdt_circuit::Circuit;
+use qdt_circuit::{Circuit, OpKind};
 
 use crate::dag::CircuitDag;
 use crate::passes::{
@@ -52,6 +59,11 @@ pub const MPS_DISPATCH_BOND_CAP: usize = 64;
 /// quadratic, so this is a guard against absurd inputs, not memory).
 pub const STABILIZER_MAX_QUBITS: usize = 16_384;
 
+/// Fusion width written into the dispatched `array(fuse=N)` spec
+/// (mirrors `qdt_array::MAX_FUSE_WIDTH`; kept as a local constant so
+/// the analysis crate stays free of backend dependencies).
+pub const FUSE_DISPATCH_WIDTH: usize = 5;
+
 /// Every dataflow fact the cost model (and the reporters) consume.
 #[derive(Debug, Clone)]
 pub struct CircuitFacts {
@@ -67,6 +79,69 @@ pub struct CircuitFacts {
     pub dead_gates: usize,
     /// Non-Clifford unitary gate count.
     pub non_clifford_gates: usize,
+    /// Greedy gate-fusion group count at [`FUSE_DISPATCH_WIDTH`]
+    /// (see [`fused_group_count`]).
+    pub fused_groups: usize,
+}
+
+/// Counts the groups a width-`width` streaming greedy fuser would form
+/// over `circuit`: adjacent unconditioned gates merge while their union
+/// support stays within `width` qubits; measurements, resets, barriers,
+/// and classically conditioned gates are fusion boundaries, and a
+/// conditioned gate still costs one pass of its own.
+///
+/// This mirrors `qdt_array::Fuser` without depending on the backend
+/// crate — the cost model only needs the pass count, not the groups.
+#[must_use]
+pub fn fused_group_count(circuit: &Circuit, width: usize) -> usize {
+    let mut groups = 0usize;
+    let mut mask = 0usize;
+    for inst in circuit.iter() {
+        let support = if inst.cond.is_some() {
+            None
+        } else {
+            match &inst.kind {
+                OpKind::Unitary {
+                    target, controls, ..
+                } => {
+                    let mut m = 1usize << target;
+                    for &c in controls {
+                        m |= 1 << c;
+                    }
+                    Some(m)
+                }
+                OpKind::Swap { a, b, controls } => {
+                    let mut m = (1usize << a) | (1 << b);
+                    for &c in controls {
+                        m |= 1 << c;
+                    }
+                    Some(m)
+                }
+                OpKind::Measure { .. } | OpKind::Reset { .. } | OpKind::Barrier(_) => None,
+            }
+        };
+        match support {
+            Some(m) => {
+                let merged = mask | m;
+                if mask != 0 && width > 0 && merged.count_ones() as usize <= width {
+                    mask = merged;
+                } else {
+                    // Width overflow (or first gate): start a new group.
+                    groups += 1;
+                    mask = m;
+                }
+            }
+            None => {
+                // Boundary: the pending group flushes; a conditioned
+                // gate additionally executes as a pass of its own.
+                mask = 0;
+                if matches!(inst.kind, OpKind::Unitary { .. } | OpKind::Swap { .. }) {
+                    groups += 1;
+                }
+            }
+        }
+    }
+    groups
 }
 
 /// Gathers all dataflow facts of `circuit` in one pass bundle.
@@ -86,6 +161,7 @@ pub fn circuit_facts(circuit: &Circuit) -> CircuitFacts {
         interaction: interaction_facts(circuit),
         lightcone,
         dead_gates,
+        fused_groups: fused_group_count(circuit, FUSE_DISPATCH_WIDTH),
     }
 }
 
@@ -142,6 +218,10 @@ pub fn plan_dispatch(facts: &CircuitFacts) -> DispatchDecision {
     let log_chi = w.min(nf / 2.0);
     let chi_hat = exp2_capped(log_chi);
     let cost_array = g * exp2_capped(nf);
+    // One strided pass per fused group: the dense kernels are
+    // memory-bound, so absorbing a run of gates into one group saves
+    // the repeated sweeps, not the arithmetic.
+    let cost_array_fused = (facts.fused_groups.max(1) as f64) * exp2_capped(nf);
     let l_dd = nf.min(w + m / 2.0);
     let cost_dd = 8.0 * g * nf * exp2_capped(l_dd);
     let cost_mps = 8.0 * g2 * chi_hat.powi(3) + 4.0 * g1 * chi_hat.powi(2);
@@ -158,6 +238,11 @@ pub fn plan_dispatch(facts: &CircuitFacts) -> DispatchDecision {
         BackendCost {
             spec: "array".into(),
             cost: cost_array,
+            feasible: n <= ARRAY_MAX_QUBITS,
+        },
+        BackendCost {
+            spec: format!("array(fuse={FUSE_DISPATCH_WIDTH})"),
+            cost: cost_array_fused,
             feasible: n <= ARRAY_MAX_QUBITS,
         },
         BackendCost {
@@ -231,7 +316,53 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let qc = generators::random_clifford_t(12, 12, 0.35, &mut rng);
         let decision = dispatch_circuit(&qc);
-        assert_eq!(decision.chosen, "array", "{:?}", decision.estimates);
+        // Fusion merges adjacent gates, so the fused array undercuts
+        // the plain one on any circuit with a fusable run.
+        assert_eq!(decision.chosen, "array(fuse=5)", "{:?}", decision.estimates);
+    }
+
+    #[test]
+    fn fused_array_never_prices_above_the_plain_array() {
+        for qc in [
+            generators::bell(),
+            generators::qft(10, true),
+            generators::ghz(12),
+            generators::w_state(8),
+        ] {
+            let decision = dispatch_circuit(&qc);
+            let cost_of = |spec: &str| {
+                decision
+                    .estimates
+                    .iter()
+                    .find(|e| e.spec == spec)
+                    .expect("estimate present")
+                    .cost
+            };
+            assert!(
+                cost_of("array(fuse=5)") <= cost_of("array"),
+                "{:?}",
+                decision.estimates
+            );
+        }
+    }
+
+    #[test]
+    fn fused_group_count_respects_boundaries_and_width() {
+        // Bell fuses into one 2-qubit group.
+        assert_eq!(fused_group_count(&generators::bell(), 5), 1);
+        // fuse=0 disables merging: one pass per gate.
+        assert_eq!(fused_group_count(&generators::bell(), 0), 2);
+        // A measurement splits the stream and a conditioned gate costs
+        // its own pass.
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).cx(0, 1).measure(0, 0).x(1).c_if(0, true).h(1);
+        assert_eq!(fused_group_count(&qc, 5), 3);
+        // Six disjoint 2-qubit gates overflow width 5 after two.
+        let mut wide = Circuit::new(12);
+        for i in 0..6 {
+            wide.cx(2 * i, 2 * i + 1);
+        }
+        assert_eq!(fused_group_count(&wide, 5), 3);
     }
 
     #[test]
@@ -297,7 +428,11 @@ mod tests {
             .find(|e| e.spec == "stabilizer")
             .expect("stabilizer estimate");
         assert!(!stab.feasible);
-        assert_eq!(decision.chosen, "array", "{:?}", decision.estimates);
+        assert!(
+            decision.chosen.starts_with("array"),
+            "{:?}",
+            decision.estimates
+        );
     }
 
     #[test]
@@ -322,5 +457,7 @@ mod tests {
         assert_eq!(facts.regions.len(), 1);
         // t(2) feeds no measurement: one dead gate.
         assert_eq!(facts.dead_gates, 1);
+        // h, cx, and t all fit one width-5 group before the measure.
+        assert_eq!(facts.fused_groups, 1);
     }
 }

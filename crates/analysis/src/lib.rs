@@ -458,7 +458,7 @@ mod tests {
         assert_eq!(report.dataflow.non_clifford_gates, 1);
         assert_eq!(report.dataflow.dead_gates, 1);
         assert!(!report.dataflow.dispatch.chosen.is_empty());
-        assert_eq!(report.dataflow.dispatch.estimates.len(), 5);
+        assert_eq!(report.dataflow.dispatch.estimates.len(), 6);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use qdt_engine::{
 use qdt_parallel::KernelContext;
 use rand::RngCore;
 
+use crate::fusion::{Fuser, MAX_FUSE_WIDTH};
 use crate::{ArrayError, StateVector};
 
 /// Dense-representation width limit (mirrors [`StateVector`]'s 30-qubit
@@ -38,6 +39,10 @@ pub struct ArrayEngine {
     psi: StateVector,
     /// Kernel scheduling: thread count, fallback threshold, pool sink.
     ctx: KernelContext,
+    /// Streaming gate fuser (width 0 = fusion disabled, the default).
+    /// Unitary instructions accumulate here and are applied as fused
+    /// kernels when a boundary or a query flushes the pending group.
+    fuser: Fuser,
     /// Attached telemetry with pre-interned metric ids, if any (see
     /// [`SimulationEngine::telemetry`]).
     metrics: Option<ArrayMetrics>,
@@ -52,6 +57,9 @@ struct ArrayMetrics {
     flops: qdt_engine::telemetry::MetricId,
     bytes: qdt_engine::telemetry::MetricId,
     amplitudes: qdt_engine::telemetry::MetricId,
+    fuse_groups: qdt_engine::telemetry::MetricId,
+    fuse_width: qdt_engine::telemetry::MetricId,
+    simd: qdt_engine::telemetry::MetricId,
     mem: qdt_engine::telemetry::MemoryGauge,
 }
 
@@ -62,6 +70,9 @@ impl ArrayMetrics {
             flops: m.register("array.gate.flops"),
             bytes: m.register("array.bytes.touched"),
             amplitudes: m.register("array.amplitudes"),
+            fuse_groups: m.register("array.fuse.groups"),
+            fuse_width: m.register("array.fuse.width"),
+            simd: m.register("array.simd.dispatched"),
             mem: qdt_engine::telemetry::MemoryGauge::new(m, "array.state_vector"),
             sink,
         }
@@ -90,8 +101,35 @@ impl ArrayEngine {
         ArrayEngine {
             psi: StateVector::zero_state(1),
             ctx,
+            fuser: Fuser::new(0),
             metrics: None,
         }
+    }
+
+    /// Enables gate fusion with groups of up to `width` qubits
+    /// (`width = 0` disables fusion; this is the `fuse=` knob of the
+    /// `array(fuse=5)` engine spec). Fusion never changes results — the
+    /// fused kernels are bit-identical to unfused execution — only the
+    /// number of passes over the amplitude array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`MAX_FUSE_WIDTH`]; the engine registry
+    /// reports this as a spec error before construction.
+    #[must_use]
+    pub fn with_fusion(mut self, width: usize) -> Self {
+        assert!(
+            width <= MAX_FUSE_WIDTH,
+            "fusion width {width} exceeds the limit of {MAX_FUSE_WIDTH}"
+        );
+        self.fuser = Fuser::new(width);
+        self
+    }
+
+    /// The configured fusion width (0 = disabled).
+    #[must_use]
+    pub fn fuse_width(&self) -> usize {
+        self.fuser.width()
     }
 
     /// The kernel scheduling context in use.
@@ -99,9 +137,38 @@ impl ArrayEngine {
         &self.ctx
     }
 
-    /// Read access to the underlying state vector.
-    pub fn state(&self) -> &StateVector {
+    /// Read access to the underlying state vector, after flushing any
+    /// pending fused gates.
+    pub fn state(&mut self) -> &StateVector {
+        self.flush_fusion();
         &self.psi
+    }
+
+    /// Applies and drains the pending fused group, recording fusion
+    /// telemetry. Called by every boundary and every state query, so an
+    /// observer can never see a state with gates still buffered.
+    fn flush_fusion(&mut self) {
+        let Some(group) = self.fuser.take() else {
+            return;
+        };
+        if group.len() == 1 {
+            // A lone gate gains nothing from gather/scatter: run the
+            // plain kernel (bit-identical either way).
+            self.psi
+                .apply_instruction_with(&group.ops()[0], &self.ctx)
+                .expect("fused groups contain only unitaries");
+        } else {
+            self.psi.apply_fused_with(&group, &self.ctx);
+        }
+        for inst in group.ops() {
+            self.push_metrics(inst);
+        }
+        if let Some(metrics) = &self.metrics {
+            let m = metrics.sink.metrics();
+            m.counter_add_id(metrics.fuse_groups, 1);
+            #[allow(clippy::cast_precision_loss)]
+            m.histogram_record_id(metrics.fuse_width, group.qubits().len() as f64);
+        }
     }
 
     /// Pushes flop/byte estimates for one applied instruction into the
@@ -190,11 +257,25 @@ impl SimulationEngine for ArrayEngine {
                 what: "dense state vector",
             });
         }
+        // Discard any gates still buffered for the old register.
+        self.fuser = Fuser::new(self.fuser.width());
         self.psi = StateVector::zero_state(num_qubits.max(1));
         Ok(())
     }
 
     fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), EngineError> {
+        // With fusion enabled, unitaries accumulate until a boundary
+        // (non-unitary instruction, barrier, width overflow) or a state
+        // query flushes them as one strided pass.
+        if self.fuser.width() > 0 {
+            if self.fuser.try_push(inst) {
+                return Ok(());
+            }
+            self.flush_fusion();
+            if self.fuser.try_push(inst) {
+                return Ok(());
+            }
+        }
         self.psi
             .apply_instruction_with(inst, &self.ctx)
             .map_err(map_err)?;
@@ -210,10 +291,12 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn amplitudes(&mut self) -> Result<Vec<Complex>, EngineError> {
+        self.flush_fusion();
         Ok(self.psi.amplitudes().to_vec())
     }
 
     fn amplitude(&mut self, basis: u128) -> Result<Complex, EngineError> {
+        self.flush_fusion();
         if basis >= self.psi.amplitudes().len() as u128 {
             return Err(EngineError::Backend {
                 engine: "array",
@@ -228,6 +311,7 @@ impl SimulationEngine for ArrayEngine {
         shots: usize,
         rng: &mut dyn RngCore,
     ) -> Result<BTreeMap<u128, usize>, EngineError> {
+        self.flush_fusion();
         Ok(self
             .psi
             .sample(shots, rng)
@@ -237,6 +321,7 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn expectation(&mut self, pauli: &PauliString) -> Result<f64, EngineError> {
+        self.flush_fusion();
         check_pauli_width(self.psi.num_qubits(), pauli)?;
         Ok(self.psi.expectation_pauli(pauli))
     }
@@ -247,6 +332,7 @@ impl SimulationEngine for ArrayEngine {
         qubit: usize,
         rng: &mut dyn RngCore,
     ) -> Result<usize, EngineError> {
+        self.flush_fusion();
         if kraus.is_empty() || qubit >= self.psi.num_qubits() {
             return Err(EngineError::Backend {
                 engine: "array",
@@ -261,6 +347,7 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn probability_of_one(&mut self, qubit: usize) -> Result<f64, EngineError> {
+        self.flush_fusion();
         if qubit >= self.psi.num_qubits() {
             return Err(EngineError::Backend {
                 engine: "array",
@@ -271,6 +358,7 @@ impl SimulationEngine for ArrayEngine {
     }
 
     fn project(&mut self, qubit: usize, outcome: bool) -> Result<(), EngineError> {
+        self.flush_fusion();
         if qubit >= self.psi.num_qubits() {
             return Err(EngineError::Backend {
                 engine: "array",
@@ -299,6 +387,14 @@ impl SimulationEngine for ArrayEngine {
 
     fn telemetry(&mut self, sink: &TelemetrySink) {
         self.metrics = sink.enabled_clone().map(ArrayMetrics::new);
+        if let Some(metrics) = &self.metrics {
+            // 1 when the AVX2/FMA kernels are live, 0 on the scalar
+            // fallback (feature missing or QDT_SIMD override).
+            metrics.sink.metrics().gauge_set_id(
+                metrics.simd,
+                if crate::simd::simd_active() { 1.0 } else { 0.0 },
+            );
+        }
         // The pool records only spans and a `_us` histogram — both off
         // the deterministic gate metric stream.
         self.ctx.set_telemetry(sink);
@@ -367,6 +463,123 @@ mod tests {
         let mut par = ArrayEngine::with_context(KernelContext::with_threads(4).with_threshold(1));
         run(&mut par, &qc).unwrap();
         assert_eq!(seq.amplitudes().unwrap(), par.amplitudes().unwrap());
+    }
+
+    #[test]
+    fn fused_engine_matches_unfused_bit_for_bit() {
+        // The engine-level variant of tests/fusion_agreement.rs: same
+        // circuit, fuse=0 vs fuse=5, exact `==` on amplitudes.
+        for qc in [
+            generators::bell(),
+            generators::ghz(8),
+            generators::qft(6, true),
+        ] {
+            let mut plain = ArrayEngine::with_threads(1);
+            run(&mut plain, &qc).unwrap();
+            let mut fused = ArrayEngine::with_threads(1).with_fusion(5);
+            run(&mut fused, &qc).unwrap();
+            assert_eq!(
+                plain.amplitudes().unwrap(),
+                fused.amplitudes().unwrap(),
+                "fusion drifted on a {}-qubit circuit",
+                qc.num_qubits()
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_flushes_without_merging_across() {
+        use qdt_circuit::{Circuit, Instruction as Inst, OpKind as K};
+
+        // `run` skips barriers before they reach the engine, so drive
+        // apply_instruction directly: h(0); barrier; cx(0,1).
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        let h = qc.instructions()[0].clone();
+        let barrier = Inst::new(K::Barrier(vec![0, 1]));
+        let mut qc2 = Circuit::new(2);
+        qc2.cx(0, 1);
+        let cx = qc2.instructions()[0].clone();
+
+        let mut e = ArrayEngine::with_threads(1).with_fusion(5);
+        e.prepare(2).unwrap();
+        e.apply_instruction(&h).unwrap();
+        assert_eq!(e.fuse_width(), 5);
+        e.apply_instruction(&barrier).unwrap();
+        // The barrier flushed the pending group: the state already
+        // reflects H even before any query-triggered flush.
+        assert!((e.psi.probability(0) - 0.5).abs() < 1e-12);
+        e.apply_instruction(&cx).unwrap();
+        let amps = e.amplitudes().unwrap();
+        assert!((amps[0b00].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((amps[0b11].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_unitary_boundaries_flush_then_error() {
+        use qdt_circuit::{Instruction as Inst, OpKind as K};
+
+        let mut e = ArrayEngine::with_threads(1).with_fusion(5);
+        e.prepare(1).unwrap();
+        let mut qc = qdt_circuit::Circuit::new(1);
+        qc.x(0);
+        e.apply_instruction(&qc.instructions()[0]).unwrap();
+        let err = e
+            .apply_instruction(&Inst::new(K::Measure { qubit: 0, clbit: 0 }))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NonUnitary { .. }));
+        // The buffered X was applied before the error surfaced.
+        assert!((e.amplitude(1).unwrap().abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_telemetry_counts_groups_and_widths() {
+        use qdt_engine::run_traced;
+        use qdt_engine::telemetry::MetricValue;
+
+        let sink = TelemetrySink::new();
+        let mut e = ArrayEngine::with_threads(1).with_fusion(2);
+        // Bell fuses into one 2-qubit group; flushed by amplitudes().
+        let (_stats, _log) = run_traced(&mut e, &generators::bell(), &sink).unwrap();
+        let _ = e.amplitudes().unwrap();
+        match sink.metrics().get("array.fuse.groups") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 1, "expected one fused group"),
+            other => panic!("missing fuse.groups counter: {other:?}"),
+        }
+        match sink.metrics().get("array.fuse.width") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!((h.max - 2.0).abs() < 1e-12, "bell group spans 2 qubits");
+            }
+            other => panic!("missing fuse.width histogram: {other:?}"),
+        }
+        assert!(
+            sink.metrics().get("array.simd.dispatched").is_some(),
+            "simd gauge not registered"
+        );
+        // Gate flop totals are identical to the unfused model.
+        match sink.metrics().get("array.gate.flops") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 84),
+            other => panic!("missing flops counter: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_pending_fused_gates() {
+        use qdt_circuit::Circuit;
+
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        let mut e = ArrayEngine::with_threads(1).with_fusion(5);
+        e.prepare(2).unwrap();
+        for inst in qc.instructions() {
+            e.apply_instruction(inst).unwrap();
+        }
+        // Snapshot while the whole Bell circuit is still buffered.
+        let mut snap = e.snapshot().expect("array supports snapshots");
+        let from_snap = snap.amplitudes().unwrap();
+        let direct = e.amplitudes().unwrap();
+        assert_eq!(from_snap, direct, "snapshot lost buffered gates");
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Greedy gate fusion for the dense array backend.
+//!
+//! Adjacent unitary instructions whose combined qubit support (targets,
+//! controls, and swap operands) fits in `width ≤ 5` qubits are merged
+//! into one *fused kernel*: a single strided pass over the state vector
+//! that, for each of the `2^{n−k}` blocks spanned by the `k` fused
+//! qubits, applies every constituent gate to the block's `2^k`
+//! amplitudes while they are L1-resident (the constituents are compiled
+//! to explicit pair-offset lists up front, so the per-block loops are
+//! straight-line). One memory sweep replaces one sweep *per gate*,
+//! which is the entire win — dense gate application is memory-bound.
+//!
+//! # Exactness
+//!
+//! Fusion is **bit-identical** to unfused execution, not merely close:
+//! every constituent gate only mixes amplitudes within a block (its
+//! support is contained in the fused qubit set), and each local update
+//! runs the same floating-point expressions as the global kernels in
+//! [`crate::simd`]. The fused matrix is deliberately *not* composed —
+//! pre-multiplying the constituents in f64 would reassociate roundings
+//! and break the exact fused-vs-unfused differential tests.
+//!
+//! # Boundaries
+//!
+//! Fusion never merges across anything non-unitary: measurements,
+//! resets, classically conditioned gates, and barriers all flush the
+//! pending group (see [`Fuser::try_push`]). `tests/fusion_agreement.rs`
+//! and the unit tests below pin this, including through `split_dynamic`
+//! prefix/suffix replay in the `ShotExecutor`.
+
+use qdt_circuit::{Instruction, OpKind};
+use qdt_parallel::SharedSlice;
+
+use qdt_complex::Complex;
+
+use crate::simd::{pair_update, PairGate};
+
+/// The maximum fused-kernel width: 2⁵ amplitudes per block keep the
+/// gather buffer comfortably in L1 while already amortising the memory
+/// sweep over many gates. `array(fuse=k)` rejects anything larger.
+pub const MAX_FUSE_WIDTH: usize = 5;
+
+/// A gate lowered onto the local index space of a fused block buffer
+/// (bit `i` of a local index is the fused qubit `qubits[i]`).
+#[derive(Clone, Debug)]
+pub(crate) enum LocalOp {
+    /// A (possibly controlled) 2×2 gate on local target bit `tbit`.
+    Gate {
+        /// Unpacked 2×2 matrix.
+        g: PairGate,
+        /// Local target bit value (`1 << local_target`).
+        tbit: usize,
+        /// Local control mask.
+        cmask: usize,
+    },
+    /// A (possibly controlled) swap of two local bits.
+    Swap {
+        /// First swapped bit value.
+        abit: usize,
+        /// Second swapped bit value.
+        bbit: usize,
+        /// Local control mask.
+        cmask: usize,
+    },
+}
+
+/// A run of fusable instructions with their combined qubit support.
+#[derive(Clone, Debug)]
+pub struct FusedGroup {
+    /// The fused qubits, ascending. `len() ≤ MAX_FUSE_WIDTH`.
+    qubits: Vec<usize>,
+    /// The constituent instructions, in program order.
+    ops: Vec<Instruction>,
+}
+
+impl FusedGroup {
+    /// The fused qubits, ascending.
+    #[must_use]
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// Number of constituent instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the group holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The constituent instructions in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[Instruction] {
+        &self.ops
+    }
+
+    /// Lowers every constituent onto the local block index space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group contains a non-unitary instruction — the
+    /// [`Fuser`] never admits one, so this is an internal invariant.
+    pub(crate) fn lower(&self) -> Vec<LocalOp> {
+        let local = |q: usize| -> usize {
+            self.qubits
+                .binary_search(&q)
+                .expect("fused op acts outside the group support")
+        };
+        self.ops
+            .iter()
+            .map(|inst| match &inst.kind {
+                OpKind::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => {
+                    let m = gate.matrix();
+                    LocalOp::Gate {
+                        g: PairGate {
+                            m00: m.get(0, 0),
+                            m01: m.get(0, 1),
+                            m10: m.get(1, 0),
+                            m11: m.get(1, 1),
+                        },
+                        tbit: 1 << local(*target),
+                        cmask: controls.iter().map(|&c| 1usize << local(c)).sum(),
+                    }
+                }
+                OpKind::Swap { a, b, controls } => LocalOp::Swap {
+                    abit: 1 << local(*a),
+                    bbit: 1 << local(*b),
+                    cmask: controls.iter().map(|&c| 1usize << local(c)).sum(),
+                },
+                other => unreachable!("non-unitary op {other:?} in fused group"),
+            })
+            .collect()
+    }
+}
+
+/// The qubit-support mask of a *fusable* instruction: targets, controls,
+/// and swap operands of an unconditioned unitary. Returns `None` for
+/// everything else — measurements, resets, conditioned gates, and
+/// barriers are fusion boundaries.
+#[must_use]
+pub fn fusable_mask(inst: &Instruction) -> Option<usize> {
+    if inst.cond.is_some() {
+        return None;
+    }
+    match &inst.kind {
+        OpKind::Unitary {
+            target, controls, ..
+        } => {
+            let mut m = 1usize << target;
+            for &c in controls {
+                m |= 1 << c;
+            }
+            Some(m)
+        }
+        OpKind::Swap { a, b, controls } => {
+            let mut m = (1usize << a) | (1 << b);
+            for &c in controls {
+                m |= 1 << c;
+            }
+            Some(m)
+        }
+        OpKind::Measure { .. } | OpKind::Reset { .. } | OpKind::Barrier(_) => None,
+    }
+}
+
+/// Streaming greedy fuser: push instructions in program order; each push
+/// either absorbs the instruction into the pending group or signals that
+/// the caller must flush first.
+#[derive(Clone, Debug)]
+pub struct Fuser {
+    width: usize,
+    mask: usize,
+    ops: Vec<Instruction>,
+}
+
+impl Fuser {
+    /// A fuser merging up to `width` qubits per group (clamped to
+    /// [`MAX_FUSE_WIDTH`]; `width = 0` disables fusion entirely —
+    /// `try_push` then never absorbs anything).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Fuser {
+            width: width.min(MAX_FUSE_WIDTH),
+            mask: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The configured fusion width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of instructions currently pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Tries to absorb `inst` into the pending group. Returns `false` —
+    /// without modifying the pending group — when `inst` is a fusion
+    /// boundary (non-unitary, conditioned, or a barrier) or when adding
+    /// its support would exceed the fusion width; the caller must then
+    /// flush via [`Fuser::take`] and handle `inst` itself (retrying the
+    /// push only makes sense for width overflows).
+    pub fn try_push(&mut self, inst: &Instruction) -> bool {
+        if self.width == 0 {
+            return false;
+        }
+        let Some(mask) = fusable_mask(inst) else {
+            return false;
+        };
+        let merged = self.mask | mask;
+        if merged.count_ones() as usize > self.width {
+            return false;
+        }
+        self.mask = merged;
+        self.ops.push(inst.clone());
+        true
+    }
+
+    /// Drains the pending group, if any.
+    pub fn take(&mut self) -> Option<FusedGroup> {
+        if self.ops.is_empty() {
+            return None;
+        }
+        let mask = std::mem::take(&mut self.mask);
+        let ops = std::mem::take(&mut self.ops);
+        let qubits = (0..usize::BITS as usize)
+            .filter(|&q| mask & (1 << q) != 0)
+            .collect();
+        Some(FusedGroup { qubits, ops })
+    }
+}
+
+/// One entry of a fusion plan: a contiguous instruction span and whether
+/// it executes as a fused kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSpan {
+    /// Start index into the planned instruction list.
+    pub start: usize,
+    /// Number of instructions in the span.
+    pub len: usize,
+    /// Fused qubit support (ascending); empty for unfused boundary spans.
+    pub qubits: Vec<usize>,
+    /// `true` when the span runs as one fused kernel (width > 0 and the
+    /// span is a run of fusable instructions).
+    pub fused: bool,
+}
+
+/// Plans the fusion grouping of `insts` at the given width without
+/// executing anything — the exact grouping the engine's streaming
+/// [`Fuser`] produces, exposed for tests, the cost model, and the bench
+/// snapshot. Boundary instructions become their own unfused spans.
+#[must_use]
+pub fn plan_groups(insts: &[Instruction], width: usize) -> Vec<GroupSpan> {
+    let mut fuser = Fuser::new(width);
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let flush = |fuser: &mut Fuser, spans: &mut Vec<GroupSpan>, start: &mut usize| {
+        if let Some(group) = fuser.take() {
+            spans.push(GroupSpan {
+                start: *start,
+                len: group.len(),
+                qubits: group.qubits,
+                fused: true,
+            });
+            *start += spans.last().expect("just pushed").len;
+        }
+    };
+    for (i, inst) in insts.iter().enumerate() {
+        if fuser.try_push(inst) {
+            continue;
+        }
+        flush(&mut fuser, &mut spans, &mut start);
+        if fuser.try_push(inst) {
+            continue;
+        }
+        // A genuine boundary: its own unfused singleton span.
+        debug_assert_eq!(start, i);
+        spans.push(GroupSpan {
+            start: i,
+            len: 1,
+            qubits: Vec::new(),
+            fused: false,
+        });
+        start = i + 1;
+    }
+    flush(&mut fuser, &mut spans, &mut start);
+    spans
+}
+
+/// One constituent op compiled to an explicit pair list on the local
+/// block index space, pre-resolved to amplitude *offsets from the block
+/// base*: every partner pair that passes the op's control mask, in the
+/// same enumeration order as the global kernels in [`crate::simd`] — so
+/// replaying the list reproduces their values exactly while the
+/// per-block inner loops stay straight-line (no bit tricks, no mask
+/// checks).
+///
+/// Gates with structured matrices are specialised at planning time:
+/// diagonal constituents (Z, S, T, Rz, Phase, and every controlled
+/// phase — the bulk of the QFT and Clifford+T workloads) skip the
+/// multiplications by exact `0` and `1` of the full 2×2 expression, and
+/// `X`-shaped anti-diagonals become cross multiplies or pure moves.
+/// Dropping a `x·0` / `+0` term can only change the *sign of a zero*
+/// relative to the full expression (never a rounded value), so the
+/// specialised kernels stay exactly equal under IEEE comparison — which
+/// is what the fused-vs-unfused differential suite asserts with `==`
+/// (see DESIGN.md §16).
+#[derive(Clone, Debug)]
+pub(crate) enum PlannedOp {
+    /// Apply the full 2×2 `g` to each `(base + o0, base + o1)` pair.
+    Gate {
+        /// Unpacked 2×2 matrix.
+        g: PairGate,
+        /// Control-filtered `(offset₀, offset₁)` partner pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Diagonal gate with `m00 = 1` exactly: scale only the
+    /// `(base + o)` amplitudes with the target bit set by `m11`.
+    Phase {
+        /// The lower-right matrix entry.
+        m11: Complex,
+        /// Control-filtered offsets of the `|…1…⟩` amplitudes.
+        odds: Vec<usize>,
+    },
+    /// General diagonal gate: scale each side of the pair by its entry.
+    Diag {
+        /// The upper-left matrix entry.
+        m00: Complex,
+        /// The lower-right matrix entry.
+        m11: Complex,
+        /// Control-filtered `(offset₀, offset₁)` partner pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Anti-diagonal gate (X, Y): cross-multiply the pair.
+    AntiDiag {
+        /// The upper-right matrix entry.
+        m01: Complex,
+        /// The lower-left matrix entry.
+        m10: Complex,
+        /// Control-filtered `(offset₀, offset₁)` partner pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Swap each `(base + o0, base + o1)` amplitude pair (pure moves —
+    /// also the `X`/`CX` fast path, whose anti-diagonal is exactly 1s).
+    Swap {
+        /// Control-filtered `(offset₀, offset₁)` partner pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+}
+
+/// Compiles lowered ops into explicit pair-offset lists for a block of
+/// `2^k` amplitudes, where `offs[j]` maps local index `j` to its
+/// amplitude offset from the block base.
+pub(crate) fn plan_local(ops: &[LocalOp], offs: &[usize]) -> Vec<PlannedOp> {
+    let dim = offs.len();
+    ops.iter()
+        .map(|op| match op {
+            LocalOp::Gate { g, tbit, cmask } => {
+                // Same pair enumeration as `gate_pairs_body`: expand p
+                // around the target bit, filter on the control mask.
+                let low = tbit - 1;
+                let pairs: Vec<(usize, usize)> = (0..dim >> 1)
+                    .filter_map(|p| {
+                        let i0 = ((p & !low) << 1) | (p & low);
+                        (i0 & cmask == *cmask).then(|| (offs[i0], offs[i0 | tbit]))
+                    })
+                    .collect();
+                let zero = |c: Complex| c.re == 0.0 && c.im == 0.0;
+                let one = |c: Complex| c.re == 1.0 && c.im == 0.0;
+                if zero(g.m01) && zero(g.m10) {
+                    if one(g.m00) {
+                        PlannedOp::Phase {
+                            m11: g.m11,
+                            odds: pairs.into_iter().map(|(_, o1)| o1).collect(),
+                        }
+                    } else {
+                        PlannedOp::Diag {
+                            m00: g.m00,
+                            m11: g.m11,
+                            pairs,
+                        }
+                    }
+                } else if zero(g.m00) && zero(g.m11) {
+                    if one(g.m01) && one(g.m10) {
+                        PlannedOp::Swap { pairs }
+                    } else {
+                        PlannedOp::AntiDiag {
+                            m01: g.m01,
+                            m10: g.m10,
+                            pairs,
+                        }
+                    }
+                } else {
+                    PlannedOp::Gate { g: *g, pairs }
+                }
+            }
+            LocalOp::Swap { abit, bbit, cmask } => {
+                // Mirror of `StateVector::apply_swap_with`, on local
+                // indices: enumerate the dim/4 settings of the other
+                // bits and pair the |…0a…1b…⟩ / |…1a…0b…⟩ partners.
+                let lo_low = *abit.min(bbit) - 1;
+                let hi_low = *abit.max(bbit) - 1;
+                let pairs = (0..dim >> 2)
+                    .filter_map(|q| {
+                        let x = ((q & !lo_low) << 1) | (q & lo_low);
+                        let base = ((x & !hi_low) << 1) | (x & hi_low);
+                        (base & cmask == *cmask).then(|| (offs[base | abit], offs[base | bbit]))
+                    })
+                    .collect();
+                PlannedOp::Swap { pairs }
+            }
+        })
+        .collect()
+}
+
+/// Applies the planned ops to every fused block in `range`, updating
+/// the shared amplitude slice in place. Dispatches the whole chunk to
+/// one AVX2+FMA-compiled instantiation when `simd` is true (each
+/// `mul_add` inlines to a fused `vfmadd` instead of a libm call), and
+/// to the plain scalar instantiation otherwise — both run the same
+/// expressions in the same order, so the bits agree either way.
+pub(crate) fn run_fused_blocks(
+    amps: &SharedSlice<'_, Complex>,
+    range: core::ops::Range<usize>,
+    qubits: &[usize],
+    plans: &[PlannedOp],
+    simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after a runtime AVX2+FMA check
+        // (see `crate::simd::simd_active`).
+        #[allow(unsafe_code)]
+        unsafe {
+            return fused_blocks_avx2(amps, range, qubits, plans);
+        }
+    }
+    let _ = simd;
+    fused_blocks_body(amps, range, qubits, plans);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(unsafe_code)]
+unsafe fn fused_blocks_avx2(
+    amps: &SharedSlice<'_, Complex>,
+    range: core::ops::Range<usize>,
+    qubits: &[usize],
+    plans: &[PlannedOp],
+) {
+    fused_blocks_body(amps, range, qubits, plans);
+}
+
+/// The shared per-block loop: expand the block number to its base
+/// amplitude index, then stream every planned pair update directly on
+/// the strided working set (≤ 2^5 cache lines, L1-resident across all
+/// constituent ops — that locality is the entire point of fusion).
+#[inline(always)]
+fn fused_blocks_body(
+    amps: &SharedSlice<'_, Complex>,
+    range: core::ops::Range<usize>,
+    qubits: &[usize],
+    plans: &[PlannedOp],
+) {
+    for b in range {
+        // Insert a zero at each fused qubit position (ascending).
+        let mut base = b;
+        for &q in qubits {
+            let low = (1usize << q) - 1;
+            base = ((base & !low) << 1) | (base & low);
+        }
+        // SAFETY: block b owns exactly the indices base + offs[j]
+        // (distinct blocks have disjoint index sets), and every planned
+        // offset is one of the offs[j].
+        #[allow(unsafe_code)]
+        unsafe {
+            for plan in plans {
+                match plan {
+                    PlannedOp::Gate { g, pairs } => {
+                        for &(o0, o1) in pairs {
+                            let (b0, b1) = pair_update(g, amps.get(base + o0), amps.get(base + o1));
+                            amps.set(base + o0, b0);
+                            amps.set(base + o1, b1);
+                        }
+                    }
+                    PlannedOp::Phase { m11, odds } => {
+                        for &o in odds {
+                            amps.set(base + o, m11.mul_fma(amps.get(base + o)));
+                        }
+                    }
+                    PlannedOp::Diag { m00, m11, pairs } => {
+                        for &(o0, o1) in pairs {
+                            amps.set(base + o0, m00.mul_fma(amps.get(base + o0)));
+                            amps.set(base + o1, m11.mul_fma(amps.get(base + o1)));
+                        }
+                    }
+                    PlannedOp::AntiDiag { m01, m10, pairs } => {
+                        for &(o0, o1) in pairs {
+                            let b0 = m01.mul_fma(amps.get(base + o1));
+                            let b1 = m10.mul_fma(amps.get(base + o0));
+                            amps.set(base + o0, b0);
+                            amps.set(base + o1, b1);
+                        }
+                    }
+                    PlannedOp::Swap { pairs } => {
+                        for &(o0, o1) in pairs {
+                            let tmp = amps.get(base + o0);
+                            amps.set(base + o0, amps.get(base + o1));
+                            amps.set(base + o1, tmp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_circuit::Circuit;
+
+    fn ghz_with_barrier() -> Circuit {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1);
+        qc.barrier();
+        qc.cx(1, 2);
+        qc
+    }
+
+    #[test]
+    fn fusion_never_merges_across_a_barrier() {
+        let qc = ghz_with_barrier();
+        let spans = plan_groups(qc.instructions(), 5);
+        // [h, cx] | barrier | [cx]
+        assert_eq!(spans.len(), 3);
+        assert!(spans[0].fused && spans[0].len == 2);
+        assert!(!spans[1].fused && spans[1].len == 1, "barrier fused");
+        assert!(spans[2].fused && spans[2].len == 1);
+    }
+
+    #[test]
+    fn fusion_never_merges_across_measure_reset_or_c_if() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0);
+        qc.measure(0, 0);
+        qc.x(1);
+        qc.reset(0);
+        qc.h(1);
+        qc.x(0).c_if(0, true);
+        qc.h(0);
+        let spans = plan_groups(qc.instructions(), 5);
+        let fused: Vec<bool> = spans.iter().map(|s| s.fused).collect();
+        // h | measure | x | reset | h | c_if x | h — nothing merges across
+        // any dynamic boundary.
+        assert_eq!(
+            fused,
+            [true, false, true, false, true, false, true],
+            "{spans:?}"
+        );
+        assert!(spans.iter().all(|s| s.len == 1));
+    }
+
+    #[test]
+    fn width_overflow_starts_a_new_group() {
+        let mut qc = Circuit::new(4);
+        qc.h(0).h(1).h(2).h(3);
+        let spans = plan_groups(qc.instructions(), 2);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].len, spans[1].len), (2, 2));
+        assert_eq!(spans[0].qubits, vec![0, 1]);
+        assert_eq!(spans[1].qubits, vec![2, 3]);
+    }
+
+    #[test]
+    fn width_zero_disables_fusion() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).h(1);
+        let spans = plan_groups(qc.instructions(), 0);
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| !s.fused && s.len == 1));
+    }
+
+    #[test]
+    fn split_dynamic_prefixes_fuse_independently_of_suffixes() {
+        // A dynamic circuit: the static prefix must produce the same plan
+        // as planning the prefix in isolation — fusion state cannot leak
+        // across the measure into the suffix.
+        let mut qc = Circuit::with_clbits(3, 1);
+        qc.h(0).cx(0, 1).t(1);
+        qc.measure(1, 0);
+        qc.h(2).cx(1, 2);
+        let (prefix, suffix) = qc.split_dynamic();
+        let full = plan_groups(qc.instructions(), 5);
+        let pre = plan_groups(prefix.instructions(), 5);
+        let suf = plan_groups(suffix, 5);
+        // Prefix plan is a prefix of the full plan…
+        assert_eq!(&full[..pre.len()], &pre[..]);
+        // …and the suffix replans from scratch (its first span does not
+        // extend a prefix group).
+        assert_eq!(suf[0].start, 0);
+        assert!(pre.iter().all(|s| s.fused));
+        assert!(!full[pre.len()].fused, "measure must be a boundary");
+    }
+
+    #[test]
+    fn conditioned_gates_are_boundaries_even_when_unitary_shaped() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.x(0).c_if(0, true);
+        let inst = &qc.instructions()[0];
+        assert_eq!(fusable_mask(inst), None);
+        let mut fuser = Fuser::new(5);
+        assert!(!fuser.try_push(inst));
+        assert!(fuser.take().is_none());
+    }
+
+    #[test]
+    fn groups_report_sorted_support() {
+        let mut qc = Circuit::new(6);
+        qc.cx(4, 1).h(3);
+        let mut fuser = Fuser::new(5);
+        for inst in qc.instructions() {
+            assert!(fuser.try_push(inst));
+        }
+        let group = fuser.take().expect("pending group");
+        assert_eq!(group.qubits(), &[1, 3, 4]);
+        assert_eq!(group.len(), 2);
+    }
+}

@@ -36,12 +36,16 @@
 
 mod density;
 mod engine;
+pub mod fusion;
+pub mod simd;
 mod simulator;
 mod state;
 mod unitary;
 
 pub use density::{DensityMatrix, NoiseChannel, NoiseModel};
 pub use engine::ArrayEngine;
+pub use fusion::{plan_groups, FusedGroup, Fuser, GroupSpan, MAX_FUSE_WIDTH};
+pub use simd::simd_active;
 pub use simulator::{ArraySimulator, RunResult};
 pub use state::StateVector;
 pub use unitary::{circuit_unitary, instruction_unitary};

@@ -1,0 +1,431 @@
+//! Runtime-dispatched SIMD kernels for the dense gate loops.
+//!
+//! The hot path of the array backend is the pair loop of
+//! [`StateVector::apply_controlled_gate_with`](crate::StateVector::apply_controlled_gate_with):
+//! for every amplitude pair `(a0, a1)` it computes
+//!
+//! ```text
+//! b0 = m00·a0 + m01·a1
+//! b1 = m10·a0 + m11·a1
+//! ```
+//!
+//! This module provides two interchangeable implementations of that loop
+//! and a runtime dispatcher:
+//!
+//! * an explicit `std::arch` AVX2/FMA kernel — complex multiplication as
+//!   shuffle + `vfmaddsub231pd`, two amplitude pairs per iteration when
+//!   the target stride allows contiguous loads;
+//! * a scalar fallback built on [`Complex::mul_fma`], which performs the
+//!   *identical* floating-point operation sequence per lane (one rounded
+//!   cross-product, one single-rounded fused multiply-add per component).
+//!
+//! Because both paths round every intermediate the same way, scalar and
+//! vector execution are **bit-identical** — `tests/fusion_agreement.rs`
+//! enforces this with exact `==` comparisons under the `QDT_SIMD=scalar`
+//! override. Dispatch therefore never affects results, only speed.
+//!
+//! # Dispatch
+//!
+//! [`simd_active`] returns `true` only when the CPU reports AVX2 *and*
+//! FMA at runtime (cached after the first query) and the `QDT_SIMD`
+//! environment variable does not force the scalar path (`scalar`, `off`,
+//! or `0`). Non-x86_64 builds always take the scalar path.
+
+use std::ops::Range;
+
+use qdt_complex::Complex;
+use qdt_parallel::SharedSlice;
+
+/// Environment variable overriding SIMD dispatch; set to `scalar`,
+/// `off`, or `0` to force the scalar kernels (used by the CI
+/// scalar-fallback job and the bit-identity tests).
+pub const SIMD_ENV: &str = "QDT_SIMD";
+
+/// Whether the vectorized kernels will be used for the next gate
+/// application: AVX2+FMA detected at runtime and not overridden via
+/// [`SIMD_ENV`].
+#[must_use]
+pub fn simd_active() -> bool {
+    !forced_scalar() && avx2_fma_available()
+}
+
+/// `true` when [`SIMD_ENV`] requests the scalar path.
+fn forced_scalar() -> bool {
+    std::env::var(SIMD_ENV).is_ok_and(|v| {
+        let v = v.trim().to_ascii_lowercase();
+        v == "scalar" || v == "off" || v == "0"
+    })
+}
+
+/// Cached runtime CPU-feature check for AVX2 + FMA.
+fn avx2_fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The four entries of a 2×2 gate, unpacked for the pair kernels.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PairGate {
+    /// Row 0: `b0 = m00·a0 + m01·a1`.
+    pub m00: Complex,
+    /// Row 0, column 1.
+    pub m01: Complex,
+    /// Row 1: `b1 = m10·a0 + m11·a1`.
+    pub m10: Complex,
+    /// Row 1, column 1.
+    pub m11: Complex,
+}
+
+/// One pair update with the canonical FP operation order shared by the
+/// scalar and AVX2 kernels: per output component, one rounded
+/// cross-product, one fused multiply-add ([`Complex::mul_fma`]), and a
+/// plain component-wise add between the two column contributions.
+#[inline(always)]
+pub(crate) fn pair_update(g: &PairGate, a0: Complex, a1: Complex) -> (Complex, Complex) {
+    (
+        g.m00.mul_fma(a0) + g.m01.mul_fma(a1),
+        g.m10.mul_fma(a0) + g.m11.mul_fma(a1),
+    )
+}
+
+/// Applies `g` to every amplitude pair `p` in `range` of the global
+/// pair enumeration: `i0 = ((p & !(tbit−1)) << 1) | (p & (tbit−1))`,
+/// `i1 = i0 | tbit`, skipping pairs whose controls (`cmask`) are not
+/// all |1⟩. Dispatches to the AVX2 kernel when `simd` is `true` (the
+/// caller must have checked [`simd_active`]); both paths are
+/// bit-identical.
+///
+/// Each `p` owns the disjoint index set `{i0, i1}`, so concurrent calls
+/// over disjoint ranges uphold the [`SharedSlice`] contract.
+pub(crate) fn apply_gate_pairs(
+    amps: &SharedSlice<'_, Complex>,
+    range: Range<usize>,
+    tbit: usize,
+    cmask: usize,
+    g: &PairGate,
+    simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after a runtime AVX2+FMA check.
+        #[allow(unsafe_code)]
+        unsafe {
+            avx2::gate_pairs(amps, range, tbit, cmask, g);
+        }
+        return;
+    }
+    let _ = simd;
+    gate_pairs_body(amps, range, tbit, cmask, g);
+}
+
+/// The scalar pair loop, shared verbatim between the plain fallback and
+/// the AVX2 kernel's controlled/remainder paths. `#[inline(always)]` so
+/// that when instantiated inside a `target_feature(avx2,fma)` function
+/// the `mul_add` calls compile to `vfmadd` instructions, while the plain
+/// instantiation rounds identically through the soft `fma` routine.
+#[inline(always)]
+fn gate_pairs_body(
+    amps: &SharedSlice<'_, Complex>,
+    range: Range<usize>,
+    tbit: usize,
+    cmask: usize,
+    g: &PairGate,
+) {
+    let low = tbit - 1;
+    for p in range {
+        let i0 = ((p & !low) << 1) | (p & low);
+        if i0 & cmask == cmask {
+            let i1 = i0 | tbit;
+            // SAFETY: pair `p` owns exactly the indices {i0, i1}; the
+            // caller partitions `p` disjointly across workers.
+            #[allow(unsafe_code)]
+            unsafe {
+                let a0 = amps.get(i0);
+                let a1 = amps.get(i1);
+                let (b0, b1) = pair_update(g, a0, a1);
+                amps.set(i0, b0);
+                amps.set(i1, b1);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The explicit AVX2/FMA instantiation of the pair loop.
+    //!
+    //! Layout: a `__m256d` holds two consecutive `Complex` values as
+    //! `[z0.re, z0.im, z1.re, z1.im]`. A complex product `m·z` with `m`
+    //! broadcast per lane pair is
+    //!
+    //! ```text
+    //! swap  = permute(z, 0b0101)          // [im, re] per complex
+    //! cross = m_im ⊙ swap                 // one rounded multiply
+    //! out   = fmaddsub(m_re, z, cross)    // even: fma(−), odd: fma(+)
+    //! ```
+    //!
+    //! which rounds exactly like [`Complex::mul_fma`] per lane.
+
+    use super::{gate_pairs_body, PairGate};
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_fmaddsub_pd, _mm256_loadu_pd, _mm256_mul_pd,
+        _mm256_permute2f128_pd, _mm256_permute_pd, _mm256_set1_pd, _mm256_set_pd, _mm256_storeu_pd,
+    };
+
+    use qdt_complex::Complex;
+    use qdt_parallel::SharedSlice;
+    use std::ops::Range;
+
+    /// `m·z` per 128-bit complex lane; `m_re`/`m_im` hold the real and
+    /// imaginary parts of the multiplier duplicated across each lane.
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    unsafe fn cmul(m_re: __m256d, m_im: __m256d, z: __m256d) -> __m256d {
+        // SAFETY: pure register arithmetic; caller guarantees AVX2+FMA.
+        unsafe {
+            let swapped = _mm256_permute_pd(z, 0b0101);
+            _mm256_fmaddsub_pd(m_re, z, _mm256_mul_pd(m_im, swapped))
+        }
+    }
+
+    /// The AVX2/FMA pair kernel. See [`super::apply_gate_pairs`] for the
+    /// index contract.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA (runtime-checked by the
+    /// dispatcher), and the caller must own every pair in `range`.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(unsafe_code)]
+    pub(super) unsafe fn gate_pairs(
+        amps: &SharedSlice<'_, Complex>,
+        range: Range<usize>,
+        tbit: usize,
+        cmask: usize,
+        g: &PairGate,
+    ) {
+        if cmask != 0 {
+            // Controlled gates touch a sparse, stride-dependent subset of
+            // pairs; run the shared scalar body — inlined here, so the
+            // `mul_add` calls still compile to `vfmadd` instructions.
+            gate_pairs_body(amps, range, tbit, cmask, g);
+            return;
+        }
+        if tbit >= 2 {
+            // SAFETY: target feature proven by the caller.
+            unsafe { gate_pairs_strided(amps, range, tbit, g) };
+        } else {
+            // SAFETY: as above.
+            unsafe { gate_pairs_interleaved(amps, range, g) };
+        }
+    }
+
+    /// Target qubit ≥ 1: `i0(p)` and `i0(p+1)` are consecutive whenever
+    /// `p` is even (pairs never straddle a `tbit` block boundary), so two
+    /// amplitude pairs are processed per iteration with contiguous
+    /// 256-bit loads at `i0` and `i1`.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(unsafe_code)]
+    unsafe fn gate_pairs_strided(
+        amps: &SharedSlice<'_, Complex>,
+        range: Range<usize>,
+        tbit: usize,
+        g: &PairGate,
+    ) {
+        let low = tbit - 1;
+        let base = amps.as_mut_ptr().cast::<f64>();
+        let mut p = range.start;
+        // Odd-aligned prologue: one scalar pair, bit-identical by the
+        // shared `pair_update` operation order.
+        if p < range.end && p & 1 == 1 {
+            gate_pairs_body(amps, p..p + 1, tbit, 0, g);
+            p += 1;
+        }
+        let m00_re = _mm256_set1_pd(g.m00.re);
+        let m00_im = _mm256_set1_pd(g.m00.im);
+        let m01_re = _mm256_set1_pd(g.m01.re);
+        let m01_im = _mm256_set1_pd(g.m01.im);
+        let m10_re = _mm256_set1_pd(g.m10.re);
+        let m10_im = _mm256_set1_pd(g.m10.im);
+        let m11_re = _mm256_set1_pd(g.m11.re);
+        let m11_im = _mm256_set1_pd(g.m11.im);
+        while p + 2 <= range.end {
+            let i0 = ((p & !low) << 1) | (p & low);
+            let i1 = i0 | tbit;
+            // SAFETY: pairs p and p+1 own {i0, i0+1, i1, i1+1}; the
+            // 4-f64 loads/stores stay inside those two complex slots.
+            unsafe {
+                let v0 = _mm256_loadu_pd(base.add(2 * i0));
+                let v1 = _mm256_loadu_pd(base.add(2 * i1));
+                let b0 = _mm256_add_pd(cmul(m00_re, m00_im, v0), cmul(m01_re, m01_im, v1));
+                let b1 = _mm256_add_pd(cmul(m10_re, m10_im, v0), cmul(m11_re, m11_im, v1));
+                _mm256_storeu_pd(base.add(2 * i0), b0);
+                _mm256_storeu_pd(base.add(2 * i1), b1);
+            }
+            p += 2;
+        }
+        if p < range.end {
+            gate_pairs_body(amps, p..range.end, tbit, 0, g);
+        }
+    }
+
+    /// Target qubit 0: `(a0, a1)` of pair `p` sit interleaved at indices
+    /// `2p, 2p+1`, so one 256-bit load covers the whole pair; the matrix
+    /// columns are pre-broadcast as `[m00, m10]` / `[m01, m11]` vectors.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(unsafe_code)]
+    unsafe fn gate_pairs_interleaved(
+        amps: &SharedSlice<'_, Complex>,
+        range: Range<usize>,
+        g: &PairGate,
+    ) {
+        let base = amps.as_mut_ptr().cast::<f64>();
+        // Column vectors: lanes 0-1 apply row 0, lanes 2-3 row 1.
+        // `_mm256_set_pd` takes lanes high→low.
+        let c0_re = _mm256_set_pd(g.m10.re, g.m10.re, g.m00.re, g.m00.re);
+        let c0_im = _mm256_set_pd(g.m10.im, g.m10.im, g.m00.im, g.m00.im);
+        let c1_re = _mm256_set_pd(g.m11.re, g.m11.re, g.m01.re, g.m01.re);
+        let c1_im = _mm256_set_pd(g.m11.im, g.m11.im, g.m01.im, g.m01.im);
+        for p in range {
+            // SAFETY: pair p owns complex slots 2p and 2p+1 — exactly
+            // the four f64 lanes loaded and stored here.
+            unsafe {
+                let v = _mm256_loadu_pd(base.add(4 * p));
+                let a0 = _mm256_permute2f128_pd(v, v, 0x00); // [a0, a0]
+                let a1 = _mm256_permute2f128_pd(v, v, 0x11); // [a1, a1]
+                let b = _mm256_add_pd(cmul(c0_re, c0_im, a0), cmul(c1_re, c1_im, a1));
+                _mm256_storeu_pd(base.add(4 * p), b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdt_parallel::SharedSlice;
+
+    /// A deterministic, well-spread set of test amplitudes.
+    fn amps(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64).mul_add(0.618_033_988_749_894_9, 0.1).fract();
+                Complex::cis(x * 6.0).scale(0.5 + x)
+            })
+            .collect()
+    }
+
+    fn sample_gate() -> PairGate {
+        let c = std::f64::consts::FRAC_1_SQRT_2;
+        PairGate {
+            m00: Complex::new(c, 0.1),
+            m01: Complex::new(0.3, -c),
+            m10: Complex::new(-0.2, c),
+            m11: Complex::new(c, 0.4),
+        }
+    }
+
+    /// The real guarantee behind `QDT_SIMD=scalar` bit-identity: run the
+    /// same pair loop through both implementations and compare bits.
+    #[test]
+    fn avx2_and_scalar_paths_are_bit_identical() {
+        if !simd_active() {
+            return; // nothing to compare on this host
+        }
+        let g = sample_gate();
+        for target in 0..5usize {
+            let tbit = 1usize << target;
+            let mut scalar = amps(64);
+            let mut vector = scalar.clone();
+            let pairs = scalar.len() >> 1;
+            apply_gate_pairs(&SharedSlice::new(&mut scalar), 0..pairs, tbit, 0, &g, false);
+            apply_gate_pairs(&SharedSlice::new(&mut vector), 0..pairs, tbit, 0, &g, true);
+            assert!(
+                scalar == vector,
+                "target {target}: SIMD drifted from scalar"
+            );
+        }
+    }
+
+    /// Ranges with odd boundaries exercise the prologue/epilogue scalar
+    /// remainder of the strided kernel.
+    #[test]
+    fn misaligned_ranges_match_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let g = sample_gate();
+        let tbit = 4usize; // target 2
+        for (start, end) in [(1usize, 8usize), (0, 7), (3, 4), (1, 2)] {
+            let mut scalar = amps(32);
+            let mut vector = scalar.clone();
+            apply_gate_pairs(
+                &SharedSlice::new(&mut scalar),
+                start..end,
+                tbit,
+                0,
+                &g,
+                false,
+            );
+            apply_gate_pairs(
+                &SharedSlice::new(&mut vector),
+                start..end,
+                tbit,
+                0,
+                &g,
+                true,
+            );
+            assert!(scalar == vector, "range {start}..{end} drifted");
+        }
+    }
+
+    /// Controlled gates take the shared scalar body on both paths.
+    #[test]
+    fn controlled_pairs_match_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let g = sample_gate();
+        let mut scalar = amps(32);
+        let mut vector = scalar.clone();
+        let pairs = scalar.len() >> 1;
+        // target 0, control on qubit 2.
+        apply_gate_pairs(&SharedSlice::new(&mut scalar), 0..pairs, 1, 4, &g, false);
+        apply_gate_pairs(&SharedSlice::new(&mut vector), 0..pairs, 1, 4, &g, true);
+        assert!(scalar == vector, "controlled kernel drifted");
+    }
+
+    #[test]
+    fn env_override_forces_the_scalar_path() {
+        // Serialise against nothing: this is the only test in the crate
+        // touching QDT_SIMD.
+        std::env::set_var(SIMD_ENV, "scalar");
+        assert!(!simd_active());
+        std::env::set_var(SIMD_ENV, "0");
+        assert!(!simd_active());
+        std::env::set_var(SIMD_ENV, "auto");
+        assert_eq!(simd_active(), avx2_fma_available());
+        std::env::remove_var(SIMD_ENV);
+    }
+
+    #[test]
+    fn pair_update_matches_the_documented_expression() {
+        let g = sample_gate();
+        let a0 = Complex::new(0.25, -0.5);
+        let a1 = Complex::new(-0.75, 0.125);
+        let (b0, b1) = pair_update(&g, a0, a1);
+        assert_eq!(b0, g.m00.mul_fma(a0) + g.m01.mul_fma(a1));
+        assert_eq!(b1, g.m10.mul_fma(a0) + g.m11.mul_fma(a1));
+    }
+}

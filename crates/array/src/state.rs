@@ -295,31 +295,70 @@ impl StateVector {
             cmask |= 1 << c;
         }
         let tbit = 1usize << target;
-        let m00 = gate.get(0, 0);
-        let m01 = gate.get(0, 1);
-        let m10 = gate.get(1, 0);
-        let m11 = gate.get(1, 1);
+        let g = crate::simd::PairGate {
+            m00: gate.get(0, 0),
+            m01: gate.get(0, 1),
+            m10: gate.get(1, 0),
+            m11: gate.get(1, 1),
+        };
         let pairs = self.amps.len() >> 1;
+        let simd = crate::simd::simd_active();
         // Pair p < dim/2 expands to its 0-side index by inserting a zero
-        // at the target bit: distinct p yield disjoint {i0, i1} sets.
-        let low = tbit - 1;
+        // at the target bit: distinct p yield disjoint {i0, i1} sets, so
+        // any partition of the pair range satisfies the SharedSlice
+        // contract. The per-pair arithmetic lives in `crate::simd`, whose
+        // scalar and AVX2 paths are bit-identical.
         let amps = SharedSlice::new(&mut self.amps);
         ctx.run(pairs, 1, &|range| {
-            for p in range {
-                let i0 = ((p & !low) << 1) | (p & low);
-                if i0 & cmask == cmask {
-                    let i1 = i0 | tbit;
-                    // SAFETY: each pair index is claimed by exactly one
-                    // chunk and maps to indices no other pair touches.
-                    #[allow(unsafe_code)]
-                    unsafe {
-                        let a0 = amps.get(i0);
-                        let a1 = amps.get(i1);
-                        amps.set(i0, m00 * a0 + m01 * a1);
-                        amps.set(i1, m10 * a0 + m11 * a1);
-                    }
-                }
-            }
+            crate::simd::apply_gate_pairs(&amps, range, tbit, cmask, &g, simd);
+        });
+    }
+
+    /// Applies a fused group as one strided pass: for every setting of
+    /// the non-fused qubits, gather the `2^k` block amplitudes spanned by
+    /// `group.qubits()`, run each constituent gate on the local buffer,
+    /// and scatter the block back. Blocks are disjoint, so the pass
+    /// partitions across workers exactly like the plain kernels and stays
+    /// bit-identical across thread counts — and because each constituent
+    /// performs the same per-pair arithmetic as its unfused kernel,
+    /// fused and unfused execution agree bit-for-bit too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty, acts on out-of-range qubits, or is
+    /// wider than [`crate::fusion::MAX_FUSE_WIDTH`].
+    pub fn apply_fused_with(&mut self, group: &crate::fusion::FusedGroup, ctx: &KernelContext) {
+        use crate::fusion::MAX_FUSE_WIDTH;
+        let qubits = group.qubits();
+        let k = qubits.len();
+        assert!(!group.is_empty(), "empty fused group");
+        assert!(k <= MAX_FUSE_WIDTH, "fused group too wide");
+        assert!(
+            qubits.iter().all(|&q| q < self.num_qubits),
+            "fused qubit out of range"
+        );
+        let ops = group.lower();
+        let k_dim = 1usize << k;
+        let blocks = self.amps.len() >> k;
+        // Local index j → amplitude offset from the block base: bit i of
+        // j is fused qubit qubits[i].
+        let offs: Vec<usize> = (0..k_dim)
+            .map(|j| {
+                qubits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| ((j >> i) & 1) << q)
+                    .sum()
+            })
+            .collect();
+        // Compile each constituent to its control-filtered pair-offset
+        // list once; the per-block loops then carry no bit arithmetic.
+        let plans = crate::fusion::plan_local(&ops, &offs);
+        let simd = crate::simd::simd_active();
+        let amps = SharedSlice::new(&mut self.amps);
+        // Weight: each block touches 2^k amplitudes per constituent op.
+        ctx.run(blocks, k_dim * group.len(), &|range| {
+            crate::fusion::run_fused_blocks(&amps, range, qubits, &plans, simd);
         });
     }
 

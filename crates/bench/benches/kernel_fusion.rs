@@ -1,0 +1,54 @@
+//! Gate fusion: wall-clock of the fused dense kernels (`array(fuse=5)`)
+//! against the plain per-gate passes, on the three headline workloads
+//! of `BENCH_kernels.json` — deep QFT (memory-bound, long fusable runs),
+//! random Clifford+T (structured matrices, CX-heavy), and a dense
+//! random-unitary volume (every matrix entry nonzero). The amplitudes
+//! are IEEE-equal between the two specs (pinned by
+//! `tests/fusion_agreement.rs`), so this measures pass-count reduction
+//! alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdt::circuit::{generators, Circuit};
+use qdt::engine::run;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workloads() -> Vec<(&'static str, Circuit)> {
+    let mut ct_rng = StdRng::seed_from_u64(0xF05E);
+    let mut dr_rng = StdRng::seed_from_u64(0xDE45);
+    vec![
+        ("qft-20", generators::qft(20, true)),
+        (
+            "clifford-t-18",
+            generators::random_clifford_t(18, 24, 0.3, &mut ct_rng),
+        ),
+        (
+            "dense-random-12",
+            generators::random_circuit(12, 16, &mut dr_rng),
+        ),
+    ]
+}
+
+fn bench_kernel_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_kernel_fusion");
+    group.sample_size(10);
+    for (name, qc) in workloads() {
+        for spec in ["array", "array(fuse=5)"] {
+            group.bench_with_input(
+                BenchmarkId::new(name, spec),
+                &(spec, &qc),
+                |b, (spec, qc)| {
+                    b.iter(|| {
+                        let mut e = qdt::create_engine(spec).expect("spec builds");
+                        run(e.as_mut(), qc).expect("simulates");
+                        e.amplitude(0).expect("flushes and reads")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_fusion);
+criterion_main!(benches);

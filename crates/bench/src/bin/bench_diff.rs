@@ -220,7 +220,11 @@ mod tests {
         // The real gate: every committed BENCH_*.json must diff clean
         // against itself (exercises the full parse → diff pipeline on
         // production data).
-        for name in ["BENCH_telemetry.json", "BENCH_stabilizer.json"] {
+        for name in [
+            "BENCH_telemetry.json",
+            "BENCH_stabilizer.json",
+            "BENCH_kernels.json",
+        ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             if let Ok(text) = std::fs::read_to_string(&path) {
                 let doc = parse(&text).unwrap();

@@ -174,6 +174,9 @@ fn run_repro() {
     if want("stabilizer") || want("stabilizer_scaling") {
         stabilizer_scaling(snapshot_path.as_deref());
     }
+    if want("kernels") || want("kernel_fusion") {
+        kernel_fusion(snapshot_path.as_deref());
+    }
     if want("c9") {
         c9_approximation();
     }
@@ -643,6 +646,149 @@ fn stabilizer_scaling(snapshot_path: Option<&str>) {
     }
     println!("(exponential backends stop near 30 qubits; the tableau holds the");
     println!(" same GHZ state in {words} machine words and samples it exactly)");
+}
+
+/// Kernel fusion: the fused dense kernels against the plain ones on
+/// the three headline workloads (QFT-20, random Clifford+T-18, dense
+/// random-12). Amplitude `0` is compared exactly between the fused and
+/// unfused runs, the fused QFT-20 must win on wall-clock, and with
+/// `--snapshot <file>` the deterministic integers (gate counts, fused
+/// group counts, width-histogram totals — never timings) are written
+/// for CI to diff against the committed `BENCH_kernels.json`.
+fn kernel_fusion(snapshot_path: Option<&str>) {
+    use qdt::telemetry::MetricValue;
+    use qdt::TelemetrySink;
+
+    header("Kernel fusion — fused vs unfused dense state-vector kernels");
+
+    const FUSE_WIDTH: usize = 5;
+    let mut ct_rng = StdRng::seed_from_u64(0xF05E);
+    let mut dr_rng = StdRng::seed_from_u64(0xDE45);
+    let workloads: Vec<(&str, qdt::circuit::Circuit)> = vec![
+        ("qft-20", generators::qft(20, true)),
+        (
+            "clifford-t-18",
+            generators::random_clifford_t(18, 24, 0.3, &mut ct_rng),
+        ),
+        (
+            "dense-random-12",
+            generators::random_circuit(12, 16, &mut dr_rng),
+        ),
+    ];
+
+    // One timed run: build, simulate, read amplitude 0 (which flushes
+    // any pending fused group). Returns (amplitude, seconds).
+    let timed_run = |spec: &str, qc: &qdt::circuit::Circuit| {
+        let mut e = qdt::create_engine(spec).expect("spec builds");
+        timed(|| {
+            run(e.as_mut(), qc).expect("simulates");
+            e.amplitude(0).expect("single amplitude")
+        })
+    };
+    // Best-of-3 wall clock, so one scheduler hiccup cannot flip the
+    // fused-vs-unfused comparison.
+    let best_of_3 = |spec: &str, qc: &qdt::circuit::Circuit| {
+        let mut best: Option<(Complex, f64)> = None;
+        for _ in 0..3 {
+            let (amp, secs) = timed_run(spec, qc);
+            if let Some((prev_amp, _)) = best {
+                assert_eq!(amp, prev_amp, "{spec}: repeated runs must agree exactly");
+            }
+            if best.is_none_or(|(_, b)| secs < b) {
+                best = Some((amp, secs));
+            }
+        }
+        best.expect("three runs")
+    };
+
+    println!(
+        "{:>16} {:>7} {:>7} {:>8} {:>10} {:>10} {:>9}",
+        "circuit", "qubits", "gates", "groups", "unfused", "fused", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut qft_secs = (0.0f64, 0.0f64);
+    for (name, qc) in &workloads {
+        // Fused-group telemetry from an instrumented fused run: the
+        // group count and width histogram are pure functions of the
+        // circuit, so they are snapshot-stable.
+        let sink = TelemetrySink::new();
+        let mut fused =
+            qdt::create_engine(&format!("array(fuse={FUSE_WIDTH})")).expect("fused spec builds");
+        fused.telemetry(&sink);
+        run(fused.as_mut(), qc).expect("simulates");
+        let fused_amp = fused.amplitude(0).expect("flushes and reads");
+        let groups = match sink.metrics().get("array.fuse.groups") {
+            Some(MetricValue::Counter(n)) => n,
+            other => panic!("array.fuse.groups missing: {other:?}"),
+        };
+        let width = match sink.metrics().get("array.fuse.width") {
+            Some(MetricValue::Histogram(h)) => h,
+            other => panic!("array.fuse.width missing: {other:?}"),
+        };
+        assert_eq!(width.count, groups, "{name}: every group records a width");
+
+        let (plain_amp, plain_secs) = best_of_3("array", qc);
+        let (fused_best_amp, fused_secs) = best_of_3(&format!("array(fuse={FUSE_WIDTH})"), qc);
+        assert_eq!(
+            plain_amp, fused_best_amp,
+            "{name}: fused amplitude drifted from unfused"
+        );
+        assert_eq!(fused_amp, plain_amp, "{name}: instrumented run drifted");
+
+        let gates = qc.len();
+        assert!(
+            (groups as usize) < gates,
+            "{name}: fusion merged nothing ({groups} groups over {gates} gates)"
+        );
+        if *name == "qft-20" {
+            qft_secs = (plain_secs, fused_secs);
+        }
+        println!(
+            "{:>16} {:>7} {:>7} {:>8} {:>9.3}s {:>9.3}s {:>8.2}x",
+            name,
+            qc.num_qubits(),
+            gates,
+            groups,
+            plain_secs,
+            fused_secs,
+            plain_secs / fused_secs.max(1e-9)
+        );
+        rows.push((
+            name.replace('-', "_"),
+            qc.num_qubits(),
+            gates,
+            groups,
+            width.sum as u64,
+            width.max as u64,
+        ));
+    }
+
+    // The acceptance bar: fewer strided passes must buy wall-clock on
+    // the deep dense workload.
+    let (plain, fused) = qft_secs;
+    assert!(
+        fused < plain,
+        "fused QFT-20 ({fused:.3}s) must beat the plain array ({plain:.3}s)"
+    );
+
+    if let Some(path) = snapshot_path {
+        // Deterministic integers only — timings stay out so the file
+        // diffs cleanly across machines.
+        let mut json = String::from("{\n");
+        for (i, (name, qubits, gates, groups, width_sum, width_max)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  \"{name}\": {{\n    \"qubits\": {qubits},\n    \"gates\": {gates},\n    \
+                 \"fuse_width\": {FUSE_WIDTH},\n    \"fused_groups\": {groups},\n    \
+                 \"width_sum\": {width_sum},\n    \"width_max\": {width_max}\n  }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("}\n");
+        std::fs::write(path, json).expect("snapshot file writes");
+        println!("\nsnapshot -> {path}");
+    }
+    println!("(each fused group is one strided pass over the state; the group");
+    println!(" count and width histogram are pure functions of the circuit)");
 }
 
 /// Telemetry: one traced run end-to-end — spans from the engine

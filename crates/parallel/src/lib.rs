@@ -620,6 +620,20 @@ impl<'a, T> SharedSlice<'a, T> {
             *self.ptr.add(i) = value;
         }
     }
+
+    /// The raw base pointer of the underlying slice, for kernels that
+    /// issue wide (SIMD) loads and stores spanning several consecutive
+    /// elements at once — per-element [`SharedSlice::get`]/
+    /// [`SharedSlice::set`] cannot express a single 256-bit access.
+    ///
+    /// Every dereference through the returned pointer must uphold the
+    /// same contract as `get`/`set`: stay in bounds and touch only
+    /// indices the calling worker owns under the kernel's disjoint
+    /// partition.
+    #[must_use]
+    pub fn as_mut_ptr(&self) -> *mut T {
+        self.ptr
+    }
 }
 
 #[cfg(test)]
@@ -756,6 +770,15 @@ mod tests {
             }
         });
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn shared_slice_exposes_the_base_pointer() {
+        let mut data = vec![1.0f64, 2.0, 3.0];
+        let ptr = data.as_mut_ptr();
+        let view = SharedSlice::new(&mut data);
+        assert_eq!(view.as_mut_ptr(), ptr);
+        assert_eq!(view.len(), 3);
     }
 
     #[test]

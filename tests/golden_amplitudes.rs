@@ -15,12 +15,15 @@ use qdt::EngineRegistry;
 /// a handful of floating-point rounding steps).
 const TOL: f64 = 1e-12;
 
-/// Engine specs every fixture is checked on: sequential reference and
-/// parallel kernels with the chunked path forced (`threshold=1`).
-const SPECS: [&str; 3] = [
+/// Engine specs every fixture is checked on: sequential reference,
+/// parallel kernels with the chunked path forced (`threshold=1`), and
+/// the gate-fused kernels — sequential and parallel.
+const SPECS: [&str; 5] = [
     "array(threads=1)",
     "array(threads=2,threshold=1)",
     "array(threads=4,threshold=1)",
+    "array(fuse=5)",
+    "array(fuse=5,threads=4,threshold=1)",
 ];
 
 /// Runs `qc` on `spec` and checks every amplitude against `want`.
